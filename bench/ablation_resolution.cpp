@@ -1,0 +1,79 @@
+// Ablation 3 (DESIGN.md §4): the resolution model recursively applies the
+// prediction model to each library copy before installing it (paper IV).
+// Compares three variants on the full evaluation:
+//   * full resolution with recursive copy validation (the paper's design),
+//   * blind copying (no validation) — copies that need newer C libraries
+//     or miss their own dependencies get installed and fail at run time,
+//   * no resolution at all (the Table IV "before" baseline).
+#include <cstdio>
+
+#include "eval/experiment.hpp"
+#include "eval/tables.hpp"
+#include "support/table.hpp"
+
+using namespace feam::eval;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double success_after = 0;
+  double extended_accuracy = 0;
+};
+
+Row run_variant(const char* label, bool recursive_validation,
+                bool apply_resolution) {
+  ExperimentOptions options;
+  options.fault_seed = 20130613;
+  options.recursive_copy_validation = recursive_validation;
+  options.apply_resolution = apply_resolution;
+  Experiment experiment(options);
+  experiment.build_test_set();
+  experiment.run();
+  int success = 0, correct = 0;
+  for (const auto& r : experiment.results()) {
+    success += r.success_after_resolution;
+    correct += r.extended_correct();
+  }
+  const double n = static_cast<double>(experiment.results().size());
+  return {label, 100.0 * success / n, 100.0 * correct / n};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION: recursive validation of library copies (paper IV)\n\n");
+
+  const Row full = run_variant("recursive validation (paper)", true, true);
+  const Row blind = run_variant("blind copying (ablated)", false, true);
+  const Row none = run_variant("no resolution (baseline)", true, false);
+
+  feam::support::TextTable table(
+      {"Variant", "Executions successful", "Extended prediction accuracy"});
+  char buf[32];
+  for (const Row& row : {full, blind, none}) {
+    std::string success, accuracy;
+    std::snprintf(buf, sizeof buf, "%.0f%%", row.success_after);
+    success = buf;
+    std::snprintf(buf, sizeof buf, "%.0f%%", row.extended_accuracy);
+    accuracy = buf;
+    table.add_row({row.label, success, accuracy});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Resolution lifts success by ~a third over the no-resolution baseline\n"
+      "(the Table IV effect). Blind copying matches full resolution on this\n"
+      "testbed — but only because FEAM has defense in depth: bad copies that\n"
+      "recursive validation would reject (e.g. Forge-built libraries that\n"
+      "reference GLIBC_2.12 installed at a 2.3.4 site) are still caught at\n"
+      "prediction time by the guaranteed-environment hello-world runs, which\n"
+      "load the same copies and hit the same version errors. Disable both\n"
+      "(no bundle hello worlds) and blind copies turn into run-time failures\n"
+      "behind READY predictions. The unit test\n"
+      "Tec.CopyRejectedWhenItNeedsNewerClib pins the static-rejection path.\n");
+  // Shape: full >= blind on accuracy, full > none on success.
+  const bool shape = full.extended_accuracy >= blind.extended_accuracy &&
+                     full.success_after > none.success_after + 5;
+  std::printf("Shape check: %s\n", shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

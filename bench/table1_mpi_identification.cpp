@@ -1,0 +1,67 @@
+// Table I: identifying libraries of MPI implementations.
+//
+// Compiles a probe program with every MPI stack at every testbed site (C
+// and Fortran), runs FEAM's link-level identification on each produced
+// binary, and reports the identifier sets plus identification accuracy
+// (the paper reports the scheme was 100% accurate on its test set).
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "elf/file.hpp"
+#include "feam/identify.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+using namespace feam;
+
+int main() {
+  std::printf("TABLE I. IDENTIFYING LIBRARIES OF MPI IMPLEMENTATIONS\n\n");
+
+  // The identifier sets, as observed from actually-linked binaries.
+  std::map<site::MpiImpl, std::set<std::string>> observed_identifiers;
+  int total = 0, correct = 0;
+
+  for (const auto& site_name : toolchain::testbed_site_names()) {
+    auto s = toolchain::make_site(site_name);
+    for (const auto& stack : s->stacks) {
+      for (const auto lang :
+           {toolchain::Language::kC, toolchain::Language::kFortran}) {
+        toolchain::ProgramSource probe;
+        probe.name = "probe";
+        probe.language = lang;
+        const auto compiled = toolchain::compile_mpi_program(
+            *s, probe, stack, "/tmp/probe_" + stack.slug());
+        if (!compiled.ok()) continue;
+        const auto parsed = elf::ElfFile::parse(*s->vfs.read(compiled.value()));
+        if (!parsed.ok()) continue;
+
+        for (const auto& needed : parsed.value().needed()) {
+          if (support::starts_with(needed, "libmpi") ||
+              support::starts_with(needed, "libib")) {
+            observed_identifiers[stack.impl].insert(needed);
+          }
+        }
+        ++total;
+        correct += identify_mpi(parsed.value().needed()) == stack.impl;
+      }
+    }
+  }
+
+  support::TextTable table({"MPI Implementation", "Library Dependencies"});
+  for (const auto& [impl, identifiers] : observed_identifiers) {
+    table.add_row({site::mpi_impl_name(impl),
+                   support::join(std::vector<std::string>(identifiers.begin(),
+                                                          identifiers.end()),
+                                 ", ")});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Identification over compiled binaries: %d/%d correct (%s)\n",
+              correct, total, support::percent(correct, total).c_str());
+  std::printf("Paper: identification scheme for the three dominant open\n"
+              "source implementations; availability assessment was 100%%\n"
+              "accurate on the evaluation test set.\n");
+  return correct == total ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Misconfigured-stack scenario (paper III.B): India advertises an
+// MVAPICH2/GNU combination via Environment Modules, but the stack is
+// broken — no program can execute under it. A scientist matching by
+// advertisement wastes queue time; FEAM's usability test (compile and run
+// "hello world" natively under each candidate stack) detects the problem
+// and steers the prediction to the working Intel combination.
+#include <cstdio>
+
+#include "feam/phases.hpp"
+#include "toolchain/launcher.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+int main() {
+  using namespace feam;
+
+  auto fir = toolchain::make_site("fir");
+  auto india = toolchain::make_site("india");
+
+  // A C application built with MVAPICH2 + GNU at Fir.
+  toolchain::ProgramSource app;
+  app.name = "lattice_qcd";
+  app.language = toolchain::Language::kC;
+  app.libc_features = {"base", "stdio", "math"};
+  const auto* stack = fir->find_stack(site::MpiImpl::kMvapich2,
+                                      site::CompilerFamily::kGnu);
+  const auto compiled = toolchain::compile_mpi_program(
+      *fir, app, *stack, "/home/user/lattice_qcd");
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.error().c_str());
+    return 1;
+  }
+  india->vfs.write_file("/home/user/lattice_qcd",
+                        *fir->vfs.read(compiled.value()));
+
+  // What the module system advertises at India:
+  std::printf("module avail at india:\n");
+  for (const auto& module : india->available_modules()) {
+    std::printf("  %s\n", module.c_str());
+  }
+
+  // The scientist picks the obvious match — same implementation, same
+  // compiler — and loses a batch job to the misconfiguration.
+  std::printf("\nnaive: module load mvapich2/1.7a2-gnu && mpiexec ...\n");
+  india->load_module("mvapich2/1.7a2-gnu");
+  const auto naive =
+      toolchain::mpiexec_with_retries(*india, "/home/user/lattice_qcd", 8);
+  std::printf("  -> %s (%s)\n", toolchain::run_status_name(naive.status),
+              naive.detail.c_str());
+  india->unload_all_modules();
+
+  // FEAM's target phase tests each candidate stack with a native hello
+  // world before trusting it.
+  const auto result = run_target_phase(*india, "/home/user/lattice_qcd");
+  if (!result.ok()) {
+    std::printf("target phase failed: %s\n", result.error().c_str());
+    return 1;
+  }
+  const Prediction& p = result.value().prediction;
+  std::printf("\nFEAM evaluation trace:\n");
+  for (const auto& line : p.log) std::printf("  %s\n", line.c_str());
+  std::printf("prediction: %s, selected stack: %s\n",
+              p.ready ? "READY" : "NOT READY",
+              p.selected_stack_id ? p.selected_stack_id->c_str() : "(none)");
+  if (!p.ready) return 1;
+
+  // Follow the configuration: the job now lands on the working stack.
+  const auto extra = Tec::apply_configuration(*india, p);
+  const auto run =
+      toolchain::mpiexec_with_retries(*india, "/home/user/lattice_qcd", 8, extra);
+  std::printf("execution under FEAM's configuration: %s\n",
+              toolchain::run_status_name(run.status));
+  return run.success() ? 0 : 1;
+}

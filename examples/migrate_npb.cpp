@@ -1,0 +1,97 @@
+// The paper's headline scenario end-to-end: a scientist has an NPB binary
+// compiled with MVAPICH2 1.2 on Ranger and wants to run it at Fir, whose
+// MVAPICH2 is the 1.7 line with a different libmpich soname.
+//
+//   * A naive "matching MPI implementation" attempt fails: the binary's
+//     libmpich.so.1.0 does not exist at Fir.
+//   * FEAM's two-phase flow (source phase at Ranger gathers library
+//     copies; target phase at Fir recursively validates and installs them)
+//     turns the failure into a successful run — the Section IV resolution
+//     model in action.
+#include <cstdio>
+
+#include "feam/phases.hpp"
+#include "support/strings.hpp"
+#include "toolchain/launcher.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+int main() {
+  using namespace feam;
+
+  auto ranger = toolchain::make_site("ranger");
+  auto fir = toolchain::make_site("fir");
+
+  // Compile NPB CG (Fortran) with MVAPICH2 1.2 + Intel 10.1 at Ranger.
+  toolchain::ProgramSource cg;
+  cg.name = "cg.B.16";
+  cg.language = toolchain::Language::kFortran;
+  cg.libc_features = {"base", "stdio", "math"};
+  cg.text_size = 160 * 1024;
+  const auto* stack = ranger->find_stack(site::MpiImpl::kMvapich2,
+                                         site::CompilerFamily::kIntel);
+  const auto compiled = toolchain::compile_mpi_program(
+      *ranger, cg, *stack, "/home/user/NPB2.4/bin/cg.B.16");
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.error().c_str());
+    return 1;
+  }
+
+  // Migrate to Fir.
+  fir->vfs.write_file("/home/user/cg.B.16", *ranger->vfs.read(compiled.value()));
+
+  // --- Naive attempt: match the MPI implementation, load the module, run.
+  std::printf("== naive attempt at fir (module load mvapich2/1.7a-intel) ==\n");
+  fir->load_module("mvapich2/1.7a-intel");
+  const auto naive =
+      toolchain::mpiexec_with_retries(*fir, "/home/user/cg.B.16", 16);
+  std::printf("   %s\n   %s\n\n", toolchain::run_status_name(naive.status),
+              naive.detail.c_str());
+  fir->unload_all_modules();
+
+  // --- FEAM source phase at the guaranteed execution environment.
+  std::printf("== FEAM source phase at ranger ==\n");
+  ranger->load_module("mvapich2/1.2-intel");
+  const auto source = run_source_phase(*ranger, compiled.value());
+  if (!source.ok()) {
+    std::printf("source phase failed: %s\n", source.error().c_str());
+    return 1;
+  }
+  std::printf("   gathered %zu library copies (%s), %zu hello worlds\n",
+              source.value().bundle.libraries.size(),
+              support::human_size(source.value().bundle.total_bytes()).c_str(),
+              source.value().bundle.hello_worlds.size());
+  for (const auto& lib : source.value().bundle.libraries) {
+    std::printf("     %-22s from %s\n", lib.name.c_str(),
+                lib.origin_path.c_str());
+  }
+
+  // --- FEAM target phase at Fir, with the bundle.
+  std::printf("\n== FEAM target phase at fir ==\n");
+  const auto result =
+      run_target_phase(*fir, "/home/user/cg.B.16", &source.value());
+  if (!result.ok()) {
+    std::printf("target phase failed: %s\n", result.error().c_str());
+    return 1;
+  }
+  const Prediction& prediction = result.value().prediction;
+  std::printf("   prediction: %s\n", prediction.ready ? "READY" : "NOT READY");
+  std::printf("   missing:    %s\n",
+              support::join(prediction.missing_libraries, ", ").c_str());
+  std::printf("   resolved:   %s\n",
+              support::join(prediction.resolved_libraries, ", ").c_str());
+  if (!prediction.ready) return 1;
+  std::printf("\n   generated configuration script:\n");
+  for (const auto& line : support::split(prediction.configuration_script, '\n')) {
+    if (!line.empty()) std::printf("   | %s\n", line.c_str());
+  }
+
+  // --- Follow FEAM's configuration and run for real.
+  std::printf("\n== execution under FEAM's configuration ==\n");
+  const auto extra = Tec::apply_configuration(*fir, prediction);
+  const auto run =
+      toolchain::mpiexec_with_retries(*fir, "/home/user/cg.B.16", 16, extra);
+  std::printf("   %s%s%s\n", toolchain::run_status_name(run.status),
+              run.output.empty() ? "" : ": ", run.output.c_str());
+  return run.success() ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the smallest complete FEAM round trip.
+//
+//   1. Materialize two computing sites from the paper's testbed.
+//   2. Compile an MPI program at one of them (the "guaranteed execution
+//      environment").
+//   3. Migrate the binary bytes to the other site.
+//   4. Ask FEAM whether it is ready to execute there.
+//
+// Everything is simulated in memory — no root, no clusters, no MPI
+// installation needed. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "feam/phases.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+int main() {
+  using namespace feam;
+
+  // 1. Two sites from the paper's Table II.
+  auto india = toolchain::make_site("india");  // RHEL 5.6, glibc 2.5
+  auto fir = toolchain::make_site("fir");      // CentOS 5.6, glibc 2.5
+
+  // 2. Compile a small MPI application with Open MPI + Intel at India.
+  toolchain::ProgramSource app;
+  app.name = "my_solver";
+  app.language = toolchain::Language::kC;
+  app.libc_features = {"base", "stdio", "math"};
+  const auto* stack = india->find_stack(site::MpiImpl::kOpenMpi,
+                                        site::CompilerFamily::kIntel);
+  const auto compiled = toolchain::compile_mpi_program(
+      *india, app, *stack, "/home/user/apps/my_solver");
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.error().c_str());
+    return 1;
+  }
+  std::printf("compiled %s with %s at %s\n", compiled.value().c_str(),
+              stack->display().c_str(), india->name.c_str());
+
+  // 3. "scp" the binary to Fir.
+  fir->vfs.write_file("/home/user/my_solver", *india->vfs.read(compiled.value()));
+
+  // 4. Run FEAM's (required) target phase at Fir.
+  const auto result = run_target_phase(*fir, "/home/user/my_solver");
+  if (!result.ok()) {
+    std::printf("target phase failed: %s\n", result.error().c_str());
+    return 1;
+  }
+  std::printf("\nFEAM prediction at %s: %s\n", fir->name.c_str(),
+              result.value().prediction.ready ? "READY" : "NOT READY");
+  for (const auto& det : result.value().prediction.determinants) {
+    std::printf("  %-28s %-12s %s\n", determinant_name(det.kind),
+                !det.evaluated ? "(skipped)"
+                : det.compatible ? "compatible"
+                                 : "INCOMPATIBLE",
+                det.detail.c_str());
+  }
+  if (result.value().prediction.ready) {
+    std::printf("\nmatching configuration:\n%s",
+                result.value().prediction.configuration_script.c_str());
+  }
+  return result.value().prediction.ready ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+#include "binutils/file_cmd.hpp"
+
+#include "elf/file.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+
+std::string file_type(const site::Vfs& vfs, std::string_view path) {
+  const std::string name(path);
+  const support::Bytes* data = vfs.read(path);
+  if (data == nullptr) {
+    return name + ": cannot open (No such file or directory)";
+  }
+  if (data->empty()) return name + ": empty";
+
+  if (elf::looks_like_elf(*data)) {
+    const auto parsed = elf::ElfFile::parse(*data);
+    if (!parsed.ok()) {
+      return name + ": ELF (corrupt or unsupported: " + parsed.error() + ")";
+    }
+    const elf::ElfFile& f = parsed.value();
+    std::string out = name + ": ELF " + std::to_string(f.bits()) + "-bit " +
+                      (f.endian() == support::Endian::kLittle ? "LSB" : "MSB");
+    out += f.kind() == elf::FileKind::kExecutable ? " executable"
+                                                  : " shared object";
+    out += std::string(", ") + elf::isa_name(f.isa());
+    out += f.is_dynamic() ? ", dynamically linked" : ", statically linked";
+    if (f.soname()) out += ", SONAME " + *f.soname();
+    return out;
+  }
+
+  const std::string text(data->begin(),
+                         data->begin() + std::min<std::size_t>(data->size(), 64));
+  if (support::starts_with(text, "#!")) {
+    const auto eol = text.find('\n');
+    const std::string interp(support::trim(
+        text.substr(2, eol == std::string::npos ? eol : eol - 2)));
+    return name + ": " + interp + " script text executable";
+  }
+  // Printable ASCII -> text; else data.
+  const bool printable = std::all_of(data->begin(), data->end(), [](std::uint8_t c) {
+    return c == '\n' || c == '\t' || c == '\r' || (c >= 0x20 && c < 0x7f);
+  });
+  return name + (printable ? ": ASCII text" : ": data");
+}
+
+}  // namespace feam::binutils

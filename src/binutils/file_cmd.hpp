@@ -1,0 +1,17 @@
+// Reimplementation of `file(1)` for the objects FEAM meets: ELF binaries
+// (with class, endianness, machine, linkage), shell scripts, and opaque
+// data. The one-line classification real administrators reach for first.
+#pragma once
+
+#include <string>
+
+#include "site/vfs.hpp"
+
+namespace feam::binutils {
+
+// `file <path>` — always succeeds with a classification (like the real
+// tool, which reports "data" rather than failing). A missing path reports
+// "cannot open".
+std::string file_type(const site::Vfs& vfs, std::string_view path);
+
+}  // namespace feam::binutils

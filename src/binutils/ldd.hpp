@@ -1,0 +1,30 @@
+// Reimplementation of `ldd [-v]`: lists the shared libraries a dynamically
+// linked binary resolves to on the current site, with their locations.
+//
+// Faithful to the real tool's two documented failure modes that FEAM works
+// around (paper Sections V.A-B):
+//  * binaries for a foreign ISA are not recognized ("not a dynamic
+//    executable"), because real ldd works by running the target loader;
+//  * the utility can be missing on a degraded site (Site::ldd_available).
+#pragma once
+
+#include <string>
+
+#include "binutils/resolver.hpp"
+#include "site/site.hpp"
+#include "support/result.hpp"
+
+namespace feam::binutils {
+
+// `ldd <path>` / `ldd -v <path>` rendered as text.
+support::Result<std::string> ldd(const site::Site& host, std::string_view path,
+                                 bool verbose = false);
+
+// Structured output scraped back from ldd text: name -> path or "not found".
+struct LddEntry {
+  std::string name;
+  std::optional<std::string> path;
+};
+std::vector<LddEntry> parse_ldd_output(std::string_view text);
+
+}  // namespace feam::binutils

@@ -1,0 +1,29 @@
+#include "binutils/nm.hpp"
+
+#include "elf/file.hpp"
+
+namespace feam::binutils {
+
+support::Result<std::string> nm_dynamic(const site::Vfs& vfs,
+                                        std::string_view path) {
+  using R = support::Result<std::string>;
+  const support::Bytes* data = vfs.read(path);
+  if (data == nullptr) {
+    return R::failure("nm: '" + std::string(path) + "': No such file");
+  }
+  const auto parsed = elf::ElfFile::parse(*data);
+  if (!parsed.ok()) {
+    return R::failure("nm: " + std::string(path) +
+                      ": file format not recognized");
+  }
+  std::string out;
+  for (const auto& sym : parsed.value().dynamic_symbols()) {
+    out += sym.defined ? "0000000000001000 T " : "                 U ";
+    out += sym.name;
+    if (!sym.version.empty()) out += "@" + sym.version;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace feam::binutils

@@ -1,0 +1,18 @@
+// Reimplementation of `nm -D` (dynamic symbol listing with versions), used
+// by diagnostics and tests; FEAM's identification scheme deliberately does
+// NOT depend on symbols (MPI is identified by link-level library names,
+// paper Table I), so this tool exists to *verify* that claim in tests.
+#pragma once
+
+#include <string>
+
+#include "site/vfs.hpp"
+#include "support/result.hpp"
+
+namespace feam::binutils {
+
+// `nm -D --with-symbol-versions <path>`.
+support::Result<std::string> nm_dynamic(const site::Vfs& vfs,
+                                        std::string_view path);
+
+}  // namespace feam::binutils

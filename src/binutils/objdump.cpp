@@ -1,0 +1,192 @@
+#include "binutils/objdump.hpp"
+
+#include <cstdio>
+
+#include "elf/constants.hpp"
+#include "elf/file.hpp"
+#include "elf/hash.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+
+namespace {
+
+// objdump's BFD target name for our modeled machines.
+std::string bfd_format(const elf::ElfFile& f) {
+  const char* base = nullptr;
+  switch (f.isa()) {
+    case elf::Isa::kX86: base = "elf32-i386"; break;
+    case elf::Isa::kX86_64: base = "elf64-x86-64"; break;
+    case elf::Isa::kPpc: base = "elf32-powerpc"; break;
+    case elf::Isa::kPpc64: base = "elf64-powerpc"; break;
+    case elf::Isa::kAarch64: base = "elf64-littleaarch64"; break;
+  }
+  return base;
+}
+
+std::string bfd_architecture(const elf::ElfFile& f) {
+  switch (f.isa()) {
+    case elf::Isa::kX86: return "i386";
+    case elf::Isa::kX86_64: return "i386:x86-64";
+    case elf::Isa::kPpc: return "powerpc:common";
+    case elf::Isa::kPpc64: return "powerpc:common64";
+    case elf::Isa::kAarch64: return "aarch64";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+support::Result<std::string> objdump_p(const site::Vfs& vfs,
+                                       std::string_view path) {
+  using R = support::Result<std::string>;
+  const support::Bytes* data = vfs.read(path);
+  if (data == nullptr) {
+    return R::failure("objdump: '" + std::string(path) + "': No such file");
+  }
+  const auto parsed = elf::ElfFile::parse(*data);
+  if (!parsed.ok()) {
+    return R::failure("objdump: " + std::string(path) +
+                      ": file format not recognized");
+  }
+  const elf::ElfFile& f = parsed.value();
+
+  std::string out;
+  out += "\n" + std::string(path) + ":     file format " + bfd_format(f) + "\n";
+  out += "architecture: " + bfd_architecture(f) + ", flags 0x00000112:\n";
+  out += f.kind() == elf::FileKind::kExecutable
+             ? "EXEC_P, HAS_SYMS, D_PAGED\n"
+             : "DYNAMIC, HAS_SYMS, D_PAGED\n";
+
+  if (f.is_dynamic()) {
+    out += "\nDynamic Section:\n";
+    for (const auto& needed : f.needed()) {
+      out += "  NEEDED               " + needed + "\n";
+    }
+    if (f.soname()) {
+      out += "  SONAME               " + *f.soname() + "\n";
+    }
+    if (!f.rpath().empty()) {
+      out += "  RPATH                " + support::join(f.rpath(), ":") + "\n";
+    }
+  }
+
+  if (!f.version_definitions().empty()) {
+    out += "\nVersion definitions:\n";
+    // Entry 1 is the base definition (the file itself).
+    char buf[96];
+    const std::string base = f.soname().value_or(site::Vfs::basename(path));
+    std::snprintf(buf, sizeof buf, "1 0x01 0x%08x %s\n", elf::elf_hash(base),
+                  base.c_str());
+    out += buf;
+    int index = 2;
+    for (const auto& def : f.version_definitions()) {
+      std::snprintf(buf, sizeof buf, "%d 0x00 0x%08x %s\n", index++,
+                    elf::elf_hash(def), def.c_str());
+      out += buf;
+    }
+  }
+
+  if (!f.version_references().empty()) {
+    out += "\nVersion References:\n";
+    for (const auto& need : f.version_references()) {
+      out += "  required from " + need.file + ":\n";
+      for (const auto& version : need.versions) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "    0x%08x 0x00 02 %s\n",
+                      elf::elf_hash(version), version.c_str());
+        out += buf;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<ParsedObjdump> parse_objdump_output(std::string_view text) {
+  ParsedObjdump out;
+  enum class Section { kNone, kDynamic, kVerDef, kVerRef };
+  Section section = Section::kNone;
+
+  bool saw_format = false;
+  for (const auto& raw_line : support::split(text, '\n')) {
+    const std::string_view line = raw_line;
+    const std::string_view stripped = support::trim(line);
+    if (stripped.empty()) continue;
+
+    if (const auto pos = line.find("file format "); pos != std::string_view::npos) {
+      out.file_format = std::string(support::trim(line.substr(pos + 12)));
+      out.bits = support::starts_with(out.file_format, "elf64") ? 64
+                 : support::starts_with(out.file_format, "elf32") ? 32
+                                                                  : 0;
+      saw_format = true;
+      continue;
+    }
+    if (support::starts_with(stripped, "architecture:")) {
+      auto rest = stripped.substr(13);
+      const auto comma = rest.find(',');
+      out.architecture = std::string(support::trim(rest.substr(0, comma)));
+      continue;
+    }
+    if (support::starts_with(stripped, "DYNAMIC,")) {
+      out.is_shared_object = true;
+      continue;
+    }
+    if (stripped == "Dynamic Section:") {
+      section = Section::kDynamic;
+      continue;
+    }
+    if (stripped == "Version definitions:") {
+      section = Section::kVerDef;
+      continue;
+    }
+    if (stripped == "Version References:") {
+      section = Section::kVerRef;
+      continue;
+    }
+
+    switch (section) {
+      case Section::kDynamic: {
+        const auto fields = support::split_ws(stripped);
+        if (fields.size() >= 2) {
+          if (fields[0] == "NEEDED") {
+            out.needed.push_back(fields[1]);
+          } else if (fields[0] == "SONAME") {
+            out.soname = fields[1];
+          } else if (fields[0] == "RPATH") {
+            for (auto& dir : support::split(fields[1], ':')) {
+              if (!dir.empty()) out.rpath.push_back(std::move(dir));
+            }
+          }
+        }
+        break;
+      }
+      case Section::kVerDef: {
+        // "<idx> <flags> <hash> <name>"; flags 0x01 marks the base entry.
+        const auto fields = support::split_ws(stripped);
+        if (fields.size() == 4 && fields[1] != "0x01") {
+          out.version_definitions.push_back(fields[3]);
+        }
+        break;
+      }
+      case Section::kVerRef: {
+        if (support::starts_with(stripped, "required from ")) {
+          std::string file(stripped.substr(14));
+          if (!file.empty() && file.back() == ':') file.pop_back();
+          out.version_references.push_back({std::move(file), {}});
+        } else {
+          const auto fields = support::split_ws(stripped);
+          if (fields.size() == 4 && !out.version_references.empty()) {
+            out.version_references.back().versions.push_back(fields[3]);
+          }
+        }
+        break;
+      }
+      case Section::kNone:
+        break;
+    }
+  }
+  if (!saw_format) return std::nullopt;
+  return out;
+}
+
+}  // namespace feam::binutils

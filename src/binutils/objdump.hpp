@@ -1,0 +1,44 @@
+// Reimplementation of `objdump -p` (GNU binutils): renders the private
+// headers of an ELF file as text, in the same layout the real tool uses.
+//
+// FEAM's Binary Description Component consumes this *text* — not the
+// parsed ElfFile — mirroring the paper's implementation, which shelled out
+// to objdump and scraped its output. ParsedObjdump is that scraper, and
+// the render/scrape pair is round-trip tested.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "site/vfs.hpp"
+#include "support/result.hpp"
+#include "support/version.hpp"
+
+namespace feam::binutils {
+
+// `objdump -p <path>`; fails with the real tool's phrasing when the file
+// is missing or not a recognized object file.
+support::Result<std::string> objdump_p(const site::Vfs& vfs,
+                                       std::string_view path);
+
+// Structured view scraped back out of objdump text.
+struct ParsedObjdump {
+  std::string file_format;  // "elf64-x86-64"
+  std::string architecture; // "i386:x86-64"
+  int bits = 0;             // derived from file_format
+  bool is_shared_object = false;
+  std::vector<std::string> needed;
+  std::optional<std::string> soname;
+  std::vector<std::string> rpath;
+  struct VersionRef {
+    std::string file;
+    std::vector<std::string> versions;
+  };
+  std::vector<VersionRef> version_references;
+  std::vector<std::string> version_definitions;
+};
+
+std::optional<ParsedObjdump> parse_objdump_output(std::string_view text);
+
+}  // namespace feam::binutils

@@ -1,0 +1,53 @@
+#include "binutils/readelf.hpp"
+
+#include <cstdio>
+
+#include "elf/file.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+
+support::Result<std::string> readelf_p_comment(const site::Vfs& vfs,
+                                               std::string_view path) {
+  using R = support::Result<std::string>;
+  const support::Bytes* data = vfs.read(path);
+  if (data == nullptr) {
+    return R::failure("readelf: Error: '" + std::string(path) +
+                      "': No such file");
+  }
+  const auto parsed = elf::ElfFile::parse(*data);
+  if (!parsed.ok()) {
+    return R::failure("readelf: Error: Not an ELF file - it has the wrong "
+                      "magic bytes at the start");
+  }
+  const auto& comments = parsed.value().comments();
+  if (comments.empty()) {
+    return R::failure("readelf: Warning: Section '.comment' was not dumped "
+                      "because it does not exist!");
+  }
+  std::string out = "\nString dump of section '.comment':\n";
+  std::size_t offset = 0;
+  for (const auto& comment : comments) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "  [%6zx]  ", offset);
+    out += buf;
+    out += comment + "\n";
+    offset += comment.size() + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> parse_comment_dump(std::string_view text) {
+  std::vector<std::string> out;
+  for (const auto& line : support::split(text, '\n')) {
+    const auto stripped = support::trim(line);
+    if (!support::starts_with(stripped, "[")) continue;
+    const auto close = stripped.find(']');
+    if (close == std::string_view::npos) continue;
+    const auto content = support::trim(stripped.substr(close + 1));
+    if (!content.empty()) out.emplace_back(content);
+  }
+  return out;
+}
+
+}  // namespace feam::binutils

@@ -1,0 +1,22 @@
+// Reimplementation of `readelf -p .comment`: dumps the strings of the
+// optional .comment section, which carries compiler/linker version-control
+// stamps ("GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)"). FEAM's BDC uses
+// it to learn what OS and C library a binary was *built* with.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "site/vfs.hpp"
+#include "support/result.hpp"
+
+namespace feam::binutils {
+
+// `readelf -p .comment <path>`.
+support::Result<std::string> readelf_p_comment(const site::Vfs& vfs,
+                                               std::string_view path);
+
+// Scrapes the comment strings back out of readelf's text output.
+std::vector<std::string> parse_comment_dump(std::string_view text);
+
+}  // namespace feam::binutils

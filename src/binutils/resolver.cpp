@@ -1,0 +1,149 @@
+#include "binutils/resolver.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace feam::binutils {
+
+namespace {
+
+// True when the candidate file is a shared object loadable by a binary of
+// the given bitness on this host: valid ELF, correct class, ISA executable
+// on the host hardware.
+bool candidate_compatible(const site::Site& host, const support::Bytes& data,
+                          int bits) {
+  const auto parsed = elf::ElfFile::parse(data);
+  if (!parsed.ok()) return false;
+  const elf::ElfFile& f = parsed.value();
+  if (f.bits() != bits) return false;
+  return elf::isa_executable_on(f.isa(), host.isa);
+}
+
+}  // namespace
+
+bool Resolution::complete() const {
+  return root_parsed &&
+         std::all_of(libs.begin(), libs.end(),
+                     [](const ResolvedLib& l) { return l.path.has_value(); });
+}
+
+std::vector<std::string> Resolution::missing() const {
+  std::vector<std::string> out;
+  for (const ResolvedLib& lib : libs) {
+    if (!lib.path) out.push_back(lib.name);
+  }
+  return out;
+}
+
+std::optional<std::string> Resolution::path_of(std::string_view needed_name) const {
+  for (const ResolvedLib& lib : libs) {
+    if (lib.name == needed_name) return lib.path;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> search_library(const site::Site& host,
+                                          std::string_view soname, int bits,
+                                          const std::vector<std::string>& rpath,
+                                          const std::vector<std::string>& extra_dirs) {
+  std::vector<std::string> dirs;
+  dirs.insert(dirs.end(), extra_dirs.begin(), extra_dirs.end());
+  dirs.insert(dirs.end(), rpath.begin(), rpath.end());
+  const auto ld_path = host.env.ld_library_path();
+  dirs.insert(dirs.end(), ld_path.begin(), ld_path.end());
+  const auto defaults = host.default_lib_dirs(bits);
+  dirs.insert(dirs.end(), defaults.begin(), defaults.end());
+
+  for (const auto& dir : dirs) {
+    const std::string candidate = site::Vfs::join(dir, soname);
+    const support::Bytes* data = host.vfs.read(candidate);
+    if (data == nullptr) continue;
+    if (!candidate_compatible(host, *data, bits)) continue;  // skip, keep looking
+    return host.vfs.resolve(candidate).value_or(candidate);
+  }
+  return std::nullopt;
+}
+
+Resolution resolve_libraries(const site::Site& host, std::string_view binary_path,
+                             const std::vector<std::string>& extra_search_dirs) {
+  Resolution out;
+  const support::Bytes* root_data = host.vfs.read(binary_path);
+  if (root_data == nullptr) {
+    out.root_error = "no such file: " + std::string(binary_path);
+    return out;
+  }
+  auto root = elf::ElfFile::parse(*root_data);
+  if (!root.ok()) {
+    out.root_error = root.error();
+    return out;
+  }
+  out.root_parsed = true;
+  const int bits = root.value().bits();
+  const std::vector<std::string> rpath = root.value().rpath();
+
+  // BFS over NEEDED closure.
+  struct Pending {
+    std::string name;
+    std::string requested_by;
+  };
+  std::deque<Pending> queue;
+  std::set<std::string> enqueued;
+  for (const auto& n : root.value().needed()) {
+    queue.push_back({n, std::string(binary_path)});
+    enqueued.insert(n);
+  }
+
+  // Objects whose version references must be checked: (path, parsed file).
+  // The root binary is first.
+  std::vector<std::pair<std::string, elf::ElfFile>> closure;
+  closure.emplace_back(std::string(binary_path), std::move(root).take());
+
+  // name -> resolved path for provider lookups during version checking.
+  std::map<std::string, std::string, std::less<>> provider_paths;
+
+  while (!queue.empty()) {
+    const Pending item = queue.front();
+    queue.pop_front();
+    ResolvedLib lib{item.name, std::nullopt, item.requested_by};
+    lib.path = search_library(host, item.name, bits, rpath, extra_search_dirs);
+    if (lib.path) {
+      provider_paths.emplace(item.name, *lib.path);
+      const support::Bytes* data = host.vfs.read(*lib.path);
+      if (data != nullptr) {
+        auto parsed = elf::ElfFile::parse(*data);
+        if (parsed.ok()) {
+          for (const auto& n : parsed.value().needed()) {
+            if (enqueued.insert(n).second) {
+              queue.push_back({n, *lib.path});
+            }
+          }
+          closure.emplace_back(*lib.path, std::move(parsed).take());
+        }
+      }
+    }
+    out.libs.push_back(std::move(lib));
+  }
+
+  // Version checks: every (file, version) reference must be defined by the
+  // library that actually resolved for that file name.
+  for (const auto& [object_path, object] : closure) {
+    for (const auto& need : object.version_references()) {
+      const auto provider_it = provider_paths.find(need.file);
+      if (provider_it == provider_paths.end()) continue;  // missing lib: reported above
+      const support::Bytes* provider_data = host.vfs.read(provider_it->second);
+      if (provider_data == nullptr) continue;
+      const auto provider = elf::ElfFile::parse(*provider_data);
+      if (!provider.ok()) continue;
+      const auto& defs = provider.value().version_definitions();
+      for (const auto& version : need.versions) {
+        if (std::find(defs.begin(), defs.end(), version) == defs.end()) {
+          out.version_errors.push_back({version, object_path, provider_it->second});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace feam::binutils

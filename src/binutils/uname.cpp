@@ -1,0 +1,26 @@
+#include "binutils/uname.hpp"
+
+namespace feam::binutils {
+
+namespace {
+const char* uname_arch(elf::Isa isa) {
+  switch (isa) {
+    case elf::Isa::kX86: return "i686";
+    case elf::Isa::kX86_64: return "x86_64";
+    case elf::Isa::kPpc: return "ppc";
+    case elf::Isa::kPpc64: return "ppc64";
+    case elf::Isa::kAarch64: return "aarch64";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string uname_p(const site::Site& host) { return uname_arch(host.isa); }
+
+std::string uname_a(const site::Site& host) {
+  const std::string arch = uname_arch(host.isa);
+  return "Linux " + host.name + " " + host.kernel_version +
+         " #1 SMP x " + arch + " " + arch + " " + arch + " GNU/Linux";
+}
+
+}  // namespace feam::binutils

@@ -1,0 +1,18 @@
+// Reimplementation of `uname` over a Site: reports the hardware ISA
+// (`uname -p`) and kernel identity (`uname -a`) that FEAM's Environment
+// Discovery Component consults first (paper Section V.B).
+#pragma once
+
+#include <string>
+
+#include "site/site.hpp"
+
+namespace feam::binutils {
+
+// `uname -p`: "x86_64", "i686", "ppc64", ...
+std::string uname_p(const site::Site& host);
+
+// `uname -a`: "Linux <name> <kernel> ... <arch> GNU/Linux".
+std::string uname_a(const site::Site& host);
+
+}  // namespace feam::binutils

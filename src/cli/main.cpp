@@ -1,0 +1,381 @@
+// The `feam` command-line tool: drives FEAM's phases over the simulated
+// testbed, importing and exporting binaries and bundle archives through
+// the host filesystem — so the full workflow of the paper (compile,
+// source phase, copy bundle, target phase) can be walked by hand:
+//
+//   feam compile --site india --stack openmpi/1.4-gnu --program cg.B
+//        --language fortran -o /tmp/cg.B
+//   feam source  --site india --stack openmpi/1.4-gnu --binary /tmp/cg.B
+//        -o /tmp/cg.B.feambundle
+//   feam target  --site fir --binary /tmp/cg.B --bundle /tmp/cg.B.feambundle
+//        --script /tmp/run_cg.sh
+//   (each command is one line; wrapped here for width)
+#include <cstdio>
+#include <fstream>
+
+#include "cli/options.hpp"
+#include "feam/bundle_archive.hpp"
+#include "feam/phases.hpp"
+#include "feam/report.hpp"
+#include "feam/survey.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/shell.hpp"
+#include "toolchain/site_spec.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::cli {
+namespace {
+
+std::optional<support::Bytes> read_host_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return support::Bytes(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+}
+
+bool write_host_file(const std::string& path, const support::Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+bool write_host_file(const std::string& path, const std::string& text) {
+  return write_host_file(path, support::Bytes(text.begin(), text.end()));
+}
+
+// Builds the site a command addresses: a built-in testbed site by name, or
+// a user-defined site from a JSON spec file.
+std::unique_ptr<site::Site> make_selected_site(const Options& opts) {
+  if (!opts.site_file.empty()) {
+    const auto spec = read_host_file(opts.site_file);
+    if (!spec) {
+      std::fprintf(stderr, "feam: cannot read %s\n", opts.site_file.c_str());
+      return nullptr;
+    }
+    auto built = toolchain::make_site_from_json(
+        std::string(spec->begin(), spec->end()));
+    if (!built.ok()) {
+      std::fprintf(stderr, "feam: %s\n", built.error().c_str());
+      return nullptr;
+    }
+    return std::move(built).take();
+  }
+  try {
+    return toolchain::make_site(opts.site);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "feam: %s\n", e.what());
+    return nullptr;
+  }
+}
+
+int list_sites() {
+  support::TextTable table({"Site", "Type", "CPUs", "OS", "C library",
+                            "MPI stacks"});
+  std::vector<std::string> names = toolchain::testbed_site_names();
+  names.push_back("bluefire");
+  for (const auto& name : names) {
+    auto s = toolchain::make_site(name);
+    table.add_row({s->name, s->system_type, std::to_string(s->cpu_count),
+                   s->os_distro + " " + s->os_version.str(),
+                   s->clib_version.str(),
+                   std::to_string(s->stacks.size())});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+const site::MpiStackInstall* find_stack_by_id(const site::Site& s,
+                                              const std::string& id) {
+  return s.stack_for_module(id);
+}
+
+int compile(const Options& opts) {
+  auto s = make_selected_site(opts);
+  if (!s) return 1;
+  const auto* stack = find_stack_by_id(*s, opts.stack);
+  if (stack == nullptr) {
+    std::fprintf(stderr, "feam: no stack '%s' at %s\n", opts.stack.c_str(),
+                 opts.site.c_str());
+    return 1;
+  }
+  toolchain::ProgramSource program;
+  program.name = opts.program;
+  program.language = opts.language == "fortran" ? toolchain::Language::kFortran
+                     : opts.language == "c++"   ? toolchain::Language::kCxx
+                                                : toolchain::Language::kC;
+  program.libc_features = {"base", "stdio", "math"};
+  program.text_size = 256 * 1024;
+
+  const std::string vfs_path = "/home/user/apps/" + opts.program;
+  const auto compiled =
+      opts.static_link
+          ? toolchain::compile_static_mpi_program(*s, program, *stack, vfs_path)
+          : toolchain::compile_mpi_program(*s, program, *stack, vfs_path);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "feam: %s\n", compiled.error().c_str());
+    return 1;
+  }
+  const auto* bytes = s->vfs.read(compiled.value());
+  if (!write_host_file(opts.output, *bytes)) {
+    std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
+    return 1;
+  }
+  std::printf("compiled %s with %s at %s -> %s (%s)\n", opts.program.c_str(),
+              stack->display().c_str(), opts.site.c_str(),
+              opts.output.c_str(),
+              support::human_size(bytes->size()).c_str());
+  return 0;
+}
+
+int source_phase(const Options& opts) {
+  auto s = make_selected_site(opts);
+  if (!s) return 1;
+  const auto binary = read_host_file(opts.binary);
+  if (!binary) {
+    std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
+    return 1;
+  }
+  const std::string vfs_path =
+      "/home/user/apps/" + site::Vfs::basename(opts.binary);
+  s->vfs.write_file(vfs_path, *binary);
+  if (!s->load_module(opts.stack)) {
+    std::fprintf(stderr, "feam: no stack '%s' at %s\n", opts.stack.c_str(),
+                 opts.site.c_str());
+    return 1;
+  }
+  const auto out = run_source_phase(*s, vfs_path);
+  if (!out.ok()) {
+    std::fprintf(stderr, "feam: source phase failed: %s\n",
+                 out.error().c_str());
+    return 1;
+  }
+  for (const auto& line : out.value().log) std::printf("%s\n", line.c_str());
+  const auto archive = pack_bundle(out.value().bundle);
+  if (!write_host_file(opts.output, archive)) {
+    std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
+    return 1;
+  }
+  std::printf("bundle: %zu libraries, %zu hello worlds -> %s (%s)\n",
+              out.value().bundle.libraries.size(),
+              out.value().bundle.hello_worlds.size(), opts.output.c_str(),
+              support::human_size(archive.size()).c_str());
+  return 0;
+}
+
+int target_phase(const Options& opts) {
+  auto s = make_selected_site(opts);
+  if (!s) return 1;
+  const auto binary = read_host_file(opts.binary);
+  if (!binary) {
+    std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
+    return 1;
+  }
+  const std::string vfs_path =
+      "/home/user/migrated/" + site::Vfs::basename(opts.binary);
+  s->vfs.write_file(vfs_path, *binary);
+
+  SourcePhaseOutput travelled;
+  const SourcePhaseOutput* source = nullptr;
+  if (!opts.bundle.empty()) {
+    const auto archive = read_host_file(opts.bundle);
+    if (!archive) {
+      std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
+      return 1;
+    }
+    auto unpacked = unpack_bundle(*archive);
+    if (!unpacked.ok()) {
+      std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
+      return 1;
+    }
+    travelled.application = unpacked.value().application;
+    travelled.bundle = std::move(unpacked).take();
+    source = &travelled;
+  }
+
+  const auto result = run_target_phase(*s, vfs_path, source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "feam: target phase failed: %s\n",
+                 result.error().c_str());
+    return 1;
+  }
+  const Prediction& p = result.value().prediction;
+  std::printf("prediction (%s): %s\n",
+              source != nullptr ? "extended" : "basic",
+              p.ready ? "READY" : "NOT READY");
+  for (const auto& det : p.determinants) {
+    std::printf("  %-28s %-12s %s\n", determinant_name(det.kind),
+                !det.evaluated ? "(skipped)"
+                : det.compatible ? "compatible"
+                                 : "INCOMPATIBLE",
+                det.detail.c_str());
+  }
+  if (!p.missing_libraries.empty()) {
+    std::printf("missing:  %s\n",
+                support::join(p.missing_libraries, ", ").c_str());
+  }
+  if (!p.resolved_libraries.empty()) {
+    std::printf("resolved: %s\n",
+                support::join(p.resolved_libraries, ", ").c_str());
+  }
+  if (!opts.report.empty()) {
+    if (!write_host_file(opts.report, render_target_report(result.value()))) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.report.c_str());
+      return 1;
+    }
+    std::printf("full report written to %s\n", opts.report.c_str());
+  }
+  if (p.ready && !opts.script.empty()) {
+    if (!write_host_file(opts.script, p.configuration_script)) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.script.c_str());
+      return 1;
+    }
+    std::printf("configuration script written to %s\n", opts.script.c_str());
+  } else if (p.ready) {
+    std::printf("\n%s", p.configuration_script.c_str());
+  }
+  return p.ready ? 0 : 2;
+}
+
+int exec_command(const Options& opts) {
+  auto s = make_selected_site(opts);
+  if (!s) return 1;
+  const auto binary = read_host_file(opts.binary);
+  if (!binary) {
+    std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
+    return 1;
+  }
+  const std::string vfs_path =
+      "/home/user/migrated/" + site::Vfs::basename(opts.binary);
+  s->vfs.write_file(vfs_path, *binary);
+
+  SourcePhaseOutput travelled;
+  const SourcePhaseOutput* source = nullptr;
+  if (!opts.bundle.empty()) {
+    const auto archive = read_host_file(opts.bundle);
+    if (!archive) {
+      std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
+      return 1;
+    }
+    auto unpacked = unpack_bundle(*archive);
+    if (!unpacked.ok()) {
+      std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
+      return 1;
+    }
+    travelled.application = unpacked.value().application;
+    travelled.bundle = std::move(unpacked).take();
+    source = &travelled;
+  }
+
+  const auto result = run_target_phase(*s, vfs_path, source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "feam: target phase failed: %s\n",
+                 result.error().c_str());
+    return 1;
+  }
+  if (!result.value().prediction.ready) {
+    std::printf("prediction: NOT READY — refusing to execute\n");
+    for (const auto& det : result.value().prediction.determinants) {
+      if (det.evaluated && !det.compatible) {
+        std::printf("  %s: %s\n", determinant_name(det.kind),
+                    det.detail.c_str());
+      }
+    }
+    return 2;
+  }
+  std::printf("prediction: READY — executing FEAM's configuration script\n");
+  for (const auto& line : support::split(
+           result.value().prediction.configuration_script, '\n')) {
+    if (!line.empty()) std::printf("  | %s\n", line.c_str());
+  }
+  const auto run =
+      toolchain::run_script(*s, result.value().prediction.configuration_script);
+  for (const auto& error : run.errors) {
+    std::fprintf(stderr, "feam: %s\n", error.c_str());
+  }
+  std::printf("execution: %s%s%s\n",
+              toolchain::run_status_name(run.last_run.status),
+              run.last_run.output.empty() ? "" : " — ",
+              run.last_run.output.c_str());
+  return run.ok() ? 0 : 1;
+}
+
+int survey(const Options& opts) {
+  const auto binary = read_host_file(opts.binary);
+  if (!binary) {
+    std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
+    return 1;
+  }
+  SourcePhaseOutput travelled;
+  const SourcePhaseOutput* source = nullptr;
+  if (!opts.bundle.empty()) {
+    const auto archive = read_host_file(opts.bundle);
+    if (!archive) {
+      std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
+      return 1;
+    }
+    auto unpacked = unpack_bundle(*archive);
+    if (!unpacked.ok()) {
+      std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
+      return 1;
+    }
+    travelled.application = unpacked.value().application;
+    travelled.bundle = std::move(unpacked).take();
+    source = &travelled;
+  }
+
+  std::vector<std::unique_ptr<site::Site>> owned;
+  std::vector<site::Site*> sites;
+  std::vector<std::string> names = toolchain::testbed_site_names();
+  names.push_back("bluefire");
+  for (const auto& name : names) {
+    owned.push_back(toolchain::make_site(name));
+    sites.push_back(owned.back().get());
+  }
+  const auto report = survey_sites(
+      sites, site::Vfs::basename(opts.binary), *binary, source);
+  std::printf("%s", report.render().c_str());
+  std::printf("%zu of %zu sites ready (%s prediction)\n", report.ready_count(),
+              report.entries.size(), source != nullptr ? "extended" : "basic");
+  return report.ready_count() > 0 ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace feam::cli
+
+int main(int argc, char** argv) {
+  using namespace feam::cli;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const auto opts = parse_options(args, error);
+  if (!opts) {
+    std::fprintf(stderr, "feam: %s\n%s", error.c_str(), usage().c_str());
+    return 64;  // EX_USAGE
+  }
+  try {
+    switch (opts->command) {
+      case Command::kHelp:
+        std::printf("%s", usage().c_str());
+        return 0;
+      case Command::kListSites:
+        return list_sites();
+      case Command::kCompile:
+        return compile(*opts);
+      case Command::kSource:
+        return source_phase(*opts);
+      case Command::kTarget:
+        return target_phase(*opts);
+      case Command::kSurvey:
+        return survey(*opts);
+      case Command::kExec:
+        return exec_command(*opts);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "feam: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "cli/options.hpp"
+
+namespace feam::cli {
+
+std::string usage() {
+  return R"(feam — Framework for Efficient Application Migration (simulated testbed)
+
+usage:
+  feam list-sites
+      List the available computing sites.
+
+  feam compile --site S --stack IMPL/VER-COMPILER --program NAME
+               [--language c|c++|fortran] [--static] -o HOSTPATH
+      Compile an MPI program at site S and export the binary to the host
+      filesystem.
+
+  feam source --site S --stack IMPL/VER-COMPILER --binary HOSTPATH
+              -o BUNDLE.feambundle
+      Run FEAM's source phase at guaranteed execution environment S for the
+      given binary; write the library bundle archive to the host filesystem.
+
+  feam target --site S --binary HOSTPATH [--bundle BUNDLE.feambundle]
+              [--script HOSTPATH] [--report HOSTPATH]
+      Run FEAM's target phase at site S: predict execution readiness of the
+      migrated binary (extended prediction when a bundle is supplied) and
+      optionally write the generated configuration script.
+
+  feam survey --binary HOSTPATH [--bundle BUNDLE.feambundle]
+      Assess the migrated binary at every site and print a ranked report.
+
+  feam exec --site S --binary HOSTPATH [--bundle BUNDLE.feambundle]
+      Predict, apply FEAM's generated configuration script, and execute the
+      migrated binary at site S — the full automated workflow in one step.
+
+  Every command taking --site also accepts --site-file SPEC.json: a
+  user-defined site description (see toolchain/site_spec.hpp for the
+  schema), built and provisioned on the fly.
+)";
+}
+
+std::optional<Options> parse_options(const std::vector<std::string>& args,
+                                     std::string& error) {
+  Options opts;
+  if (args.empty()) {
+    error = "no command given";
+    return std::nullopt;
+  }
+  const std::string& command = args[0];
+  if (command == "list-sites") {
+    opts.command = Command::kListSites;
+  } else if (command == "compile") {
+    opts.command = Command::kCompile;
+  } else if (command == "source") {
+    opts.command = Command::kSource;
+  } else if (command == "target") {
+    opts.command = Command::kTarget;
+  } else if (command == "survey") {
+    opts.command = Command::kSurvey;
+  } else if (command == "exec") {
+    opts.command = Command::kExec;
+  } else if (command == "--help" || command == "-h" || command == "help") {
+    opts.command = Command::kHelp;
+    return opts;
+  } else {
+    error = "unknown command: " + command;
+    return std::nullopt;
+  }
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (flag == "--static") {
+      opts.static_link = true;
+      continue;
+    }
+    const auto v = value();
+    if (!v) {
+      error = flag + " requires a value";
+      return std::nullopt;
+    }
+    if (flag == "--site") opts.site = *v;
+    else if (flag == "--site-file") opts.site_file = *v;
+    else if (flag == "--stack") opts.stack = *v;
+    else if (flag == "--program") opts.program = *v;
+    else if (flag == "--language") opts.language = *v;
+    else if (flag == "--binary") opts.binary = *v;
+    else if (flag == "--bundle") opts.bundle = *v;
+    else if (flag == "-o" || flag == "--output") opts.output = *v;
+    else if (flag == "--script") opts.script = *v;
+    else if (flag == "--report") opts.report = *v;
+    else {
+      error = "unknown flag: " + flag;
+      return std::nullopt;
+    }
+  }
+
+  // Per-command requirements.
+  const auto require = [&](bool condition, const char* message) {
+    if (!condition && error.empty()) error = message;
+    return condition;
+  };
+  bool ok = true;
+  switch (opts.command) {
+    case Command::kCompile:
+      ok = require(!opts.site.empty() || !opts.site_file.empty(),
+                   "compile: --site or --site-file is required") &&
+           require(!opts.stack.empty(), "compile: --stack is required") &&
+           require(!opts.program.empty(), "compile: --program is required") &&
+           require(!opts.output.empty(), "compile: -o is required") &&
+           require(opts.language == "c" || opts.language == "c++" ||
+                       opts.language == "fortran",
+                   "compile: --language must be c, c++, or fortran");
+      break;
+    case Command::kSource:
+      ok = require(!opts.site.empty() || !opts.site_file.empty(),
+                   "source: --site or --site-file is required") &&
+           require(!opts.stack.empty(), "source: --stack is required") &&
+           require(!opts.binary.empty(), "source: --binary is required") &&
+           require(!opts.output.empty(), "source: -o is required");
+      break;
+    case Command::kTarget:
+      ok = require(!opts.site.empty() || !opts.site_file.empty(),
+                   "target: --site or --site-file is required") &&
+           require(!opts.binary.empty(), "target: --binary is required");
+      break;
+    case Command::kSurvey:
+      ok = require(!opts.binary.empty(), "survey: --binary is required");
+      break;
+    case Command::kExec:
+      ok = require(!opts.site.empty() || !opts.site_file.empty(),
+                   "exec: --site or --site-file is required") &&
+           require(!opts.binary.empty(), "exec: --binary is required");
+      break;
+    case Command::kListSites:
+    case Command::kHelp:
+      break;
+  }
+  if (!ok) return std::nullopt;
+  return opts;
+}
+
+}  // namespace feam::cli

@@ -1,0 +1,47 @@
+// Command-line parsing for the `feam` tool. Kept separate from main() so
+// the grammar is unit-testable.
+//
+// Subcommands:
+//   feam list-sites
+//   feam compile --site S --stack IMPL/VER-COMPILER --program NAME
+//                [--language c|c++|fortran] [--static] -o HOSTPATH
+//   feam source  --site S --stack IMPL/VER-COMPILER --binary HOSTPATH
+//                -o BUNDLE.feambundle
+//   feam target  --site S --binary HOSTPATH [--bundle BUNDLE.feambundle]
+//                [--script HOSTPATH] [--report HOSTPATH]
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace feam::cli {
+
+enum class Command {
+  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kHelp
+};
+
+struct Options {
+  Command command = Command::kHelp;
+  std::string site;
+  std::string site_file;  // JSON site spec (alternative to --site)
+  std::string stack;     // module-style id, e.g. "openmpi/1.4-gnu"
+  std::string program;   // workload name or free-form
+  std::string language = "c";
+  bool static_link = false;
+  std::string binary;    // host path of a binary (input)
+  std::string bundle;    // host path of a bundle archive (input)
+  std::string output;    // host path (output)
+  std::string script;    // host path to write the configuration script to
+  std::string report;    // host path to write the full report to
+};
+
+// Parses argv (excluding argv[0]); on error returns nullopt and fills
+// `error` with a message.
+std::optional<Options> parse_options(const std::vector<std::string>& args,
+                                     std::string& error);
+
+// The --help text.
+std::string usage();
+
+}  // namespace feam::cli

@@ -1,0 +1,84 @@
+// ELF format constants, restricted to what the FEAM toolchain emits and
+// parses. Values follow the System V gABI and the GNU extensions for
+// symbol versioning (as consumed by `objdump -p` / `readelf`).
+#pragma once
+
+#include <cstdint>
+
+namespace feam::elf {
+
+// e_ident layout.
+inline constexpr std::size_t kEiMag0 = 0;
+inline constexpr std::size_t kEiClass = 4;
+inline constexpr std::size_t kEiData = 5;
+inline constexpr std::size_t kEiVersion = 6;
+inline constexpr std::size_t kEiOsabi = 7;
+inline constexpr std::size_t kEiNident = 16;
+
+inline constexpr std::uint8_t kMagic[4] = {0x7f, 'E', 'L', 'F'};
+
+inline constexpr std::uint8_t kClass32 = 1;  // ELFCLASS32
+inline constexpr std::uint8_t kClass64 = 2;  // ELFCLASS64
+
+inline constexpr std::uint8_t kData2Lsb = 1;  // little-endian
+inline constexpr std::uint8_t kData2Msb = 2;  // big-endian
+
+inline constexpr std::uint8_t kEvCurrent = 1;
+
+// e_type.
+inline constexpr std::uint16_t kEtExec = 2;  // ET_EXEC
+inline constexpr std::uint16_t kEtDyn = 3;   // ET_DYN (shared object / PIE)
+
+// e_machine values for the ISAs modeled in the evaluation testbed.
+inline constexpr std::uint16_t kEm386 = 3;       // EM_386 (x86, 32-bit)
+inline constexpr std::uint16_t kEmPpc = 20;      // EM_PPC
+inline constexpr std::uint16_t kEmPpc64 = 21;    // EM_PPC64
+inline constexpr std::uint16_t kEmX86_64 = 62;   // EM_X86_64
+inline constexpr std::uint16_t kEmAarch64 = 183; // EM_AARCH64 (negative tests)
+
+// Section header types.
+inline constexpr std::uint32_t kShtNull = 0;
+inline constexpr std::uint32_t kShtProgbits = 1;
+inline constexpr std::uint32_t kShtStrtab = 3;
+inline constexpr std::uint32_t kShtNote = 7;
+inline constexpr std::uint32_t kShtDynamic = 6;
+inline constexpr std::uint32_t kShtDynsym = 11;
+inline constexpr std::uint32_t kShtGnuVerdef = 0x6ffffffd;   // SHT_GNU_verdef
+inline constexpr std::uint32_t kShtGnuVerneed = 0x6ffffffe;  // SHT_GNU_verneed
+inline constexpr std::uint32_t kShtGnuVersym = 0x6fffffff;   // SHT_GNU_versym
+
+// Program header types.
+inline constexpr std::uint32_t kPtLoad = 1;
+inline constexpr std::uint32_t kPtDynamic = 2;
+
+// Dynamic tags.
+inline constexpr std::int64_t kDtNull = 0;
+inline constexpr std::int64_t kDtNeeded = 1;
+inline constexpr std::int64_t kDtStrtab = 5;
+inline constexpr std::int64_t kDtSymtab = 6;
+inline constexpr std::int64_t kDtStrsz = 10;
+inline constexpr std::int64_t kDtSoname = 14;
+inline constexpr std::int64_t kDtRpath = 15;
+inline constexpr std::int64_t kDtRunpath = 29;
+inline constexpr std::int64_t kDtVerdef = 0x6ffffffc;
+inline constexpr std::int64_t kDtVerdefnum = 0x6ffffffd;
+inline constexpr std::int64_t kDtVerneed = 0x6ffffffe;
+inline constexpr std::int64_t kDtVerneednum = 0x6fffffff;
+
+// Symbol binding / type (st_info = bind << 4 | type).
+inline constexpr std::uint8_t kStbGlobal = 1;
+inline constexpr std::uint8_t kSttFunc = 2;
+inline constexpr std::uint8_t kSttObject = 1;
+inline constexpr std::uint16_t kShnUndef = 0;
+
+// .gnu.version special indices.
+inline constexpr std::uint16_t kVerNdxLocal = 0;
+inline constexpr std::uint16_t kVerNdxGlobal = 1;
+
+// Version revision used in verneed/verdef records.
+inline constexpr std::uint16_t kVerNeedCurrent = 1;
+inline constexpr std::uint16_t kVerDefCurrent = 1;
+// vd_flags for the "base" verdef entry that names the file itself.
+inline constexpr std::uint16_t kVerFlgBase = 1;
+
+}  // namespace feam::elf

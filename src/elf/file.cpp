@@ -1,0 +1,401 @@
+#include "elf/file.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "elf/constants.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace feam::elf {
+
+namespace {
+
+using support::ByteReader;
+using support::Bytes;
+using support::Endian;
+using support::Result;
+
+struct Segment {
+  std::uint32_t type = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t vaddr = 0;
+  std::uint64_t filesz = 0;
+};
+
+struct Section {
+  std::string name;
+  std::uint32_t type = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t link = 0;
+  std::uint64_t entsize = 0;
+};
+
+// Everything the low-level walk discovers before the high-level fields are
+// assembled.
+struct Raw {
+  bool is64 = false;
+  Endian endian = Endian::kLittle;
+  std::uint16_t type = 0;
+  std::uint16_t machine = 0;
+  std::vector<Segment> segments;
+  std::vector<Section> sections;
+  std::map<std::int64_t, std::vector<std::uint64_t>> dynamic;  // tag -> values
+};
+
+std::optional<std::uint64_t> vaddr_to_offset(const Raw& raw, std::uint64_t vaddr) {
+  for (const Segment& seg : raw.segments) {
+    if (seg.type == kPtLoad && vaddr >= seg.vaddr &&
+        vaddr < seg.vaddr + seg.filesz) {
+      return seg.offset + (vaddr - seg.vaddr);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> dyn_value(const Raw& raw, std::int64_t tag) {
+  const auto it = raw.dynamic.find(tag);
+  if (it == raw.dynamic.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+}  // namespace
+
+bool looks_like_elf(const Bytes& data) {
+  return data.size() >= 4 && data[0] == kMagic[0] && data[1] == kMagic[1] &&
+         data[2] == kMagic[2] && data[3] == kMagic[3];
+}
+
+Result<ElfFile> ElfFile::parse(const Bytes& data) {
+  const auto fail = [](std::string msg) { return Result<ElfFile>::failure(std::move(msg)); };
+
+  if (!looks_like_elf(data)) return fail("not an ELF file (bad magic)");
+  if (data.size() < kEiNident) return fail("truncated e_ident");
+
+  Raw raw;
+  const std::uint8_t ei_class = data[kEiClass];
+  const std::uint8_t ei_data = data[kEiData];
+  if (ei_class != kClass32 && ei_class != kClass64) return fail("bad EI_CLASS");
+  if (ei_data != kData2Lsb && ei_data != kData2Msb) return fail("bad EI_DATA");
+  if (data[kEiVersion] != kEvCurrent) return fail("bad EI_VERSION");
+  raw.is64 = ei_class == kClass64;
+  raw.endian = ei_data == kData2Lsb ? Endian::kLittle : Endian::kBig;
+
+  ByteReader r(data, raw.endian);
+  const auto rd_addr = [&](std::size_t off) -> std::optional<std::uint64_t> {
+    if (raw.is64) return r.u64(off);
+    const auto v = r.u32(off);
+    if (!v) return std::nullopt;
+    return *v;
+  };
+  const std::size_t asz = raw.is64 ? 8 : 4;  // address field size
+
+  // ELF header (field offsets relative to e_ident end at 16).
+  std::size_t off = kEiNident;
+  const auto e_type = r.u16(off);
+  const auto e_machine = r.u16(off + 2);
+  off += 8;  // e_type, e_machine, e_version
+  const auto e_entry = rd_addr(off);
+  const auto e_phoff = rd_addr(off + asz);
+  const auto e_shoff = rd_addr(off + 2 * asz);
+  off += 3 * asz + 4;  // addrs + e_flags
+  const auto e_phentsize = r.u16(off + 2);
+  const auto e_phnum = r.u16(off + 4);
+  const auto e_shentsize = r.u16(off + 6);
+  const auto e_shnum = r.u16(off + 8);
+  const auto e_shstrndx = r.u16(off + 10);
+  if (!e_type || !e_machine || !e_entry || !e_phoff || !e_shoff ||
+      !e_phentsize || !e_phnum || !e_shentsize || !e_shnum || !e_shstrndx) {
+    return fail("truncated ELF header");
+  }
+  raw.type = *e_type;
+  raw.machine = *e_machine;
+
+  ElfFile out;
+  out.file_size_ = data.size();
+  switch (raw.machine) {
+    case kEm386: out.isa_ = Isa::kX86; break;
+    case kEmX86_64: out.isa_ = Isa::kX86_64; break;
+    case kEmPpc: out.isa_ = Isa::kPpc; break;
+    case kEmPpc64: out.isa_ = Isa::kPpc64; break;
+    case kEmAarch64: out.isa_ = Isa::kAarch64; break;
+    default: return fail("unsupported e_machine " + std::to_string(raw.machine));
+  }
+  // Cross-check the header class/endianness against the machine.
+  if ((isa_bits(out.isa_) == 64) != raw.is64) {
+    return fail("EI_CLASS inconsistent with e_machine");
+  }
+  if (isa_endian(out.isa_) != raw.endian) {
+    return fail("EI_DATA inconsistent with e_machine");
+  }
+  if (raw.type == kEtExec) {
+    out.kind_ = FileKind::kExecutable;
+  } else if (raw.type == kEtDyn) {
+    out.kind_ = FileKind::kSharedObject;
+  } else {
+    return fail("unsupported e_type " + std::to_string(raw.type));
+  }
+
+  // Program headers.
+  for (std::uint16_t i = 0; i < *e_phnum; ++i) {
+    const std::size_t p = static_cast<std::size_t>(*e_phoff) +
+                          static_cast<std::size_t>(i) * *e_phentsize;
+    Segment seg;
+    const auto p_type = r.u32(p);
+    if (!p_type) return fail("truncated program header");
+    seg.type = *p_type;
+    if (raw.is64) {
+      const auto o = r.u64(p + 8), v = r.u64(p + 16), fs = r.u64(p + 32);
+      if (!o || !v || !fs) return fail("truncated program header");
+      seg.offset = *o; seg.vaddr = *v; seg.filesz = *fs;
+    } else {
+      const auto o = r.u32(p + 4), v = r.u32(p + 8), fs = r.u32(p + 16);
+      if (!o || !v || !fs) return fail("truncated program header");
+      seg.offset = *o; seg.vaddr = *v; seg.filesz = *fs;
+    }
+    raw.segments.push_back(seg);
+  }
+
+  // Section headers (names resolved through shstrtab).
+  std::vector<Section> headers;
+  for (std::uint16_t i = 0; i < *e_shnum; ++i) {
+    const std::size_t s = static_cast<std::size_t>(*e_shoff) +
+                          static_cast<std::size_t>(i) * *e_shentsize;
+    Section sec;
+    const auto name = r.u32(s);
+    const auto type = r.u32(s + 4);
+    if (!name || !type) return fail("truncated section header");
+    sec.type = *type;
+    std::optional<std::uint64_t> so, ss, es;
+    std::optional<std::uint32_t> link;
+    if (raw.is64) {
+      so = r.u64(s + 24);
+      ss = r.u64(s + 32);
+      link = r.u32(s + 40);
+      es = r.u64(s + 56);
+    } else {
+      const auto so32 = r.u32(s + 16), ss32 = r.u32(s + 20), es32 = r.u32(s + 36);
+      link = r.u32(s + 24);
+      if (so32) so = *so32;
+      if (ss32) ss = *ss32;
+      if (es32) es = *es32;
+    }
+    if (!so || !ss || !link || !es) return fail("truncated section header");
+    sec.offset = *so;
+    sec.size = *ss;
+    sec.link = *link;
+    sec.entsize = *es;
+    sec.name = std::to_string(*name);  // placeholder: resolved below
+    headers.push_back(sec);
+    // Remember the raw name offset in `link`-independent storage:
+    headers.back().name = "#" + std::to_string(*name);
+  }
+  if (*e_shstrndx < headers.size()) {
+    const Section& shstr = headers[*e_shstrndx];
+    for (Section& sec : headers) {
+      const std::uint64_t name_off = std::stoull(sec.name.substr(1));
+      const auto resolved = r.cstr(static_cast<std::size_t>(shstr.offset + name_off));
+      sec.name = resolved.value_or("");
+    }
+  }
+  raw.sections = std::move(headers);
+
+  // Dynamic segment.
+  const Segment* dyn_seg = nullptr;
+  for (const Segment& seg : raw.segments) {
+    if (seg.type == kPtDynamic) dyn_seg = &seg;
+  }
+  if (dyn_seg != nullptr) {
+    out.has_dynamic_ = true;
+    const std::size_t entsize = raw.is64 ? 16 : 8;
+    for (std::uint64_t p = dyn_seg->offset; p + entsize <= dyn_seg->offset + dyn_seg->filesz;
+         p += entsize) {
+      std::int64_t tag;
+      std::uint64_t value;
+      if (raw.is64) {
+        const auto t = r.u64(static_cast<std::size_t>(p));
+        const auto v = r.u64(static_cast<std::size_t>(p + 8));
+        if (!t || !v) return fail("truncated dynamic entry");
+        tag = static_cast<std::int64_t>(*t);
+        value = *v;
+      } else {
+        const auto t = r.u32(static_cast<std::size_t>(p));
+        const auto v = r.u32(static_cast<std::size_t>(p + 4));
+        if (!t || !v) return fail("truncated dynamic entry");
+        tag = static_cast<std::int32_t>(*t);
+        value = *v;
+      }
+      if (tag == kDtNull) break;
+      raw.dynamic[tag].push_back(value);
+    }
+  }
+
+  // Resolve dynamic string references.
+  const auto strtab_vaddr = dyn_value(raw, kDtStrtab);
+  std::optional<std::uint64_t> strtab_off;
+  if (strtab_vaddr) strtab_off = vaddr_to_offset(raw, *strtab_vaddr);
+  const auto dyn_str = [&](std::uint64_t stroff) -> std::optional<std::string> {
+    if (!strtab_off) return std::nullopt;
+    return r.cstr(static_cast<std::size_t>(*strtab_off + stroff));
+  };
+
+  if (out.has_dynamic_) {
+    if (const auto it = raw.dynamic.find(kDtNeeded); it != raw.dynamic.end()) {
+      for (const std::uint64_t v : it->second) {
+        auto s = dyn_str(v);
+        if (!s) return fail("DT_NEEDED string out of range");
+        out.needed_.push_back(std::move(*s));
+      }
+    }
+    if (const auto v = dyn_value(raw, kDtSoname)) {
+      auto s = dyn_str(*v);
+      if (!s) return fail("DT_SONAME string out of range");
+      out.soname_ = std::move(*s);
+    }
+    for (const std::int64_t tag : {kDtRpath, kDtRunpath}) {
+      if (const auto v = dyn_value(raw, tag)) {
+        auto s = dyn_str(*v);
+        if (!s) return fail("DT_RPATH string out of range");
+        for (auto& part : support::split(*s, ':')) {
+          if (!part.empty()) out.rpath_.push_back(std::move(part));
+        }
+      }
+    }
+  }
+
+  // Verneed: walk records, translating through the loader view.
+  // vernaux index -> "file:version" for symbol annotation below.
+  std::map<std::uint16_t, std::pair<std::string, std::string>> version_by_index;
+  if (const auto vn_vaddr = dyn_value(raw, kDtVerneed)) {
+    const auto vn_num = dyn_value(raw, kDtVerneednum).value_or(0);
+    auto pos = vaddr_to_offset(raw, *vn_vaddr);
+    if (!pos) return fail("DT_VERNEED outside any segment");
+    std::uint64_t rec = *pos;
+    for (std::uint64_t i = 0; i < vn_num; ++i) {
+      const auto vn_version = r.u16(static_cast<std::size_t>(rec));
+      const auto vn_cnt = r.u16(static_cast<std::size_t>(rec + 2));
+      const auto vn_file = r.u32(static_cast<std::size_t>(rec + 4));
+      const auto vn_aux = r.u32(static_cast<std::size_t>(rec + 8));
+      const auto vn_next = r.u32(static_cast<std::size_t>(rec + 12));
+      if (!vn_version || !vn_cnt || !vn_file || !vn_aux || !vn_next) {
+        return fail("truncated verneed record");
+      }
+      if (*vn_version != kVerNeedCurrent) return fail("bad verneed revision");
+      auto file = dyn_str(*vn_file);
+      if (!file) return fail("verneed file string out of range");
+      ElfSpec::VersionNeed need{*file, {}};
+      std::uint64_t aux = rec + *vn_aux;
+      for (std::uint16_t j = 0; j < *vn_cnt; ++j) {
+        const auto vna_other = r.u16(static_cast<std::size_t>(aux + 6));
+        const auto vna_name = r.u32(static_cast<std::size_t>(aux + 8));
+        const auto vna_next = r.u32(static_cast<std::size_t>(aux + 12));
+        if (!vna_other || !vna_name || !vna_next) return fail("truncated vernaux");
+        auto vname = dyn_str(*vna_name);
+        if (!vname) return fail("vernaux name string out of range");
+        version_by_index[*vna_other] = {*file, *vname};
+        need.versions.push_back(std::move(*vname));
+        if (*vna_next == 0) break;
+        aux += *vna_next;
+      }
+      out.version_refs_.push_back(std::move(need));
+      if (*vn_next == 0) break;
+      rec += *vn_next;
+    }
+  }
+
+  // Verdef.
+  if (const auto vd_vaddr = dyn_value(raw, kDtVerdef)) {
+    const auto vd_num = dyn_value(raw, kDtVerdefnum).value_or(0);
+    auto pos = vaddr_to_offset(raw, *vd_vaddr);
+    if (!pos) return fail("DT_VERDEF outside any segment");
+    std::uint64_t rec = *pos;
+    for (std::uint64_t i = 0; i < vd_num; ++i) {
+      const auto vd_version = r.u16(static_cast<std::size_t>(rec));
+      const auto vd_flags = r.u16(static_cast<std::size_t>(rec + 2));
+      const auto vd_ndx = r.u16(static_cast<std::size_t>(rec + 4));
+      const auto vd_aux = r.u32(static_cast<std::size_t>(rec + 12));
+      const auto vd_next = r.u32(static_cast<std::size_t>(rec + 16));
+      if (!vd_version || !vd_flags || !vd_ndx || !vd_aux || !vd_next) {
+        return fail("truncated verdef record");
+      }
+      if (*vd_version != kVerDefCurrent) return fail("bad verdef revision");
+      const auto vda_name = r.u32(static_cast<std::size_t>(rec + *vd_aux));
+      if (!vda_name) return fail("truncated verdaux");
+      auto name = dyn_str(*vda_name);
+      if (!name) return fail("verdaux name string out of range");
+      if ((*vd_flags & kVerFlgBase) == 0) {
+        version_by_index[*vd_ndx] = {out.soname_.value_or(""), *name};
+        out.version_defs_.push_back(std::move(*name));
+      }
+      if (*vd_next == 0) break;
+      rec += *vd_next;
+    }
+  }
+
+  // Sections: .comment, .note.feam.abi, .dynsym + .gnu.version.
+  const Section* dynsym_sec = nullptr;
+  const Section* versym_sec = nullptr;
+  for (const Section& sec : raw.sections) {
+    if (sec.name == ".comment" && sec.type == kShtProgbits) {
+      std::uint64_t p = sec.offset;
+      const std::uint64_t end = sec.offset + sec.size;
+      while (p < end) {
+        const auto s = r.cstr(static_cast<std::size_t>(p));
+        if (!s) break;
+        if (!s->empty()) out.comments_.push_back(*s);
+        p += s->size() + 1;
+      }
+    } else if (sec.name == ".note.feam.abi" && sec.type == kShtNote) {
+      const auto namesz = r.u32(static_cast<std::size_t>(sec.offset));
+      const auto descsz = r.u32(static_cast<std::size_t>(sec.offset + 4));
+      if (namesz && descsz) {
+        const std::uint64_t name_end = sec.offset + 12 + ((*namesz + 3) & ~3u);
+        const auto body = r.cstr(static_cast<std::size_t>(name_end));
+        if (body) {
+          if (const auto json = support::Json::parse(*body)) {
+            AbiNote note;
+            note.compiler_family = json->get_string("compiler_family");
+            note.compiler_version = json->get_string("compiler_version");
+            note.mpi_impl = json->get_string("mpi_impl");
+            note.mpi_version = json->get_string("mpi_version");
+            note.abi_fingerprint =
+                static_cast<std::uint32_t>(json->get_int("abi_fingerprint"));
+            note.fp_model = static_cast<std::uint32_t>(json->get_int("fp_model"));
+            out.abi_note_ = std::move(note);
+          }
+        }
+      }
+    } else if (sec.name == ".dynsym" && sec.type == kShtDynsym) {
+      dynsym_sec = &sec;
+    } else if (sec.name == ".gnu.version" && sec.type == kShtGnuVersym) {
+      versym_sec = &sec;
+    }
+  }
+
+  if (dynsym_sec != nullptr && dynsym_sec->entsize > 0) {
+    const std::uint64_t count = dynsym_sec->size / dynsym_sec->entsize;
+    for (std::uint64_t i = 1; i < count; ++i) {  // skip the null symbol
+      const std::size_t p = static_cast<std::size_t>(
+          dynsym_sec->offset + i * dynsym_sec->entsize);
+      const auto st_name = r.u32(p);
+      const auto st_shndx = raw.is64 ? r.u16(p + 6) : r.u16(p + 14);
+      if (!st_name || !st_shndx) return fail("truncated dynsym entry");
+      DynSymbol sym;
+      if (const auto n = dyn_str(*st_name)) sym.name = *n;
+      sym.defined = *st_shndx != kShnUndef;
+      if (versym_sec != nullptr) {
+        const auto vs = r.u16(static_cast<std::size_t>(versym_sec->offset + i * 2));
+        if (vs && *vs >= 2) {
+          const auto it = version_by_index.find(*vs);
+          if (it != version_by_index.end()) sym.version = it->second.second;
+        }
+      }
+      out.symbols_.push_back(std::move(sym));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace feam::elf

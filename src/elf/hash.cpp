@@ -1,0 +1,16 @@
+#include "elf/hash.hpp"
+
+namespace feam::elf {
+
+std::uint32_t elf_hash(std::string_view name) {
+  std::uint32_t h = 0;
+  for (const char c : name) {
+    h = (h << 4) + static_cast<unsigned char>(c);
+    const std::uint32_t g = h & 0xf0000000u;
+    if (g != 0) h ^= g >> 24;
+    h &= ~g;
+  }
+  return h;
+}
+
+}  // namespace feam::elf

@@ -1,0 +1,13 @@
+// The System V `elf_hash` function, used to fill the vna_hash / vd_hash
+// fields of GNU version records (the dynamic linker uses it to match
+// version names without string comparison on the fast path).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace feam::elf {
+
+std::uint32_t elf_hash(std::string_view name);
+
+}  // namespace feam::elf

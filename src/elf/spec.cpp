@@ -1,0 +1,71 @@
+#include "elf/spec.hpp"
+
+#include <algorithm>
+
+namespace feam::elf {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kX86: return "i386";
+    case Isa::kX86_64: return "x86-64";
+    case Isa::kPpc: return "powerpc";
+    case Isa::kPpc64: return "powerpc64";
+    case Isa::kAarch64: return "aarch64";
+  }
+  return "unknown";
+}
+
+int isa_bits(Isa isa) {
+  switch (isa) {
+    case Isa::kX86:
+    case Isa::kPpc:
+      return 32;
+    case Isa::kX86_64:
+    case Isa::kPpc64:
+    case Isa::kAarch64:
+      return 64;
+  }
+  return 0;
+}
+
+support::Endian isa_endian(Isa isa) {
+  switch (isa) {
+    case Isa::kPpc:
+    case Isa::kPpc64:
+      return support::Endian::kBig;
+    case Isa::kX86:
+    case Isa::kX86_64:
+    case Isa::kAarch64:
+      return support::Endian::kLittle;
+  }
+  return support::Endian::kLittle;
+}
+
+bool isa_executable_on(Isa binary_isa, Isa host_isa) {
+  if (binary_isa == host_isa) return true;
+  // 64-bit hosts of the same family run 32-bit binaries (multilib).
+  if (binary_isa == Isa::kX86 && host_isa == Isa::kX86_64) return true;
+  if (binary_isa == Isa::kPpc && host_isa == Isa::kPpc64) return true;
+  return false;
+}
+
+std::vector<ElfSpec::VersionNeed> ElfSpec::version_needs() const {
+  std::vector<VersionNeed> needs;
+  for (const UndefinedSymbol& sym : undefined_symbols) {
+    if (sym.version.empty()) continue;
+    auto it = std::find_if(needs.begin(), needs.end(), [&](const VersionNeed& n) {
+      return n.file == sym.from_lib;
+    });
+    if (it == needs.end()) {
+      needs.push_back({sym.from_lib, {}});
+      it = std::prev(needs.end());
+    }
+    if (std::find(it->versions.begin(), it->versions.end(), sym.version) ==
+        it->versions.end()) {
+      it->versions.push_back(sym.version);
+    }
+  }
+  return needs;
+}
+
+}  // namespace feam::elf

@@ -1,0 +1,119 @@
+// High-level description of an ELF binary's linking metadata.
+//
+// The simulated toolchain produces an ElfSpec for each compiled program or
+// shared library; ElfImageBuilder serializes it into a structurally valid
+// ELF image, and ElfFile parses such images back. FEAM itself never sees an
+// ElfSpec — it only sees bytes, exactly as the real tool only saw files on
+// disk. Round-tripping spec -> bytes -> parse is the contract tested in
+// tests/elf/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/byte_io.hpp"
+
+namespace feam::elf {
+
+// Instruction-set architectures present in the paper's testbed plus one
+// extra (AArch64) used for negative testing of the ISA determinant.
+enum class Isa : std::uint8_t { kX86, kX86_64, kPpc, kPpc64, kAarch64 };
+
+enum class FileKind : std::uint8_t { kExecutable, kSharedObject };
+
+const char* isa_name(Isa isa);
+int isa_bits(Isa isa);
+support::Endian isa_endian(Isa isa);
+// True when a binary compiled for `binary_isa` can execute on hardware of
+// `host_isa`: exact match, or 32-bit x86 on an x86-64 host (multilib), or
+// 32-bit ppc on ppc64. This is the ground truth the ISA determinant of the
+// prediction model approximates.
+bool isa_executable_on(Isa binary_isa, Isa host_isa);
+
+// One undefined (imported) symbol, optionally bound to a version of the
+// library expected to provide it, e.g. {"memcpy", "GLIBC_2.3.4", "libc.so.6"}.
+struct UndefinedSymbol {
+  std::string name;
+  std::string version;   // empty -> unversioned reference
+  std::string from_lib;  // which DT_NEEDED file the version belongs to
+};
+
+// One defined (exported) symbol, optionally tagged with the version node it
+// belongs to, e.g. {"MPI_Init", "", ...} or {"memmove", "GLIBC_2.0"}.
+struct DefinedSymbol {
+  std::string name;
+  std::string version;  // empty -> base/global version
+};
+
+// Simulation stand-in for properties that live in machine code on a real
+// system: the compiler runtime ABI fingerprint and floating-point model.
+// Serialized into a `.note.feam.abi` SHT_NOTE section so they are carried
+// *inside the file* (migrating the file migrates them), but FEAM's
+// prediction model never reads this note — exactly as the paper's FEAM
+// could not see ABI breaks statically and needed hello-world runs to catch
+// them (Section VI.C).
+struct AbiNote {
+  std::string compiler_family;   // "GNU", "Intel", "PGI"
+  std::string compiler_version;  // "4.1.2"
+  std::string mpi_impl;          // "openmpi" / "mpich2" / "mvapich2"; empty if none
+  std::string mpi_version;       // "1.4.3"
+  std::uint32_t abi_fingerprint = 0;  // link-level ABI of the runtime libs
+  std::uint32_t fp_model = 0;         // floating point contract tag
+};
+
+struct ElfSpec {
+  Isa isa = Isa::kX86_64;
+  FileKind kind = FileKind::kExecutable;
+
+  // Statically linked executable: no PT_DYNAMIC, no dynamic sections at
+  // all (needed/soname/version fields are ignored). `ldd` reports such
+  // binaries as "not a dynamic executable" and FEAM's shared-library and
+  // MPI-stack determinants have nothing to check — which is exactly why
+  // the paper's scientists wanted static binaries and often could not
+  // have them (Section VI.C).
+  bool static_link = false;
+
+  // DT_SONAME, for shared objects ("libmpi.so.0").
+  std::string soname;
+
+  // DT_NEEDED entries in link order ("libc.so.6", "libmpi.so.0", ...).
+  std::vector<std::string> needed;
+
+  // DT_RPATH entries (colon-joined at serialization time, as ld does).
+  std::vector<std::string> rpath;
+
+  // Version definitions this object provides (verdef), e.g. glibc defines
+  // {"GLIBC_2.0", ..., "GLIBC_2.5"}. The object's soname is always emitted
+  // as the base definition.
+  std::vector<std::string> version_definitions;
+
+  // Exported symbols (dynsym, defined).
+  std::vector<DefinedSymbol> defined_symbols;
+
+  // Imported symbols (dynsym, undefined). Versioned imports produce the
+  // .gnu.version_r (verneed) section grouped by from_lib.
+  std::vector<UndefinedSymbol> undefined_symbols;
+
+  // .comment strings, e.g. "GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)".
+  std::vector<std::string> comments;
+
+  // Synthetic .text payload: size in bytes and a seed for deterministic
+  // filler content. Sized realistically so bundle accounting (paper
+  // Section VI.C, ~45M bundles) is meaningful.
+  std::uint64_t text_size = 4096;
+  std::uint64_t content_seed = 1;
+
+  std::optional<AbiNote> abi;
+
+  // Derived: the "Version References" view FEAM computes — all versions
+  // grouped by library file, in first-appearance order.
+  struct VersionNeed {
+    std::string file;
+    std::vector<std::string> versions;
+  };
+  std::vector<VersionNeed> version_needs() const;
+};
+
+}  // namespace feam::elf

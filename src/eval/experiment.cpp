@@ -1,0 +1,237 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "feam/bdc.hpp"
+#include "feam/identify.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::eval {
+
+namespace {
+
+using site::Site;
+
+// The module name provisioning registers for a stack.
+std::string module_name_of(const site::MpiStackInstall& stack) {
+  return std::string(site::mpi_impl_slug(stack.impl)) + "/" +
+         stack.version.str() + "-" + site::compiler_slug(stack.compiler);
+}
+
+// The naive "matching MPI implementation" stack choice a scientist makes
+// before FEAM is involved: same implementation, preferring the compiler
+// the binary was built with. Returns the chosen module name.
+std::optional<std::string> choose_matching_module(
+    const Site& target, site::MpiImpl impl,
+    site::CompilerFamily preferred_compiler) {
+  const site::MpiStackInstall* fallback = nullptr;
+  for (const auto& stack : target.stacks) {
+    if (stack.impl != impl || !stack.advertised) continue;
+    if (stack.compiler == preferred_compiler) return module_name_of(stack);
+    if (fallback == nullptr) fallback = &stack;
+  }
+  if (fallback != nullptr) return module_name_of(*fallback);
+  return std::nullopt;
+}
+
+bool impl_available(const Site& target, site::MpiImpl impl) {
+  return std::any_of(target.stacks.begin(), target.stacks.end(),
+                     [&](const auto& stack) { return stack.impl == impl; });
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentOptions options)
+    : options_(std::move(options)),
+      sites_(toolchain::make_testbed(options_.fault_seed)) {}
+
+Experiment::~Experiment() = default;
+
+Site& Experiment::site(std::string_view name) {
+  for (const auto& s : sites_) {
+    if (s->name == name) return *s;
+  }
+  throw std::invalid_argument("no such site: " + std::string(name));
+}
+
+void Experiment::build_test_set() {
+  test_set_.clear();
+  for (const auto& s : sites_) {
+    for (const auto& stack : s->stacks) {
+      for (const auto& workload : workloads::all_workloads()) {
+        if (!options_.only_benchmarks.empty() &&
+            std::find(options_.only_benchmarks.begin(),
+                      options_.only_benchmarks.end(),
+                      workload.program.name) ==
+                options_.only_benchmarks.end()) {
+          continue;
+        }
+        // Paper VI.A attrition: combinations that did not compile.
+        if (!workloads::combination_viable(workload.program, workload.suite,
+                                           stack, s->name)) {
+          continue;
+        }
+        const std::string path = "/home/user/apps/" + workload.program.name +
+                                 "." + stack.slug();
+        const auto compiled =
+            toolchain::compile_mpi_program(*s, workload.program, stack, path);
+        if (!compiled.ok()) continue;
+
+        // Paper VI.A: binaries that would not run at the site where they
+        // were compiled are excluded too.
+        s->unload_all_modules();
+        s->load_module(module_name_of(stack));
+        const auto home_run = toolchain::mpiexec_with_retries(
+            *s, path, options_.ranks, {}, options_.retry_attempts);
+        s->unload_all_modules();
+        if (!home_run.success()) {
+          s->vfs.remove(path);
+          continue;
+        }
+        test_set_.push_back({workload, s->name, stack, path});
+      }
+    }
+  }
+}
+
+std::size_t Experiment::test_set_size(std::string_view suite) const {
+  return static_cast<std::size_t>(
+      std::count_if(test_set_.begin(), test_set_.end(),
+                    [&](const TestBinary& b) { return b.workload.suite == suite; }));
+}
+
+void Experiment::migrate_one(const TestBinary& binary, Site& target) {
+  Site& home = site(binary.home_site);
+
+  MigrationResult result;
+  result.binary_name = binary.workload.program.name + "." + binary.stack.slug();
+  result.suite = binary.workload.suite;
+  result.home_site = binary.home_site;
+  result.target_site = target.name;
+
+  // --- migrate the binary bytes.
+  const support::Bytes* content = home.vfs.read(binary.path);
+  if (content == nullptr) return;
+  const std::string migrated_path =
+      "/home/user/migrated/" + result.binary_name + "." + binary.home_site;
+  target.vfs.write_file(migrated_path, *content);
+
+  // --- FEAM basic prediction: target phase only.
+  feam::FeamConfig config;
+  config.hello_world_ranks = options_.ranks;
+  feam::TecOptions basic_opts;
+  basic_opts.apply_resolution = false;
+  basic_opts.run_usability_tests = options_.run_usability_tests;
+  const auto basic =
+      feam::run_target_phase(target, migrated_path, nullptr, config, basic_opts);
+  result.basic_ready = basic.ok() && basic.value().prediction.ready;
+
+  // Cross-check the paper's 100%-accurate MPI-availability claim.
+  if (basic.ok() && basic.value().application.mpi_impl) {
+    const bool feam_says_available =
+        basic.value().prediction.determinant(feam::DeterminantKind::kMpiStack)
+                ->detail.find("no ") != 0 ||
+        basic.value().prediction.determinant(feam::DeterminantKind::kMpiStack)
+            ->compatible;
+    const bool truly_available =
+        impl_available(target, *basic.value().application.mpi_impl);
+    // "Available" per FEAM = at least one matching stack discovered; the
+    // determinant can still fail for usability reasons.
+    if (feam_says_available != truly_available &&
+        basic.value()
+            .prediction.determinant(feam::DeterminantKind::kMpiStack)
+            ->evaluated) {
+      mpi_matching_correct_ = false;
+    }
+  }
+
+  // --- FEAM extended prediction: source phase + target phase. The source
+  // phase runs in the guaranteed execution environment — the shell
+  // configured to run the binary, i.e. with its stack's module loaded.
+  feam::TecOptions ext_opts;
+  ext_opts.resolution_root = "/home/user/feam_resolved";
+  ext_opts.recursive_copy_validation = options_.recursive_copy_validation;
+  ext_opts.apply_resolution = options_.apply_resolution;
+  ext_opts.run_usability_tests = options_.run_usability_tests;
+  home.unload_all_modules();
+  home.load_module(module_name_of(binary.stack));
+  const auto source = feam::run_source_phase(home, binary.path, config);
+  home.unload_all_modules();
+  std::optional<feam::TargetPhaseOutput> extended;
+  if (source.ok()) {
+    auto r = feam::run_target_phase(target, migrated_path, &source.value(),
+                                    config, ext_opts);
+    if (r.ok()) extended = std::move(r).take();
+  }
+  if (extended) {
+    result.extended_ready = extended->prediction.ready;
+    result.extended_prediction = extended->prediction;
+    result.missing_library_count = extended->prediction.missing_libraries.size();
+    result.resolved_library_count =
+        extended->prediction.resolved_libraries.size();
+  }
+
+  // --- actual execution, before resolution (the naive user).
+  target.unload_all_modules();
+  const auto module = choose_matching_module(target, binary.stack.impl,
+                                             binary.stack.compiler);
+  if (module) {
+    target.load_module(*module);
+    const auto run = toolchain::mpiexec_with_retries(
+        target, migrated_path, options_.ranks, {}, options_.retry_attempts);
+    result.success_before_resolution = run.success();
+    result.status_before = run.status;
+    target.unload_all_modules();
+  } else {
+    result.status_before = toolchain::RunStatus::kNoMpiStackSelected;
+  }
+
+  // --- actual execution, after resolution (following FEAM's script).
+  if (extended && extended->prediction.selected_stack_id) {
+    const auto extra =
+        feam::Tec::apply_configuration(target, extended->prediction);
+    const auto run = toolchain::mpiexec_with_retries(
+        target, migrated_path, options_.ranks, extra, options_.retry_attempts);
+    result.success_after_resolution = run.success();
+    result.status_after = run.status;
+    target.unload_all_modules();
+  } else if (module) {
+    // FEAM produced no configuration; the user's naive run stands.
+    result.success_after_resolution = result.success_before_resolution;
+    result.status_after = result.status_before;
+  } else {
+    result.status_after = toolchain::RunStatus::kNoMpiStackSelected;
+  }
+
+  // --- cleanup: leave the target as we found it.
+  target.vfs.remove(migrated_path);
+  for (const auto& dir : result.extended_prediction.resolution_dirs) {
+    target.vfs.remove(dir);
+  }
+  target.vfs.remove("/home/user/feam_resolved");
+
+  results_.push_back(std::move(result));
+}
+
+void Experiment::run() {
+  results_.clear();
+  skipped_no_impl_ = 0;
+  for (const auto& binary : test_set_) {
+    for (const auto& target : sites_) {
+      if (target->name == binary.home_site) continue;
+      // Paper VI.B: results are only reported for target sites with a
+      // matching MPI implementation — elsewhere there is no potential for
+      // successful execution (and FEAM assessed availability with 100%
+      // accuracy).
+      if (!impl_available(*target, binary.stack.impl)) {
+        ++skipped_no_impl_;
+        continue;
+      }
+      migrate_one(binary, *target);
+    }
+  }
+}
+
+}  // namespace feam::eval

@@ -1,0 +1,170 @@
+#include "eval/tables.hpp"
+
+#include <cstdio>
+
+#include "support/table.hpp"
+
+namespace feam::eval {
+
+namespace {
+std::string pct(double value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.0f%%", value);
+  return buf;
+}
+}  // namespace
+
+Table3 compute_table3(const std::vector<MigrationResult>& results) {
+  Table3 t;
+  for (const auto& r : results) {
+    AccuracyCell& basic = r.suite == "NAS" ? t.basic_nas : t.basic_spec;
+    AccuracyCell& extended = r.suite == "NAS" ? t.extended_nas : t.extended_spec;
+    ++basic.total;
+    ++extended.total;
+    basic.correct += r.basic_correct();
+    extended.correct += r.extended_correct();
+  }
+  return t;
+}
+
+std::string render_table3(const Table3& t) {
+  support::TextTable table({"", "Basic Prediction", "Extended Prediction"});
+  table.add_row({"NAS", pct(t.basic_nas.percent()), pct(t.extended_nas.percent())});
+  table.add_row({"SPEC", pct(t.basic_spec.percent()), pct(t.extended_spec.percent())});
+  std::string out = "TABLE III. ACCURACY OF PREDICTION MODEL\n" + table.render();
+  char detail[160];
+  std::snprintf(detail, sizeof detail,
+                "(NAS: %d/%d basic, %d/%d extended; SPEC: %d/%d basic, %d/%d "
+                "extended)\n",
+                t.basic_nas.correct, t.basic_nas.total, t.extended_nas.correct,
+                t.extended_nas.total, t.basic_spec.correct, t.basic_spec.total,
+                t.extended_spec.correct, t.extended_spec.total);
+  return out + detail;
+}
+
+Table4 compute_table4(const std::vector<MigrationResult>& results) {
+  Table4 t;
+  for (const auto& r : results) {
+    Table4Cell& cell = r.suite == "NAS" ? t.nas : t.spec;
+    ++cell.total;
+    cell.success_before += r.success_before_resolution;
+    cell.success_after += r.success_after_resolution;
+  }
+  return t;
+}
+
+std::string render_table4(const Table4& t) {
+  support::TextTable table(
+      {"", "Before Resolution", "After Resolution", "Increase"});
+  table.add_row({"NAS", pct(t.nas.before_percent()), pct(t.nas.after_percent()),
+                 pct(t.nas.increase_percent())});
+  table.add_row({"SPEC", pct(t.spec.before_percent()),
+                 pct(t.spec.after_percent()), pct(t.spec.increase_percent())});
+  std::string out = "TABLE IV. IMPACT OF RESOLUTION MODEL\n" + table.render();
+  char detail[160];
+  std::snprintf(detail, sizeof detail,
+                "(NAS: %d->%d of %d; SPEC: %d->%d of %d)\n",
+                t.nas.success_before, t.nas.success_after, t.nas.total,
+                t.spec.success_before, t.spec.success_after, t.spec.total);
+  return out + detail;
+}
+
+DeterminantBreakdown compute_determinants(
+    const std::vector<MigrationResult>& results) {
+  DeterminantBreakdown d;
+  for (const auto& r : results) {
+    ++d.total;
+    for (const auto& det : r.extended_prediction.determinants) {
+      if (det.evaluated && !det.compatible) {
+        ++d.failed_determinant[determinant_name(det.kind)];
+      }
+    }
+    if (!r.success_before_resolution) {
+      ++d.failure_status_before[toolchain::run_status_name(r.status_before)];
+    }
+    if (!r.success_after_resolution) {
+      ++d.failure_status_after[toolchain::run_status_name(r.status_after)];
+    }
+  }
+  return d;
+}
+
+std::string render_determinants(const DeterminantBreakdown& d) {
+  std::string out = "FIGURE 1 COMPANION: determinant failures across " +
+                    std::to_string(d.total) + " migrations\n";
+  support::TextTable det({"Determinant", "Predictions failed"});
+  for (const auto& [name, count] : d.failed_determinant) {
+    det.add_row({name, std::to_string(count)});
+  }
+  out += det.render();
+  out += "Actual failure causes (before resolution):\n";
+  support::TextTable before({"Run status", "Count"});
+  for (const auto& [name, count] : d.failure_status_before) {
+    before.add_row({name, std::to_string(count)});
+  }
+  out += before.render();
+  out += "Actual failure causes (after resolution):\n";
+  support::TextTable after({"Run status", "Count"});
+  for (const auto& [name, count] : d.failure_status_after) {
+    after.add_row({name, std::to_string(count)});
+  }
+  out += after.render();
+  return out;
+}
+
+std::string results_to_csv(const std::vector<MigrationResult>& results) {
+  const auto quote = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (const char c : field) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    return out + "\"";
+  };
+  std::string csv =
+      "binary,suite,home,target,basic_ready,extended_ready,"
+      "success_before,success_after,status_before,status_after,"
+      "missing_libraries,resolved_libraries\n";
+  for (const auto& r : results) {
+    csv += quote(r.binary_name) + "," + r.suite + "," + r.home_site + "," +
+           r.target_site + "," + (r.basic_ready ? "1" : "0") + "," +
+           (r.extended_ready ? "1" : "0") + "," +
+           (r.success_before_resolution ? "1" : "0") + "," +
+           (r.success_after_resolution ? "1" : "0") + "," +
+           quote(toolchain::run_status_name(r.status_before)) + "," +
+           quote(toolchain::run_status_name(r.status_after)) + "," +
+           std::to_string(r.missing_library_count) + "," +
+           std::to_string(r.resolved_library_count) + "\n";
+  }
+  return csv;
+}
+
+std::map<std::pair<std::string, std::string>, RouteCell> compute_route_matrix(
+    const std::vector<MigrationResult>& results) {
+  std::map<std::pair<std::string, std::string>, RouteCell> matrix;
+  for (const auto& r : results) {
+    RouteCell& cell = matrix[{r.home_site, r.target_site}];
+    ++cell.total;
+    cell.success_before += r.success_before_resolution;
+    cell.success_after += r.success_after_resolution;
+  }
+  return matrix;
+}
+
+std::string render_route_matrix(
+    const std::map<std::pair<std::string, std::string>, RouteCell>& matrix) {
+  support::TextTable table({"home -> target", "migrations",
+                            "success before", "success after"});
+  for (const auto& [route, cell] : matrix) {
+    table.add_row({route.first + " -> " + route.second,
+                   std::to_string(cell.total),
+                   std::to_string(cell.success_before) + " (" +
+                       pct(100.0 * cell.success_before / cell.total) + ")",
+                   std::to_string(cell.success_after) + " (" +
+                       pct(100.0 * cell.success_after / cell.total) + ")"});
+  }
+  return table.render();
+}
+
+}  // namespace feam::eval

@@ -1,0 +1,83 @@
+// Aggregation of migration results into the paper's tables and figures,
+// plus their text renderings (used by the bench/ binaries).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace feam::eval {
+
+struct AccuracyCell {
+  int correct = 0;
+  int total = 0;
+  double percent() const {
+    return total == 0 ? 0.0 : 100.0 * correct / total;
+  }
+};
+
+// Table III: accuracy of the prediction model.
+struct Table3 {
+  AccuracyCell basic_nas, basic_spec, extended_nas, extended_spec;
+};
+Table3 compute_table3(const std::vector<MigrationResult>& results);
+std::string render_table3(const Table3& t);
+
+// Table IV: impact of the resolution model.
+struct Table4Cell {
+  int success_before = 0;
+  int success_after = 0;
+  int total = 0;
+  double before_percent() const {
+    return total == 0 ? 0.0 : 100.0 * success_before / total;
+  }
+  double after_percent() const {
+    return total == 0 ? 0.0 : 100.0 * success_after / total;
+  }
+  // "increase in successful executions due to resolution" — the paper
+  // computes it relative to the before-resolution successes.
+  double increase_percent() const {
+    return success_before == 0
+               ? 0.0
+               : 100.0 * (success_after - success_before) / success_before;
+  }
+};
+struct Table4 {
+  Table4Cell nas, spec;
+};
+Table4 compute_table4(const std::vector<MigrationResult>& results);
+std::string render_table4(const Table4& t);
+
+// Figure 1 companion data: which determinant blocked execution, and the
+// run-status breakdown of actual failures.
+struct DeterminantBreakdown {
+  // determinant name -> number of extended predictions it failed in
+  std::map<std::string, int> failed_determinant;
+  // run-status name -> count over before-resolution executions
+  std::map<std::string, int> failure_status_before;
+  std::map<std::string, int> failure_status_after;
+  int total = 0;
+};
+DeterminantBreakdown compute_determinants(
+    const std::vector<MigrationResult>& results);
+std::string render_determinants(const DeterminantBreakdown& d);
+
+// Per-migration CSV export for downstream analysis (one header row, one
+// row per migration; fields are RFC-4180-quoted where needed).
+std::string results_to_csv(const std::vector<MigrationResult>& results);
+
+// Home-site x target-site success matrix (before/after resolution counts),
+// the route-level view behind Table IV.
+struct RouteCell {
+  int total = 0;
+  int success_before = 0;
+  int success_after = 0;
+};
+std::map<std::pair<std::string, std::string>, RouteCell> compute_route_matrix(
+    const std::vector<MigrationResult>& results);
+std::string render_route_matrix(
+    const std::map<std::pair<std::string, std::string>, RouteCell>& matrix);
+
+}  // namespace feam::eval

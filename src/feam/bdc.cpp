@@ -1,0 +1,168 @@
+#include "feam/bdc.hpp"
+
+#include <algorithm>
+
+#include "binutils/ldd.hpp"
+#include "binutils/objdump.hpp"
+#include "binutils/readelf.hpp"
+#include "feam/identify.hpp"
+#include "support/strings.hpp"
+#include "toolchain/glibc.hpp"
+
+namespace feam {
+
+namespace {
+
+using support::Version;
+
+// "GCC: (GNU) 4.1.2 (CentOS 4.9)" -> compiler "GCC: (GNU) 4.1.2",
+// build OS "CentOS 4.9". The trailing parenthetical carries the distro
+// stamp (Red Hat / SUSE compiler packages embed it).
+void parse_compiler_comment(const std::string& comment,
+                            BinaryDescription& out) {
+  const auto open = comment.rfind('(');
+  const auto close = comment.rfind(')');
+  if (open != std::string::npos && close != std::string::npos && close > open &&
+      close == comment.size() - 1 && open > 0) {
+    out.build_compiler = std::string(support::trim(comment.substr(0, open)));
+    out.build_os = comment.substr(open + 1, close - open - 1);
+  } else {
+    out.build_compiler = comment;
+  }
+}
+
+}  // namespace
+
+support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
+                                                 std::string_view path) {
+  using R = support::Result<BinaryDescription>;
+
+  const auto dump = binutils::objdump_p(s.vfs, path);
+  if (!dump.ok()) {
+    return R::failure("BDC: " + dump.error());
+  }
+  const auto parsed = binutils::parse_objdump_output(dump.value());
+  if (!parsed) {
+    return R::failure("BDC: could not interpret objdump output for " +
+                      std::string(path));
+  }
+
+  BinaryDescription d;
+  d.path = std::string(path);
+  d.file_format = parsed->file_format;
+  d.architecture = parsed->architecture;
+  d.bits = parsed->bits;
+  d.is_shared_library = parsed->is_shared_object;
+  d.required_libraries = parsed->needed;
+  if (parsed->soname) {
+    d.soname = parsed->soname;
+    d.library_version = soname_version(*parsed->soname);
+  }
+  for (const auto& ref : parsed->version_references) {
+    d.version_references.push_back({ref.file, ref.versions});
+  }
+
+  // Required C library version: the newest GLIBC_* node referenced
+  // anywhere (Version References); for libraries, their own Version
+  // Definitions can also carry GLIBC nodes (glibc satellites) — the paper
+  // considers both sections.
+  std::optional<Version> newest;
+  const auto consider = [&](const std::string& node) {
+    if (const auto v = toolchain::parse_glibc_version(node)) {
+      if (!newest || *v > *newest) newest = *v;
+    }
+  };
+  for (const auto& ref : parsed->version_references) {
+    for (const auto& version : ref.versions) consider(version);
+  }
+  for (const auto& def : parsed->version_definitions) consider(def);
+  d.required_clib_version = newest;
+
+  // .comment stamps.
+  if (const auto comments = binutils::readelf_p_comment(s.vfs, path);
+      comments.ok()) {
+    for (const auto& comment : binutils::parse_comment_dump(comments.value())) {
+      if (support::starts_with(comment, "GCC:") ||
+          support::starts_with(comment, "Intel") ||
+          support::starts_with(comment, "PGI")) {
+        parse_compiler_comment(comment, d);
+      } else if (const auto pos = comment.find("glibc ");
+                 pos != std::string::npos) {
+        d.build_clib_version = Version::parse(
+            support::trim(std::string_view(comment).substr(pos + 6)));
+      }
+    }
+  }
+
+  // For shared libraries, the library's own soname participates in the
+  // identification (an MPI implementation library identifies itself even
+  // though it does not link against another copy of itself).
+  std::vector<std::string> identity = d.required_libraries;
+  if (d.soname) identity.push_back(*d.soname);
+  d.mpi_impl = identify_mpi(identity);
+  return d;
+}
+
+std::vector<std::pair<std::string, std::optional<std::string>>>
+Bdc::locate_libraries(const site::Site& s, std::string_view path,
+                      const std::vector<std::string>& needed,
+                      std::string_view hello_world_path) {
+  std::vector<std::pair<std::string, std::optional<std::string>>> out;
+  for (const auto& name : needed) out.emplace_back(name, std::nullopt);
+
+  const auto fill_from_ldd = [&](std::string_view target) {
+    const auto text = binutils::ldd(s, target);
+    if (!text.ok()) return;
+    for (const auto& entry : binutils::parse_ldd_output(text.value())) {
+      if (!entry.path) continue;
+      for (auto& [name, location] : out) {
+        if (name == entry.name && !location) location = entry.path;
+      }
+    }
+  };
+
+  // Primary: ldd on the binary itself.
+  fill_from_ldd(path);
+
+  // Fallback 1: locate (filename index).
+  if (s.locate_available) {
+    for (auto& [name, location] : out) {
+      if (location) continue;
+      for (const auto& hit : s.vfs.locate(name)) {
+        if (site::Vfs::basename(hit) == name && s.vfs.is_file(hit)) {
+          location = s.vfs.resolve(hit).value_or(hit);
+          break;
+        }
+      }
+    }
+  }
+
+  // Fallback 2: find over common library locations + LD_LIBRARY_PATH.
+  std::vector<std::string> roots = {"/lib", "/lib64", "/usr/lib",
+                                    "/usr/lib64", "/usr/local/lib",
+                                    "/usr/local/lib64", "/opt"};
+  for (const auto& dir : s.env.ld_library_path()) roots.push_back(dir);
+  for (auto& [name, location] : out) {
+    if (location) continue;
+    for (const auto& root : roots) {
+      const auto hits =
+          s.vfs.find(root, [&](std::string_view base) { return base == name; });
+      for (const auto& hit : hits) {
+        if (s.vfs.is_file(hit)) {
+          location = s.vfs.resolve(hit).value_or(hit);
+          break;
+        }
+      }
+      if (location) break;
+    }
+  }
+
+  // Fallback 3: the ldd output of a locally compiled hello-world program
+  // reveals where commonly linked libraries live.
+  if (!hello_world_path.empty()) {
+    fill_from_ldd(hello_world_path);
+  }
+  return out;
+}
+
+}  // namespace feam

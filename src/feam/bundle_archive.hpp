@@ -1,0 +1,33 @@
+// On-disk form of a source-phase bundle: a single archive file the user
+// copies to each target site (paper Section V: "The output from a source
+// phase is bundled for the user and must be copied to each target site").
+//
+// Format (all integers little-endian):
+//   magic   "FEAMBNDL"            8 bytes
+//   version u32                   currently 1
+//   mlen    u32, manifest JSON    bundle + application + environment
+//                                 descriptions (no file contents)
+//   count   u32                   number of payload entries
+//   entries: nlen u32, name bytes, clen u32, content bytes
+// Payload entries carry library copies first (in manifest order), then
+// hello worlds. Unpacking validates the magic, version, bounds of every
+// length field, and consistency between manifest and payload.
+#pragma once
+
+#include "feam/bundle.hpp"
+#include "support/byte_io.hpp"
+#include "support/result.hpp"
+
+namespace feam {
+
+// Serializes the bundle into one archive blob. Deterministic: equal
+// bundles produce byte-identical archives.
+support::Bytes pack_bundle(const Bundle& bundle);
+
+// Parses an archive back. Fails on truncation, bad magic/version, or a
+// manifest/payload mismatch. The source_environment is restored only
+// partially (the fields the manifest carries); resolution and hello-world
+// tests need nothing more.
+support::Result<Bundle> unpack_bundle(const support::Bytes& archive);
+
+}  // namespace feam

@@ -1,0 +1,67 @@
+#include "feam/config.hpp"
+
+#include "support/strings.hpp"
+
+namespace feam {
+
+const std::string& FeamConfigFile::mpiexec_for(site::MpiImpl impl) const {
+  const auto it = mpiexec_by_type.find(impl);
+  return it != mpiexec_by_type.end() ? it->second : default_mpiexec;
+}
+
+std::string FeamConfigFile::render() const {
+  std::string out = "# FEAM configuration\n";
+  out += "serial_submission_script = " + serial_submission_script + "\n";
+  out += "parallel_submission_script = " + parallel_submission_script + "\n";
+  out += "hello_world_ranks = " + std::to_string(hello_world_ranks) + "\n";
+  out += "mpiexec = " + default_mpiexec + "\n";
+  for (const auto& [impl, command] : mpiexec_by_type) {
+    out += "mpiexec." + std::string(site::mpi_impl_slug(impl)) + " = " +
+           command + "\n";
+  }
+  return out;
+}
+
+std::optional<FeamConfigFile> FeamConfigFile::parse(std::string_view text) {
+  FeamConfigFile config;
+  for (const auto& raw_line : support::split(text, '\n')) {
+    const auto line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string key(support::trim(line.substr(0, eq)));
+    const std::string value(support::trim(line.substr(eq + 1)));
+    if (key.empty() || value.empty()) return std::nullopt;
+
+    if (key == "serial_submission_script") {
+      config.serial_submission_script = value;
+    } else if (key == "parallel_submission_script") {
+      config.parallel_submission_script = value;
+    } else if (key == "hello_world_ranks") {
+      try {
+        config.hello_world_ranks = std::stoi(value);
+      } catch (...) {
+        return std::nullopt;
+      }
+      if (config.hello_world_ranks < 1) return std::nullopt;
+    } else if (key == "mpiexec") {
+      config.default_mpiexec = value;
+    } else if (support::starts_with(key, "mpiexec.")) {
+      const std::string slug = key.substr(8);
+      bool known = false;
+      for (const auto impl : {site::MpiImpl::kOpenMpi, site::MpiImpl::kMpich2,
+                              site::MpiImpl::kMvapich2}) {
+        if (slug == site::mpi_impl_slug(impl)) {
+          config.mpiexec_by_type[impl] = value;
+          known = true;
+        }
+      }
+      if (!known) return std::nullopt;
+    } else {
+      return std::nullopt;  // unknown key: refuse to guess
+    }
+  }
+  return config;
+}
+
+}  // namespace feam

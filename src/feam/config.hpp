@@ -1,0 +1,43 @@
+// FEAM's user-supplied configuration file (paper Section V): before
+// running FEAM, the user specifies a serial and a parallel submission
+// script for the site — the only site knowledge FEAM requires — plus,
+// when a stack does not launch with plain `mpiexec`, the execution
+// command per MPI type (e.g. MVAPICH2 1.x clusters used `mpirun_rsh`).
+//
+// File format: "key = value" lines, '#' comments. Keys:
+//   serial_submission_script   = serial.pbs
+//   parallel_submission_script = parallel.pbs
+//   hello_world_ranks          = 2
+//   mpiexec                    = mpiexec           (default command)
+//   mpiexec.openmpi            = orterun           (per-type override)
+//   mpiexec.mvapich2           = mpirun_rsh
+//   mpiexec.mpich2             = mpiexec
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "site/ids.hpp"
+
+namespace feam {
+
+struct FeamConfigFile {
+  std::string serial_submission_script = "serial.pbs";
+  std::string parallel_submission_script = "parallel.pbs";
+  int hello_world_ranks = 2;
+  std::string default_mpiexec = "mpiexec";
+  std::map<site::MpiImpl, std::string> mpiexec_by_type;
+
+  // The launch command for a given implementation (per-type override or
+  // the default).
+  const std::string& mpiexec_for(site::MpiImpl impl) const;
+
+  std::string render() const;
+  // nullopt on malformed lines or unknown keys (FEAM refuses to guess at
+  // user configuration).
+  static std::optional<FeamConfigFile> parse(std::string_view text);
+};
+
+}  // namespace feam

@@ -1,0 +1,92 @@
+#include "feam/description.hpp"
+
+#include "support/strings.hpp"
+
+namespace feam {
+
+using support::Json;
+using support::Version;
+
+std::optional<Version> soname_version(std::string_view soname) {
+  const auto pos = soname.find(".so.");
+  if (pos == std::string_view::npos) return std::nullopt;
+  return Version::parse(soname.substr(pos + 4));
+}
+
+Json BinaryDescription::to_json() const {
+  Json j;
+  j.set("path", path);
+  j.set("file_format", file_format);
+  j.set("architecture", architecture);
+  j.set("bits", bits);
+  j.set("is_shared_library", is_shared_library);
+  if (soname) j.set("soname", *soname);
+  if (library_version) j.set("library_version", library_version->str());
+
+  Json::Array needed;
+  for (const auto& lib : required_libraries) needed.emplace_back(lib);
+  j.set("required_libraries", Json(std::move(needed)));
+
+  Json::Array refs;
+  for (const auto& ref : version_references) {
+    Json entry;
+    entry.set("file", ref.file);
+    Json::Array versions;
+    for (const auto& v : ref.versions) versions.emplace_back(v);
+    entry.set("versions", Json(std::move(versions)));
+    refs.push_back(std::move(entry));
+  }
+  j.set("version_references", Json(std::move(refs)));
+
+  if (required_clib_version) {
+    j.set("required_clib_version", required_clib_version->str());
+  }
+  if (build_compiler) j.set("build_compiler", *build_compiler);
+  if (build_os) j.set("build_os", *build_os);
+  if (build_clib_version) j.set("build_clib_version", build_clib_version->str());
+  if (mpi_impl) j.set("mpi_impl", site::mpi_impl_slug(*mpi_impl));
+  return j;
+}
+
+std::optional<BinaryDescription> BinaryDescription::from_json(const Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  BinaryDescription d;
+  d.path = j.get_string("path");
+  d.file_format = j.get_string("file_format");
+  if (d.file_format.empty()) return std::nullopt;
+  d.architecture = j.get_string("architecture");
+  d.bits = static_cast<int>(j.get_int("bits"));
+  d.is_shared_library = j.get_bool("is_shared_library");
+  if (j.has("soname")) d.soname = j.get_string("soname");
+  if (j.has("library_version")) {
+    d.library_version = Version::parse(j.get_string("library_version"));
+  }
+  for (const auto& lib : j["required_libraries"].as_array()) {
+    if (lib.is_string()) d.required_libraries.push_back(lib.as_string());
+  }
+  for (const auto& ref : j["version_references"].as_array()) {
+    VersionRef out{ref.get_string("file"), {}};
+    for (const auto& v : ref["versions"].as_array()) {
+      if (v.is_string()) out.versions.push_back(v.as_string());
+    }
+    d.version_references.push_back(std::move(out));
+  }
+  if (j.has("required_clib_version")) {
+    d.required_clib_version = Version::parse(j.get_string("required_clib_version"));
+  }
+  if (j.has("build_compiler")) d.build_compiler = j.get_string("build_compiler");
+  if (j.has("build_os")) d.build_os = j.get_string("build_os");
+  if (j.has("build_clib_version")) {
+    d.build_clib_version = Version::parse(j.get_string("build_clib_version"));
+  }
+  if (j.has("mpi_impl")) {
+    const std::string slug = j.get_string("mpi_impl");
+    for (const auto impl : {site::MpiImpl::kOpenMpi, site::MpiImpl::kMpich2,
+                            site::MpiImpl::kMvapich2}) {
+      if (slug == site::mpi_impl_slug(impl)) d.mpi_impl = impl;
+    }
+  }
+  return d;
+}
+
+}  // namespace feam

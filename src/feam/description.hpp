@@ -1,0 +1,68 @@
+// BinaryDescription: the information FEAM's Binary Description Component
+// gathers about an application binary or shared library (paper Figure 3):
+//
+//   - ISA and file format of the binary
+//   - library name and version, if the binary is a shared library
+//   - required shared libraries
+//   - C library version requirements
+//   - MPI stack, operating system, and C library version used to build it
+//
+// Serializes to/from JSON so source-phase output can be bundled, copied to
+// a target site, and consumed there without the binary being present.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "site/ids.hpp"
+#include "support/json.hpp"
+#include "support/version.hpp"
+
+namespace feam {
+
+struct BinaryDescription {
+  std::string path;             // where the binary was described
+  std::string file_format;      // "elf64-x86-64" (objdump's BFD name)
+  std::string architecture;     // "i386:x86-64"
+  int bits = 0;                 // 32 or 64 (used for library selection)
+  bool is_shared_library = false;
+
+  // For shared libraries: the official shared object name from DT_SONAME
+  // and the version embedded in it ("libmpich.so.1.2" -> 1.2).
+  std::optional<std::string> soname;
+  std::optional<support::Version> library_version;
+
+  // DT_NEEDED, in link order.
+  std::vector<std::string> required_libraries;
+
+  // Version references grouped by providing library.
+  struct VersionRef {
+    std::string file;
+    std::vector<std::string> versions;
+  };
+  std::vector<VersionRef> version_references;
+
+  // The *required* C library version: the newest GLIBC_* node the binary
+  // actually references — not the version it was built with (III.C).
+  std::optional<support::Version> required_clib_version;
+
+  // Build-environment facts recovered from the .comment section.
+  std::optional<std::string> build_compiler;       // "GCC: (GNU) 4.1.2"
+  std::optional<std::string> build_os;             // "CentOS 4.9"
+  std::optional<support::Version> build_clib_version;
+
+  // Link-level MPI identification (Table I); nullopt for serial binaries
+  // and for libraries that are not MPI libraries.
+  std::optional<site::MpiImpl> mpi_impl;
+
+  support::Json to_json() const;
+  static std::optional<BinaryDescription> from_json(const support::Json& j);
+};
+
+// Extracts the embedded version from a shared object name:
+// "libmpich.so.1.2" -> 1.2, "libgfortran.so.1" -> 1; nullopt when the
+// soname carries no version suffix ("libimf.so").
+std::optional<support::Version> soname_version(std::string_view soname);
+
+}  // namespace feam

@@ -1,0 +1,262 @@
+#include "feam/edc.hpp"
+
+#include <algorithm>
+
+#include "binutils/objdump.hpp"
+#include "binutils/uname.hpp"
+#include "support/strings.hpp"
+#include "toolchain/glibc.hpp"
+#include "toolchain/launcher.hpp"
+
+namespace feam {
+
+namespace {
+
+using support::Version;
+
+std::optional<site::MpiImpl> impl_from_slug(std::string_view slug) {
+  for (const auto impl : {site::MpiImpl::kOpenMpi, site::MpiImpl::kMpich2,
+                          site::MpiImpl::kMvapich2}) {
+    if (slug == site::mpi_impl_slug(impl)) return impl;
+  }
+  return std::nullopt;
+}
+
+std::optional<site::CompilerFamily> compiler_from_slug(std::string_view slug) {
+  for (const auto fam : {site::CompilerFamily::kGnu, site::CompilerFamily::kIntel,
+                         site::CompilerFamily::kPgi}) {
+    if (slug == site::compiler_slug(fam)) return fam;
+  }
+  return std::nullopt;
+}
+
+// "openmpi", "1.4", "intel" out of a module name "openmpi/1.4-intel", a
+// SoftEnv key "+openmpi-1.4-intel", or a prefix "/opt/openmpi-1.4-intel".
+void parse_stack_id(std::string_view id, DiscoveredStack& stack) {
+  std::string flat(id);
+  if (!flat.empty() && flat.front() == '+') flat.erase(0, 1);
+  std::replace(flat.begin(), flat.end(), '/', '-');
+  const auto parts = support::split(flat, '-');
+  if (parts.empty()) return;
+  stack.impl = impl_from_slug(parts[0]);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (!stack.version) {
+      if (const auto v = Version::parse(parts[i])) {
+        stack.version = *v;
+        continue;
+      }
+    }
+    if (const auto fam = compiler_from_slug(parts[i])) stack.compiler = fam;
+  }
+}
+
+// `mpicc -V` probing: the wrapper script embeds the compiler banner.
+void probe_wrapper(const site::Site& s, DiscoveredStack& stack) {
+  if (stack.prefix.empty()) return;
+  const support::Bytes* wrapper =
+      s.vfs.read(site::Vfs::join(stack.prefix + "/bin", "mpicc"));
+  if (wrapper == nullptr) return;
+  const std::string body(wrapper->begin(), wrapper->end());
+  const auto pos = body.find("# COMPILER: ");
+  if (pos == std::string::npos) return;
+  const auto eol = body.find('\n', pos);
+  const std::string banner =
+      body.substr(pos + 12, eol == std::string::npos ? eol : eol - pos - 12);
+  // "pgcc" must be tested before "gcc" — it contains it.
+  if (support::contains(banner, "Intel")) {
+    stack.compiler = site::CompilerFamily::kIntel;
+  } else if (support::contains(banner, "pgcc") ||
+             support::contains(banner, "PGI")) {
+    stack.compiler = site::CompilerFamily::kPgi;
+  } else if (support::contains(banner, "gcc") ||
+             support::contains(banner, "GCC")) {
+    stack.compiler = site::CompilerFamily::kGnu;
+  }
+  // The last whitespace token that parses as a version is the compiler
+  // version ("gcc (GCC) 4.4.5" -> 4.4.5).
+  for (const auto& token : support::split_ws(banner)) {
+    if (const auto v = Version::parse(token)) stack.compiler_version = *v;
+  }
+}
+
+// Reads the stack's install prefix out of a module/softenv file body
+// ("prepend-path PATH /opt/openmpi-1.4-intel/bin").
+std::string prefix_from_module_body(std::string_view body) {
+  for (const auto& line : support::split(body, '\n')) {
+    const auto fields = support::split_ws(line);
+    if (fields.size() == 3 && fields[0] == "prepend-path" &&
+        fields[1] == "PATH" && support::ends_with(fields[2], "/bin")) {
+      return fields[2].substr(0, fields[2].size() - 4);
+    }
+  }
+  return "";
+}
+
+void discover_clib(const site::Site& s, EnvironmentDescription& env) {
+  // Locate the C library the way the BDC locates any library.
+  std::string libc_path;
+  for (const char* dir : {"/lib64", "/lib", "/usr/lib64", "/usr/lib"}) {
+    const std::string candidate = site::Vfs::join(dir, "libc.so.6");
+    if (s.vfs.is_file(candidate)) {
+      libc_path = s.vfs.resolve(candidate).value_or(candidate);
+      break;
+    }
+  }
+  if (libc_path.empty()) return;
+
+  // Primary: execute the C library binary and parse its banner.
+  const auto run = toolchain::run_serial(s, libc_path);
+  if (run.success()) {
+    if (const auto v = toolchain::parse_glibc_banner(run.output)) {
+      env.clib_version = *v;
+      env.clib_discovery_method = "executed C library";
+      return;
+    }
+  }
+  // Fallback: the "library API" — the newest version node the library
+  // defines, read from its version definitions.
+  const auto dump = binutils::objdump_p(s.vfs, libc_path);
+  if (!dump.ok()) return;
+  const auto parsed = binutils::parse_objdump_output(dump.value());
+  if (!parsed) return;
+  std::optional<Version> newest;
+  for (const auto& def : parsed->version_definitions) {
+    if (const auto v = toolchain::parse_glibc_version(def)) {
+      if (!newest || *v > *newest) newest = *v;
+    }
+  }
+  env.clib_version = newest;
+  env.clib_discovery_method = "library API";
+}
+
+// Filesystem fallback when no user-environment tool exists: search for MPI
+// implementation libraries and derive stacks from path naming schemes
+// ("/opt/openmpi-1.4.3-intel/lib/libmpi.so reveals Open MPI for Intel").
+void discover_stacks_by_search(const site::Site& s,
+                               EnvironmentDescription& env) {
+  const auto is_mpi_lib = [](std::string_view base) {
+    return support::starts_with(base, "libmpi.so") ||
+           support::starts_with(base, "libmpich.so");
+  };
+  std::vector<std::string> hits = s.vfs.find("/opt", is_mpi_lib);
+  for (const auto& root : {"/usr/lib64", "/usr/lib"}) {
+    for (auto& hit : s.vfs.find(root, is_mpi_lib)) hits.push_back(std::move(hit));
+  }
+  for (const auto& hit : hits) {
+    const std::string libdir = site::Vfs::dirname(hit);
+    if (!support::ends_with(libdir, "/lib")) continue;
+    const std::string prefix = libdir.substr(0, libdir.size() - 4);
+    const bool seen = std::any_of(env.stacks.begin(), env.stacks.end(),
+                                  [&](const DiscoveredStack& st) {
+                                    return st.prefix == prefix;
+                                  });
+    if (seen) continue;
+    DiscoveredStack stack;
+    stack.prefix = prefix;
+    stack.id = site::Vfs::basename(prefix);
+    parse_stack_id(stack.id, stack);
+    probe_wrapper(s, stack);
+    if (stack.impl) env.stacks.push_back(std::move(stack));
+  }
+}
+
+}  // namespace
+
+std::string DiscoveredStack::display() const {
+  std::string out = impl ? site::mpi_impl_name(*impl) : "unknown MPI";
+  if (version) out += " v" + version->str();
+  if (compiler) {
+    out += " (";
+    out += site::compiler_letter(*compiler);
+    out += ")";
+  }
+  return out;
+}
+
+std::vector<const DiscoveredStack*> EnvironmentDescription::stacks_of(
+    site::MpiImpl impl) const {
+  std::vector<const DiscoveredStack*> out;
+  for (const auto& stack : stacks) {
+    if (stack.impl == impl) out.push_back(&stack);
+  }
+  return out;
+}
+
+EnvironmentDescription Edc::discover(const site::Site& s) {
+  EnvironmentDescription env;
+
+  env.isa = binutils::uname_p(s);
+  env.bits = support::ends_with(env.isa, "64") ? 64 : 32;
+
+  if (const auto* proc = s.vfs.read("/proc/version")) {
+    const std::string text(proc->begin(), proc->end());
+    const auto fields = support::split_ws(text);
+    if (fields.size() >= 3 && fields[0] == "Linux") {
+      env.os_type = "Linux " + fields[2];
+    }
+  }
+  for (const char* release_file :
+       {"/etc/redhat-release", "/etc/SuSE-release", "/etc/system-release"}) {
+    if (const auto* data = s.vfs.read(release_file)) {
+      env.distro = std::string(support::trim(
+          std::string_view(reinterpret_cast<const char*>(data->data()),
+                           data->size())));
+      break;
+    }
+  }
+
+  discover_clib(s, env);
+
+  // User-environment management tool detection by configuration presence.
+  if (s.vfs.exists("/usr/bin/modulecmd") &&
+      s.vfs.is_dir("/usr/share/Modules/modulefiles")) {
+    env.user_env_tool = site::UserEnvTool::kModules;
+    // `module avail`.
+    for (const auto& impl_dir : s.vfs.list("/usr/share/Modules/modulefiles")) {
+      const std::string dir =
+          site::Vfs::join("/usr/share/Modules/modulefiles", impl_dir);
+      for (const auto& version_file : s.vfs.list(dir)) {
+        DiscoveredStack stack;
+        stack.id = impl_dir + "/" + version_file;
+        parse_stack_id(stack.id, stack);
+        if (const auto* body = s.vfs.read(site::Vfs::join(dir, version_file))) {
+          stack.prefix = prefix_from_module_body(
+              std::string(body->begin(), body->end()));
+        }
+        probe_wrapper(s, stack);
+        const auto& loaded = s.loaded_modules();
+        stack.currently_loaded =
+            std::find(loaded.begin(), loaded.end(), stack.id) != loaded.end();
+        if (stack.impl) env.stacks.push_back(std::move(stack));
+      }
+    }
+  } else if (s.vfs.exists("/usr/bin/soft") && s.vfs.is_dir("/etc/softenv")) {
+    env.user_env_tool = site::UserEnvTool::kSoftEnv;
+    for (const auto& key : s.vfs.list("/etc/softenv")) {
+      DiscoveredStack stack;
+      stack.id = key;
+      parse_stack_id(key, stack);
+      if (const auto* body = s.vfs.read(site::Vfs::join("/etc/softenv", key))) {
+        stack.prefix =
+            prefix_from_module_body(std::string(body->begin(), body->end()));
+      }
+      probe_wrapper(s, stack);
+      if (stack.impl) env.stacks.push_back(std::move(stack));
+    }
+  } else {
+    env.user_env_tool = site::UserEnvTool::kNone;
+    discover_stacks_by_search(s, env);
+  }
+
+  // Currently accessible stacks by LD_LIBRARY_PATH inspection (covers
+  // SoftEnv and tool-less sites).
+  for (auto& stack : env.stacks) {
+    if (stack.currently_loaded || stack.prefix.empty()) continue;
+    for (const auto& dir : s.env.ld_library_path()) {
+      if (dir == stack.prefix + "/lib") stack.currently_loaded = true;
+    }
+  }
+  return env;
+}
+
+}  // namespace feam

@@ -1,0 +1,60 @@
+// The Environment Discovery Component (EDC) of FEAM (paper Section V.B).
+//
+// Gathers everything in Figure 4 about a computing site:
+//   * ISA format          - `uname -p`
+//   * operating system    - /proc/version, confirmed by /etc/*release
+//   * C library version   - by executing the C library binary and parsing
+//                           its banner; falls back to the library API
+//                           (version definitions) when it cannot be run
+//   * available MPI stacks - via Environment Modules / SoftEnv when
+//                           present, else filesystem search for libmpi*/
+//                           libmpich* and mpicc-style wrapper probing
+//                           (path naming schemes, `mpicc -V` banners)
+//   * currently accessible stacks - `module list` / PATH+LD_LIBRARY_PATH
+//
+// Discovery is honest: every fact comes from the site's filesystem,
+// environment, or tool surface — never from Site's configuration fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "site/site.hpp"
+#include "support/version.hpp"
+
+namespace feam {
+
+// One MPI stack the EDC found, with everything it could learn about it.
+struct DiscoveredStack {
+  std::string id;  // module name, SoftEnv key, or prefix-derived id
+  std::optional<site::MpiImpl> impl;
+  std::optional<support::Version> version;
+  std::optional<site::CompilerFamily> compiler;
+  std::optional<support::Version> compiler_version;
+  std::string prefix;                 // install prefix, when determinable
+  bool currently_loaded = false;
+
+  std::string display() const;
+};
+
+struct EnvironmentDescription {
+  std::string isa;        // uname -p output
+  int bits = 0;           // word size implied by the ISA
+  std::string os_type;    // "Linux <kernel>"
+  std::string distro;     // from /etc/*release
+  std::optional<support::Version> clib_version;
+  std::string clib_discovery_method;  // "executed C library" | "library API"
+  site::UserEnvTool user_env_tool = site::UserEnvTool::kNone;
+  std::vector<DiscoveredStack> stacks;
+
+  // Stacks whose implementation matches, for the TEC's compatibility walk.
+  std::vector<const DiscoveredStack*> stacks_of(site::MpiImpl impl) const;
+};
+
+class Edc {
+ public:
+  static EnvironmentDescription discover(const site::Site& s);
+};
+
+}  // namespace feam

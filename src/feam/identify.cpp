@@ -1,0 +1,40 @@
+#include "feam/identify.hpp"
+
+#include "support/strings.hpp"
+
+namespace feam {
+
+std::optional<site::MpiImpl> identify_mpi(
+    const std::vector<std::string>& needed_libraries) {
+  bool mpich = false;       // libmpich / libmpichf90
+  bool openmpi = false;     // libmpi.so / libmpi_f77 / libmpi_cxx
+  bool infiniband = false;  // libibverbs / libibumad
+  bool nsl = false, util = false;
+
+  for (const auto& name : needed_libraries) {
+    if (support::starts_with(name, "libmpich")) {
+      mpich = true;
+    } else if (support::starts_with(name, "libmpi.so") ||
+               support::starts_with(name, "libmpi_f77") ||
+               support::starts_with(name, "libmpi_cxx")) {
+      openmpi = true;
+    } else if (support::starts_with(name, "libibverbs") ||
+               support::starts_with(name, "libibumad")) {
+      infiniband = true;
+    } else if (support::starts_with(name, "libnsl")) {
+      nsl = true;
+    } else if (support::starts_with(name, "libutil")) {
+      util = true;
+    }
+  }
+
+  // Table I, in precedence order: libmpich + InfiniBand identifiers is
+  // MVAPICH2; libmpich alone ("and not other identifiers") is MPICH2;
+  // libmpi (supported by the libnsl/libutil pairing) is Open MPI.
+  if (mpich && infiniband) return site::MpiImpl::kMvapich2;
+  if (mpich) return site::MpiImpl::kMpich2;
+  if (openmpi || (nsl && util && infiniband)) return site::MpiImpl::kOpenMpi;
+  return std::nullopt;
+}
+
+}  // namespace feam

@@ -1,0 +1,24 @@
+// MPI implementation identification from link-level dependencies — the
+// paper's Table I. MPI is an interface specification, not a link-level
+// one, so each implementation leaves a distinct fingerprint in DT_NEEDED:
+//
+//   MVAPICH2 : libmpich/libmpichf90 AND libibverbs/libibumad
+//   Open MPI : libmpi (applications also carry libnsl, libutil)
+//   MPICH2   : libmpich/libmpichf90 and no InfiniBand identifiers
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "site/ids.hpp"
+
+namespace feam {
+
+// Identifies the implementation an application or library was compiled
+// with from its DT_NEEDED list; nullopt when no MPI identifier is present
+// (a serial binary).
+std::optional<site::MpiImpl> identify_mpi(
+    const std::vector<std::string>& needed_libraries);
+
+}  // namespace feam

@@ -1,0 +1,167 @@
+#include "feam/phases.hpp"
+
+#include <set>
+
+#include "feam/bdc.hpp"
+#include "support/strings.hpp"
+#include "toolchain/linker.hpp"
+
+namespace feam {
+
+namespace {
+
+// Libraries never copied: the C library itself and the dynamic loader
+// (paper Section V.A: "We copy each shared library except for the C
+// library").
+bool never_copy(std::string_view name) {
+  return support::starts_with(name, "libc.so") ||
+         support::starts_with(name, "ld-linux");
+}
+
+}  // namespace
+
+support::Result<SourcePhaseOutput> run_source_phase(
+    site::Site& guaranteed, std::string_view binary_path,
+    const FeamConfig& config) {
+  using R = support::Result<SourcePhaseOutput>;
+
+  SourcePhaseOutput out;
+  auto described = Bdc::describe(guaranteed, binary_path);
+  if (!described.ok()) return R::failure(described.error());
+  out.application = std::move(described).take();
+  out.environment = Edc::discover(guaranteed);
+  out.bundle.application = out.application;
+  out.bundle.source_environment = out.environment;
+
+  // Confirm the currently selected stack matches the stack the binary was
+  // compiled with (paper V.B).
+  const DiscoveredStack* selected = nullptr;
+  for (const auto& stack : out.environment.stacks) {
+    if (stack.currently_loaded) selected = &stack;
+  }
+  if (out.application.mpi_impl) {
+    if (selected == nullptr) {
+      out.log.push_back("warning: no MPI stack selected in this shell");
+    } else if (selected->impl != out.application.mpi_impl) {
+      out.log.push_back(
+          "warning: selected stack (" + selected->display() +
+          ") does not match the binary's implementation (" +
+          site::mpi_impl_name(*out.application.mpi_impl) + ")");
+    } else {
+      out.log.push_back("selected stack matches binary: " +
+                        selected->display());
+    }
+  }
+
+  // Compile the hello worlds up front: beyond travelling in the bundle,
+  // a locally compiled hello world is the BDC's last-resort library
+  // locator (paper V.A: "If a locally compiled 'hello world' program is
+  // available, the ldd utility is used to reveal the locations of commonly
+  // linked against shared libraries").
+  const site::MpiStackInstall* selected_install = nullptr;
+  if (selected != nullptr) {
+    for (const auto& stack : guaranteed.stacks) {
+      if (stack.prefix == selected->prefix) selected_install = &stack;
+    }
+  }
+  std::string hello_world_path;
+  if (selected_install != nullptr) {
+    for (const auto lang :
+         {toolchain::Language::kC, toolchain::Language::kFortran}) {
+      const auto program = toolchain::mpi_hello_world(lang);
+      const std::string path = "/tmp/feam_src_" + program.name;
+      const auto compiled = toolchain::compile_mpi_program(
+          guaranteed, program, *selected_install, path);
+      if (!compiled.ok()) {
+        out.log.push_back("hello world (" +
+                          std::string(toolchain::language_name(lang)) +
+                          ") did not compile: " + compiled.error());
+        continue;
+      }
+      if (const auto* bytes = guaranteed.vfs.read(path)) {
+        out.bundle.hello_worlds.push_back({lang, program.name, *bytes});
+      }
+      if (hello_world_path.empty()) hello_world_path = path;
+    }
+  }
+
+  // Gather copies and descriptions of the transitive library closure.
+  std::set<std::string> visited;
+  std::vector<std::string> queue = out.application.required_libraries;
+  std::string current_path(binary_path);
+  while (!queue.empty()) {
+    const std::string name = queue.back();
+    queue.pop_back();
+    if (!visited.insert(name).second) continue;
+    if (never_copy(name)) continue;
+
+    const auto located =
+        Bdc::locate_libraries(guaranteed, current_path, {name}, hello_world_path);
+    if (located.empty() || !located.front().second) {
+      out.log.push_back("could not locate " + name + " for copying");
+      continue;
+    }
+    const std::string& lib_path = *located.front().second;
+    const support::Bytes* content = guaranteed.vfs.read(lib_path);
+    if (content == nullptr) {
+      out.log.push_back("could not read " + lib_path);
+      continue;
+    }
+    auto lib_desc = Bdc::describe(guaranteed, lib_path);
+    if (!lib_desc.ok()) {
+      out.log.push_back("could not describe " + lib_path + ": " +
+                        lib_desc.error());
+      continue;
+    }
+    for (const auto& dep : lib_desc.value().required_libraries) {
+      queue.push_back(dep);
+    }
+    out.bundle.libraries.push_back(
+        {name, lib_path, *content, std::move(lib_desc).take()});
+  }
+
+  // Remove the scratch hello-world binaries now that gathering is done.
+  for (const auto lang :
+       {toolchain::Language::kC, toolchain::Language::kFortran}) {
+    guaranteed.vfs.remove("/tmp/feam_src_" +
+                          toolchain::mpi_hello_world(lang).name);
+  }
+
+  out.log.push_back("bundle size: " +
+                    support::human_size(out.bundle.total_bytes()));
+  (void)config;
+  return out;
+}
+
+support::Result<TargetPhaseOutput> run_target_phase(
+    site::Site& target, std::string_view binary_path,
+    const SourcePhaseOutput* source, const FeamConfig& config,
+    const TecOptions& tec_options) {
+  using R = support::Result<TargetPhaseOutput>;
+
+  TargetPhaseOutput out;
+  if (!binary_path.empty() && target.vfs.is_file(binary_path)) {
+    auto described = Bdc::describe(target, binary_path);
+    if (!described.ok()) return R::failure(described.error());
+    out.application = std::move(described).take();
+  } else if (source != nullptr) {
+    out.application = source->application;  // description travelled instead
+  } else {
+    return R::failure(
+        "target phase requires either the binary at the target site or a "
+        "source-phase bundle");
+  }
+
+  out.environment = Edc::discover(target);
+  TecOptions opts = tec_options;
+  opts.hello_world_ranks = config.hello_world_ranks;
+  if (out.application.mpi_impl) {
+    opts.mpiexec_command = config.mpiexec_for(*out.application.mpi_impl);
+  }
+  out.prediction = Tec::evaluate(target, out.application, binary_path,
+                                 source != nullptr ? &source->bundle : nullptr,
+                                 opts);
+  return out;
+}
+
+}  // namespace feam

@@ -1,0 +1,22 @@
+// The user-facing output of a FEAM run (paper Section V.C: "If at any
+// point we determine that execution cannot occur, the reasons are detailed
+// to the user via an output file" — and on success, "a description of the
+// matching configuration details ... along with a script").
+#pragma once
+
+#include <string>
+
+#include "feam/phases.hpp"
+
+namespace feam {
+
+// Renders the complete target-phase report: binary description summary,
+// environment summary, per-determinant verdicts, resolution details, the
+// evaluation trace, and (when ready) the configuration script.
+std::string render_target_report(const TargetPhaseOutput& output);
+
+// Renders the source-phase report: what was described, what was gathered,
+// bundle accounting.
+std::string render_source_report(const SourcePhaseOutput& output);
+
+}  // namespace feam

@@ -1,0 +1,87 @@
+#include "feam/survey.hpp"
+
+#include <algorithm>
+
+#include "support/table.hpp"
+
+namespace feam {
+
+std::size_t SurveyReport::ready_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const SurveyEntry& e) { return e.ready; }));
+}
+
+std::string SurveyReport::render() const {
+  support::TextTable table({"#", "Site", "Verdict", "Detail"});
+  int rank = 1;
+  for (const auto& entry : entries) {
+    std::string verdict = entry.ready ? "READY" : "not ready";
+    if (entry.ready && entry.resolved_copies > 0) {
+      verdict += " (" + std::to_string(entry.resolved_copies) + " copies)";
+    }
+    table.add_row({std::to_string(rank++), entry.site_name, verdict,
+                   entry.ready ? entry.reason
+                               : entry.blocking_determinant + ": " +
+                                     entry.reason});
+  }
+  return table.render();
+}
+
+SurveyReport survey_sites(std::vector<site::Site*> sites,
+                          std::string_view binary_name,
+                          const support::Bytes& binary_bytes,
+                          const SourcePhaseOutput* source,
+                          const FeamConfig& config) {
+  SurveyReport report;
+  for (site::Site* s : sites) {
+    const std::string path = "/home/user/" + std::string(binary_name);
+    s->vfs.write_file(path, binary_bytes);
+    const auto result = run_target_phase(*s, path, source, config);
+    SurveyEntry entry;
+    entry.site_name = s->name;
+    if (!result.ok()) {
+      entry.blocking_determinant = "error";
+      entry.reason = result.error();
+    } else {
+      entry.prediction = result.value().prediction;
+      entry.ready = entry.prediction.ready;
+      entry.resolved_copies = entry.prediction.resolved_libraries.size();
+      if (entry.ready) {
+        entry.reason = entry.resolved_copies == 0
+                           ? "all determinants compatible"
+                           : "compatible after resolving " +
+                                 std::to_string(entry.resolved_copies) +
+                                 " libraries";
+      } else {
+        for (const auto& det : entry.prediction.determinants) {
+          if (det.evaluated && !det.compatible) {
+            entry.blocking_determinant = determinant_name(det.kind);
+            entry.reason = det.detail;
+            break;
+          }
+        }
+        if (entry.blocking_determinant.empty()) {
+          entry.blocking_determinant = "unknown";
+          entry.reason = "no determinant reported failure";
+        }
+      }
+    }
+    // Leave the site as found.
+    s->vfs.remove(path);
+    for (const auto& dir : entry.prediction.resolution_dirs) s->vfs.remove(dir);
+    report.entries.push_back(std::move(entry));
+  }
+
+  // Rank: ready first (fewer copies to ship first), then blocked sites
+  // alphabetically by determinant for a stable, readable report.
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const SurveyEntry& a, const SurveyEntry& b) {
+                     if (a.ready != b.ready) return a.ready;
+                     if (a.ready) return a.resolved_copies < b.resolved_copies;
+                     return a.blocking_determinant < b.blocking_determinant;
+                   });
+  return report;
+}
+
+}  // namespace feam

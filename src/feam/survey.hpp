@@ -1,0 +1,46 @@
+// Multi-site assessment: the workflow the paper's conclusion motivates —
+// "For scientists who do not have much experience, time, or support to
+// explore new computing sites ... FEAM provides an efficient automated
+// solution for quickly assessing many new computing sites."
+//
+// Given a binary (and optionally its source-phase bundle), runs the target
+// phase at every candidate site and ranks the verdicts: ready sites first
+// (fewest resolved copies first — less to ship), then not-ready sites
+// grouped by the determinant that blocked them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "feam/phases.hpp"
+#include "site/site.hpp"
+#include "support/byte_io.hpp"
+
+namespace feam {
+
+struct SurveyEntry {
+  std::string site_name;
+  bool ready = false;
+  std::string blocking_determinant;  // empty when ready
+  std::string reason;
+  std::size_t resolved_copies = 0;   // libraries resolution had to install
+  Prediction prediction;
+};
+
+struct SurveyReport {
+  std::vector<SurveyEntry> entries;  // ranked best-first
+  std::size_t ready_count() const;
+  std::string render() const;
+};
+
+// Surveys `sites` for the binary `binary_bytes` (written to each site as
+// /home/user/<binary_name>). `source` enables the extended prediction and
+// resolution. Sites are evaluated independently; their state is restored
+// (migrated binary removed) afterwards.
+SurveyReport survey_sites(std::vector<site::Site*> sites,
+                          std::string_view binary_name,
+                          const support::Bytes& binary_bytes,
+                          const SourcePhaseOutput* source = nullptr,
+                          const FeamConfig& config = {});
+
+}  // namespace feam

@@ -1,0 +1,117 @@
+// The Target Evaluation Component (TEC) of FEAM (paper Section V.C).
+//
+// Combines the BDC's binary description and the EDC's environment
+// description into the four-determinant prediction of the paper's
+// Figure 1, ordered as the paper orders them:
+//   1. ISA compatibility (family + word size),
+//   2. C library compatibility (target glibc >= required version),
+//      — if either fails, evaluation stops there —
+//   3. MPI stack compatibility: same implementation type (version is NOT
+//      considered, Section III.B), usability-tested by compiling and
+//      running "hello world" natively, and — when a source-phase bundle
+//      is available — by running hello-world binaries from the guaranteed
+//      environment under the candidate stack,
+//   4. shared-library availability, with the resolution model (Section IV)
+//      recursively validating and installing library copies from the
+//      bundle for anything missing.
+//
+// The output is a Prediction: ready/not-ready, the per-determinant
+// verdicts, the chosen stack, what was resolved, and a configuration
+// script that reproduces the working environment.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "feam/bundle.hpp"
+#include "feam/description.hpp"
+#include "feam/edc.hpp"
+#include "site/site.hpp"
+
+namespace feam {
+
+enum class DeterminantKind : std::uint8_t {
+  kIsa,
+  kCLibrary,
+  kMpiStack,
+  kSharedLibraries,
+};
+
+const char* determinant_name(DeterminantKind kind);
+
+struct DeterminantResult {
+  DeterminantKind kind = DeterminantKind::kIsa;
+  bool evaluated = false;   // false when short-circuited by earlier failure
+  bool compatible = false;
+  std::string detail;
+};
+
+struct Prediction {
+  bool ready = false;
+  std::vector<DeterminantResult> determinants;
+
+  // The matching, usability-tested MPI stack the TEC selected.
+  std::optional<std::string> selected_stack_id;
+
+  // Shared-library determinant details.
+  std::vector<std::string> missing_libraries;     // before resolution
+  std::vector<std::string> resolved_libraries;    // installed from copies
+  std::vector<std::string> unresolved_libraries;  // copies unusable/absent
+
+  // Directories the resolution model populated; execution must add them to
+  // the library search path (the generated script does).
+  std::vector<std::string> resolution_dirs;
+
+  // The environment prepends that activate the selected stack (module
+  // contents, or manual PATH/LD_LIBRARY_PATH entries on tool-less sites).
+  std::vector<std::pair<std::string, std::string>> activation_prepends;
+
+  // Shell script reproducing the matching configuration (paper V.C).
+  std::string configuration_script;
+
+  // Human-readable evaluation trace (the paper's output file "details the
+  // reasons to the user").
+  std::vector<std::string> log;
+
+  const DeterminantResult* determinant(DeterminantKind kind) const;
+};
+
+struct TecOptions {
+  int hello_world_ranks = 2;
+  std::string resolution_root = "/home/user/feam_resolved";
+  // Launch command written into the configuration script (per-MPI-type
+  // overrides come from the user's configuration file, paper Section V).
+  std::string mpiexec_command = "mpiexec";
+  // When false, the resolution model is skipped even if a bundle is
+  // available (used by the ablation benchmarks).
+  bool apply_resolution = true;
+  // Ablation switch: validate library copies with the recursive prediction
+  // before installing (paper behaviour) or install blindly.
+  bool recursive_copy_validation = true;
+  // Ablation switch: run the hello-world usability/compatibility tests
+  // (paper III.B). Disabling trusts every advertised stack.
+  bool run_usability_tests = true;
+};
+
+class Tec {
+ public:
+  // Evaluates execution readiness of `app` at `target`.
+  //  * `binary_path`: location of the migrated binary at the target, or ""
+  //    when only the bundle's description travelled (two-phase mode).
+  //  * `bundle`: source-phase output; nullptr -> basic prediction.
+  // Mutates `target` only through user-level actions FEAM really takes:
+  // loading modules during tests (undone afterwards) and writing library
+  // copies under opts.resolution_root.
+  static Prediction evaluate(site::Site& target, const BinaryDescription& app,
+                             std::string_view binary_path, const Bundle* bundle,
+                             const TecOptions& opts = {});
+
+  // Applies a ready prediction's configuration to the site (loads the
+  // selected module) and returns the extra library directories execution
+  // must use. The counterpart of the generated script.
+  static std::vector<std::string> apply_configuration(
+      site::Site& target, const Prediction& prediction);
+};
+
+}  // namespace feam

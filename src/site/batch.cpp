@@ -1,0 +1,154 @@
+#include "site/batch.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace feam::site {
+
+namespace {
+
+std::string walltime(int minutes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02d:%02d:00", minutes / 60, minutes % 60);
+  return buf;
+}
+
+}  // namespace
+
+std::string BatchScript::render() const {
+  std::string out = "#!/bin/sh\n";
+  switch (kind) {
+    case BatchKind::kPbs:
+      out += "#PBS -N " + job_name + "\n";
+      out += "#PBS -q " + queue + "\n";
+      out += "#PBS -l nodes=" + std::to_string(nodes) + ":ppn=" +
+             std::to_string(tasks_per_node) + "\n";
+      out += "#PBS -l walltime=" + walltime(walltime_minutes) + "\n";
+      break;
+    case BatchKind::kSge:
+      out += "#$ -N " + job_name + "\n";
+      out += "#$ -q " + queue + "\n";
+      out += "#$ -pe mpi " + std::to_string(total_tasks()) + "\n";
+      out += "#$ -l h_rt=" + walltime(walltime_minutes) + "\n";
+      break;
+    case BatchKind::kSlurm:
+      out += "#SBATCH --job-name=" + job_name + "\n";
+      out += "#SBATCH --partition=" + queue + "\n";
+      out += "#SBATCH --nodes=" + std::to_string(nodes) + "\n";
+      out += "#SBATCH --ntasks-per-node=" + std::to_string(tasks_per_node) + "\n";
+      out += "#SBATCH --time=" + walltime(walltime_minutes) + "\n";
+      break;
+  }
+  for (const auto& command : commands) out += command + "\n";
+  return out;
+}
+
+std::optional<BatchScript> BatchScript::parse(std::string_view text) {
+  BatchScript script;
+  script.commands.clear();
+  bool any_directive = false;
+
+  const auto parse_minutes = [](std::string_view hms) -> std::optional<int> {
+    const auto parts = support::split(hms, ':');
+    if (parts.size() != 3) return std::nullopt;
+    try {
+      return std::stoi(parts[0]) * 60 + std::stoi(parts[1]);
+    } catch (...) {
+      return std::nullopt;
+    }
+  };
+
+  for (const auto& raw_line : support::split(text, '\n')) {
+    const auto line = support::trim(raw_line);
+    if (line.empty() || line == "#!/bin/sh") continue;
+
+    std::vector<std::string> fields;
+    if (support::starts_with(line, "#PBS ")) {
+      script.kind = BatchKind::kPbs;
+      fields = support::split_ws(line.substr(5));
+    } else if (support::starts_with(line, "#$ ")) {
+      script.kind = BatchKind::kSge;
+      fields = support::split_ws(line.substr(3));
+    } else if (support::starts_with(line, "#SBATCH ")) {
+      script.kind = BatchKind::kSlurm;
+      fields = support::split_ws(line.substr(8));
+    } else if (line.front() == '#') {
+      continue;  // plain comment
+    } else {
+      script.commands.emplace_back(line);
+      continue;
+    }
+
+    any_directive = true;
+    if (fields.empty()) return std::nullopt;
+
+    if (script.kind == BatchKind::kSlurm) {
+      // "--key=value" form.
+      for (const auto& field : fields) {
+        const auto eq = field.find('=');
+        const std::string key = field.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : field.substr(eq + 1);
+        if (key == "--job-name") script.job_name = value;
+        else if (key == "--partition") script.queue = value;
+        else if (key == "--nodes") script.nodes = std::stoi(value);
+        else if (key == "--ntasks-per-node") script.tasks_per_node = std::stoi(value);
+        else if (key == "--time") {
+          const auto m = parse_minutes(value);
+          if (!m) return std::nullopt;
+          script.walltime_minutes = *m;
+        }
+      }
+      continue;
+    }
+
+    // SGE "-pe mpi N" (three fields, handled before the two-char flags).
+    if (fields[0] == "-pe") {
+      if (fields.size() < 3) return std::nullopt;
+      try {
+        script.nodes = 1;
+        script.tasks_per_node = std::stoi(fields[2]);
+      } catch (...) {
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    // PBS / SGE "-flag value" form.
+    if (fields.size() < 2 || fields[0].size() != 2 || fields[0][0] != '-') {
+      return std::nullopt;
+    }
+    const char flag = fields[0][1];
+    const std::string& value = fields[1];
+    if (flag == 'N') {
+      script.job_name = value;
+    } else if (flag == 'q') {
+      script.queue = value;
+    } else if (flag == 'l') {
+      // "nodes=2:ppn=4", "walltime=00:05:00", "h_rt=00:05:00".
+      for (const auto& part : support::split(value, ':')) {
+        const auto eq = part.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = part.substr(0, eq);
+        const std::string v = part.substr(eq + 1);
+        try {
+          if (key == "nodes") script.nodes = std::stoi(v);
+          if (key == "ppn") script.tasks_per_node = std::stoi(v);
+        } catch (...) {
+          return std::nullopt;
+        }
+      }
+      if (support::starts_with(value, "walltime=") ||
+          support::starts_with(value, "h_rt=")) {
+        const auto m = parse_minutes(value.substr(value.find('=') + 1));
+        if (!m) return std::nullopt;
+        script.walltime_minutes = *m;
+      }
+    }
+  }
+  if (!any_directive) return std::nullopt;
+  return script;
+}
+
+}  // namespace feam::site

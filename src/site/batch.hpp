@@ -1,0 +1,39 @@
+// Batch submission scripts for the resource managers named in the paper's
+// related work (PBS, SGE, SLURM). The paper's FEAM requires exactly one
+// piece of user-supplied site knowledge: a serial and a parallel
+// submission script (Section V). This model renders and parses all three
+// dialects so that knowledge can be represented, validated, and executed
+// by the simulated batch runner (toolchain/shell.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "site/ids.hpp"
+
+namespace feam::site {
+
+struct BatchScript {
+  BatchKind kind = BatchKind::kPbs;
+  std::string job_name = "feam";
+  std::string queue = "debug";     // the paper recommends the debug queue
+  int nodes = 1;
+  int tasks_per_node = 1;
+  int walltime_minutes = 5;        // FEAM phases fit in five minutes
+  // Shell body: the commands to run once the job starts.
+  std::vector<std::string> commands;
+
+  int total_tasks() const { return nodes * tasks_per_node; }
+
+  // Renders the script in its dialect, directives first.
+  std::string render() const;
+
+  // Parses a rendered script; the dialect is detected from the directive
+  // prefix (#PBS / #$ / #SBATCH). Returns nullopt when no known directive
+  // prefix is present or a directive is malformed.
+  static std::optional<BatchScript> parse(std::string_view text);
+};
+
+}  // namespace feam::site

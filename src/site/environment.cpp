@@ -1,0 +1,50 @@
+#include "site/environment.hpp"
+
+#include "support/strings.hpp"
+
+namespace feam::site {
+
+void Environment::set(std::string name, std::string value) {
+  vars_.insert_or_assign(std::move(name), std::move(value));
+}
+
+void Environment::unset(std::string_view name) {
+  const auto it = vars_.find(name);
+  if (it != vars_.end()) vars_.erase(it);
+}
+
+std::optional<std::string> Environment::get(std::string_view name) const {
+  const auto it = vars_.find(name);
+  if (it == vars_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Environment::has(std::string_view name) const {
+  return vars_.find(name) != vars_.end();
+}
+
+std::vector<std::string> Environment::get_list(std::string_view name) const {
+  std::vector<std::string> out;
+  const auto value = get(name);
+  if (!value) return out;
+  for (auto& part : support::split(*value, ':')) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+void Environment::prepend_to_list(std::string_view name, std::string_view entry) {
+  const auto current = get(name);
+  std::string value(entry);
+  if (current && !current->empty()) value += ":" + *current;
+  set(std::string(name), std::move(value));
+}
+
+void Environment::append_to_list(std::string_view name, std::string_view entry) {
+  const auto current = get(name);
+  std::string value = current && !current->empty() ? *current + ":" : "";
+  value += entry;
+  set(std::string(name), std::move(value));
+}
+
+}  // namespace feam::site

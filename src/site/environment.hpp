@@ -1,0 +1,40 @@
+// Shell environment of a login session at a computing site. FEAM reads
+// PATH / LD_LIBRARY_PATH to discover accessible MPI stacks, and the
+// resolution model *writes* LD_LIBRARY_PATH entries to make library copies
+// visible at runtime (paper Section IV).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace feam::site {
+
+class Environment {
+ public:
+  void set(std::string name, std::string value);
+  void unset(std::string_view name);
+  std::optional<std::string> get(std::string_view name) const;
+  bool has(std::string_view name) const;
+
+  // Colon-separated list variables.
+  std::vector<std::string> get_list(std::string_view name) const;
+  void prepend_to_list(std::string_view name, std::string_view entry);
+  void append_to_list(std::string_view name, std::string_view entry);
+
+  std::vector<std::string> path() const { return get_list("PATH"); }
+  std::vector<std::string> ld_library_path() const {
+    return get_list("LD_LIBRARY_PATH");
+  }
+
+  const std::map<std::string, std::string, std::less<>>& all() const {
+    return vars_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> vars_;
+};
+
+}  // namespace feam::site

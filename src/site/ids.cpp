@@ -1,0 +1,76 @@
+#include "site/ids.hpp"
+
+namespace feam::site {
+
+const char* mpi_impl_name(MpiImpl impl) {
+  switch (impl) {
+    case MpiImpl::kOpenMpi: return "Open MPI";
+    case MpiImpl::kMpich2: return "MPICH2";
+    case MpiImpl::kMvapich2: return "MVAPICH2";
+  }
+  return "?";
+}
+
+const char* mpi_impl_slug(MpiImpl impl) {
+  switch (impl) {
+    case MpiImpl::kOpenMpi: return "openmpi";
+    case MpiImpl::kMpich2: return "mpich2";
+    case MpiImpl::kMvapich2: return "mvapich2";
+  }
+  return "?";
+}
+
+const char* compiler_name(CompilerFamily f) {
+  switch (f) {
+    case CompilerFamily::kGnu: return "GNU";
+    case CompilerFamily::kIntel: return "Intel";
+    case CompilerFamily::kPgi: return "PGI";
+  }
+  return "?";
+}
+
+const char* compiler_slug(CompilerFamily f) {
+  switch (f) {
+    case CompilerFamily::kGnu: return "gnu";
+    case CompilerFamily::kIntel: return "intel";
+    case CompilerFamily::kPgi: return "pgi";
+  }
+  return "?";
+}
+
+char compiler_letter(CompilerFamily f) {
+  switch (f) {
+    case CompilerFamily::kGnu: return 'g';
+    case CompilerFamily::kIntel: return 'i';
+    case CompilerFamily::kPgi: return 'p';
+  }
+  return '?';
+}
+
+const char* interconnect_name(Interconnect ic) {
+  switch (ic) {
+    case Interconnect::kEthernet: return "Ethernet";
+    case Interconnect::kInfiniband: return "InfiniBand";
+  }
+  return "?";
+}
+
+const char* batch_name(BatchKind b) {
+  switch (b) {
+    case BatchKind::kPbs: return "PBS";
+    case BatchKind::kSge: return "SGE";
+    case BatchKind::kSlurm: return "SLURM";
+  }
+  return "?";
+}
+
+const char* user_env_tool_name(UserEnvTool t) {
+  switch (t) {
+    case UserEnvTool::kModules: return "Environment Modules";
+    case UserEnvTool::kSoftEnv: return "SoftEnv";
+    case UserEnvTool::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace feam::site

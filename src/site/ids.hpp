@@ -1,0 +1,33 @@
+// Identifiers shared across the site model and the simulated toolchain:
+// MPI implementations, compiler families, interconnects, batch systems and
+// user-environment management tools — the axes of the paper's Table II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace feam::site {
+
+// The three dominant open-source MPI implementations of the paper's era.
+enum class MpiImpl : std::uint8_t { kOpenMpi, kMpich2, kMvapich2 };
+
+enum class CompilerFamily : std::uint8_t { kGnu, kIntel, kPgi };
+
+enum class Interconnect : std::uint8_t { kEthernet, kInfiniband };
+
+// HPC resource managers named in the paper's related work.
+enum class BatchKind : std::uint8_t { kPbs, kSge, kSlurm };
+
+// User-environment management tools FEAM's EDC knows how to consult.
+enum class UserEnvTool : std::uint8_t { kModules, kSoftEnv, kNone };
+
+const char* mpi_impl_name(MpiImpl impl);          // "Open MPI"
+const char* mpi_impl_slug(MpiImpl impl);          // "openmpi"
+const char* compiler_name(CompilerFamily f);      // "Intel"
+const char* compiler_slug(CompilerFamily f);      // "intel"
+char compiler_letter(CompilerFamily f);           // 'i' (Table II notation)
+const char* interconnect_name(Interconnect ic);   // "InfiniBand"
+const char* batch_name(BatchKind b);              // "PBS"
+const char* user_env_tool_name(UserEnvTool t);    // "Environment Modules"
+
+}  // namespace feam::site

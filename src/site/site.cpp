@@ -1,0 +1,105 @@
+#include "site/site.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace feam::site {
+
+std::string MpiStackInstall::slug() const {
+  return std::string(mpi_impl_slug(impl)) + "-" + version.str() + "-" +
+         compiler_slug(compiler);
+}
+
+std::string MpiStackInstall::display() const {
+  return std::string(mpi_impl_name(impl)) + " v" + version.str() + " (" +
+         compiler_letter(compiler) + ")";
+}
+
+std::vector<std::string> Site::default_lib_dirs(int binary_bits) const {
+  // 64-bit hosts keep 64-bit libraries in lib64 and 32-bit compatibility
+  // libraries in lib; 32-bit hosts only have lib.
+  if (elf::isa_bits(isa) == 64 && binary_bits == 64) {
+    return {"/lib64", "/usr/lib64", "/usr/local/lib64"};
+  }
+  return {"/lib", "/usr/lib", "/usr/local/lib"};
+}
+
+std::vector<std::string> Site::available_modules() const {
+  std::vector<std::string> out;
+  out.reserve(module_files.size());
+  for (const auto& m : module_files) out.push_back(m.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Site::load_module(std::string_view module_name) {
+  const auto it = std::find_if(
+      module_files.begin(), module_files.end(),
+      [&](const ModuleFile& m) { return m.name == module_name; });
+  if (it == module_files.end()) return false;
+  for (const auto& [var, entry] : it->prepends) {
+    env.prepend_to_list(var, entry);
+  }
+  loaded_.push_back(it->name);
+  return true;
+}
+
+void Site::unload_all_modules() {
+  // Rebuild PATH / LD_LIBRARY_PATH without any module prefix entries.
+  for (const char* var : {"PATH", "LD_LIBRARY_PATH"}) {
+    auto entries = env.get_list(var);
+    std::erase_if(entries, [&](const std::string& entry) {
+      return std::any_of(module_files.begin(), module_files.end(),
+                         [&](const ModuleFile& m) {
+                           return std::any_of(
+                               m.prepends.begin(), m.prepends.end(),
+                               [&](const auto& p) { return p.second == entry; });
+                         });
+    });
+    if (entries.empty()) {
+      env.unset(var);
+    } else {
+      env.set(var, support::join(entries, ":"));
+    }
+  }
+  loaded_.clear();
+}
+
+const MpiStackInstall* Site::find_stack(MpiImpl impl,
+                                        CompilerFamily compiler) const {
+  for (const auto& stack : stacks) {
+    if (stack.impl == impl && stack.compiler == compiler) return &stack;
+  }
+  return nullptr;
+}
+
+const MpiStackInstall* Site::stack_for_module(std::string_view module_name) const {
+  // Module names are "<slug-with-/>"; match on the stack slug with '/'
+  // substituted ("openmpi/1.4.3-intel" <-> "openmpi-1.4.3-intel").
+  std::string flattened(module_name);
+  std::replace(flattened.begin(), flattened.end(), '/', '-');
+  for (const auto& stack : stacks) {
+    if (stack.slug() == flattened) return &stack;
+  }
+  return nullptr;
+}
+
+const MpiStackInstall* Site::selected_stack() const {
+  for (const auto& dir : env.ld_library_path()) {
+    for (const auto& stack : stacks) {
+      if (dir == stack.prefix + "/lib") return &stack;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Site::clib_path() const {
+  for (const char* dir : {"/lib64", "/lib", "/usr/lib64", "/usr/lib"}) {
+    const std::string candidate = Vfs::join(dir, "libc.so.6");
+    if (vfs.exists(candidate)) return vfs.resolve(candidate);
+  }
+  return std::nullopt;
+}
+
+}  // namespace feam::site

@@ -1,0 +1,249 @@
+#include "site/vfs.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace feam::site {
+
+namespace {
+constexpr int kMaxSymlinkDepth = 16;
+
+std::vector<std::string> components(std::string_view path) {
+  std::vector<std::string> out;
+  for (auto& part : support::split(path, '/')) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+}  // namespace
+
+Vfs::Vfs() : root_(std::make_unique<Node>()) {}
+
+std::string Vfs::basename(std::string_view path) {
+  const auto pos = path.rfind('/');
+  return std::string(pos == std::string_view::npos ? path : path.substr(pos + 1));
+}
+
+std::string Vfs::dirname(std::string_view path) {
+  const auto pos = path.rfind('/');
+  if (pos == std::string_view::npos || pos == 0) return "/";
+  return std::string(path.substr(0, pos));
+}
+
+std::string Vfs::join(std::string_view dir, std::string_view name) {
+  if (dir.empty() || dir == "/") return "/" + std::string(name);
+  std::string out(dir);
+  if (out.back() != '/') out += '/';
+  out += name;
+  return out;
+}
+
+const Vfs::Node* Vfs::walk(std::string_view path, bool follow_terminal,
+                           int depth) const {
+  if (depth > kMaxSymlinkDepth) return nullptr;
+  const Node* node = root_.get();
+  const auto parts = components(path);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (node->kind != Node::Kind::kDir) return nullptr;
+    const auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+    const bool terminal = i + 1 == parts.size();
+    if (node->kind == Node::Kind::kSymlink && (!terminal || follow_terminal)) {
+      // Resolve the link target, then continue with the remaining components.
+      std::string target = node->target;
+      if (!target.empty() && target.front() != '/') {
+        std::string dir = "/";
+        for (std::size_t j = 0; j < i; ++j) dir = join(dir, parts[j]);
+        target = join(dir, target);
+      }
+      for (std::size_t j = i + 1; j < parts.size(); ++j) {
+        target = join(target, parts[j]);
+      }
+      return walk(target, follow_terminal, depth + 1);
+    }
+  }
+  return node;
+}
+
+Vfs::Node* Vfs::walk_mut(std::string_view path) {
+  // Mutation never follows symlinks (mirrors rm/ln semantics closely
+  // enough for our provisioning code).
+  Node* node = root_.get();
+  for (const auto& part : components(path)) {
+    if (node->kind != Node::Kind::kDir) return nullptr;
+    const auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+Vfs::Node* Vfs::ensure_parent(std::string_view path) {
+  auto parts = components(path);
+  if (parts.empty()) return nullptr;
+  parts.pop_back();
+  Node* node = root_.get();
+  for (const auto& part : parts) {
+    if (node->kind != Node::Kind::kDir) return nullptr;
+    auto& child = node->children[part];
+    if (!child) {
+      child = std::make_unique<Node>();
+      child->kind = Node::Kind::kDir;
+    }
+    node = child.get();
+  }
+  return node->kind == Node::Kind::kDir ? node : nullptr;
+}
+
+bool Vfs::mkdirs(std::string_view path) {
+  Node* parent = ensure_parent(join(path, "x"));
+  return parent != nullptr;
+}
+
+bool Vfs::write_file(std::string_view path, support::Bytes content) {
+  Node* parent = ensure_parent(path);
+  if (parent == nullptr) return false;
+  auto& child = parent->children[basename(path)];
+  child = std::make_unique<Node>();
+  child->kind = Node::Kind::kFile;
+  child->content = std::move(content);
+  return true;
+}
+
+bool Vfs::write_file(std::string_view path, std::string_view text) {
+  return write_file(path, support::Bytes(text.begin(), text.end()));
+}
+
+bool Vfs::symlink(std::string_view path, std::string_view target) {
+  Node* parent = ensure_parent(path);
+  if (parent == nullptr) return false;
+  auto& child = parent->children[basename(path)];
+  child = std::make_unique<Node>();
+  child->kind = Node::Kind::kSymlink;
+  child->target = std::string(target);
+  return true;
+}
+
+bool Vfs::remove(std::string_view path) {
+  Node* parent = walk_mut(dirname(path));
+  if (parent == nullptr || parent->kind != Node::Kind::kDir) return false;
+  return parent->children.erase(basename(path)) > 0;
+}
+
+bool Vfs::exists(std::string_view path) const {
+  return walk(path, /*follow_terminal=*/true) != nullptr;
+}
+
+bool Vfs::is_dir(std::string_view path) const {
+  const Node* n = walk(path, true);
+  return n != nullptr && n->kind == Node::Kind::kDir;
+}
+
+bool Vfs::is_file(std::string_view path) const {
+  const Node* n = walk(path, true);
+  return n != nullptr && n->kind == Node::Kind::kFile;
+}
+
+bool Vfs::is_symlink(std::string_view path) const {
+  const Node* n = walk(path, /*follow_terminal=*/false);
+  return n != nullptr && n->kind == Node::Kind::kSymlink;
+}
+
+const support::Bytes* Vfs::read(std::string_view path) const {
+  const Node* n = walk(path, true);
+  if (n == nullptr || n->kind != Node::Kind::kFile) return nullptr;
+  return &n->content;
+}
+
+std::optional<std::string> Vfs::resolve(std::string_view path) const {
+  const Node* target = walk(path, true);
+  if (target == nullptr) return std::nullopt;
+  // Re-derive the canonical path by chasing the terminal link chain
+  // textually (bounded by the same depth limit).
+  std::string current(path);
+  for (int depth = 0; depth < kMaxSymlinkDepth; ++depth) {
+    const Node* n = walk(current, /*follow_terminal=*/false);
+    if (n == nullptr) return std::nullopt;
+    if (n->kind != Node::Kind::kSymlink) return current;
+    std::string next = n->target;
+    if (next.empty() || next.front() != '/') {
+      next = join(dirname(current), next);
+    }
+    current = std::move(next);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Vfs::list(std::string_view dir) const {
+  std::vector<std::string> out;
+  const Node* n = walk(dir, true);
+  if (n == nullptr || n->kind != Node::Kind::kDir) return out;
+  out.reserve(n->children.size());
+  for (const auto& [name, child] : n->children) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+void Vfs::find_impl(const Node& dir, const std::string& prefix,
+                    const std::function<bool(std::string_view)>& pred,
+                    bool substring, std::string_view needle,
+                    std::vector<std::string>& out) const {
+  for (const auto& [name, child] : dir.children) {
+    const std::string full = join(prefix, name);
+    const bool match = substring ? support::contains(name, needle) : pred(name);
+    if (match) out.push_back(full);
+    if (child->kind == Node::Kind::kDir) {
+      find_impl(*child, full, pred, substring, needle, out);
+    }
+  }
+}
+
+std::vector<std::string> Vfs::find(
+    std::string_view root,
+    const std::function<bool(std::string_view)>& name_predicate) const {
+  std::vector<std::string> out;
+  const Node* n = walk(root, true);
+  if (n == nullptr || n->kind != Node::Kind::kDir) return out;
+  std::string prefix = root == "/" ? std::string("/") : std::string(root);
+  find_impl(*n, prefix, name_predicate, false, "", out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Vfs::locate(std::string_view needle) const {
+  std::vector<std::string> out;
+  find_impl(*root_, "/", {}, true, needle, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+void accounting(const Vfs& vfs, std::string_view dir, std::size_t& bytes,
+                std::size_t& files) {
+  for (const auto& name : vfs.list(dir)) {
+    const std::string full = Vfs::join(dir, name);
+    if (vfs.is_symlink(full)) continue;  // links don't own bytes
+    if (vfs.is_dir(full)) {
+      accounting(vfs, full, bytes, files);
+    } else if (const auto* content = vfs.read(full)) {
+      bytes += content->size();
+      ++files;
+    }
+  }
+}
+}  // namespace
+
+std::size_t Vfs::total_file_bytes() const {
+  std::size_t bytes = 0, files = 0;
+  accounting(*this, "/", bytes, files);
+  return bytes;
+}
+
+std::size_t Vfs::file_count() const {
+  std::size_t bytes = 0, files = 0;
+  accounting(*this, "/", bytes, files);
+  return files;
+}
+
+}  // namespace feam::site

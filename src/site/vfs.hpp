@@ -1,0 +1,99 @@
+// In-memory POSIX-ish filesystem tree used to materialize computing sites.
+//
+// Supports regular files (byte content), directories, and symlinks —
+// symlinks matter because real library directories are symlink farms
+// (libmpi.so -> libmpi.so.0 -> libmpi.so.0.0.2) and FEAM's search methods
+// (`ldd`, `find`, `locate`) all traverse them. Path syntax is absolute
+// ("/usr/lib64/libc.so.6"); components "." and ".." are not supported
+// (never produced by the toolchain).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/byte_io.hpp"
+
+namespace feam::site {
+
+class Vfs {
+ public:
+  Vfs();
+
+  // --- mutation
+  // Creates all intermediate directories; returns false if a path component
+  // is an existing non-directory.
+  bool mkdirs(std::string_view path);
+  // Writes a regular file, creating parent directories. Overwrites.
+  bool write_file(std::string_view path, support::Bytes content);
+  bool write_file(std::string_view path, std::string_view text);
+  // Creates a symlink at `path` pointing to `target` (absolute, or relative
+  // to the link's directory). The target need not exist (dangling links are
+  // legal and occur on misconfigured sites).
+  bool symlink(std::string_view path, std::string_view target);
+  // Removes a file, symlink, or (recursively) a directory.
+  bool remove(std::string_view path);
+
+  // --- query (all follow symlinks unless noted)
+  bool exists(std::string_view path) const;
+  bool is_dir(std::string_view path) const;
+  bool is_file(std::string_view path) const;
+  bool is_symlink(std::string_view path) const;  // does NOT follow
+  // Content of a regular file; nullptr if absent / dangling / a directory.
+  const support::Bytes* read(std::string_view path) const;
+  // Canonical path after resolving symlinks; nullopt if unresolvable.
+  std::optional<std::string> resolve(std::string_view path) const;
+  // Names (not full paths) of a directory's entries, sorted.
+  std::vector<std::string> list(std::string_view dir) const;
+
+  // Recursive search rooted at `root` (like `find root -name ...`), calling
+  // the predicate with each entry's basename; returns matching full paths,
+  // sorted. Does not descend through symlinked directories (matching
+  // `find`'s default).
+  std::vector<std::string> find(
+      std::string_view root,
+      const std::function<bool(std::string_view)>& name_predicate) const;
+
+  // Whole-tree filename index lookup (like `locate pattern`): every path
+  // whose basename contains `needle`.
+  std::vector<std::string> locate(std::string_view needle) const;
+
+  // Accounting (bundle sizes, Section VI.C).
+  std::size_t total_file_bytes() const;
+  std::size_t file_count() const;
+
+  static std::string basename(std::string_view path);
+  static std::string dirname(std::string_view path);
+  static std::string join(std::string_view dir, std::string_view name);
+
+ private:
+  struct Node {
+    enum class Kind : std::uint8_t { kDir, kFile, kSymlink };
+    Kind kind = Kind::kDir;
+    support::Bytes content;                        // kFile
+    std::string target;                            // kSymlink
+    std::map<std::string, std::unique_ptr<Node>> children;  // kDir
+  };
+
+  // Walks to the node for `path`. If follow_terminal, the final component's
+  // symlinks are resolved too. Returns nullptr when any component is
+  // missing or a loop is detected.
+  const Node* walk(std::string_view path, bool follow_terminal, int depth = 0) const;
+  Node* walk_mut(std::string_view path);
+  // Parent directory node, creating directories as needed.
+  Node* ensure_parent(std::string_view path);
+
+  void find_impl(const Node& dir, const std::string& prefix,
+                 const std::function<bool(std::string_view)>& pred,
+                 bool substring, std::string_view needle,
+                 std::vector<std::string>& out) const;
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace feam::site

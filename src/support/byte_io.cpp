@@ -1,0 +1,120 @@
+#include "support/byte_io.hpp"
+
+#include <cassert>
+
+namespace feam::support {
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  if (endian_ == Endian::kLittle) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  } else {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  if (endian_ == Endian::kLittle) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  } else {
+    for (int i = 3; i >= 0; --i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  if (endian_ == Endian::kLittle) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  } else {
+    for (int i = 7; i >= 0; --i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::bytes(const Bytes& data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::bytes(std::string_view data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::cstr(std::string_view text) {
+  bytes(text);
+  out_.push_back(0);
+}
+
+void ByteWriter::zeros(std::size_t count) {
+  out_.insert(out_.end(), count, 0);
+}
+
+void ByteWriter::pad_to(std::size_t offset) {
+  assert(offset >= out_.size());
+  out_.resize(offset, 0);
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  assert(offset + 4 <= out_.size());
+  for (int i = 0; i < 4; ++i) {
+    const int shift = endian_ == Endian::kLittle ? 8 * i : 8 * (3 - i);
+    out_[offset + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> shift);
+  }
+}
+
+void ByteWriter::patch_u64(std::size_t offset, std::uint64_t v) {
+  assert(offset + 8 <= out_.size());
+  for (int i = 0; i < 8; ++i) {
+    const int shift = endian_ == Endian::kLittle ? 8 * i : 8 * (7 - i);
+    out_[offset + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> shift);
+  }
+}
+
+std::optional<std::uint8_t> ByteReader::u8(std::size_t offset) const {
+  if (offset + 1 > data_->size()) return std::nullopt;
+  return (*data_)[offset];
+}
+
+std::optional<std::uint16_t> ByteReader::u16(std::size_t offset) const {
+  if (offset + 2 > data_->size()) return std::nullopt;
+  const auto& d = *data_;
+  if (endian_ == Endian::kLittle) {
+    return static_cast<std::uint16_t>(d[offset] | (d[offset + 1] << 8));
+  }
+  return static_cast<std::uint16_t>((d[offset] << 8) | d[offset + 1]);
+}
+
+std::optional<std::uint32_t> ByteReader::u32(std::size_t offset) const {
+  if (offset + 4 > data_->size()) return std::nullopt;
+  const auto& d = *data_;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int shift = endian_ == Endian::kLittle ? 8 * i : 8 * (3 - i);
+    v |= static_cast<std::uint32_t>(d[offset + static_cast<std::size_t>(i)]) << shift;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64(std::size_t offset) const {
+  if (offset + 8 > data_->size()) return std::nullopt;
+  const auto& d = *data_;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int shift = endian_ == Endian::kLittle ? 8 * i : 8 * (7 - i);
+    v |= static_cast<std::uint64_t>(d[offset + static_cast<std::size_t>(i)]) << shift;
+  }
+  return v;
+}
+
+std::optional<std::string> ByteReader::cstr(std::size_t offset) const {
+  if (offset >= data_->size()) return std::nullopt;
+  std::string out;
+  for (std::size_t i = offset; i < data_->size(); ++i) {
+    const char c = static_cast<char>((*data_)[i]);
+    if (c == '\0') return out;
+    out += c;
+  }
+  return std::nullopt;  // ran off the end without a terminator
+}
+
+}  // namespace feam::support

@@ -1,0 +1,54 @@
+// Minimal expected-like result type: a value or an error message.
+//
+// The parsing and simulation layers never throw for data-dependent
+// failures (malformed ELF images, unresolvable libraries); they return
+// Result so callers — FEAM's components — can report *why* something
+// failed, which is itself part of the paper's user-facing output.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace feam::support {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}
+
+  static Result failure(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace feam::support

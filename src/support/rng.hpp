@@ -1,0 +1,41 @@
+// Deterministic random number generation for the simulation layers.
+//
+// All stochastic behaviour in the reproduction (system errors, daemon spawn
+// failures, timeouts) flows through SplitMix64 streams derived from a single
+// experiment seed, so every table in EXPERIMENTS.md is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace feam::support {
+
+// SplitMix64: tiny, well-distributed, splittable. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [0.0, 1.0).
+  double next_double();
+
+  // True with the given probability.
+  bool chance(double probability);
+
+  // Derives an independent stream for a named purpose; equal (seed, label)
+  // pairs always produce the same stream regardless of draw order elsewhere.
+  Rng fork(std::string_view label) const;
+
+ private:
+  std::uint64_t state_;
+};
+
+// Stable 64-bit FNV-1a hash of a string (used for stream derivation and for
+// synthesizing deterministic per-binary content).
+std::uint64_t fnv1a(std::string_view text);
+
+}  // namespace feam::support

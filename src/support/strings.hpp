@@ -1,0 +1,30 @@
+// Small string helpers shared across the FEAM codebase. All functions are
+// allocation-conscious: views in, owned strings out only where needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace feam::support {
+
+// Splits on a single character; empty fields are kept ("a//b" -> {a,"",b}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+std::string_view trim(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+
+std::string to_lower(std::string_view text);
+
+// Renders a byte count the way `du -h` would ("45M", "512K", "97B").
+std::string human_size(std::size_t bytes);
+
+}  // namespace feam::support

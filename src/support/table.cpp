@@ -1,0 +1,56 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace feam::support {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({false, std::move(row)});
+}
+
+void TextTable::add_rule() { rows_.push_back({true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const Row& row : rows_) {
+    out += row.rule ? rule : render_row(row.cells);
+  }
+  out += rule;
+  return out;
+}
+
+std::string percent(double numerator, double denominator) {
+  if (denominator == 0.0) return "n/a";
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.0f%%", 100.0 * numerator / denominator);
+  return buf;
+}
+
+}  // namespace feam::support

@@ -1,0 +1,32 @@
+// Fixed-width ASCII table rendering used by the benchmark harness to print
+// the paper's tables (Table I-IV) in a recognizable layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace feam::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  // A horizontal rule between row groups.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+// Formats a ratio as a whole-number percentage string ("94%").
+std::string percent(double numerator, double denominator);
+
+}  // namespace feam::support

@@ -1,0 +1,69 @@
+#include "support/version.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace feam::support {
+
+std::optional<Version> Version::parse(std::string_view text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text.front()))) {
+    return std::nullopt;
+  }
+  Version v;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return std::nullopt;
+    std::uint64_t value = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      if (value > 0xffffffffULL) return std::nullopt;
+      ++i;
+    }
+    v.components_.push_back(static_cast<std::uint32_t>(value));
+    if (i == text.size()) break;
+    if (text[i] == '.') {
+      ++i;
+      if (i == text.size()) return std::nullopt;  // trailing dot
+      continue;
+    }
+    // Anything else begins the pre-release tag ("rc1", "a2", "b").
+    if (!std::isalpha(static_cast<unsigned char>(text[i]))) return std::nullopt;
+    v.tag_.assign(text.substr(i));
+    break;
+  }
+  return v;
+}
+
+Version Version::of(std::string_view text) {
+  auto v = parse(text);
+  if (!v) throw std::invalid_argument("bad version literal: " + std::string(text));
+  return *v;
+}
+
+std::string Version::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  out += tag_;
+  return out;
+}
+
+std::strong_ordering Version::operator<=>(const Version& other) const {
+  const std::size_t n = std::max(components_.size(), other.components_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t a = i < components_.size() ? components_[i] : 0;
+    const std::uint32_t b = i < other.components_.size() ? other.components_[i] : 0;
+    if (a != b) return a <=> b;
+  }
+  // Equal numerics: a tagged version (pre-release) orders before untagged.
+  const bool a_tagged = !tag_.empty();
+  const bool b_tagged = !other.tag_.empty();
+  if (a_tagged != b_tagged) return a_tagged ? std::strong_ordering::less
+                                            : std::strong_ordering::greater;
+  return tag_ <=> other.tag_;
+}
+
+}  // namespace feam::support

@@ -1,0 +1,48 @@
+// Dotted version numbers (e.g. glibc "2.3.4", Open MPI "1.4.3", MVAPICH2
+// "1.7rc1") with the comparison semantics FEAM's prediction model needs:
+// numeric component-wise ordering, where a missing component compares as 0
+// and a trailing alphanumeric tag (rc1, a2, b) orders *before* the untagged
+// release of the same numeric value (1.7rc1 < 1.7, matching common release
+// conventions for the MPI stacks in the paper's Table II).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace feam::support {
+
+class Version {
+ public:
+  Version() = default;
+
+  // Parses "2.3.4", "1.7rc1", "1.7a2", "12". Returns nullopt for strings
+  // that do not start with a digit or contain illegal separators.
+  static std::optional<Version> parse(std::string_view text);
+
+  // parse() that aborts on failure; for literals in tables and tests.
+  static Version of(std::string_view text);
+
+  const std::vector<std::uint32_t>& components() const { return components_; }
+  const std::string& pre_release_tag() const { return tag_; }
+
+  // Major component (0 when the version is empty).
+  std::uint32_t major() const { return components_.empty() ? 0 : components_[0]; }
+  std::uint32_t minor() const { return components_.size() < 2 ? 0 : components_[1]; }
+
+  std::string str() const;
+
+  std::strong_ordering operator<=>(const Version& other) const;
+  bool operator==(const Version& other) const {
+    return (*this <=> other) == std::strong_ordering::equal;
+  }
+
+ private:
+  std::vector<std::uint32_t> components_;
+  std::string tag_;  // pre-release tag attached after the last numeric run
+};
+
+}  // namespace feam::support

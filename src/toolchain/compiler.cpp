@@ -1,0 +1,132 @@
+#include "toolchain/compiler.hpp"
+
+#include "support/rng.hpp"
+
+namespace feam::toolchain {
+
+using site::CompilerFamily;
+
+const char* language_name(Language lang) {
+  switch (lang) {
+    case Language::kC: return "C";
+    case Language::kCxx: return "C++";
+    case Language::kFortran: return "Fortran";
+  }
+  return "?";
+}
+
+std::vector<std::string> CompilerModel::runtime_sonames(Language lang) const {
+  std::vector<std::string> out;
+  switch (family_) {
+    case CompilerFamily::kGnu: {
+      out.push_back("libgcc_s.so.1");
+      if (lang == Language::kCxx) {
+        out.push_back(version_.major() >= 4 ? "libstdc++.so.6"
+                                            : "libstdc++.so.5");
+      }
+      if (lang == Language::kFortran) {
+        if (version_.major() < 4) {
+          out.push_back("libg2c.so.0");
+        } else if (version_.minor() >= 4) {
+          out.push_back("libgfortran.so.3");
+        } else {
+          out.push_back("libgfortran.so.1");
+        }
+      }
+      break;
+    }
+    case CompilerFamily::kIntel: {
+      out.push_back("libimf.so");
+      out.push_back("libintlc.so.5");
+      out.push_back("libsvml.so");
+      if (lang == Language::kCxx) out.push_back("libstdc++.so.6");
+      if (lang == Language::kFortran) {
+        // libifcore.so.5 has been stable across Intel 9-12.
+        out.push_back("libifcore.so.5");
+        out.push_back("libifport.so.5");
+      }
+      break;
+    }
+    case CompilerFamily::kPgi: {
+      out.push_back("libpgc.so");
+      if (lang == Language::kCxx) out.push_back("libstdc++.so.6");
+      if (lang == Language::kFortran) {
+        out.push_back("libpgf90.so");
+        out.push_back("libpgftnrtl.so");
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool CompilerModel::supports(Language lang) const {
+  // All modeled compilers handle C; C++ and Fortran support is universal
+  // in this era except that the PGI C++ front end is not usable for the
+  // template-heavy codes we model (real-world: pgCC frequently failed on
+  // LAMMPS-class codes).
+  if (lang == Language::kCxx && family_ == CompilerFamily::kPgi) return false;
+  return true;
+}
+
+std::string CompilerModel::comment_string() const {
+  switch (family_) {
+    case CompilerFamily::kGnu:
+      return "GCC: (GNU) " + version_.str();
+    case CompilerFamily::kIntel:
+      return "Intel(R) Compiler Version " + version_.str();
+    case CompilerFamily::kPgi:
+      return "PGI Compilers and Tools, Release " + version_.str();
+  }
+  return "";
+}
+
+bool CompilerModel::emits_stack_protector() const {
+  switch (family_) {
+    case CompilerFamily::kGnu: return version_ >= support::Version::of("4.1");
+    case CompilerFamily::kIntel: return version_ >= support::Version::of("11");
+    case CompilerFamily::kPgi: return false;
+  }
+  return false;
+}
+
+std::uint32_t CompilerModel::abi_fingerprint(Language lang) const {
+  // Same family + same runtime soname generation -> identical fingerprint;
+  // PGI mixes the major version in because its sonames never change while
+  // its ABI does.
+  std::string key = std::string(site::compiler_slug(family_));
+  for (const auto& soname : runtime_sonames(lang)) key += "|" + soname;
+  if (family_ == CompilerFamily::kPgi) {
+    key += "|" + std::to_string(version_.major());
+  }
+  return static_cast<std::uint32_t>(support::fnv1a(key));
+}
+
+std::uint32_t CompilerModel::fp_model() const {
+  // GNU and Intel share the strict default; PGI's fast-math default gives
+  // it a distinct floating-point contract per major release.
+  if (family_ == CompilerFamily::kPgi) {
+    return 0x50000000u | version_.major();
+  }
+  return 1;
+}
+
+std::string CompilerModel::install_prefix() const {
+  if (family_ == CompilerFamily::kGnu) return "";  // system compiler
+  return "/opt/" + std::string(site::compiler_slug(family_)) + "-" +
+         version_.str();
+}
+
+std::string CompilerModel::version_banner() const {
+  switch (family_) {
+    case CompilerFamily::kGnu:
+      return "gcc (GCC) " + version_.str();
+    case CompilerFamily::kIntel:
+      return "Intel(R) C Compiler, Version " + version_.str();
+    case CompilerFamily::kPgi:
+      return "pgcc " + version_.str() + " 64-bit target";
+  }
+  return "";
+}
+
+}  // namespace feam::toolchain

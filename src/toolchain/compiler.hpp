@@ -1,0 +1,73 @@
+// Compiler models: which runtime shared libraries each compiler family and
+// version links into a binary, what .comment stamps it leaves, and the
+// ABI/floating-point contract tags the simulation uses where real machine
+// code semantics would otherwise decide (see elf::AbiNote).
+//
+// The version-to-runtime mapping encodes the real-world facts that drive
+// the paper's "missing shared library" failures:
+//   GNU   3.x -> libg2c.so.0        (g77 runtime)
+//         4.1-4.3 -> libgfortran.so.1
+//         4.4+    -> libgfortran.so.3
+//         C++: 3.x -> libstdc++.so.5, 4.x -> libstdc++.so.6
+//   Intel 10.x -> libifcore.so.4; 11.x/12.x -> libifcore.so.5 (plus libimf,
+//         libintlc.so.5, libsvml — never present in default system dirs)
+//   PGI   -> libpgc.so, libpgf90.so, libpgftnrtl.so (unversioned sonames,
+//         so cross-version resolution "succeeds" and breaks at run time)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "site/ids.hpp"
+#include "support/version.hpp"
+
+namespace feam::toolchain {
+
+enum class Language : std::uint8_t { kC, kCxx, kFortran };
+
+const char* language_name(Language lang);
+
+class CompilerModel {
+ public:
+  CompilerModel(site::CompilerFamily family, support::Version version)
+      : family_(family), version_(std::move(version)) {}
+
+  site::CompilerFamily family() const { return family_; }
+  const support::Version& version() const { return version_; }
+
+  // SONAMEs of the runtime libraries a binary of `lang` links, beyond the
+  // C library and libm. Order matters (link order).
+  std::vector<std::string> runtime_sonames(Language lang) const;
+
+  // True when this compiler can build the given language at all
+  // (e.g. GNU 3.4 has no Fortran 90 front end worth speaking of here).
+  bool supports(Language lang) const;
+
+  // .comment stamp, e.g. "GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)".
+  std::string comment_string() const;
+
+  // Does this compiler emit stack-protector references (__stack_chk_fail,
+  // a GLIBC_2.4 symbol)? Models gcc>=4.1 / icc>=11 defaults.
+  bool emits_stack_protector() const;
+
+  // Simulation ABI tags (see elf::AbiNote): runtime ABI fingerprint and
+  // floating-point model. Same family + same runtime generation =>
+  // identical tags; PGI fingerprints change per major version even though
+  // its sonames do not — the source of its run-time ABI breaks.
+  std::uint32_t abi_fingerprint(Language lang) const;
+  std::uint32_t fp_model() const;
+
+  // Prefix where non-system compilers install their runtimes
+  // ("/opt/intel-12/lib"); empty for the system GNU compiler.
+  std::string install_prefix() const;
+
+  // What "<wrapper> -V" reports, e.g. "Intel(R) C Compiler, Version 12.0".
+  std::string version_banner() const;
+
+ private:
+  site::CompilerFamily family_;
+  support::Version version_;
+};
+
+}  // namespace feam::toolchain

@@ -1,0 +1,78 @@
+#include "toolchain/glibc.hpp"
+
+#include "support/strings.hpp"
+
+namespace feam::toolchain {
+
+using support::Version;
+
+const std::vector<Version>& glibc_version_nodes() {
+  static const std::vector<Version> kNodes = {
+      Version::of("2.2.5"), Version::of("2.3"),  Version::of("2.3.2"),
+      Version::of("2.3.3"), Version::of("2.3.4"), Version::of("2.4"),
+      Version::of("2.5"),   Version::of("2.6"),  Version::of("2.7"),
+      Version::of("2.8"),   Version::of("2.9"),  Version::of("2.10"),
+      Version::of("2.11"),  Version::of("2.12"),
+  };
+  return kNodes;
+}
+
+std::vector<std::string> glibc_nodes_up_to(const Version& release) {
+  std::vector<std::string> out;
+  for (const Version& node : glibc_version_nodes()) {
+    if (node <= release) out.push_back("GLIBC_" + node.str());
+  }
+  return out;
+}
+
+const std::vector<LibcFeature>& libc_feature_catalog() {
+  // Keys are what workload descriptions reference; nodes follow the real
+  // introduction/last-change points of the representative symbols.
+  static const std::vector<LibcFeature> kCatalog = {
+      {"base", "__libc_start_main", Version::of("2.2.5")},
+      {"stdio", "printf", Version::of("2.2.5")},
+      {"math", "sqrt", Version::of("2.2.5")},
+      {"fadvise", "posix_fadvise64", Version::of("2.3.3")},
+      {"timer", "timer_create", Version::of("2.3.3")},
+      {"affinity", "sched_setaffinity", Version::of("2.3.4")},
+      {"ssp", "__stack_chk_fail", Version::of("2.4")},
+      {"atfuncs", "openat", Version::of("2.4")},
+      {"inotify", "inotify_init", Version::of("2.4")},
+      {"splice", "splice", Version::of("2.5")},
+      {"mkostemp", "mkostemp", Version::of("2.7")},
+      {"epoll2", "epoll_create1", Version::of("2.9")},
+      {"pipe2", "pipe2", Version::of("2.9")},
+      {"preadv", "preadv", Version::of("2.10")},
+      {"recvmmsg", "recvmmsg", Version::of("2.12")},
+  };
+  return kCatalog;
+}
+
+std::optional<LibcFeature> find_libc_feature(std::string_view key) {
+  for (const LibcFeature& f : libc_feature_catalog()) {
+    if (f.key == key) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<Version> parse_glibc_version(std::string_view node) {
+  if (!support::starts_with(node, "GLIBC_")) return std::nullopt;
+  return Version::parse(node.substr(6));
+}
+
+std::string glibc_banner(const Version& release) {
+  return "GNU C Library stable release version " + release.str() +
+         ", by Roland McGrath et al.";
+}
+
+std::optional<Version> parse_glibc_banner(std::string_view banner) {
+  static constexpr std::string_view kMarker = "release version ";
+  const auto pos = banner.find(kMarker);
+  if (pos == std::string_view::npos) return std::nullopt;
+  auto rest = banner.substr(pos + kMarker.size());
+  const auto end = rest.find_first_of(", \n");
+  if (end != std::string_view::npos) rest = rest.substr(0, end);
+  return Version::parse(rest);
+}
+
+}  // namespace feam::toolchain

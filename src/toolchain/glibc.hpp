@@ -1,0 +1,51 @@
+// The GNU C library model: the x86-64 version-node history, a catalog of
+// library features with the version node each was introduced at, and the
+// banner `libc.so.6` prints when executed.
+//
+// This is what makes the paper's "required C library version" determinant
+// (Section III.C) meaningful in the simulation: a binary's GLIBC_* version
+// references are decided by which features its source uses AND which nodes
+// existed in the glibc it was built against — so the same source compiled
+// on Forge (2.12) and on Ranger (2.3.4) produces binaries with different
+// requirements, exactly as in reality.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/version.hpp"
+
+namespace feam::toolchain {
+
+// All GLIBC_* version nodes (x86-64 flavor: the base node is 2.2.5) up to
+// the newest release the testbed uses, ascending.
+const std::vector<support::Version>& glibc_version_nodes();
+
+// Nodes defined by a glibc of the given release (all nodes <= release),
+// as "GLIBC_x.y[.z]" strings for verdef emission.
+std::vector<std::string> glibc_nodes_up_to(const support::Version& release);
+
+// One entry of the feature catalog: an abstract capability a program's
+// source can use, the version node its symbols bind to, and a
+// representative symbol name for the dynsym.
+struct LibcFeature {
+  std::string key;       // "ssp", "preadv", ...
+  std::string symbol;    // "__stack_chk_fail", ...
+  support::Version node; // GLIBC node the symbol binds to
+};
+
+const std::vector<LibcFeature>& libc_feature_catalog();
+std::optional<LibcFeature> find_libc_feature(std::string_view key);
+
+// Parses "GLIBC_2.3.4" -> 2.3.4; nullopt for non-GLIBC version strings.
+std::optional<support::Version> parse_glibc_version(std::string_view node);
+
+// The banner `/lib64/libc.so.6` prints when executed, e.g.
+// "GNU C Library stable release version 2.5, by Roland McGrath et al.".
+std::string glibc_banner(const support::Version& release);
+// Extracts the release version back out of the banner text (what FEAM's
+// EDC does after running the C library binary).
+std::optional<support::Version> parse_glibc_banner(std::string_view banner);
+
+}  // namespace feam::toolchain

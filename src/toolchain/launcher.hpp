@@ -1,0 +1,63 @@
+// Dynamic half of the execution simulator: `mpiexec` and plain command
+// execution, on top of the loader. Adds the failure modes a real run can
+// hit *after* loading succeeds:
+//   * no MPI stack selected in the shell (mpiexec not on PATH),
+//   * stack advertised but not functional (misconfiguration, paper III.B),
+//   * run-time ABI breaks between the binary and the libraries that
+//     resolved — floating-point exceptions and symbol-contract mismatches
+//     (decided from the ABI notes the toolchain embedded; paper VI.C),
+//   * system errors: persistent (broken daemon placement for a given
+//     binary/site pairing) and transient (absorbed by the paper's 5-retry
+//     policy), both drawn from the site's seeded fault model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "site/site.hpp"
+#include "toolchain/loader.hpp"
+
+namespace feam::toolchain {
+
+enum class RunStatus : std::uint8_t {
+  kSuccess,
+  kFileNotFound,
+  kExecFormatError,
+  kMissingLibrary,
+  kVersionError,        // GLIBC version not found
+  kFpException,         // ABI/floating-point break at run time
+  kNoMpiStackSelected,  // mpiexec: command not found
+  kStackNotFunctional,  // daemon/launcher broken for every program
+  kSystemError,         // daemon spawn failure, node fault
+  kTimeout,             // communication error timeout
+};
+
+const char* run_status_name(RunStatus status);
+
+struct RunResult {
+  RunStatus status = RunStatus::kSuccess;
+  std::string detail;
+  std::string output;  // stdout of a successful run
+  bool success() const { return status == RunStatus::kSuccess; }
+};
+
+// Runs a binary under the site's currently selected MPI stack (the one
+// whose directories a loaded module put on the shell's search paths).
+RunResult mpiexec(const site::Site& host, std::string_view binary_path,
+                  int ranks, const std::vector<std::string>& extra_lib_dirs = {},
+                  int attempt = 0);
+
+// Runs a serial command (no MPI launcher involved). Executing the C
+// library binary itself prints its banner, as glibc does.
+RunResult run_serial(const site::Site& host, std::string_view binary_path,
+                     const std::vector<std::string>& extra_lib_dirs = {});
+
+// The paper's policy: a binary is recorded as failing only after five
+// spaced execution attempts (Section VI.C). Transient system errors are
+// absorbed; persistent ones are not.
+RunResult mpiexec_with_retries(const site::Site& host,
+                               std::string_view binary_path, int ranks,
+                               const std::vector<std::string>& extra_lib_dirs = {},
+                               int attempts = 5);
+
+}  // namespace feam::toolchain

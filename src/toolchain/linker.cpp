@@ -1,0 +1,200 @@
+#include "toolchain/linker.hpp"
+
+#include <algorithm>
+
+#include "elf/builder.hpp"
+#include "support/rng.hpp"
+#include "toolchain/glibc.hpp"
+#include "toolchain/packages.hpp"
+
+namespace feam::toolchain {
+
+namespace {
+
+using site::Site;
+using support::Result;
+
+const site::CompilerInstall* find_compiler(const Site& s,
+                                           site::CompilerFamily family) {
+  for (const auto& c : s.compilers) {
+    if (c.family == family) return &c;
+  }
+  return nullptr;
+}
+
+// Shared tail of both compile paths once the compiler is validated.
+Result<std::string> link(Site& s, const ProgramSource& program,
+                         const CompilerModel& compiler,
+                         const site::MpiStackInstall* stack,
+                         std::string output_path) {
+  elf::ElfSpec spec;
+  spec.isa = s.isa;
+  spec.kind = elf::FileKind::kExecutable;
+  spec.text_size = program.text_size;
+  spec.content_seed =
+      support::fnv1a(s.name + "|" + program.name + "|" +
+                     (stack != nullptr ? stack->slug() : "serial"));
+
+  // DT_NEEDED, in real link order: MPI libraries, compiler runtimes,
+  // libm, libc.
+  if (stack != nullptr) {
+    for (auto& soname : mpi_app_sonames(*stack, program.language)) {
+      spec.needed.push_back(std::move(soname));
+    }
+    if (stack->wrappers_embed_rpath) {
+      spec.rpath.push_back(stack->prefix + "/lib");
+      const CompilerModel stack_compiler(stack->compiler,
+                                         stack->compiler_version);
+      if (!stack_compiler.install_prefix().empty()) {
+        spec.rpath.push_back(stack_compiler.install_prefix() + "/lib");
+      }
+    }
+  }
+  for (auto& soname : compiler.runtime_sonames(program.language)) {
+    spec.needed.push_back(std::move(soname));
+  }
+  const bool uses_math =
+      std::find(program.libc_features.begin(), program.libc_features.end(),
+                "math") != program.libc_features.end();
+  if (uses_math) spec.needed.push_back("libm.so.6");
+  spec.needed.push_back("libc.so.6");
+
+  // Imported symbols: MPI entry points (unversioned — MPI is not a
+  // link-level specification), then versioned libc features.
+  if (stack != nullptr) {
+    if (program.language == Language::kFortran) {
+      spec.undefined_symbols.push_back({"mpi_init_", "", ""});
+      spec.undefined_symbols.push_back({"mpi_send_", "", ""});
+    } else {
+      spec.undefined_symbols.push_back({"MPI_Init", "", ""});
+      spec.undefined_symbols.push_back({"MPI_Send", "", ""});
+    }
+  }
+  std::vector<std::string> features = program.libc_features;
+  if (compiler.emits_stack_protector()) features.push_back("ssp");
+  bind_libc_features(spec, features, s.clib_version);
+
+  // Toolchain stamps: compiler comment with the build distro (as Red Hat /
+  // SUSE compiler packages embed), plus the simulated linker's glibc stamp.
+  spec.comments = {
+      compiler.comment_string() + " (" + s.os_distro + " " +
+          s.os_version.str() + ")",
+      "ld (FEAM-sim binutils) glibc " + s.clib_version.str(),
+  };
+
+  spec.abi = elf::AbiNote{
+      std::string(site::compiler_name(compiler.family())),
+      compiler.version().str(),
+      stack != nullptr ? site::mpi_impl_slug(stack->impl) : "",
+      stack != nullptr ? stack->version.str() : "",
+      compiler.abi_fingerprint(program.language),
+      compiler.fp_model()};
+
+  if (!s.vfs.write_file(output_path, elf::build_image(spec))) {
+    return Result<std::string>::failure("cannot write " + output_path);
+  }
+  return output_path;
+}
+
+}  // namespace
+
+Result<std::string> compile_mpi_program(Site& s, const ProgramSource& program,
+                                        const site::MpiStackInstall& stack,
+                                        std::string output_path) {
+  using R = Result<std::string>;
+  const auto* compiler_install = find_compiler(s, stack.compiler);
+  if (compiler_install == nullptr) {
+    return R::failure(std::string(site::compiler_name(stack.compiler)) +
+                      " compiler not installed at " + s.name);
+  }
+  // The stack itself must be installed at this site.
+  const bool stack_here =
+      std::any_of(s.stacks.begin(), s.stacks.end(), [&](const auto& candidate) {
+        return candidate.slug() == stack.slug();
+      });
+  if (!stack_here) {
+    return R::failure("MPI stack " + stack.slug() + " not installed at " +
+                      s.name);
+  }
+  const CompilerModel compiler(stack.compiler, compiler_install->version);
+  if (!compiler.supports(program.language)) {
+    return R::failure(compiler.comment_string() + " cannot compile " +
+                      language_name(program.language));
+  }
+  return link(s, program, compiler, &stack, std::move(output_path));
+}
+
+Result<std::string> compile_serial_program(Site& s,
+                                           const ProgramSource& program,
+                                           site::CompilerFamily family,
+                                           std::string output_path) {
+  using R = Result<std::string>;
+  const auto* compiler_install = find_compiler(s, family);
+  if (compiler_install == nullptr) {
+    return R::failure(std::string(site::compiler_name(family)) +
+                      " compiler not installed at " + s.name);
+  }
+  const CompilerModel compiler(family, compiler_install->version);
+  if (!compiler.supports(program.language)) {
+    return R::failure(compiler.comment_string() + " cannot compile " +
+                      language_name(program.language));
+  }
+  return link(s, program, compiler, nullptr, std::move(output_path));
+}
+
+support::Result<std::string> compile_static_mpi_program(
+    Site& s, const ProgramSource& program, const site::MpiStackInstall& stack,
+    std::string output_path) {
+  using R = support::Result<std::string>;
+  const auto* compiler_install = find_compiler(s, stack.compiler);
+  if (compiler_install == nullptr) {
+    return R::failure(std::string(site::compiler_name(stack.compiler)) +
+                      " compiler not installed at " + s.name);
+  }
+  if (!stack.static_libs_available) {
+    return R::failure("ld: cannot find -lmpich: " + stack.slug() +
+                      " was not installed with static libraries");
+  }
+  const CompilerModel compiler(stack.compiler, compiler_install->version);
+  if (!compiler.supports(program.language)) {
+    return R::failure(compiler.comment_string() + " cannot compile " +
+                      language_name(program.language));
+  }
+
+  elf::ElfSpec spec;
+  spec.isa = s.isa;
+  spec.kind = elf::FileKind::kExecutable;
+  spec.static_link = true;
+  // Everything the dynamic variant would load is folded into .text; the
+  // ~4x blow-up matches real -static MPI binaries of the era.
+  spec.text_size = program.text_size * 4 + 2 * 1024 * 1024;
+  spec.content_seed =
+      support::fnv1a(s.name + "|" + program.name + "|static|" + stack.slug());
+  spec.comments = {
+      compiler.comment_string() + " (" + s.os_distro + " " +
+          s.os_version.str() + ")",
+      "ld (FEAM-sim binutils) -static glibc " + s.clib_version.str(),
+  };
+  spec.abi = elf::AbiNote{std::string(site::compiler_name(compiler.family())),
+                          compiler.version().str(),
+                          site::mpi_impl_slug(stack.impl),
+                          stack.version.str(),
+                          compiler.abi_fingerprint(program.language),
+                          compiler.fp_model()};
+  if (!s.vfs.write_file(output_path, elf::build_image(spec))) {
+    return R::failure("cannot write " + output_path);
+  }
+  return output_path;
+}
+
+ProgramSource mpi_hello_world(Language lang) {
+  ProgramSource src;
+  src.name = lang == Language::kFortran ? "hello_mpi_f" : "hello_mpi_c";
+  src.language = lang;
+  src.uses_mpi = true;
+  src.libc_features = {"base", "stdio"};
+  src.text_size = 8 * 1024;
+  return src;
+}
+
+}  // namespace feam::toolchain

@@ -1,0 +1,56 @@
+// The simulated compile+link step: takes a source-program description, a
+// site, a compiler, and (for MPI programs) an MPI stack, and produces an
+// ELF binary in the site's filesystem — with exactly the DT_NEEDED set,
+// GLIBC version references, .comment stamps, and ABI note that a real
+// toolchain at that site would have produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "site/site.hpp"
+#include "support/result.hpp"
+#include "toolchain/compiler.hpp"
+
+namespace feam::toolchain {
+
+// Abstract description of a program's source code: its language, the libc
+// capabilities it uses (keys into the glibc feature catalog), and how big
+// its compiled text is. The workload generators (src/workloads/) produce
+// these for NPB and SPEC MPI2007.
+struct ProgramSource {
+  std::string name;
+  Language language = Language::kC;
+  bool uses_mpi = true;
+  std::vector<std::string> libc_features = {"base", "stdio"};
+  std::uint64_t text_size = 64 * 1024;
+};
+
+// Compiles `program` at `s` with the given MPI stack (whose compiler is
+// used) and writes the binary to `output_path` in the site's VFS.
+// Fails when the stack's compiler is not installed at the site or cannot
+// build the program's language. Returns the output path.
+support::Result<std::string> compile_mpi_program(
+    site::Site& s, const ProgramSource& program,
+    const site::MpiStackInstall& stack, std::string output_path);
+
+// Compiles a serial (non-MPI) program with the given compiler family.
+support::Result<std::string> compile_serial_program(
+    site::Site& s, const ProgramSource& program, site::CompilerFamily family,
+    std::string output_path);
+
+// Statically links `program` against the stack's static MPI libraries.
+// Only possible when the MPI implementation was installed with static
+// libraries (MpiStackInstall::static_libs_available); most sites in the
+// paper's testbed were not (Section VI.C). The resulting binary has no
+// dynamic dependencies at all and migrates to any ISA-compatible site.
+support::Result<std::string> compile_static_mpi_program(
+    site::Site& s, const ProgramSource& program,
+    const site::MpiStackInstall& stack, std::string output_path);
+
+// The canonical MPI "hello world" source FEAM compiles for stack
+// usability tests (paper Section III.B).
+ProgramSource mpi_hello_world(Language lang);
+
+}  // namespace feam::toolchain

@@ -1,0 +1,34 @@
+// Static half of the execution simulator: what the kernel's exec path and
+// ld.so decide before a program's first instruction runs — exec-format
+// checks, transitive library resolution, and symbol-version validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "binutils/resolver.hpp"
+#include "site/site.hpp"
+
+namespace feam::toolchain {
+
+enum class LoadStatus : std::uint8_t {
+  kOk,
+  kFileNotFound,
+  kExecFormatError,   // not ELF, or foreign ISA/word size
+  kMissingLibrary,    // one or more DT_NEEDED not found
+  kVersionMismatch,   // "version `GLIBC_x.y' not found"
+};
+
+struct LoadReport {
+  LoadStatus status = LoadStatus::kOk;
+  std::string detail;                 // loader-style error message
+  binutils::Resolution resolution;    // full closure (valid unless not ELF)
+};
+
+// Simulates exec+ld.so for the binary at `path` on `host`, with optional
+// extra library search directories (FEAM's resolution model injects its
+// copy directories this way, mirroring LD_LIBRARY_PATH edits).
+LoadReport load_binary(const site::Site& host, std::string_view path,
+                       const std::vector<std::string>& extra_lib_dirs = {});
+
+}  // namespace feam::toolchain

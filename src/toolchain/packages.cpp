@@ -1,0 +1,415 @@
+#include "toolchain/packages.hpp"
+
+#include "elf/builder.hpp"
+#include "support/rng.hpp"
+#include "toolchain/glibc.hpp"
+
+namespace feam::toolchain {
+
+namespace {
+
+using site::MpiImpl;
+using site::MpiStackInstall;
+using site::Site;
+using support::Version;
+
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * 1024;
+
+// Directory for system libraries of the site's native bitness.
+std::string system_lib_dir(const Site& s) {
+  return elf::isa_bits(s.isa) == 64 ? "/lib64" : "/lib";
+}
+std::string usr_lib_dir(const Site& s) {
+  return elf::isa_bits(s.isa) == 64 ? "/usr/lib64" : "/usr/lib";
+}
+
+// Writes a library image plus the lib<name>.so.X -> lib<name>.so.X.Y
+// symlink chain a real install has. `real_suffix` extends the soname to
+// the on-disk file name (empty -> file named exactly by soname).
+void write_library(Site& s, const std::string& dir, const elf::ElfSpec& spec,
+                   const std::string& real_suffix = "") {
+  const std::string soname = spec.soname;
+  const std::string file = soname + real_suffix;
+  s.vfs.write_file(site::Vfs::join(dir, file), elf::build_image(spec));
+  if (!real_suffix.empty()) {
+    s.vfs.symlink(site::Vfs::join(dir, soname), file);
+  }
+  // Development symlink (libfoo.so -> soname) as ldconfig would leave it.
+  const auto so_pos = soname.find(".so");
+  if (so_pos != std::string::npos && so_pos + 3 < soname.size()) {
+    s.vfs.symlink(site::Vfs::join(dir, soname.substr(0, so_pos + 3)), file);
+  }
+}
+
+// Common skeleton for a shared library built *at* this site: correct ISA,
+// deterministic content seeded by site+soname, GLIBC refs bound to the
+// site's C library.
+elf::ElfSpec library_skeleton(const Site& s, std::string soname,
+                              std::size_t text_size,
+                              const std::vector<std::string>& features) {
+  elf::ElfSpec spec;
+  spec.isa = s.isa;
+  spec.kind = elf::FileKind::kSharedObject;
+  spec.soname = std::move(soname);
+  spec.text_size = text_size;
+  spec.content_seed = support::fnv1a(s.name + "|" + spec.soname);
+  spec.needed.push_back("libc.so.6");
+  bind_libc_features(spec, features, s.clib_version);
+  return spec;
+}
+
+}  // namespace
+
+void bind_libc_features(elf::ElfSpec& spec,
+                        const std::vector<std::string>& feature_keys,
+                        const Version& build_libc) {
+  for (const auto& key : feature_keys) {
+    const auto feature = find_libc_feature(key);
+    if (!feature) continue;
+    if (feature->node > build_libc) continue;  // not detected at configure time
+    const std::string from_lib = key == "math" ? "libm.so.6" : "libc.so.6";
+    spec.undefined_symbols.push_back(
+        {feature->symbol, "GLIBC_" + feature->node.str(), from_lib});
+  }
+}
+
+void install_clibrary(Site& s) {
+  const std::string dir = system_lib_dir(s);
+  const auto nodes = glibc_nodes_up_to(s.clib_version);
+  const std::string release_suffix = "-" + s.clib_version.str() + ".so";
+
+  // libc.so.6 -> libc-<release>.so.
+  {
+    elf::ElfSpec libc;
+    libc.isa = s.isa;
+    libc.kind = elf::FileKind::kSharedObject;
+    libc.soname = "libc.so.6";
+    libc.version_definitions = nodes;
+    libc.text_size = 1700 * KiB;
+    libc.content_seed = support::fnv1a(s.name + "|libc");
+    libc.comments = {glibc_banner(s.clib_version)};
+    for (const auto& feature : libc_feature_catalog()) {
+      if (feature.key == "math") continue;
+      if (feature.node <= s.clib_version) {
+        libc.defined_symbols.push_back(
+            {feature.symbol, "GLIBC_" + feature.node.str()});
+      }
+    }
+    // Write as libc-2.X.so with the libc.so.6 symlink.
+    const std::string file = "libc" + release_suffix;
+    s.vfs.write_file(site::Vfs::join(dir, file), elf::build_image(libc));
+    s.vfs.symlink(site::Vfs::join(dir, "libc.so.6"), file);
+  }
+
+  // libm and the small glibc satellites all define the same nodes.
+  const auto satellite = [&](const std::string& soname, std::size_t size,
+                             std::vector<elf::DefinedSymbol> symbols) {
+    elf::ElfSpec lib;
+    lib.isa = s.isa;
+    lib.kind = elf::FileKind::kSharedObject;
+    lib.soname = soname;
+    lib.version_definitions = nodes;
+    lib.defined_symbols = std::move(symbols);
+    lib.text_size = size;
+    lib.content_seed = support::fnv1a(s.name + "|" + soname);
+    lib.needed.push_back("libc.so.6");
+    const std::string stem = soname.substr(0, soname.find(".so"));
+    const std::string file = stem + release_suffix;
+    s.vfs.write_file(site::Vfs::join(dir, file), elf::build_image(lib));
+    s.vfs.symlink(site::Vfs::join(dir, soname), file);
+  };
+  satellite("libm.so.6", 600 * KiB, {{"sqrt", "GLIBC_2.2.5"}});
+  satellite("libpthread.so.0", 130 * KiB, {{"pthread_create", "GLIBC_2.2.5"}});
+  satellite("libdl.so.2", 20 * KiB, {{"dlopen", "GLIBC_2.2.5"}});
+  satellite("librt.so.1", 40 * KiB, {{"clock_gettime", "GLIBC_2.2.5"}});
+
+  // The dynamic loader itself (name varies by ABI).
+  const char* loader_soname = "ld-linux.so.2";
+  switch (s.isa) {
+    case elf::Isa::kX86_64: loader_soname = "ld-linux-x86-64.so.2"; break;
+    case elf::Isa::kPpc64: loader_soname = "ld64.so.1"; break;
+    case elf::Isa::kAarch64: loader_soname = "ld-linux-aarch64.so.1"; break;
+    case elf::Isa::kX86:
+    case elf::Isa::kPpc: break;
+  }
+  elf::ElfSpec ld = library_skeleton(s, loader_soname, 140 * KiB, {});
+  ld.needed.clear();
+  write_library(s, dir, ld);
+}
+
+void install_system_libs(Site& s) {
+  const std::string dir = usr_lib_dir(s);
+  write_library(s, dir,
+                library_skeleton(s, "libnsl.so.1", 90 * KiB, {"base", "stdio"}));
+  write_library(s, dir,
+                library_skeleton(s, "libutil.so.1", 30 * KiB, {"base"}));
+
+  bool has_infiniband = false;
+  for (const auto& stack : s.stacks) {
+    has_infiniband |= stack.interconnect == site::Interconnect::kInfiniband;
+  }
+  if (has_infiniband) {
+    write_library(s, dir,
+                  library_skeleton(s, "libibverbs.so.1", 120 * KiB,
+                                   {"base", "stdio", "atfuncs"}));
+    write_library(s, dir,
+                  library_skeleton(s, "libibumad.so.3", 60 * KiB, {"base"}));
+  }
+}
+
+void install_compiler(Site& s, const CompilerModel& compiler) {
+  const bool system_compiler = compiler.family() == site::CompilerFamily::kGnu;
+  const std::string dir = system_compiler
+                              ? usr_lib_dir(s)
+                              : compiler.install_prefix() + "/lib";
+
+  struct RuntimeLib {
+    Language lang;
+    std::size_t size;
+  };
+  // Sizes chosen so per-site bundles land in the paper's ~45M regime.
+  const auto size_of = [](const std::string& soname) -> std::size_t {
+    if (soname == "libsvml.so") return 5800 * KiB;
+    if (soname == "libimf.so") return 2400 * KiB;
+    if (soname.find("libifcore") == 0) return 1300 * KiB;
+    if (soname.find("libifport") == 0) return 300 * KiB;
+    if (soname.find("libintlc") == 0) return 150 * KiB;
+    if (soname.find("libstdc++") == 0) return 1 * MiB;
+    if (soname.find("libgfortran") == 0) return 800 * KiB;
+    if (soname.find("libg2c") == 0) return 200 * KiB;
+    if (soname.find("libgcc_s") == 0) return 90 * KiB;
+    if (soname.find("libpgf90") == 0) return 1500 * KiB;
+    if (soname.find("libpgftnrtl") == 0) return 400 * KiB;
+    if (soname.find("libpgc") == 0) return 500 * KiB;
+    return 256 * KiB;
+  };
+
+  // Union of runtime sonames over all languages, each tagged with the
+  // "most specific" language so ABI fingerprints are meaningful.
+  std::vector<std::pair<std::string, Language>> libs;
+  for (const Language lang : {Language::kC, Language::kCxx, Language::kFortran}) {
+    if (!compiler.supports(lang)) continue;
+    for (const auto& soname : compiler.runtime_sonames(lang)) {
+      const bool seen = std::any_of(libs.begin(), libs.end(), [&](const auto& p) {
+        return p.first == soname;
+      });
+      if (!seen) libs.emplace_back(soname, lang);
+    }
+  }
+
+  for (const auto& [soname, lang] : libs) {
+    elf::ElfSpec spec = library_skeleton(
+        s, soname, size_of(soname),
+        {"base", "stdio", "math",
+         compiler.emits_stack_protector() ? "ssp" : "base"});
+    if (soname.find("libm") != std::string::npos ||
+        lang == Language::kFortran) {
+      spec.needed.insert(spec.needed.begin(), "libm.so.6");
+    }
+    spec.abi = elf::AbiNote{std::string(site::compiler_name(compiler.family())),
+                            compiler.version().str(),
+                            "",
+                            "",
+                            compiler.abi_fingerprint(lang),
+                            compiler.fp_model()};
+    spec.comments = {compiler.comment_string()};
+    write_library(s, dir, spec);
+  }
+
+  // Compatibility runtimes distributions ship alongside the system GCC
+  // (compat-libf2c on RHEL5/CentOS5 for g77 binaries, compat-libgfortran
+  // on RHEL6-era systems for gcc-4.1 binaries). These are what let old
+  // Fortran binaries keep running after a compiler generation bump.
+  if (compiler.family() == site::CompilerFamily::kGnu &&
+      compiler.version().major() >= 4) {
+    const bool modern = compiler.version() >= support::Version::of("4.4");
+    const auto compat_runtime = [&](const char* era_version,
+                                    const std::string& compat_soname,
+                                    std::size_t size) {
+      const CompilerModel era(site::CompilerFamily::kGnu,
+                              support::Version::of(era_version));
+      elf::ElfSpec compat =
+          library_skeleton(s, compat_soname, size, {"base", "stdio", "math"});
+      compat.needed.insert(compat.needed.begin(), "libm.so.6");
+      compat.abi = elf::AbiNote{"GNU", era.version().str(), "", "",
+                                era.abi_fingerprint(Language::kFortran),
+                                era.fp_model()};
+      compat.comments = {era.comment_string()};
+      write_library(s, dir, compat);
+    };
+    if (modern) {
+      // RHEL6/SLES11-era systems: compat-libgfortran for gcc-4.1 binaries.
+      compat_runtime("4.1.2", "libgfortran.so.1", 800 * KiB);
+    } else {
+      // RHEL5/CentOS5-era systems: compat-libf2c-34 for g77 binaries, and
+      // the gcc44 preview package's libgfortran.so.3.
+      compat_runtime("3.4.6", "libg2c.so.0", 200 * KiB);
+      compat_runtime("4.4.0", "libgfortran.so.3", 850 * KiB);
+    }
+  }
+}
+
+std::string mpi_primary_soname(const MpiStackInstall& stack) {
+  switch (stack.impl) {
+    case MpiImpl::kOpenMpi:
+      return "libmpi.so.0";
+    case MpiImpl::kMpich2:
+      return "libmpich.so.1.2";
+    case MpiImpl::kMvapich2:
+      // MVAPICH2 1.2 shipped the older libmpich ABI; the 1.7 line moved to
+      // .1.2 (this is what makes Ranger's MVAPICH2 binaries miss their MPI
+      // library at 1.7 sites until resolution copies it over).
+      return stack.version < Version::of("1.5") ? "libmpich.so.1.0"
+                                                : "libmpich.so.1.2";
+  }
+  return "";
+}
+
+std::vector<std::string> mpi_app_sonames(const MpiStackInstall& stack,
+                                         Language lang) {
+  std::vector<std::string> out;
+  const std::string primary = mpi_primary_soname(stack);
+  switch (stack.impl) {
+    case MpiImpl::kOpenMpi:
+      out.push_back(primary);
+      if (lang == Language::kFortran) out.push_back("libmpi_f77.so.0");
+      if (lang == Language::kCxx) out.push_back("libmpi_cxx.so.0");
+      // Table I: Open MPI applications carry libnsl/libutil directly.
+      out.push_back("libnsl.so.1");
+      out.push_back("libutil.so.1");
+      break;
+    case MpiImpl::kMpich2:
+      if (lang == Language::kFortran) {
+        out.push_back("libmpichf90" + primary.substr(std::string("libmpich").size()));
+      }
+      out.push_back(primary);
+      break;
+    case MpiImpl::kMvapich2: {
+      if (lang == Language::kFortran) {
+        out.push_back("libmpichf90" + primary.substr(std::string("libmpich").size()));
+      }
+      out.push_back(primary);
+      // Table I: the InfiniBand user-space libraries identify MVAPICH2.
+      out.push_back("libibverbs.so.1");
+      out.push_back("libibumad.so.3");
+      break;
+    }
+  }
+  return out;
+}
+
+void install_mpi_stack(Site& s, const MpiStackInstall& stack) {
+  const std::string libdir = stack.prefix + "/lib";
+  const std::string bindir = stack.prefix + "/bin";
+  const CompilerModel compiler(stack.compiler, stack.compiler_version);
+
+  const auto abi_note = [&](Language lang) {
+    return elf::AbiNote{std::string(site::compiler_name(stack.compiler)),
+                        stack.compiler_version.str(),
+                        site::mpi_impl_slug(stack.impl),
+                        stack.version.str(),
+                        compiler.abi_fingerprint(lang),
+                        compiler.fp_model()};
+  };
+
+  // MPI implementations probe for newer libc features at configure time,
+  // so libraries built on newer-glibc sites carry newer version refs —
+  // the reason some bundle copies are rejected at older-glibc targets.
+  const std::vector<std::string> mpi_features = {
+      "base", "stdio", "affinity", "atfuncs", "pipe2", "preadv", "recvmmsg"};
+
+  const std::string primary = mpi_primary_soname(stack);
+  switch (stack.impl) {
+    case MpiImpl::kOpenMpi: {
+      elf::ElfSpec pal = library_skeleton(s, "libopen-pal.so.0", 900 * KiB,
+                                          mpi_features);
+      pal.abi = abi_note(Language::kC);
+      write_library(s, libdir, pal, ".0.0");
+
+      elf::ElfSpec rte = library_skeleton(s, "libopen-rte.so.0", 1200 * KiB,
+                                          {"base", "stdio"});
+      rte.needed.insert(rte.needed.begin(), "libopen-pal.so.0");
+      rte.abi = abi_note(Language::kC);
+      write_library(s, libdir, rte, ".0.0");
+
+      elf::ElfSpec mpi = library_skeleton(s, "libmpi.so.0", 2800 * KiB,
+                                          {"base", "stdio", "math"});
+      mpi.needed.insert(mpi.needed.begin(),
+                        {"libopen-rte.so.0", "libopen-pal.so.0",
+                         "libnsl.so.1", "libutil.so.1", "libm.so.6"});
+      mpi.defined_symbols = {{"MPI_Init", ""}, {"MPI_Comm_rank", ""},
+                             {"MPI_Send", ""}, {"MPI_Finalize", ""}};
+      mpi.abi = abi_note(Language::kC);
+      write_library(s, libdir, mpi, ".0.0");
+
+      elf::ElfSpec f77 = library_skeleton(s, "libmpi_f77.so.0", 300 * KiB,
+                                          {"base"});
+      f77.needed.insert(f77.needed.begin(), "libmpi.so.0");
+      f77.defined_symbols = {{"mpi_init_", ""}, {"mpi_send_", ""}};
+      f77.abi = abi_note(Language::kFortran);
+      write_library(s, libdir, f77, ".0.0");
+
+      elf::ElfSpec cxx = library_skeleton(s, "libmpi_cxx.so.0", 200 * KiB,
+                                          {"base"});
+      cxx.needed.insert(cxx.needed.begin(), "libmpi.so.0");
+      cxx.abi = abi_note(Language::kCxx);
+      write_library(s, libdir, cxx, ".0.0");
+      break;
+    }
+    case MpiImpl::kMpich2:
+    case MpiImpl::kMvapich2: {
+      const std::string suffix = primary.substr(std::string("libmpich").size());
+
+      elf::ElfSpec mpl = library_skeleton(s, "libmpl.so.1", 80 * KiB, {"base"});
+      mpl.abi = abi_note(Language::kC);
+      write_library(s, libdir, mpl, ".0");
+      elf::ElfSpec opa = library_skeleton(s, "libopa.so.1", 60 * KiB, {"base"});
+      opa.abi = abi_note(Language::kC);
+      write_library(s, libdir, opa, ".0");
+
+      elf::ElfSpec mpich = library_skeleton(s, primary, 3500 * KiB, mpi_features);
+      mpich.needed.insert(mpich.needed.begin(),
+                          {"libmpl.so.1", "libopa.so.1", "libm.so.6"});
+      if (stack.impl == MpiImpl::kMvapich2) {
+        mpich.needed.insert(mpich.needed.begin(),
+                            {"libibverbs.so.1", "libibumad.so.3"});
+      }
+      mpich.defined_symbols = {{"MPI_Init", ""}, {"MPI_Comm_rank", ""},
+                               {"MPI_Send", ""}, {"MPI_Finalize", ""}};
+      mpich.abi = abi_note(Language::kC);
+      write_library(s, libdir, mpich);
+
+      elf::ElfSpec f90 = library_skeleton(s, "libmpichf90" + suffix, 200 * KiB,
+                                          {"base"});
+      f90.needed.insert(f90.needed.begin(), primary);
+      f90.defined_symbols = {{"mpi_init_", ""}};
+      f90.abi = abi_note(Language::kFortran);
+      write_library(s, libdir, f90);
+      break;
+    }
+  }
+
+  // Compiler wrappers and the launcher. Wrapper scripts embed the compiler
+  // banner; FEAM probes them with `-V` and reads path naming schemes.
+  const auto wrapper = [&](const std::string& name, Language lang) {
+    const std::string body =
+        "#!/bin/sh\n"
+        "# " + std::string(site::mpi_impl_name(stack.impl)) + " " +
+        stack.version.str() + " compiler wrapper for " +
+        language_name(lang) + "\n"
+        "# COMPILER: " + compiler.version_banner() + "\n";
+    s.vfs.write_file(site::Vfs::join(bindir, name), body);
+  };
+  wrapper("mpicc", Language::kC);
+  wrapper("mpicxx", Language::kCxx);
+  wrapper("mpif77", Language::kFortran);
+  wrapper("mpif90", Language::kFortran);
+  s.vfs.write_file(site::Vfs::join(bindir, "mpiexec"),
+                   std::string("#!/bin/sh\n# ") +
+                       site::mpi_impl_name(stack.impl) + " " +
+                       stack.version.str() + " process launcher\n");
+  s.vfs.symlink(site::Vfs::join(bindir, "mpirun"), "mpiexec");
+}
+
+}  // namespace feam::toolchain

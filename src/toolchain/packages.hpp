@@ -1,0 +1,61 @@
+// Package generators: materialize the C library, system libraries,
+// compiler runtimes, and MPI implementations into a Site's virtual
+// filesystem as real ELF shared objects (with sonames, symlink chains,
+// GLIBC version references bound against the site's own C library, and
+// ABI notes). Everything FEAM later discovers, it discovers from these
+// files — the Site's configuration fields are never consulted by FEAM.
+//
+// The MPI link-level identities follow the paper's Table I:
+//   MVAPICH2 : libmpich/libmpichf90 + libibverbs + libibumad
+//   Open MPI : libmpi (+libnsl, libutil among the app's NEEDED)
+//   MPICH2   : libmpich/libmpichf90 and no InfiniBand identifiers
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elf/spec.hpp"
+#include "site/site.hpp"
+#include "toolchain/compiler.hpp"
+
+namespace feam::toolchain {
+
+// Binds a list of libc-feature keys into version-referenced undefined
+// symbols, capped by the C library release the binary is built against
+// (configure-style detection: features newer than the build libc simply
+// are not used). Appends to spec.undefined_symbols.
+void bind_libc_features(elf::ElfSpec& spec,
+                        const std::vector<std::string>& feature_keys,
+                        const support::Version& build_libc);
+
+// Installs glibc (libc/libm/libpthread/libdl/librt + dynamic loader) into
+// the site's default library directories with the full version-node
+// definitions for site.clib_version, including the libc-X.Y.so +
+// libc.so.6 symlink convention.
+void install_clibrary(site::Site& s);
+
+// libnsl/libutil (Open MPI app-side identifiers) and, on InfiniBand sites,
+// libibverbs/libibumad (the MVAPICH2 identifiers).
+void install_system_libs(site::Site& s);
+
+// Compiler runtime libraries. GNU runtimes land in the system directories;
+// Intel/PGI land under /opt/<compiler>-<version>/lib and are only reachable
+// through module-managed LD_LIBRARY_PATH entries — which is why migrated
+// Intel/PGI binaries so often miss them (paper Section VI.C).
+void install_compiler(site::Site& s, const CompilerModel& compiler);
+
+// One MPI stack under stack.prefix: implementation libraries, compiler
+// wrapper scripts (mpicc/mpif90/...), and mpiexec. Registers nothing in
+// the environment — module files (written by provisioning) do that.
+void install_mpi_stack(site::Site& s, const site::MpiStackInstall& stack);
+
+// SONAMEs of the implementation libraries an *application* linked with the
+// given stack/language carries in DT_NEEDED (the Table I identities).
+std::vector<std::string> mpi_app_sonames(const site::MpiStackInstall& stack,
+                                         Language lang);
+
+// The soname of the primary MPI library for the stack ("libmpi.so.0" /
+// "libmpich.so.1.2" / "libmpich.so.1.0").
+std::string mpi_primary_soname(const site::MpiStackInstall& stack);
+
+}  // namespace feam::toolchain

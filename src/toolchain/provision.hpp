@@ -1,0 +1,14 @@
+// Site provisioning: turns a configured (but empty) Site into a fully
+// materialized environment — /proc and /etc identity files, the C library,
+// system libraries, compiler runtimes, every MPI stack, and the module
+// files (or SoftEnv database) that advertise them. After provisioning,
+// everything FEAM can learn about the site is present *in* the site.
+#pragma once
+
+#include "site/site.hpp"
+
+namespace feam::toolchain {
+
+void provision_site(site::Site& s);
+
+}  // namespace feam::toolchain

@@ -1,0 +1,166 @@
+#include "toolchain/shell.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace feam::toolchain {
+
+namespace {
+
+// $VAR and ${VAR} expansion against the site environment.
+std::string expand(const site::Site& s, std::string_view text) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '$') {
+      out += text[i++];
+      continue;
+    }
+    ++i;
+    bool braced = i < text.size() && text[i] == '{';
+    if (braced) ++i;
+    std::size_t start = i;
+    while (i < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+      ++i;
+    }
+    const std::string name(text.substr(start, i - start));
+    if (braced && i < text.size() && text[i] == '}') ++i;
+    if (!name.empty()) {
+      out += s.env.get(name).value_or("");
+    } else {
+      out += '$';
+    }
+  }
+  return out;
+}
+
+// Strips a trailing ":$VAR" artifact: "a:" -> "a" (when $VAR was unset).
+void strip_trailing_colon(std::string& value) {
+  while (!value.empty() && value.back() == ':') value.pop_back();
+}
+
+}  // namespace
+
+ScriptResult run_script(site::Site& s, std::string_view script_text) {
+  ScriptResult result;
+  result.last_run = {RunStatus::kSuccess, "", ""};
+
+  for (const auto& raw_line : support::split(script_text, '\n')) {
+    const auto line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = support::split_ws(line);
+
+    if (fields[0] == "module") {
+      if (fields.size() >= 3 && fields[1] == "load") {
+        if (!s.load_module(fields[2])) {
+          result.errors.push_back("module: unable to locate a modulefile for '" +
+                                  fields[2] + "'");
+        }
+      } else if (fields.size() >= 2 && fields[1] == "purge") {
+        s.unload_all_modules();
+      } else {
+        result.errors.push_back("module: unsupported subcommand: " +
+                                std::string(line));
+      }
+      continue;
+    }
+
+    if (fields[0] == "soft" && fields.size() >= 3 && fields[1] == "add") {
+      // "+openmpi-1.4-intel" maps onto the registered stack the same way
+      // the SoftEnv database was generated from it.
+      std::string key = fields[2];
+      if (!key.empty() && key.front() == '+') key.erase(0, 1);
+      const auto* stack = s.stack_for_module(key);
+      if (stack == nullptr) {
+        result.errors.push_back("soft: no such key: " + fields[2]);
+        continue;
+      }
+      s.env.prepend_to_list("PATH", stack->prefix + "/bin");
+      s.env.prepend_to_list("LD_LIBRARY_PATH", stack->prefix + "/lib");
+      continue;
+    }
+
+    if (fields[0] == "export") {
+      const auto assignment = support::trim(line.substr(6));
+      const auto eq = assignment.find('=');
+      if (eq == std::string_view::npos) {
+        result.errors.push_back("export: syntax error: " + std::string(line));
+        continue;
+      }
+      const std::string name(assignment.substr(0, eq));
+      std::string value = expand(s, assignment.substr(eq + 1));
+      strip_trailing_colon(value);
+      s.env.set(name, value);
+      continue;
+    }
+
+    const bool is_launcher = fields[0] == "mpiexec" || fields[0] == "mpirun" ||
+                             fields[0] == "mpirun_rsh" || fields[0] == "orterun";
+    if (is_launcher) {
+      int ranks = 1;
+      std::string binary;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        if ((fields[i] == "-n" || fields[i] == "-np") && i + 1 < fields.size()) {
+          try {
+            ranks = std::stoi(fields[++i]);
+          } catch (...) {
+            result.errors.push_back("mpiexec: bad rank count");
+          }
+        } else if (!support::starts_with(fields[i], "-")) {
+          binary = expand(s, fields[i]);
+          break;
+        }
+      }
+      if (binary.empty()) {
+        result.errors.push_back("mpiexec: no executable given");
+        continue;
+      }
+      result.last_run = mpiexec_with_retries(s, binary, ranks);
+      if (!result.last_run.success()) return result;
+      continue;
+    }
+
+    // Anything else: a serial command (absolute path into the VFS).
+    const std::string path = expand(s, fields[0]);
+    result.last_run = run_serial(s, path);
+    if (!result.last_run.success()) return result;
+  }
+  return result;
+}
+
+JobResult submit_batch_job(site::Site& s, const site::BatchScript& job) {
+  JobResult result;
+  if (job.kind != s.batch) {
+    result.script.errors.push_back(
+        std::string("submission rejected: site runs ") +
+        site::batch_name(s.batch) + ", script is " +
+        site::batch_name(job.kind));
+    return result;
+  }
+  // Deterministic job id + queue wait derived from the job identity; debug
+  // queues drain fast (the paper's recommendation for FEAM phases).
+  support::Rng rng(support::fnv1a(s.name + "|" + job.job_name + "|" +
+                                  job.render()));
+  result.job_id =
+      std::to_string(100000 + rng.next_below(900000)) + ".sched-" + s.name;
+  const bool debug_queue = job.queue == "debug";
+  result.queue_wait_seconds =
+      static_cast<int>(rng.next_below(debug_queue ? 60 : 3600));
+
+  // Fresh login shell: snapshot/restore around the body.
+  const auto saved_path = s.env.get("PATH");
+  const auto saved_ld = s.env.get("LD_LIBRARY_PATH");
+  std::string body;
+  for (const auto& command : job.commands) body += command + "\n";
+  result.script = run_script(s, body);
+  s.unload_all_modules();  // clears module bookkeeping before restoring env
+  if (saved_path) s.env.set("PATH", *saved_path); else s.env.unset("PATH");
+  if (saved_ld) s.env.set("LD_LIBRARY_PATH", *saved_ld);
+  else s.env.unset("LD_LIBRARY_PATH");
+  return result;
+}
+
+}  // namespace feam::toolchain

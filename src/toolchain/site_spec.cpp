@@ -1,0 +1,190 @@
+#include "toolchain/site_spec.hpp"
+
+#include "support/json.hpp"
+#include "toolchain/provision.hpp"
+
+namespace feam::toolchain {
+
+namespace {
+
+using support::Json;
+using support::Version;
+
+std::optional<elf::Isa> isa_from_string(std::string_view text) {
+  if (text == "x86_64") return elf::Isa::kX86_64;
+  if (text == "i686" || text == "i386") return elf::Isa::kX86;
+  if (text == "ppc64") return elf::Isa::kPpc64;
+  if (text == "ppc") return elf::Isa::kPpc;
+  if (text == "aarch64") return elf::Isa::kAarch64;
+  return std::nullopt;
+}
+
+const char* isa_to_string(elf::Isa isa) {
+  switch (isa) {
+    case elf::Isa::kX86_64: return "x86_64";
+    case elf::Isa::kX86: return "i686";
+    case elf::Isa::kPpc64: return "ppc64";
+    case elf::Isa::kPpc: return "ppc";
+    case elf::Isa::kAarch64: return "aarch64";
+  }
+  return "?";
+}
+
+std::optional<site::CompilerFamily> family_from_string(std::string_view slug) {
+  for (const auto fam : {site::CompilerFamily::kGnu, site::CompilerFamily::kIntel,
+                         site::CompilerFamily::kPgi}) {
+    if (slug == site::compiler_slug(fam)) return fam;
+  }
+  return std::nullopt;
+}
+
+std::optional<site::MpiImpl> impl_from_string(std::string_view slug) {
+  for (const auto impl : {site::MpiImpl::kOpenMpi, site::MpiImpl::kMpich2,
+                          site::MpiImpl::kMvapich2}) {
+    if (slug == site::mpi_impl_slug(impl)) return impl;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+support::Result<std::unique_ptr<site::Site>> make_site_from_json(
+    std::string_view json_text) {
+  using R = support::Result<std::unique_ptr<site::Site>>;
+  const auto parsed = Json::parse(json_text);
+  if (!parsed || !parsed->is_object()) {
+    return R::failure("site spec is not a JSON object");
+  }
+  const Json& j = *parsed;
+
+  auto s = std::make_unique<site::Site>();
+  s->name = j.get_string("name");
+  if (s->name.empty()) return R::failure("site spec: \"name\" is required");
+
+  const auto isa = isa_from_string(j.get_string("isa", "x86_64"));
+  if (!isa) return R::failure("site spec: unknown \"isa\"");
+  s->isa = *isa;
+
+  const Json& os = j["os"];
+  s->os_distro = os.get_string("distro", "Linux");
+  const auto os_version = Version::parse(os.get_string("version", "1"));
+  if (!os_version) return R::failure("site spec: bad os.version");
+  s->os_version = *os_version;
+  s->kernel_version = os.get_string("kernel", "2.6.18");
+
+  const auto clib = Version::parse(j.get_string("clib_version"));
+  if (!clib) return R::failure("site spec: \"clib_version\" is required");
+  s->clib_version = *clib;
+
+  s->system_type = j.get_string("system_type", "Cluster");
+  s->cpu_count = static_cast<int>(j.get_int("cpu_count", 64));
+
+  const std::string tool = j.get_string("user_env_tool", "modules");
+  if (tool == "modules") s->user_env_tool = site::UserEnvTool::kModules;
+  else if (tool == "softenv") s->user_env_tool = site::UserEnvTool::kSoftEnv;
+  else if (tool == "none") s->user_env_tool = site::UserEnvTool::kNone;
+  else return R::failure("site spec: unknown \"user_env_tool\"");
+
+  const std::string batch = j.get_string("batch", "pbs");
+  if (batch == "pbs") s->batch = site::BatchKind::kPbs;
+  else if (batch == "sge") s->batch = site::BatchKind::kSge;
+  else if (batch == "slurm") s->batch = site::BatchKind::kSlurm;
+  else return R::failure("site spec: unknown \"batch\"");
+
+  for (const Json& compiler : j["compilers"].as_array()) {
+    const auto family = family_from_string(compiler.get_string("family"));
+    const auto version = Version::parse(compiler.get_string("version"));
+    if (!family || !version) {
+      return R::failure("site spec: bad compiler entry");
+    }
+    s->compilers.push_back({*family, *version});
+  }
+  if (s->compilers.empty()) {
+    return R::failure("site spec: at least one compiler is required");
+  }
+
+  for (const Json& stack_json : j["stacks"].as_array()) {
+    site::MpiStackInstall stack;
+    const auto impl = impl_from_string(stack_json.get_string("impl"));
+    const auto version = Version::parse(stack_json.get_string("version"));
+    const auto family = family_from_string(stack_json.get_string("compiler"));
+    if (!impl || !version || !family) {
+      return R::failure("site spec: bad stack entry");
+    }
+    stack.impl = *impl;
+    stack.version = *version;
+    stack.compiler = *family;
+    const auto* compiler_install =
+        [&]() -> const site::CompilerInstall* {
+      for (const auto& c : s->compilers) {
+        if (c.family == *family) return &c;
+      }
+      return nullptr;
+    }();
+    if (compiler_install == nullptr) {
+      return R::failure("site spec: stack uses compiler \"" +
+                        stack_json.get_string("compiler") +
+                        "\" which is not installed at the site");
+    }
+    stack.compiler_version = compiler_install->version;
+    stack.interconnect =
+        stack_json.get_string("interconnect", "ethernet") == "infiniband"
+            ? site::Interconnect::kInfiniband
+            : site::Interconnect::kEthernet;
+    stack.functional = stack_json.get_bool("functional", true);
+    stack.static_libs_available = stack_json.get_bool("static_libs", false);
+    stack.wrappers_embed_rpath = stack_json.get_bool("rpath_wrappers", false);
+    s->stacks.push_back(std::move(stack));
+  }
+
+  provision_site(*s);
+  return s;
+}
+
+std::string site_to_json(const site::Site& s) {
+  Json j;
+  j.set("name", s.name);
+  j.set("isa", isa_to_string(s.isa));
+  Json os;
+  os.set("distro", s.os_distro);
+  os.set("version", s.os_version.str());
+  os.set("kernel", s.kernel_version);
+  j.set("os", os);
+  j.set("clib_version", s.clib_version.str());
+  j.set("system_type", s.system_type);
+  j.set("cpu_count", s.cpu_count);
+  j.set("user_env_tool",
+        s.user_env_tool == site::UserEnvTool::kModules   ? "modules"
+        : s.user_env_tool == site::UserEnvTool::kSoftEnv ? "softenv"
+                                                         : "none");
+  j.set("batch", s.batch == site::BatchKind::kPbs   ? "pbs"
+                 : s.batch == site::BatchKind::kSge ? "sge"
+                                                    : "slurm");
+  Json::Array compilers;
+  for (const auto& c : s.compilers) {
+    Json entry;
+    entry.set("family", site::compiler_slug(c.family));
+    entry.set("version", c.version.str());
+    compilers.push_back(std::move(entry));
+  }
+  j.set("compilers", Json(std::move(compilers)));
+  Json::Array stacks;
+  for (const auto& stack : s.stacks) {
+    Json entry;
+    entry.set("impl", site::mpi_impl_slug(stack.impl));
+    entry.set("version", stack.version.str());
+    entry.set("compiler", site::compiler_slug(stack.compiler));
+    entry.set("interconnect",
+              stack.interconnect == site::Interconnect::kInfiniband
+                  ? "infiniband"
+                  : "ethernet");
+    entry.set("functional", stack.functional);
+    entry.set("static_libs", stack.static_libs_available);
+    entry.set("rpath_wrappers", stack.wrappers_embed_rpath);
+    stacks.push_back(std::move(entry));
+  }
+  j.set("stacks", Json(std::move(stacks)));
+  return j.dump(2);
+}
+
+}  // namespace feam::toolchain

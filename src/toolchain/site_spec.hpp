@@ -1,0 +1,45 @@
+// User-defined computing sites: a JSON description that configures and
+// provisions a Site, so the `feam` tool (and downstream users of the
+// library) can model machines beyond the built-in testbed.
+//
+// Example:
+//   {
+//     "name": "mycluster",
+//     "isa": "x86_64",                      // x86_64 | i686 | ppc64 | ppc
+//     "os": {"distro": "CentOS", "version": "5.6",
+//            "kernel": "2.6.18-194.el5"},
+//     "clib_version": "2.5",
+//     "system_type": "Cluster", "cpu_count": 512,
+//     "user_env_tool": "modules",           // modules | softenv | none
+//     "batch": "pbs",                       // pbs | sge | slurm
+//     "compilers": [{"family": "gnu", "version": "4.1.2"},
+//                   {"family": "intel", "version": "11.1"}],
+//     "stacks": [
+//       {"impl": "openmpi", "version": "1.4", "compiler": "gnu",
+//        "interconnect": "infiniband", "functional": true,
+//        "static_libs": false, "rpath_wrappers": false}
+//     ]
+//   }
+//
+// Stack compiler versions are looked up from the site's compiler list; a
+// stack naming an uninstalled compiler family is an error.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "site/site.hpp"
+#include "support/result.hpp"
+
+namespace feam::toolchain {
+
+// Parses the JSON, configures the site, and provisions it. Errors name the
+// offending field.
+support::Result<std::unique_ptr<site::Site>> make_site_from_json(
+    std::string_view json_text);
+
+// Renders an existing site's configuration back to JSON (round-trips
+// through make_site_from_json).
+std::string site_to_json(const site::Site& s);
+
+}  // namespace feam::toolchain

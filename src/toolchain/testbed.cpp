@@ -1,0 +1,208 @@
+#include "toolchain/testbed.hpp"
+
+#include <stdexcept>
+
+#include "support/rng.hpp"
+#include "toolchain/provision.hpp"
+
+namespace feam::toolchain {
+
+namespace {
+
+using site::CompilerFamily;
+using site::Interconnect;
+using site::MpiImpl;
+using site::MpiStackInstall;
+using site::Site;
+using support::Version;
+
+MpiStackInstall stack(MpiImpl impl, const char* version, CompilerFamily fam,
+                      const char* compiler_version, Interconnect ic,
+                      bool functional = true) {
+  MpiStackInstall s;
+  s.impl = impl;
+  s.version = Version::of(version);
+  s.compiler = fam;
+  s.compiler_version = Version::of(compiler_version);
+  s.interconnect = ic;
+  s.functional = functional;
+  return s;
+}
+
+std::unique_ptr<Site> configure(std::string_view name,
+                                std::uint64_t fault_seed) {
+  auto s = std::make_unique<Site>();
+  s->name = std::string(name);
+  s->isa = elf::Isa::kX86_64;
+  s->fault_seed = fault_seed ^ support::fnv1a(name);
+  s->system_error_rate = fault_seed == 0 ? 0.0 : 0.02;
+
+  if (name == "ranger") {
+    // XSEDE Ranger, Texas Advanced Computing Center (MPP, 62,976 CPUs).
+    s->center = "Texas Advanced Computing Center";
+    s->system_type = "MPP";
+    s->cpu_count = 62976;
+    s->os_distro = "CentOS";
+    s->os_version = Version::of("4.9");
+    s->kernel_version = "2.6.9-89.el4";
+    s->clib_version = Version::of("2.3.4");
+    s->user_env_tool = site::UserEnvTool::kModules;
+    s->batch = site::BatchKind::kSge;
+    s->compilers = {{CompilerFamily::kGnu, Version::of("3.4.6")},
+                    {CompilerFamily::kIntel, Version::of("10.1")},
+                    {CompilerFamily::kPgi, Version::of("7.2")}};
+    for (const CompilerFamily fam :
+         {CompilerFamily::kIntel, CompilerFamily::kGnu, CompilerFamily::kPgi}) {
+      const char* cv = fam == CompilerFamily::kGnu ? "3.4.6"
+                       : fam == CompilerFamily::kIntel ? "10.1" : "7.2";
+      s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.3", fam, cv,
+                                Interconnect::kInfiniband));
+      s->stacks.push_back(stack(MpiImpl::kMvapich2, "1.2", fam, cv,
+                                Interconnect::kInfiniband));
+    }
+  } else if (name == "forge") {
+    // XSEDE Forge, NCSA (Hybrid CPU/GPU, 576 CPUs).
+    s->center = "National Center for Supercomputing Applications";
+    s->system_type = "Hybrid";
+    s->cpu_count = 576;
+    s->os_distro = "Red Hat Enterprise Linux Server";
+    s->os_version = Version::of("6.1");
+    s->kernel_version = "2.6.32-131.el6";
+    s->clib_version = Version::of("2.12");
+    s->user_env_tool = site::UserEnvTool::kSoftEnv;
+    s->batch = site::BatchKind::kPbs;
+    s->compilers = {{CompilerFamily::kGnu, Version::of("4.4.5")},
+                    {CompilerFamily::kIntel, Version::of("12")}};
+    s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.4", CompilerFamily::kGnu,
+                              "4.4.5", Interconnect::kInfiniband));
+    s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.4", CompilerFamily::kIntel,
+                              "12", Interconnect::kInfiniband));
+    s->stacks.push_back(stack(MpiImpl::kMvapich2, "1.7rc1",
+                              CompilerFamily::kIntel, "12",
+                              Interconnect::kInfiniband));
+  } else if (name == "blacklight") {
+    // XSEDE Blacklight, Pittsburgh Supercomputing Center (SMP, 4,096 CPUs).
+    s->center = "Pittsburgh Supercomputing Center";
+    s->system_type = "SMP";
+    s->cpu_count = 4096;
+    s->os_distro = "SUSE Linux Enterprise Server";
+    s->os_version = Version::of("11");
+    s->kernel_version = "2.6.32.13-0.5";
+    s->clib_version = Version::of("2.11.1");
+    s->user_env_tool = site::UserEnvTool::kModules;
+    s->batch = site::BatchKind::kPbs;
+    s->compilers = {{CompilerFamily::kGnu, Version::of("4.4.3")},
+                    {CompilerFamily::kIntel, Version::of("11.1")}};
+    s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.4", CompilerFamily::kIntel,
+                              "11.1", Interconnect::kEthernet));
+    s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.4", CompilerFamily::kGnu,
+                              "4.4.3", Interconnect::kEthernet));
+  } else if (name == "india") {
+    // FutureGrid India, Indiana University (Cluster, 920 CPUs).
+    s->center = "Indiana University";
+    s->system_type = "Cluster";
+    s->cpu_count = 920;
+    s->os_distro = "Red Hat Enterprise Linux Server";
+    s->os_version = Version::of("5.6");
+    s->kernel_version = "2.6.18-238.el5";
+    s->clib_version = Version::of("2.5");
+    s->user_env_tool = site::UserEnvTool::kModules;
+    s->batch = site::BatchKind::kPbs;
+    s->compilers = {{CompilerFamily::kGnu, Version::of("4.1.2")},
+                    {CompilerFamily::kIntel, Version::of("11.1")}};
+    for (const CompilerFamily fam :
+         {CompilerFamily::kIntel, CompilerFamily::kGnu}) {
+      const char* cv = fam == CompilerFamily::kGnu ? "4.1.2" : "11.1";
+      s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.4", fam, cv,
+                                Interconnect::kInfiniband));
+      // The MVAPICH2/GNU combination is advertised but misconfigured —
+      // the kind of unusable stack the paper's usability test catches
+      // (Section III.B).
+      s->stacks.push_back(stack(MpiImpl::kMvapich2, "1.7a2", fam, cv,
+                                Interconnect::kInfiniband,
+                                /*functional=*/fam != CompilerFamily::kGnu));
+      // MPICH2 builds static libraries by default — the one place in the
+      // testbed where statically linked binaries are even an option.
+      auto mpich2 = stack(MpiImpl::kMpich2, "1.4", fam, cv,
+                          Interconnect::kEthernet);
+      mpich2.static_libs_available = true;
+      s->stacks.push_back(std::move(mpich2));
+    }
+  } else if (name == "fir") {
+    // ITS Fir, University of Virginia (Cluster, 1,496 CPUs).
+    s->center = "University of Virginia";
+    s->system_type = "Cluster";
+    s->cpu_count = 1496;
+    s->os_distro = "CentOS";
+    s->os_version = Version::of("5.6");
+    s->kernel_version = "2.6.18-238.9.1.el5";
+    s->clib_version = Version::of("2.5");
+    s->user_env_tool = site::UserEnvTool::kModules;
+    s->batch = site::BatchKind::kPbs;
+    s->compilers = {{CompilerFamily::kGnu, Version::of("4.1.2")},
+                    {CompilerFamily::kIntel, Version::of("12")},
+                    {CompilerFamily::kPgi, Version::of("10.9")}};
+    for (const CompilerFamily fam :
+         {CompilerFamily::kIntel, CompilerFamily::kGnu, CompilerFamily::kPgi}) {
+      const char* cv = fam == CompilerFamily::kGnu ? "4.1.2"
+                       : fam == CompilerFamily::kIntel ? "12" : "10.9";
+      s->stacks.push_back(stack(MpiImpl::kOpenMpi, "1.4", fam, cv,
+                                Interconnect::kInfiniband));
+      s->stacks.push_back(stack(MpiImpl::kMvapich2, "1.7a", fam, cv,
+                                Interconnect::kInfiniband));
+      auto mpich2 = stack(MpiImpl::kMpich2, "1.3", fam, cv,
+                          Interconnect::kEthernet);
+      mpich2.static_libs_available = true;
+      s->stacks.push_back(std::move(mpich2));
+    }
+  } else if (name == "bluefire") {
+    // Demonstration site beyond the paper's Table II: a POWER6-era Linux
+    // cluster. ppc64 is big-endian, so migrations to/from it exercise the
+    // ISA determinant and the full big-endian ELF pipeline.
+    s->center = "Demonstration Center";
+    s->system_type = "Cluster";
+    s->cpu_count = 4064;
+    s->isa = elf::Isa::kPpc64;
+    s->os_distro = "SUSE Linux Enterprise Server";
+    s->os_version = Version::of("10");
+    s->kernel_version = "2.6.16.60-0.42";
+    s->clib_version = Version::of("2.4");
+    s->user_env_tool = site::UserEnvTool::kModules;
+    s->batch = site::BatchKind::kSlurm;
+    s->compilers = {{CompilerFamily::kGnu, Version::of("4.1.2")}};
+    // The demo site's administrators configured Open MPI's wrappers to
+    // embed DT_RPATH — binaries run without any module loaded.
+    auto openmpi = stack(MpiImpl::kOpenMpi, "1.4", CompilerFamily::kGnu,
+                         "4.1.2", Interconnect::kInfiniband);
+    openmpi.wrappers_embed_rpath = true;
+    s->stacks.push_back(std::move(openmpi));
+  } else {
+    throw std::invalid_argument("unknown testbed site: " + std::string(name));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<Site> make_site(std::string_view name,
+                                std::uint64_t fault_seed) {
+  auto s = configure(name, fault_seed);
+  provision_site(*s);
+  return s;
+}
+
+const std::vector<std::string>& testbed_site_names() {
+  static const std::vector<std::string> kNames = {"ranger", "forge",
+                                                  "blacklight", "india", "fir"};
+  return kNames;
+}
+
+std::vector<std::unique_ptr<Site>> make_testbed(std::uint64_t fault_seed) {
+  std::vector<std::unique_ptr<Site>> out;
+  for (const auto& name : testbed_site_names()) {
+    out.push_back(make_site(name, fault_seed));
+  }
+  return out;
+}
+
+}  // namespace feam::toolchain

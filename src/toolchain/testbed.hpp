@@ -1,0 +1,26 @@
+// The evaluation testbed: the five computing sites of the paper's
+// Table II, fully provisioned. Site names, system types, operating
+// systems, C library versions, compiler versions, and MPI stack
+// combinations follow the table verbatim.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "site/site.hpp"
+
+namespace feam::toolchain {
+
+// Builds one provisioned site by name: "ranger", "forge", "blacklight",
+// "india", "fir". `fault_seed` parameterizes the site's stochastic system
+// errors (0 disables them entirely, useful in unit tests).
+std::unique_ptr<site::Site> make_site(std::string_view name,
+                                      std::uint64_t fault_seed = 0);
+
+// All five Table II sites in the paper's order.
+std::vector<std::unique_ptr<site::Site>> make_testbed(std::uint64_t fault_seed = 0);
+
+// The site names in Table II order.
+const std::vector<std::string>& testbed_site_names();
+
+}  // namespace feam::toolchain

@@ -1,0 +1,161 @@
+#include "workloads/benchmarks.hpp"
+
+#include "support/rng.hpp"
+#include "toolchain/compiler.hpp"
+
+namespace feam::workloads {
+
+namespace {
+
+using toolchain::Language;
+using toolchain::ProgramSource;
+
+constexpr std::size_t KiB = 1024;
+
+Workload make(std::string name, std::string suite, Language lang,
+              std::vector<std::string> features, std::size_t text_size) {
+  ProgramSource p;
+  p.name = std::move(name);
+  p.language = lang;
+  p.uses_mpi = true;
+  p.libc_features = std::move(features);
+  p.text_size = text_size;
+  return {std::move(p), std::move(suite)};
+}
+
+}  // namespace
+
+const std::vector<Workload>& npb_suite() {
+  static const std::vector<Workload> kSuite = {
+      // Kernels.
+      make("is.B", "NAS", Language::kC, {"base", "stdio", "math"}, 120 * KiB),
+      make("ep.B", "NAS", Language::kFortran, {"base", "stdio", "math"},
+           90 * KiB),
+      make("cg.B", "NAS", Language::kFortran,
+           {"base", "stdio", "math", "affinity"}, 160 * KiB),
+      make("mg.B", "NAS", Language::kFortran,
+           {"base", "stdio", "math", "affinity"}, 210 * KiB),
+      // Pseudo applications.
+      make("bt.B", "NAS", Language::kFortran,
+           {"base", "stdio", "math", "fadvise"}, 340 * KiB),
+      make("sp.B", "NAS", Language::kFortran,
+           {"base", "stdio", "math", "fadvise"}, 290 * KiB),
+      make("lu.B", "NAS", Language::kFortran,
+           {"base", "stdio", "math", "timer"}, 310 * KiB),
+  };
+  return kSuite;
+}
+
+const std::vector<Workload>& spec_mpi2007_suite() {
+  static const std::vector<Workload> kSuite = {
+      make("104.milc", "SPEC", Language::kC,
+           {"base", "stdio", "math", "affinity"}, 1200 * KiB),
+      make("107.leslie3d", "SPEC", Language::kFortran,
+           {"base", "stdio", "math"}, 800 * KiB),
+      make("115.fds4", "SPEC", Language::kFortran,
+           {"base", "stdio", "math", "atfuncs", "pipe2"}, 1500 * KiB),
+      make("122.tachyon", "SPEC", Language::kC,
+           {"base", "stdio", "math", "splice"}, 600 * KiB),
+      make("126.lammps", "SPEC", Language::kCxx,
+           {"base", "stdio", "math", "atfuncs", "pipe2"}, 2500 * KiB),
+      make("127.GAPgeofem", "SPEC", Language::kFortran,
+           {"base", "stdio", "math", "affinity"}, 1100 * KiB),
+      make("129.tera_tf", "SPEC", Language::kFortran,
+           {"base", "stdio", "math", "timer"}, 900 * KiB),
+  };
+  return kSuite;
+}
+
+std::vector<Workload> all_workloads() {
+  std::vector<Workload> out = npb_suite();
+  const auto& spec = spec_mpi2007_suite();
+  out.insert(out.end(), spec.begin(), spec.end());
+  return out;
+}
+
+namespace {
+
+bool is_perfect_square(int n) {
+  if (n < 1) return false;
+  int root = 1;
+  while (root * root < n) ++root;
+  return root * root == n;
+}
+
+bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+// Class scaling factors relative to class B (compiled-in data tables).
+std::optional<double> class_scale(char problem_class) {
+  switch (problem_class) {
+    case 'S': return 0.25;
+    case 'W': return 0.4;
+    case 'A': return 0.7;
+    case 'B': return 1.0;
+    case 'C': return 1.6;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+bool npb_nprocs_valid(std::string_view kernel, int nprocs) {
+  if (nprocs < 1) return false;
+  if (kernel == "bt" || kernel == "sp") return is_perfect_square(nprocs);
+  if (kernel == "cg" || kernel == "mg" || kernel == "is" || kernel == "ep" ||
+      kernel == "lu") {
+    return is_power_of_two(nprocs);
+  }
+  return false;  // unknown kernel
+}
+
+std::vector<int> npb_valid_nprocs(std::string_view kernel, int max_procs) {
+  std::vector<int> out;
+  for (int n = 1; n <= max_procs; ++n) {
+    if (npb_nprocs_valid(kernel, n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::optional<toolchain::ProgramSource> npb_binary(std::string_view kernel,
+                                                   char problem_class,
+                                                   int nprocs) {
+  const auto scale = class_scale(problem_class);
+  if (!scale) return std::nullopt;
+  if (!npb_nprocs_valid(kernel, nprocs)) return std::nullopt;
+  // Look the kernel up in the class-B reference suite.
+  for (const auto& workload : npb_suite()) {
+    if (workload.program.name.substr(0, workload.program.name.find('.')) !=
+        kernel) {
+      continue;
+    }
+    toolchain::ProgramSource p = workload.program;
+    p.name = std::string(kernel) + "." + problem_class + "." +
+             std::to_string(nprocs);
+    p.text_size = static_cast<std::uint64_t>(
+        static_cast<double>(p.text_size) * *scale);
+    return p;
+  }
+  return std::nullopt;
+}
+
+bool combination_viable(const toolchain::ProgramSource& program,
+                        std::string_view suite,
+                        const site::MpiStackInstall& stack,
+                        std::string_view site_name) {
+  // Hard constraint: the stack's compiler must handle the language at all
+  // (pgCC cannot build the template-heavy SPEC C++ code).
+  const toolchain::CompilerModel compiler(stack.compiler,
+                                          stack.compiler_version);
+  if (!compiler.supports(program.language)) return false;
+
+  // Attrition hash: stable per (benchmark, implementation, compiler,
+  // site). Rates are calibrated so the surviving test set sizes match the
+  // paper's Section VI.A (110 NPB / 147 SPEC binaries).
+  const double attrition = suite == "NAS" ? 0.33 : 0.13;
+  const std::uint64_t h = support::fnv1a(
+      program.name + "|" + site::mpi_impl_slug(stack.impl) + "|" +
+      site::compiler_slug(stack.compiler) + "|" + std::string(site_name));
+  return (static_cast<double>(h % 10000) / 10000.0) >= attrition;
+}
+
+}  // namespace feam::workloads

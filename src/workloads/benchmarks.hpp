@@ -1,0 +1,73 @@
+// The paper's two benchmark suites as source-program descriptions:
+//
+//  * NAS Parallel Benchmarks 2.4 (MPI reference implementation): four
+//    kernels — IS (integer sort), EP (embarrassingly parallel), CG
+//    (conjugate gradient), MG (multi-grid) — and three pseudo-applications
+//    — BT (block tridiagonal), SP (scalar penta-diagonal), LU
+//    (lower-upper Gauss-Seidel). All Fortran except IS (C).
+//
+//  * SPEC MPI2007: 104.milc (quantum chromodynamics, C), 107.leslie3d and
+//    115.fds4 (computational fluid dynamics, Fortran), 122.tachyon
+//    (parallel ray tracing, C), 126.lammps (molecular dynamics, C++),
+//    127.GAPgeofem (weather/geo FEM, Fortran+C), 129.tera_tf (3D Eulerian
+//    hydrodynamics, Fortran 90).
+//
+// Each entry carries the libc feature set its code exercises (which
+// decides the GLIBC version references a compiled binary gets) and a
+// representative text size (SPEC codes are an order of magnitude larger —
+// this feeds the fault model and bundle accounting).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "site/site.hpp"
+#include "toolchain/linker.hpp"
+
+namespace feam::workloads {
+
+struct Workload {
+  toolchain::ProgramSource program;
+  std::string suite;  // "NAS" or "SPEC"
+};
+
+const std::vector<Workload>& npb_suite();
+const std::vector<Workload>& spec_mpi2007_suite();
+std::vector<Workload> all_workloads();
+
+// Models the paper's test-set attrition (Section VI.A): "Some benchmarks
+// would not compile with certain MPI stack combinations while other
+// binaries would not run at the site where they were compiled." Returns
+// false for combinations excluded from the test set. Deterministic in its
+// arguments; NAS attrition is higher than SPEC's, reproducing the paper's
+// 110-of-possible / 147-of-possible split.
+bool combination_viable(const toolchain::ProgramSource& program,
+                        std::string_view suite,
+                        const site::MpiStackInstall& stack,
+                        std::string_view site_name);
+
+// ---- NPB build parameterization -----------------------------------------
+//
+// NPB 2.4 compiles the problem class AND the process count into the binary
+// (make CLASS=B NPROCS=16 -> bin/cg.B.16). Each kernel constrains NPROCS:
+//   BT, SP      : a perfect square (1, 4, 9, 16, ...)
+//   CG, MG, IS, EP, LU : a power of two
+// Problem classes: S (sample), W (workstation), A < B < C (increasing
+// size). Class scales the compiled data tables and therefore the binary's
+// text footprint.
+
+// True when NPB kernel `kernel` ("bt", "cg", ...) builds for `nprocs`.
+bool npb_nprocs_valid(std::string_view kernel, int nprocs);
+
+// All valid NPROCS for the kernel up to `max_procs`, ascending.
+std::vector<int> npb_valid_nprocs(std::string_view kernel, int max_procs);
+
+// The ProgramSource for one NPB build, named per the NPB convention
+// ("cg.B.16"). Fails (nullopt) for an unknown kernel, unknown class, or an
+// invalid process count.
+std::optional<toolchain::ProgramSource> npb_binary(std::string_view kernel,
+                                                   char problem_class,
+                                                   int nprocs);
+
+}  // namespace feam::workloads

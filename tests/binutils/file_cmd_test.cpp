@@ -1,0 +1,68 @@
+#include "binutils/file_cmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+namespace {
+
+TEST(FileCmd, DynamicExecutable) {
+  elf::ElfSpec spec;
+  spec.isa = elf::Isa::kX86_64;
+  spec.needed = {"libc.so.6"};
+  spec.text_size = 64;
+  site::Vfs vfs;
+  vfs.write_file("/a.out", elf::build_image(spec));
+  const auto out = file_type(vfs, "/a.out");
+  EXPECT_TRUE(support::contains(out, "ELF 64-bit LSB executable"));
+  EXPECT_TRUE(support::contains(out, "x86-64"));
+  EXPECT_TRUE(support::contains(out, "dynamically linked"));
+}
+
+TEST(FileCmd, StaticExecutable) {
+  elf::ElfSpec spec;
+  spec.static_link = true;
+  spec.text_size = 64;
+  site::Vfs vfs;
+  vfs.write_file("/static", elf::build_image(spec));
+  EXPECT_TRUE(support::contains(file_type(vfs, "/static"), "statically linked"));
+}
+
+TEST(FileCmd, BigEndianSharedObject) {
+  elf::ElfSpec spec;
+  spec.isa = elf::Isa::kPpc64;
+  spec.kind = elf::FileKind::kSharedObject;
+  spec.soname = "libdemo.so.1";
+  spec.text_size = 64;
+  site::Vfs vfs;
+  vfs.write_file("/libdemo.so.1", elf::build_image(spec));
+  const auto out = file_type(vfs, "/libdemo.so.1");
+  EXPECT_TRUE(support::contains(out, "ELF 64-bit MSB shared object"));
+  EXPECT_TRUE(support::contains(out, "powerpc64"));
+  EXPECT_TRUE(support::contains(out, "SONAME libdemo.so.1"));
+}
+
+TEST(FileCmd, ScriptsTextAndData) {
+  site::Vfs vfs;
+  vfs.write_file("/run.sh", "#!/bin/sh\necho hi\n");
+  EXPECT_TRUE(support::contains(file_type(vfs, "/run.sh"),
+                                "/bin/sh script text executable"));
+  vfs.write_file("/notes.txt", "plain words\n");
+  EXPECT_TRUE(support::contains(file_type(vfs, "/notes.txt"), "ASCII text"));
+  vfs.write_file("/blob", support::Bytes{0x00, 0xff, 0x10});
+  EXPECT_TRUE(support::contains(file_type(vfs, "/blob"), "data"));
+  vfs.write_file("/empty", support::Bytes{});
+  EXPECT_TRUE(support::contains(file_type(vfs, "/empty"), "empty"));
+  EXPECT_TRUE(support::contains(file_type(vfs, "/gone"), "cannot open"));
+}
+
+TEST(FileCmd, CorruptElfStillClassified) {
+  site::Vfs vfs;
+  vfs.write_file("/bad", support::Bytes{0x7f, 'E', 'L', 'F', 9, 9});
+  EXPECT_TRUE(support::contains(file_type(vfs, "/bad"), "corrupt"));
+}
+
+}  // namespace
+}  // namespace feam::binutils

@@ -1,0 +1,111 @@
+#include "binutils/ldd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "binutils/uname.hpp"
+#include "elf/builder.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+namespace {
+
+site::Site make_host() {
+  site::Site s;
+  s.name = "host";
+  s.isa = elf::Isa::kX86_64;
+
+  elf::ElfSpec libc;
+  libc.isa = elf::Isa::kX86_64;
+  libc.kind = elf::FileKind::kSharedObject;
+  libc.soname = "libc.so.6";
+  libc.version_definitions = {"GLIBC_2.2.5", "GLIBC_2.5"};
+  libc.text_size = 64;
+  s.vfs.write_file("/lib64/libc.so.6", elf::build_image(libc));
+
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libmissing.so.2", "libc.so.6"};
+  app.undefined_symbols = {{"printf", "GLIBC_2.2.5", "libc.so.6"}};
+  app.text_size = 64;
+  s.vfs.write_file("/apps/app", elf::build_image(app));
+  return s;
+}
+
+TEST(Ldd, ListsFoundAndNotFound) {
+  const site::Site s = make_host();
+  const auto out = ldd(s, "/apps/app");
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_TRUE(support::contains(out.value(), "libmissing.so.2 => not found"));
+  EXPECT_TRUE(support::contains(out.value(), "libc.so.6 => /lib64/libc.so.6"));
+}
+
+TEST(Ldd, VerboseVersionBlock) {
+  const site::Site s = make_host();
+  const auto out = ldd(s, "/apps/app", /*verbose=*/true);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(support::contains(out.value(), "Version information:"));
+  EXPECT_TRUE(support::contains(out.value(),
+                                "libc.so.6 (GLIBC_2.2.5) => /lib64/libc.so.6"));
+}
+
+TEST(Ldd, ParseOutput) {
+  const site::Site s = make_host();
+  const auto entries = parse_ldd_output(ldd(s, "/apps/app", true).value());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "libmissing.so.2");
+  EXPECT_FALSE(entries[0].path.has_value());
+  EXPECT_EQ(entries[1].name, "libc.so.6");
+  EXPECT_EQ(entries[1].path, "/lib64/libc.so.6");
+}
+
+TEST(Ldd, ForeignIsaNotRecognized) {
+  // The documented ldd failure FEAM must work around (paper V.A).
+  site::Site s = make_host();
+  elf::ElfSpec foreign;
+  foreign.isa = elf::Isa::kPpc64;
+  foreign.needed = {"libc.so.6"};
+  foreign.text_size = 64;
+  s.vfs.write_file("/apps/ppc_app", elf::build_image(foreign));
+  const auto out = ldd(s, "/apps/ppc_app");
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(support::contains(out.error(), "not a dynamic executable"));
+}
+
+TEST(Ldd, ToolCanBeMissing) {
+  site::Site s = make_host();
+  s.ldd_available = false;
+  const auto out = ldd(s, "/apps/app");
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(support::contains(out.error(), "command not found"));
+}
+
+TEST(Ldd, MissingFile) {
+  const site::Site s = make_host();
+  EXPECT_FALSE(ldd(s, "/gone").ok());
+}
+
+TEST(Ldd, NonElfNotRecognized) {
+  site::Site s = make_host();
+  s.vfs.write_file("/apps/script", "#!/bin/sh\n");
+  const auto out = ldd(s, "/apps/script");
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(support::contains(out.error(), "not a dynamic executable"));
+}
+
+TEST(Uname, ReportsIsa) {
+  site::Site s;
+  s.isa = elf::Isa::kX86_64;
+  s.name = "n001";
+  s.kernel_version = "2.6.18-238.el5";
+  EXPECT_EQ(uname_p(s), "x86_64");
+  const auto a = uname_a(s);
+  EXPECT_TRUE(support::contains(a, "Linux n001 2.6.18-238.el5"));
+  EXPECT_TRUE(support::contains(a, "x86_64"));
+  s.isa = elf::Isa::kPpc64;
+  EXPECT_EQ(uname_p(s), "ppc64");
+  s.isa = elf::Isa::kX86;
+  EXPECT_EQ(uname_p(s), "i686");
+}
+
+}  // namespace
+}  // namespace feam::binutils

@@ -1,0 +1,75 @@
+#include "binutils/nm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+namespace {
+
+TEST(Nm, ListsDynamicSymbolsWithVersions) {
+  elf::ElfSpec lib;
+  lib.kind = elf::FileKind::kSharedObject;
+  lib.soname = "libc.so.6";
+  lib.version_definitions = {"GLIBC_2.2.5", "GLIBC_2.3.4"};
+  lib.defined_symbols = {{"memcpy", "GLIBC_2.3.4"}, {"printf", "GLIBC_2.2.5"}};
+  lib.needed = {"libother.so.1"};
+  lib.undefined_symbols = {{"helper", "OTHER_1.0", "libother.so.1"}};
+  lib.text_size = 64;
+  site::Vfs vfs;
+  vfs.write_file("/lib/libc.so.6", elf::build_image(lib));
+
+  const auto out = nm_dynamic(vfs, "/lib/libc.so.6");
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_TRUE(support::contains(out.value(), "T memcpy@GLIBC_2.3.4"));
+  EXPECT_TRUE(support::contains(out.value(), "T printf@GLIBC_2.2.5"));
+  EXPECT_TRUE(support::contains(out.value(), "U helper@OTHER_1.0"));
+}
+
+TEST(Nm, UndefinedMarkedU) {
+  elf::ElfSpec app;
+  app.needed = {"libm.so.6"};
+  app.undefined_symbols = {{"sqrt", "", ""}};
+  app.text_size = 32;
+  site::Vfs vfs;
+  vfs.write_file("/a.out", elf::build_image(app));
+  const auto out = nm_dynamic(vfs, "/a.out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(support::contains(out.value(), "U sqrt"));
+  EXPECT_FALSE(support::contains(out.value(), "sqrt@"));
+}
+
+TEST(Nm, Failures) {
+  site::Vfs vfs;
+  EXPECT_FALSE(nm_dynamic(vfs, "/nope").ok());
+  vfs.write_file("/junk", "not elf");
+  const auto r = nm_dynamic(vfs, "/junk");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(support::contains(r.error(), "file format not recognized"));
+}
+
+// FEAM's Table I identification deliberately does not rely on symbols:
+// two different MPI implementations can export the same MPI_* interface
+// symbols (that is the point of a standard). This pins the claim.
+TEST(Nm, SymbolsDoNotDistinguishImplementations) {
+  const auto make_mpi_lib = [](const std::string& soname) {
+    elf::ElfSpec lib;
+    lib.kind = elf::FileKind::kSharedObject;
+    lib.soname = soname;
+    lib.defined_symbols = {{"MPI_Init", ""}, {"MPI_Send", ""}};
+    lib.text_size = 64;
+    return elf::build_image(lib);
+  };
+  site::Vfs vfs;
+  vfs.write_file("/a/libmpi.so.0", make_mpi_lib("libmpi.so.0"));
+  vfs.write_file("/b/libmpich.so.1.2", make_mpi_lib("libmpich.so.1.2"));
+  const auto a = nm_dynamic(vfs, "/a/libmpi.so.0");
+  const auto b = nm_dynamic(vfs, "/b/libmpich.so.1.2");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // identical symbol surface
+}
+
+}  // namespace
+}  // namespace feam::binutils

@@ -1,0 +1,112 @@
+#include "binutils/objdump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+namespace {
+
+elf::ElfSpec app_spec() {
+  elf::ElfSpec spec;
+  spec.isa = elf::Isa::kX86_64;
+  spec.needed = {"libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"};
+  spec.rpath = {"/opt/openmpi-1.4/lib"};
+  spec.undefined_symbols = {
+      {"printf", "GLIBC_2.2.5", "libc.so.6"},
+      {"memcpy", "GLIBC_2.3.4", "libc.so.6"},
+      {"MPI_Init", "", ""},
+  };
+  spec.text_size = 512;
+  return spec;
+}
+
+site::Vfs vfs_with(const elf::ElfSpec& spec, const std::string& path) {
+  site::Vfs vfs;
+  vfs.write_file(path, elf::build_image(spec));
+  return vfs;
+}
+
+TEST(Objdump, RendersPrivateHeaders) {
+  const auto vfs = vfs_with(app_spec(), "/apps/a.out");
+  const auto out = objdump_p(vfs, "/apps/a.out");
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_TRUE(support::contains(out.value(), "file format elf64-x86-64"));
+  EXPECT_TRUE(support::contains(out.value(), "Dynamic Section:"));
+  EXPECT_TRUE(support::contains(out.value(), "NEEDED               libmpi.so.0"));
+  EXPECT_TRUE(support::contains(out.value(), "RPATH                /opt/openmpi-1.4/lib"));
+  EXPECT_TRUE(support::contains(out.value(), "Version References:"));
+  EXPECT_TRUE(support::contains(out.value(), "required from libc.so.6:"));
+  EXPECT_TRUE(support::contains(out.value(), "GLIBC_2.3.4"));
+}
+
+TEST(Objdump, FailsLikeTheRealTool) {
+  site::Vfs vfs;
+  const auto missing = objdump_p(vfs, "/no/such/file");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(support::contains(missing.error(), "No such file"));
+
+  vfs.write_file("/script.sh", "#!/bin/sh\n");
+  const auto not_elf = objdump_p(vfs, "/script.sh");
+  ASSERT_FALSE(not_elf.ok());
+  EXPECT_TRUE(support::contains(not_elf.error(), "file format not recognized"));
+}
+
+TEST(Objdump, ScrapeRoundTrip) {
+  const auto vfs = vfs_with(app_spec(), "/apps/a.out");
+  const auto out = objdump_p(vfs, "/apps/a.out");
+  ASSERT_TRUE(out.ok());
+  const auto parsed = parse_objdump_output(out.value());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->file_format, "elf64-x86-64");
+  EXPECT_EQ(parsed->architecture, "i386:x86-64");
+  EXPECT_EQ(parsed->bits, 64);
+  EXPECT_FALSE(parsed->is_shared_object);
+  EXPECT_EQ(parsed->needed,
+            (std::vector<std::string>{"libmpi.so.0", "libnsl.so.1",
+                                      "libutil.so.1", "libc.so.6"}));
+  EXPECT_EQ(parsed->rpath, (std::vector<std::string>{"/opt/openmpi-1.4/lib"}));
+  ASSERT_EQ(parsed->version_references.size(), 1u);
+  EXPECT_EQ(parsed->version_references[0].file, "libc.so.6");
+  EXPECT_EQ(parsed->version_references[0].versions,
+            (std::vector<std::string>{"GLIBC_2.2.5", "GLIBC_2.3.4"}));
+}
+
+TEST(Objdump, SharedObjectWithVersionDefinitions) {
+  elf::ElfSpec lib;
+  lib.isa = elf::Isa::kX86_64;
+  lib.kind = elf::FileKind::kSharedObject;
+  lib.soname = "libdemo.so.2";
+  lib.version_definitions = {"DEMO_1.0", "DEMO_2.0"};
+  lib.defined_symbols = {{"demo_fn", "DEMO_1.0"}};
+  lib.text_size = 128;
+  const auto vfs = vfs_with(lib, "/lib/libdemo.so.2");
+  const auto out = objdump_p(vfs, "/lib/libdemo.so.2");
+  ASSERT_TRUE(out.ok());
+  const auto parsed = parse_objdump_output(out.value());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_shared_object);
+  EXPECT_EQ(parsed->soname, "libdemo.so.2");
+  // The base definition (the soname itself) is excluded by the scraper.
+  EXPECT_EQ(parsed->version_definitions,
+            (std::vector<std::string>{"DEMO_1.0", "DEMO_2.0"}));
+}
+
+TEST(Objdump, ThirtyTwoBitFormatName) {
+  elf::ElfSpec spec = app_spec();
+  spec.isa = elf::Isa::kX86;
+  const auto vfs = vfs_with(spec, "/a32.out");
+  const auto parsed = parse_objdump_output(objdump_p(vfs, "/a32.out").value());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->file_format, "elf32-i386");
+  EXPECT_EQ(parsed->bits, 32);
+}
+
+TEST(Objdump, ScraperRejectsGarbage) {
+  EXPECT_FALSE(parse_objdump_output("").has_value());
+  EXPECT_FALSE(parse_objdump_output("random text\nwith lines\n").has_value());
+}
+
+}  // namespace
+}  // namespace feam::binutils

@@ -1,0 +1,58 @@
+#include "binutils/readelf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "support/strings.hpp"
+
+namespace feam::binutils {
+namespace {
+
+TEST(Readelf, DumpsCommentsAndScrapesBack) {
+  elf::ElfSpec spec;
+  spec.comments = {"GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)",
+                   "ld (FEAM-sim binutils) glibc 2.5"};
+  spec.text_size = 64;
+  site::Vfs vfs;
+  vfs.write_file("/a.out", elf::build_image(spec));
+
+  const auto out = readelf_p_comment(vfs, "/a.out");
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_TRUE(support::contains(out.value(), "String dump of section '.comment':"));
+
+  const auto comments = parse_comment_dump(out.value());
+  ASSERT_EQ(comments.size(), 2u);
+  EXPECT_EQ(comments[0], "GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)");
+  EXPECT_EQ(comments[1], "ld (FEAM-sim binutils) glibc 2.5");
+}
+
+TEST(Readelf, NoCommentSection) {
+  elf::ElfSpec spec;  // no comments
+  spec.text_size = 64;
+  site::Vfs vfs;
+  vfs.write_file("/a.out", elf::build_image(spec));
+  const auto out = readelf_p_comment(vfs, "/a.out");
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(support::contains(out.error(), "was not dumped"));
+}
+
+TEST(Readelf, MissingAndNonElfFiles) {
+  site::Vfs vfs;
+  EXPECT_FALSE(readelf_p_comment(vfs, "/nope").ok());
+  vfs.write_file("/text", "just text");
+  const auto r = readelf_p_comment(vfs, "/text");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(support::contains(r.error(), "Not an ELF file"));
+}
+
+TEST(Readelf, ScraperIgnoresNoise) {
+  const auto comments = parse_comment_dump(
+      "\nString dump of section '.comment':\n"
+      "  [     0]  first\n"
+      "not a dump line\n"
+      "  [    10]  second\n");
+  EXPECT_EQ(comments, (std::vector<std::string>{"first", "second"}));
+}
+
+}  // namespace
+}  // namespace feam::binutils

@@ -1,0 +1,111 @@
+// Property tests for the ld.so search algorithm: wherever a compatible
+// candidate is placed, resolution must pick the first directory in search
+// order (RPATH, then LD_LIBRARY_PATH, then defaults), skipping
+// incompatible candidates without failing.
+#include <gtest/gtest.h>
+
+#include "binutils/resolver.hpp"
+#include "elf/builder.hpp"
+#include "support/rng.hpp"
+
+namespace feam::binutils {
+namespace {
+
+using support::Rng;
+
+support::Bytes lib_image(elf::Isa isa) {
+  elf::ElfSpec spec;
+  spec.isa = isa;
+  spec.kind = elf::FileKind::kSharedObject;
+  spec.soname = "libx.so.1";
+  spec.needed = {"libc.so.6"};
+  spec.text_size = 32;
+  return elf::build_image(spec);
+}
+
+site::Site base_site() {
+  site::Site s;
+  s.name = "prop";
+  s.isa = elf::Isa::kX86_64;
+  elf::ElfSpec libc;
+  libc.isa = elf::Isa::kX86_64;
+  libc.kind = elf::FileKind::kSharedObject;
+  libc.soname = "libc.so.6";
+  libc.text_size = 32;
+  s.vfs.write_file("/lib64/libc.so.6", elf::build_image(libc));
+
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libx.so.1", "libc.so.6"};
+  app.rpath = {"/rp0", "/rp1"};
+  app.text_size = 32;
+  s.vfs.write_file("/app", elf::build_image(app));
+  s.env.set("LD_LIBRARY_PATH", "/ld0:/ld1");
+  return s;
+}
+
+// The full search order for the app above.
+const std::vector<std::string>& search_order() {
+  static const std::vector<std::string> kOrder = {
+      "/rp0", "/rp1", "/ld0", "/ld1", "/lib64", "/usr/lib64",
+      "/usr/local/lib64"};
+  return kOrder;
+}
+
+class ResolverOrderPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResolverOrderPropertyTest, FirstCompatibleDirectoryWins) {
+  Rng rng(GetParam());
+  site::Site s = base_site();
+  const auto& order = search_order();
+
+  // Place a compatible copy in a random subset of directories, and an
+  // incompatible (wrong-class) copy in another random subset.
+  std::vector<bool> has_good(order.size()), has_bad(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    has_good[i] = rng.chance(0.4);
+    has_bad[i] = rng.chance(0.4);
+    if (has_bad[i]) {
+      s.vfs.write_file(order[i] + "/libx.so.1", lib_image(elf::Isa::kX86));
+    }
+    if (has_good[i]) {
+      // Good copy overwrites a bad one in the same dir half the time —
+      // whichever is present at the path is what the search sees.
+      s.vfs.write_file(order[i] + "/libx.so.1", lib_image(elf::Isa::kX86_64));
+      has_bad[i] = false;
+    }
+  }
+
+  const auto result = resolve_libraries(s, "/app");
+  std::optional<std::string> expected;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (has_good[i]) {
+      expected = order[i] + "/libx.so.1";
+      break;
+    }
+  }
+  EXPECT_EQ(result.path_of("libx.so.1"), expected);
+  EXPECT_EQ(result.complete(), expected.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResolverOrderPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(ResolverProperty, ExtraDirsPrecedeEverything) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    site::Site s = base_site();
+    for (const auto& dir : search_order()) {
+      if (rng.chance(0.5)) {
+        s.vfs.write_file(dir + "/libx.so.1", lib_image(elf::Isa::kX86_64));
+      }
+    }
+    s.vfs.write_file("/extra/libx.so.1", lib_image(elf::Isa::kX86_64));
+    const auto result = resolve_libraries(s, "/app", {"/extra"});
+    EXPECT_EQ(result.path_of("libx.so.1"), "/extra/libx.so.1");
+  }
+}
+
+}  // namespace
+}  // namespace feam::binutils

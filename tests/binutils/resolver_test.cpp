@@ -1,0 +1,243 @@
+#include "binutils/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+
+namespace feam::binutils {
+namespace {
+
+using support::Version;
+
+elf::ElfSpec shared_lib(const std::string& soname, elf::Isa isa,
+                        std::vector<std::string> needed = {},
+                        std::vector<std::string> verdefs = {}) {
+  elf::ElfSpec spec;
+  spec.isa = isa;
+  spec.kind = elf::FileKind::kSharedObject;
+  spec.soname = soname;
+  spec.needed = std::move(needed);
+  spec.version_definitions = std::move(verdefs);
+  spec.text_size = 64;
+  return spec;
+}
+
+// A host with libc in /lib64, an MPI library under an /opt prefix (only
+// reachable via LD_LIBRARY_PATH), and an app binary.
+site::Site make_host() {
+  site::Site s;
+  s.name = "host";
+  s.isa = elf::Isa::kX86_64;
+  s.vfs.write_file("/lib64/libc.so.6",
+                   elf::build_image(shared_lib("libc.so.6", elf::Isa::kX86_64,
+                                               {},
+                                               {"GLIBC_2.2.5", "GLIBC_2.3.4",
+                                                "GLIBC_2.4", "GLIBC_2.5"})));
+  s.vfs.write_file(
+      "/opt/mpi/lib/libmpi.so.0",
+      elf::build_image(shared_lib("libmpi.so.0", elf::Isa::kX86_64,
+                                  {"libc.so.6"})));
+
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libmpi.so.0", "libc.so.6"};
+  app.undefined_symbols = {{"printf", "GLIBC_2.2.5", "libc.so.6"},
+                           {"MPI_Init", "", ""}};
+  app.text_size = 128;
+  s.vfs.write_file("/apps/app", elf::build_image(app));
+  return s;
+}
+
+TEST(Resolver, ResolvesTransitively) {
+  site::Site s = make_host();
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/app");
+  ASSERT_TRUE(r.root_parsed);
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(r.version_errors.empty());
+  EXPECT_EQ(r.path_of("libmpi.so.0"), "/opt/mpi/lib/libmpi.so.0");
+  EXPECT_EQ(r.path_of("libc.so.6"), "/lib64/libc.so.6");
+}
+
+TEST(Resolver, MissingWithoutSearchPath) {
+  site::Site s = make_host();  // no LD_LIBRARY_PATH
+  const auto r = resolve_libraries(s, "/apps/app");
+  EXPECT_FALSE(r.complete());
+  EXPECT_EQ(r.missing(), (std::vector<std::string>{"libmpi.so.0"}));
+  EXPECT_FALSE(r.path_of("libmpi.so.0").has_value());
+}
+
+TEST(Resolver, ExtraDirsBeatEverything) {
+  site::Site s = make_host();
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  s.vfs.write_file(
+      "/home/copies/libmpi.so.0",
+      elf::build_image(shared_lib("libmpi.so.0", elf::Isa::kX86_64,
+                                  {"libc.so.6"})));
+  const auto r = resolve_libraries(s, "/apps/app", {"/home/copies"});
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r.path_of("libmpi.so.0"), "/home/copies/libmpi.so.0");
+}
+
+TEST(Resolver, RpathBeatsLdLibraryPath) {
+  site::Site s = make_host();
+  s.vfs.write_file(
+      "/rpath/libmpi.so.0",
+      elf::build_image(shared_lib("libmpi.so.0", elf::Isa::kX86_64,
+                                  {"libc.so.6"})));
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libmpi.so.0", "libc.so.6"};
+  app.rpath = {"/rpath"};
+  app.text_size = 128;
+  s.vfs.write_file("/apps/rpath_app", elf::build_image(app));
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/rpath_app");
+  EXPECT_EQ(r.path_of("libmpi.so.0"), "/rpath/libmpi.so.0");
+}
+
+TEST(Resolver, WrongClassCandidateIsSkippedNotFatal) {
+  // ld.so behaviour: a 32-bit library earlier in the search order is
+  // skipped and the search continues to the 64-bit one.
+  site::Site s = make_host();
+  s.vfs.write_file(
+      "/shadow/libmpi.so.0",
+      elf::build_image(shared_lib("libmpi.so.0", elf::Isa::kX86)));
+  s.env.set("LD_LIBRARY_PATH", "/shadow:/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/app");
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r.path_of("libmpi.so.0"), "/opt/mpi/lib/libmpi.so.0");
+}
+
+TEST(Resolver, ForeignIsaCandidateIsSkipped) {
+  site::Site s = make_host();
+  s.vfs.write_file(
+      "/shadow/libmpi.so.0",
+      elf::build_image(shared_lib("libmpi.so.0", elf::Isa::kAarch64)));
+  s.env.set("LD_LIBRARY_PATH", "/shadow");
+  const auto r = resolve_libraries(s, "/apps/app");
+  EXPECT_FALSE(r.complete());  // only the foreign copy exists
+}
+
+TEST(Resolver, VersionErrorWhenNodeUndefined) {
+  site::Site s = make_host();
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libc.so.6"};
+  app.undefined_symbols = {{"recvmmsg", "GLIBC_2.12", "libc.so.6"}};
+  app.text_size = 64;
+  s.vfs.write_file("/apps/new_app", elf::build_image(app));
+  const auto r = resolve_libraries(s, "/apps/new_app");
+  EXPECT_TRUE(r.complete());
+  ASSERT_EQ(r.version_errors.size(), 1u);
+  EXPECT_EQ(r.version_errors[0].version, "GLIBC_2.12");
+  EXPECT_EQ(r.version_errors[0].provider, "/lib64/libc.so.6");
+}
+
+TEST(Resolver, TransitiveVersionErrorsAreChecked) {
+  // A dependency's own version references are validated, not just the
+  // root's (this is what rejects too-new library copies at old sites).
+  site::Site s = make_host();
+  elf::ElfSpec lib = shared_lib("libnew.so.1", elf::Isa::kX86_64, {"libc.so.6"});
+  lib.undefined_symbols = {{"pipe2", "GLIBC_2.9", "libc.so.6"}};
+  s.vfs.write_file("/opt/mpi/lib/libnew.so.1", elf::build_image(lib));
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libnew.so.1", "libc.so.6"};
+  app.text_size = 64;
+  s.vfs.write_file("/apps/app2", elf::build_image(app));
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/app2");
+  EXPECT_TRUE(r.complete());
+  ASSERT_EQ(r.version_errors.size(), 1u);
+  EXPECT_EQ(r.version_errors[0].version, "GLIBC_2.9");
+  EXPECT_EQ(r.version_errors[0].required_by, "/opt/mpi/lib/libnew.so.1");
+}
+
+TEST(Resolver, DiamondDependenciesVisitedOnce) {
+  site::Site s = make_host();
+  // a -> b, c; b -> d; c -> d.
+  const auto add = [&](const std::string& soname,
+                       std::vector<std::string> needed) {
+    s.vfs.write_file("/opt/mpi/lib/" + soname,
+                     elf::build_image(shared_lib(soname, elf::Isa::kX86_64,
+                                                 std::move(needed))));
+  };
+  add("libd.so.1", {"libc.so.6"});
+  add("libb.so.1", {"libd.so.1", "libc.so.6"});
+  add("libca.so.1", {"libd.so.1", "libc.so.6"});
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libb.so.1", "libca.so.1", "libc.so.6"};
+  app.text_size = 64;
+  s.vfs.write_file("/apps/diamond", elf::build_image(app));
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/diamond");
+  ASSERT_TRUE(r.complete());
+  int d_count = 0;
+  for (const auto& lib : r.libs) d_count += lib.name == "libd.so.1";
+  EXPECT_EQ(d_count, 1);
+}
+
+TEST(Resolver, RootErrors) {
+  site::Site s = make_host();
+  const auto missing = resolve_libraries(s, "/nope");
+  EXPECT_FALSE(missing.root_parsed);
+  EXPECT_FALSE(missing.complete());
+
+  s.vfs.write_file("/script", "#!/bin/sh\n");
+  const auto script = resolve_libraries(s, "/script");
+  EXPECT_FALSE(script.root_parsed);
+  EXPECT_FALSE(script.root_error.empty());
+}
+
+TEST(Resolver, MajorVersionIsPartOfTheName) {
+  // Paper III.D: "Libraries with the same name and major version number
+  // are guaranteed to have compatible APIs" — the soname embeds the major
+  // version, so a different major never satisfies a NEEDED entry.
+  site::Site s = make_host();
+  s.vfs.write_file(
+      "/opt/mpi/lib/libfoo.so.2",
+      elf::build_image(shared_lib("libfoo.so.2", elf::Isa::kX86_64,
+                                  {"libc.so.6"})));
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libfoo.so.1", "libc.so.6"};  // major 1, only major 2 exists
+  app.text_size = 64;
+  s.vfs.write_file("/apps/major_app", elf::build_image(app));
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/major_app");
+  EXPECT_FALSE(r.complete());
+  EXPECT_EQ(r.missing(), (std::vector<std::string>{"libfoo.so.1"}));
+}
+
+TEST(Resolver, MinorVersionsShareTheSoname) {
+  // Conversely, minor releases keep the soname: the 1.4.3 file behind the
+  // libfoo.so.1 symlink satisfies a binary linked against 1.4.0.
+  site::Site s = make_host();
+  s.vfs.write_file(
+      "/opt/mpi/lib/libfoo.so.1.4.3",
+      elf::build_image(shared_lib("libfoo.so.1", elf::Isa::kX86_64,
+                                  {"libc.so.6"})));
+  s.vfs.symlink("/opt/mpi/lib/libfoo.so.1", "libfoo.so.1.4.3");
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = {"libfoo.so.1", "libc.so.6"};
+  app.text_size = 64;
+  s.vfs.write_file("/apps/minor_app", elf::build_image(app));
+  s.env.set("LD_LIBRARY_PATH", "/opt/mpi/lib");
+  const auto r = resolve_libraries(s, "/apps/minor_app");
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.path_of("libfoo.so.1"), "/opt/mpi/lib/libfoo.so.1.4.3");
+}
+
+TEST(Resolver, SearchLibraryHonorsBits) {
+  site::Site s = make_host();
+  EXPECT_TRUE(search_library(s, "libc.so.6", 64, {}, {}).has_value());
+  // A 32-bit request looks in /lib, /usr/lib — where nothing exists here.
+  EXPECT_FALSE(search_library(s, "libc.so.6", 32, {}, {}).has_value());
+}
+
+}  // namespace
+}  // namespace feam::binutils

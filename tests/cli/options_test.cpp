@@ -1,0 +1,120 @@
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::cli {
+namespace {
+
+std::optional<Options> parse(std::vector<std::string> args) {
+  std::string error;
+  return parse_options(args, error);
+}
+
+std::string parse_error(std::vector<std::string> args) {
+  std::string error;
+  const auto opts = parse_options(args, error);
+  EXPECT_FALSE(opts.has_value());
+  return error;
+}
+
+TEST(CliOptions, ListSites) {
+  const auto opts = parse({"list-sites"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->command, Command::kListSites);
+}
+
+TEST(CliOptions, Help) {
+  for (const char* flag : {"--help", "-h", "help"}) {
+    const auto opts = parse({flag});
+    ASSERT_TRUE(opts.has_value()) << flag;
+    EXPECT_EQ(opts->command, Command::kHelp);
+  }
+  EXPECT_FALSE(usage().empty());
+}
+
+TEST(CliOptions, CompileFull) {
+  const auto opts = parse({"compile", "--site", "india", "--stack",
+                           "openmpi/1.4-gnu", "--program", "cg.B",
+                           "--language", "fortran", "-o", "/tmp/cg.B"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->command, Command::kCompile);
+  EXPECT_EQ(opts->site, "india");
+  EXPECT_EQ(opts->stack, "openmpi/1.4-gnu");
+  EXPECT_EQ(opts->program, "cg.B");
+  EXPECT_EQ(opts->language, "fortran");
+  EXPECT_EQ(opts->output, "/tmp/cg.B");
+  EXPECT_FALSE(opts->static_link);
+}
+
+TEST(CliOptions, CompileStatic) {
+  const auto opts = parse({"compile", "--site", "india", "--stack",
+                           "mpich2/1.4-gnu", "--program", "is.B", "--static",
+                           "-o", "/tmp/is"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->static_link);
+}
+
+TEST(CliOptions, CompileMissingRequired) {
+  EXPECT_NE(parse_error({"compile", "--site", "india"}).find("--stack"),
+            std::string::npos);
+  EXPECT_NE(parse_error({"compile", "--stack", "x", "--program", "p",
+                         "-o", "out"})
+                .find("--site"),
+            std::string::npos);
+  EXPECT_NE(parse_error({"compile", "--site", "s", "--stack", "x",
+                         "--program", "p", "-o", "out", "--language", "ada"})
+                .find("--language"),
+            std::string::npos);
+}
+
+TEST(CliOptions, SourceAndTarget) {
+  const auto source = parse({"source", "--site", "india", "--stack",
+                             "openmpi/1.4-gnu", "--binary", "/tmp/b", "-o",
+                             "/tmp/b.feambundle"});
+  ASSERT_TRUE(source.has_value());
+  EXPECT_EQ(source->command, Command::kSource);
+
+  const auto target = parse({"target", "--site", "fir", "--binary", "/tmp/b",
+                             "--bundle", "/tmp/b.feambundle", "--script",
+                             "/tmp/run.sh"});
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->command, Command::kTarget);
+  EXPECT_EQ(target->bundle, "/tmp/b.feambundle");
+  EXPECT_EQ(target->script, "/tmp/run.sh");
+
+  // Bundle is optional for target (basic prediction).
+  const auto basic = parse({"target", "--site", "fir", "--binary", "/tmp/b"});
+  ASSERT_TRUE(basic.has_value());
+  EXPECT_TRUE(basic->bundle.empty());
+}
+
+TEST(CliOptions, SiteFileSubstitutesForSite) {
+  const auto opts = parse({"target", "--site-file", "/tmp/mycluster.json",
+                           "--binary", "/tmp/b"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->site_file, "/tmp/mycluster.json");
+  EXPECT_TRUE(opts->site.empty());
+  // Without either, target is rejected.
+  EXPECT_NE(parse_error({"target", "--binary", "/tmp/b"}).find("--site"),
+            std::string::npos);
+}
+
+TEST(CliOptions, SurveyRequiresBinaryOnly) {
+  EXPECT_TRUE(parse({"survey", "--binary", "/tmp/b"}).has_value());
+  EXPECT_NE(parse_error({"survey"}).find("--binary"), std::string::npos);
+}
+
+TEST(CliOptions, Errors) {
+  EXPECT_NE(parse_error({}).find("no command"), std::string::npos);
+  EXPECT_NE(parse_error({"frobnicate"}).find("unknown command"),
+            std::string::npos);
+  EXPECT_NE(parse_error({"target", "--site"}).find("requires a value"),
+            std::string::npos);
+  EXPECT_NE(parse_error({"target", "--site", "fir", "--binary", "/b",
+                         "--bogus", "x"})
+                .find("unknown flag"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace feam::cli

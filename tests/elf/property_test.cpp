@@ -1,0 +1,201 @@
+// Property tests over the ELF writer/parser pair: randomized specs must
+// round-trip exactly, and no byte-level corruption may ever crash the
+// parser. Generators are seeded, so failures reproduce from the seed in
+// the test name.
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "elf/file.hpp"
+#include "support/rng.hpp"
+
+namespace feam::elf {
+namespace {
+
+using support::Rng;
+
+const Isa kIsas[] = {Isa::kX86, Isa::kX86_64, Isa::kPpc, Isa::kPpc64,
+                     Isa::kAarch64};
+
+std::string random_name(Rng& rng, const char* prefix) {
+  std::string out = prefix;
+  const std::size_t len = 3 + rng.next_below(10);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += static_cast<char>('a' + rng.next_below(26));
+  }
+  return out;
+}
+
+ElfSpec random_spec(std::uint64_t seed) {
+  Rng rng(seed);
+  ElfSpec spec;
+  spec.isa = kIsas[rng.next_below(std::size(kIsas))];
+  spec.kind = rng.chance(0.5) ? FileKind::kExecutable : FileKind::kSharedObject;
+  spec.static_link = rng.chance(0.15);
+  spec.text_size = 16 + rng.next_below(4096);
+  spec.content_seed = rng.next_u64();
+
+  if (spec.kind == FileKind::kSharedObject) {
+    spec.soname = random_name(rng, "lib") + ".so." +
+                  std::to_string(rng.next_below(9));
+  }
+
+  // NEEDED entries (deduplicated by construction: distinct suffixes).
+  const std::size_t needed_count = rng.next_below(8);
+  for (std::size_t i = 0; i < needed_count; ++i) {
+    spec.needed.push_back(random_name(rng, "libdep") + std::to_string(i) +
+                          ".so." + std::to_string(rng.next_below(4)));
+  }
+  if (rng.chance(0.4)) {
+    spec.rpath.push_back("/" + random_name(rng, "opt"));
+    if (rng.chance(0.3)) spec.rpath.push_back("/" + random_name(rng, "usr"));
+  }
+
+  // Version definitions for libraries.
+  if (spec.kind == FileKind::kSharedObject && rng.chance(0.6)) {
+    const std::size_t defs = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < defs; ++i) {
+      spec.version_definitions.push_back(
+          "VERS_" + std::to_string(i) + "." + std::to_string(rng.next_below(10)));
+    }
+    const std::size_t syms = rng.next_below(5);
+    for (std::size_t i = 0; i < syms; ++i) {
+      spec.defined_symbols.push_back(
+          {random_name(rng, "sym"),
+           rng.chance(0.7) ? spec.version_definitions[rng.next_below(
+                                 spec.version_definitions.size())]
+                           : ""});
+    }
+  }
+
+  // Versioned imports against a random subset of NEEDED.
+  if (!spec.needed.empty()) {
+    const std::size_t imports = rng.next_below(10);
+    for (std::size_t i = 0; i < imports; ++i) {
+      UndefinedSymbol sym;
+      sym.name = random_name(rng, "u");
+      if (rng.chance(0.6)) {
+        sym.from_lib = spec.needed[rng.next_below(spec.needed.size())];
+        sym.version = "NODE_" + std::to_string(rng.next_below(5));
+      }
+      spec.undefined_symbols.push_back(std::move(sym));
+    }
+  }
+
+  if (rng.chance(0.7)) {
+    spec.comments.push_back(random_name(rng, "GCC: "));
+  }
+  if (rng.chance(0.5)) {
+    spec.abi = AbiNote{random_name(rng, "Fam"), "1.2",
+                       rng.chance(0.5) ? "openmpi" : "",
+                       "1.4",
+                       static_cast<std::uint32_t>(rng.next_u64()),
+                       static_cast<std::uint32_t>(rng.next_below(16))};
+  }
+  if (spec.static_link) {
+    // Static executables carry no dynamic metadata.
+    spec.needed.clear();
+    spec.rpath.clear();
+    spec.version_definitions.clear();
+    spec.defined_symbols.clear();
+    spec.undefined_symbols.clear();
+    spec.soname.clear();
+    spec.kind = FileKind::kExecutable;
+  }
+  return spec;
+}
+
+class ElfRoundTripPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElfRoundTripPropertyTest, RandomSpecRoundTrips) {
+  const ElfSpec spec = random_spec(GetParam());
+  const auto image = build_image(spec);
+  const auto parsed = ElfFile::parse(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const ElfFile& f = parsed.value();
+
+  EXPECT_EQ(f.isa(), spec.isa);
+  EXPECT_EQ(f.kind(), spec.kind);
+  EXPECT_EQ(f.is_dynamic(), !spec.static_link);
+  EXPECT_EQ(f.needed(), spec.needed);
+  EXPECT_EQ(f.rpath(), spec.rpath);
+  if (spec.soname.empty()) {
+    EXPECT_FALSE(f.soname().has_value());
+  } else {
+    EXPECT_EQ(f.soname().value_or(""), spec.soname);
+  }
+  EXPECT_EQ(f.version_definitions(), spec.version_definitions);
+  EXPECT_EQ(f.comments(), spec.comments);
+  EXPECT_EQ(f.abi_note().has_value(), spec.abi.has_value());
+  if (spec.abi && f.abi_note()) {
+    EXPECT_EQ(f.abi_note()->abi_fingerprint, spec.abi->abi_fingerprint);
+    EXPECT_EQ(f.abi_note()->compiler_family, spec.abi->compiler_family);
+  }
+
+  // Version references: grouped by file in first-appearance order with
+  // per-file dedup — exactly ElfSpec::version_needs().
+  const auto expected = spec.version_needs();
+  ASSERT_EQ(f.version_references().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(f.version_references()[i].file, expected[i].file);
+    EXPECT_EQ(f.version_references()[i].versions, expected[i].versions);
+  }
+
+  // Symbols survive in order.
+  ASSERT_EQ(f.dynamic_symbols().size(),
+            spec.undefined_symbols.size() + spec.defined_symbols.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElfRoundTripPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+TEST(ElfFuzz, RandomByteFlipsNeverCrash) {
+  // 48 base images x 64 mutations: the parser must stay memory-safe and
+  // total under arbitrary single/multi-byte corruption.
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    const auto image = build_image(random_spec(seed));
+    Rng rng(seed * 7919);
+    for (int round = 0; round < 64; ++round) {
+      auto mutated = image;
+      const std::size_t flips = 1 + rng.next_below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        mutated[rng.next_below(mutated.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+      (void)ElfFile::parse(mutated);  // must not crash / UB
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ElfFuzz, RandomTruncationsNeverCrash) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const auto image = build_image(random_spec(seed));
+    Rng rng(seed * 104729);
+    for (int round = 0; round < 32; ++round) {
+      const std::size_t len = rng.next_below(image.size());
+      const support::Bytes prefix(
+          image.begin(), image.begin() + static_cast<std::ptrdiff_t>(len));
+      (void)ElfFile::parse(prefix);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ElfFuzz, GarbageInputNeverCrashes) {
+  Rng rng(424242);
+  for (int round = 0; round < 256; ++round) {
+    support::Bytes garbage(rng.next_below(512));
+    for (auto& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    // Half the time, give it a valid magic so parsing goes deeper.
+    if (rng.chance(0.5) && garbage.size() >= 4) {
+      garbage[0] = 0x7f; garbage[1] = 'E'; garbage[2] = 'L'; garbage[3] = 'F';
+    }
+    (void)ElfFile::parse(garbage);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace feam::elf

@@ -1,0 +1,187 @@
+// Spec -> image -> parse round-trip: the contract between the simulated
+// toolchain (which writes ELF images) and FEAM's tools (which read them).
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "elf/file.hpp"
+
+namespace feam::elf {
+namespace {
+
+using support::Bytes;
+
+// A spec resembling an NPB binary compiled with Open MPI + gfortran on a
+// glibc 2.5 site.
+ElfSpec typical_app_spec(Isa isa) {
+  ElfSpec spec;
+  spec.isa = isa;
+  spec.kind = FileKind::kExecutable;
+  spec.needed = {"libmpi.so.0",  "libmpi_f77.so.0", "libgfortran.so.1",
+                 "libm.so.6",    "libnsl.so.1",     "libutil.so.1",
+                 "libc.so.6"};
+  spec.undefined_symbols = {
+      {"MPI_Init", "", ""},
+      {"memcpy", "GLIBC_2.3.4", "libc.so.6"},
+      {"printf", "GLIBC_2.2.5", "libc.so.6"},
+      {"__libc_start_main", "GLIBC_2.2.5", "libc.so.6"},
+      {"sqrt", "GLIBC_2.2.5", "libm.so.6"},
+      {"_gfortran_st_write", "GFORTRAN_1.0", "libgfortran.so.1"},
+  };
+  spec.comments = {"GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)",
+                   "FEAM-sim linker 1.0"};
+  spec.abi = AbiNote{"GNU", "4.1.2", "openmpi", "1.4", 0xabcd1234, 2};
+  spec.text_size = 32 * 1024;
+  spec.content_seed = 777;
+  return spec;
+}
+
+// A spec resembling glibc itself: defines versions, has a soname.
+ElfSpec libc_spec(Isa isa) {
+  ElfSpec spec;
+  spec.isa = isa;
+  spec.kind = FileKind::kSharedObject;
+  spec.soname = "libc.so.6";
+  spec.version_definitions = {"GLIBC_2.0", "GLIBC_2.1", "GLIBC_2.2.5",
+                              "GLIBC_2.3", "GLIBC_2.3.4", "GLIBC_2.4",
+                              "GLIBC_2.5"};
+  spec.defined_symbols = {{"memcpy", "GLIBC_2.3.4"},
+                          {"printf", "GLIBC_2.2.5"},
+                          {"malloc", "GLIBC_2.0"}};
+  spec.text_size = 1024;
+  return spec;
+}
+
+class RoundTripIsaTest : public ::testing::TestWithParam<Isa> {};
+
+TEST_P(RoundTripIsaTest, ExecutableMetadataSurvives) {
+  const ElfSpec spec = typical_app_spec(GetParam());
+  const Bytes image = build_image(spec);
+  const auto parsed = ElfFile::parse(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const ElfFile& f = parsed.value();
+
+  EXPECT_EQ(f.isa(), spec.isa);
+  EXPECT_EQ(f.bits(), isa_bits(spec.isa));
+  EXPECT_EQ(f.kind(), FileKind::kExecutable);
+  EXPECT_TRUE(f.is_dynamic());
+  EXPECT_EQ(f.needed(), spec.needed);
+  EXPECT_FALSE(f.soname().has_value());
+  EXPECT_EQ(f.comments(), spec.comments);
+
+  // Version references grouped by file, order preserved.
+  ASSERT_EQ(f.version_references().size(), 3u);
+  EXPECT_EQ(f.version_references()[0].file, "libc.so.6");
+  EXPECT_EQ(f.version_references()[0].versions,
+            (std::vector<std::string>{"GLIBC_2.3.4", "GLIBC_2.2.5"}));
+  EXPECT_EQ(f.version_references()[1].file, "libm.so.6");
+  EXPECT_EQ(f.version_references()[2].file, "libgfortran.so.1");
+  EXPECT_EQ(f.version_references()[2].versions,
+            (std::vector<std::string>{"GFORTRAN_1.0"}));
+
+  // ABI note survives.
+  ASSERT_TRUE(f.abi_note().has_value());
+  EXPECT_EQ(f.abi_note()->compiler_family, "GNU");
+  EXPECT_EQ(f.abi_note()->compiler_version, "4.1.2");
+  EXPECT_EQ(f.abi_note()->abi_fingerprint, 0xabcd1234u);
+  EXPECT_EQ(f.abi_note()->fp_model, 2u);
+
+  // Symbols: all six undefined, with version annotations.
+  ASSERT_EQ(f.dynamic_symbols().size(), 6u);
+  EXPECT_EQ(f.dynamic_symbols()[0].name, "MPI_Init");
+  EXPECT_TRUE(f.dynamic_symbols()[0].version.empty());
+  EXPECT_FALSE(f.dynamic_symbols()[0].defined);
+  EXPECT_EQ(f.dynamic_symbols()[1].name, "memcpy");
+  EXPECT_EQ(f.dynamic_symbols()[1].version, "GLIBC_2.3.4");
+}
+
+TEST_P(RoundTripIsaTest, SharedObjectMetadataSurvives) {
+  const ElfSpec spec = libc_spec(GetParam());
+  const Bytes image = build_image(spec);
+  const auto parsed = ElfFile::parse(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const ElfFile& f = parsed.value();
+
+  EXPECT_EQ(f.kind(), FileKind::kSharedObject);
+  ASSERT_TRUE(f.soname().has_value());
+  EXPECT_EQ(*f.soname(), "libc.so.6");
+  EXPECT_EQ(f.version_definitions(), spec.version_definitions);
+  EXPECT_TRUE(f.version_references().empty());
+
+  ASSERT_EQ(f.dynamic_symbols().size(), 3u);
+  EXPECT_TRUE(f.dynamic_symbols()[0].defined);
+  EXPECT_EQ(f.dynamic_symbols()[0].version, "GLIBC_2.3.4");
+  EXPECT_EQ(f.dynamic_symbols()[2].version, "GLIBC_2.0");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, RoundTripIsaTest,
+                         ::testing::Values(Isa::kX86, Isa::kX86_64, Isa::kPpc,
+                                           Isa::kPpc64, Isa::kAarch64),
+                         [](const auto& param_info) {
+                           return std::string(isa_name(param_info.param)) ==
+                                          "x86-64"
+                                      ? "x86_64"
+                                      : isa_name(param_info.param);
+                         });
+
+TEST(RoundTrip, RpathSurvivesColonJoining) {
+  ElfSpec spec = typical_app_spec(Isa::kX86_64);
+  spec.rpath = {"/opt/openmpi-1.4.3-intel/lib", "/usr/local/lib"};
+  const auto parsed = ElfFile::parse(build_image(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().rpath(), spec.rpath);
+}
+
+TEST(RoundTrip, EmptySpecStillValid) {
+  ElfSpec spec;
+  spec.text_size = 16;
+  const auto parsed = ElfFile::parse(build_image(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value().needed().empty());
+  EXPECT_TRUE(parsed.value().version_references().empty());
+  EXPECT_TRUE(parsed.value().comments().empty());
+  EXPECT_FALSE(parsed.value().abi_note().has_value());
+}
+
+TEST(RoundTrip, DeterministicImages) {
+  const ElfSpec spec = typical_app_spec(Isa::kX86_64);
+  EXPECT_EQ(build_image(spec), build_image(spec));
+}
+
+TEST(RoundTrip, TextSizeDrivesFileSize) {
+  ElfSpec small = typical_app_spec(Isa::kX86_64);
+  ElfSpec large = small;
+  small.text_size = 1024;
+  large.text_size = 1024 * 1024;
+  EXPECT_GT(build_image(large).size(), build_image(small).size() + 900 * 1024);
+}
+
+TEST(RoundTrip, BitnessIsVisible) {
+  ElfSpec spec32 = typical_app_spec(Isa::kX86);
+  ElfSpec spec64 = typical_app_spec(Isa::kX86_64);
+  EXPECT_EQ(ElfFile::parse(build_image(spec32)).value().bits(), 32);
+  EXPECT_EQ(ElfFile::parse(build_image(spec64)).value().bits(), 64);
+}
+
+TEST(RoundTrip, BigEndianImagesParse) {
+  const ElfSpec spec = libc_spec(Isa::kPpc64);
+  const Bytes image = build_image(spec);
+  // e_ident[EI_DATA] must be 2 (big-endian) for ppc64.
+  EXPECT_EQ(image[5], 2);
+  const auto parsed = ElfFile::parse(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().isa(), Isa::kPpc64);
+}
+
+TEST(IsaModel, ExecutableOnRules) {
+  EXPECT_TRUE(isa_executable_on(Isa::kX86, Isa::kX86_64));
+  EXPECT_TRUE(isa_executable_on(Isa::kPpc, Isa::kPpc64));
+  EXPECT_FALSE(isa_executable_on(Isa::kX86_64, Isa::kX86));
+  EXPECT_FALSE(isa_executable_on(Isa::kPpc64, Isa::kX86_64));
+  EXPECT_FALSE(isa_executable_on(Isa::kX86, Isa::kPpc64));
+  for (const Isa isa : {Isa::kX86, Isa::kX86_64, Isa::kPpc, Isa::kPpc64}) {
+    EXPECT_TRUE(isa_executable_on(isa, isa));
+  }
+}
+
+}  // namespace
+}  // namespace feam::elf

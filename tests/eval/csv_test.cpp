@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "eval/tables.hpp"
+#include "support/strings.hpp"
+
+namespace feam::eval {
+namespace {
+
+MigrationResult sample(const char* name, const char* home, const char* target,
+                       bool before, bool after) {
+  MigrationResult r;
+  r.binary_name = name;
+  r.suite = "NAS";
+  r.home_site = home;
+  r.target_site = target;
+  r.basic_ready = before;
+  r.extended_ready = after;
+  r.success_before_resolution = before;
+  r.success_after_resolution = after;
+  r.status_before = before ? toolchain::RunStatus::kSuccess
+                           : toolchain::RunStatus::kMissingLibrary;
+  r.status_after = after ? toolchain::RunStatus::kSuccess
+                         : toolchain::RunStatus::kMissingLibrary;
+  r.missing_library_count = after && !before ? 2 : 0;
+  r.resolved_library_count = after && !before ? 2 : 0;
+  return r;
+}
+
+TEST(Csv, HeaderAndRows) {
+  const std::vector<MigrationResult> results = {
+      sample("cg.B.openmpi-1.4-gnu", "india", "fir", true, true),
+      sample("is.B.mvapich2-1.2-intel", "ranger", "fir", false, true),
+  };
+  const std::string csv = results_to_csv(results);
+  const auto lines = support::split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(support::starts_with(lines[0], "binary,suite,home,target"));
+  EXPECT_EQ(lines[1],
+            "cg.B.openmpi-1.4-gnu,NAS,india,fir,1,1,1,1,success,success,0,0");
+  EXPECT_TRUE(support::contains(lines[2], "ranger,fir,0,1,0,1"));
+  EXPECT_TRUE(support::contains(lines[2], "missing shared library,success"));
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  auto r = sample("weird", "india", "fir", true, true);
+  r.binary_name = "name,with\"comma";
+  const std::string csv = results_to_csv({r});
+  EXPECT_TRUE(support::contains(csv, "\"name,with\"\"comma\""));
+}
+
+TEST(Csv, EmptyResults) {
+  const std::string csv = results_to_csv({});
+  EXPECT_EQ(support::split(csv, '\n').size(), 2u);  // header + trailing
+}
+
+TEST(RouteMatrix, AggregatesPerRoute) {
+  const std::vector<MigrationResult> results = {
+      sample("a", "india", "fir", true, true),
+      sample("b", "india", "fir", false, true),
+      sample("c", "ranger", "fir", false, false),
+  };
+  const auto matrix = compute_route_matrix(results);
+  ASSERT_EQ(matrix.size(), 2u);
+  const auto& india_fir = matrix.at({"india", "fir"});
+  EXPECT_EQ(india_fir.total, 2);
+  EXPECT_EQ(india_fir.success_before, 1);
+  EXPECT_EQ(india_fir.success_after, 2);
+  const auto& ranger_fir = matrix.at({"ranger", "fir"});
+  EXPECT_EQ(ranger_fir.total, 1);
+  EXPECT_EQ(ranger_fir.success_after, 0);
+
+  const std::string text = render_route_matrix(matrix);
+  EXPECT_TRUE(support::contains(text, "india -> fir"));
+  EXPECT_TRUE(support::contains(text, "2 (100%)"));
+}
+
+}  // namespace
+}  // namespace feam::eval

@@ -1,0 +1,126 @@
+// End-to-end properties of the evaluation harness, run on a reduced
+// benchmark subset to keep test time bounded.
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace feam::eval {
+namespace {
+
+ExperimentOptions quiet_options(std::vector<std::string> benchmarks) {
+  ExperimentOptions o;
+  o.fault_seed = 0;  // no stochastic system errors
+  o.only_benchmarks = std::move(benchmarks);
+  return o;
+}
+
+TEST(Experiment, TestSetBinariesRunAtHome) {
+  Experiment e(quiet_options({"is.B", "cg.B"}));
+  e.build_test_set();
+  ASSERT_FALSE(e.test_set().empty());
+  for (const auto& binary : e.test_set()) {
+    EXPECT_TRUE(e.site(binary.home_site).vfs.is_file(binary.path));
+    EXPECT_EQ(binary.workload.suite, "NAS");
+  }
+}
+
+TEST(Experiment, MigrationsOnlyToMatchingImplementations) {
+  Experiment e(quiet_options({"is.B"}));
+  e.build_test_set();
+  e.run();
+  ASSERT_FALSE(e.results().empty());
+  for (const auto& r : e.results()) {
+    EXPECT_NE(r.home_site, r.target_site);
+  }
+  EXPECT_TRUE(e.mpi_matching_always_correct());
+}
+
+TEST(Experiment, FaultFreeExtendedPredictionIsPerfect) {
+  // The central invariant of the reproduction: with the stochastic fault
+  // model disabled, every remaining failure mode is structural (ISA, C
+  // library, MPI stack, shared libraries, ABI) and the extended prediction
+  // sees all of them — accuracy is exactly 100%.
+  Experiment e(quiet_options({"is.B", "cg.B", "104.milc", "126.lammps"}));
+  e.build_test_set();
+  e.run();
+  ASSERT_GT(e.results().size(), 20u);
+  for (const auto& r : e.results()) {
+    EXPECT_TRUE(r.extended_correct())
+        << r.binary_name << " " << r.home_site << "->" << r.target_site
+        << " predicted=" << r.extended_ready
+        << " actual=" << r.success_after_resolution << " status="
+        << toolchain::run_status_name(r.status_after);
+  }
+}
+
+TEST(Experiment, ResolutionNeverHurts) {
+  Experiment e(quiet_options({"cg.B", "ep.B", "107.leslie3d"}));
+  e.build_test_set();
+  e.run();
+  for (const auto& r : e.results()) {
+    // Following FEAM's configuration is never worse than the naive run.
+    EXPECT_GE(r.success_after_resolution, r.success_before_resolution)
+        << r.binary_name << " " << r.home_site << "->" << r.target_site;
+  }
+}
+
+TEST(Experiment, ResolutionHelpsSomewhere) {
+  Experiment e(quiet_options({"is.B", "104.milc"}));
+  e.build_test_set();
+  e.run();
+  int gained = 0;
+  for (const auto& r : e.results()) {
+    gained += r.success_after_resolution && !r.success_before_resolution;
+  }
+  EXPECT_GT(gained, 0);
+}
+
+TEST(Experiment, BasicNeverBeatsExtendedOnAccuracy) {
+  Experiment e(quiet_options({"cg.B", "115.fds4"}));
+  e.build_test_set();
+  e.run();
+  int basic_correct = 0, extended_correct = 0;
+  for (const auto& r : e.results()) {
+    basic_correct += r.basic_correct();
+    extended_correct += r.extended_correct();
+  }
+  EXPECT_GE(extended_correct, basic_correct);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Experiment e({.fault_seed = 99, .only_benchmarks = {"is.B"}});
+    e.build_test_set();
+    e.run();
+    std::vector<std::tuple<std::string, std::string, bool, bool, bool, bool>> out;
+    for (const auto& r : e.results()) {
+      out.emplace_back(r.binary_name, r.target_site, r.basic_ready,
+                       r.extended_ready, r.success_before_resolution,
+                       r.success_after_resolution);
+    }
+    return out;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Experiment, TargetSitesLeftClean) {
+  Experiment e(quiet_options({"is.B"}));
+  e.build_test_set();
+  e.run();
+  for (const char* name : {"ranger", "forge", "blacklight", "india", "fir"}) {
+    auto& s = e.site(name);
+    EXPECT_FALSE(s.vfs.exists("/home/user/feam_resolved")) << name;
+    EXPECT_TRUE(s.vfs.list("/home/user/migrated").empty()) << name;
+    EXPECT_TRUE(s.loaded_modules().empty()) << name;
+  }
+}
+
+TEST(Experiment, UnknownSiteThrows) {
+  Experiment e(quiet_options({"is.B"}));
+  EXPECT_THROW(e.site("unknown"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace feam::eval

@@ -1,0 +1,52 @@
+// The headline shapes must be stable across fault-model seeds, not an
+// artifact of the default one. Runs a reduced benchmark subset under
+// several seeds and asserts the paper's qualitative claims for each.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "eval/tables.hpp"
+
+namespace feam::eval {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, ShapesHoldAcrossSeeds) {
+  ExperimentOptions options;
+  options.fault_seed = GetParam();
+  options.only_benchmarks = {"is.B", "cg.B", "bt.B", "104.milc", "126.lammps",
+                             "107.leslie3d"};
+  Experiment experiment(options);
+  experiment.build_test_set();
+  experiment.run();
+  ASSERT_GT(experiment.results().size(), 100u);
+
+  int basic_correct = 0, extended_correct = 0;
+  int before = 0, after = 0;
+  const int total = static_cast<int>(experiment.results().size());
+  for (const auto& r : experiment.results()) {
+    basic_correct += r.basic_correct();
+    extended_correct += r.extended_correct();
+    before += r.success_before_resolution;
+    after += r.success_after_resolution;
+  }
+
+  // Paper shapes, with slack for the reduced subset:
+  // predictions comfortably above chance and extended >= basic - noise.
+  EXPECT_GT(100.0 * basic_correct / total, 80.0);
+  EXPECT_GT(100.0 * extended_correct / total, 88.0);
+  EXPECT_GE(extended_correct + total / 50, basic_correct);
+  // Roughly half execute before resolution; resolution strictly helps.
+  EXPECT_GT(100.0 * before / total, 25.0);
+  EXPECT_LT(100.0 * before / total, 75.0);
+  EXPECT_GT(after, before);
+  // The availability check never errs, regardless of seed.
+  EXPECT_TRUE(experiment.mpi_matching_always_correct());
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, SeedSweepTest,
+                         ::testing::Values(1u, 7u, 1234u, 20130613u,
+                                           0xfeedfaceu));
+
+}  // namespace
+}  // namespace feam::eval

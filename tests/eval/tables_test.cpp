@@ -1,0 +1,91 @@
+#include "eval/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::eval {
+namespace {
+
+MigrationResult result(const char* suite, bool basic_ready, bool ext_ready,
+                       bool before, bool after) {
+  MigrationResult r;
+  r.suite = suite;
+  r.binary_name = "x";
+  r.basic_ready = basic_ready;
+  r.extended_ready = ext_ready;
+  r.success_before_resolution = before;
+  r.success_after_resolution = after;
+  r.status_before = before ? toolchain::RunStatus::kSuccess
+                           : toolchain::RunStatus::kMissingLibrary;
+  r.status_after = after ? toolchain::RunStatus::kSuccess
+                         : toolchain::RunStatus::kMissingLibrary;
+  return r;
+}
+
+TEST(Tables, AccuracyComputation) {
+  std::vector<MigrationResult> results = {
+      result("NAS", true, true, true, true),     // both correct
+      result("NAS", true, true, false, false),   // both wrong
+      result("SPEC", false, false, false, false),  // both correct
+      result("SPEC", true, false, false, false),  // basic wrong, ext correct
+  };
+  const auto t3 = compute_table3(results);
+  EXPECT_EQ(t3.basic_nas.correct, 1);
+  EXPECT_EQ(t3.basic_nas.total, 2);
+  EXPECT_DOUBLE_EQ(t3.basic_nas.percent(), 50.0);
+  EXPECT_EQ(t3.extended_spec.correct, 2);
+  EXPECT_DOUBLE_EQ(t3.basic_spec.percent(), 50.0);
+  EXPECT_DOUBLE_EQ(t3.extended_nas.percent(), 50.0);
+}
+
+TEST(Tables, EmptyCellsRenderWithoutDivZero) {
+  const AccuracyCell empty;
+  EXPECT_DOUBLE_EQ(empty.percent(), 0.0);
+  const Table4Cell cell;
+  EXPECT_DOUBLE_EQ(cell.before_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(cell.increase_percent(), 0.0);
+}
+
+TEST(Tables, ResolutionImpactComputation) {
+  std::vector<MigrationResult> results;
+  // NAS: 3 of 6 before, 4 of 6 after -> 50% -> 67%, increase 33%.
+  for (int i = 0; i < 3; ++i) results.push_back(result("NAS", 1, 1, true, true));
+  results.push_back(result("NAS", 0, 1, false, true));
+  for (int i = 0; i < 2; ++i) results.push_back(result("NAS", 0, 0, false, false));
+  const auto t4 = compute_table4(results);
+  EXPECT_EQ(t4.nas.success_before, 3);
+  EXPECT_EQ(t4.nas.success_after, 4);
+  EXPECT_EQ(t4.nas.total, 6);
+  EXPECT_NEAR(t4.nas.before_percent(), 50.0, 0.01);
+  EXPECT_NEAR(t4.nas.after_percent(), 66.67, 0.01);
+  // Paper semantics: increase relative to before-resolution successes.
+  EXPECT_NEAR(t4.nas.increase_percent(), 33.33, 0.01);
+}
+
+TEST(Tables, RenderContainsPaperHeadings) {
+  const std::vector<MigrationResult> results = {
+      result("NAS", true, true, true, true)};
+  EXPECT_NE(render_table3(compute_table3(results))
+                .find("ACCURACY OF PREDICTION MODEL"),
+            std::string::npos);
+  EXPECT_NE(render_table4(compute_table4(results))
+                .find("IMPACT OF RESOLUTION MODEL"),
+            std::string::npos);
+}
+
+TEST(Tables, DeterminantBreakdownCountsStatuses) {
+  std::vector<MigrationResult> results = {
+      result("NAS", true, true, false, false),
+      result("SPEC", true, true, true, true),
+  };
+  results[0].status_before = toolchain::RunStatus::kFpException;
+  results[0].status_after = toolchain::RunStatus::kFpException;
+  const auto d = compute_determinants(results);
+  EXPECT_EQ(d.total, 2);
+  EXPECT_EQ(d.failure_status_before.at("floating point exception"), 1);
+  EXPECT_EQ(d.failure_status_after.size(), 1u);
+  const auto text = render_determinants(d);
+  EXPECT_NE(text.find("floating point exception"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feam::eval

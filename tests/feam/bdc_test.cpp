@@ -1,0 +1,130 @@
+#include "feam/bdc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+using support::Version;
+
+struct Compiled {
+  std::unique_ptr<site::Site> site;
+  std::string path;
+};
+
+Compiled compile_fortran_app(const char* site_name, MpiImpl impl,
+                             CompilerFamily fam) {
+  auto s = toolchain::make_site(site_name);
+  const auto* stack = s->find_stack(impl, fam);
+  EXPECT_NE(stack, nullptr);
+  toolchain::ProgramSource p;
+  p.name = "cg.B";
+  p.language = toolchain::Language::kFortran;
+  p.libc_features = {"base", "stdio", "math", "affinity"};
+  const auto r = toolchain::compile_mpi_program(*s, p, *stack,
+                                                "/home/user/apps/cg.B");
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return {std::move(s), r.value()};
+}
+
+TEST(Bdc, DescribesCompiledBinary) {
+  auto c = compile_fortran_app("india", MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  const auto d = Bdc::describe(*c.site, c.path);
+  ASSERT_TRUE(d.ok()) << d.error();
+  const BinaryDescription& desc = d.value();
+
+  EXPECT_EQ(desc.file_format, "elf64-x86-64");
+  EXPECT_EQ(desc.bits, 64);
+  EXPECT_FALSE(desc.is_shared_library);
+  EXPECT_EQ(desc.mpi_impl, MpiImpl::kOpenMpi);
+  // gcc 4.1.2 emits stack-protector refs -> required glibc is 2.4, not the
+  // build version 2.5 (the paper's III.C distinction).
+  EXPECT_EQ(desc.required_clib_version, Version::of("2.4"));
+  EXPECT_EQ(desc.build_clib_version, Version::of("2.5"));
+  ASSERT_TRUE(desc.build_os.has_value());
+  EXPECT_NE(desc.build_os->find("Red Hat"), std::string::npos);
+  ASSERT_TRUE(desc.build_compiler.has_value());
+  EXPECT_NE(desc.build_compiler->find("GCC"), std::string::npos);
+}
+
+TEST(Bdc, DescribesSharedLibraryWithSonameVersion) {
+  auto s = toolchain::make_site("india");
+  const auto d =
+      Bdc::describe(*s, "/opt/mpich2-1.4-gnu/lib/libmpich.so.1.2");
+  ASSERT_TRUE(d.ok()) << d.error();
+  EXPECT_TRUE(d.value().is_shared_library);
+  EXPECT_EQ(d.value().soname, "libmpich.so.1.2");
+  EXPECT_EQ(d.value().library_version, Version::of("1.2"));
+  // An MPI library identifies as its own implementation (no IB at MPICH2).
+  EXPECT_EQ(d.value().mpi_impl, MpiImpl::kMpich2);
+}
+
+TEST(Bdc, FailsOnMissingOrForeignFiles) {
+  auto s = toolchain::make_site("india");
+  EXPECT_FALSE(Bdc::describe(*s, "/no/such/binary").ok());
+  s->vfs.write_file("/home/user/run.sh", "#!/bin/sh\n");
+  EXPECT_FALSE(Bdc::describe(*s, "/home/user/run.sh").ok());
+}
+
+TEST(Bdc, LocatesLibrariesViaLdd) {
+  auto c = compile_fortran_app("india", MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  c.site->load_module("openmpi/1.4-gnu");
+  const auto located =
+      Bdc::locate_libraries(*c.site, c.path, {"libmpi.so.0", "libgfortran.so.1"});
+  ASSERT_EQ(located.size(), 2u);
+  EXPECT_EQ(located[0].second, "/opt/openmpi-1.4-gnu/lib/libmpi.so.0.0.0");
+  ASSERT_TRUE(located[1].second.has_value());
+  EXPECT_NE(located[1].second->find("libgfortran.so.1"), std::string::npos);
+}
+
+TEST(Bdc, LocateFallsBackWhenLddUnavailable) {
+  auto c = compile_fortran_app("india", MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  c.site->ldd_available = false;  // degraded site
+  c.site->load_module("openmpi/1.4-gnu");
+  const auto located = Bdc::locate_libraries(*c.site, c.path, {"libmpi.so.0"});
+  ASSERT_TRUE(located[0].second.has_value());  // found via locate
+}
+
+TEST(Bdc, LocateFallsBackToFindWhenLocateMissingToo) {
+  auto c = compile_fortran_app("india", MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  c.site->ldd_available = false;
+  c.site->locate_available = false;
+  c.site->load_module("openmpi/1.4-gnu");
+  const auto located = Bdc::locate_libraries(*c.site, c.path, {"libmpi.so.0"});
+  ASSERT_TRUE(located[0].second.has_value());  // found via find over /opt
+}
+
+TEST(Bdc, UnlocatableLibraryReportsNullopt) {
+  auto s = toolchain::make_site("india");
+  s->vfs.write_file("/home/user/x", "not elf");
+  const auto located = Bdc::locate_libraries(*s, "/home/user/x",
+                                             {"libdoesnotexist.so.9"});
+  ASSERT_EQ(located.size(), 1u);
+  EXPECT_FALSE(located[0].second.has_value());
+}
+
+TEST(Bdc, RequiredClibIsMaxAcrossAllReferences) {
+  // A SPEC-style binary using pipe2 (2.9) built at Forge references
+  // GLIBC_2.9 — the max ref, not the 2.12 build version.
+  auto s = toolchain::make_site("forge");
+  const auto* stack = s->find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  toolchain::ProgramSource p;
+  p.name = "115.fds4";
+  p.language = toolchain::Language::kFortran;
+  p.libc_features = {"base", "stdio", "math", "atfuncs", "pipe2"};
+  const auto r =
+      toolchain::compile_mpi_program(*s, p, *stack, "/home/user/fds4");
+  ASSERT_TRUE(r.ok());
+  const auto d = Bdc::describe(*s, r.value());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().required_clib_version, Version::of("2.9"));
+  EXPECT_EQ(d.value().build_clib_version, Version::of("2.12"));
+}
+
+}  // namespace
+}  // namespace feam

@@ -1,0 +1,94 @@
+#include "feam/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "feam/phases.hpp"
+#include "support/strings.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+TEST(ConfigFile, Defaults) {
+  const FeamConfigFile config;
+  EXPECT_EQ(config.default_mpiexec, "mpiexec");
+  EXPECT_EQ(config.mpiexec_for(site::MpiImpl::kOpenMpi), "mpiexec");
+  EXPECT_EQ(config.hello_world_ranks, 2);
+}
+
+TEST(ConfigFile, ParseFullFile) {
+  const auto config = FeamConfigFile::parse(R"(
+# site: india
+serial_submission_script = serial.pbs
+parallel_submission_script = parallel.pbs
+hello_world_ranks = 4
+mpiexec = mpiexec
+mpiexec.mvapich2 = mpirun_rsh
+mpiexec.openmpi = orterun
+)");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->serial_submission_script, "serial.pbs");
+  EXPECT_EQ(config->hello_world_ranks, 4);
+  EXPECT_EQ(config->mpiexec_for(site::MpiImpl::kMvapich2), "mpirun_rsh");
+  EXPECT_EQ(config->mpiexec_for(site::MpiImpl::kOpenMpi), "orterun");
+  EXPECT_EQ(config->mpiexec_for(site::MpiImpl::kMpich2), "mpiexec");
+}
+
+TEST(ConfigFile, RenderParseRoundTrip) {
+  FeamConfigFile config;
+  config.hello_world_ranks = 8;
+  config.mpiexec_by_type[site::MpiImpl::kMvapich2] = "mpirun_rsh";
+  config.parallel_submission_script = "run.sge";
+  const auto back = FeamConfigFile::parse(config.render());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->hello_world_ranks, 8);
+  EXPECT_EQ(back->parallel_submission_script, "run.sge");
+  EXPECT_EQ(back->mpiexec_for(site::MpiImpl::kMvapich2), "mpirun_rsh");
+}
+
+TEST(ConfigFile, RejectsMalformedInput) {
+  EXPECT_FALSE(FeamConfigFile::parse("no equals sign").has_value());
+  EXPECT_FALSE(FeamConfigFile::parse("unknown_key = 1").has_value());
+  EXPECT_FALSE(FeamConfigFile::parse("mpiexec.lam = mpirun").has_value());
+  EXPECT_FALSE(FeamConfigFile::parse("hello_world_ranks = zero").has_value());
+  EXPECT_FALSE(FeamConfigFile::parse("hello_world_ranks = 0").has_value());
+  EXPECT_FALSE(FeamConfigFile::parse("mpiexec = ").has_value());
+}
+
+TEST(ConfigFile, EmptyFileGivesDefaults) {
+  const auto config = FeamConfigFile::parse("# only comments\n\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->default_mpiexec, "mpiexec");
+}
+
+TEST(ConfigFile, PerTypeCommandReachesGeneratedScript) {
+  // An MVAPICH2 site configured with mpirun_rsh: the TEC's generated
+  // configuration script must use it (paper Section V.C). India's 1.7a2
+  // and Fir's 1.7a share sonames, so the basic prediction is READY.
+  auto home = toolchain::make_site("india");
+  auto target = toolchain::make_site("fir");
+  toolchain::ProgramSource app;
+  app.name = "cg.B";
+  app.language = toolchain::Language::kC;
+  const auto* stack = home->find_stack(site::MpiImpl::kMvapich2,
+                                       site::CompilerFamily::kIntel);
+  const auto compiled = toolchain::compile_mpi_program(
+      *home, app, *stack, "/home/user/apps/cg.B");
+  ASSERT_TRUE(compiled.ok());
+  target->vfs.write_file("/home/user/cg.B", *home->vfs.read(compiled.value()));
+
+  FeamConfig config;
+  config.mpiexec_by_type[site::MpiImpl::kMvapich2] = "mpirun_rsh";
+  const auto result = run_target_phase(*target, "/home/user/cg.B", nullptr,
+                                       config);
+  ASSERT_TRUE(result.ok()) << result.error();
+  ASSERT_TRUE(result.value().prediction.ready);
+  EXPECT_TRUE(support::contains(
+      result.value().prediction.configuration_script, "mpirun_rsh -n"));
+  EXPECT_FALSE(support::contains(
+      result.value().prediction.configuration_script, "mpiexec -n"));
+}
+
+}  // namespace
+}  // namespace feam

@@ -1,0 +1,110 @@
+// Full two-phase migrations across *degraded* sites — the paper's
+// motivation for gathering information "in multiple ways ... in case some
+// tools are not present or functioning at a particular target site"
+// (Section V). Each degradation knocks out one discovery path; the
+// fallbacks must carry the whole workflow to the same READY outcome.
+#include <gtest/gtest.h>
+
+#include "feam/phases.hpp"
+#include "toolchain/launcher.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+struct Scenario {
+  std::unique_ptr<site::Site> home;
+  std::unique_ptr<site::Site> target;
+  std::string binary_path;
+};
+
+// Ranger MVAPICH2 1.2 -> Fir: the canonical resolution-required migration.
+Scenario make_scenario() {
+  Scenario sc;
+  sc.home = toolchain::make_site("ranger");
+  sc.target = toolchain::make_site("fir");
+  toolchain::ProgramSource app;
+  app.name = "cg.B";
+  app.language = toolchain::Language::kC;
+  const auto* stack = sc.home->find_stack(MpiImpl::kMvapich2,
+                                          CompilerFamily::kIntel);
+  const auto compiled = toolchain::compile_mpi_program(
+      *sc.home, app, *stack, "/home/user/apps/cg.B");
+  EXPECT_TRUE(compiled.ok());
+  sc.binary_path = compiled.value();
+  sc.home->load_module("mvapich2/1.2-intel");
+  sc.target->vfs.write_file("/home/user/cg.B",
+                            *sc.home->vfs.read(sc.binary_path));
+  return sc;
+}
+
+// Runs both phases and executes under FEAM's configuration; returns the
+// run outcome.
+toolchain::RunResult run_workflow(Scenario& sc) {
+  const auto source = run_source_phase(*sc.home, sc.binary_path);
+  EXPECT_TRUE(source.ok()) << source.error();
+  const auto target = run_target_phase(*sc.target, "/home/user/cg.B",
+                                       &source.value());
+  EXPECT_TRUE(target.ok()) << target.error();
+  EXPECT_TRUE(target.value().prediction.ready);
+  const auto extra =
+      Tec::apply_configuration(*sc.target, target.value().prediction);
+  return toolchain::mpiexec_with_retries(*sc.target, "/home/user/cg.B", 4,
+                                         extra);
+}
+
+TEST(DegradedSites, Baseline) {
+  auto sc = make_scenario();
+  EXPECT_TRUE(run_workflow(sc).success());
+}
+
+TEST(DegradedSites, NoLddAtGuaranteedSite) {
+  auto sc = make_scenario();
+  sc.home->ldd_available = false;  // copies located via locate/find instead
+  EXPECT_TRUE(run_workflow(sc).success());
+}
+
+TEST(DegradedSites, NoLddNoLocateAnywhere) {
+  auto sc = make_scenario();
+  sc.home->ldd_available = false;
+  sc.home->locate_available = false;
+  sc.target->ldd_available = false;
+  sc.target->locate_available = false;
+  EXPECT_TRUE(run_workflow(sc).success());
+}
+
+TEST(DegradedSites, UnexecutableLibcAtTarget) {
+  auto sc = make_scenario();
+  sc.target->libc_executable = false;  // EDC falls back to the library API
+  EXPECT_TRUE(run_workflow(sc).success());
+}
+
+TEST(DegradedSites, NoUserEnvToolAtTarget) {
+  auto sc = make_scenario();
+  // Strip Environment Modules from the target: stacks found by filesystem
+  // search, activated by manual PATH/LD_LIBRARY_PATH edits.
+  sc.target->vfs.remove("/usr/bin/modulecmd");
+  sc.target->vfs.remove("/usr/share/Modules");
+  sc.target->module_files.clear();
+  EXPECT_TRUE(run_workflow(sc).success());
+}
+
+TEST(DegradedSites, EverythingDegradedAtOnce) {
+  auto sc = make_scenario();
+  sc.home->ldd_available = false;
+  sc.home->locate_available = false;
+  sc.target->ldd_available = false;
+  sc.target->locate_available = false;
+  sc.target->libc_executable = false;
+  sc.target->vfs.remove("/usr/bin/modulecmd");
+  sc.target->vfs.remove("/usr/share/Modules");
+  sc.target->module_files.clear();
+  EXPECT_TRUE(run_workflow(sc).success());
+}
+
+}  // namespace
+}  // namespace feam

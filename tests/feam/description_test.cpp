@@ -1,0 +1,100 @@
+#include "feam/description.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam {
+namespace {
+
+using support::Version;
+
+TEST(SonameVersion, Extraction) {
+  EXPECT_EQ(soname_version("libmpich.so.1.2"), Version::of("1.2"));
+  EXPECT_EQ(soname_version("libgfortran.so.1"), Version::of("1"));
+  EXPECT_EQ(soname_version("libmpi.so.0"), Version::of("0"));
+  EXPECT_FALSE(soname_version("libimf.so").has_value());
+  EXPECT_FALSE(soname_version("not-a-library").has_value());
+}
+
+BinaryDescription sample() {
+  BinaryDescription d;
+  d.path = "/home/user/apps/cg.B";
+  d.file_format = "elf64-x86-64";
+  d.architecture = "i386:x86-64";
+  d.bits = 64;
+  d.is_shared_library = false;
+  d.required_libraries = {"libmpi.so.0", "libgfortran.so.1", "libc.so.6"};
+  d.version_references = {{"libc.so.6", {"GLIBC_2.2.5", "GLIBC_2.4"}},
+                          {"libm.so.6", {"GLIBC_2.2.5"}}};
+  d.required_clib_version = Version::of("2.4");
+  d.build_compiler = "GCC: (GNU) 4.1.2";
+  d.build_os = "Red Hat Enterprise Linux Server 5.6";
+  d.build_clib_version = Version::of("2.5");
+  d.mpi_impl = site::MpiImpl::kOpenMpi;
+  return d;
+}
+
+TEST(BinaryDescription, JsonRoundTrip) {
+  const BinaryDescription d = sample();
+  const auto json = d.to_json();
+  const auto back = BinaryDescription::from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->path, d.path);
+  EXPECT_EQ(back->file_format, d.file_format);
+  EXPECT_EQ(back->bits, 64);
+  EXPECT_EQ(back->required_libraries, d.required_libraries);
+  ASSERT_EQ(back->version_references.size(), 2u);
+  EXPECT_EQ(back->version_references[0].versions,
+            (std::vector<std::string>{"GLIBC_2.2.5", "GLIBC_2.4"}));
+  EXPECT_EQ(back->required_clib_version, Version::of("2.4"));
+  EXPECT_EQ(back->build_compiler, "GCC: (GNU) 4.1.2");
+  EXPECT_EQ(back->build_os, "Red Hat Enterprise Linux Server 5.6");
+  EXPECT_EQ(back->build_clib_version, Version::of("2.5"));
+  EXPECT_EQ(back->mpi_impl, site::MpiImpl::kOpenMpi);
+}
+
+TEST(BinaryDescription, JsonRoundTripThroughText) {
+  // Manifests travel as files between sites: text round-trip must hold.
+  const auto text = sample().to_json().dump(2);
+  const auto parsed = support::Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = BinaryDescription::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mpi_impl, site::MpiImpl::kOpenMpi);
+  EXPECT_EQ(back->required_clib_version, Version::of("2.4"));
+}
+
+TEST(BinaryDescription, SharedLibraryFields) {
+  BinaryDescription d = sample();
+  d.is_shared_library = true;
+  d.soname = "libmpich.so.1.2";
+  d.library_version = soname_version("libmpich.so.1.2");
+  const auto back = BinaryDescription::from_json(d.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->is_shared_library);
+  EXPECT_EQ(back->soname, "libmpich.so.1.2");
+  EXPECT_EQ(back->library_version, Version::of("1.2"));
+}
+
+TEST(BinaryDescription, OptionalFieldsAbsent) {
+  BinaryDescription d;
+  d.file_format = "elf32-i386";
+  d.bits = 32;
+  const auto back = BinaryDescription::from_json(d.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->soname.has_value());
+  EXPECT_FALSE(back->required_clib_version.has_value());
+  EXPECT_FALSE(back->mpi_impl.has_value());
+  EXPECT_FALSE(back->build_compiler.has_value());
+}
+
+TEST(BinaryDescription, FromJsonRejectsNonObjects) {
+  EXPECT_FALSE(BinaryDescription::from_json(support::Json(3.0)).has_value());
+  EXPECT_FALSE(BinaryDescription::from_json(support::Json()).has_value());
+  // Object without the mandatory file format is rejected too.
+  support::Json j;
+  j.set("path", "/x");
+  EXPECT_FALSE(BinaryDescription::from_json(j).has_value());
+}
+
+}  // namespace
+}  // namespace feam

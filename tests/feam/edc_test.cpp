@@ -1,0 +1,144 @@
+#include "feam/edc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using support::Version;
+
+TEST(Edc, DiscoversIsaAndOs) {
+  auto s = toolchain::make_site("india");
+  const auto env = Edc::discover(*s);
+  EXPECT_EQ(env.isa, "x86_64");
+  EXPECT_EQ(env.bits, 64);
+  EXPECT_NE(env.os_type.find("Linux 2.6.18"), std::string::npos);
+  EXPECT_NE(env.distro.find("Red Hat Enterprise Linux Server release 5.6"),
+            std::string::npos);
+}
+
+class EdcTestbedTest : public ::testing::TestWithParam<const char*> {};
+
+// Discovery must recover each site's configured truth purely from the
+// filesystem/environment surface.
+TEST_P(EdcTestbedTest, ClibVersionMatchesConfiguration) {
+  auto s = toolchain::make_site(GetParam());
+  const auto env = Edc::discover(*s);
+  ASSERT_TRUE(env.clib_version.has_value()) << GetParam();
+  EXPECT_EQ(*env.clib_version, s->clib_version);
+  EXPECT_EQ(env.clib_discovery_method, "executed C library");
+}
+
+TEST_P(EdcTestbedTest, AllConfiguredStacksDiscovered) {
+  auto s = toolchain::make_site(GetParam());
+  const auto env = Edc::discover(*s);
+  EXPECT_EQ(env.stacks.size(), s->stacks.size());
+  for (const auto& configured : s->stacks) {
+    const bool found = std::any_of(
+        env.stacks.begin(), env.stacks.end(), [&](const DiscoveredStack& d) {
+          return d.impl == configured.impl &&
+                 d.compiler == configured.compiler &&
+                 d.version == configured.version;
+        });
+    EXPECT_TRUE(found) << GetParam() << " missing " << configured.slug();
+  }
+}
+
+TEST_P(EdcTestbedTest, WrapperProbingRecoversCompilerVersions) {
+  auto s = toolchain::make_site(GetParam());
+  const auto env = Edc::discover(*s);
+  for (const auto& discovered : env.stacks) {
+    ASSERT_TRUE(discovered.compiler_version.has_value()) << discovered.id;
+    const auto* configured = s->stack_for_module(discovered.id);
+    if (configured != nullptr) {
+      EXPECT_EQ(*discovered.compiler_version, configured->compiler_version)
+          << discovered.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, EdcTestbedTest,
+                         ::testing::Values("ranger", "forge", "blacklight",
+                                           "india", "fir"),
+                         [](const auto& param_info) { return std::string(param_info.param); });
+
+TEST(Edc, DetectsUserEnvTools) {
+  EXPECT_EQ(Edc::discover(*toolchain::make_site("india")).user_env_tool,
+            site::UserEnvTool::kModules);
+  EXPECT_EQ(Edc::discover(*toolchain::make_site("forge")).user_env_tool,
+            site::UserEnvTool::kSoftEnv);
+}
+
+TEST(Edc, ClibFallbackToLibraryApi) {
+  auto s = toolchain::make_site("blacklight");
+  s->libc_executable = false;  // degraded: cannot run the C library binary
+  const auto env = Edc::discover(*s);
+  ASSERT_TRUE(env.clib_version.has_value());
+  // The library API reports the newest *version node*, 2.11 — micro
+  // releases like 2.11.1 define no node of their own, so the fallback is
+  // slightly coarser than the banner (and conservatively correct).
+  EXPECT_EQ(*env.clib_version, Version::of("2.11"));
+  EXPECT_EQ(env.clib_discovery_method, "library API");
+}
+
+TEST(Edc, FilesystemSearchWhenNoToolPresent) {
+  auto s = toolchain::make_site("india");
+  // Strip the user-environment tool surface.
+  s->vfs.remove("/usr/bin/modulecmd");
+  s->vfs.remove("/usr/share/Modules");
+  const auto env = Edc::discover(*s);
+  EXPECT_EQ(env.user_env_tool, site::UserEnvTool::kNone);
+  // Stacks are still found by searching /opt for MPI libraries and parsing
+  // the path naming scheme.
+  EXPECT_EQ(env.stacks.size(), s->stacks.size());
+  bool found_openmpi_intel = false;
+  for (const auto& stack : env.stacks) {
+    if (stack.impl == site::MpiImpl::kOpenMpi &&
+        stack.compiler == site::CompilerFamily::kIntel) {
+      found_openmpi_intel = true;
+      EXPECT_EQ(stack.prefix, "/opt/openmpi-1.4-intel");
+    }
+  }
+  EXPECT_TRUE(found_openmpi_intel);
+}
+
+TEST(Edc, CurrentlyLoadedStackIsFlagged) {
+  auto s = toolchain::make_site("fir");
+  {
+    const auto env = Edc::discover(*s);
+    for (const auto& stack : env.stacks) {
+      EXPECT_FALSE(stack.currently_loaded);
+    }
+  }
+  s->load_module("mvapich2/1.7a-intel");
+  const auto env = Edc::discover(*s);
+  int loaded = 0;
+  for (const auto& stack : env.stacks) {
+    if (stack.currently_loaded) {
+      ++loaded;
+      EXPECT_EQ(stack.id, "mvapich2/1.7a-intel");
+    }
+  }
+  EXPECT_EQ(loaded, 1);
+}
+
+TEST(Edc, StacksOfFiltersByImplementation) {
+  auto s = toolchain::make_site("india");
+  const auto env = Edc::discover(*s);
+  EXPECT_EQ(env.stacks_of(site::MpiImpl::kOpenMpi).size(), 2u);
+  EXPECT_EQ(env.stacks_of(site::MpiImpl::kMvapich2).size(), 2u);
+  EXPECT_EQ(env.stacks_of(site::MpiImpl::kMpich2).size(), 2u);
+}
+
+TEST(Edc, DisplayString) {
+  DiscoveredStack stack;
+  stack.impl = site::MpiImpl::kOpenMpi;
+  stack.version = Version::of("1.4");
+  stack.compiler = site::CompilerFamily::kIntel;
+  EXPECT_EQ(stack.display(), "Open MPI v1.4 (i)");
+}
+
+}  // namespace
+}  // namespace feam

@@ -1,0 +1,79 @@
+#include "feam/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+struct Scenario {
+  std::unique_ptr<site::Site> home;
+  std::unique_ptr<site::Site> target;
+  SourcePhaseOutput source;
+  TargetPhaseOutput target_output;
+};
+
+Scenario run_scenario(const char* target_name) {
+  Scenario sc;
+  sc.home = toolchain::make_site("ranger");
+  sc.target = toolchain::make_site(target_name);
+  toolchain::ProgramSource app;
+  app.name = "cg.B";
+  app.language = toolchain::Language::kC;
+  const auto* stack =
+      sc.home->find_stack(MpiImpl::kMvapich2, CompilerFamily::kIntel);
+  const auto compiled = toolchain::compile_mpi_program(
+      *sc.home, app, *stack, "/home/user/apps/cg.B");
+  EXPECT_TRUE(compiled.ok());
+  sc.home->load_module("mvapich2/1.2-intel");
+  sc.source = run_source_phase(*sc.home, compiled.value()).take();
+  sc.target->vfs.write_file("/home/user/cg.B",
+                            *sc.home->vfs.read(compiled.value()));
+  sc.target_output =
+      run_target_phase(*sc.target, "/home/user/cg.B", &sc.source).take();
+  return sc;
+}
+
+TEST(Report, TargetReadyReportHasScriptAndResolution) {
+  const auto sc = run_scenario("fir");
+  ASSERT_TRUE(sc.target_output.prediction.ready);
+  const std::string report = render_target_report(sc.target_output);
+  EXPECT_TRUE(support::contains(report, "application binary:"));
+  EXPECT_TRUE(support::contains(report, "MVAPICH2"));
+  EXPECT_TRUE(support::contains(report, "target environment:"));
+  EXPECT_TRUE(support::contains(report, "determinants:"));
+  EXPECT_TRUE(support::contains(report, "[x] ISA compatibility"));
+  EXPECT_TRUE(support::contains(report, "shared library resolution:"));
+  EXPECT_TRUE(support::contains(report, "libmpich.so.1.0"));
+  EXPECT_TRUE(support::contains(report, "READY"));
+  EXPECT_TRUE(support::contains(report, "module load"));
+}
+
+TEST(Report, TargetNotReadyReportDetailsReasons) {
+  // Blacklight has no MVAPICH2 at all.
+  const auto sc = run_scenario("blacklight");
+  ASSERT_FALSE(sc.target_output.prediction.ready);
+  const std::string report = render_target_report(sc.target_output);
+  EXPECT_TRUE(support::contains(report, "NOT READY"));
+  EXPECT_TRUE(support::contains(report, "no MVAPICH2 stack"));
+  EXPECT_TRUE(support::contains(report, "[-]"));  // skipped determinant
+  EXPECT_FALSE(support::contains(report, "matching configuration script"));
+}
+
+TEST(Report, SourceReportListsCopies) {
+  const auto sc = run_scenario("fir");
+  const std::string report = render_source_report(sc.source);
+  EXPECT_TRUE(support::contains(report, "gathered library copies:"));
+  EXPECT_TRUE(support::contains(report, "libmpich.so.1.0"));
+  EXPECT_TRUE(support::contains(report, "bundle size:"));
+  EXPECT_TRUE(support::contains(report, "hello worlds: 2"));
+}
+
+}  // namespace
+}  // namespace feam

@@ -1,0 +1,92 @@
+#include "site/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+
+namespace feam::site {
+namespace {
+
+BatchScript sample(BatchKind kind) {
+  BatchScript s;
+  s.kind = kind;
+  s.job_name = "feam_target";
+  s.queue = "debug";
+  s.nodes = 2;
+  s.tasks_per_node = 4;
+  s.walltime_minutes = 5;
+  s.commands = {"module load openmpi/1.4-intel",
+                "mpiexec -n 8 /home/user/app"};
+  return s;
+}
+
+class BatchDialectTest : public ::testing::TestWithParam<BatchKind> {};
+
+TEST_P(BatchDialectTest, RenderParseRoundTrip) {
+  const BatchScript original = sample(GetParam());
+  const auto parsed = BatchScript::parse(original.render());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, original.kind);
+  EXPECT_EQ(parsed->job_name, original.job_name);
+  EXPECT_EQ(parsed->queue, original.queue);
+  EXPECT_EQ(parsed->total_tasks(), original.total_tasks());
+  EXPECT_EQ(parsed->walltime_minutes, original.walltime_minutes);
+  EXPECT_EQ(parsed->commands, original.commands);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, BatchDialectTest,
+                         ::testing::Values(BatchKind::kPbs, BatchKind::kSge,
+                                           BatchKind::kSlurm),
+                         [](const auto& param_info) {
+                           return std::string(batch_name(param_info.param));
+                         });
+
+TEST(BatchScript, PbsDirectives) {
+  const std::string text = sample(BatchKind::kPbs).render();
+  EXPECT_TRUE(support::contains(text, "#PBS -N feam_target"));
+  EXPECT_TRUE(support::contains(text, "#PBS -q debug"));
+  EXPECT_TRUE(support::contains(text, "#PBS -l nodes=2:ppn=4"));
+  EXPECT_TRUE(support::contains(text, "walltime=00:05:00"));
+}
+
+TEST(BatchScript, SgeDirectives) {
+  const std::string text = sample(BatchKind::kSge).render();
+  EXPECT_TRUE(support::contains(text, "#$ -pe mpi 8"));
+  EXPECT_TRUE(support::contains(text, "#$ -l h_rt=00:05:00"));
+}
+
+TEST(BatchScript, SlurmDirectives) {
+  const std::string text = sample(BatchKind::kSlurm).render();
+  EXPECT_TRUE(support::contains(text, "#SBATCH --job-name=feam_target"));
+  EXPECT_TRUE(support::contains(text, "#SBATCH --ntasks-per-node=4"));
+}
+
+TEST(BatchScript, ParseRejectsNonBatchText) {
+  EXPECT_FALSE(BatchScript::parse("#!/bin/sh\necho hi\n").has_value());
+  EXPECT_FALSE(BatchScript::parse("").has_value());
+}
+
+TEST(BatchScript, ParseRejectsMalformedDirectives) {
+  EXPECT_FALSE(BatchScript::parse("#PBS \n").has_value());
+  EXPECT_FALSE(BatchScript::parse("#PBS -l walltime=abc\n").has_value());
+  EXPECT_FALSE(BatchScript::parse("#$ -pe mpi\n").has_value());
+}
+
+TEST(BatchScript, PlainCommentsAreNotCommands) {
+  const auto parsed =
+      BatchScript::parse("#PBS -q debug\n# just a note\n/bin/app\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->commands, (std::vector<std::string>{"/bin/app"}));
+}
+
+TEST(BatchScript, LongWalltimeFormatting) {
+  BatchScript s = sample(BatchKind::kPbs);
+  s.walltime_minutes = 135;
+  EXPECT_TRUE(support::contains(s.render(), "walltime=02:15:00"));
+  const auto parsed = BatchScript::parse(s.render());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->walltime_minutes, 135);
+}
+
+}  // namespace
+}  // namespace feam::site

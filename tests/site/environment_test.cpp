@@ -1,0 +1,54 @@
+#include "site/environment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::site {
+namespace {
+
+TEST(Environment, SetGetUnset) {
+  Environment env;
+  EXPECT_FALSE(env.has("PATH"));
+  env.set("PATH", "/usr/bin");
+  EXPECT_TRUE(env.has("PATH"));
+  EXPECT_EQ(env.get("PATH"), "/usr/bin");
+  env.unset("PATH");
+  EXPECT_FALSE(env.get("PATH").has_value());
+  env.unset("PATH");  // idempotent
+}
+
+TEST(Environment, ListParsing) {
+  Environment env;
+  env.set("LD_LIBRARY_PATH", "/a:/b::/c");
+  EXPECT_EQ(env.get_list("LD_LIBRARY_PATH"),
+            (std::vector<std::string>{"/a", "/b", "/c"}));  // empties dropped
+  EXPECT_TRUE(env.get_list("MISSING").empty());
+}
+
+TEST(Environment, PrependOrdering) {
+  Environment env;
+  env.set("PATH", "/usr/bin:/bin");
+  env.prepend_to_list("PATH", "/opt/mpi/bin");
+  EXPECT_EQ(env.get("PATH"), "/opt/mpi/bin:/usr/bin:/bin");
+  // Prepending to an unset variable creates it without a trailing colon.
+  env.prepend_to_list("NEW", "/x");
+  EXPECT_EQ(env.get("NEW"), "/x");
+}
+
+TEST(Environment, AppendOrdering) {
+  Environment env;
+  env.append_to_list("PATH", "/first");
+  env.append_to_list("PATH", "/second");
+  EXPECT_EQ(env.get("PATH"), "/first:/second");
+}
+
+TEST(Environment, PathHelpers) {
+  Environment env;
+  env.set("PATH", "/usr/bin");
+  env.set("LD_LIBRARY_PATH", "/opt/mpi/lib:/opt/intel/lib");
+  EXPECT_EQ(env.path().size(), 1u);
+  EXPECT_EQ(env.ld_library_path().size(), 2u);
+  EXPECT_EQ(env.ld_library_path()[0], "/opt/mpi/lib");
+}
+
+}  // namespace
+}  // namespace feam::site

@@ -1,0 +1,112 @@
+#include "site/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/version.hpp"
+
+namespace feam::site {
+namespace {
+
+using support::Version;
+
+Site make_test_site() {
+  Site s;
+  s.name = "testsite";
+  s.isa = elf::Isa::kX86_64;
+  MpiStackInstall stack;
+  stack.impl = MpiImpl::kOpenMpi;
+  stack.version = Version::of("1.4");
+  stack.compiler = CompilerFamily::kIntel;
+  stack.compiler_version = Version::of("12");
+  stack.prefix = "/opt/openmpi-1.4-intel";
+  s.stacks.push_back(stack);
+  ModuleFile module;
+  module.name = "openmpi/1.4-intel";
+  module.prepends = {{"PATH", "/opt/openmpi-1.4-intel/bin"},
+                     {"LD_LIBRARY_PATH", "/opt/openmpi-1.4-intel/lib"}};
+  s.module_files.push_back(module);
+  return s;
+}
+
+TEST(MpiStackInstall, SlugAndDisplay) {
+  const Site s = make_test_site();
+  EXPECT_EQ(s.stacks[0].slug(), "openmpi-1.4-intel");
+  EXPECT_EQ(s.stacks[0].display(), "Open MPI v1.4 (i)");
+}
+
+TEST(Site, DefaultLibDirsByBitness) {
+  Site s;
+  s.isa = elf::Isa::kX86_64;
+  EXPECT_EQ(s.default_lib_dirs(64)[0], "/lib64");
+  EXPECT_EQ(s.default_lib_dirs(32)[0], "/lib");
+  s.isa = elf::Isa::kX86;
+  EXPECT_EQ(s.default_lib_dirs(32)[0], "/lib");
+}
+
+TEST(Site, ModuleLoadAppliesPrepends) {
+  Site s = make_test_site();
+  s.env.set("PATH", "/usr/bin");
+  ASSERT_TRUE(s.load_module("openmpi/1.4-intel"));
+  EXPECT_EQ(s.env.get("PATH"), "/opt/openmpi-1.4-intel/bin:/usr/bin");
+  EXPECT_EQ(s.env.get("LD_LIBRARY_PATH"), "/opt/openmpi-1.4-intel/lib");
+  EXPECT_EQ(s.loaded_modules(),
+            (std::vector<std::string>{"openmpi/1.4-intel"}));
+  EXPECT_FALSE(s.load_module("nonexistent/1.0"));
+}
+
+TEST(Site, UnloadAllModulesRestoresEnv) {
+  Site s = make_test_site();
+  s.env.set("PATH", "/usr/bin");
+  s.env.set("LD_LIBRARY_PATH", "/home/user/own");
+  s.load_module("openmpi/1.4-intel");
+  s.unload_all_modules();
+  EXPECT_EQ(s.env.get("PATH"), "/usr/bin");
+  // User's own entries survive; module entries are gone.
+  EXPECT_EQ(s.env.get("LD_LIBRARY_PATH"), "/home/user/own");
+  EXPECT_TRUE(s.loaded_modules().empty());
+}
+
+TEST(Site, SelectedStackFollowsLdLibraryPath) {
+  Site s = make_test_site();
+  EXPECT_EQ(s.selected_stack(), nullptr);
+  s.load_module("openmpi/1.4-intel");
+  ASSERT_NE(s.selected_stack(), nullptr);
+  EXPECT_EQ(s.selected_stack()->slug(), "openmpi-1.4-intel");
+}
+
+TEST(Site, FindStackByImplAndCompiler) {
+  const Site s = make_test_site();
+  EXPECT_NE(s.find_stack(MpiImpl::kOpenMpi, CompilerFamily::kIntel), nullptr);
+  EXPECT_EQ(s.find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu), nullptr);
+  EXPECT_EQ(s.find_stack(MpiImpl::kMpich2, CompilerFamily::kIntel), nullptr);
+}
+
+TEST(Site, StackForModuleName) {
+  const Site s = make_test_site();
+  EXPECT_NE(s.stack_for_module("openmpi/1.4-intel"), nullptr);
+  EXPECT_EQ(s.stack_for_module("mvapich2/1.7-intel"), nullptr);
+}
+
+TEST(Site, AvailableModulesSorted) {
+  Site s = make_test_site();
+  ModuleFile extra;
+  extra.name = "mpich2/1.4-gnu";
+  s.module_files.push_back(extra);
+  EXPECT_EQ(s.available_modules(),
+            (std::vector<std::string>{"mpich2/1.4-gnu", "openmpi/1.4-intel"}));
+}
+
+TEST(Ids, NamesAndLetters) {
+  EXPECT_STREQ(mpi_impl_name(MpiImpl::kMvapich2), "MVAPICH2");
+  EXPECT_STREQ(mpi_impl_slug(MpiImpl::kOpenMpi), "openmpi");
+  EXPECT_EQ(compiler_letter(CompilerFamily::kGnu), 'g');
+  EXPECT_EQ(compiler_letter(CompilerFamily::kIntel), 'i');
+  EXPECT_EQ(compiler_letter(CompilerFamily::kPgi), 'p');
+  EXPECT_STREQ(user_env_tool_name(UserEnvTool::kModules),
+               "Environment Modules");
+  EXPECT_STREQ(batch_name(BatchKind::kSlurm), "SLURM");
+  EXPECT_STREQ(interconnect_name(Interconnect::kInfiniband), "InfiniBand");
+}
+
+}  // namespace
+}  // namespace feam::site

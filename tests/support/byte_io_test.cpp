@@ -1,0 +1,83 @@
+#include "support/byte_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::support {
+namespace {
+
+class ByteIoEndianTest : public ::testing::TestWithParam<Endian> {};
+
+TEST_P(ByteIoEndianTest, IntegerRoundTrip) {
+  ByteWriter w(GetParam());
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  const Bytes data = w.data();
+  ByteReader r(data, GetParam());
+  EXPECT_EQ(r.u8(0), 0xab);
+  EXPECT_EQ(r.u16(1), 0x1234);
+  EXPECT_EQ(r.u32(3), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(7), 0x0123456789abcdefULL);
+}
+
+TEST_P(ByteIoEndianTest, PatchMatchesDirectWrite) {
+  ByteWriter w(GetParam());
+  w.u32(0);
+  w.u64(0);
+  w.patch_u32(0, 0xcafef00d);
+  w.patch_u64(4, 0x1122334455667788ULL);
+
+  ByteWriter direct(GetParam());
+  direct.u32(0xcafef00d);
+  direct.u64(0x1122334455667788ULL);
+  EXPECT_EQ(w.data(), direct.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEndians, ByteIoEndianTest,
+                         ::testing::Values(Endian::kLittle, Endian::kBig));
+
+TEST(ByteWriter, LittleEndianByteOrder) {
+  ByteWriter w(Endian::kLittle);
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(ByteWriter, BigEndianByteOrder) {
+  ByteWriter w(Endian::kBig);
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(ByteWriter, CstrAndPadTo) {
+  ByteWriter w(Endian::kLittle);
+  w.cstr("ab");
+  w.pad_to(8);
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_EQ(w.data()[2], 0);
+  EXPECT_EQ(w.data()[7], 0);
+}
+
+TEST(ByteReader, OutOfRangeReturnsNullopt) {
+  const Bytes data{1, 2, 3};
+  ByteReader r(data, Endian::kLittle);
+  EXPECT_FALSE(r.u32(0).has_value());
+  EXPECT_FALSE(r.u16(2).has_value());
+  EXPECT_TRUE(r.u16(1).has_value());
+  EXPECT_FALSE(r.u8(3).has_value());
+  EXPECT_FALSE(r.u64(0).has_value());
+}
+
+TEST(ByteReader, CstrRequiresTerminator) {
+  const Bytes terminated{'h', 'i', 0};
+  const Bytes unterminated{'h', 'i'};
+  ByteReader a(terminated, Endian::kLittle);
+  ByteReader b(unterminated, Endian::kLittle);
+  EXPECT_EQ(a.cstr(0), "hi");
+  EXPECT_EQ(a.cstr(2), "");
+  EXPECT_FALSE(b.cstr(0).has_value());
+  EXPECT_FALSE(a.cstr(3).has_value());  // past the end
+}
+
+}  // namespace
+}  // namespace feam::support

@@ -1,0 +1,116 @@
+// Fuzz-style robustness sweeps over every text parser in the system: the
+// JSON reader, the batch-script parser, the FEAM configuration file, the
+// objdump/ldd scrapers, and the bundle archive. Each must be total —
+// return an error, never crash — on arbitrary input.
+#include <gtest/gtest.h>
+
+#include "binutils/ldd.hpp"
+#include "binutils/objdump.hpp"
+#include "binutils/readelf.hpp"
+#include "feam/bundle_archive.hpp"
+#include "feam/config.hpp"
+#include "site/batch.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace feam {
+namespace {
+
+using support::Rng;
+
+std::string random_text(Rng& rng, std::size_t max_len) {
+  // Biased toward parser-relevant characters.
+  static constexpr char kAlphabet[] =
+      "{}[]\",:=#\n\t -_.0123456789abcdefGLIBCPBS$!/\\";
+  std::string out;
+  const std::size_t len = rng.next_below(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng.chance(0.05)) {
+      out += static_cast<char>(rng.next_below(256));  // raw byte
+    } else {
+      out += kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)];
+    }
+  }
+  return out;
+}
+
+TEST(ParserFuzz, JsonNeverCrashes) {
+  Rng rng(101);
+  for (int i = 0; i < 4000; ++i) {
+    (void)support::Json::parse(random_text(rng, 256));
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, JsonValidInputsRoundTripUnderNoise) {
+  // Mutating a valid document must either fail to parse or parse to
+  // *something* — and re-dumping whatever parses must itself re-parse.
+  Rng rng(202);
+  const std::string base =
+      R"({"name":"libmpich.so.1.2","bits":64,"libs":["a","b"],"ok":true})";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.next_below(mutated.size())] =
+          static_cast<char>(rng.next_below(128));
+    }
+    const auto parsed = support::Json::parse(mutated);
+    if (parsed) {
+      const auto again = support::Json::parse(parsed->dump());
+      EXPECT_TRUE(again.has_value()) << mutated;
+    }
+  }
+}
+
+TEST(ParserFuzz, BatchScriptNeverCrashes) {
+  Rng rng(303);
+  for (int i = 0; i < 3000; ++i) {
+    (void)site::BatchScript::parse(random_text(rng, 300));
+  }
+  // Mutations of a valid script.
+  const std::string base = site::BatchScript{}.render();
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = base;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(128));
+    (void)site::BatchScript::parse(mutated);
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, ConfigFileNeverCrashes) {
+  Rng rng(404);
+  for (int i = 0; i < 3000; ++i) {
+    (void)FeamConfigFile::parse(random_text(rng, 200));
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, ScrapersNeverCrash) {
+  Rng rng(505);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string text = random_text(rng, 400);
+    (void)binutils::parse_objdump_output(text);
+    (void)binutils::parse_ldd_output(text);
+    (void)binutils::parse_comment_dump(text);
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, BundleArchiveNeverCrashes) {
+  Rng rng(606);
+  for (int i = 0; i < 1500; ++i) {
+    support::Bytes garbage(rng.next_below(400));
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng.next_below(256));
+    if (rng.chance(0.5) && garbage.size() >= 8) {
+      const char* magic = "FEAMBNDL";
+      std::copy(magic, magic + 8, garbage.begin());
+    }
+    (void)unpack_bundle(garbage);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace feam

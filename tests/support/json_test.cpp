@@ -1,0 +1,88 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::support {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5")->as_number(), 3.5);
+  EXPECT_EQ(Json::parse("-42")->as_int(), -42);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const auto v = Json::parse(R"({"libs": ["libc.so.6", "libmpi.so.0"],
+                                 "bits": 64, "ok": true})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)["libs"].as_array().size(), 2u);
+  EXPECT_EQ((*v)["libs"].as_array()[1].as_string(), "libmpi.so.0");
+  EXPECT_EQ(v->get_int("bits"), 64);
+  EXPECT_TRUE(v->get_bool("ok"));
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = Json::parse(R"("a\nb\t\"q\"\\A")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\nb\t\"q\"\\A");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse("{\"a\":1,}").has_value());
+}
+
+TEST(JsonAccess, MissingKeysAreNull) {
+  const Json v = *Json::parse("{\"a\": 1}");
+  EXPECT_TRUE(v["missing"].is_null());
+  EXPECT_EQ(v.get_string("missing", "fallback"), "fallback");
+  EXPECT_EQ(v.get_int("missing", 7), 7);
+}
+
+TEST(JsonDump, RoundTrip) {
+  Json obj;
+  obj.set("name", "libmpich.so.1.2");
+  obj.set("size", std::int64_t{2621440});
+  obj.set("versions", Json(Json::Array{Json("GLIBC_2.3"), Json("GLIBC_2.4")}));
+  Json nested;
+  nested.set("deep", true);
+  obj.set("meta", nested);
+
+  for (const int indent : {0, 2}) {
+    const auto reparsed = Json::parse(obj.dump(indent));
+    ASSERT_TRUE(reparsed.has_value()) << "indent=" << indent;
+    EXPECT_EQ(reparsed->get_string("name"), "libmpich.so.1.2");
+    EXPECT_EQ(reparsed->get_int("size"), 2621440);
+    EXPECT_EQ((*reparsed)["versions"].as_array().size(), 2u);
+    EXPECT_TRUE((*reparsed)["meta"].get_bool("deep"));
+  }
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  Json a;
+  a.set("zeta", 1);
+  a.set("alpha", 2);
+  Json b;
+  b.set("alpha", 2);
+  b.set("zeta", 1);
+  EXPECT_EQ(a.dump(), b.dump());  // std::map ordering, insertion-order free
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Json v{std::string("a\x01z")};
+  const auto reparsed = Json::parse(v.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), "a\x01z");
+}
+
+}  // namespace
+}  // namespace feam::support

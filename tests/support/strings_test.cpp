@@ -1,0 +1,59 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::support {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(":", ':'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, LdLibraryPathStyle) {
+  const auto parts = split("/usr/lib:/opt/openmpi-1.4.3-intel/lib", ':');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "/opt/openmpi-1.4.3-intel/lib");
+}
+
+TEST(SplitWs, DropsEmptyRuns) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ":"), "a:b:c");
+  EXPECT_EQ(join({}, ":"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Predicates, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("libmpi.so.0", "libmpi"));
+  EXPECT_FALSE(starts_with("lib", "libmpi"));
+  EXPECT_TRUE(ends_with("libmpi.so.0", ".so.0"));
+  EXPECT_FALSE(ends_with(".0", "so.0"));
+  EXPECT_TRUE(contains("openmpi-1.4.3-intel", "-intel"));
+  EXPECT_FALSE(contains("mvapich2", "openmpi"));
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("Open MPI v1.4"), "open mpi v1.4");
+}
+
+TEST(HumanSize, Units) {
+  EXPECT_EQ(human_size(97), "97B");
+  EXPECT_EQ(human_size(512 * 1024), "512K");
+  EXPECT_EQ(human_size(45 * 1024 * 1024), "45M");
+  EXPECT_EQ(human_size(1536), "1.5K");
+}
+
+}  // namespace
+}  // namespace feam::support

@@ -1,0 +1,116 @@
+#include "support/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace feam::support {
+namespace {
+
+TEST(VersionParse, SimpleDotted) {
+  const auto v = Version::parse("2.3.4");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->components(), (std::vector<std::uint32_t>{2, 3, 4}));
+  EXPECT_TRUE(v->pre_release_tag().empty());
+  EXPECT_EQ(v->str(), "2.3.4");
+}
+
+TEST(VersionParse, SingleComponent) {
+  const auto v = Version::parse("12");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->major(), 12u);
+  EXPECT_EQ(v->minor(), 0u);
+}
+
+TEST(VersionParse, PreReleaseTag) {
+  const auto v = Version::parse("1.7rc1");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->components(), (std::vector<std::uint32_t>{1, 7}));
+  EXPECT_EQ(v->pre_release_tag(), "rc1");
+  EXPECT_EQ(v->str(), "1.7rc1");
+}
+
+TEST(VersionParse, MvapichAlphaTag) {
+  // "1.7a2" appears verbatim in the paper's Table II (FutureGrid India).
+  const auto v = Version::parse("1.7a2");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->pre_release_tag(), "a2");
+}
+
+TEST(VersionParse, RejectsGarbage) {
+  EXPECT_FALSE(Version::parse("").has_value());
+  EXPECT_FALSE(Version::parse("abc").has_value());
+  EXPECT_FALSE(Version::parse(".1").has_value());
+  EXPECT_FALSE(Version::parse("1.").has_value());
+  EXPECT_FALSE(Version::parse("1..2").has_value());
+  EXPECT_FALSE(Version::parse("-1").has_value());
+  EXPECT_FALSE(Version::parse("1.2.-3").has_value());
+}
+
+TEST(VersionParse, RejectsOverflow) {
+  EXPECT_FALSE(Version::parse("99999999999").has_value());
+  EXPECT_TRUE(Version::parse("4294967295").has_value());
+}
+
+TEST(VersionOrder, NumericNotLexicographic) {
+  EXPECT_LT(Version::of("2.9"), Version::of("2.12"));
+  EXPECT_LT(Version::of("2.3.4"), Version::of("2.11.1"));
+}
+
+TEST(VersionOrder, MissingComponentsAreZero) {
+  EXPECT_EQ(Version::of("2.5"), Version::of("2.5.0"));
+  EXPECT_LT(Version::of("2.5"), Version::of("2.5.1"));
+}
+
+TEST(VersionOrder, PreReleaseBeforeRelease) {
+  EXPECT_LT(Version::of("1.7rc1"), Version::of("1.7"));
+  EXPECT_LT(Version::of("1.7a2"), Version::of("1.7"));
+  EXPECT_LT(Version::of("1.7a2"), Version::of("1.7rc1"));  // "a2" < "rc1"
+  EXPECT_GT(Version::of("1.7rc1"), Version::of("1.6"));
+}
+
+TEST(VersionOrder, TableTwoGlibcOrdering) {
+  // The glibc versions from the paper's Table II must order correctly:
+  // Ranger 2.3.4 < India/Fir 2.5 < Blacklight 2.11.1 < Forge 2.12.
+  std::vector<Version> site_versions = {
+      Version::of("2.12"), Version::of("2.3.4"), Version::of("2.11.1"),
+      Version::of("2.5"), Version::of("2.5")};
+  std::sort(site_versions.begin(), site_versions.end());
+  EXPECT_EQ(site_versions.front().str(), "2.3.4");
+  EXPECT_EQ(site_versions.back().str(), "2.12");
+  EXPECT_EQ(site_versions[2].str(), "2.5");
+}
+
+class VersionTotalOrderTest : public ::testing::TestWithParam<const char*> {};
+
+// Property: every version equals itself and the ordering is antisymmetric
+// against a fixed pivot.
+TEST_P(VersionTotalOrderTest, ConsistentWithPivot) {
+  const Version v = Version::of(GetParam());
+  const Version pivot = Version::of("2.5");
+  EXPECT_EQ(v, v);
+  const bool lt = v < pivot;
+  const bool gt = v > pivot;
+  const bool eq = v == pivot;
+  EXPECT_EQ(1, static_cast<int>(lt) + static_cast<int>(gt) + static_cast<int>(eq));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperVersions, VersionTotalOrderTest,
+                         ::testing::Values("2.3.4", "2.12", "2.11.1", "2.5",
+                                           "1.2", "1.3", "1.4", "1.4.3",
+                                           "1.7rc1", "1.7a2", "1.7", "3.4.6",
+                                           "4.4.5", "4.1.2", "10.1", "12",
+                                           "11.1", "2.5.0", "2.4.9"));
+
+TEST(VersionRoundTrip, StrParsesBack) {
+  for (const char* text : {"2.3.4", "1.7rc1", "1.7a2", "12", "0.0.1"}) {
+    const Version v = Version::of(text);
+    const auto reparsed = Version::parse(v.str());
+    ASSERT_TRUE(reparsed.has_value()) << text;
+    EXPECT_EQ(v, *reparsed) << text;
+  }
+}
+
+}  // namespace
+}  // namespace feam::support

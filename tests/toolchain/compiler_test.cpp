@@ -1,0 +1,118 @@
+#include "toolchain/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/version.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::CompilerFamily;
+using support::Version;
+
+CompilerModel gnu(const char* v) {
+  return CompilerModel(CompilerFamily::kGnu, Version::of(v));
+}
+CompilerModel intel(const char* v) {
+  return CompilerModel(CompilerFamily::kIntel, Version::of(v));
+}
+CompilerModel pgi(const char* v) {
+  return CompilerModel(CompilerFamily::kPgi, Version::of(v));
+}
+
+bool has(const std::vector<std::string>& libs, std::string_view name) {
+  return std::find(libs.begin(), libs.end(), name) != libs.end();
+}
+
+TEST(Compiler, GnuFortranRuntimeGenerations) {
+  EXPECT_TRUE(has(gnu("3.4.6").runtime_sonames(Language::kFortran), "libg2c.so.0"));
+  EXPECT_TRUE(has(gnu("4.1.2").runtime_sonames(Language::kFortran),
+                  "libgfortran.so.1"));
+  EXPECT_TRUE(has(gnu("4.4.5").runtime_sonames(Language::kFortran),
+                  "libgfortran.so.3"));
+  EXPECT_TRUE(has(gnu("4.4.3").runtime_sonames(Language::kFortran),
+                  "libgfortran.so.3"));
+}
+
+TEST(Compiler, GnuCxxRuntimeGenerations) {
+  EXPECT_TRUE(has(gnu("3.4.6").runtime_sonames(Language::kCxx), "libstdc++.so.5"));
+  EXPECT_TRUE(has(gnu("4.4.5").runtime_sonames(Language::kCxx), "libstdc++.so.6"));
+}
+
+TEST(Compiler, IntelRuntimeSet) {
+  const auto c = intel("12").runtime_sonames(Language::kC);
+  EXPECT_TRUE(has(c, "libimf.so"));
+  EXPECT_TRUE(has(c, "libintlc.so.5"));
+  EXPECT_TRUE(has(c, "libsvml.so"));
+  const auto f = intel("10.1").runtime_sonames(Language::kFortran);
+  EXPECT_TRUE(has(f, "libifcore.so.5"));  // stable across Intel 9-12
+  EXPECT_TRUE(has(f, "libifport.so.5"));
+}
+
+TEST(Compiler, PgiRuntimeSet) {
+  const auto f = pgi("7.2").runtime_sonames(Language::kFortran);
+  EXPECT_TRUE(has(f, "libpgc.so"));
+  EXPECT_TRUE(has(f, "libpgf90.so"));
+  EXPECT_TRUE(has(f, "libpgftnrtl.so"));
+}
+
+TEST(Compiler, PgiCannotBuildCxx) {
+  EXPECT_FALSE(pgi("10.9").supports(Language::kCxx));
+  EXPECT_TRUE(pgi("10.9").supports(Language::kC));
+  EXPECT_TRUE(pgi("10.9").supports(Language::kFortran));
+  EXPECT_TRUE(gnu("4.4.5").supports(Language::kCxx));
+  EXPECT_TRUE(intel("12").supports(Language::kCxx));
+}
+
+TEST(Compiler, StackProtectorEmission) {
+  EXPECT_FALSE(gnu("3.4.6").emits_stack_protector());
+  EXPECT_TRUE(gnu("4.1.2").emits_stack_protector());
+  EXPECT_TRUE(gnu("4.4.5").emits_stack_protector());
+  EXPECT_FALSE(intel("10.1").emits_stack_protector());
+  EXPECT_TRUE(intel("11.1").emits_stack_protector());
+  EXPECT_TRUE(intel("12").emits_stack_protector());
+  EXPECT_FALSE(pgi("10.9").emits_stack_protector());
+}
+
+TEST(Compiler, FingerprintStableWithinRuntimeGeneration) {
+  // Intel 11.1 and 12 share runtime sonames -> same ABI fingerprint; that
+  // is why Intel binaries cross-run between India/Blacklight and Forge/Fir.
+  EXPECT_EQ(intel("11.1").abi_fingerprint(Language::kFortran),
+            intel("12").abi_fingerprint(Language::kFortran));
+  // GNU 4.1 vs 4.4 differ (libgfortran generation changed).
+  EXPECT_NE(gnu("4.1.2").abi_fingerprint(Language::kFortran),
+            gnu("4.4.5").abi_fingerprint(Language::kFortran));
+  // PGI changes fingerprints per major even with identical sonames.
+  EXPECT_NE(pgi("7.2").abi_fingerprint(Language::kFortran),
+            pgi("10.9").abi_fingerprint(Language::kFortran));
+}
+
+TEST(Compiler, FpModel) {
+  EXPECT_EQ(gnu("4.4.5").fp_model(), 1u);
+  EXPECT_EQ(intel("12").fp_model(), 1u);
+  EXPECT_NE(pgi("7.2").fp_model(), pgi("10.9").fp_model());
+  EXPECT_NE(pgi("7.2").fp_model(), 1u);
+}
+
+TEST(Compiler, InstallPrefix) {
+  EXPECT_EQ(gnu("4.4.5").install_prefix(), "");  // system compiler
+  EXPECT_EQ(intel("12").install_prefix(), "/opt/intel-12");
+  EXPECT_EQ(pgi("10.9").install_prefix(), "/opt/pgi-10.9");
+}
+
+TEST(Compiler, BannersIdentifyFamily) {
+  EXPECT_NE(gnu("4.4.5").version_banner().find("gcc"), std::string::npos);
+  EXPECT_NE(intel("12").version_banner().find("Intel"), std::string::npos);
+  EXPECT_NE(pgi("10.9").version_banner().find("pgcc"), std::string::npos);
+  EXPECT_NE(gnu("4.1.2").comment_string().find("GCC: (GNU) 4.1.2"),
+            std::string::npos);
+}
+
+TEST(Compiler, LanguageNames) {
+  EXPECT_STREQ(language_name(Language::kC), "C");
+  EXPECT_STREQ(language_name(Language::kCxx), "C++");
+  EXPECT_STREQ(language_name(Language::kFortran), "Fortran");
+}
+
+}  // namespace
+}  // namespace feam::toolchain

@@ -1,0 +1,68 @@
+#include "toolchain/glibc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace feam::toolchain {
+namespace {
+
+using support::Version;
+
+TEST(Glibc, NodesAscending) {
+  const auto& nodes = glibc_version_nodes();
+  ASSERT_GE(nodes.size(), 10u);
+  EXPECT_EQ(nodes.front().str(), "2.2.5");  // x86-64 base node
+  EXPECT_EQ(nodes.back().str(), "2.12");
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1], nodes[i]);
+  }
+}
+
+TEST(Glibc, NodesUpToRelease) {
+  // Ranger's 2.3.4 defines five nodes; Forge's 2.12 defines all of them.
+  const auto ranger = glibc_nodes_up_to(Version::of("2.3.4"));
+  EXPECT_EQ(ranger, (std::vector<std::string>{"GLIBC_2.2.5", "GLIBC_2.3",
+                                              "GLIBC_2.3.2", "GLIBC_2.3.3",
+                                              "GLIBC_2.3.4"}));
+  EXPECT_EQ(glibc_nodes_up_to(Version::of("2.12")).size(),
+            glibc_version_nodes().size());
+  const auto india = glibc_nodes_up_to(Version::of("2.5"));
+  EXPECT_EQ(india.back(), "GLIBC_2.5");
+}
+
+TEST(Glibc, FeatureCatalogNodes) {
+  const auto ssp = find_libc_feature("ssp");
+  ASSERT_TRUE(ssp.has_value());
+  EXPECT_EQ(ssp->symbol, "__stack_chk_fail");
+  EXPECT_EQ(ssp->node, Version::of("2.4"));
+  EXPECT_EQ(find_libc_feature("recvmmsg")->node, Version::of("2.12"));
+  EXPECT_EQ(find_libc_feature("base")->node, Version::of("2.2.5"));
+  EXPECT_FALSE(find_libc_feature("no_such_feature").has_value());
+}
+
+TEST(Glibc, EveryFeatureNodeIsARealVersionNode) {
+  const auto& nodes = glibc_version_nodes();
+  for (const auto& feature : libc_feature_catalog()) {
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), feature.node), nodes.end())
+        << feature.key;
+  }
+}
+
+TEST(Glibc, ParseVersionNode) {
+  EXPECT_EQ(parse_glibc_version("GLIBC_2.3.4"), Version::of("2.3.4"));
+  EXPECT_FALSE(parse_glibc_version("GFORTRAN_1.0").has_value());
+  EXPECT_FALSE(parse_glibc_version("GLIBC_").has_value());
+  EXPECT_FALSE(parse_glibc_version("").has_value());
+}
+
+TEST(Glibc, BannerRoundTrip) {
+  for (const char* release : {"2.3.4", "2.5", "2.11.1", "2.12"}) {
+    const std::string banner = glibc_banner(Version::of(release));
+    const auto parsed = parse_glibc_banner(banner);
+    ASSERT_TRUE(parsed.has_value()) << banner;
+    EXPECT_EQ(*parsed, Version::of(release));
+  }
+  EXPECT_FALSE(parse_glibc_banner("Segmentation fault").has_value());
+}
+
+}  // namespace
+}  // namespace feam::toolchain

@@ -1,0 +1,218 @@
+#include "toolchain/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+std::string compile_at(site::Site& s, MpiImpl impl, CompilerFamily fam,
+                       const ProgramSource& p, const std::string& out) {
+  const auto* stack = s.find_stack(impl, fam);
+  EXPECT_NE(stack, nullptr);
+  const auto r = compile_mpi_program(s, p, *stack, out);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.value();
+}
+
+ProgramSource fortran_app() {
+  ProgramSource p;
+  p.name = "ft_app";
+  p.language = Language::kFortran;
+  p.libc_features = {"base", "stdio", "math"};
+  return p;
+}
+
+TEST(Launcher, NoStackSelected) {
+  auto s = make_site("india");
+  const auto path = compile_at(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                               mpi_hello_world(Language::kC), "/home/user/h");
+  const auto r = mpiexec(*s, path, 4);
+  EXPECT_EQ(r.status, RunStatus::kNoMpiStackSelected);
+}
+
+TEST(Launcher, SuccessUnderMatchingModule) {
+  auto s = make_site("india");
+  const auto path = compile_at(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                               mpi_hello_world(Language::kC), "/home/user/h");
+  s->load_module("openmpi/1.4-gnu");
+  const auto r = mpiexec(*s, path, 4);
+  EXPECT_TRUE(r.success()) << r.detail;
+  EXPECT_NE(r.output.find("4 ranks"), std::string::npos);
+}
+
+TEST(Launcher, MisconfiguredStackFailsEverything) {
+  // India's mvapich2/gnu combination is the paper's "advertised but not
+  // usable" case.
+  auto s = make_site("india");
+  const auto path = compile_at(*s, MpiImpl::kMvapich2, CompilerFamily::kGnu,
+                               mpi_hello_world(Language::kC), "/home/user/h");
+  s->load_module("mvapich2/1.7a2-gnu");
+  const auto r = mpiexec(*s, path, 4);
+  EXPECT_EQ(r.status, RunStatus::kStackNotFunctional);
+}
+
+TEST(Launcher, WrongImplementationMissesLibraries) {
+  // An Open MPI binary under an MPICH2 module: libmpi.so.0 is nowhere on
+  // the path — the link-level incompatibility of the paper's III.B.
+  auto s = make_site("india");
+  const auto path = compile_at(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                               mpi_hello_world(Language::kC), "/home/user/h");
+  s->load_module("mpich2/1.4-gnu");
+  const auto r = mpiexec(*s, path, 4);
+  EXPECT_EQ(r.status, RunStatus::kMissingLibrary);
+  EXPECT_NE(r.detail.find("libmpi.so.0"), std::string::npos);
+}
+
+TEST(Launcher, FortranCompilerFamilyMismatchIsFpException) {
+  // GNU-compiled Fortran binary run under an Intel-built stack of the same
+  // implementation: the binding library ABI breaks.
+  auto india = make_site("india");
+  const auto path = compile_at(*india, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                               fortran_app(), "/home/user/f");
+  auto forge = make_site("forge");
+  forge->vfs.write_file("/home/user/f", *india->vfs.read(path));
+  forge->load_module("openmpi/1.4-intel");
+  // The GNU fortran runtime the binary needs exists at Forge (compat), so
+  // loading succeeds and the failure is a run-time ABI break.
+  const auto r = mpiexec(*forge, "/home/user/f", 4);
+  EXPECT_EQ(r.status, RunStatus::kFpException) << r.detail;
+}
+
+TEST(Launcher, SameFamilyCrossSiteFortranWorks) {
+  // Intel 11.1 (India) -> Intel 12 (Fir): same runtime generation.
+  auto india = make_site("india");
+  const auto path = compile_at(*india, MpiImpl::kOpenMpi, CompilerFamily::kIntel,
+                               fortran_app(), "/home/user/f");
+  auto fir = make_site("fir");
+  fir->vfs.write_file("/home/user/f", *india->vfs.read(path));
+  fir->load_module("openmpi/1.4-intel");
+  const auto r = mpiexec(*fir, "/home/user/f", 4);
+  EXPECT_TRUE(r.success()) << r.detail;
+}
+
+TEST(Launcher, PgiCrossMajorFortranFpException) {
+  auto ranger = make_site("ranger");  // PGI 7.2
+  const auto path = compile_at(*ranger, MpiImpl::kOpenMpi, CompilerFamily::kPgi,
+                               fortran_app(), "/home/user/f");
+  auto fir = make_site("fir");  // PGI 10.9, same sonames
+  fir->vfs.write_file("/home/user/f", *ranger->vfs.read(path));
+  fir->load_module("openmpi/1.4-pgi");
+  const auto r = mpiexec(*fir, "/home/user/f", 4);
+  EXPECT_EQ(r.status, RunStatus::kFpException) << r.detail;
+}
+
+TEST(Launcher, PgiCrossMajorCTolerated) {
+  auto ranger = make_site("ranger");
+  ProgramSource c_app;
+  c_app.name = "c_app";
+  c_app.language = Language::kC;
+  const auto path = compile_at(*ranger, MpiImpl::kOpenMpi, CompilerFamily::kPgi,
+                               c_app, "/home/user/c");
+  auto fir = make_site("fir");
+  fir->vfs.write_file("/home/user/c", *ranger->vfs.read(path));
+  fir->load_module("openmpi/1.4-pgi");
+  const auto r = mpiexec(*fir, "/home/user/c", 4);
+  EXPECT_TRUE(r.success()) << r.detail;
+}
+
+TEST(Launcher, NewerMpiLineOnOlderFortranFails) {
+  // OMPI 1.4 Fortran binary on Ranger's 1.3 stack: same soname libmpi.so.0,
+  // newer release line. PGI 10.9 emits no stack-protector refs, so the
+  // binary loads at Ranger's old glibc and dies on the MPI ABI break.
+  auto fir = make_site("fir");
+  const auto path = compile_at(*fir, MpiImpl::kOpenMpi, CompilerFamily::kPgi,
+                               fortran_app(), "/home/user/f");
+  auto ranger = make_site("ranger");
+  ranger->vfs.write_file("/home/user/f", *fir->vfs.read(path));
+  ranger->load_module("openmpi/1.3-pgi");
+  const auto r = mpiexec(*ranger, "/home/user/f", 4);
+  EXPECT_EQ(r.status, RunStatus::kFpException) << r.detail;
+  EXPECT_NE(r.detail.find("built against openmpi 1.4"), std::string::npos)
+      << r.detail;
+}
+
+TEST(Launcher, ModernCompilerBinariesHitVersionErrorAtRanger) {
+  // Intel 11.1 emits __stack_chk_fail@GLIBC_2.4; Ranger's 2.3.4 lacks that
+  // node. A C binary's libraries all resolve (Intel runtime sonames are
+  // stable), so the failure is precisely the version error.
+  auto india = make_site("india");
+  ProgramSource c_app;
+  c_app.name = "c_app";
+  c_app.language = Language::kC;
+  const auto path = compile_at(*india, MpiImpl::kOpenMpi, CompilerFamily::kIntel,
+                               c_app, "/home/user/c");
+  auto ranger = make_site("ranger");
+  ranger->vfs.write_file("/home/user/c", *india->vfs.read(path));
+  ranger->load_module("openmpi/1.3-intel");
+  const auto r = mpiexec(*ranger, "/home/user/c", 4);
+  EXPECT_EQ(r.status, RunStatus::kVersionError) << r.detail;
+  EXPECT_NE(r.detail.find("GLIBC_2.4"), std::string::npos) << r.detail;
+}
+
+TEST(Launcher, PreReleaseTagsShareAbi) {
+  // India's MVAPICH2 1.7a2 binaries run on Fir's 1.7a (same numeric line).
+  auto india = make_site("india");
+  const auto path = compile_at(*india, MpiImpl::kMvapich2, CompilerFamily::kIntel,
+                               fortran_app(), "/home/user/f");
+  auto fir = make_site("fir");
+  fir->vfs.write_file("/home/user/f", *india->vfs.read(path));
+  fir->load_module("mvapich2/1.7a-intel");
+  const auto r = mpiexec(*fir, "/home/user/f", 4);
+  EXPECT_TRUE(r.success()) << r.detail;
+}
+
+TEST(Launcher, RunSerialPrintsLibcBanner) {
+  auto s = make_site("india");
+  const auto r = run_serial(*s, "/lib64/libc.so.6");
+  ASSERT_TRUE(r.success());
+  EXPECT_NE(r.output.find("release version 2.5"), std::string::npos);
+}
+
+TEST(Launcher, LibcNotExecutableFails) {
+  auto s = make_site("india");
+  s->libc_executable = false;
+  const auto r = run_serial(*s, "/lib64/libc.so.6");
+  EXPECT_FALSE(r.success());
+}
+
+TEST(Launcher, FaultsAreDeterministicPerBinary) {
+  auto a = make_site("india", /*fault_seed=*/1234);
+  auto b = make_site("india", /*fault_seed=*/1234);
+  const auto pa = compile_at(*a, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                             mpi_hello_world(Language::kC), "/home/user/h");
+  const auto pb = compile_at(*b, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                             mpi_hello_world(Language::kC), "/home/user/h");
+  a->load_module("openmpi/1.4-gnu");
+  b->load_module("openmpi/1.4-gnu");
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(mpiexec(*a, pa, 4, {}, attempt).status,
+              mpiexec(*b, pb, 4, {}, attempt).status);
+  }
+}
+
+TEST(Launcher, RetriesAbsorbTransientFaultsOnly) {
+  // With the fault model off, retries never change a deterministic failure.
+  auto s = make_site("india");
+  const auto path = compile_at(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                               mpi_hello_world(Language::kC), "/home/user/h");
+  s->load_module("mpich2/1.4-gnu");
+  const auto r = mpiexec_with_retries(*s, path, 4, {}, 5);
+  EXPECT_EQ(r.status, RunStatus::kMissingLibrary);
+}
+
+TEST(Launcher, StatusNames) {
+  EXPECT_STREQ(run_status_name(RunStatus::kSuccess), "success");
+  EXPECT_STREQ(run_status_name(RunStatus::kFpException),
+               "floating point exception");
+  EXPECT_STREQ(run_status_name(RunStatus::kStackNotFunctional),
+               "MPI stack not functional");
+}
+
+}  // namespace
+}  // namespace feam::toolchain

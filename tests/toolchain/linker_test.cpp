@@ -1,0 +1,220 @@
+#include "toolchain/linker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/file.hpp"
+#include "toolchain/glibc.hpp"
+#include "toolchain/loader.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::CompilerFamily;
+using support::Version;
+
+const site::MpiStackInstall& stack_of(const site::Site& s, site::MpiImpl impl,
+                                      CompilerFamily fam) {
+  const auto* found = s.find_stack(impl, fam);
+  EXPECT_NE(found, nullptr);
+  return *found;
+}
+
+ProgramSource fortran_app() {
+  ProgramSource p;
+  p.name = "cg.B";
+  p.language = Language::kFortran;
+  p.libc_features = {"base", "stdio", "math", "affinity"};
+  p.text_size = 160 * 1024;
+  return p;
+}
+
+elf::ElfFile compile_and_parse(site::Site& s, const ProgramSource& p,
+                               const site::MpiStackInstall& stack) {
+  const auto r = compile_mpi_program(s, p, stack, "/home/user/" + p.name);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  const auto* data = s.vfs.read(r.value());
+  EXPECT_NE(data, nullptr);
+  auto parsed = elf::ElfFile::parse(*data);
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).take();
+}
+
+TEST(Linker, FortranOpenMpiNeededSet) {
+  auto s = make_site("india");
+  const auto f = compile_and_parse(
+      *s, fortran_app(), stack_of(*s, site::MpiImpl::kOpenMpi,
+                                  CompilerFamily::kGnu));
+  const auto& needed = f.needed();
+  const auto has = [&](std::string_view name) {
+    return std::find(needed.begin(), needed.end(), name) != needed.end();
+  };
+  EXPECT_TRUE(has("libmpi.so.0"));
+  EXPECT_TRUE(has("libmpi_f77.so.0"));
+  EXPECT_TRUE(has("libnsl.so.1"));
+  EXPECT_TRUE(has("libutil.so.1"));
+  EXPECT_TRUE(has("libgfortran.so.1"));  // gcc 4.1.2 at India
+  EXPECT_TRUE(has("libm.so.6"));
+  EXPECT_TRUE(has("libc.so.6"));
+  EXPECT_FALSE(has("libmpich.so.1.2"));
+}
+
+TEST(Linker, GlibcRefsCappedByBuildSite) {
+  // The same source compiled at Forge (2.12) and India (2.5) yields
+  // different required C library versions — the paper's III.C point.
+  ProgramSource p;
+  p.name = "needs_pipe2";
+  p.language = Language::kC;
+  p.libc_features = {"base", "stdio", "pipe2"};  // pipe2 -> GLIBC_2.9
+
+  auto forge = make_site("forge");
+  auto india = make_site("india");
+  const auto max_ref = [](const elf::ElfFile& f) {
+    Version newest;
+    for (const auto& need : f.version_references()) {
+      for (const auto& v : need.versions) {
+        if (const auto parsed = parse_glibc_version(v)) {
+          if (*parsed > newest) newest = *parsed;
+        }
+      }
+    }
+    return newest;
+  };
+  const auto at_forge = compile_and_parse(
+      *forge, p, stack_of(*forge, site::MpiImpl::kOpenMpi, CompilerFamily::kGnu));
+  const auto at_india = compile_and_parse(
+      *india, p, stack_of(*india, site::MpiImpl::kOpenMpi, CompilerFamily::kGnu));
+  EXPECT_EQ(max_ref(at_forge), Version::of("2.9"));
+  // gcc 4.1.2 at India adds ssp (2.4); pipe2 is unavailable there.
+  EXPECT_EQ(max_ref(at_india), Version::of("2.4"));
+}
+
+TEST(Linker, CommentsCarryBuildEnvironment) {
+  auto s = make_site("ranger");
+  const auto f = compile_and_parse(
+      *s, fortran_app(), stack_of(*s, site::MpiImpl::kOpenMpi,
+                                  CompilerFamily::kGnu));
+  ASSERT_EQ(f.comments().size(), 2u);
+  EXPECT_NE(f.comments()[0].find("GCC: (GNU) 3.4.6"), std::string::npos);
+  EXPECT_NE(f.comments()[0].find("CentOS 4.9"), std::string::npos);
+  EXPECT_NE(f.comments()[1].find("glibc 2.3.4"), std::string::npos);
+}
+
+TEST(Linker, AbiNoteIdentifiesStack) {
+  auto s = make_site("forge");
+  const auto f = compile_and_parse(
+      *s, fortran_app(), stack_of(*s, site::MpiImpl::kMvapich2,
+                                  CompilerFamily::kIntel));
+  ASSERT_TRUE(f.abi_note().has_value());
+  EXPECT_EQ(f.abi_note()->compiler_family, "Intel");
+  EXPECT_EQ(f.abi_note()->compiler_version, "12");
+  EXPECT_EQ(f.abi_note()->mpi_impl, "mvapich2");
+  EXPECT_EQ(f.abi_note()->mpi_version, "1.7rc1");
+}
+
+TEST(Linker, FailsWithoutCompilerOrStack) {
+  auto s = make_site("india");  // no PGI at India
+  site::MpiStackInstall pgi_stack;
+  pgi_stack.impl = site::MpiImpl::kOpenMpi;
+  pgi_stack.version = Version::of("1.4");
+  pgi_stack.compiler = CompilerFamily::kPgi;
+  pgi_stack.compiler_version = Version::of("10.9");
+  const auto r = compile_mpi_program(*s, fortran_app(), pgi_stack, "/tmp/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("PGI compiler not installed"), std::string::npos);
+
+  // Stack from another site is not installed here either.
+  auto fir = make_site("fir");
+  const auto& foreign =
+      stack_of(*fir, site::MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto r2 = compile_mpi_program(*s, fortran_app(), foreign, "/tmp/y");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.error().find("not installed"), std::string::npos);
+}
+
+TEST(Linker, PgiRejectsCxx) {
+  auto s = make_site("fir");
+  ProgramSource lammps;
+  lammps.name = "126.lammps";
+  lammps.language = Language::kCxx;
+  const auto r = compile_mpi_program(
+      *s, lammps, stack_of(*s, site::MpiImpl::kOpenMpi, CompilerFamily::kPgi),
+      "/tmp/lammps");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("cannot compile C++"), std::string::npos);
+}
+
+TEST(Linker, SerialProgramHasNoMpiLibs) {
+  auto s = make_site("india");
+  ProgramSource p;
+  p.name = "serial_tool";
+  p.language = Language::kC;
+  p.uses_mpi = false;
+  const auto r =
+      compile_serial_program(*s, p, CompilerFamily::kGnu, "/home/user/st");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const auto parsed = elf::ElfFile::parse(*s->vfs.read(r.value()));
+  ASSERT_TRUE(parsed.ok());
+  for (const auto& needed : parsed.value().needed()) {
+    EXPECT_EQ(needed.find("libmpi"), std::string::npos) << needed;
+  }
+}
+
+TEST(Linker, HelloWorldSources) {
+  const auto c = mpi_hello_world(Language::kC);
+  const auto f = mpi_hello_world(Language::kFortran);
+  EXPECT_EQ(c.name, "hello_mpi_c");
+  EXPECT_EQ(f.name, "hello_mpi_f");
+  EXPECT_LT(c.text_size, 64u * 1024u);  // tiny, debug-queue friendly
+}
+
+TEST(Linker, RpathEmbeddingWrappers) {
+  // bluefire's Open MPI wrappers embed DT_RPATH: the binary's libraries
+  // resolve with no module loaded at all.
+  auto s = make_site("bluefire");
+  const auto* stack = s->find_stack(site::MpiImpl::kOpenMpi,
+                                    CompilerFamily::kGnu);
+  ASSERT_TRUE(stack->wrappers_embed_rpath);
+  ProgramSource p;
+  p.name = "solver";
+  p.language = Language::kC;
+  const auto compiled = compile_mpi_program(*s, p, *stack, "/home/user/solver");
+  ASSERT_TRUE(compiled.ok());
+  const auto parsed = elf::ElfFile::parse(*s->vfs.read(compiled.value()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().rpath(),
+            (std::vector<std::string>{stack->prefix + "/lib"}));
+  // Loads without any module (RPATH precedes everything).
+  const auto report = load_binary(*s, compiled.value());
+  EXPECT_EQ(report.status, LoadStatus::kOk) << report.detail;
+  EXPECT_EQ(report.resolution.path_of("libmpi.so.0"),
+            s->vfs.resolve(stack->prefix + "/lib/libmpi.so.0"));
+}
+
+TEST(Linker, NoRpathWithoutWrapperConfiguration) {
+  auto s = make_site("india");
+  const auto* stack = s->find_stack(site::MpiImpl::kOpenMpi,
+                                    CompilerFamily::kGnu);
+  ASSERT_FALSE(stack->wrappers_embed_rpath);
+  ProgramSource p;
+  p.name = "solver";
+  p.language = Language::kC;
+  const auto compiled = compile_mpi_program(*s, p, *stack, "/home/user/solver");
+  ASSERT_TRUE(compiled.ok());
+  const auto parsed = elf::ElfFile::parse(*s->vfs.read(compiled.value()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().rpath().empty());
+}
+
+TEST(Linker, DeterministicOutput) {
+  auto s1 = make_site("india");
+  auto s2 = make_site("india");
+  const auto& stack1 = stack_of(*s1, site::MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  const auto& stack2 = stack_of(*s2, site::MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  ASSERT_TRUE(compile_mpi_program(*s1, fortran_app(), stack1, "/out").ok());
+  ASSERT_TRUE(compile_mpi_program(*s2, fortran_app(), stack2, "/out").ok());
+  EXPECT_EQ(*s1->vfs.read("/out"), *s2->vfs.read("/out"));
+}
+
+}  // namespace
+}  // namespace feam::toolchain

@@ -1,0 +1,112 @@
+#include "toolchain/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::CompilerFamily;
+
+TEST(Loader, FileNotFound) {
+  auto s = make_site("india");
+  const auto r = load_binary(*s, "/nope");
+  EXPECT_EQ(r.status, LoadStatus::kFileNotFound);
+}
+
+TEST(Loader, NotElfIsExecFormatError) {
+  auto s = make_site("india");
+  s->vfs.write_file("/home/user/script", "#!/bin/sh\n");
+  const auto r = load_binary(*s, "/home/user/script");
+  EXPECT_EQ(r.status, LoadStatus::kExecFormatError);
+}
+
+TEST(Loader, ForeignIsaIsExecFormatError) {
+  auto s = make_site("india");
+  elf::ElfSpec spec;
+  spec.isa = elf::Isa::kPpc64;
+  spec.text_size = 64;
+  s->vfs.write_file("/home/user/ppc", elf::build_image(spec));
+  const auto r = load_binary(*s, "/home/user/ppc");
+  EXPECT_EQ(r.status, LoadStatus::kExecFormatError);
+  EXPECT_NE(r.detail.find("Exec format error"), std::string::npos);
+}
+
+TEST(Loader, CompiledBinaryLoadsWithModule) {
+  auto s = make_site("india");
+  ProgramSource p = mpi_hello_world(Language::kC);
+  const auto* stack = s->find_stack(site::MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  ASSERT_NE(stack, nullptr);
+  const auto path = compile_mpi_program(*s, p, *stack, "/home/user/hello");
+  ASSERT_TRUE(path.ok());
+
+  // Without the module, the MPI libraries are unreachable.
+  const auto before = load_binary(*s, path.value());
+  EXPECT_EQ(before.status, LoadStatus::kMissingLibrary);
+  EXPECT_NE(before.detail.find("libmpi.so.0"), std::string::npos);
+
+  s->load_module("openmpi/1.4-gnu");
+  const auto after = load_binary(*s, path.value());
+  EXPECT_EQ(after.status, LoadStatus::kOk) << after.detail;
+  EXPECT_TRUE(after.resolution.complete());
+}
+
+TEST(Loader, ExtraDirsActAsResolutionScope) {
+  auto s = make_site("india");
+  const auto* stack = s->find_stack(site::MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  const auto path = compile_mpi_program(*s, mpi_hello_world(Language::kC),
+                                        *stack, "/home/user/hello");
+  ASSERT_TRUE(path.ok());
+  // Copy the MPI libraries into a private directory instead of the module.
+  for (const char* soname : {"libmpi.so.0", "libopen-rte.so.0",
+                             "libopen-pal.so.0"}) {
+    const auto* data =
+        s->vfs.read(std::string("/opt/openmpi-1.4-gnu/lib/") + soname);
+    ASSERT_NE(data, nullptr);
+    s->vfs.write_file(std::string("/home/user/copies/") + soname, *data);
+  }
+  const auto r = load_binary(*s, path.value(), {"/home/user/copies"});
+  EXPECT_EQ(r.status, LoadStatus::kOk) << r.detail;
+  EXPECT_EQ(r.resolution.path_of("libmpi.so.0"),
+            "/home/user/copies/libmpi.so.0");
+}
+
+TEST(Loader, VersionMismatchDetected) {
+  // A binary from Forge (glibc 2.12) cannot load at Ranger (2.3.4).
+  auto forge = make_site("forge");
+  auto ranger = make_site("ranger");
+  ProgramSource p;
+  p.name = "modern";
+  p.language = Language::kC;
+  p.libc_features = {"base", "stdio", "recvmmsg"};
+  const auto* stack =
+      forge->find_stack(site::MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  const auto path =
+      compile_mpi_program(*forge, p, *stack, "/home/user/modern");
+  ASSERT_TRUE(path.ok());
+  ranger->vfs.write_file("/home/user/modern", *forge->vfs.read(path.value()));
+  ranger->load_module("openmpi/1.3-gnu");
+  const auto r = load_binary(*ranger, "/home/user/modern");
+  EXPECT_EQ(r.status, LoadStatus::kVersionMismatch);
+  EXPECT_NE(r.detail.find("GLIBC_2.12"), std::string::npos);
+}
+
+TEST(Loader, MissingReportedBeforeVersionErrors) {
+  // When both problems exist, the loader reports the missing library (as
+  // ld.so does — it never gets to version checks for absent files).
+  auto ranger = make_site("ranger");
+  elf::ElfSpec spec;
+  spec.isa = elf::Isa::kX86_64;
+  spec.needed = {"libnothere.so.9", "libc.so.6"};
+  spec.undefined_symbols = {{"recvmmsg", "GLIBC_2.12", "libc.so.6"}};
+  spec.text_size = 64;
+  ranger->vfs.write_file("/b", elf::build_image(spec));
+  const auto r = load_binary(*ranger, "/b");
+  EXPECT_EQ(r.status, LoadStatus::kMissingLibrary);
+}
+
+}  // namespace
+}  // namespace feam::toolchain

@@ -1,0 +1,179 @@
+// Validates that provisioning materializes real, parseable ELF libraries
+// with the paper's Table I link-level identities.
+#include <gtest/gtest.h>
+
+#include "elf/file.hpp"
+#include "toolchain/glibc.hpp"
+#include "toolchain/packages.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::MpiImpl;
+using support::Version;
+
+elf::ElfFile parse_at(const site::Site& s, const std::string& path) {
+  const auto* data = s.vfs.read(path);
+  EXPECT_NE(data, nullptr) << path;
+  auto parsed = elf::ElfFile::parse(*data);
+  EXPECT_TRUE(parsed.ok()) << path << ": "
+                           << (parsed.ok() ? "" : parsed.error());
+  return std::move(parsed).take();
+}
+
+TEST(Packages, ClibrarySymlinkConventionAndVerdefs) {
+  const auto s = make_site("india");
+  EXPECT_TRUE(s->vfs.is_symlink("/lib64/libc.so.6"));
+  EXPECT_EQ(s->vfs.resolve("/lib64/libc.so.6"), "/lib64/libc-2.5.so");
+  const auto libc = parse_at(*s, "/lib64/libc.so.6");
+  EXPECT_EQ(libc.soname(), "libc.so.6");
+  // Defines every node up to its release and nothing newer.
+  const auto& defs = libc.version_definitions();
+  EXPECT_NE(std::find(defs.begin(), defs.end(), "GLIBC_2.5"), defs.end());
+  EXPECT_EQ(std::find(defs.begin(), defs.end(), "GLIBC_2.9"), defs.end());
+}
+
+TEST(Packages, GlibcSatellitesPresent) {
+  const auto s = make_site("fir");
+  for (const char* soname :
+       {"libm.so.6", "libpthread.so.0", "libdl.so.2", "librt.so.1"}) {
+    EXPECT_TRUE(s->vfs.exists(site::Vfs::join("/lib64", soname))) << soname;
+  }
+  EXPECT_TRUE(s->vfs.exists("/lib64/ld-linux-x86-64.so.2"));
+}
+
+TEST(Packages, SystemLibsForOpenMpiIdentity) {
+  const auto s = make_site("blacklight");
+  EXPECT_TRUE(s->vfs.exists("/usr/lib64/libnsl.so.1"));
+  EXPECT_TRUE(s->vfs.exists("/usr/lib64/libutil.so.1"));
+}
+
+TEST(Packages, InfinibandLibsOnlyOnIbSites) {
+  const auto india = make_site("india");  // has MVAPICH2 over IB
+  EXPECT_TRUE(india->vfs.exists("/usr/lib64/libibverbs.so.1"));
+  EXPECT_TRUE(india->vfs.exists("/usr/lib64/libibumad.so.3"));
+  const auto blacklight = make_site("blacklight");  // Open MPI on Ethernet
+  EXPECT_FALSE(blacklight->vfs.exists("/usr/lib64/libibverbs.so.1"));
+}
+
+TEST(Packages, IntelRuntimeOutsideDefaultDirs) {
+  const auto s = make_site("forge");
+  EXPECT_TRUE(s->vfs.exists("/opt/intel-12/lib/libimf.so"));
+  EXPECT_TRUE(s->vfs.exists("/opt/intel-12/lib/libifcore.so.5"));
+  EXPECT_FALSE(s->vfs.exists("/usr/lib64/libimf.so"));
+  const auto libimf = parse_at(*s, "/opt/intel-12/lib/libimf.so");
+  ASSERT_TRUE(libimf.abi_note().has_value());
+  EXPECT_EQ(libimf.abi_note()->compiler_family, "Intel");
+}
+
+TEST(Packages, GnuRuntimeInSystemDirsWithCompat) {
+  const auto fir = make_site("fir");  // gcc 4.1.2
+  EXPECT_TRUE(fir->vfs.exists("/usr/lib64/libgfortran.so.1"));
+  EXPECT_TRUE(fir->vfs.exists("/usr/lib64/libg2c.so.0"));        // compat-libf2c
+  EXPECT_TRUE(fir->vfs.exists("/usr/lib64/libgfortran.so.3"));   // gcc44 preview
+  const auto forge = make_site("forge");  // gcc 4.4.5
+  EXPECT_TRUE(forge->vfs.exists("/usr/lib64/libgfortran.so.3"));
+  EXPECT_TRUE(forge->vfs.exists("/usr/lib64/libgfortran.so.1"));  // compat
+  EXPECT_FALSE(forge->vfs.exists("/usr/lib64/libg2c.so.0"));
+}
+
+TEST(Packages, TableOneIdentities) {
+  site::MpiStackInstall openmpi;
+  openmpi.impl = MpiImpl::kOpenMpi;
+  openmpi.version = Version::of("1.4");
+  site::MpiStackInstall mpich2 = openmpi;
+  mpich2.impl = MpiImpl::kMpich2;
+  site::MpiStackInstall mvapich2 = openmpi;
+  mvapich2.impl = MpiImpl::kMvapich2;
+  mvapich2.version = Version::of("1.7");
+
+  const auto o = mpi_app_sonames(openmpi, Language::kC);
+  EXPECT_NE(std::find(o.begin(), o.end(), "libmpi.so.0"), o.end());
+  EXPECT_NE(std::find(o.begin(), o.end(), "libnsl.so.1"), o.end());
+  EXPECT_NE(std::find(o.begin(), o.end(), "libutil.so.1"), o.end());
+
+  const auto m = mpi_app_sonames(mpich2, Language::kFortran);
+  EXPECT_NE(std::find(m.begin(), m.end(), "libmpich.so.1.2"), m.end());
+  EXPECT_NE(std::find(m.begin(), m.end(), "libmpichf90.so.1.2"), m.end());
+  // "and not other identifiers": no InfiniBand libraries for MPICH2.
+  EXPECT_EQ(std::find(m.begin(), m.end(), "libibverbs.so.1"), m.end());
+
+  const auto v = mpi_app_sonames(mvapich2, Language::kC);
+  EXPECT_NE(std::find(v.begin(), v.end(), "libmpich.so.1.2"), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), "libibverbs.so.1"), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), "libibumad.so.3"), v.end());
+}
+
+TEST(Packages, MvapichSonameGenerations) {
+  site::MpiStackInstall old_stack;
+  old_stack.impl = MpiImpl::kMvapich2;
+  old_stack.version = Version::of("1.2");
+  site::MpiStackInstall new_stack = old_stack;
+  new_stack.version = Version::of("1.7a2");
+  EXPECT_EQ(mpi_primary_soname(old_stack), "libmpich.so.1.0");
+  EXPECT_EQ(mpi_primary_soname(new_stack), "libmpich.so.1.2");
+}
+
+TEST(Packages, MpiStackInstallLayout) {
+  const auto s = make_site("india");
+  // openmpi-1.4-intel prefix exists with libraries and wrappers.
+  const std::string prefix = "/opt/openmpi-1.4-intel";
+  EXPECT_TRUE(s->vfs.exists(prefix + "/lib/libmpi.so.0"));
+  EXPECT_TRUE(s->vfs.exists(prefix + "/lib/libmpi_f77.so.0"));
+  EXPECT_TRUE(s->vfs.exists(prefix + "/lib/libopen-pal.so.0"));
+  EXPECT_TRUE(s->vfs.exists(prefix + "/bin/mpicc"));
+  EXPECT_TRUE(s->vfs.exists(prefix + "/bin/mpiexec"));
+  EXPECT_TRUE(s->vfs.is_symlink(prefix + "/bin/mpirun"));
+
+  const auto libmpi = parse_at(*s, prefix + "/lib/libmpi.so.0");
+  ASSERT_TRUE(libmpi.abi_note().has_value());
+  EXPECT_EQ(libmpi.abi_note()->mpi_impl, "openmpi");
+  EXPECT_EQ(libmpi.abi_note()->compiler_family, "Intel");
+  // Chained dependencies mirror the real Open MPI layering.
+  const auto& needed = libmpi.needed();
+  EXPECT_NE(std::find(needed.begin(), needed.end(), "libopen-rte.so.0"),
+            needed.end());
+}
+
+TEST(Packages, NewGlibcSitesProduceNewVersionRefs) {
+  // Forge (2.12) libraries bind recvmmsg@GLIBC_2.12; India (2.5) ones
+  // cannot — the configure-time capping that drives bundle-copy rejects.
+  const auto forge = make_site("forge");
+  const auto india = make_site("india");
+  const auto forge_pal =
+      parse_at(*forge, "/opt/openmpi-1.4-gnu/lib/libopen-pal.so.0");
+  const auto india_pal =
+      parse_at(*india, "/opt/openmpi-1.4-gnu/lib/libopen-pal.so.0");
+  const auto max_ref = [](const elf::ElfFile& f) {
+    support::Version newest;
+    for (const auto& need : f.version_references()) {
+      for (const auto& v : need.versions) {
+        if (const auto parsed = parse_glibc_version(v)) {
+          if (*parsed > newest) newest = *parsed;
+        }
+      }
+    }
+    return newest;
+  };
+  EXPECT_EQ(max_ref(forge_pal), Version::of("2.12"));
+  EXPECT_LE(max_ref(india_pal), Version::of("2.5"));
+}
+
+TEST(Packages, BindFeaturesCapsAtBuildLibc) {
+  elf::ElfSpec spec;
+  bind_libc_features(spec, {"base", "ssp", "recvmmsg"}, Version::of("2.5"));
+  ASSERT_EQ(spec.undefined_symbols.size(), 2u);  // recvmmsg (2.12) dropped
+  EXPECT_EQ(spec.undefined_symbols[0].version, "GLIBC_2.2.5");
+  EXPECT_EQ(spec.undefined_symbols[1].version, "GLIBC_2.4");
+}
+
+TEST(Packages, MathFeatureBindsToLibm) {
+  elf::ElfSpec spec;
+  bind_libc_features(spec, {"math"}, Version::of("2.5"));
+  ASSERT_EQ(spec.undefined_symbols.size(), 1u);
+  EXPECT_EQ(spec.undefined_symbols[0].from_lib, "libm.so.6");
+}
+
+}  // namespace
+}  // namespace feam::toolchain

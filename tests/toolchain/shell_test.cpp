@@ -1,0 +1,170 @@
+#include "toolchain/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "feam/bdc.hpp"
+#include "feam/phases.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+std::string compile_hello(site::Site& s, MpiImpl impl, CompilerFamily fam) {
+  const auto* stack = s.find_stack(impl, fam);
+  EXPECT_NE(stack, nullptr);
+  const auto r = compile_mpi_program(s, mpi_hello_world(Language::kC), *stack,
+                                     "/home/user/hello");
+  EXPECT_TRUE(r.ok()) << r.error();
+  return r.value();
+}
+
+TEST(Shell, ExportWithExpansion) {
+  auto s = make_site("india");
+  s->env.set("BASE", "/opt/x");
+  const auto r = run_script(*s, "export LD_LIBRARY_PATH=$BASE/lib\n"
+                                 "export PATH=${BASE}/bin:$PATH\n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(s->env.get("LD_LIBRARY_PATH"), "/opt/x/lib");
+  EXPECT_EQ(s->env.get("PATH"), "/opt/x/bin:/usr/local/bin:/usr/bin:/bin");
+}
+
+TEST(Shell, ExportUnsetVarExpandsEmptyAndTrailingColonStripped) {
+  auto s = make_site("india");
+  const auto r = run_script(*s, "export LD_LIBRARY_PATH=/copies:$LD_LIBRARY_PATH\n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(s->env.get("LD_LIBRARY_PATH"), "/copies");
+}
+
+TEST(Shell, ModuleLoadAndPurge) {
+  auto s = make_site("india");
+  EXPECT_TRUE(run_script(*s, "module load openmpi/1.4-gnu\n").ok());
+  EXPECT_EQ(s->loaded_modules().size(), 1u);
+  EXPECT_TRUE(run_script(*s, "module purge\n").ok());
+  EXPECT_TRUE(s->loaded_modules().empty());
+  const auto bad = run_script(*s, "module load nope/1.0\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.errors.empty());
+}
+
+TEST(Shell, SoftAddActivatesStack) {
+  auto s = make_site("forge");  // the SoftEnv site
+  const auto r = run_script(*s, "soft add +openmpi-1.4-intel\n");
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors.front());
+  EXPECT_NE(s->selected_stack(), nullptr);
+  EXPECT_FALSE(run_script(*s, "soft add +no-such-key\n").ok());
+}
+
+TEST(Shell, MpiexecRunsUnderLoadedModule) {
+  auto s = make_site("india");
+  const auto path = compile_hello(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  const auto r = run_script(*s, "module load openmpi/1.4-gnu\n"
+                                 "mpiexec -n 4 " + path + "\n");
+  EXPECT_TRUE(r.ok()) << r.last_run.detail;
+  EXPECT_NE(r.last_run.output.find("4 ranks"), std::string::npos);
+}
+
+TEST(Shell, MpirunNpSynonym) {
+  auto s = make_site("india");
+  const auto path = compile_hello(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  const auto r = run_script(*s, "module load openmpi/1.4-gnu\n"
+                                 "mpirun -np 2 " + path + "\n");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Shell, FailingExecutionStopsScript) {
+  auto s = make_site("india");
+  const auto path = compile_hello(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  // No module loaded: the first mpiexec fails, the export after it must
+  // not run.
+  const auto r = run_script(*s, "mpiexec -n 4 " + path + "\n"
+                                 "export MARKER=reached\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(s->env.has("MARKER"));
+}
+
+TEST(Shell, SyntaxErrorsReported) {
+  auto s = make_site("india");
+  EXPECT_FALSE(run_script(*s, "export NOEQUALS\n").ok());
+  EXPECT_FALSE(run_script(*s, "mpiexec -n 4\n").ok());
+}
+
+TEST(Shell, GeneratedConfigurationScriptWorksVerbatim) {
+  // End-to-end: FEAM's TEC generates a script; executing that script text
+  // must produce a successful run — the paper's automation promise.
+  auto ranger = make_site("ranger");
+  auto fir = make_site("fir");
+  toolchain::ProgramSource cg;
+  cg.name = "cg.B";
+  cg.language = Language::kC;
+  const auto* stack =
+      ranger->find_stack(MpiImpl::kMvapich2, CompilerFamily::kIntel);
+  const auto compiled = compile_mpi_program(*ranger, cg, *stack,
+                                            "/home/user/apps/cg.B");
+  ASSERT_TRUE(compiled.ok());
+  ranger->load_module("mvapich2/1.2-intel");
+  const auto source = feam::run_source_phase(*ranger, compiled.value());
+  ASSERT_TRUE(source.ok());
+  fir->vfs.write_file("/home/user/apps/cg.B",
+                      *ranger->vfs.read(compiled.value()));
+  const auto target = feam::run_target_phase(*fir, "/home/user/apps/cg.B",
+                                             &source.value());
+  ASSERT_TRUE(target.ok());
+  ASSERT_TRUE(target.value().prediction.ready);
+
+  const auto r = run_script(*fir, target.value().prediction.configuration_script);
+  EXPECT_TRUE(r.ok()) << r.last_run.detail;
+  EXPECT_NE(r.last_run.output.find("ranks"), std::string::npos);
+}
+
+TEST(Batch, SubmitRunsBodyInFreshShell) {
+  auto s = make_site("india");
+  const auto path = compile_hello(*s, MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  site::BatchScript job;
+  job.kind = site::BatchKind::kPbs;  // India runs PBS
+  job.job_name = "hello";
+  job.nodes = 1;
+  job.tasks_per_node = 4;
+  job.commands = {"module load openmpi/1.4-gnu", "mpiexec -n 4 " + path};
+  const auto result = submit_batch_job(*s, job);
+  EXPECT_TRUE(result.success()) << (result.script.errors.empty()
+                                        ? result.script.last_run.detail
+                                        : result.script.errors.front());
+  EXPECT_FALSE(result.job_id.empty());
+  EXPECT_LT(result.queue_wait_seconds, 60);  // debug queue
+  // The job's module load did not leak into the login shell.
+  EXPECT_TRUE(s->loaded_modules().empty());
+}
+
+TEST(Batch, WrongDialectRejected) {
+  auto s = make_site("india");  // PBS site
+  site::BatchScript job;
+  job.kind = site::BatchKind::kSlurm;
+  job.commands = {"export X=1"};
+  const auto result = submit_batch_job(*s, job);
+  EXPECT_FALSE(result.success());
+  EXPECT_FALSE(result.script.errors.empty());
+}
+
+TEST(Batch, RangerRunsSge) {
+  auto s = make_site("ranger");
+  site::BatchScript job;
+  job.kind = site::BatchKind::kSge;
+  job.commands = {"export X=1"};
+  EXPECT_TRUE(submit_batch_job(*s, job).success());
+}
+
+TEST(Batch, DeterministicJobIds) {
+  auto a = make_site("india");
+  auto b = make_site("india");
+  site::BatchScript job;
+  job.kind = site::BatchKind::kPbs;
+  job.commands = {"export X=1"};
+  EXPECT_EQ(submit_batch_job(*a, job).job_id, submit_batch_job(*b, job).job_id);
+}
+
+}  // namespace
+}  // namespace feam::toolchain

@@ -1,0 +1,131 @@
+#include "toolchain/site_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "feam/edc.hpp"
+#include "feam/phases.hpp"
+#include "toolchain/launcher.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+constexpr const char* kSpec = R"({
+  "name": "mycluster",
+  "isa": "x86_64",
+  "os": {"distro": "CentOS", "version": "5.6", "kernel": "2.6.18-194.el5"},
+  "clib_version": "2.5",
+  "system_type": "Cluster",
+  "cpu_count": 512,
+  "user_env_tool": "modules",
+  "batch": "slurm",
+  "compilers": [{"family": "gnu", "version": "4.1.2"},
+                {"family": "intel", "version": "11.1"}],
+  "stacks": [
+    {"impl": "openmpi", "version": "1.4", "compiler": "gnu",
+     "interconnect": "infiniband"},
+    {"impl": "mpich2", "version": "1.4", "compiler": "intel",
+     "static_libs": true}
+  ]
+})";
+
+TEST(SiteSpec, BuildsProvisionedSite) {
+  auto result = make_site_from_json(kSpec);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const site::Site& s = *result.value();
+  EXPECT_EQ(s.name, "mycluster");
+  EXPECT_EQ(s.batch, site::BatchKind::kSlurm);
+  ASSERT_EQ(s.stacks.size(), 2u);
+  EXPECT_EQ(s.stacks[0].compiler_version, support::Version::of("4.1.2"));
+  EXPECT_TRUE(s.stacks[1].static_libs_available);
+  // Fully provisioned: libc, module files, MPI prefixes.
+  EXPECT_TRUE(s.vfs.exists("/lib64/libc.so.6"));
+  EXPECT_TRUE(s.vfs.exists("/opt/openmpi-1.4-gnu/lib/libmpi.so.0"));
+  EXPECT_TRUE(s.vfs.exists("/opt/intel-11.1/lib/libimf.so"));
+  EXPECT_EQ(s.module_files.size(), 2u);
+}
+
+TEST(SiteSpec, DiscoveryMatchesSpec) {
+  auto result = make_site_from_json(kSpec);
+  ASSERT_TRUE(result.ok());
+  const auto env = feam::Edc::discover(*result.value());
+  EXPECT_EQ(env.isa, "x86_64");
+  EXPECT_EQ(env.clib_version, support::Version::of("2.5"));
+  EXPECT_EQ(env.stacks.size(), 2u);
+}
+
+TEST(SiteSpec, CompiledBinaryRunsOnCustomSite) {
+  auto result = make_site_from_json(kSpec);
+  ASSERT_TRUE(result.ok());
+  site::Site& s = *result.value();
+  ProgramSource p;
+  p.name = "app";
+  p.language = Language::kC;
+  const auto* stack = s.find_stack(site::MpiImpl::kOpenMpi,
+                                   site::CompilerFamily::kGnu);
+  const auto compiled = compile_mpi_program(s, p, *stack, "/home/user/app");
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  s.load_module("openmpi/1.4-gnu");
+  EXPECT_TRUE(mpiexec_with_retries(s, compiled.value(), 4).success());
+}
+
+TEST(SiteSpec, MigrationBetweenCustomAndBuiltinSites) {
+  auto custom = make_site_from_json(kSpec);
+  ASSERT_TRUE(custom.ok());
+  auto india = make_site("india");
+  ProgramSource p;
+  p.name = "app";
+  p.language = Language::kC;
+  const auto* stack = india->find_stack(site::MpiImpl::kOpenMpi,
+                                        site::CompilerFamily::kGnu);
+  const auto compiled = compile_mpi_program(*india, p, *stack, "/home/user/app");
+  ASSERT_TRUE(compiled.ok());
+  custom.value()->vfs.write_file("/home/user/app",
+                                 *india->vfs.read(compiled.value()));
+  const auto target = feam::run_target_phase(*custom.value(), "/home/user/app");
+  ASSERT_TRUE(target.ok()) << target.error();
+  EXPECT_TRUE(target.value().prediction.ready);  // twin configuration
+}
+
+TEST(SiteSpec, JsonRoundTrip) {
+  auto first = make_site_from_json(kSpec);
+  ASSERT_TRUE(first.ok());
+  const std::string rendered = site_to_json(*first.value());
+  auto second = make_site_from_json(rendered);
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second.value()->name, first.value()->name);
+  EXPECT_EQ(second.value()->clib_version, first.value()->clib_version);
+  EXPECT_EQ(second.value()->stacks.size(), first.value()->stacks.size());
+  EXPECT_EQ(site_to_json(*second.value()), rendered);
+}
+
+TEST(SiteSpec, BuiltinSitesRoundTripThroughJson) {
+  for (const auto& name : testbed_site_names()) {
+    const auto original = make_site(name);
+    auto rebuilt = make_site_from_json(site_to_json(*original));
+    ASSERT_TRUE(rebuilt.ok()) << name << ": " << rebuilt.error();
+    EXPECT_EQ(rebuilt.value()->stacks.size(), original->stacks.size()) << name;
+    EXPECT_EQ(rebuilt.value()->clib_version, original->clib_version) << name;
+  }
+}
+
+TEST(SiteSpec, Errors) {
+  EXPECT_FALSE(make_site_from_json("not json").ok());
+  EXPECT_FALSE(make_site_from_json("[]").ok());
+  EXPECT_FALSE(make_site_from_json(R"({"isa": "x86_64"})").ok());  // no name
+  EXPECT_FALSE(make_site_from_json(
+                   R"({"name": "x", "isa": "vax", "clib_version": "2.5",
+                       "compilers": [{"family":"gnu","version":"4.1"}]})")
+                   .ok());
+  // Stack names a compiler that is not installed.
+  const auto r = make_site_from_json(R"({
+    "name": "x", "isa": "x86_64", "clib_version": "2.5",
+    "compilers": [{"family": "gnu", "version": "4.1.2"}],
+    "stacks": [{"impl": "openmpi", "version": "1.4", "compiler": "pgi"}]})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("not installed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feam::toolchain

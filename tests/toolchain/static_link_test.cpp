@@ -1,0 +1,130 @@
+// Static linking (paper VI.C): statically linked binaries have no dynamic
+// dependencies, so the shared-library and MPI-stack determinants have
+// nothing to fail on — they migrate anywhere the ISA is compatible. The
+// catch the paper names: most sites' MPI implementations were not
+// installed with static libraries.
+#include <gtest/gtest.h>
+
+#include "binutils/ldd.hpp"
+#include "elf/file.hpp"
+#include "feam/bdc.hpp"
+#include "feam/phases.hpp"
+#include "toolchain/launcher.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::toolchain {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+ProgramSource app() {
+  ProgramSource p;
+  p.name = "is.B";
+  p.language = Language::kC;
+  p.libc_features = {"base", "stdio", "math"};
+  p.text_size = 120 * 1024;
+  return p;
+}
+
+TEST(StaticLink, OnlyWhereStaticLibsExist) {
+  auto india = make_site("india");
+  // MPICH2 at India ships static libraries; Open MPI does not.
+  const auto* mpich2 = india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto* openmpi = india->find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  ASSERT_TRUE(mpich2->static_libs_available);
+  ASSERT_FALSE(openmpi->static_libs_available);
+
+  EXPECT_TRUE(compile_static_mpi_program(*india, app(), *mpich2,
+                                         "/home/user/is.static").ok());
+  const auto fail = compile_static_mpi_program(*india, app(), *openmpi,
+                                               "/home/user/x");
+  ASSERT_FALSE(fail.ok());
+  EXPECT_NE(fail.error().find("not installed with static libraries"),
+            std::string::npos);
+}
+
+TEST(StaticLink, ImageHasNoDynamicSurface) {
+  auto india = make_site("india");
+  const auto* stack = india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto path = compile_static_mpi_program(*india, app(), *stack,
+                                               "/home/user/is.static");
+  ASSERT_TRUE(path.ok());
+  const auto parsed = elf::ElfFile::parse(*india->vfs.read(path.value()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_FALSE(parsed.value().is_dynamic());
+  EXPECT_TRUE(parsed.value().needed().empty());
+  EXPECT_TRUE(parsed.value().version_references().empty());
+  // Much larger than the dynamic build, as in reality.
+  const auto* dynamic_stack =
+      india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto dyn = compile_mpi_program(*india, app(), *dynamic_stack,
+                                       "/home/user/is.dyn");
+  ASSERT_TRUE(dyn.ok());
+  EXPECT_GT(india->vfs.read(path.value())->size(),
+            4 * india->vfs.read(dyn.value())->size());
+}
+
+TEST(StaticLink, LddDoesNotRecognizeIt) {
+  auto india = make_site("india");
+  const auto* stack = india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto path = compile_static_mpi_program(*india, app(), *stack,
+                                               "/home/user/is.static");
+  ASSERT_TRUE(path.ok());
+  const auto out = binutils::ldd(*india, path.value());
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error().find("not a dynamic executable"), std::string::npos);
+}
+
+TEST(StaticLink, BdcDescribesWithEmptyDependencies) {
+  auto india = make_site("india");
+  const auto* stack = india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto path = compile_static_mpi_program(*india, app(), *stack,
+                                               "/home/user/is.static");
+  const auto d = Bdc::describe(*india, path.value());
+  ASSERT_TRUE(d.ok()) << d.error();
+  EXPECT_TRUE(d.value().required_libraries.empty());
+  EXPECT_FALSE(d.value().required_clib_version.has_value());
+  EXPECT_FALSE(d.value().mpi_impl.has_value());  // nothing to identify from
+  // The build stamps still reveal the toolchain.
+  EXPECT_TRUE(d.value().build_compiler.has_value());
+}
+
+TEST(StaticLink, MigratesEvenToRanger) {
+  // Ranger rejects every gcc-4.1-built *dynamic* binary on the GLIBC_2.4
+  // node; the static build carries no version references and just runs.
+  auto india = make_site("india");
+  const auto* stack = india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto path = compile_static_mpi_program(*india, app(), *stack,
+                                               "/home/user/is.static");
+  ASSERT_TRUE(path.ok());
+
+  auto ranger = make_site("ranger");
+  ranger->vfs.write_file("/home/user/is.static", *india->vfs.read(path.value()));
+  const auto run = run_serial(*ranger, "/home/user/is.static");
+  EXPECT_TRUE(run.success()) << run.detail;
+
+  // And FEAM predicts exactly that.
+  const auto result = feam::run_target_phase(*ranger, "/home/user/is.static");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().prediction.ready);
+}
+
+TEST(StaticLink, StillBlockedByIsa) {
+  auto india = make_site("india");
+  const auto* stack = india->find_stack(MpiImpl::kMpich2, CompilerFamily::kGnu);
+  const auto path = compile_static_mpi_program(*india, app(), *stack,
+                                               "/home/user/is.static");
+  auto bluefire = make_site("bluefire");  // ppc64
+  bluefire->vfs.write_file("/home/user/is.static",
+                           *india->vfs.read(path.value()));
+  const auto run = run_serial(*bluefire, "/home/user/is.static");
+  EXPECT_EQ(run.status, RunStatus::kExecFormatError);
+  const auto result = feam::run_target_phase(*bluefire, "/home/user/is.static");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().prediction.ready);
+}
+
+}  // namespace
+}  // namespace feam::toolchain

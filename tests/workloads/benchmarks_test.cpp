@@ -1,0 +1,202 @@
+#include "workloads/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "toolchain/glibc.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam::workloads {
+namespace {
+
+using toolchain::Language;
+
+TEST(Benchmarks, NpbSuiteContents) {
+  const auto& suite = npb_suite();
+  ASSERT_EQ(suite.size(), 7u);  // 4 kernels + 3 pseudo applications
+  std::set<std::string> names;
+  for (const auto& w : suite) {
+    names.insert(w.program.name);
+    EXPECT_EQ(w.suite, "NAS");
+    EXPECT_TRUE(w.program.uses_mpi);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"is.B", "ep.B", "cg.B", "mg.B",
+                                          "bt.B", "sp.B", "lu.B"}));
+}
+
+TEST(Benchmarks, NpbLanguages) {
+  // IS is the only C code in the NPB MPI reference implementation.
+  for (const auto& w : npb_suite()) {
+    if (w.program.name == "is.B") {
+      EXPECT_EQ(w.program.language, Language::kC);
+    } else {
+      EXPECT_EQ(w.program.language, Language::kFortran);
+    }
+  }
+}
+
+TEST(Benchmarks, SpecSuiteContents) {
+  const auto& suite = spec_mpi2007_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& w : suite) {
+    names.insert(w.program.name);
+    EXPECT_EQ(w.suite, "SPEC");
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"104.milc", "107.leslie3d",
+                                          "115.fds4", "122.tachyon",
+                                          "126.lammps", "127.GAPgeofem",
+                                          "129.tera_tf"}));
+}
+
+TEST(Benchmarks, LammpsIsCxx) {
+  for (const auto& w : spec_mpi2007_suite()) {
+    if (w.program.name == "126.lammps") {
+      EXPECT_EQ(w.program.language, Language::kCxx);
+    }
+  }
+}
+
+TEST(Benchmarks, SpecBinariesAreLarger) {
+  std::size_t max_nas = 0, min_spec = SIZE_MAX;
+  for (const auto& w : npb_suite()) {
+    max_nas = std::max(max_nas, static_cast<std::size_t>(w.program.text_size));
+  }
+  for (const auto& w : spec_mpi2007_suite()) {
+    min_spec = std::min(min_spec, static_cast<std::size_t>(w.program.text_size));
+  }
+  EXPECT_GT(min_spec, max_nas);
+}
+
+TEST(Benchmarks, AllWorkloadsConcatenates) {
+  EXPECT_EQ(all_workloads().size(), 14u);
+}
+
+TEST(Benchmarks, FeatureKeysAreReal) {
+  for (const auto& w : all_workloads()) {
+    for (const auto& key : w.program.libc_features) {
+      EXPECT_TRUE(toolchain::find_libc_feature(key).has_value())
+          << w.program.name << " uses unknown feature " << key;
+    }
+  }
+}
+
+TEST(Benchmarks, ViabilityIsDeterministic) {
+  const auto s = toolchain::make_site("fir");
+  for (const auto& w : all_workloads()) {
+    for (const auto& stack : s->stacks) {
+      EXPECT_EQ(combination_viable(w.program, w.suite, stack, "fir"),
+                combination_viable(w.program, w.suite, stack, "fir"));
+    }
+  }
+}
+
+TEST(Benchmarks, PgiNeverBuildsLammps) {
+  const auto s = toolchain::make_site("fir");
+  for (const auto& w : spec_mpi2007_suite()) {
+    if (w.program.name != "126.lammps") continue;
+    for (const auto& stack : s->stacks) {
+      if (stack.compiler == site::CompilerFamily::kPgi) {
+        EXPECT_FALSE(combination_viable(w.program, w.suite, stack, "fir"));
+      }
+    }
+  }
+}
+
+TEST(Benchmarks, NasAttritionExceedsSpec) {
+  // The paper kept 110 of the possible NPB binaries but 147 SPEC ones —
+  // NAS combinations failed to build more often.
+  int nas_viable = 0, nas_total = 0, spec_viable = 0, spec_total = 0;
+  for (const auto& site_name : toolchain::testbed_site_names()) {
+    const auto s = toolchain::make_site(site_name);
+    for (const auto& w : all_workloads()) {
+      for (const auto& stack : s->stacks) {
+        const bool viable =
+            combination_viable(w.program, w.suite, stack, site_name);
+        if (w.suite == "NAS") {
+          ++nas_total;
+          nas_viable += viable;
+        } else {
+          ++spec_total;
+          spec_viable += viable;
+        }
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(nas_viable) / nas_total,
+            static_cast<double>(spec_viable) / spec_total);
+  // Within shooting distance of the paper's test set sizes.
+  EXPECT_NEAR(nas_viable, 120, 15);
+  EXPECT_NEAR(spec_viable, 152, 15);
+}
+
+TEST(NpbBuilds, ProcessCountConstraints) {
+  // BT and SP require perfect squares.
+  for (const char* kernel : {"bt", "sp"}) {
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 1)) << kernel;
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 4)) << kernel;
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 9)) << kernel;
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 16)) << kernel;
+    EXPECT_FALSE(npb_nprocs_valid(kernel, 2)) << kernel;
+    EXPECT_FALSE(npb_nprocs_valid(kernel, 8)) << kernel;
+    EXPECT_FALSE(npb_nprocs_valid(kernel, 12)) << kernel;
+  }
+  // The others require powers of two.
+  for (const char* kernel : {"cg", "mg", "is", "ep", "lu"}) {
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 1)) << kernel;
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 8)) << kernel;
+    EXPECT_TRUE(npb_nprocs_valid(kernel, 64)) << kernel;
+    EXPECT_FALSE(npb_nprocs_valid(kernel, 6)) << kernel;
+    EXPECT_FALSE(npb_nprocs_valid(kernel, 9)) << kernel;
+  }
+  EXPECT_FALSE(npb_nprocs_valid("bt", 0));
+  EXPECT_FALSE(npb_nprocs_valid("bt", -4));
+  EXPECT_FALSE(npb_nprocs_valid("nosuch", 4));
+}
+
+TEST(NpbBuilds, ValidNprocsEnumeration) {
+  EXPECT_EQ(npb_valid_nprocs("bt", 20), (std::vector<int>{1, 4, 9, 16}));
+  EXPECT_EQ(npb_valid_nprocs("cg", 16), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_TRUE(npb_valid_nprocs("unknown", 16).empty());
+}
+
+TEST(NpbBuilds, BinaryNamingConvention) {
+  const auto build = npb_binary("cg", 'B', 16);
+  ASSERT_TRUE(build.has_value());
+  EXPECT_EQ(build->name, "cg.B.16");
+  EXPECT_EQ(build->language, Language::kFortran);
+  const auto is_build = npb_binary("is", 'A', 8);
+  ASSERT_TRUE(is_build.has_value());
+  EXPECT_EQ(is_build->name, "is.A.8");
+  EXPECT_EQ(is_build->language, Language::kC);
+}
+
+TEST(NpbBuilds, ClassScalesFootprint) {
+  const auto small = npb_binary("lu", 'S', 4);
+  const auto medium = npb_binary("lu", 'B', 4);
+  const auto large = npb_binary("lu", 'C', 4);
+  ASSERT_TRUE(small && medium && large);
+  EXPECT_LT(small->text_size, medium->text_size);
+  EXPECT_LT(medium->text_size, large->text_size);
+}
+
+TEST(NpbBuilds, RejectsInvalidRequests) {
+  EXPECT_FALSE(npb_binary("cg", 'Z', 4).has_value());   // unknown class
+  EXPECT_FALSE(npb_binary("bt", 'B', 8).has_value());   // not a square
+  EXPECT_FALSE(npb_binary("ft", 'B', 4).has_value());   // kernel not in suite
+}
+
+TEST(NpbBuilds, CompilesAndRuns) {
+  auto s = toolchain::make_site("india");
+  const auto* stack = s->find_stack(site::MpiImpl::kOpenMpi,
+                                    site::CompilerFamily::kGnu);
+  const auto build = npb_binary("sp", 'A', 9);
+  ASSERT_TRUE(build.has_value());
+  const auto compiled =
+      toolchain::compile_mpi_program(*s, *build, *stack, "/home/user/sp.A.9");
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+}
+
+}  // namespace
+}  // namespace feam::workloads
