@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_clib_rule.cpp" "bench/CMakeFiles/ablation_clib_rule.dir/ablation_clib_rule.cpp.o" "gcc" "bench/CMakeFiles/ablation_clib_rule.dir/ablation_clib_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/feam_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/feam/CMakeFiles/feam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/feam_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/feam_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/binutils/CMakeFiles/feam_binutils.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/feam_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/feam_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clib_rule.dir/ablation_clib_rule.cpp.o"
+  "CMakeFiles/ablation_clib_rule.dir/ablation_clib_rule.cpp.o.d"
+  "ablation_clib_rule"
+  "ablation_clib_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clib_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpi_rule.dir/ablation_mpi_rule.cpp.o"
+  "CMakeFiles/ablation_mpi_rule.dir/ablation_mpi_rule.cpp.o.d"
+  "ablation_mpi_rule"
+  "ablation_mpi_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpi_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

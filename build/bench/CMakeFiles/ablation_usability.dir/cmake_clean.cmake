@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_usability.dir/ablation_usability.cpp.o"
+  "CMakeFiles/ablation_usability.dir/ablation_usability.cpp.o.d"
+  "ablation_usability"
+  "ablation_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

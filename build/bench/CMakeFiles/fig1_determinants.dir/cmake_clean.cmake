@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_determinants.dir/fig1_determinants.cpp.o"
+  "CMakeFiles/fig1_determinants.dir/fig1_determinants.cpp.o.d"
+  "fig1_determinants"
+  "fig1_determinants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_determinants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bdc_info.dir/fig3_bdc_info.cpp.o"
+  "CMakeFiles/fig3_bdc_info.dir/fig3_bdc_info.cpp.o.d"
+  "fig3_bdc_info"
+  "fig3_bdc_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bdc_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

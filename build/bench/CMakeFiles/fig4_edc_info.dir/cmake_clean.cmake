@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_edc_info.dir/fig4_edc_info.cpp.o"
+  "CMakeFiles/fig4_edc_info.dir/fig4_edc_info.cpp.o.d"
+  "fig4_edc_info"
+  "fig4_edc_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_edc_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_timing.dir/phase_timing.cpp.o"
+  "CMakeFiles/phase_timing.dir/phase_timing.cpp.o.d"
+  "phase_timing"
+  "phase_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_census.dir/portability_census.cpp.o"
+  "CMakeFiles/portability_census.dir/portability_census.cpp.o.d"
+  "portability_census"
+  "portability_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_matrix.dir/route_matrix.cpp.o"
+  "CMakeFiles/route_matrix.dir/route_matrix.cpp.o.d"
+  "route_matrix"
+  "route_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mpi_identification.dir/table1_mpi_identification.cpp.o"
+  "CMakeFiles/table1_mpi_identification.dir/table1_mpi_identification.cpp.o.d"
+  "table1_mpi_identification"
+  "table1_mpi_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mpi_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

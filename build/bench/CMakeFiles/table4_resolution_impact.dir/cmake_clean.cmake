@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_resolution_impact.dir/table4_resolution_impact.cpp.o"
+  "CMakeFiles/table4_resolution_impact.dir/table4_resolution_impact.cpp.o.d"
+  "table4_resolution_impact"
+  "table4_resolution_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_resolution_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

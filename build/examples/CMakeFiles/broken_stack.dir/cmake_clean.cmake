@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broken_stack.dir/broken_stack.cpp.o"
+  "CMakeFiles/broken_stack.dir/broken_stack.cpp.o.d"
+  "broken_stack"
+  "broken_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broken_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

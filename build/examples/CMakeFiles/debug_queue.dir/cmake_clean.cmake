@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_queue.dir/debug_queue.cpp.o"
+  "CMakeFiles/debug_queue.dir/debug_queue.cpp.o.d"
+  "debug_queue"
+  "debug_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

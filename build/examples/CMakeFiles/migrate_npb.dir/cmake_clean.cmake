@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_npb.dir/migrate_npb.cpp.o"
+  "CMakeFiles/migrate_npb.dir/migrate_npb.cpp.o.d"
+  "migrate_npb"
+  "migrate_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binutils/file_cmd.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/file_cmd.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/file_cmd.cpp.o.d"
+  "/root/repo/src/binutils/ldd.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/ldd.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/ldd.cpp.o.d"
+  "/root/repo/src/binutils/nm.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/nm.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/nm.cpp.o.d"
+  "/root/repo/src/binutils/objdump.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/objdump.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/objdump.cpp.o.d"
+  "/root/repo/src/binutils/readelf.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/readelf.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/readelf.cpp.o.d"
+  "/root/repo/src/binutils/resolver.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/resolver.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/resolver.cpp.o.d"
+  "/root/repo/src/binutils/uname.cpp" "src/binutils/CMakeFiles/feam_binutils.dir/uname.cpp.o" "gcc" "src/binutils/CMakeFiles/feam_binutils.dir/uname.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/feam_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/feam_site.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

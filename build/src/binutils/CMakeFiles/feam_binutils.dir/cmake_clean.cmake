@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_binutils.dir/file_cmd.cpp.o"
+  "CMakeFiles/feam_binutils.dir/file_cmd.cpp.o.d"
+  "CMakeFiles/feam_binutils.dir/ldd.cpp.o"
+  "CMakeFiles/feam_binutils.dir/ldd.cpp.o.d"
+  "CMakeFiles/feam_binutils.dir/nm.cpp.o"
+  "CMakeFiles/feam_binutils.dir/nm.cpp.o.d"
+  "CMakeFiles/feam_binutils.dir/objdump.cpp.o"
+  "CMakeFiles/feam_binutils.dir/objdump.cpp.o.d"
+  "CMakeFiles/feam_binutils.dir/readelf.cpp.o"
+  "CMakeFiles/feam_binutils.dir/readelf.cpp.o.d"
+  "CMakeFiles/feam_binutils.dir/resolver.cpp.o"
+  "CMakeFiles/feam_binutils.dir/resolver.cpp.o.d"
+  "CMakeFiles/feam_binutils.dir/uname.cpp.o"
+  "CMakeFiles/feam_binutils.dir/uname.cpp.o.d"
+  "libfeam_binutils.a"
+  "libfeam_binutils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_binutils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam.dir/main.cpp.o"
+  "CMakeFiles/feam.dir/main.cpp.o.d"
+  "feam"
+  "feam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_cli_options.dir/options.cpp.o"
+  "CMakeFiles/feam_cli_options.dir/options.cpp.o.d"
+  "libfeam_cli_options.a"
+  "libfeam_cli_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_cli_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

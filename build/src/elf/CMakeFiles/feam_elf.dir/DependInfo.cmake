@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elf/builder.cpp" "src/elf/CMakeFiles/feam_elf.dir/builder.cpp.o" "gcc" "src/elf/CMakeFiles/feam_elf.dir/builder.cpp.o.d"
+  "/root/repo/src/elf/file.cpp" "src/elf/CMakeFiles/feam_elf.dir/file.cpp.o" "gcc" "src/elf/CMakeFiles/feam_elf.dir/file.cpp.o.d"
+  "/root/repo/src/elf/hash.cpp" "src/elf/CMakeFiles/feam_elf.dir/hash.cpp.o" "gcc" "src/elf/CMakeFiles/feam_elf.dir/hash.cpp.o.d"
+  "/root/repo/src/elf/spec.cpp" "src/elf/CMakeFiles/feam_elf.dir/spec.cpp.o" "gcc" "src/elf/CMakeFiles/feam_elf.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

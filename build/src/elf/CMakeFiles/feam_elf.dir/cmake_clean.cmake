@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_elf.dir/builder.cpp.o"
+  "CMakeFiles/feam_elf.dir/builder.cpp.o.d"
+  "CMakeFiles/feam_elf.dir/file.cpp.o"
+  "CMakeFiles/feam_elf.dir/file.cpp.o.d"
+  "CMakeFiles/feam_elf.dir/hash.cpp.o"
+  "CMakeFiles/feam_elf.dir/hash.cpp.o.d"
+  "CMakeFiles/feam_elf.dir/spec.cpp.o"
+  "CMakeFiles/feam_elf.dir/spec.cpp.o.d"
+  "libfeam_elf.a"
+  "libfeam_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/feam_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/feam_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/tables.cpp" "src/eval/CMakeFiles/feam_eval.dir/tables.cpp.o" "gcc" "src/eval/CMakeFiles/feam_eval.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/feam_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/feam_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/binutils/CMakeFiles/feam_binutils.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/feam_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/feam_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/feam/CMakeFiles/feam_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

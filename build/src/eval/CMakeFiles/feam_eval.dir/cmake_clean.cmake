@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_eval.dir/experiment.cpp.o"
+  "CMakeFiles/feam_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/feam_eval.dir/tables.cpp.o"
+  "CMakeFiles/feam_eval.dir/tables.cpp.o.d"
+  "libfeam_eval.a"
+  "libfeam_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feam/bdc.cpp" "src/feam/CMakeFiles/feam_core.dir/bdc.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/bdc.cpp.o.d"
+  "/root/repo/src/feam/bundle.cpp" "src/feam/CMakeFiles/feam_core.dir/bundle.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/bundle.cpp.o.d"
+  "/root/repo/src/feam/bundle_archive.cpp" "src/feam/CMakeFiles/feam_core.dir/bundle_archive.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/bundle_archive.cpp.o.d"
+  "/root/repo/src/feam/config.cpp" "src/feam/CMakeFiles/feam_core.dir/config.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/config.cpp.o.d"
+  "/root/repo/src/feam/description.cpp" "src/feam/CMakeFiles/feam_core.dir/description.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/description.cpp.o.d"
+  "/root/repo/src/feam/edc.cpp" "src/feam/CMakeFiles/feam_core.dir/edc.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/edc.cpp.o.d"
+  "/root/repo/src/feam/identify.cpp" "src/feam/CMakeFiles/feam_core.dir/identify.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/identify.cpp.o.d"
+  "/root/repo/src/feam/phases.cpp" "src/feam/CMakeFiles/feam_core.dir/phases.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/phases.cpp.o.d"
+  "/root/repo/src/feam/report.cpp" "src/feam/CMakeFiles/feam_core.dir/report.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/report.cpp.o.d"
+  "/root/repo/src/feam/survey.cpp" "src/feam/CMakeFiles/feam_core.dir/survey.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/survey.cpp.o.d"
+  "/root/repo/src/feam/tec.cpp" "src/feam/CMakeFiles/feam_core.dir/tec.cpp.o" "gcc" "src/feam/CMakeFiles/feam_core.dir/tec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/feam_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/feam_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/binutils/CMakeFiles/feam_binutils.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/feam_toolchain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_core.dir/bdc.cpp.o"
+  "CMakeFiles/feam_core.dir/bdc.cpp.o.d"
+  "CMakeFiles/feam_core.dir/bundle.cpp.o"
+  "CMakeFiles/feam_core.dir/bundle.cpp.o.d"
+  "CMakeFiles/feam_core.dir/bundle_archive.cpp.o"
+  "CMakeFiles/feam_core.dir/bundle_archive.cpp.o.d"
+  "CMakeFiles/feam_core.dir/config.cpp.o"
+  "CMakeFiles/feam_core.dir/config.cpp.o.d"
+  "CMakeFiles/feam_core.dir/description.cpp.o"
+  "CMakeFiles/feam_core.dir/description.cpp.o.d"
+  "CMakeFiles/feam_core.dir/edc.cpp.o"
+  "CMakeFiles/feam_core.dir/edc.cpp.o.d"
+  "CMakeFiles/feam_core.dir/identify.cpp.o"
+  "CMakeFiles/feam_core.dir/identify.cpp.o.d"
+  "CMakeFiles/feam_core.dir/phases.cpp.o"
+  "CMakeFiles/feam_core.dir/phases.cpp.o.d"
+  "CMakeFiles/feam_core.dir/report.cpp.o"
+  "CMakeFiles/feam_core.dir/report.cpp.o.d"
+  "CMakeFiles/feam_core.dir/survey.cpp.o"
+  "CMakeFiles/feam_core.dir/survey.cpp.o.d"
+  "CMakeFiles/feam_core.dir/tec.cpp.o"
+  "CMakeFiles/feam_core.dir/tec.cpp.o.d"
+  "libfeam_core.a"
+  "libfeam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfeam_core.a"
+)

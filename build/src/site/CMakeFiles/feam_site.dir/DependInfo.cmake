@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/site/batch.cpp" "src/site/CMakeFiles/feam_site.dir/batch.cpp.o" "gcc" "src/site/CMakeFiles/feam_site.dir/batch.cpp.o.d"
+  "/root/repo/src/site/environment.cpp" "src/site/CMakeFiles/feam_site.dir/environment.cpp.o" "gcc" "src/site/CMakeFiles/feam_site.dir/environment.cpp.o.d"
+  "/root/repo/src/site/ids.cpp" "src/site/CMakeFiles/feam_site.dir/ids.cpp.o" "gcc" "src/site/CMakeFiles/feam_site.dir/ids.cpp.o.d"
+  "/root/repo/src/site/site.cpp" "src/site/CMakeFiles/feam_site.dir/site.cpp.o" "gcc" "src/site/CMakeFiles/feam_site.dir/site.cpp.o.d"
+  "/root/repo/src/site/vfs.cpp" "src/site/CMakeFiles/feam_site.dir/vfs.cpp.o" "gcc" "src/site/CMakeFiles/feam_site.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/feam_elf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

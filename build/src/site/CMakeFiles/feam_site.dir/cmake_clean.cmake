@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_site.dir/batch.cpp.o"
+  "CMakeFiles/feam_site.dir/batch.cpp.o.d"
+  "CMakeFiles/feam_site.dir/environment.cpp.o"
+  "CMakeFiles/feam_site.dir/environment.cpp.o.d"
+  "CMakeFiles/feam_site.dir/ids.cpp.o"
+  "CMakeFiles/feam_site.dir/ids.cpp.o.d"
+  "CMakeFiles/feam_site.dir/site.cpp.o"
+  "CMakeFiles/feam_site.dir/site.cpp.o.d"
+  "CMakeFiles/feam_site.dir/vfs.cpp.o"
+  "CMakeFiles/feam_site.dir/vfs.cpp.o.d"
+  "libfeam_site.a"
+  "libfeam_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_support.dir/byte_io.cpp.o"
+  "CMakeFiles/feam_support.dir/byte_io.cpp.o.d"
+  "CMakeFiles/feam_support.dir/json.cpp.o"
+  "CMakeFiles/feam_support.dir/json.cpp.o.d"
+  "CMakeFiles/feam_support.dir/rng.cpp.o"
+  "CMakeFiles/feam_support.dir/rng.cpp.o.d"
+  "CMakeFiles/feam_support.dir/strings.cpp.o"
+  "CMakeFiles/feam_support.dir/strings.cpp.o.d"
+  "CMakeFiles/feam_support.dir/table.cpp.o"
+  "CMakeFiles/feam_support.dir/table.cpp.o.d"
+  "CMakeFiles/feam_support.dir/version.cpp.o"
+  "CMakeFiles/feam_support.dir/version.cpp.o.d"
+  "libfeam_support.a"
+  "libfeam_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

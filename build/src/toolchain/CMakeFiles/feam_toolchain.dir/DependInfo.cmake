@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/compiler.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/compiler.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/compiler.cpp.o.d"
+  "/root/repo/src/toolchain/glibc.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/glibc.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/glibc.cpp.o.d"
+  "/root/repo/src/toolchain/launcher.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/launcher.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/launcher.cpp.o.d"
+  "/root/repo/src/toolchain/linker.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/linker.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/linker.cpp.o.d"
+  "/root/repo/src/toolchain/loader.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/loader.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/loader.cpp.o.d"
+  "/root/repo/src/toolchain/packages.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/packages.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/packages.cpp.o.d"
+  "/root/repo/src/toolchain/provision.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/provision.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/provision.cpp.o.d"
+  "/root/repo/src/toolchain/shell.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/shell.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/shell.cpp.o.d"
+  "/root/repo/src/toolchain/site_spec.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/site_spec.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/site_spec.cpp.o.d"
+  "/root/repo/src/toolchain/testbed.cpp" "src/toolchain/CMakeFiles/feam_toolchain.dir/testbed.cpp.o" "gcc" "src/toolchain/CMakeFiles/feam_toolchain.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/feam_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/feam_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/feam_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/binutils/CMakeFiles/feam_binutils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_toolchain.dir/compiler.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/compiler.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/glibc.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/glibc.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/launcher.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/launcher.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/linker.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/linker.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/loader.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/loader.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/packages.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/packages.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/provision.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/provision.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/shell.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/shell.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/site_spec.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/site_spec.cpp.o.d"
+  "CMakeFiles/feam_toolchain.dir/testbed.cpp.o"
+  "CMakeFiles/feam_toolchain.dir/testbed.cpp.o.d"
+  "libfeam_toolchain.a"
+  "libfeam_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/feam_workloads.dir/benchmarks.cpp.o.d"
+  "libfeam_workloads.a"
+  "libfeam_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binutils_file_cmd_test.dir/binutils/file_cmd_test.cpp.o"
+  "CMakeFiles/binutils_file_cmd_test.dir/binutils/file_cmd_test.cpp.o.d"
+  "binutils_file_cmd_test"
+  "binutils_file_cmd_test.pdb"
+  "binutils_file_cmd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binutils_file_cmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for binutils_file_cmd_test.
+# This may be replaced when dependencies are built.

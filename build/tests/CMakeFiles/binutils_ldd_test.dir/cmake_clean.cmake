@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binutils_ldd_test.dir/binutils/ldd_test.cpp.o"
+  "CMakeFiles/binutils_ldd_test.dir/binutils/ldd_test.cpp.o.d"
+  "binutils_ldd_test"
+  "binutils_ldd_test.pdb"
+  "binutils_ldd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binutils_ldd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binutils_nm_test.dir/binutils/nm_test.cpp.o"
+  "CMakeFiles/binutils_nm_test.dir/binutils/nm_test.cpp.o.d"
+  "binutils_nm_test"
+  "binutils_nm_test.pdb"
+  "binutils_nm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binutils_nm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binutils_objdump_test.dir/binutils/objdump_test.cpp.o"
+  "CMakeFiles/binutils_objdump_test.dir/binutils/objdump_test.cpp.o.d"
+  "binutils_objdump_test"
+  "binutils_objdump_test.pdb"
+  "binutils_objdump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binutils_objdump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binutils_readelf_test.dir/binutils/readelf_test.cpp.o"
+  "CMakeFiles/binutils_readelf_test.dir/binutils/readelf_test.cpp.o.d"
+  "binutils_readelf_test"
+  "binutils_readelf_test.pdb"
+  "binutils_readelf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binutils_readelf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

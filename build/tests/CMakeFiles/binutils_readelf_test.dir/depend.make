@@ -1,0 +1,2 @@
+# Empty dependencies file for binutils_readelf_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binutils_resolver_test.dir/binutils/resolver_test.cpp.o"
+  "CMakeFiles/binutils_resolver_test.dir/binutils/resolver_test.cpp.o.d"
+  "binutils_resolver_test"
+  "binutils_resolver_test.pdb"
+  "binutils_resolver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binutils_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_options_test.dir/cli/options_test.cpp.o"
+  "CMakeFiles/cli_options_test.dir/cli/options_test.cpp.o.d"
+  "cli_options_test"
+  "cli_options_test.pdb"
+  "cli_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

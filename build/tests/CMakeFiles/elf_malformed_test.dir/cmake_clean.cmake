@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elf_malformed_test.dir/elf/malformed_test.cpp.o"
+  "CMakeFiles/elf_malformed_test.dir/elf/malformed_test.cpp.o.d"
+  "elf_malformed_test"
+  "elf_malformed_test.pdb"
+  "elf_malformed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elf_malformed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elf_property_test.dir/elf/property_test.cpp.o"
+  "CMakeFiles/elf_property_test.dir/elf/property_test.cpp.o.d"
+  "elf_property_test"
+  "elf_property_test.pdb"
+  "elf_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

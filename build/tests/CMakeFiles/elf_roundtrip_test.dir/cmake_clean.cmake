@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elf_roundtrip_test.dir/elf/roundtrip_test.cpp.o"
+  "CMakeFiles/elf_roundtrip_test.dir/elf/roundtrip_test.cpp.o.d"
+  "elf_roundtrip_test"
+  "elf_roundtrip_test.pdb"
+  "elf_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elf_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

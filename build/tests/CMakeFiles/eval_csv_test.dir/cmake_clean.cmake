@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_csv_test.dir/eval/csv_test.cpp.o"
+  "CMakeFiles/eval_csv_test.dir/eval/csv_test.cpp.o.d"
+  "eval_csv_test"
+  "eval_csv_test.pdb"
+  "eval_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_seed_sweep_test.dir/eval/seed_sweep_test.cpp.o"
+  "CMakeFiles/eval_seed_sweep_test.dir/eval/seed_sweep_test.cpp.o.d"
+  "eval_seed_sweep_test"
+  "eval_seed_sweep_test.pdb"
+  "eval_seed_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_seed_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

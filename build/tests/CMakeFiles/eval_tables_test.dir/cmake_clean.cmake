@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tables_test.dir/eval/tables_test.cpp.o"
+  "CMakeFiles/eval_tables_test.dir/eval/tables_test.cpp.o.d"
+  "eval_tables_test"
+  "eval_tables_test.pdb"
+  "eval_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_bdc_test.dir/feam/bdc_test.cpp.o"
+  "CMakeFiles/feam_bdc_test.dir/feam/bdc_test.cpp.o.d"
+  "feam_bdc_test"
+  "feam_bdc_test.pdb"
+  "feam_bdc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_bdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

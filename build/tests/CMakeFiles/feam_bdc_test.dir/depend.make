@@ -1,0 +1,2 @@
+# Empty dependencies file for feam_bdc_test.
+# This may be replaced when dependencies are built.

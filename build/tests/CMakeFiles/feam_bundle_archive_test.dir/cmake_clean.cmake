@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_bundle_archive_test.dir/feam/bundle_archive_test.cpp.o"
+  "CMakeFiles/feam_bundle_archive_test.dir/feam/bundle_archive_test.cpp.o.d"
+  "feam_bundle_archive_test"
+  "feam_bundle_archive_test.pdb"
+  "feam_bundle_archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_bundle_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

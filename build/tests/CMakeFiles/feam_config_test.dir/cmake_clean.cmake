@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_config_test.dir/feam/config_test.cpp.o"
+  "CMakeFiles/feam_config_test.dir/feam/config_test.cpp.o.d"
+  "feam_config_test"
+  "feam_config_test.pdb"
+  "feam_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_degraded_site_test.dir/feam/degraded_site_test.cpp.o"
+  "CMakeFiles/feam_degraded_site_test.dir/feam/degraded_site_test.cpp.o.d"
+  "feam_degraded_site_test"
+  "feam_degraded_site_test.pdb"
+  "feam_degraded_site_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_degraded_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

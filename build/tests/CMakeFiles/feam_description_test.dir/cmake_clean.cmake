@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_description_test.dir/feam/description_test.cpp.o"
+  "CMakeFiles/feam_description_test.dir/feam/description_test.cpp.o.d"
+  "feam_description_test"
+  "feam_description_test.pdb"
+  "feam_description_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_description_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

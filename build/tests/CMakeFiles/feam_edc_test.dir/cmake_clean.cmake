@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_edc_test.dir/feam/edc_test.cpp.o"
+  "CMakeFiles/feam_edc_test.dir/feam/edc_test.cpp.o.d"
+  "feam_edc_test"
+  "feam_edc_test.pdb"
+  "feam_edc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_edc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

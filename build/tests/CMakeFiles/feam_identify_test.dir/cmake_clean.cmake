@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_identify_test.dir/feam/identify_test.cpp.o"
+  "CMakeFiles/feam_identify_test.dir/feam/identify_test.cpp.o.d"
+  "feam_identify_test"
+  "feam_identify_test.pdb"
+  "feam_identify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_identify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_phases_test.dir/feam/phases_test.cpp.o"
+  "CMakeFiles/feam_phases_test.dir/feam/phases_test.cpp.o.d"
+  "feam_phases_test"
+  "feam_phases_test.pdb"
+  "feam_phases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_phases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_report_test.dir/feam/report_test.cpp.o"
+  "CMakeFiles/feam_report_test.dir/feam/report_test.cpp.o.d"
+  "feam_report_test"
+  "feam_report_test.pdb"
+  "feam_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_survey_test.dir/feam/survey_test.cpp.o"
+  "CMakeFiles/feam_survey_test.dir/feam/survey_test.cpp.o.d"
+  "feam_survey_test"
+  "feam_survey_test.pdb"
+  "feam_survey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feam_tec_test.dir/feam/tec_test.cpp.o"
+  "CMakeFiles/feam_tec_test.dir/feam/tec_test.cpp.o.d"
+  "feam_tec_test"
+  "feam_tec_test.pdb"
+  "feam_tec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feam_tec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_batch_test.dir/site/batch_test.cpp.o"
+  "CMakeFiles/site_batch_test.dir/site/batch_test.cpp.o.d"
+  "site_batch_test"
+  "site_batch_test.pdb"
+  "site_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

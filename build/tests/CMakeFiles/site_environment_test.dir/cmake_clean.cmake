@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_environment_test.dir/site/environment_test.cpp.o"
+  "CMakeFiles/site_environment_test.dir/site/environment_test.cpp.o.d"
+  "site_environment_test"
+  "site_environment_test.pdb"
+  "site_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_vfs_test.dir/site/vfs_test.cpp.o"
+  "CMakeFiles/site_vfs_test.dir/site/vfs_test.cpp.o.d"
+  "site_vfs_test"
+  "site_vfs_test.pdb"
+  "site_vfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_byte_io_test.dir/support/byte_io_test.cpp.o"
+  "CMakeFiles/support_byte_io_test.dir/support/byte_io_test.cpp.o.d"
+  "support_byte_io_test"
+  "support_byte_io_test.pdb"
+  "support_byte_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_byte_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

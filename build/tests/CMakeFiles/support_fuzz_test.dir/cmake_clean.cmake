@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_fuzz_test.dir/support/fuzz_test.cpp.o"
+  "CMakeFiles/support_fuzz_test.dir/support/fuzz_test.cpp.o.d"
+  "support_fuzz_test"
+  "support_fuzz_test.pdb"
+  "support_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

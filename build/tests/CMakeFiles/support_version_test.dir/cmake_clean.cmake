@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_version_test.dir/support/version_test.cpp.o"
+  "CMakeFiles/support_version_test.dir/support/version_test.cpp.o.d"
+  "support_version_test"
+  "support_version_test.pdb"
+  "support_version_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

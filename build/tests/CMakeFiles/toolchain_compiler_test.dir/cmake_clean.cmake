@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_compiler_test.dir/toolchain/compiler_test.cpp.o"
+  "CMakeFiles/toolchain_compiler_test.dir/toolchain/compiler_test.cpp.o.d"
+  "toolchain_compiler_test"
+  "toolchain_compiler_test.pdb"
+  "toolchain_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_glibc_test.dir/toolchain/glibc_test.cpp.o"
+  "CMakeFiles/toolchain_glibc_test.dir/toolchain/glibc_test.cpp.o.d"
+  "toolchain_glibc_test"
+  "toolchain_glibc_test.pdb"
+  "toolchain_glibc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_glibc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_isa_heterogeneity_test.dir/toolchain/isa_heterogeneity_test.cpp.o"
+  "CMakeFiles/toolchain_isa_heterogeneity_test.dir/toolchain/isa_heterogeneity_test.cpp.o.d"
+  "toolchain_isa_heterogeneity_test"
+  "toolchain_isa_heterogeneity_test.pdb"
+  "toolchain_isa_heterogeneity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_isa_heterogeneity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_launcher_test.dir/toolchain/launcher_test.cpp.o"
+  "CMakeFiles/toolchain_launcher_test.dir/toolchain/launcher_test.cpp.o.d"
+  "toolchain_launcher_test"
+  "toolchain_launcher_test.pdb"
+  "toolchain_launcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_launcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_loader_test.dir/toolchain/loader_test.cpp.o"
+  "CMakeFiles/toolchain_loader_test.dir/toolchain/loader_test.cpp.o.d"
+  "toolchain_loader_test"
+  "toolchain_loader_test.pdb"
+  "toolchain_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

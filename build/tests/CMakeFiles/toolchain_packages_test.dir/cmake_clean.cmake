@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_packages_test.dir/toolchain/packages_test.cpp.o"
+  "CMakeFiles/toolchain_packages_test.dir/toolchain/packages_test.cpp.o.d"
+  "toolchain_packages_test"
+  "toolchain_packages_test.pdb"
+  "toolchain_packages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_packages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

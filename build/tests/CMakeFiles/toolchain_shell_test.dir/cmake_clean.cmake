@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_shell_test.dir/toolchain/shell_test.cpp.o"
+  "CMakeFiles/toolchain_shell_test.dir/toolchain/shell_test.cpp.o.d"
+  "toolchain_shell_test"
+  "toolchain_shell_test.pdb"
+  "toolchain_shell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_shell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

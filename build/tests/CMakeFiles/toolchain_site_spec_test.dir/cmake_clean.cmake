@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_site_spec_test.dir/toolchain/site_spec_test.cpp.o"
+  "CMakeFiles/toolchain_site_spec_test.dir/toolchain/site_spec_test.cpp.o.d"
+  "toolchain_site_spec_test"
+  "toolchain_site_spec_test.pdb"
+  "toolchain_site_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_site_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_static_link_test.dir/toolchain/static_link_test.cpp.o"
+  "CMakeFiles/toolchain_static_link_test.dir/toolchain/static_link_test.cpp.o.d"
+  "toolchain_static_link_test"
+  "toolchain_static_link_test.pdb"
+  "toolchain_static_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_static_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_testbed_test.dir/toolchain/testbed_test.cpp.o"
+  "CMakeFiles/toolchain_testbed_test.dir/toolchain/testbed_test.cpp.o.d"
+  "toolchain_testbed_test"
+  "toolchain_testbed_test.pdb"
+  "toolchain_testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_benchmarks_test.dir/workloads/benchmarks_test.cpp.o"
+  "CMakeFiles/workloads_benchmarks_test.dir/workloads/benchmarks_test.cpp.o.d"
+  "workloads_benchmarks_test"
+  "workloads_benchmarks_test.pdb"
+  "workloads_benchmarks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_benchmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
