@@ -56,7 +56,7 @@ int main() {
               source.value().bundle.libraries.size(),
               source.value().bundle.hello_worlds.size(),
               support::human_size(source.value().bundle.total_bytes()).c_str());
-  for (const auto& line : source.value().log) {
+  for (const auto& line : source.value().render_text()) {
     std::printf("       %s\n", line.c_str());
   }
 

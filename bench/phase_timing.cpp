@@ -17,7 +17,9 @@
 #include "elf/file.hpp"
 #include "feam/bdc.hpp"
 #include "feam/phases.hpp"
+#include "obs/metrics.hpp"
 #include "support/strings.hpp"
+#include "support/table.hpp"
 #include "toolchain/linker.hpp"
 #include "toolchain/testbed.hpp"
 #include "workloads/benchmarks.hpp"
@@ -215,6 +217,33 @@ void report_site_bundle_sizes() {
   std::printf("\n");
 }
 
+// Aggregate latency distributions collected by the obs histograms while
+// the benchmarks above ran — the same steady-clock spans `feam ...
+// --trace-out` exports, so these numbers line up with trace timelines.
+void report_obs_histograms() {
+  static const char* kInteresting[] = {
+      "phase.source_ns",  "phase.target_ns",   "bdc.parse_ns",
+      "edc.discover_ns",  "tec.evaluate_ns",   "tec.resolution_ns",
+      "bundle.pack_ns",   "bundle.unpack_ns",
+  };
+  std::printf("\nPhase latency histograms (obs subsystem; same clock as "
+              "`feam --trace-out` spans):\n");
+  support::TextTable table({"Histogram", "Count", "Mean", "p50", "p95"});
+  const auto us = [](double ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f us", ns / 1000.0);
+    return std::string(buf);
+  };
+  for (const char* name : kInteresting) {
+    obs::Histogram& h = obs::histogram(name);
+    if (h.count() == 0) continue;
+    table.add_row({name, std::to_string(h.count()), us(h.mean()),
+                   us(static_cast<double>(h.percentile(0.50))),
+                   us(static_cast<double>(h.percentile(0.95)))});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +251,7 @@ int main(int argc, char** argv) {
   report_site_bundle_sizes();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  report_obs_histograms();
   std::printf("\nPaper claim: both phases < 5 minutes on 2011-era debug "
               "queues;\nevery phase above runs in milliseconds in this "
               "simulation.\n");

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Smoke check for the feam CLI's observability exports.
+
+Runs the quickstart pipeline (compile -> source -> target) with --trace-out
+and --metrics-out, then validates:
+  * the trace file is valid Chrome trace_event JSON,
+  * it contains the target-phase span and all four determinant spans,
+  * the determinant spans nest (by time containment) inside the phase span,
+  * the metrics file is valid JSON with at least 8 distinct metric names.
+
+Usage: check_trace.py /path/to/feam
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DETERMINANT_SPANS = [
+    "tec.determinant.isa",
+    "tec.determinant.c_library",
+    "tec.determinant.mpi_stack",
+    "tec.determinant.shared_libraries",
+]
+
+
+def run(cmd):
+    print("+", " ".join(str(c) for c in cmd))
+    result = subprocess.run(cmd, capture_output=True, text=True, timeout=90)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        sys.exit(f"FAIL: {' '.join(str(c) for c in cmd)} -> {result.returncode}")
+    return result
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} /path/to/feam")
+    feam = Path(sys.argv[1])
+    if not feam.exists():
+        sys.exit(f"FAIL: no such binary: {feam}")
+
+    with tempfile.TemporaryDirectory(prefix="feam_trace_") as tmp:
+        tmp = Path(tmp)
+        binary = tmp / "cg.B"
+        bundle = tmp / "cg.B.feambundle"
+        trace_file = tmp / "trace.json"
+        metrics_file = tmp / "metrics.json"
+
+        run([feam, "compile", "--site", "india", "--stack", "openmpi/1.4-gnu",
+             "--program", "cg.B", "--language", "fortran", "-o", binary])
+        run([feam, "source", "--site", "india", "--stack", "openmpi/1.4-gnu",
+             "--binary", binary, "-o", bundle])
+        run([feam, "target", "--site", "fir", "--binary", binary,
+             "--bundle", bundle, "--trace-out", trace_file,
+             "--metrics-out", metrics_file])
+
+        trace = json.loads(trace_file.read_text())
+        spans = {}
+        for event in trace["traceEvents"]:
+            if event.get("ph") == "X":
+                spans.setdefault(event["name"], []).append(event)
+        if not spans:
+            sys.exit("FAIL: trace has no complete ('X') span events")
+
+        phase = spans.get("feam.target_phase")
+        if not phase:
+            sys.exit("FAIL: no feam.target_phase span in trace")
+        phase = phase[0]
+        phase_start = phase["ts"]
+        phase_end = phase["ts"] + phase["dur"]
+
+        for name in DETERMINANT_SPANS:
+            if name not in spans:
+                sys.exit(f"FAIL: no {name} span in trace")
+            for span in spans[name]:
+                start, end = span["ts"], span["ts"] + span["dur"]
+                if not (phase_start <= start and end <= phase_end):
+                    sys.exit(
+                        f"FAIL: {name} span [{start}, {end}] not contained "
+                        f"in feam.target_phase [{phase_start}, {phase_end}]")
+
+        metrics = json.loads(metrics_file.read_text())
+        names = list(metrics["counters"]) + list(metrics["histograms"])
+        if len(names) < 8:
+            sys.exit(f"FAIL: expected >= 8 metrics, got {len(names)}: {names}")
+
+        print(f"OK: {sum(len(s) for s in spans.values())} spans "
+              f"({len(spans)} distinct), {len(DETERMINANT_SPANS)} determinant "
+              f"spans nested in feam.target_phase, {len(names)} metrics")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,9 @@
 #include "feam/phases.hpp"
 #include "feam/report.hpp"
 #include "feam/survey.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "toolchain/linker.hpp"
@@ -45,6 +48,78 @@ bool write_host_file(const std::string& path, const support::Bytes& data) {
 
 bool write_host_file(const std::string& path, const std::string& text) {
   return write_host_file(path, support::Bytes(text.begin(), text.end()));
+}
+
+// Applies the observability flags for the whole command and exports the
+// trace/metrics files once the command has run. Construct after parsing,
+// call finish() just before exiting.
+class ObsSession {
+ public:
+  explicit ObsSession(const Options& opts)
+      : trace_out_(opts.trace_out), metrics_out_(opts.metrics_out) {
+    if (const auto level = obs::parse_level(opts.log_level)) {
+      obs::set_log_level(*level);
+    }
+    // Spans/events are only retained when something will consume them.
+    if (!trace_out_.empty()) obs::collector().set_enabled(true);
+  }
+
+  // Returns the command's exit code, or an I/O failure code if an export
+  // could not be written.
+  int finish(int rc) {
+    int obs_rc = 0;
+    if (!trace_out_.empty()) {
+      const std::string trace = obs::render_chrome_trace(
+          obs::collector().spans(), obs::collector().events());
+      if (write_host_file(trace_out_, trace)) {
+        std::fprintf(stderr, "feam: trace written to %s (%zu spans)\n",
+                     trace_out_.c_str(), obs::collector().spans().size());
+      } else {
+        std::fprintf(stderr, "feam: cannot write %s\n", trace_out_.c_str());
+        obs_rc = 1;
+      }
+    }
+    if (!metrics_out_.empty()) {
+      if (write_host_file(metrics_out_,
+                          obs::render_metrics_json(obs::metrics()))) {
+        std::fprintf(stderr, "feam: metrics written to %s\n",
+                     metrics_out_.c_str());
+      } else {
+        std::fprintf(stderr, "feam: cannot write %s\n", metrics_out_.c_str());
+        obs_rc = 1;
+      }
+    }
+    return rc != 0 ? rc : obs_rc;
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
+// Loads the bundle archive named by --bundle (if any) into `travelled` and
+// returns a pointer to it for run_target_phase / survey_sites — nullptr for
+// the basic (bundle-less) prediction. Sets `failed` when the file cannot be
+// read or parsed.
+const feam::SourcePhaseOutput* load_travelled_bundle(
+    const Options& opts, SourcePhaseOutput& travelled, bool& failed) {
+  failed = false;
+  if (opts.bundle.empty()) return nullptr;
+  const auto archive = read_host_file(opts.bundle);
+  if (!archive) {
+    std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
+    failed = true;
+    return nullptr;
+  }
+  auto unpacked = unpack_bundle(*archive);
+  if (!unpacked.ok()) {
+    std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
+    failed = true;
+    return nullptr;
+  }
+  travelled.application = unpacked.value().application;
+  travelled.bundle = std::move(unpacked).take();
+  return &travelled;
 }
 
 // Builds the site a command addresses: a built-in testbed site by name, or
@@ -120,6 +195,11 @@ int compile(const Options& opts) {
     return 1;
   }
   const auto* bytes = s->vfs.read(compiled.value());
+  if (bytes == nullptr) {
+    std::fprintf(stderr, "feam: compiler produced no output at %s\n",
+                 compiled.value().c_str());
+    return 1;
+  }
   if (!write_host_file(opts.output, *bytes)) {
     std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
     return 1;
@@ -153,7 +233,9 @@ int source_phase(const Options& opts) {
                  out.error().c_str());
     return 1;
   }
-  for (const auto& line : out.value().log) std::printf("%s\n", line.c_str());
+  for (const auto& line : out.value().render_text()) {
+    std::printf("%s\n", line.c_str());
+  }
   const auto archive = pack_bundle(out.value().bundle);
   if (!write_host_file(opts.output, archive)) {
     std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
@@ -179,22 +261,10 @@ int target_phase(const Options& opts) {
   s->vfs.write_file(vfs_path, *binary);
 
   SourcePhaseOutput travelled;
-  const SourcePhaseOutput* source = nullptr;
-  if (!opts.bundle.empty()) {
-    const auto archive = read_host_file(opts.bundle);
-    if (!archive) {
-      std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
-      return 1;
-    }
-    auto unpacked = unpack_bundle(*archive);
-    if (!unpacked.ok()) {
-      std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
-      return 1;
-    }
-    travelled.application = unpacked.value().application;
-    travelled.bundle = std::move(unpacked).take();
-    source = &travelled;
-  }
+  bool bundle_failed = false;
+  const SourcePhaseOutput* source =
+      load_travelled_bundle(opts, travelled, bundle_failed);
+  if (bundle_failed) return 1;
 
   const auto result = run_target_phase(*s, vfs_path, source);
   if (!result.ok()) {
@@ -253,22 +323,10 @@ int exec_command(const Options& opts) {
   s->vfs.write_file(vfs_path, *binary);
 
   SourcePhaseOutput travelled;
-  const SourcePhaseOutput* source = nullptr;
-  if (!opts.bundle.empty()) {
-    const auto archive = read_host_file(opts.bundle);
-    if (!archive) {
-      std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
-      return 1;
-    }
-    auto unpacked = unpack_bundle(*archive);
-    if (!unpacked.ok()) {
-      std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
-      return 1;
-    }
-    travelled.application = unpacked.value().application;
-    travelled.bundle = std::move(unpacked).take();
-    source = &travelled;
-  }
+  bool bundle_failed = false;
+  const SourcePhaseOutput* source =
+      load_travelled_bundle(opts, travelled, bundle_failed);
+  if (bundle_failed) return 1;
 
   const auto result = run_target_phase(*s, vfs_path, source);
   if (!result.ok()) {
@@ -310,22 +368,10 @@ int survey(const Options& opts) {
     return 1;
   }
   SourcePhaseOutput travelled;
-  const SourcePhaseOutput* source = nullptr;
-  if (!opts.bundle.empty()) {
-    const auto archive = read_host_file(opts.bundle);
-    if (!archive) {
-      std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
-      return 1;
-    }
-    auto unpacked = unpack_bundle(*archive);
-    if (!unpacked.ok()) {
-      std::fprintf(stderr, "feam: bad bundle: %s\n", unpacked.error().c_str());
-      return 1;
-    }
-    travelled.application = unpacked.value().application;
-    travelled.bundle = std::move(unpacked).take();
-    source = &travelled;
-  }
+  bool bundle_failed = false;
+  const SourcePhaseOutput* source =
+      load_travelled_bundle(opts, travelled, bundle_failed);
+  if (bundle_failed) return 1;
 
   std::vector<std::unique_ptr<site::Site>> owned;
   std::vector<site::Site*> sites;
@@ -355,27 +401,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "feam: %s\n%s", error.c_str(), usage().c_str());
     return 64;  // EX_USAGE
   }
+  ObsSession obs_session(*opts);
+  int rc = 0;
   try {
     switch (opts->command) {
       case Command::kHelp:
         std::printf("%s", usage().c_str());
-        return 0;
+        break;
       case Command::kListSites:
-        return list_sites();
+        rc = list_sites();
+        break;
       case Command::kCompile:
-        return compile(*opts);
+        rc = compile(*opts);
+        break;
       case Command::kSource:
-        return source_phase(*opts);
+        rc = source_phase(*opts);
+        break;
       case Command::kTarget:
-        return target_phase(*opts);
+        rc = target_phase(*opts);
+        break;
       case Command::kSurvey:
-        return survey(*opts);
+        rc = survey(*opts);
+        break;
       case Command::kExec:
-        return exec_command(*opts);
+        rc = exec_command(*opts);
+        break;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "feam: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return 0;
+  return obs_session.finish(rc);
 }

@@ -35,6 +35,14 @@ usage:
   Every command taking --site also accepts --site-file SPEC.json: a
   user-defined site description (see toolchain/site_spec.hpp for the
   schema), built and provisioned on the fly.
+
+  Observability flags, accepted by every command:
+    --log-level LEVEL     Echo structured events at or above LEVEL to
+                          stderr (debug|info|warn|error|none; default none).
+    --trace-out FILE      Write a Chrome trace_event JSON file (load in
+                          about:tracing or Perfetto) with one span per FEAM
+                          phase, determinant check, and toolchain step.
+    --metrics-out FILE    Write counters and latency histograms as JSON.
 )";
 }
 
@@ -91,6 +99,9 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     else if (flag == "-o" || flag == "--output") opts.output = *v;
     else if (flag == "--script") opts.script = *v;
     else if (flag == "--report") opts.report = *v;
+    else if (flag == "--log-level") opts.log_level = *v;
+    else if (flag == "--trace-out") opts.trace_out = *v;
+    else if (flag == "--metrics-out") opts.metrics_out = *v;
     else {
       error = "unknown flag: " + flag;
       return std::nullopt;
@@ -103,6 +114,12 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     return condition;
   };
   bool ok = true;
+  if (opts.log_level != "debug" && opts.log_level != "info" &&
+      opts.log_level != "warn" && opts.log_level != "error" &&
+      opts.log_level != "none") {
+    error = "--log-level must be debug, info, warn, error, or none";
+    return std::nullopt;
+  }
   switch (opts.command) {
     case Command::kCompile:
       ok = require(!opts.site.empty() || !opts.site_file.empty(),

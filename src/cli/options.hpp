@@ -34,6 +34,10 @@ struct Options {
   std::string output;    // host path (output)
   std::string script;    // host path to write the configuration script to
   std::string report;    // host path to write the full report to
+  // Observability (accepted by every command):
+  std::string log_level = "none";  // debug|info|warn|error|none
+  std::string trace_out;    // host path for a Chrome trace_event JSON file
+  std::string metrics_out;  // host path for a metrics JSON file
 };
 
 // Parses argv (excluding argv[0]); on error returns nullopt and fills

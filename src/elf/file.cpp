@@ -4,6 +4,7 @@
 #include <map>
 
 #include "elf/constants.hpp"
+#include "obs/metrics.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 
@@ -68,6 +69,8 @@ bool looks_like_elf(const Bytes& data) {
 }
 
 Result<ElfFile> ElfFile::parse(const Bytes& data) {
+  obs::counter("elf.images_parsed").add();
+  obs::counter("elf.bytes_read").add(data.size());
   const auto fail = [](std::string msg) { return Result<ElfFile>::failure(std::move(msg)); };
 
   if (!looks_like_elf(data)) return fail("not an ELF file (bad magic)");

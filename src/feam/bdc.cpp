@@ -6,6 +6,8 @@
 #include "binutils/objdump.hpp"
 #include "binutils/readelf.hpp"
 #include "feam/identify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "toolchain/glibc.hpp"
 
@@ -36,6 +38,10 @@ void parse_compiler_comment(const std::string& comment,
 support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
                                                  std::string_view path) {
   using R = support::Result<BinaryDescription>;
+
+  obs::Span span("bdc.describe", {{"path", std::string(path)}});
+  obs::ScopedTimer timer(obs::histogram("bdc.parse_ns"));
+  obs::counter("bdc.describe_calls").add();
 
   const auto dump = binutils::objdump_p(s.vfs, path);
   if (!dump.ok()) {
@@ -107,6 +113,8 @@ std::vector<std::pair<std::string, std::optional<std::string>>>
 Bdc::locate_libraries(const site::Site& s, std::string_view path,
                       const std::vector<std::string>& needed,
                       std::string_view hello_world_path) {
+  obs::ScopedTimer timer(obs::histogram("bdc.locate_ns"));
+  obs::counter("bdc.locate_calls").add();
   std::vector<std::pair<std::string, std::optional<std::string>>> out;
   for (const auto& name : needed) out.emplace_back(name, std::nullopt);
 

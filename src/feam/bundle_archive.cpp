@@ -1,5 +1,7 @@
 #include "feam/bundle_archive.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/json.hpp"
 
 namespace feam {
@@ -17,6 +19,12 @@ constexpr std::uint32_t kVersion = 1;
 }  // namespace
 
 support::Bytes pack_bundle(const Bundle& bundle) {
+  obs::Span span("bundle.pack",
+                 {{"libraries", std::to_string(bundle.libraries.size())},
+                  {"hello_worlds",
+                   std::to_string(bundle.hello_worlds.size())}});
+  obs::ScopedTimer timer(obs::histogram("bundle.pack_ns"));
+
   // Manifest: the standard bundle manifest plus the environment facts the
   // target side may want to display.
   support::Json manifest = bundle.manifest();
@@ -44,11 +52,22 @@ support::Bytes pack_bundle(const Bundle& bundle) {
   };
   for (const auto& lib : bundle.libraries) entry(lib.name, lib.content);
   for (const auto& hw : bundle.hello_worlds) entry(hw.name, hw.content);
-  return w.take();
+  support::Bytes archive = w.take();
+  span.add_field("bytes", std::to_string(archive.size()));
+  obs::counter("bundle.pack_bytes").add(archive.size());
+  obs::emit(obs::Level::kDebug, "bundle.pack",
+            "packed bundle: " + std::to_string(archive.size()) + " bytes",
+            {{"bytes", std::to_string(archive.size())},
+             {"libraries", std::to_string(bundle.libraries.size())}});
+  return archive;
 }
 
 support::Result<Bundle> unpack_bundle(const support::Bytes& archive) {
   using R = support::Result<Bundle>;
+  obs::Span span("bundle.unpack",
+                 {{"bytes", std::to_string(archive.size())}});
+  obs::ScopedTimer timer(obs::histogram("bundle.unpack_ns"));
+  obs::counter("bundle.unpack_bytes").add(archive.size());
   ByteReader r(archive, Endian::kLittle);
 
   // Magic + version.

@@ -4,6 +4,8 @@
 
 #include "binutils/objdump.hpp"
 #include "binutils/uname.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "toolchain/glibc.hpp"
 #include "toolchain/launcher.hpp"
@@ -183,6 +185,10 @@ std::vector<const DiscoveredStack*> EnvironmentDescription::stacks_of(
 }
 
 EnvironmentDescription Edc::discover(const site::Site& s) {
+  obs::Span span("edc.discover", {{"site", s.name}});
+  obs::ScopedTimer timer(obs::histogram("edc.discover_ns"));
+  obs::counter("edc.discover_calls").add();
+
   EnvironmentDescription env;
 
   env.isa = binutils::uname_p(s);
@@ -256,6 +262,7 @@ EnvironmentDescription Edc::discover(const site::Site& s) {
       if (dir == stack.prefix + "/lib") stack.currently_loaded = true;
     }
   }
+  span.add_field("stacks", std::to_string(env.stacks.size()));
   return env;
 }
 

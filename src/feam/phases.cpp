@@ -3,6 +3,8 @@
 #include <set>
 
 #include "feam/bdc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "toolchain/linker.hpp"
 
@@ -18,12 +20,38 @@ bool never_copy(std::string_view name) {
          support::starts_with(name, "ld-linux");
 }
 
+// Appends a structured event to the phase output and mirrors it to the
+// process-wide collector (trace files show the same trail the user sees).
+void note(SourcePhaseOutput& out, obs::Level level, std::string name,
+          std::string message, obs::Fields fields = {}) {
+  obs::Event event;
+  event.level = level;
+  event.name = std::move(name);
+  event.message = std::move(message);
+  event.fields = std::move(fields);
+  obs::emit(event);
+  out.events.push_back(std::move(event));
+}
+
 }  // namespace
+
+std::vector<std::string> SourcePhaseOutput::render_text() const {
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (const auto& event : events) lines.push_back(event.message);
+  return lines;
+}
 
 support::Result<SourcePhaseOutput> run_source_phase(
     site::Site& guaranteed, std::string_view binary_path,
     const FeamConfig& config) {
   using R = support::Result<SourcePhaseOutput>;
+
+  obs::Span phase_span("feam.source_phase",
+                       {{"site", guaranteed.name},
+                        {"binary", std::string(binary_path)}});
+  obs::ScopedTimer phase_timer(obs::histogram("phase.source_ns"));
+  obs::counter("phase.source_runs").add();
 
   SourcePhaseOutput out;
   auto described = Bdc::describe(guaranteed, binary_path);
@@ -41,15 +69,19 @@ support::Result<SourcePhaseOutput> run_source_phase(
   }
   if (out.application.mpi_impl) {
     if (selected == nullptr) {
-      out.log.push_back("warning: no MPI stack selected in this shell");
+      note(out, obs::Level::kWarn, "source.stack_check",
+           "warning: no MPI stack selected in this shell");
     } else if (selected->impl != out.application.mpi_impl) {
-      out.log.push_back(
-          "warning: selected stack (" + selected->display() +
-          ") does not match the binary's implementation (" +
-          site::mpi_impl_name(*out.application.mpi_impl) + ")");
+      note(out, obs::Level::kWarn, "source.stack_check",
+           "warning: selected stack (" + selected->display() +
+               ") does not match the binary's implementation (" +
+               site::mpi_impl_name(*out.application.mpi_impl) + ")",
+           {{"selected", selected->display()},
+            {"binary_impl", site::mpi_impl_name(*out.application.mpi_impl)}});
     } else {
-      out.log.push_back("selected stack matches binary: " +
-                        selected->display());
+      note(out, obs::Level::kInfo, "source.stack_check",
+           "selected stack matches binary: " + selected->display(),
+           {{"selected", selected->display()}});
     }
   }
 
@@ -66,6 +98,7 @@ support::Result<SourcePhaseOutput> run_source_phase(
   }
   std::string hello_world_path;
   if (selected_install != nullptr) {
+    obs::Span hw_span("source.compile_hello_worlds");
     for (const auto lang :
          {toolchain::Language::kC, toolchain::Language::kFortran}) {
       const auto program = toolchain::mpi_hello_world(lang);
@@ -73,9 +106,10 @@ support::Result<SourcePhaseOutput> run_source_phase(
       const auto compiled = toolchain::compile_mpi_program(
           guaranteed, program, *selected_install, path);
       if (!compiled.ok()) {
-        out.log.push_back("hello world (" +
-                          std::string(toolchain::language_name(lang)) +
-                          ") did not compile: " + compiled.error());
+        note(out, obs::Level::kWarn, "source.hello_world",
+             "hello world (" + std::string(toolchain::language_name(lang)) +
+                 ") did not compile: " + compiled.error(),
+             {{"language", std::string(toolchain::language_name(lang))}});
         continue;
       }
       if (const auto* bytes = guaranteed.vfs.read(path)) {
@@ -83,41 +117,54 @@ support::Result<SourcePhaseOutput> run_source_phase(
       }
       if (hello_world_path.empty()) hello_world_path = path;
     }
+    hw_span.add_field("compiled",
+                      std::to_string(out.bundle.hello_worlds.size()));
   }
 
   // Gather copies and descriptions of the transitive library closure.
-  std::set<std::string> visited;
-  std::vector<std::string> queue = out.application.required_libraries;
-  std::string current_path(binary_path);
-  while (!queue.empty()) {
-    const std::string name = queue.back();
-    queue.pop_back();
-    if (!visited.insert(name).second) continue;
-    if (never_copy(name)) continue;
+  {
+    obs::Span gather_span("source.gather_libraries");
+    std::set<std::string> visited;
+    std::vector<std::string> queue = out.application.required_libraries;
+    std::string current_path(binary_path);
+    while (!queue.empty()) {
+      const std::string name = queue.back();
+      queue.pop_back();
+      if (!visited.insert(name).second) continue;
+      if (never_copy(name)) continue;
 
-    const auto located =
-        Bdc::locate_libraries(guaranteed, current_path, {name}, hello_world_path);
-    if (located.empty() || !located.front().second) {
-      out.log.push_back("could not locate " + name + " for copying");
-      continue;
+      const auto located = Bdc::locate_libraries(guaranteed, current_path,
+                                                 {name}, hello_world_path);
+      if (located.empty() || !located.front().second) {
+        note(out, obs::Level::kWarn, "source.gather",
+             "could not locate " + name + " for copying",
+             {{"library", name}});
+        continue;
+      }
+      const std::string& lib_path = *located.front().second;
+      const support::Bytes* content = guaranteed.vfs.read(lib_path);
+      if (content == nullptr) {
+        note(out, obs::Level::kWarn, "source.gather",
+             "could not read " + lib_path, {{"path", lib_path}});
+        continue;
+      }
+      auto lib_desc = Bdc::describe(guaranteed, lib_path);
+      if (!lib_desc.ok()) {
+        note(out, obs::Level::kWarn, "source.gather",
+             "could not describe " + lib_path + ": " + lib_desc.error(),
+             {{"path", lib_path}});
+        continue;
+      }
+      for (const auto& dep : lib_desc.value().required_libraries) {
+        queue.push_back(dep);
+      }
+      out.bundle.libraries.push_back(
+          {name, lib_path, *content, std::move(lib_desc).take()});
     }
-    const std::string& lib_path = *located.front().second;
-    const support::Bytes* content = guaranteed.vfs.read(lib_path);
-    if (content == nullptr) {
-      out.log.push_back("could not read " + lib_path);
-      continue;
-    }
-    auto lib_desc = Bdc::describe(guaranteed, lib_path);
-    if (!lib_desc.ok()) {
-      out.log.push_back("could not describe " + lib_path + ": " +
-                        lib_desc.error());
-      continue;
-    }
-    for (const auto& dep : lib_desc.value().required_libraries) {
-      queue.push_back(dep);
-    }
-    out.bundle.libraries.push_back(
-        {name, lib_path, *content, std::move(lib_desc).take()});
+    gather_span.add_field("libraries",
+                          std::to_string(out.bundle.libraries.size()));
+    obs::counter("source.libraries_gathered")
+        .add(out.bundle.libraries.size());
   }
 
   // Remove the scratch hello-world binaries now that gathering is done.
@@ -127,8 +174,11 @@ support::Result<SourcePhaseOutput> run_source_phase(
                           toolchain::mpi_hello_world(lang).name);
   }
 
-  out.log.push_back("bundle size: " +
-                    support::human_size(out.bundle.total_bytes()));
+  note(out, obs::Level::kInfo, "source.bundle",
+       "bundle size: " + support::human_size(out.bundle.total_bytes()),
+       {{"bytes", std::to_string(out.bundle.total_bytes())},
+        {"libraries", std::to_string(out.bundle.libraries.size())},
+        {"hello_worlds", std::to_string(out.bundle.hello_worlds.size())}});
   (void)config;
   return out;
 }
@@ -138,6 +188,13 @@ support::Result<TargetPhaseOutput> run_target_phase(
     const SourcePhaseOutput* source, const FeamConfig& config,
     const TecOptions& tec_options) {
   using R = support::Result<TargetPhaseOutput>;
+
+  obs::Span phase_span("feam.target_phase",
+                       {{"site", target.name},
+                        {"binary", std::string(binary_path)},
+                        {"mode", source != nullptr ? "extended" : "basic"}});
+  obs::ScopedTimer phase_timer(obs::histogram("phase.target_ns"));
+  obs::counter("phase.target_runs").add();
 
   TargetPhaseOutput out;
   if (!binary_path.empty() && target.vfs.is_file(binary_path)) {
@@ -161,6 +218,7 @@ support::Result<TargetPhaseOutput> run_target_phase(
   out.prediction = Tec::evaluate(target, out.application, binary_path,
                                  source != nullptr ? &source->bundle : nullptr,
                                  opts);
+  phase_span.add_field("ready", out.prediction.ready ? "true" : "false");
   return out;
 }
 

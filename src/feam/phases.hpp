@@ -18,6 +18,7 @@
 #include "feam/bundle.hpp"
 #include "feam/config.hpp"
 #include "feam/tec.hpp"
+#include "obs/event.hpp"
 #include "site/site.hpp"
 #include "support/result.hpp"
 
@@ -33,7 +34,15 @@ struct SourcePhaseOutput {
   BinaryDescription application;
   EnvironmentDescription environment;
   Bundle bundle;
-  std::vector<std::string> log;
+
+  // Structured record of what the phase observed and decided (stack-match
+  // confirmation, gather failures, bundle size). Each event also reaches
+  // the process-wide obs collector when tracing is enabled.
+  std::vector<obs::Event> events;
+
+  // Text bridge: the events' human-readable messages, one line each —
+  // what the CLI prints (and what `log` used to hold).
+  std::vector<std::string> render_text() const;
 };
 
 // Runs the source phase at a guaranteed execution environment for the

@@ -117,9 +117,9 @@ std::string render_source_report(const SourcePhaseOutput& output) {
          "\n";
   out += "bundle size: " + support::human_size(output.bundle.total_bytes()) +
          "\n";
-  if (!output.log.empty()) {
+  if (!output.events.empty()) {
     out += "\nlog:\n";
-    for (const auto& line : output.log) out += "  " + line + "\n";
+    for (const auto& line : output.render_text()) out += "  " + line + "\n";
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/table.hpp"
 
 namespace feam {
@@ -34,7 +36,12 @@ SurveyReport survey_sites(std::vector<site::Site*> sites,
                           const SourcePhaseOutput* source,
                           const FeamConfig& config) {
   SurveyReport report;
+  obs::Span survey_span("feam.survey",
+                        {{"binary", std::string(binary_name)},
+                         {"sites", std::to_string(sites.size())}});
   for (site::Site* s : sites) {
+    obs::Span site_span("survey.site", {{"site", s->name}});
+    obs::counter("survey.sites_assessed").add();
     const std::string path = "/home/user/" + std::string(binary_name);
     s->vfs.write_file(path, binary_bytes);
     const auto result = run_target_phase(*s, path, source, config);
@@ -70,6 +77,13 @@ SurveyReport survey_sites(std::vector<site::Site*> sites,
     // Leave the site as found.
     s->vfs.remove(path);
     for (const auto& dir : entry.prediction.resolution_dirs) s->vfs.remove(dir);
+    site_span.add_field("ready", entry.ready ? "true" : "false");
+    obs::emit(obs::Level::kInfo, "survey.verdict",
+              entry.site_name + ": " + (entry.ready ? "ready" : "not ready"),
+              {{"site", entry.site_name},
+               {"ready", entry.ready ? "true" : "false"},
+               {"blocking", entry.blocking_determinant},
+               {"reason", entry.reason}});
     report.entries.push_back(std::move(entry));
   }
 

@@ -5,6 +5,8 @@
 
 #include "binutils/resolver.hpp"
 #include "feam/bdc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "toolchain/launcher.hpp"
 #include "toolchain/linker.hpp"
@@ -118,6 +120,8 @@ std::vector<std::pair<std::string, std::string>> activate_stack(
 std::optional<bool> native_hello_test(site::Site& s,
                                       const DiscoveredStack& stack, int ranks,
                                       std::string_view nonce) {
+  obs::Span span("tec.usability.native", {{"stack", stack.id}});
+  obs::counter("tec.usability_tests").add();
   const site::MpiStackInstall* install = nullptr;
   for (const auto& candidate : s.stacks) {
     if (candidate.prefix == stack.prefix) install = &candidate;
@@ -141,6 +145,8 @@ std::optional<bool> native_hello_test(site::Site& s,
 bool bundle_hello_test(site::Site& s, const Bundle& bundle, bool app_is_fortran,
                        const std::vector<std::string>& extra_dirs, int ranks,
                        std::string_view nonce, std::vector<std::string>& log) {
+  obs::Span span("tec.usability.bundle_hello");
+  obs::counter("tec.usability_tests").add();
   bool all_ok = true;
   for (const auto& hw : bundle.hello_worlds) {
     if (hw.language == toolchain::Language::kFortran && !app_is_fortran) {
@@ -230,8 +236,14 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
                                  const EnvironmentDescription& env,
                                  const TecOptions& opts,
                                  std::vector<std::string>& log) {
+  // The shared-library determinant's workhorse: one span per evaluation,
+  // under whichever candidate stack is active.
+  obs::Span span("tec.determinant.shared_libraries");
+  obs::ScopedTimer timer(obs::histogram("tec.resolution_ns"));
   ResolutionOutcome out;
   out.missing = compute_missing(s, app, binary_path, bundle, bits);
+  span.add_field("missing", std::to_string(out.missing.size()));
+  obs::counter("resolution.libraries_missing").add(out.missing.size());
   if (out.missing.empty() || bundle == nullptr || !opts.apply_resolution) {
     out.unresolved = out.missing;
     if (bundle == nullptr || !opts.apply_resolution) return out;
@@ -275,6 +287,8 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
         continue;
       }
       s.vfs.write_file(site::Vfs::join(out.dir, name), copy->content);
+      obs::counter("resolution.libraries_copied").add();
+      obs::counter("resolution.bytes_copied").add(copy->content.size());
       installed.insert(name);
       // Recursively resolve the copy's own requirements (paper IV).
       for (const auto& dep : copy->description.required_libraries) {
@@ -322,6 +336,8 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
     s.vfs.remove(out.dir);
     out.dir.clear();
   }
+  span.add_field("resolved", std::to_string(out.resolved.size()));
+  span.add_field("unresolved", std::to_string(out.unresolved.size()));
   return out;
 }
 
@@ -371,39 +387,76 @@ const DeterminantResult* Prediction::determinant(DeterminantKind kind) const {
   return nullptr;
 }
 
+namespace {
+
+// Verdict bookkeeping shared by every determinant: one counter tick per
+// check and one structured event per verdict with the detail fields.
+void record_verdict(const DeterminantResult& d) {
+  obs::counter("tec.determinant_checks").add();
+  obs::emit(d.evaluated && !d.compatible ? obs::Level::kWarn
+                                         : obs::Level::kInfo,
+            "tec.verdict",
+            std::string(determinant_name(d.kind)) + ": " +
+                (!d.evaluated ? "skipped"
+                 : d.compatible ? "compatible"
+                                : "incompatible"),
+            {{"determinant", determinant_name(d.kind)},
+             {"evaluated", d.evaluated ? "true" : "false"},
+             {"compatible", d.compatible ? "true" : "false"},
+             {"detail", d.detail}});
+}
+
+}  // namespace
+
 Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
                          std::string_view binary_path, const Bundle* bundle,
                          const TecOptions& opts) {
+  obs::Span eval_span("tec.evaluate", {{"site", target.name},
+                                       {"binary", app.path},
+                                       {"mode", bundle != nullptr
+                                                    ? "extended"
+                                                    : "basic"}});
+  obs::ScopedTimer eval_timer(obs::histogram("tec.evaluate_ns"));
+
   Prediction p;
   const EnvironmentDescription env = Edc::discover(target);
 
   // --- Determinant 1: ISA.
   DeterminantResult isa{DeterminantKind::kIsa, true, false, ""};
-  const auto app_isa = isa_from_file_format(app.file_format);
-  const auto host_isa = isa_from_uname(env.isa);
-  if (app_isa && host_isa && app_isa->family == host_isa->family &&
-      app_isa->bits <= host_isa->bits) {
-    isa.compatible = true;
-    isa.detail = app.file_format + " runs on " + env.isa;
-  } else {
-    isa.detail = "binary is " + app.file_format + ", site is " + env.isa;
+  {
+    obs::Span span("tec.determinant.isa");
+    const auto app_isa = isa_from_file_format(app.file_format);
+    const auto host_isa = isa_from_uname(env.isa);
+    if (app_isa && host_isa && app_isa->family == host_isa->family &&
+        app_isa->bits <= host_isa->bits) {
+      isa.compatible = true;
+      isa.detail = app.file_format + " runs on " + env.isa;
+    } else {
+      isa.detail = "binary is " + app.file_format + ", site is " + env.isa;
+    }
   }
+  record_verdict(isa);
   p.determinants.push_back(isa);
 
   // --- Determinant 2: C library.
   DeterminantResult clib{DeterminantKind::kCLibrary, true, false, ""};
-  if (!app.required_clib_version) {
-    clib.compatible = true;
-    clib.detail = "binary has no versioned C library requirements";
-  } else if (env.clib_version && *env.clib_version >= *app.required_clib_version) {
-    clib.compatible = true;
-    clib.detail = "requires glibc " + app.required_clib_version->str() +
-                  ", site has " + env.clib_version->str();
-  } else {
-    clib.detail = "requires glibc " + app.required_clib_version->str() +
-                  ", site has " +
-                  (env.clib_version ? env.clib_version->str() : "unknown");
+  {
+    obs::Span span("tec.determinant.c_library");
+    if (!app.required_clib_version) {
+      clib.compatible = true;
+      clib.detail = "binary has no versioned C library requirements";
+    } else if (env.clib_version &&
+               *env.clib_version >= *app.required_clib_version) {
+      clib.compatible = true;
+      clib.detail = "requires glibc " + app.required_clib_version->str() +
+                    ", site has " + env.clib_version->str();
+    } else {
+      clib.detail = "requires glibc " + app.required_clib_version->str() +
+                    ", site has " +
+                    (env.clib_version ? env.clib_version->str() : "unknown");
+    }
   }
+  record_verdict(clib);
   p.determinants.push_back(clib);
 
   // Paper V.C: only proceed to the expensive determinants when ISA and C
@@ -413,10 +466,14 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
                               "not evaluated (earlier determinant failed)"});
     p.determinants.push_back({DeterminantKind::kSharedLibraries, false, false,
                               "not evaluated (earlier determinant failed)"});
+    record_verdict(p.determinants[2]);
+    record_verdict(p.determinants[3]);
     p.ready = false;
     p.log.push_back("prediction: NOT READY (" +
                     std::string(!isa.compatible ? "ISA" : "C library") +
                     " incompatible)");
+    obs::emit(obs::Level::kInfo, "tec.prediction", p.log.back(),
+              {{"ready", "false"}, {"site", target.name}});
     return p;
   }
 
@@ -437,8 +494,11 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
 
   if (!app.mpi_impl) {
     // Serial binary: MPI determinant is vacuously satisfied.
-    mpi.compatible = true;
-    mpi.detail = "not an MPI application";
+    {
+      obs::Span span("tec.determinant.mpi_stack");
+      mpi.compatible = true;
+      mpi.detail = "not an MPI application";
+    }
     EnvGuard guard(target);
     const auto outcome = run_resolution(target, app, binary_path, bundle,
                                         app.bits, env, opts, p.log);
@@ -452,6 +512,8 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
                       : support::join(outcome.unresolved, ", ") + " missing";
     guard.restore();
   } else {
+    obs::Span mpi_span("tec.determinant.mpi_stack",
+                       {{"impl", site::mpi_impl_name(*app.mpi_impl)}});
     const auto candidates = env.stacks_of(*app.mpi_impl);
     if (candidates.empty()) {
       mpi.detail = std::string("no ") + site::mpi_impl_name(*app.mpi_impl) +
@@ -575,6 +637,8 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
     }
   }
 
+  record_verdict(mpi);
+  record_verdict(libs);
   p.determinants.push_back(mpi);
   p.determinants.push_back(libs);
   p.ready = std::all_of(p.determinants.begin(), p.determinants.end(),
@@ -590,6 +654,11 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
   }
   p.log.push_back(std::string("prediction: ") +
                   (p.ready ? "READY" : "NOT READY"));
+  eval_span.add_field("ready", p.ready ? "true" : "false");
+  obs::emit(obs::Level::kInfo, "tec.prediction", p.log.back(),
+            {{"ready", p.ready ? "true" : "false"},
+             {"site", target.name},
+             {"resolved", std::to_string(p.resolved_libraries.size())}});
   return p;
 }
 

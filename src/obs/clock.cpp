@@ -1,0 +1,16 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace feam::obs {
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           anchor)
+          .count());
+}
+
+}  // namespace feam::obs

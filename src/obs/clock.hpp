@@ -1,0 +1,19 @@
+// The one clock of the observability layer: monotonic nanoseconds since
+// the first call in this process (std::chrono::steady_clock behind the
+// scenes). Spans, events, metrics histograms, the Chrome trace exporter,
+// and the phase-timing bench all read this clock, so a duration reported
+// anywhere is comparable with a duration reported everywhere else.
+//
+// This is deliberately the only place the reproduction touches real time:
+// timings are observational and never feed back into the simulation (see
+// docs/ARCHITECTURE.md, "Determinism").
+#pragma once
+
+#include <cstdint>
+
+namespace feam::obs {
+
+// Monotonic nanoseconds since the first now_ns() call in this process.
+std::uint64_t now_ns();
+
+}  // namespace feam::obs

@@ -1,0 +1,44 @@
+#include "obs/event.hpp"
+
+namespace feam::obs {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kNone: return "none";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(std::string_view text) {
+  for (const auto level : {Level::kDebug, Level::kInfo, Level::kWarn,
+                           Level::kError, Level::kNone}) {
+    if (text == level_name(level)) return level;
+  }
+  return std::nullopt;
+}
+
+std::string Event::render() const {
+  std::string out = "[";
+  out += level_name(level);
+  out += "] ";
+  out += name;
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  if (!fields.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += fields[i].first + "=" + fields[i].second;
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace feam::obs

@@ -1,0 +1,40 @@
+// Structured log records. An Event replaces the ad-hoc strings FEAM's
+// phases used to accumulate: each one carries a severity, a stable
+// machine-readable name ("tec.verdict", "source.gather", ...), the
+// human-readable message the CLI prints, and key/value detail fields the
+// exporters serialize. The paper's requirement that FEAM "details the
+// reasons to the user" becomes an auditable, machine-readable trail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace feam::obs {
+
+enum class Level : std::uint8_t { kDebug, kInfo, kWarn, kError, kNone };
+
+// "debug", "info", "warn", "error", "none".
+const char* level_name(Level level);
+
+// Inverse of level_name; nullopt for anything else.
+std::optional<Level> parse_level(std::string_view text);
+
+using Fields = std::vector<std::pair<std::string, std::string>>;
+
+struct Event {
+  Level level = Level::kInfo;
+  std::string name;     // stable identifier, dot-separated by subsystem
+  std::string message;  // human-readable line (what the CLI prints)
+  Fields fields;
+  std::uint64_t t_ns = 0;  // obs::now_ns() at emission
+  int tid = 0;             // small per-process thread ordinal
+
+  // "[level] name: message (k=v, ...)" — the stderr echo format.
+  std::string render() const;
+};
+
+}  // namespace feam::obs

@@ -1,0 +1,83 @@
+#include "obs/export.hpp"
+
+#include "support/json.hpp"
+
+namespace feam::obs {
+
+namespace {
+
+using support::Json;
+
+Json fields_to_json(const Fields& fields) {
+  Json out{Json::Object{}};
+  for (const auto& [key, value] : fields) out.set(key, value);
+  return out;
+}
+
+Json event_to_json(const Event& event) {
+  Json out;
+  out.set("t_ns", event.t_ns);
+  out.set("level", level_name(event.level));
+  out.set("name", event.name);
+  out.set("message", event.message);
+  out.set("tid", event.tid);
+  out.set("fields", fields_to_json(event.fields));
+  return out;
+}
+
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+std::string render_jsonl(const std::vector<Event>& events) {
+  std::string out;
+  for (const auto& event : events) {
+    out += event_to_json(event).dump();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_chrome_trace(const std::vector<SpanRecord>& spans,
+                                const std::vector<Event>& events) {
+  Json::Array trace_events;
+  for (const auto& span : spans) {
+    Json entry;
+    entry.set("name", span.name);
+    entry.set("cat", "feam");
+    entry.set("ph", "X");
+    entry.set("ts", to_us(span.start_ns));
+    entry.set("dur", to_us(span.duration_ns()));
+    entry.set("pid", 1);
+    entry.set("tid", span.tid);
+    Json args = fields_to_json(span.fields);
+    args.set("span_id", span.id);
+    if (span.parent_id != 0) args.set("parent_id", span.parent_id);
+    entry.set("args", std::move(args));
+    trace_events.push_back(std::move(entry));
+  }
+  for (const auto& event : events) {
+    Json entry;
+    entry.set("name", event.name);
+    entry.set("cat", std::string("feam.") + level_name(event.level));
+    entry.set("ph", "i");
+    entry.set("ts", to_us(event.t_ns));
+    entry.set("pid", 1);
+    entry.set("tid", event.tid);
+    entry.set("s", "t");  // thread-scoped instant
+    Json args = fields_to_json(event.fields);
+    args.set("message", event.message);
+    entry.set("args", std::move(args));
+    trace_events.push_back(std::move(entry));
+  }
+  Json out;
+  out.set("traceEvents", Json(std::move(trace_events)));
+  out.set("displayTimeUnit", "ms");
+  return out.dump(2);
+}
+
+std::string render_metrics_json(const Registry& registry) {
+  return registry.to_json().dump(2);
+}
+
+}  // namespace feam::obs

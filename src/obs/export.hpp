@@ -1,0 +1,33 @@
+// Serialization of the observability state to its two on-disk formats:
+//
+// * JSONL event logs — one JSON object per line, append-friendly, greppable
+//   ({"t_ns":..,"level":..,"name":..,"message":..,"fields":{..}}).
+// * Chrome trace_event JSON — {"traceEvents":[...]} with spans as complete
+//   ("X") events and point events as instants ("i"); loads directly in
+//   about:tracing and Perfetto. Timestamps are microseconds on the shared
+//   obs clock, so nesting renders from time containment and span
+//   parent/child ids travel in args.
+//
+// Metrics export is a single JSON document (see Registry::to_json).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace feam::obs {
+
+// One compact JSON object per event, newline-separated.
+std::string render_jsonl(const std::vector<Event>& events);
+
+// Chrome trace_event-format JSON for about:tracing / Perfetto.
+std::string render_chrome_trace(const std::vector<SpanRecord>& spans,
+                                const std::vector<Event>& events);
+
+// The registry's counters and histogram summaries, pretty-printed.
+std::string render_metrics_json(const Registry& registry);
+
+}  // namespace feam::obs

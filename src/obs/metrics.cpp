@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace feam::obs {
+
+namespace {
+
+// Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+int bucket_index(std::uint64_t value) {
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+std::uint64_t bucket_upper_bound(int index) {
+  if (index == 0) return 0;
+  if (index >= Histogram::kBuckets - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) {
+  const int index = std::min(bucket_index(value), kBuckets - 1);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the sample the percentile asks for (1-based, ceil).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(n) + 0.999999));
+  std::uint64_t seen = 0;
+  std::uint64_t result = max();
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      result = bucket_upper_bound(i);
+      break;
+    }
+  }
+  return std::clamp(result, min(), max());
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+support::Json Histogram::to_json() const {
+  support::Json out;
+  out.set("count", count());
+  out.set("sum", sum());
+  out.set("min", min());
+  out.set("max", max());
+  out.set("mean", mean());
+  out.set("p50", percentile(0.50));
+  out.set("p90", percentile(0.90));
+  out.set("p99", percentile(0.99));
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + histograms_.size();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+support::Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  support::Json counters{support::Json::Object{}};
+  for (const auto& [name, counter] : counters_) {
+    counters.set(name, counter->value());
+  }
+  support::Json histograms{support::Json::Object{}};
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.set(name, histogram->to_json());
+  }
+  support::Json out;
+  out.set("counters", std::move(counters));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+Registry& metrics() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& counter(std::string_view name) { return metrics().counter(name); }
+
+Histogram& histogram(std::string_view name) {
+  return metrics().histogram(name);
+}
+
+}  // namespace feam::obs

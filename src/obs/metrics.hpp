@@ -1,0 +1,113 @@
+// Process-wide metrics: named counters and latency histograms.
+//
+// Counters and histograms are lock-free (relaxed atomics) so they can sit
+// on hot paths — ELF parsing, library resolution — without perturbing the
+// numbers they measure. The registry itself takes a mutex only on
+// first-lookup of a name; hot code should hold the returned reference
+// (references are stable for the life of the registry).
+//
+// Histograms use power-of-two buckets: record() costs three atomic adds,
+// memory is fixed (64 buckets), and percentiles are exact to within the
+// bucket (a factor of two), clamped to the observed min/max so
+// single-valued histograms report exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/clock.hpp"
+#include "support/json.hpp"
+
+namespace feam::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  std::uint64_t min() const;  // 0 when empty
+  std::uint64_t max() const;
+  double mean() const;  // 0 when empty
+
+  // Value at or below which fraction `p` (0..1] of samples fall; exact to
+  // within the enclosing power-of-two bucket, clamped to [min, max].
+  std::uint64_t percentile(double p) const;
+
+  void reset();
+
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
+  //  "p99":..}
+  support::Json to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Named metric registry. Lookup registers on first use; references stay
+// valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t size() const;  // distinct registered names
+
+  // Zeroes every value; registered names survive.
+  void reset_values();
+
+  // {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
+  support::Json to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-wide registry and shorthands into it.
+Registry& metrics();
+Counter& counter(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+// RAII: records obs::now_ns() elapsed between construction and destruction
+// into a histogram. The standard way to time a scope on the span clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_ns_(now_ns()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { histogram_.record(now_ns() - start_ns_); }
+
+ private:
+  Histogram& histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace feam::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/clock.hpp"
+
+namespace feam::obs {
+
+namespace {
+
+std::atomic<Level> g_log_level{Level::kNone};
+
+// Per-thread stack of open span ids, for parent/child attribution.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+}  // namespace
+
+void TraceCollector::record_span(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(record));
+}
+
+void TraceCollector::record_event(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanRecord> TraceCollector::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<Event> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  events_.clear();
+}
+
+TraceCollector& collector() {
+  static TraceCollector instance;
+  return instance;
+}
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+Level log_level() { return g_log_level.load(std::memory_order_relaxed); }
+
+void set_log_level(Level level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+void emit(Event event) {
+  if (event.t_ns == 0) event.t_ns = now_ns();
+  event.tid = thread_ordinal();
+  const Level threshold = log_level();
+  if (threshold != Level::kNone && event.level >= threshold) {
+    std::fprintf(stderr, "feam %s\n", event.render().c_str());
+  }
+  if (collector().enabled()) collector().record_event(std::move(event));
+}
+
+void emit(Level level, std::string name, std::string message, Fields fields) {
+  Event event;
+  event.level = level;
+  event.name = std::move(name);
+  event.message = std::move(message);
+  event.fields = std::move(fields);
+  emit(std::move(event));
+}
+
+Span::Span(std::string name, Fields fields) {
+  record_.name = std::move(name);
+  record_.fields = std::move(fields);
+  record_.start_ns = now_ns();
+  active_ = collector().enabled();
+  if (active_) {
+    record_.id = collector().next_span_id();
+    record_.parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
+    record_.tid = thread_ordinal();
+    t_span_stack.push_back(record_.id);
+  }
+}
+
+Span::~Span() { finish(); }
+
+void Span::add_field(std::string key, std::string value) {
+  record_.fields.emplace_back(std::move(key), std::move(value));
+}
+
+std::uint64_t Span::elapsed_ns() const { return now_ns() - record_.start_ns; }
+
+void Span::finish() {
+  if (finished_) return;
+  finished_ = true;
+  record_.end_ns = now_ns();
+  if (!active_) return;
+  // Pop this span (and anything a mismatched caller left above it).
+  while (!t_span_stack.empty()) {
+    const std::uint64_t top = t_span_stack.back();
+    t_span_stack.pop_back();
+    if (top == record_.id) break;
+  }
+  collector().record_span(std::move(record_));
+}
+
+}  // namespace feam::obs

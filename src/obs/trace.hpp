@@ -1,0 +1,103 @@
+// Span-based tracing and the process-wide collector.
+//
+// A Span is an RAII timed region on the obs clock. Spans nest: each thread
+// keeps a stack of open spans, and a span opened while another is open
+// records that span as its parent, so exporters can reconstruct the tree
+// (source phase -> BDC describe -> ...). Span construction is cheap when
+// collection is disabled — it only reads the clock — so instrumentation
+// stays in place permanently and elapsed_ns() keeps feeding histograms.
+//
+// The TraceCollector stores finished spans and emitted events behind a
+// mutex; `feam --trace-out` enables it, exports, and writes the file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace feam::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 when the span is a root
+  std::string name;
+  Fields fields;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  int tid = 0;
+  std::uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+class TraceCollector {
+ public:
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  std::uint64_t next_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_span(SpanRecord record);
+  void record_event(Event event);
+
+  std::vector<SpanRecord> spans() const;
+  std::vector<Event> events() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::vector<SpanRecord> spans_;
+  std::vector<Event> events_;
+};
+
+// The process-wide collector every Span and emit() reports to.
+TraceCollector& collector();
+
+// Small per-process ordinal for the calling thread (0 for the first
+// thread that asks). Stable for the thread's lifetime.
+int thread_ordinal();
+
+// Threshold for echoing events to stderr; kNone (the default) silences the
+// echo entirely. Storage in the collector is gated only by enabled().
+Level log_level();
+void set_log_level(Level level);
+
+// Emits a structured event: echoed to stderr when `level >= log_level()`,
+// stored when the collector is enabled. Fills t_ns/tid when unset.
+void emit(Event event);
+void emit(Level level, std::string name, std::string message,
+          Fields fields = {});
+
+class Span {
+ public:
+  explicit Span(std::string name, Fields fields = {});
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void add_field(std::string key, std::string value);
+
+  // Nanoseconds since construction, on the shared obs clock; valid whether
+  // or not collection is enabled.
+  std::uint64_t elapsed_ns() const;
+
+  // Ends the span now (records it if collection was enabled when the span
+  // was opened); the destructor becomes a no-op.
+  void finish();
+
+ private:
+  SpanRecord record_;
+  bool active_ = false;   // collection was enabled at construction
+  bool finished_ = false;
+};
+
+}  // namespace feam::obs

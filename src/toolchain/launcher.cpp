@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "elf/file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/version.hpp"
@@ -193,8 +195,24 @@ const char* run_status_name(RunStatus status) {
   return "?";
 }
 
-RunResult run_serial(const site::Site& host, std::string_view binary_path,
-                     const std::vector<std::string>& extra_lib_dirs) {
+namespace {
+
+// Command-execution event shared by the serial and MPI launch paths.
+void emit_run_event(const char* name, const site::Site& host,
+                    std::string_view binary_path, int ranks,
+                    const RunResult& result) {
+  obs::emit(result.success() ? obs::Level::kDebug : obs::Level::kInfo, name,
+            std::string(binary_path) + " -> " +
+                run_status_name(result.status),
+            {{"site", host.name},
+             {"binary", std::string(binary_path)},
+             {"ranks", std::to_string(ranks)},
+             {"status", run_status_name(result.status)},
+             {"detail", result.detail}});
+}
+
+RunResult run_serial_impl(const site::Site& host, std::string_view binary_path,
+                          const std::vector<std::string>& extra_lib_dirs) {
   const LoadReport report = load_binary(host, binary_path, extra_lib_dirs);
   if (report.status != LoadStatus::kOk) return from_load_report(report);
 
@@ -220,9 +238,10 @@ RunResult run_serial(const site::Site& host, std::string_view binary_path,
   return {RunStatus::kSuccess, "", "ok"};
 }
 
-RunResult mpiexec(const site::Site& host, std::string_view binary_path,
-                  int ranks, const std::vector<std::string>& extra_lib_dirs,
-                  int attempt) {
+RunResult mpiexec_impl(const site::Site& host, std::string_view binary_path,
+                       int ranks,
+                       const std::vector<std::string>& extra_lib_dirs,
+                       int attempt) {
   const site::MpiStackInstall* stack = host.selected_stack();
   if (stack == nullptr) {
     return {RunStatus::kNoMpiStackSelected, "mpiexec: command not found", ""};
@@ -258,12 +277,33 @@ RunResult mpiexec(const site::Site& host, std::string_view binary_path,
           "Hello world from " + std::to_string(ranks) + " ranks"};
 }
 
+}  // namespace
+
+RunResult run_serial(const site::Site& host, std::string_view binary_path,
+                     const std::vector<std::string>& extra_lib_dirs) {
+  obs::counter("launcher.serial_runs").add();
+  RunResult result = run_serial_impl(host, binary_path, extra_lib_dirs);
+  emit_run_event("launcher.run_serial", host, binary_path, 1, result);
+  return result;
+}
+
+RunResult mpiexec(const site::Site& host, std::string_view binary_path,
+                  int ranks, const std::vector<std::string>& extra_lib_dirs,
+                  int attempt) {
+  obs::counter("launcher.mpiexec_calls").add();
+  RunResult result =
+      mpiexec_impl(host, binary_path, ranks, extra_lib_dirs, attempt);
+  emit_run_event("launcher.mpiexec", host, binary_path, ranks, result);
+  return result;
+}
+
 RunResult mpiexec_with_retries(const site::Site& host,
                                std::string_view binary_path, int ranks,
                                const std::vector<std::string>& extra_lib_dirs,
                                int attempts) {
   RunResult last;
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) obs::counter("launcher.retries").add();
     last = mpiexec(host, binary_path, ranks, extra_lib_dirs, attempt);
     if (last.success()) return last;
     // Only system errors are worth retrying; deterministic failures

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -45,12 +47,16 @@ void strip_trailing_colon(std::string& value) {
 }  // namespace
 
 ScriptResult run_script(site::Site& s, std::string_view script_text) {
+  obs::Span span("shell.run_script", {{"site", s.name}});
   ScriptResult result;
   result.last_run = {RunStatus::kSuccess, "", ""};
 
   for (const auto& raw_line : support::split(script_text, '\n')) {
     const auto line = support::trim(raw_line);
     if (line.empty() || line.front() == '#') continue;
+    obs::counter("shell.commands").add();
+    obs::emit(obs::Level::kDebug, "shell.command", std::string(line),
+              {{"site", s.name}});
     const auto fields = support::split_ws(line);
 
     if (fields[0] == "module") {
@@ -132,6 +138,9 @@ ScriptResult run_script(site::Site& s, std::string_view script_text) {
 }
 
 JobResult submit_batch_job(site::Site& s, const site::BatchScript& job) {
+  obs::Span span("shell.submit_batch_job",
+                 {{"site", s.name}, {"job", job.job_name}});
+  obs::counter("shell.batch_jobs").add();
   JobResult result;
   if (job.kind != s.batch) {
     result.script.errors.push_back(

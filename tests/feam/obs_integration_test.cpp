@@ -1,0 +1,160 @@
+// Integration: running the target phase with the trace collector enabled
+// produces the span tree, verdict events, and metrics the CLI exports
+// through --trace-out / --metrics-out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "feam/phases.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+class ObsIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::collector().clear();
+    obs::collector().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::collector().set_enabled(false);
+    obs::collector().clear();
+  }
+};
+
+const obs::SpanRecord* find_span(const std::vector<obs::SpanRecord>& spans,
+                                 std::string_view name) {
+  const auto it = std::find_if(
+      spans.begin(), spans.end(),
+      [&](const obs::SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+TEST_F(ObsIntegration, TargetPhaseEmitsDeterminantSpansAndVerdicts) {
+  // Compile at india, run the source phase there, migrate to fir.
+  auto home = toolchain::make_site("india");
+  const auto* stack =
+      home->find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  ASSERT_NE(stack, nullptr);
+  toolchain::ProgramSource p;
+  p.name = "app";
+  p.language = toolchain::Language::kC;
+  p.libc_features = {"base", "stdio", "math"};
+  const auto compiled =
+      toolchain::compile_mpi_program(*home, p, *stack, "/home/user/app");
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  ASSERT_TRUE(home->load_module("openmpi/" + stack->version.str() + "-gnu"));
+  const auto source = run_source_phase(*home, compiled.value());
+  ASSERT_TRUE(source.ok()) << source.error();
+
+  auto target = toolchain::make_site("fir");
+  target->vfs.write_file("/home/user/migrated/app",
+                         *home->vfs.read(compiled.value()));
+
+  obs::collector().clear();  // keep only the target phase in the trace
+  const auto result =
+      run_target_phase(*target, "/home/user/migrated/app", &source.value());
+  ASSERT_TRUE(result.ok()) << result.error();
+
+  const auto spans = obs::collector().spans();
+  const auto* phase = find_span(spans, "feam.target_phase");
+  const auto* evaluate = find_span(spans, "tec.evaluate");
+  ASSERT_NE(phase, nullptr);
+  ASSERT_NE(evaluate, nullptr);
+  EXPECT_EQ(phase->parent_id, 0u);
+  EXPECT_EQ(evaluate->parent_id, phase->id);
+
+  // One span per determinant, all nested (transitively) under the phase.
+  for (const char* name :
+       {"tec.determinant.isa", "tec.determinant.c_library",
+        "tec.determinant.mpi_stack", "tec.determinant.shared_libraries"}) {
+    const auto* det = find_span(spans, name);
+    ASSERT_NE(det, nullptr) << name;
+    EXPECT_GE(det->start_ns, phase->start_ns) << name;
+    EXPECT_LE(det->end_ns, phase->end_ns) << name;
+    EXPECT_NE(det->parent_id, 0u) << name;
+  }
+
+  // One verdict event per determinant plus the final prediction.
+  const auto events = obs::collector().events();
+  const auto verdicts = std::count_if(
+      events.begin(), events.end(),
+      [](const obs::Event& e) { return e.name == "tec.verdict"; });
+  EXPECT_EQ(verdicts, 4);
+  EXPECT_TRUE(std::any_of(
+      events.begin(), events.end(),
+      [](const obs::Event& e) { return e.name == "tec.prediction"; }));
+
+  // The exported trace is valid JSON with one complete event per span.
+  const auto trace = support::Json::parse(
+      obs::render_chrome_trace(spans, events));
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_GE((*trace)["traceEvents"].as_array().size(), spans.size());
+
+  // The shared registry now holds the pipeline's metrics.
+  const auto metrics = support::Json::parse(
+      obs::render_metrics_json(obs::metrics()));
+  ASSERT_TRUE(metrics.has_value());
+  std::size_t names = 0;
+  for (const char* counter_name :
+       {"phase.target_runs", "tec.determinant_checks", "bdc.describe_calls",
+        "edc.discover_calls", "elf.images_parsed", "elf.bytes_read"}) {
+    EXPECT_TRUE((*metrics)["counters"][counter_name].is_number())
+        << counter_name;
+    ++names;
+  }
+  for (const char* histogram_name :
+       {"phase.target_ns", "tec.evaluate_ns", "bdc.parse_ns",
+        "edc.discover_ns"}) {
+    EXPECT_TRUE((*metrics)["histograms"][histogram_name].is_object())
+        << histogram_name;
+    ++names;
+  }
+  EXPECT_GE(names, 8u);
+  EXPECT_GE(obs::counter("tec.determinant_checks").value(), 4u);
+}
+
+TEST_F(ObsIntegration, SourcePhaseOutputCarriesStructuredEvents) {
+  auto home = toolchain::make_site("india");
+  const auto* stack =
+      home->find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  ASSERT_NE(stack, nullptr);
+  toolchain::ProgramSource p;
+  p.name = "app";
+  p.language = toolchain::Language::kC;
+  p.libc_features = {"base", "stdio", "math"};
+  const auto compiled =
+      toolchain::compile_mpi_program(*home, p, *stack, "/home/user/app");
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  ASSERT_TRUE(home->load_module("openmpi/" + stack->version.str() + "-gnu"));
+  const auto out = run_source_phase(*home, compiled.value());
+  ASSERT_TRUE(out.ok()) << out.error();
+
+  ASSERT_FALSE(out.value().events.empty());
+  // Every event has a stable dot-separated name, and render_text() mirrors
+  // the messages one-to-one (the CLI's plain-text view).
+  for (const auto& event : out.value().events) {
+    EXPECT_NE(event.name.find('.'), std::string::npos) << event.name;
+  }
+  const auto lines = out.value().render_text();
+  ASSERT_EQ(lines.size(), out.value().events.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i], out.value().events[i].message);
+  }
+  // The source phase also produced its own span.
+  const auto spans = obs::collector().spans();
+  EXPECT_NE(find_span(spans, "feam.source_phase"), nullptr);
+  EXPECT_NE(find_span(spans, "source.gather_libraries"), nullptr);
+}
+
+}  // namespace
+}  // namespace feam

@@ -78,7 +78,7 @@ TEST(SourcePhase, ConfirmsSelectedStackMatches) {
   const auto out = run_source_phase(*h.site, h.path);
   ASSERT_TRUE(out.ok());
   bool confirmed = false;
-  for (const auto& line : out.value().log) {
+  for (const auto& line : out.value().render_text()) {
     confirmed |= line.find("selected stack matches binary") != std::string::npos;
   }
   EXPECT_TRUE(confirmed);
@@ -92,7 +92,7 @@ TEST(SourcePhase, WarnsOnStackMismatch) {
   const auto out = run_source_phase(*h.site, h.path);
   ASSERT_TRUE(out.ok());
   bool warned = false;
-  for (const auto& line : out.value().log) {
+  for (const auto& line : out.value().render_text()) {
     warned |= line.find("does not match") != std::string::npos;
   }
   EXPECT_TRUE(warned);

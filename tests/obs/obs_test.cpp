@@ -1,0 +1,283 @@
+// Unit tests for the observability subsystem: span nesting, histogram
+// percentiles, counters, level parsing, and both exporter formats.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/clock.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace feam::obs {
+namespace {
+
+// Each test that touches the process-wide collector starts from a clean,
+// enabled slate and leaves collection off.
+class CollectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    collector().clear();
+    collector().set_enabled(true);
+  }
+  void TearDown() override {
+    collector().set_enabled(false);
+    collector().clear();
+  }
+};
+
+TEST(Clock, IsMonotonic) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Levels, NameRoundTrip) {
+  for (Level level : {Level::kDebug, Level::kInfo, Level::kWarn, Level::kError,
+                      Level::kNone}) {
+    const auto parsed = parse_level(level_name(level));
+    ASSERT_TRUE(parsed.has_value()) << level_name(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_level("verbose").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+}
+
+TEST(Event, RenderIncludesLevelNameMessageAndFields) {
+  Event e;
+  e.level = Level::kWarn;
+  e.name = "tec.verdict";
+  e.message = "stack mismatch";
+  e.fields = {{"site", "fir"}, {"ready", "false"}};
+  const std::string text = e.render();
+  EXPECT_NE(text.find("[warn]"), std::string::npos);
+  EXPECT_NE(text.find("tec.verdict"), std::string::npos);
+  EXPECT_NE(text.find("stack mismatch"), std::string::npos);
+  EXPECT_NE(text.find("site=fir"), std::string::npos);
+  EXPECT_NE(text.find("ready=false"), std::string::npos);
+}
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, SingleValueIsExactAtEveryPercentile) {
+  Histogram h;
+  h.record(12345);
+  EXPECT_EQ(h.percentile(0.0), 12345u);
+  EXPECT_EQ(h.percentile(0.5), 12345u);
+  EXPECT_EQ(h.percentile(0.99), 12345u);
+  EXPECT_EQ(h.percentile(1.0), 12345u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_EQ(h.mean(), 12345.0);
+}
+
+TEST(Histogram, PercentilesLandInTheRightBucket) {
+  Histogram h;
+  // 90 fast samples (~1000 ns) and 10 slow ones (~1e6 ns).
+  for (int i = 0; i < 90; ++i) h.record(1000);
+  for (int i = 0; i < 10; ++i) h.record(1000000);
+  EXPECT_EQ(h.count(), 100u);
+  // p50 falls among the fast samples: exact to the enclosing power-of-two
+  // bucket, so at most 2047 and at least the observed min.
+  EXPECT_GE(h.percentile(0.5), 1000u);
+  EXPECT_LE(h.percentile(0.5), 2047u);
+  // p99 falls among the slow samples.
+  EXPECT_GE(h.percentile(0.99), 524288u);
+  EXPECT_EQ(h.percentile(0.99), 1000000u);  // clamped to observed max
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(Histogram, RecordsZero) {
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Registry, RegistersOnFirstUseAndSerializes) {
+  Registry r;
+  EXPECT_EQ(r.size(), 0u);
+  r.counter("a.count").add(3);
+  r.histogram("a.latency_ns").record(500);
+  Counter& again = r.counter("a.count");
+  EXPECT_EQ(again.value(), 3u);
+  EXPECT_EQ(r.size(), 2u);
+
+  const auto parsed = support::Json::parse(render_metrics_json(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["counters"]["a.count"].as_number(), 3.0);
+  EXPECT_EQ((*parsed)["histograms"]["a.latency_ns"]["count"].as_number(), 1.0);
+  EXPECT_EQ((*parsed)["histograms"]["a.latency_ns"]["p50"].as_number(), 500.0);
+
+  r.reset_values();
+  EXPECT_EQ(r.counter("a.count").value(), 0u);
+  EXPECT_EQ(r.histogram("a.latency_ns").count(), 0u);
+  EXPECT_EQ(r.size(), 2u);  // names survive a value reset
+}
+
+TEST(Registry, EmptySerializesAsObjects) {
+  Registry r;
+  const auto parsed = support::Json::parse(render_metrics_json(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE((*parsed)["counters"].is_object());
+  EXPECT_TRUE((*parsed)["histograms"].is_object());
+}
+
+TEST(ScopedTimerTest, FeedsHistogram) {
+  Histogram h;
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(CollectorTest, SpanNestingRecordsParentIds) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner", {{"k", "v"}});
+      { Span leaf("leaf"); }
+    }
+    Span sibling("sibling");
+  }
+  const auto spans = collector().spans();
+  ASSERT_EQ(spans.size(), 4u);  // recorded in finish order
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[3].name, "outer");
+  const auto& outer = spans[3];
+  const auto& inner = spans[1];
+  const auto& leaf = spans[0];
+  const auto& sibling = spans[2];
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(leaf.parent_id, inner.id);
+  EXPECT_EQ(sibling.parent_id, outer.id);
+  // Time containment.
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  ASSERT_EQ(inner.fields.size(), 1u);
+  EXPECT_EQ(inner.fields[0].first, "k");
+}
+
+TEST_F(CollectorTest, FinishEndsTheSpanOnce) {
+  Span span("explicit");
+  span.add_field("answer", "42");
+  span.finish();
+  span.finish();  // second call is a no-op
+  const auto spans = collector().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "explicit");
+  ASSERT_EQ(spans[0].fields.size(), 1u);
+  EXPECT_EQ(spans[0].fields[0].second, "42");
+}
+
+TEST_F(CollectorTest, DisabledCollectorRecordsNothingButClockStillRuns) {
+  collector().set_enabled(false);
+  Span span("invisible");
+  EXPECT_GE(span.elapsed_ns(), 0u);
+  span.finish();
+  emit(Level::kInfo, "invisible.event", "dropped");
+  EXPECT_TRUE(collector().spans().empty());
+  EXPECT_TRUE(collector().events().empty());
+}
+
+TEST_F(CollectorTest, EmitStoresEventsWithTimestamps) {
+  emit(Level::kInfo, "test.event", "hello", {{"a", "1"}});
+  const auto events = collector().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.event");
+  EXPECT_EQ(events[0].message, "hello");
+  EXPECT_GT(events[0].t_ns, 0u);
+}
+
+TEST_F(CollectorTest, SpansOnDifferentThreadsDoNotNestAcrossThreads) {
+  Span outer("main_thread_outer");
+  SpanRecord worker_record;
+  std::thread worker([&] {
+    Span inner("worker_span");
+    inner.finish();
+  });
+  worker.join();
+  outer.finish();
+  const auto spans = collector().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The worker's span must not claim the main thread's open span as parent.
+  EXPECT_EQ(spans[0].name, "worker_span");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(CollectorTest, JsonlExportIsOneValidObjectPerLine) {
+  emit(Level::kWarn, "a.b", "first", {{"k", "v"}});
+  emit(Level::kInfo, "c.d", "second");
+  const std::string jsonl = render_jsonl(collector().events());
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    const auto parsed = support::Json::parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_TRUE((*parsed)["name"].is_string());
+    EXPECT_TRUE((*parsed)["level"].is_string());
+    EXPECT_TRUE((*parsed)["fields"].is_object());
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(CollectorTest, ChromeTraceExportHasSpansAndInstants) {
+  {
+    Span outer("outer");
+    Span inner("inner", {{"site", "fir"}});
+  }
+  emit(Level::kInfo, "point.event", "message");
+  const std::string trace =
+      render_chrome_trace(collector().spans(), collector().events());
+  const auto parsed = support::Json::parse(trace);
+  ASSERT_TRUE(parsed.has_value());
+  const auto& events = (*parsed)["traceEvents"].as_array();
+  ASSERT_EQ(events.size(), 3u);
+  std::size_t complete = 0, instant = 0;
+  for (const auto& e : events) {
+    const std::string ph = e.get_string("ph");
+    if (ph == "X") {
+      ++complete;
+      EXPECT_TRUE(e["ts"].is_number());
+      EXPECT_TRUE(e["dur"].is_number());
+      EXPECT_TRUE(e["args"].is_object());
+    } else if (ph == "i") {
+      ++instant;
+      EXPECT_EQ(e.get_string("s"), "t");
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(instant, 1u);
+}
+
+}  // namespace
+}  // namespace feam::obs
