@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Matrix smoke check for the telemetry aggregation layer.
+
+Drives the full 14-workload x 5-site migration matrix through the feam
+CLI with --run-record-out, then:
+  * schema-validates every feam.run_record/1 document (site pair,
+    determinant verdicts, span-tree invariants, non-negative durations),
+  * cross-checks each record's readiness against the CLI's exit code,
+  * runs `feam report` over the record directory with the checked-in
+    baseline as a regression gate (must pass) and validates the readiness
+    matrix, the bench record, and the HTML dashboard,
+  * perturbs the baseline and confirms the gate then fails non-zero.
+
+Usage: check_report.py /path/to/feam [--write-baseline FILE]
+                                     [--keep-bench FILE]
+
+With --write-baseline, the measured metrics are written as a fresh
+feam.report_baseline/1 document (exact pins for deterministic counts,
+generous ceilings for wall-clock latencies) and the gate steps are
+skipped — used to regenerate bench/report_baseline.json. With
+--keep-bench, the gate run's feam.bench/1 record is copied to FILE —
+used to refresh the checked-in BENCH_2.json. --keep-html FILE likewise
+keeps the generated dashboard (CI uploads both as artifacts).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "bench" / "report_baseline.json"
+
+SOURCE_SITE = "india"
+SOURCE_STACK = "openmpi/1.4-gnu"
+TARGET_SITES = ["ranger", "forge", "blacklight", "india", "fir"]
+
+# The paper's test set: NPB class B plus SPEC MPI2007 (Table II).
+WORKLOADS = [
+    ("is.B", "c"),
+    ("ep.B", "fortran"),
+    ("cg.B", "fortran"),
+    ("mg.B", "fortran"),
+    ("bt.B", "fortran"),
+    ("sp.B", "fortran"),
+    ("lu.B", "fortran"),
+    ("104.milc", "c"),
+    ("107.leslie3d", "fortran"),
+    ("115.fds4", "fortran"),
+    ("122.tachyon", "c"),
+    ("126.lammps", "c++"),
+    ("127.GAPgeofem", "fortran"),
+    ("129.tera_tf", "fortran"),
+]
+
+DETERMINANT_KEYS = ["isa", "c_library", "mpi_stack", "shared_libraries"]
+
+
+def run(cmd, ok_codes=(0,)):
+    result = subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, timeout=120)
+    if result.returncode not in ok_codes:
+        sys.stdout.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        sys.exit(f"FAIL: {' '.join(str(c) for c in cmd)} -> "
+                 f"{result.returncode} (wanted {ok_codes})")
+    return result
+
+
+def validate_record(path, record, binary, site):
+    def need(cond, why):
+        if not cond:
+            sys.exit(f"FAIL: {path}: {why}")
+
+    need(record.get("schema") == "feam.run_record/1",
+         f"bad schema {record.get('schema')!r}")
+    need(record.get("command") == "target", "command is not 'target'")
+    need(record.get("binary") == binary,
+         f"binary {record.get('binary')!r} != {binary!r}")
+    need(record.get("source_site") == SOURCE_SITE,
+         f"source_site {record.get('source_site')!r} != {SOURCE_SITE!r}")
+    need(record.get("target_site") == site,
+         f"target_site {record.get('target_site')!r} != {site!r}")
+    need(record.get("mode") == "extended", "mode is not 'extended'")
+    need(record.get("has_prediction") is True, "has_prediction is not true")
+    need(record.get("bundle_bytes", 0) > 0, "bundle_bytes is 0")
+
+    dets = record.get("determinants", [])
+    need([d.get("key") for d in dets] == DETERMINANT_KEYS,
+         f"determinant keys {[d.get('key') for d in dets]}")
+    ready = record["ready"]
+    if ready:
+        need(all(d["compatible"] for d in dets if d["evaluated"]),
+             "ready but an evaluated determinant is incompatible")
+    else:
+        need(any(d["evaluated"] and not d["compatible"] for d in dets),
+             "not ready but no evaluated determinant is incompatible")
+
+    spans = record.get("spans", [])
+    need(spans, "no spans")
+    by_id = {}
+    for span in spans:
+        need(span.get("id", 0) > 0, f"span {span.get('name')!r} id 0")
+        need(span.get("dur_ns", -1) >= 0 and span.get("start_ns", -1) >= 0,
+             f"span {span.get('name')!r} has negative times")
+        by_id[span["id"]] = span
+    child_sum = {}
+    for span in spans:
+        parent = span.get("parent_id", 0)
+        if parent:
+            need(parent in by_id,
+                 f"span {span['name']!r} has unknown parent {parent}")
+            child_sum[parent] = child_sum.get(parent, 0) + span["dur_ns"]
+    for parent_id, total in child_sum.items():
+        need(by_id[parent_id]["dur_ns"] >= total,
+             f"span {by_id[parent_id]['name']!r} shorter than its children")
+    phase = [s for s in spans if s["name"] == "feam.target_phase"]
+    need(len(phase) == 1, "expected exactly one feam.target_phase span")
+
+    need(isinstance(record.get("counters"), dict) and record["counters"],
+         "no counters")
+    need(isinstance(record.get("histograms"), dict) and record["histograms"],
+         "no histograms")
+    return ready
+
+
+def parse_matrix(report_stdout):
+    """Reads the ASCII readiness matrix into {(binary, site): cell}."""
+    lines = [l for l in report_stdout.splitlines() if l.startswith("|")]
+    if not lines:
+        sys.exit("FAIL: no readiness matrix table in report output")
+    header = [c.strip() for c in lines[0].strip("|").split("|")]
+    sites = header[1:]
+    cells = {}
+    for line in lines[1:]:
+        row = [c.strip() for c in line.strip("|").split("|")]
+        if len(row) != len(header):
+            continue
+        for site, cell in zip(sites, row[1:]):
+            cells[(row[0], site)] = cell
+    return cells
+
+
+def write_baseline(metrics, out_path):
+    """Exact pins for deterministic counts; ceilings for wall-clock."""
+    spec = {}
+    for name, value in sorted(metrics.items()):
+        if ".mean" in name or name.endswith(
+                (".p50", ".p90", ".p99", ".max")):
+            spec[name] = {"max": 5_000_000_000}  # 5s ceiling per phase stat
+        else:
+            spec[name] = {"value": value, "rel_tol": 0}
+    doc = {"schema": "feam.report_baseline/1", "metrics": spec}
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"baseline written to {out_path} ({len(spec)} metrics)")
+
+
+def main():
+    args = sys.argv[1:]
+    baseline_out = None
+    bench_keep = None
+    if "--write-baseline" in args:
+        i = args.index("--write-baseline")
+        baseline_out = Path(args[i + 1])
+        del args[i:i + 2]
+    if "--keep-bench" in args:
+        i = args.index("--keep-bench")
+        bench_keep = Path(args[i + 1])
+        del args[i:i + 2]
+    html_keep = None
+    if "--keep-html" in args:
+        i = args.index("--keep-html")
+        html_keep = Path(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        sys.exit(f"usage: {sys.argv[0]} /path/to/feam "
+                 "[--write-baseline FILE]")
+    feam = Path(args[0])
+    if not feam.exists():
+        sys.exit(f"FAIL: no such binary: {feam}")
+
+    with tempfile.TemporaryDirectory(prefix="feam_report_") as tmp:
+        tmp = Path(tmp)
+        records_dir = tmp / "records"
+        records_dir.mkdir()
+        expected_ready = {}  # (binary, site) -> bool, from CLI exit codes
+
+        for program, language in WORKLOADS:
+            binary = tmp / program
+            bundle = tmp / f"{program}.feambundle"
+            run([feam, "compile", "--site", SOURCE_SITE, "--stack",
+                 SOURCE_STACK, "--program", program, "--language", language,
+                 "-o", binary])
+            run([feam, "source", "--site", SOURCE_SITE, "--stack",
+                 SOURCE_STACK, "--binary", binary, "-o", bundle])
+            for site in TARGET_SITES:
+                record_path = records_dir / f"{program}_{site}.json"
+                cmd = [feam, "target", "--site", site, "--binary", binary,
+                       "--bundle", bundle, "--run-record-out", record_path]
+                if program == "cg.B" and site == "fir":
+                    cmd += ["--events-out", records_dir / "cg_fir.jsonl"]
+                result = run(cmd, ok_codes=(0, 2))
+                record = json.loads(record_path.read_text())
+                ready = validate_record(record_path, record, program, site)
+                if ready != (result.returncode == 0):
+                    sys.exit(f"FAIL: {record_path}: record says ready="
+                             f"{ready} but exit code {result.returncode}")
+                blocking = next(
+                    (d["key"] for d in record["determinants"]
+                     if d["evaluated"] and not d["compatible"]), None)
+                expected_ready[(program, site)] = (ready, blocking)
+
+        n_ready = sum(ready for ready, _ in expected_ready.values())
+        n_total = len(expected_ready)
+        print(f"matrix driven: {n_total} migrations, {n_ready} READY")
+        if n_total != len(WORKLOADS) * len(TARGET_SITES):
+            sys.exit("FAIL: incomplete matrix")
+
+        # Aggregate without the gate first; the readiness matrix must agree
+        # with the per-run verdicts.
+        dashboard = tmp / "dash.html"
+        bench_file = tmp / "BENCH_2.json"
+        report = run([feam, "report", "--in", records_dir,
+                      "--html", dashboard])
+        out = report.stdout
+        need_line = f"{n_total} records, {n_total} predictions: " \
+                    f"{n_ready} READY, {n_total - n_ready} not ready"
+        if need_line not in out:
+            sys.exit(f"FAIL: report summary missing {need_line!r}:\n{out}")
+
+        # The rendered readiness matrix must agree, cell by cell, with the
+        # per-record TEC verdicts.
+        matrix = parse_matrix(out)
+        for (program, site), (ready, blocking) in expected_ready.items():
+            cell = matrix.get((program, site))
+            if cell is None:
+                sys.exit(f"FAIL: matrix has no cell for {program} @ {site}")
+            if ready and not cell.startswith("READY"):
+                sys.exit(f"FAIL: {program} @ {site} is READY but matrix "
+                         f"shows {cell!r}")
+            if not ready and cell != blocking:
+                sys.exit(f"FAIL: {program} @ {site} blocked by {blocking} "
+                         f"but matrix shows {cell!r}")
+
+        if "Event logs:" not in out:
+            sys.exit("FAIL: report did not ingest the JSONL event log")
+
+        html = dashboard.read_text()
+        for marker in ["<!DOCTYPE html>", "FEAM readiness report", "cg.B"]:
+            if marker not in html:
+                sys.exit(f"FAIL: dashboard missing {marker!r}")
+        for forbidden in ["http://", "https://", "src=", "@import"]:
+            if forbidden in html:
+                sys.exit(f"FAIL: dashboard is not self-contained: "
+                         f"found {forbidden!r}")
+        if html_keep is not None:
+            html_keep.write_text(html)
+            print(f"dashboard copied to {html_keep}")
+
+        if baseline_out is not None:
+            # Regenerate the baseline from this run's flat metrics (via a
+            # bench record), then stop before the gate steps.
+            run([feam, "report", "--in", records_dir,
+                 "--bench-out", bench_file])
+            metrics = json.loads(bench_file.read_text())["metrics"]
+            write_baseline(metrics, baseline_out)
+            return
+
+        if not BASELINE.exists():
+            sys.exit(f"FAIL: no baseline at {BASELINE}; regenerate with "
+                     f"--write-baseline")
+
+        # Gate against the checked-in baseline: must pass.
+        gated = run([feam, "report", "--in", records_dir,
+                     "--baseline", BASELINE, "--gate",
+                     "--bench-out", bench_file, "--pr", "2"])
+        if "GATE PASS" not in gated.stdout:
+            sys.exit(f"FAIL: expected GATE PASS:\n{gated.stdout}")
+
+        bench = json.loads(bench_file.read_text())
+        if bench.get("schema") != "feam.bench/1":
+            sys.exit(f"FAIL: bench schema {bench.get('schema')!r}")
+        if bench.get("pr") != 2 or bench["gate"]["pass"] is not True:
+            sys.exit(f"FAIL: bench gate block wrong: {bench.get('gate')}")
+        if bench["metrics"].get("matrix.ready") != n_ready:
+            sys.exit(f"FAIL: bench matrix.ready "
+                     f"{bench['metrics'].get('matrix.ready')} != {n_ready}")
+        if bench["metrics"].get("matrix.records") != n_total:
+            sys.exit("FAIL: bench matrix.records mismatch")
+        if bench_keep is not None:
+            bench_keep.write_text(bench_file.read_text())
+            print(f"bench record copied to {bench_keep}")
+
+        # Perturb one phase-latency metric to an impossible ceiling: the
+        # gate must now fail with a non-zero exit.
+        perturbed = json.loads(BASELINE.read_text())
+        perturbed["metrics"]["hist.phase.target_ns.p99"] = {"max": 1}
+        perturbed_path = tmp / "perturbed_baseline.json"
+        perturbed_path.write_text(json.dumps(perturbed))
+        failed = run([feam, "report", "--in", records_dir,
+                      "--baseline", perturbed_path, "--gate"],
+                     ok_codes=(2,))
+        if "GATE FAIL" not in failed.stdout:
+            sys.exit(f"FAIL: expected GATE FAIL:\n{failed.stdout}")
+
+        print(f"OK: {n_total} records validated, gate passes on the real "
+              f"baseline, fails (exit 2) on the perturbed one")
+
+
+if __name__ == "__main__":
+    main()

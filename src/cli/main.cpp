@@ -10,7 +10,9 @@
 //   feam target  --site fir --binary /tmp/cg.B --bundle /tmp/cg.B.feambundle
 //        --script /tmp/run_cg.sh
 //   (each command is one line; wrapped here for width)
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "cli/options.hpp"
@@ -21,6 +23,10 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "report/aggregate.hpp"
+#include "report/gate.hpp"
+#include "report/html.hpp"
+#include "report/run_record.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "toolchain/linker.hpp"
@@ -51,18 +57,28 @@ bool write_host_file(const std::string& path, const std::string& text) {
 }
 
 // Applies the observability flags for the whole command and exports the
-// trace/metrics files once the command has run. Construct after parsing,
-// call finish() just before exiting.
+// trace/metrics/run-record files once the command has run. Construct after
+// parsing, call finish() just before exiting.
 class ObsSession {
  public:
   explicit ObsSession(const Options& opts)
-      : trace_out_(opts.trace_out), metrics_out_(opts.metrics_out) {
+      : trace_out_(opts.trace_out),
+        metrics_out_(opts.metrics_out),
+        events_out_(opts.events_out),
+        run_record_out_(opts.run_record_out) {
     if (const auto level = obs::parse_level(opts.log_level)) {
       obs::set_log_level(*level);
     }
     // Spans/events are only retained when something will consume them.
-    if (!trace_out_.empty()) obs::collector().set_enabled(true);
+    if (!trace_out_.empty() || !events_out_.empty() ||
+        !run_record_out_.empty()) {
+      obs::collector().set_enabled(true);
+    }
   }
+
+  // What the finished command knew about itself; filled in as the command
+  // runs, serialized by finish() when --run-record-out was given.
+  report::RunContext& context() { return context_; }
 
   // Returns the command's exit code, or an I/O failure code if an export
   // could not be written.
@@ -89,12 +105,37 @@ class ObsSession {
         obs_rc = 1;
       }
     }
+    if (!events_out_.empty()) {
+      if (write_host_file(events_out_,
+                          obs::render_jsonl(obs::collector().events()))) {
+        std::fprintf(stderr, "feam: events written to %s (%zu events)\n",
+                     events_out_.c_str(), obs::collector().events().size());
+      } else {
+        std::fprintf(stderr, "feam: cannot write %s\n", events_out_.c_str());
+        obs_rc = 1;
+      }
+    }
+    if (!run_record_out_.empty()) {
+      const report::RunRecord record = report::assemble_run_record(
+          context_, obs::collector().spans(), obs::metrics(), rc);
+      if (write_host_file(run_record_out_, record.to_json().dump(2) + "\n")) {
+        std::fprintf(stderr, "feam: run record written to %s\n",
+                     run_record_out_.c_str());
+      } else {
+        std::fprintf(stderr, "feam: cannot write %s\n",
+                     run_record_out_.c_str());
+        obs_rc = 1;
+      }
+    }
     return rc != 0 ? rc : obs_rc;
   }
 
  private:
   std::string trace_out_;
   std::string metrics_out_;
+  std::string events_out_;
+  std::string run_record_out_;
+  report::RunContext context_;
 };
 
 // Loads the bundle archive named by --bundle (if any) into `travelled` and
@@ -102,7 +143,8 @@ class ObsSession {
 // the basic (bundle-less) prediction. Sets `failed` when the file cannot be
 // read or parsed.
 const feam::SourcePhaseOutput* load_travelled_bundle(
-    const Options& opts, SourcePhaseOutput& travelled, bool& failed) {
+    const Options& opts, SourcePhaseOutput& travelled, bool& failed,
+    std::uint64_t* archive_bytes = nullptr) {
   failed = false;
   if (opts.bundle.empty()) return nullptr;
   const auto archive = read_host_file(opts.bundle);
@@ -110,6 +152,9 @@ const feam::SourcePhaseOutput* load_travelled_bundle(
     std::fprintf(stderr, "feam: cannot read %s\n", opts.bundle.c_str());
     failed = true;
     return nullptr;
+  }
+  if (archive_bytes != nullptr) {
+    *archive_bytes = static_cast<std::uint64_t>(archive->size());
   }
   auto unpacked = unpack_bundle(*archive);
   if (!unpacked.ok()) {
@@ -168,9 +213,12 @@ const site::MpiStackInstall* find_stack_by_id(const site::Site& s,
   return s.stack_for_module(id);
 }
 
-int compile(const Options& opts) {
+int compile(const Options& opts, report::RunContext& ctx) {
+  ctx.binary = opts.program;
+  ctx.source_site = opts.site;
   auto s = make_selected_site(opts);
   if (!s) return 1;
+  ctx.source_site = s->name;
   const auto* stack = find_stack_by_id(*s, opts.stack);
   if (stack == nullptr) {
     std::fprintf(stderr, "feam: no stack '%s' at %s\n", opts.stack.c_str(),
@@ -211,9 +259,11 @@ int compile(const Options& opts) {
   return 0;
 }
 
-int source_phase(const Options& opts) {
+int source_phase(const Options& opts, report::RunContext& ctx) {
+  ctx.binary = site::Vfs::basename(opts.binary);
   auto s = make_selected_site(opts);
   if (!s) return 1;
+  ctx.source_site = s->name;
   const auto binary = read_host_file(opts.binary);
   if (!binary) {
     std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
@@ -237,6 +287,7 @@ int source_phase(const Options& opts) {
     std::printf("%s\n", line.c_str());
   }
   const auto archive = pack_bundle(out.value().bundle);
+  ctx.bundle_bytes = static_cast<std::uint64_t>(archive.size());
   if (!write_host_file(opts.output, archive)) {
     std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
     return 1;
@@ -248,9 +299,11 @@ int source_phase(const Options& opts) {
   return 0;
 }
 
-int target_phase(const Options& opts) {
+int target_phase(const Options& opts, report::RunContext& ctx) {
+  ctx.binary = site::Vfs::basename(opts.binary);
   auto s = make_selected_site(opts);
   if (!s) return 1;
+  ctx.target_site = s->name;
   const auto binary = read_host_file(opts.binary);
   if (!binary) {
     std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
@@ -263,8 +316,13 @@ int target_phase(const Options& opts) {
   SourcePhaseOutput travelled;
   bool bundle_failed = false;
   const SourcePhaseOutput* source =
-      load_travelled_bundle(opts, travelled, bundle_failed);
+      load_travelled_bundle(opts, travelled, bundle_failed,
+                            &ctx.bundle_bytes);
   if (bundle_failed) return 1;
+  ctx.mode = source != nullptr ? "extended" : "basic";
+  if (source != nullptr) {
+    ctx.source_site = travelled.bundle.source_environment.site_name;
+  }
 
   const auto result = run_target_phase(*s, vfs_path, source);
   if (!result.ok()) {
@@ -272,6 +330,7 @@ int target_phase(const Options& opts) {
                  result.error().c_str());
     return 1;
   }
+  ctx.prediction = result.value().prediction;
   const Prediction& p = result.value().prediction;
   std::printf("prediction (%s): %s\n",
               source != nullptr ? "extended" : "basic",
@@ -310,9 +369,11 @@ int target_phase(const Options& opts) {
   return p.ready ? 0 : 2;
 }
 
-int exec_command(const Options& opts) {
+int exec_command(const Options& opts, report::RunContext& ctx) {
+  ctx.binary = site::Vfs::basename(opts.binary);
   auto s = make_selected_site(opts);
   if (!s) return 1;
+  ctx.target_site = s->name;
   const auto binary = read_host_file(opts.binary);
   if (!binary) {
     std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
@@ -325,8 +386,13 @@ int exec_command(const Options& opts) {
   SourcePhaseOutput travelled;
   bool bundle_failed = false;
   const SourcePhaseOutput* source =
-      load_travelled_bundle(opts, travelled, bundle_failed);
+      load_travelled_bundle(opts, travelled, bundle_failed,
+                            &ctx.bundle_bytes);
   if (bundle_failed) return 1;
+  ctx.mode = source != nullptr ? "extended" : "basic";
+  if (source != nullptr) {
+    ctx.source_site = travelled.bundle.source_environment.site_name;
+  }
 
   const auto result = run_target_phase(*s, vfs_path, source);
   if (!result.ok()) {
@@ -334,6 +400,7 @@ int exec_command(const Options& opts) {
                  result.error().c_str());
     return 1;
   }
+  ctx.prediction = result.value().prediction;
   if (!result.value().prediction.ready) {
     std::printf("prediction: NOT READY — refusing to execute\n");
     for (const auto& det : result.value().prediction.determinants) {
@@ -361,7 +428,8 @@ int exec_command(const Options& opts) {
   return run.ok() ? 0 : 1;
 }
 
-int survey(const Options& opts) {
+int survey(const Options& opts, report::RunContext& ctx) {
+  ctx.binary = site::Vfs::basename(opts.binary);
   const auto binary = read_host_file(opts.binary);
   if (!binary) {
     std::fprintf(stderr, "feam: cannot read %s\n", opts.binary.c_str());
@@ -370,8 +438,15 @@ int survey(const Options& opts) {
   SourcePhaseOutput travelled;
   bool bundle_failed = false;
   const SourcePhaseOutput* source =
-      load_travelled_bundle(opts, travelled, bundle_failed);
+      load_travelled_bundle(opts, travelled, bundle_failed,
+                            &ctx.bundle_bytes);
   if (bundle_failed) return 1;
+  if (source != nullptr) {
+    ctx.source_site = travelled.bundle.source_environment.site_name;
+    ctx.mode = "extended";
+  } else {
+    ctx.mode = "basic";
+  }
 
   std::vector<std::unique_ptr<site::Site>> owned;
   std::vector<site::Site*> sites;
@@ -389,6 +464,121 @@ int survey(const Options& opts) {
   return report.ready_count() > 0 ? 0 : 2;
 }
 
+// `feam report`: ingest a directory of run records and event logs, print
+// the aggregate, and optionally write the HTML dashboard, apply the
+// regression gate (exit 2 on regression), and record the bench output.
+int report_command(const Options& opts) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(opts.report_in, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "feam: cannot read directory %s: %s\n",
+                 opts.report_in.c_str(), ec.message().c_str());
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<report::RunRecord> records;
+  std::vector<std::string> event_logs;
+  std::size_t skipped = 0;
+  for (const auto& path : paths) {
+    const auto ext = path.extension().string();
+    if (ext != ".json" && ext != ".jsonl") continue;
+    const auto bytes = read_host_file(path.string());
+    if (!bytes) {
+      std::fprintf(stderr, "feam: cannot read %s\n", path.string().c_str());
+      return 1;
+    }
+    std::string text(bytes->begin(), bytes->end());
+    if (ext == ".jsonl") {
+      event_logs.push_back(std::move(text));
+      continue;
+    }
+    const auto parsed = support::Json::parse(text);
+    if (!parsed || parsed->get_string("schema") != report::kRunRecordSchema) {
+      ++skipped;  // other JSON (metrics exports, traces) lives here too
+      continue;
+    }
+    auto record = report::RunRecord::from_json(*parsed);
+    if (!record) {
+      std::fprintf(stderr, "feam: %s: malformed run record\n",
+                   path.string().c_str());
+      return 1;
+    }
+    for (const auto& issue : record->validate()) {
+      std::fprintf(stderr, "feam: %s: %s\n", path.string().c_str(),
+                   issue.c_str());
+    }
+    records.push_back(std::move(*record));
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "feam: no run records under %s\n",
+                 opts.report_in.c_str());
+    return 1;
+  }
+
+  report::Aggregate aggregate =
+      report::aggregate_records(std::move(records));
+  for (const auto& text : event_logs) {
+    report::ingest_event_jsonl(aggregate, text);
+  }
+  std::printf("%s", report::render_report_text(aggregate).c_str());
+  if (skipped > 0) {
+    std::printf("(%zu non-record JSON files skipped)\n", skipped);
+  }
+
+  if (!opts.html_out.empty()) {
+    if (!write_host_file(opts.html_out,
+                         report::render_html_dashboard(aggregate))) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.html_out.c_str());
+      return 1;
+    }
+    std::printf("dashboard written to %s\n", opts.html_out.c_str());
+  }
+
+  const auto metrics = report::flatten_metrics(aggregate);
+  const report::GateResult* gate_result = nullptr;
+  report::GateResult gate_storage;
+  if (!opts.baseline.empty()) {
+    const auto baseline_bytes = read_host_file(opts.baseline);
+    if (!baseline_bytes) {
+      std::fprintf(stderr, "feam: cannot read %s\n", opts.baseline.c_str());
+      return 1;
+    }
+    const auto baseline = support::Json::parse(
+        std::string(baseline_bytes->begin(), baseline_bytes->end()));
+    if (!baseline) {
+      std::fprintf(stderr, "feam: %s is not valid JSON\n",
+                   opts.baseline.c_str());
+      return 1;
+    }
+    auto gated = report::run_gate(metrics, *baseline);
+    if (!gated.ok()) {
+      std::fprintf(stderr, "feam: %s\n", gated.error().c_str());
+      return 1;
+    }
+    gate_storage = std::move(gated).take();
+    gate_result = &gate_storage;
+    std::printf("\n%s", gate_storage.render().c_str());
+  }
+
+  if (!opts.bench_out.empty()) {
+    const auto bench =
+        report::bench_record(metrics, gate_result, opts.pr_number);
+    if (!write_host_file(opts.bench_out, bench.dump(2) + "\n")) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.bench_out.c_str());
+      return 1;
+    }
+    std::printf("bench record written to %s\n", opts.bench_out.c_str());
+  }
+
+  if (opts.gate && gate_result != nullptr && !gate_result->pass) return 2;
+  return 0;
+}
+
 }  // namespace
 }  // namespace feam::cli
 
@@ -402,29 +592,41 @@ int main(int argc, char** argv) {
     return 64;  // EX_USAGE
   }
   ObsSession obs_session(*opts);
+  feam::report::RunContext& ctx = obs_session.context();
   int rc = 0;
   try {
     switch (opts->command) {
       case Command::kHelp:
+        ctx.command = "help";
         std::printf("%s", usage().c_str());
         break;
       case Command::kListSites:
+        ctx.command = "list-sites";
         rc = list_sites();
         break;
       case Command::kCompile:
-        rc = compile(*opts);
+        ctx.command = "compile";
+        rc = compile(*opts, ctx);
         break;
       case Command::kSource:
-        rc = source_phase(*opts);
+        ctx.command = "source";
+        rc = source_phase(*opts, ctx);
         break;
       case Command::kTarget:
-        rc = target_phase(*opts);
+        ctx.command = "target";
+        rc = target_phase(*opts, ctx);
         break;
       case Command::kSurvey:
-        rc = survey(*opts);
+        ctx.command = "survey";
+        rc = survey(*opts, ctx);
         break;
       case Command::kExec:
-        rc = exec_command(*opts);
+        ctx.command = "exec";
+        rc = exec_command(*opts, ctx);
+        break;
+      case Command::kReport:
+        ctx.command = "report";
+        rc = report_command(*opts);
         break;
     }
   } catch (const std::exception& e) {

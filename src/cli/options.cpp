@@ -32,6 +32,16 @@ usage:
       Predict, apply FEAM's generated configuration script, and execute the
       migrated binary at site S — the full automated workflow in one step.
 
+  feam report --in DIR [--html FILE] [--baseline FILE [--gate]]
+              [--bench-out FILE] [--pr N]
+      Aggregate every *.json run record (written by --run-record-out) and
+      *.jsonl event log under DIR: print the readiness matrix with
+      per-determinant failure attribution, merged latency percentiles, and
+      counter roll-ups. --html writes a self-contained dashboard. With
+      --baseline and --gate, flattened metrics are diffed against the
+      per-metric tolerances in FILE and the command exits 2 on regression;
+      --bench-out records the measured metrics and gate outcome.
+
   Every command taking --site also accepts --site-file SPEC.json: a
   user-defined site description (see toolchain/site_spec.hpp for the
   schema), built and provisioned on the fly.
@@ -43,6 +53,12 @@ usage:
                           about:tracing or Perfetto) with one span per FEAM
                           phase, determinant check, and toolchain step.
     --metrics-out FILE    Write counters and latency histograms as JSON.
+    --events-out FILE     Write structured events as JSONL (one JSON object
+                          per line), ingestible by `feam report`.
+    --run-record-out FILE Write a feam.run_record/1 JSON record of this
+                          command (site pair, per-determinant verdicts,
+                          span durations, counters, histogram summaries)
+                          for later aggregation by `feam report`.
 )";
 }
 
@@ -66,6 +82,8 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     opts.command = Command::kSurvey;
   } else if (command == "exec") {
     opts.command = Command::kExec;
+  } else if (command == "report") {
+    opts.command = Command::kReport;
   } else if (command == "--help" || command == "-h" || command == "help") {
     opts.command = Command::kHelp;
     return opts;
@@ -82,6 +100,10 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     };
     if (flag == "--static") {
       opts.static_link = true;
+      continue;
+    }
+    if (flag == "--gate") {
+      opts.gate = true;
       continue;
     }
     const auto v = value();
@@ -102,6 +124,20 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     else if (flag == "--log-level") opts.log_level = *v;
     else if (flag == "--trace-out") opts.trace_out = *v;
     else if (flag == "--metrics-out") opts.metrics_out = *v;
+    else if (flag == "--events-out") opts.events_out = *v;
+    else if (flag == "--run-record-out") opts.run_record_out = *v;
+    else if (flag == "--in") opts.report_in = *v;
+    else if (flag == "--html") opts.html_out = *v;
+    else if (flag == "--baseline") opts.baseline = *v;
+    else if (flag == "--bench-out") opts.bench_out = *v;
+    else if (flag == "--pr") {
+      try {
+        opts.pr_number = std::stoi(*v);
+      } catch (const std::exception&) {
+        error = "--pr requires an integer";
+        return std::nullopt;
+      }
+    }
     else {
       error = "unknown flag: " + flag;
       return std::nullopt;
@@ -150,6 +186,11 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       ok = require(!opts.site.empty() || !opts.site_file.empty(),
                    "exec: --site or --site-file is required") &&
            require(!opts.binary.empty(), "exec: --binary is required");
+      break;
+    case Command::kReport:
+      ok = require(!opts.report_in.empty(), "report: --in is required") &&
+           require(!opts.gate || !opts.baseline.empty(),
+                   "report: --gate requires --baseline");
       break;
     case Command::kListSites:
     case Command::kHelp:

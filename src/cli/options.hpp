@@ -18,7 +18,7 @@
 namespace feam::cli {
 
 enum class Command {
-  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kHelp
+  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kReport, kHelp
 };
 
 struct Options {
@@ -38,6 +38,15 @@ struct Options {
   std::string log_level = "none";  // debug|info|warn|error|none
   std::string trace_out;    // host path for a Chrome trace_event JSON file
   std::string metrics_out;  // host path for a metrics JSON file
+  std::string events_out;   // host path for a JSONL event-log file
+  std::string run_record_out;  // host path for a feam.run_record/1 JSON file
+  // `feam report` (aggregation over a directory of run records):
+  std::string report_in;    // directory of *.json run records / *.jsonl logs
+  std::string html_out;     // self-contained HTML dashboard output path
+  std::string baseline;     // feam.report_baseline/1 file for --gate
+  bool gate = false;        // apply the baseline as a regression gate
+  std::string bench_out;    // feam.bench/1 trajectory record output path
+  int pr_number = 0;        // --pr N, recorded in the bench output
 };
 
 // Parses argv (excluding argv[0]); on error returns nullopt and fills

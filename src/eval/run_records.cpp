@@ -1,0 +1,44 @@
+#include "eval/run_records.hpp"
+
+namespace feam::eval {
+
+report::RunRecord to_run_record(const MigrationResult& result) {
+  report::RunRecord record;
+  record.command = "experiment";
+  record.binary = result.binary_name;
+  record.source_site = result.home_site;
+  record.target_site = result.target_site;
+  record.mode = "extended";
+  record.exit_code = result.extended_ready ? 0 : 2;
+  record.has_prediction = true;
+  record.ready = result.extended_ready;
+  for (const auto& det : result.extended_prediction.determinants) {
+    report::DeterminantVerdict verdict;
+    verdict.key = report::determinant_key(det.kind);
+    verdict.evaluated = det.evaluated;
+    verdict.compatible = det.compatible;
+    verdict.detail = det.detail;
+    record.determinants.push_back(std::move(verdict));
+  }
+  record.missing_libraries =
+      static_cast<std::uint64_t>(result.missing_library_count);
+  record.resolved_libraries =
+      static_cast<std::uint64_t>(result.resolved_library_count);
+  record.unresolved_libraries = static_cast<std::uint64_t>(
+      result.missing_library_count > result.resolved_library_count
+          ? result.missing_library_count - result.resolved_library_count
+          : 0);
+  return record;
+}
+
+std::vector<report::RunRecord> to_run_records(
+    const std::vector<MigrationResult>& results) {
+  std::vector<report::RunRecord> records;
+  records.reserve(results.size());
+  for (const auto& result : results) {
+    records.push_back(to_run_record(result));
+  }
+  return records;
+}
+
+}  // namespace feam::eval

@@ -1,0 +1,23 @@
+// Bridge from the evaluation harness to the telemetry aggregation layer:
+// every MigrationResult becomes one feam.run_record/1 document, so a full
+// experiment sweep can be dropped into a directory and explored with
+// `feam report` (readiness matrix, failure attribution, dashboard) just
+// like records written by the CLI's --run-record-out.
+#pragma once
+
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "report/run_record.hpp"
+
+namespace feam::eval {
+
+// One record per migration: binary/site pair, the extended prediction's
+// per-determinant verdicts, and resolution counts. Exit code mirrors the
+// CLI's target command (0 ready, 2 not ready).
+report::RunRecord to_run_record(const MigrationResult& result);
+
+std::vector<report::RunRecord> to_run_records(
+    const std::vector<MigrationResult>& results);
+
+}  // namespace feam::eval

@@ -29,6 +29,7 @@ support::Bytes pack_bundle(const Bundle& bundle) {
   // target side may want to display.
   support::Json manifest = bundle.manifest();
   support::Json env;
+  env.set("site", bundle.source_environment.site_name);
   env.set("isa", bundle.source_environment.isa);
   env.set("distro", bundle.source_environment.distro);
   if (bundle.source_environment.clib_version) {
@@ -106,6 +107,7 @@ support::Result<Bundle> unpack_bundle(const support::Bytes& archive) {
   if (!app) return R::failure("bundle manifest lacks an application description");
   bundle.application = std::move(*app);
   const auto& env = (*manifest)["source_environment"];
+  bundle.source_environment.site_name = env.get_string("site");
   bundle.source_environment.isa = env.get_string("isa");
   bundle.source_environment.distro = env.get_string("distro");
   if (env.has("clib_version")) {

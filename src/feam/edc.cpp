@@ -191,6 +191,7 @@ EnvironmentDescription Edc::discover(const site::Site& s) {
 
   EnvironmentDescription env;
 
+  env.site_name = s.name;
   env.isa = binutils::uname_p(s);
   env.bits = support::ends_with(env.isa, "64") ? 64 : 32;
 

@@ -39,6 +39,7 @@ struct DiscoveredStack {
 };
 
 struct EnvironmentDescription {
+  std::string site_name;  // which site was described (discovery provenance)
   std::string isa;        // uname -p output
   int bits = 0;           // word size implied by the ISA
   std::string os_type;    // "Linux <kernel>"

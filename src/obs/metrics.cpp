@@ -12,6 +12,11 @@ int bucket_index(std::uint64_t value) {
   return value == 0 ? 0 : std::bit_width(value);
 }
 
+std::uint64_t bucket_lower_bound(int index) {
+  if (index == 0) return 0;
+  return std::uint64_t{1} << (index - 1);
+}
+
 std::uint64_t bucket_upper_bound(int index) {
   if (index == 0) return 0;
   if (index >= Histogram::kBuckets - 1) return UINT64_MAX;
@@ -35,6 +40,106 @@ void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
 }
 
 }  // namespace
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the sample the percentile asks for (1-based, ceil).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(count) + 0.999999));
+  std::uint64_t before = 0;
+  double result = static_cast<double>(max);
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket != 0 && before + in_bucket >= rank) {
+      // Interpolate by rank position within the bucket's value range, so
+      // percentiles are not step functions at bucket boundaries.
+      const double lower = static_cast<double>(bucket_lower_bound(i));
+      const double upper = static_cast<double>(bucket_upper_bound(i));
+      const double fraction = static_cast<double>(rank - before) /
+                              static_cast<double>(in_bucket);
+      result = lower + fraction * (upper - lower);
+      break;
+    }
+    before += in_bucket;
+  }
+  // Clamp in double space: the top bucket's upper bound exceeds what a
+  // uint64 cast can represent.
+  const double lo = static_cast<double>(min());
+  const double hi = static_cast<double>(max);
+  if (result <= lo) return min();
+  if (result >= hi) return max;
+  return static_cast<std::uint64_t>(result);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  min_raw = std::min(min_raw, other.min_raw);
+  max = std::max(max, other.max);
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[static_cast<std::size_t>(i)] +=
+        other.buckets[static_cast<std::size_t>(i)];
+  }
+}
+
+support::Json HistogramSnapshot::to_json() const {
+  support::Json out;
+  out.set("count", count);
+  out.set("sum", sum);
+  out.set("min", min());
+  out.set("max", max);
+  out.set("mean", mean());
+  out.set("p50", percentile(0.50));
+  out.set("p90", percentile(0.90));
+  out.set("p99", percentile(0.99));
+  int last = kBuckets;
+  while (last > 0 && buckets[static_cast<std::size_t>(last - 1)] == 0) --last;
+  support::Json::Array bucket_counts;
+  bucket_counts.reserve(static_cast<std::size_t>(last));
+  for (int i = 0; i < last; ++i) {
+    bucket_counts.push_back(
+        support::Json(buckets[static_cast<std::size_t>(i)]));
+  }
+  out.set("buckets", support::Json(std::move(bucket_counts)));
+  return out;
+}
+
+std::optional<HistogramSnapshot> HistogramSnapshot::from_json(
+    const support::Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  HistogramSnapshot s;
+  if (!j["count"].is_number()) return std::nullopt;
+  s.count = static_cast<std::uint64_t>(j["count"].as_number());
+  s.sum = static_cast<std::uint64_t>(j["sum"].as_number());
+  s.max = static_cast<std::uint64_t>(j["max"].as_number());
+  const std::uint64_t stored_min =
+      static_cast<std::uint64_t>(j["min"].as_number());
+  s.min_raw = s.count == 0 ? UINT64_MAX : stored_min;
+  if (j["buckets"].is_array()) {
+    const auto& counts = j["buckets"].as_array();
+    if (counts.size() > static_cast<std::size_t>(kBuckets)) return std::nullopt;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (!counts[i].is_number()) return std::nullopt;
+      s.buckets[i] = static_cast<std::uint64_t>(counts[i].as_number());
+      total += s.buckets[i];
+    }
+    if (total != s.count) return std::nullopt;
+  } else if (s.count != 0) {
+    // Bucket-less summary: place every sample at the max's bucket so the
+    // merge stays count-consistent (percentiles degrade to [min, max]).
+    s.buckets[static_cast<std::size_t>(
+        std::min(bucket_index(s.max), kBuckets - 1))] = s.count;
+  }
+  return s;
+}
 
 void Histogram::record(std::uint64_t value) {
   const int index = std::min(bucket_index(value), kBuckets - 1);
@@ -68,23 +173,20 @@ double Histogram::mean() const {
 }
 
 std::uint64_t Histogram::percentile(double p) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0;
-  if (p < 0.0) p = 0.0;
-  if (p > 1.0) p = 1.0;
-  // Rank of the sample the percentile asks for (1-based, ceil).
-  const std::uint64_t rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(p * static_cast<double>(n) + 0.999999));
-  std::uint64_t seen = 0;
-  std::uint64_t result = max();
+  return snapshot().percentile(p);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min_raw = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      result = bucket_upper_bound(i);
-      break;
-    }
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
   }
-  return std::clamp(result, min(), max());
+  return s;
 }
 
 void Histogram::reset() {
@@ -95,18 +197,7 @@ void Histogram::reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
-support::Json Histogram::to_json() const {
-  support::Json out;
-  out.set("count", count());
-  out.set("sum", sum());
-  out.set("min", min());
-  out.set("max", max());
-  out.set("mean", mean());
-  out.set("p50", percentile(0.50));
-  out.set("p90", percentile(0.90));
-  out.set("p99", percentile(0.99));
-  return out;
-}
+support::Json Histogram::to_json() const { return snapshot().to_json(); }
 
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -131,6 +222,23 @@ Histogram& Registry::histogram(std::string_view name) {
 std::size_t Registry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_.size() + histograms_.size();
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histogram_snapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out[name] = histogram->snapshot();
+  }
+  return out;
 }
 
 void Registry::reset_values() {

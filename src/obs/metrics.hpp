@@ -7,16 +7,18 @@
 // (references are stable for the life of the registry).
 //
 // Histograms use power-of-two buckets: record() costs three atomic adds,
-// memory is fixed (64 buckets), and percentiles are exact to within the
-// bucket (a factor of two), clamped to the observed min/max so
+// memory is fixed (64 buckets), and percentiles interpolate linearly
+// within the enclosing bucket, clamped to the observed min/max so
 // single-valued histograms report exactly.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -39,9 +41,44 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+// A plain-value copy of a histogram's state. Snapshots are the mergeable
+// unit of the aggregation layer: serialize the buckets, merge snapshots
+// from N processes, and percentiles on the merged result keep the same
+// per-bucket fidelity a single process would have had.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min_raw = UINT64_MAX;  // UINT64_MAX when empty
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  bool empty() const { return count == 0; }
+  std::uint64_t min() const { return count == 0 ? 0 : min_raw; }
+  double mean() const;
+
+  // Value at or below which fraction `p` (0..1] of samples fall: linearly
+  // interpolated within the enclosing power-of-two bucket, clamped to
+  // [min, max].
+  std::uint64_t percentile(double p) const;
+
+  // Accumulates `other` into this snapshot.
+  void merge(const HistogramSnapshot& other);
+
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
+  //  "p99":..,"buckets":[..]} — buckets trimmed of trailing zeros so the
+  // summary stays mergeable without bloating records.
+  support::Json to_json() const;
+
+  // Accepts to_json() output; summaries without "buckets" (the pre-
+  // aggregation format) load with all samples in one synthetic bucket.
+  static std::optional<HistogramSnapshot> from_json(const support::Json& j);
+};
+
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
 
   void record(std::uint64_t value);
 
@@ -51,14 +88,17 @@ class Histogram {
   std::uint64_t max() const;
   double mean() const;  // 0 when empty
 
-  // Value at or below which fraction `p` (0..1] of samples fall; exact to
-  // within the enclosing power-of-two bucket, clamped to [min, max].
+  // Value at or below which fraction `p` (0..1] of samples fall; linearly
+  // interpolated within the enclosing power-of-two bucket, clamped to
+  // [min, max].
   std::uint64_t percentile(double p) const;
+
+  // Consistent plain-value copy for serialization and merging.
+  HistogramSnapshot snapshot() const;
 
   void reset();
 
-  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
-  //  "p99":..}
+  // HistogramSnapshot::to_json of a snapshot taken now.
   support::Json to_json() const;
 
  private:
@@ -77,6 +117,10 @@ class Registry {
   Histogram& histogram(std::string_view name);
 
   std::size_t size() const;  // distinct registered names
+
+  // Plain-value copies of the current state, for serialization/merging.
+  std::map<std::string, std::uint64_t> counter_values() const;
+  std::map<std::string, HistogramSnapshot> histogram_snapshots() const;
 
   // Zeroes every value; registered names survive.
   void reset_values();

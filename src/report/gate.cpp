@@ -1,0 +1,138 @@
+#include "report/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace feam::report {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::size_t GateResult::failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(checks.begin(), checks.end(),
+                    [](const MetricCheck& c) { return !c.pass; }));
+}
+
+std::string GateResult::render() const {
+  std::string out;
+  for (const auto& check : checks) {
+    out += (check.pass ? "  ok   " : "  FAIL ") + check.name + ": " +
+           check.verdict + "\n";
+  }
+  out += pass ? "GATE PASS (" + std::to_string(checks.size()) + " metrics)\n"
+              : "GATE FAIL (" + std::to_string(failures()) + " of " +
+                    std::to_string(checks.size()) + " metrics out of "
+                    "tolerance)\n";
+  return out;
+}
+
+support::Result<GateResult> run_gate(
+    const std::map<std::string, double>& measured,
+    const support::Json& baseline) {
+  using R = support::Result<GateResult>;
+  if (!baseline.is_object() ||
+      baseline.get_string("schema") != kBaselineSchema) {
+    return R::failure("baseline is not a " + std::string(kBaselineSchema) +
+                      " document");
+  }
+  if (!baseline["metrics"].is_object()) {
+    return R::failure("baseline lacks a \"metrics\" object");
+  }
+  GateResult result;
+  for (const auto& [name, spec] : baseline["metrics"].as_object()) {
+    if (!spec.is_object()) {
+      return R::failure("baseline metric '" + name + "' is not an object");
+    }
+    const bool has_value = spec["value"].is_number();
+    const bool has_max = spec["max"].is_number();
+    const bool has_min = spec["min"].is_number();
+    if (!has_value && !has_max && !has_min) {
+      return R::failure("baseline metric '" + name +
+                        "' needs \"value\", \"max\", or \"min\"");
+    }
+    MetricCheck check;
+    check.name = name;
+    const auto it = measured.find(name);
+    if (it == measured.end()) {
+      check.verdict = "metric missing from this run";
+      check.pass = false;
+    } else {
+      check.measured = it->second;
+      check.have_measured = true;
+      check.pass = true;
+      std::string verdict = "measured " + format_value(check.measured);
+      if (has_value) {
+        const double expected = spec["value"].as_number();
+        const double rel_tol = spec["rel_tol"].is_number()
+                                   ? spec["rel_tol"].as_number()
+                                   : 0.0;
+        const double abs_tol = spec["abs_tol"].is_number()
+                                   ? spec["abs_tol"].as_number()
+                                   : 0.0;
+        const double allowed =
+            std::max(rel_tol * std::abs(expected), abs_tol);
+        const double delta = std::abs(check.measured - expected);
+        verdict += ", expected " + format_value(expected) + " ±" +
+                   format_value(allowed);
+        if (delta > allowed) check.pass = false;
+      }
+      if (has_max) {
+        const double ceiling = spec["max"].as_number();
+        verdict += ", max " + format_value(ceiling);
+        if (check.measured > ceiling) check.pass = false;
+      }
+      if (has_min) {
+        const double floor_value = spec["min"].as_number();
+        verdict += ", min " + format_value(floor_value);
+        if (check.measured < floor_value) check.pass = false;
+      }
+      check.verdict = verdict;
+    }
+    if (!check.pass) result.pass = false;
+    result.checks.push_back(std::move(check));
+  }
+  return result;
+}
+
+support::Json bench_record(const std::map<std::string, double>& measured,
+                           const GateResult* gate, int pr_number) {
+  support::Json out;
+  out.set("schema", std::string(kBenchSchema));
+  out.set("pr", pr_number);
+  out.set("suite", "feam report matrix");
+  support::Json metrics{support::Json::Object{}};
+  for (const auto& [name, value] : measured) metrics.set(name, value);
+  out.set("metrics", std::move(metrics));
+  if (gate != nullptr) {
+    support::Json gate_json;
+    gate_json.set("pass", gate->pass);
+    gate_json.set("checked", gate->checks.size());
+    support::Json::Array failures;
+    for (const auto& check : gate->checks) {
+      if (!check.pass) {
+        support::Json failure;
+        failure.set("name", check.name);
+        failure.set("verdict", check.verdict);
+        failures.push_back(std::move(failure));
+      }
+    }
+    gate_json.set("failures", support::Json(std::move(failures)));
+    out.set("gate", std::move(gate_json));
+  }
+  return out;
+}
+
+}  // namespace feam::report

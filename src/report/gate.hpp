@@ -1,0 +1,59 @@
+// The benchmark regression gate: diff an aggregate's flattened metrics
+// against a checked-in baseline with per-metric tolerances, and emit the
+// repo's bench-trajectory record (BENCH_N.json).
+//
+// Baseline schema (feam.report_baseline/1):
+//   {"schema": "feam.report_baseline/1",
+//    "metrics": {
+//      "matrix.ready":            {"value": 38, "rel_tol": 0},
+//      "hist.phase.target_ns.p99": {"max": 2000000000},
+//      "counter.tec.determinant_checks": {"value": 280, "abs_tol": 4}}}
+//
+// A metric spec either pins a value (fail when |measured - value| exceeds
+// max(rel_tol * |value|, abs_tol)) or bounds it ("max" / "min" ceilings
+// for latencies, which vary across hardware). A baseline metric missing
+// from the measurement is itself a regression.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/aggregate.hpp"
+#include "support/json.hpp"
+#include "support/result.hpp"
+
+namespace feam::report {
+
+inline constexpr std::string_view kBaselineSchema = "feam.report_baseline/1";
+inline constexpr std::string_view kBenchSchema = "feam.bench/1";
+
+struct MetricCheck {
+  std::string name;
+  double measured = 0.0;
+  bool have_measured = false;
+  bool pass = false;
+  std::string verdict;  // human-readable "ok ..." / "FAIL ..." line
+};
+
+struct GateResult {
+  bool pass = true;
+  std::vector<MetricCheck> checks;
+
+  std::size_t failures() const;
+  // One line per check plus a PASS/FAIL summary.
+  std::string render() const;
+};
+
+// Parses and applies the baseline to the measured metrics; fails on a
+// malformed baseline document.
+support::Result<GateResult> run_gate(
+    const std::map<std::string, double>& measured,
+    const support::Json& baseline);
+
+// The repo's bench-trajectory record (schema feam.bench/1): every flat
+// metric plus the gate outcome, written as BENCH_<pr>.json.
+support::Json bench_record(const std::map<std::string, double>& measured,
+                           const GateResult* gate, int pr_number);
+
+}  // namespace feam::report

@@ -1,0 +1,541 @@
+#include "report/html.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace feam::report {
+
+namespace {
+
+std::string html_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns < 10'000.0) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (ns < 10'000'000.0) {
+    std::snprintf(buf, sizeof buf, "%.1f&micro;s", ns / 1'000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fms", ns / 1'000'000.0);
+  }
+  return buf;
+}
+
+// The embedded data island feeds the span-waterfall. "</" must not appear
+// inside a <script> element, so the dump is split as "<\/".
+std::string script_safe_json(const support::Json& j) {
+  std::string text = j.dump();
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '<' && i + 1 < text.size() && text[i + 1] == '/') {
+      out += "<\\/";
+      ++i;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+support::Json waterfall_data(const Aggregate& aggregate) {
+  support::Json::Array runs;
+  for (const auto& record : aggregate.records) {
+    if (record.spans.empty()) continue;
+    support::Json run;
+    std::string label = record.binary.empty() ? "(unknown)" : record.binary;
+    if (!record.target_site.empty()) label += " @ " + record.target_site;
+    label += " [" + record.command + "]";
+    run.set("label", label);
+    run.set("exit_code", record.exit_code);
+    support::Json::Array spans;
+    for (const auto& span : record.spans) {
+      support::Json s;
+      s.set("id", static_cast<double>(span.id));
+      s.set("parent", static_cast<double>(span.parent_id));
+      s.set("name", span.name);
+      s.set("start", static_cast<double>(span.start_ns));
+      s.set("dur", static_cast<double>(span.duration_ns));
+      spans.push_back(std::move(s));
+    }
+    run.set("spans", support::Json(std::move(spans)));
+    runs.push_back(std::move(run));
+  }
+  support::Json data;
+  data.set("runs", support::Json(std::move(runs)));
+  return data;
+}
+
+void append_stat_tile(std::string& out, std::string_view label,
+                      std::string_view value) {
+  out += "<div class=\"tile\"><div class=\"tile-value\">";
+  out += html_escape(value);
+  out += "</div><div class=\"tile-label\">";
+  out += html_escape(label);
+  out += "</div></div>\n";
+}
+
+void append_matrix(std::string& out, const Aggregate& aggregate) {
+  out += "<section><h2>Readiness matrix</h2>\n";
+  out += "<p class=\"note\">Rows are binaries, columns are target sites. "
+         "Blocked cells name the failing determinant; READY+n resolved n "
+         "library copies from the bundle.</p>\n";
+  out += "<table class=\"matrix\"><thead><tr><th>Binary</th>";
+  for (const auto& site : aggregate.sites) {
+    out += "<th>" + html_escape(site) + "</th>";
+  }
+  out += "</tr></thead><tbody>\n";
+  for (const auto& [binary, row] : aggregate.matrix) {
+    out += "<tr><th>" + html_escape(binary) + "</th>";
+    for (const auto& site : aggregate.sites) {
+      const auto it = row.find(site);
+      if (it == row.end()) {
+        out += "<td class=\"cell-none\">&ndash;</td>";
+        continue;
+      }
+      const MatrixCell& cell = it->second;
+      std::string text;
+      if (cell.ready) {
+        text = "READY";
+        if (cell.resolved_libraries > 0) {
+          text += "+" + std::to_string(cell.resolved_libraries);
+        }
+      } else {
+        text = cell.blocking_determinant;
+      }
+      std::string title = binary + " @ " + site;
+      if (!cell.detail.empty()) title += ": " + cell.detail;
+      out += std::string("<td class=\"") +
+             (cell.ready ? "cell-ready" : "cell-blocked") + "\" title=\"" +
+             html_escape(title) + "\"><span class=\"dot\"></span>" +
+             html_escape(text) + "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+  if (!aggregate.conflicts.empty()) {
+    out += "<section><h2>Conflicts</h2><ul>\n";
+    for (const auto& conflict : aggregate.conflicts) {
+      out += "<li>" + html_escape(conflict) + "</li>\n";
+    }
+    out += "</ul></section>\n";
+  }
+}
+
+void append_latency_bars(std::string& out, const Aggregate& aggregate) {
+  double max_p99 = 0.0;
+  for (const auto& [name, h] : aggregate.histograms) {
+    if (h.empty()) continue;
+    max_p99 = std::max(max_p99, static_cast<double>(h.percentile(0.99)));
+  }
+  out += "<section><h2>Latency percentiles</h2>\n";
+  if (max_p99 <= 0.0) {
+    out += "<p class=\"note\">No histogram data in the ingested records."
+           "</p></section>\n";
+    return;
+  }
+  out += "<p class=\"note\">Merged across all run records; bars share one "
+         "scale.</p>\n";
+  out += "<div class=\"legend\">"
+         "<span><span class=\"swatch sw-p50\"></span>p50</span>"
+         "<span><span class=\"swatch sw-p90\"></span>p90</span>"
+         "<span><span class=\"swatch sw-p99\"></span>p99</span></div>\n";
+  out += "<div class=\"bars\">\n";
+  for (const auto& [name, h] : aggregate.histograms) {
+    if (h.empty()) continue;
+    const double p50 = static_cast<double>(h.percentile(0.50));
+    const double p90 = static_cast<double>(h.percentile(0.90));
+    const double p99 = static_cast<double>(h.percentile(0.99));
+    const auto pct = [&](double v) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.2f",
+                    std::max(0.5, 100.0 * v / max_p99));
+      return std::string(buf);
+    };
+    const bool ns = support::ends_with(name, "_ns");
+    const auto value = [&](double v) {
+      if (ns) return format_ns(v);
+      return std::to_string(static_cast<std::uint64_t>(v));
+    };
+    const std::string title = html_escape(name) + ": n=" +
+                              std::to_string(h.count) + " p50=" + value(p50) +
+                              " p90=" + value(p90) + " p99=" + value(p99);
+    out += "<div class=\"bar-row\" title=\"" + title + "\">";
+    out += "<div class=\"bar-name\">" + html_escape(name) + "</div>";
+    out += "<div class=\"bar-track\">";
+    out += "<div class=\"bar bar-p99\" style=\"width:" + pct(p99) +
+           "%\"></div>";
+    out += "<div class=\"bar bar-p90\" style=\"width:" + pct(p90) +
+           "%\"></div>";
+    out += "<div class=\"bar bar-p50\" style=\"width:" + pct(p50) +
+           "%\"></div>";
+    out += "</div>";
+    out += "<div class=\"bar-value\">" + value(p99) + "</div>";
+    out += "</div>\n";
+  }
+  out += "</div></section>\n";
+}
+
+void append_counters(std::string& out, const Aggregate& aggregate) {
+  if (aggregate.counters.empty()) return;
+  out += "<section><h2>Counter roll-up</h2>\n";
+  out += "<table class=\"counters\"><thead><tr><th>Counter</th>"
+         "<th class=\"num\">Total</th></tr></thead><tbody>\n";
+  for (const auto& [name, value] : aggregate.counters) {
+    out += "<tr><td>" + html_escape(name) + "</td><td class=\"num\">" +
+           std::to_string(value) + "</td></tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+}
+
+void append_events(std::string& out, const Aggregate& aggregate) {
+  if (aggregate.events.total == 0 && aggregate.events.malformed_lines == 0) {
+    return;
+  }
+  out += "<section><h2>Event logs</h2>\n<table class=\"counters\"><thead>"
+         "<tr><th>Level</th><th class=\"num\">Events</th></tr></thead>"
+         "<tbody>\n";
+  for (const auto& [level, count] : aggregate.events.by_level) {
+    out += "<tr><td>" + html_escape(level) + "</td><td class=\"num\">" +
+           std::to_string(count) + "</td></tr>\n";
+  }
+  if (aggregate.events.malformed_lines > 0) {
+    out += "<tr><td>(malformed lines)</td><td class=\"num\">" +
+           std::to_string(aggregate.events.malformed_lines) + "</td></tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+}
+
+constexpr const char* kStyle = R"css(
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --border: rgba(11, 11, 11, 0.10);
+  --status-good: #0ca30c;
+  --status-critical: #d03b3b;
+  --lat-p50: #256abf;
+  --lat-p90: #5598e7;
+  --lat-p99: #86b6ef;
+  --series-1: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --border: rgba(255, 255, 255, 0.10);
+    --lat-p50: #2a78d6;
+    --lat-p90: #6da7ec;
+    --lat-p99: #9ec5f4;
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --gridline: #2c2c2a;
+  --border: rgba(255, 255, 255, 0.10);
+  --lat-p50: #2a78d6;
+  --lat-p90: #6da7ec;
+  --lat-p99: #9ec5f4;
+  --series-1: #3987e5;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+  line-height: 1.45;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 8px; color: var(--text-primary); }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.note { color: var(--text-secondary); margin: 0 0 10px; font-size: 13px; }
+section {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin: 0 0 16px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 16px; }
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px 18px;
+  min-width: 120px;
+}
+.tile-value { font-size: 24px; font-weight: 600; }
+.tile-label { color: var(--text-secondary); font-size: 12px; }
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left;
+  padding: 5px 10px;
+  border-bottom: 1px solid var(--gridline);
+  font-weight: normal;
+}
+thead th { color: var(--text-muted); font-size: 12px; }
+tbody th { color: var(--text-secondary); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.matrix td { white-space: nowrap; }
+.cell-none { color: var(--text-muted); }
+.dot {
+  display: inline-block;
+  width: 8px;
+  height: 8px;
+  border-radius: 50%;
+  margin-right: 6px;
+  vertical-align: baseline;
+}
+.cell-ready .dot { background: var(--status-good); }
+.cell-blocked .dot { background: var(--status-critical); }
+.legend {
+  display: flex;
+  gap: 16px;
+  color: var(--text-secondary);
+  font-size: 12px;
+  margin: 0 0 8px;
+}
+.legend > span { display: inline-flex; align-items: center; gap: 6px; }
+.swatch { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
+.sw-p50 { background: var(--lat-p50); }
+.sw-p90 { background: var(--lat-p90); }
+.sw-p99 { background: var(--lat-p99); }
+.bars { display: grid; grid-template-columns: max-content 1fr max-content; gap: 6px 10px; }
+.bar-row { display: contents; }
+.bar-name {
+  color: var(--text-secondary);
+  font-size: 12px;
+  align-self: center;
+  white-space: nowrap;
+}
+.bar-track { position: relative; height: 14px; align-self: center; }
+.bar {
+  position: absolute;
+  top: 0;
+  left: 0;
+  height: 14px;
+  border-radius: 0 4px 4px 0;
+  min-width: 2px;
+}
+.bar-p99 { background: var(--lat-p99); }
+.bar-p90 { background: var(--lat-p90); }
+.bar-p50 { background: var(--lat-p50); }
+.bar-value {
+  color: var(--text-muted);
+  font-size: 12px;
+  align-self: center;
+  font-variant-numeric: tabular-nums;
+}
+select {
+  background: var(--surface-1);
+  color: var(--text-primary);
+  border: 1px solid var(--gridline);
+  border-radius: 6px;
+  padding: 4px 8px;
+  font: inherit;
+  margin: 0 0 12px;
+  max-width: 100%;
+}
+.wf { display: grid; grid-template-columns: max-content 1fr; gap: 4px 10px; }
+.wf-name {
+  color: var(--text-secondary);
+  font-size: 12px;
+  align-self: center;
+  white-space: nowrap;
+}
+.wf-track { position: relative; height: 14px; align-self: center; }
+.wf-bar {
+  position: absolute;
+  top: 0;
+  height: 14px;
+  background: var(--series-1);
+  border-radius: 2px;
+  min-width: 2px;
+}
+.wf-label {
+  position: absolute;
+  top: -1px;
+  font-size: 11px;
+  color: var(--text-muted);
+  white-space: nowrap;
+  font-variant-numeric: tabular-nums;
+}
+footer { color: var(--text-muted); font-size: 12px; margin-top: 20px; }
+)css";
+
+constexpr const char* kScript = R"js(
+(function () {
+  var data = JSON.parse(document.getElementById('feam-data').textContent);
+  var select = document.getElementById('run-select');
+  var host = document.getElementById('waterfall');
+  if (!data.runs.length) {
+    select.style.display = 'none';
+    host.textContent = 'No span data in the ingested run records.';
+    host.className = 'note';
+    return;
+  }
+  data.runs.forEach(function (run, i) {
+    var option = document.createElement('option');
+    option.value = String(i);
+    option.textContent = run.label;
+    select.appendChild(option);
+  });
+  function formatNs(ns) {
+    if (ns < 1e4) return ns.toFixed(0) + 'ns';
+    if (ns < 1e7) return (ns / 1e3).toFixed(1) + 'µs';
+    return (ns / 1e6).toFixed(1) + 'ms';
+  }
+  function depthOf(byId, span) {
+    var depth = 0;
+    var cursor = span;
+    while (cursor.parent && byId[cursor.parent] && depth < 32) {
+      cursor = byId[cursor.parent];
+      depth += 1;
+    }
+    return depth;
+  }
+  function render(index) {
+    var run = data.runs[index];
+    host.textContent = '';
+    host.className = 'wf';
+    var spans = run.spans.slice().sort(function (a, b) {
+      return a.start - b.start || a.id - b.id;
+    });
+    var byId = {};
+    spans.forEach(function (s) { byId[s.id] = s; });
+    var t0 = Infinity, t1 = 0;
+    spans.forEach(function (s) {
+      t0 = Math.min(t0, s.start);
+      t1 = Math.max(t1, s.start + s.dur);
+    });
+    var extent = Math.max(1, t1 - t0);
+    spans.forEach(function (s) {
+      var name = document.createElement('div');
+      name.className = 'wf-name';
+      name.style.paddingLeft = (depthOf(byId, s) * 14) + 'px';
+      name.textContent = s.name;
+      var track = document.createElement('div');
+      track.className = 'wf-track';
+      var bar = document.createElement('div');
+      bar.className = 'wf-bar';
+      var left = 100 * (s.start - t0) / extent;
+      var width = Math.max(0.3, 100 * s.dur / extent);
+      bar.style.left = left.toFixed(3) + '%';
+      bar.style.width = Math.min(width, 100 - left).toFixed(3) + '%';
+      bar.title = s.name + ': ' + formatNs(s.dur);
+      var label = document.createElement('div');
+      label.className = 'wf-label';
+      var labelAt = left + Math.min(width, 100 - left);
+      if (labelAt > 82) {
+        label.style.right = (100 - left) + '%';
+        label.style.paddingRight = '6px';
+      } else {
+        label.style.left = labelAt + '%';
+        label.style.paddingLeft = '6px';
+      }
+      label.textContent = formatNs(s.dur);
+      track.appendChild(bar);
+      track.appendChild(label);
+      host.appendChild(name);
+      host.appendChild(track);
+    });
+  }
+  select.addEventListener('change', function () {
+    render(Number(select.value));
+  });
+  render(0);
+})();
+)js";
+
+}  // namespace
+
+std::string render_html_dashboard(const Aggregate& aggregate) {
+  std::string out;
+  out.reserve(32768);
+  out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  out += "<meta charset=\"utf-8\">\n";
+  out += "<meta name=\"viewport\" content=\"width=device-width, "
+         "initial-scale=1\">\n";
+  out += "<title>FEAM readiness report</title>\n";
+  out += "<style>";
+  out += kStyle;
+  out += "</style>\n</head>\n<body>\n<main>\n";
+  out += "<h1>FEAM readiness report</h1>\n";
+  out += "<p class=\"subtitle\">Execution-readiness predictions aggregated "
+         "from " + std::to_string(aggregate.records.size()) +
+         " run records.</p>\n";
+
+  out += "<div class=\"tiles\">\n";
+  append_stat_tile(out, "run records",
+                   std::to_string(aggregate.records.size()));
+  append_stat_tile(out, "predictions",
+                   std::to_string(aggregate.prediction_runs));
+  append_stat_tile(out, "READY", std::to_string(aggregate.ready_runs));
+  append_stat_tile(
+      out, "not ready",
+      std::to_string(aggregate.prediction_runs - aggregate.ready_runs));
+  if (aggregate.events.total > 0) {
+    append_stat_tile(out, "log events",
+                     std::to_string(aggregate.events.total));
+  }
+  out += "</div>\n";
+
+  append_matrix(out, aggregate);
+  append_latency_bars(out, aggregate);
+
+  out += "<section><h2>Span waterfall</h2>\n";
+  out += "<p class=\"note\">One run's span tree over its own time extent; "
+         "indentation follows span parentage.</p>\n";
+  out += "<select id=\"run-select\" aria-label=\"Select run\"></select>\n";
+  out += "<div id=\"waterfall\"></div></section>\n";
+
+  append_counters(out, aggregate);
+  append_events(out, aggregate);
+
+  out += "<footer>Generated by <code>feam report</code>; self-contained "
+         "file, no network access required.</footer>\n";
+  out += "</main>\n";
+  out += "<script type=\"application/json\" id=\"feam-data\">";
+  out += script_safe_json(waterfall_data(aggregate));
+  out += "</script>\n<script>";
+  out += kScript;
+  out += "</script>\n</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace feam::report

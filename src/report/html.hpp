@@ -1,0 +1,16 @@
+// Self-contained single-file HTML dashboard for an aggregated matrix run:
+// readiness matrix, merged latency bars, counter roll-up, and a
+// span-waterfall for a selected run. Inline CSS/JS only — no network
+// fetches — so the file can be archived as a CI artifact and opened
+// anywhere.
+#pragma once
+
+#include <string>
+
+#include "report/aggregate.hpp"
+
+namespace feam::report {
+
+std::string render_html_dashboard(const Aggregate& aggregate);
+
+}  // namespace feam::report

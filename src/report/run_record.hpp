@@ -1,0 +1,101 @@
+// RunRecord: the versioned, self-contained JSON record of one migration
+// attempt — the unit the aggregation layer works on. One CLI invocation
+// with --run-record-out writes one RunRecord assembled from the live obs
+// state (span tree, counters, histogram snapshots) plus the phase outcome
+// (site pair, per-determinant verdicts, resolution counts, bundle size).
+// `feam report` ingests a directory of these and answers fleet-level
+// questions: which binaries run where, what blocks them, and how long
+// each phase takes across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "feam/tec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace feam::report {
+
+inline constexpr std::string_view kRunRecordSchema = "feam.run_record/1";
+
+// Short stable key for a determinant ("isa", "c_library", "mpi_stack",
+// "shared_libraries") — matches the tec.determinant.* span names.
+const char* determinant_key(DeterminantKind kind);
+
+struct DeterminantVerdict {
+  std::string key;  // determinant_key() value
+  bool evaluated = false;
+  bool compatible = false;
+  std::string detail;
+};
+
+// A finished span, flattened for serialization (ids are per-process but
+// self-consistent within one record).
+struct SpanSummary {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 for roots
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+struct RunRecord {
+  std::string schema{kRunRecordSchema};
+  std::string command;      // CLI subcommand ("target", "exec", ...)
+  std::string binary;       // binary basename
+  std::string source_site;  // guaranteed environment; "" when unknown
+  std::string target_site;  // "" for source-only records
+  std::string mode;         // "basic" | "extended" | ""
+  int exit_code = 0;
+
+  bool has_prediction = false;
+  bool ready = false;
+  std::vector<DeterminantVerdict> determinants;
+  std::uint64_t missing_libraries = 0;
+  std::uint64_t resolved_libraries = 0;
+  std::uint64_t unresolved_libraries = 0;
+  std::uint64_t bundle_bytes = 0;
+
+  std::vector<SpanSummary> spans;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
+
+  // The blocking determinant's key for a not-ready prediction ("" when
+  // ready, "?" when nothing was evaluated incompatible).
+  std::string blocking_determinant() const;
+
+  // Total duration of the named span (first occurrence), 0 when absent.
+  std::uint64_t span_duration_ns(std::string_view name) const;
+
+  support::Json to_json() const;
+  static std::optional<RunRecord> from_json(const support::Json& j);
+
+  // Internal-consistency issues (empty when the record is well-formed):
+  // schema/command present, durations finite, every span parent exists,
+  // and each parent's duration covers the sum of its direct children.
+  std::vector<std::string> validate() const;
+};
+
+// What the CLI layer knows about the run it just performed; everything
+// observability-shaped is pulled from the obs collector and registry.
+struct RunContext {
+  std::string command;
+  std::string binary;
+  std::string source_site;
+  std::string target_site;
+  std::string mode;
+  std::uint64_t bundle_bytes = 0;
+  std::optional<Prediction> prediction;
+};
+
+// Builds the record for a finished command from the live obs state.
+RunRecord assemble_run_record(const RunContext& context,
+                              const std::vector<obs::SpanRecord>& spans,
+                              const obs::Registry& registry, int exit_code);
+
+}  // namespace feam::report

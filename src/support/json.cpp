@@ -14,23 +14,72 @@ const Json& null_json() {
   return kNull;
 }
 
+// Length of the valid UTF-8 sequence starting at s[i], or 0 when the lead
+// byte, a continuation byte, or the codepoint range (overlongs, surrogates,
+// > U+10FFFF) is invalid. Strings reaching the writer are not guaranteed to
+// be UTF-8 — synthetic ELF .comment sections and fault-injected shell
+// output carry arbitrary bytes — and emitting those raw would make the
+// JSONL/trace output unparseable.
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t len;
+  unsigned char lo = 0x80, hi = 0xbf;  // valid range for the second byte
+  if (lead < 0x80) return 1;
+  if (lead >= 0xc2 && lead <= 0xdf) {
+    len = 2;
+  } else if (lead >= 0xe0 && lead <= 0xef) {
+    len = 3;
+    if (lead == 0xe0) lo = 0xa0;        // reject overlong
+    if (lead == 0xed) hi = 0x9f;        // reject surrogates
+  } else if (lead >= 0xf0 && lead <= 0xf4) {
+    len = 4;
+    if (lead == 0xf0) lo = 0x90;        // reject overlong
+    if (lead == 0xf4) hi = 0x8f;        // reject > U+10FFFF
+  } else {
+    return 0;  // stray continuation byte or 0xc0/0xc1/0xf5..0xff
+  }
+  if (i + len > s.size()) return 0;
+  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
+  for (std::size_t k = 2; k < len; ++k) {
+    if ((byte(i + k) & 0xc0) != 0x80) return 0;
+  }
+  return len;
+}
+
 void append_escaped(std::string& out, std::string_view s) {
   out += '"';
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      default: break;
+    }
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+      out += buf;
+      ++i;
+    } else if (byte < 0x80) {
+      out += c;
+      ++i;
+    } else if (const std::size_t len = utf8_sequence_length(s, i); len > 0) {
+      out += s.substr(i, len);
+      i += len;
+    } else {
+      // Invalid byte: escape as its Latin-1 codepoint so the document
+      // stays valid JSON and the byte value survives in the escape.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+      out += buf;
+      ++i;
     }
   }
   out += '"';

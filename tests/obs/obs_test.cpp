@@ -96,15 +96,92 @@ TEST(Histogram, PercentilesLandInTheRightBucket) {
   for (int i = 0; i < 90; ++i) h.record(1000);
   for (int i = 0; i < 10; ++i) h.record(1000000);
   EXPECT_EQ(h.count(), 100u);
-  // p50 falls among the fast samples: exact to the enclosing power-of-two
-  // bucket, so at most 2047 and at least the observed min.
-  EXPECT_GE(h.percentile(0.5), 1000u);
-  EXPECT_LE(h.percentile(0.5), 2047u);
-  // p99 falls among the slow samples.
+  // p50 falls among the fast samples: interpolation lands below the
+  // observed minimum, so the min clamp reports exactly 1000.
+  EXPECT_EQ(h.percentile(0.5), 1000u);
+  // p99 falls among the slow samples, in the [524288, 1048575] bucket:
+  // rank 99 is 9/10ths through the bucket's samples, so interpolation
+  // gives 524288 + 0.9 * 524287 — not the old bucket-upper step value.
   EXPECT_GE(h.percentile(0.99), 524288u);
-  EXPECT_EQ(h.percentile(0.99), 1000000u);  // clamped to observed max
+  EXPECT_LE(h.percentile(0.99), 1000000u);
+  EXPECT_EQ(h.percentile(0.99), 996146u);
   EXPECT_EQ(h.min(), 1000u);
   EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinABucket) {
+  Histogram h;
+  // Two samples in the same [512, 1023] bucket: interpolation separates
+  // them instead of reporting the bucket bound for both.
+  h.record(600);
+  h.record(1000);
+  // rank 1 -> halfway through the bucket (767), above the observed min.
+  EXPECT_EQ(h.percentile(0.25), 767u);
+  // rank 2 -> the bucket's top, clamped to the observed max.
+  EXPECT_EQ(h.percentile(0.9), 1000u);
+  EXPECT_LT(h.percentile(0.25), h.percentile(0.9));
+}
+
+TEST(HistogramSnapshot, MergePreservesTailFidelity) {
+  Histogram a, b;
+  for (int i = 0; i < 90; ++i) a.record(1000);
+  for (int i = 0; i < 10; ++i) b.record(1000000);
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+
+  Histogram combined;
+  for (int i = 0; i < 90; ++i) combined.record(1000);
+  for (int i = 0; i < 10; ++i) combined.record(1000000);
+
+  EXPECT_EQ(merged.count, 100u);
+  EXPECT_EQ(merged.sum, combined.sum());
+  EXPECT_EQ(merged.min(), 1000u);
+  EXPECT_EQ(merged.max, 1000000u);
+  for (double p : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(merged.percentile(p), combined.percentile(p)) << p;
+  }
+}
+
+TEST(HistogramSnapshot, JsonRoundTripKeepsBucketsAndPercentiles) {
+  Histogram h;
+  h.record(0);
+  h.record(700);
+  h.record(5000);
+  h.record(123456789);
+  const auto parsed =
+      support::Json::parse(h.snapshot().to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  const auto restored = HistogramSnapshot::from_json(*parsed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->count, 4u);
+  EXPECT_EQ(restored->min(), 0u);
+  EXPECT_EQ(restored->max, 123456789u);
+  for (double p : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(restored->percentile(p), h.percentile(p)) << p;
+  }
+}
+
+TEST(HistogramSnapshot, FromJsonRejectsInconsistentBuckets) {
+  auto j = support::Json::parse(
+      R"({"count":3,"sum":10,"min":1,"max":5,"buckets":[1,1]})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_FALSE(HistogramSnapshot::from_json(*j).has_value());
+  EXPECT_FALSE(HistogramSnapshot::from_json(support::Json("x")).has_value());
+}
+
+TEST(HistogramSnapshot, EmptyMergesAndReportsZero) {
+  HistogramSnapshot empty;
+  HistogramSnapshot other;
+  other.merge(empty);
+  EXPECT_TRUE(other.empty());
+  EXPECT_EQ(other.percentile(0.5), 0u);
+  Histogram h;
+  h.record(42);
+  HistogramSnapshot s = h.snapshot();
+  s.merge(empty);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.percentile(0.5), 42u);
+  EXPECT_EQ(s.min(), 42u);
 }
 
 TEST(Histogram, RecordsZero) {
@@ -248,6 +325,35 @@ TEST_F(CollectorTest, JsonlExportIsOneValidObjectPerLine) {
     start = end + 1;
   }
   EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(CollectorTest, ExportersSurviveNonUtf8FieldValues) {
+  // A synthetic ELF .comment section can carry arbitrary bytes; both
+  // exporters must still produce valid JSON.
+  const std::string nasty = "GCC: \x93\xff \"quoted\" back\\slash \x01\xed\xa0\x80";
+  {
+    Span span("bdc.describe", {{"comment", nasty}});
+  }
+  emit(Level::kWarn, "bdc.comment", nasty, {{"raw", nasty}});
+
+  const std::string jsonl = render_jsonl(collector().events());
+  for (const auto& line : [&] {
+         std::vector<std::string> lines;
+         std::size_t start = 0;
+         while (start < jsonl.size()) {
+           std::size_t end = jsonl.find('\n', start);
+           if (end == std::string::npos) end = jsonl.size();
+           lines.push_back(jsonl.substr(start, end - start));
+           start = end + 1;
+         }
+         return lines;
+       }()) {
+    EXPECT_TRUE(support::Json::parse(line).has_value()) << line;
+  }
+
+  const std::string trace =
+      render_chrome_trace(collector().spans(), collector().events());
+  EXPECT_TRUE(support::Json::parse(trace).has_value());
 }
 
 TEST_F(CollectorTest, ChromeTraceExportHasSpansAndInstants) {

@@ -84,5 +84,52 @@ TEST(JsonDump, EscapesControlCharacters) {
   EXPECT_EQ(reparsed->as_string(), "a\x01z");
 }
 
+TEST(JsonDump, QuotesAndBackslashesRoundTrip) {
+  const std::string nasty = "say \"hi\" c:\\path\\to\nend\tok\r.";
+  const auto reparsed = Json::parse(Json(nasty).dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), nasty);
+}
+
+TEST(JsonDump, ValidUtf8PassesThroughUnchanged) {
+  // 2-, 3-, and 4-byte UTF-8 sequences (é, €, 𝄞).
+  const std::string text = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9d\x84\x9e";
+  const std::string dumped = Json(text).dump();
+  EXPECT_NE(dumped.find("caf\xc3\xa9"), std::string::npos);
+  const auto reparsed = Json::parse(dumped);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), text);
+}
+
+TEST(JsonDump, InvalidUtf8BytesAreEscapedToValidJson) {
+  // The shapes a synthetic ELF .comment section can smuggle in: a stray
+  // continuation byte, an overlong lead, a truncated sequence, 0xff.
+  const std::vector<std::string> cases = {
+      std::string("GCC: (GNU) 4.1.2 \x93 oops"),   // stray continuation
+      std::string("\xc0\xaf" "bad overlong"),      // 0xc0 never valid
+      std::string("truncated \xe2\x82"),           // 3-byte seq cut short
+      std::string("\xff\xfe byte-order mark-ish"), // never-valid bytes
+      std::string("ed surrogate \xed\xa0\x80"),    // encoded surrogate
+  };
+  for (const auto& raw : cases) {
+    const std::string dumped = Json(raw).dump();
+    const auto reparsed = Json::parse(dumped);
+    ASSERT_TRUE(reparsed.has_value()) << dumped;
+    // Every escaped invalid byte decodes to its Latin-1 codepoint, so no
+    // information is silently dropped.
+    EXPECT_FALSE(reparsed->as_string().empty());
+  }
+}
+
+TEST(JsonDump, InvalidByteSurvivesAsLatin1Codepoint) {
+  const std::string raw = "a\x93z";
+  const std::string dumped = Json(raw).dump();
+  EXPECT_NE(dumped.find("\\u0093"), std::string::npos);
+  const auto reparsed = Json::parse(dumped);
+  ASSERT_TRUE(reparsed.has_value());
+  // \u0093 decodes as UTF-8 for U+0093 (0xc2 0x93).
+  EXPECT_EQ(reparsed->as_string(), "a\xc2\x93z");
+}
+
 }  // namespace
 }  // namespace feam::support
