@@ -1,0 +1,187 @@
+// Sequential-vs-pooled timing of the full migration matrix (the perf
+// claim of the parallel migration engine): runs the NPB + SPEC matrix
+// once the legacy way (jobs=1, no caches — exactly the pre-engine code
+// path) and once pooled with the BDC/EDC/resolver/source-phase memoization on,
+// asserts the run records are bit-identical, and reports wall times,
+// speedup, and cache hit rates as a feam.bench/1 record (BENCH_3.json).
+//
+// Flags:
+//   --jobs N        worker threads for the pooled leg (default 4)
+//   --bench-out F   write the feam.bench/1 record to F
+//   --baseline F    gate the metrics against a feam.report_baseline/1 file
+//   --pr N          PR number stamped into the bench record (default 3)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "eval/run_records.hpp"
+#include "report/gate.hpp"
+#include "support/json.hpp"
+
+using namespace feam;
+using namespace feam::eval;
+
+namespace {
+
+// Stable serialization of every migration outcome; equal strings mean the
+// two runs agreed on every record, field for field.
+std::string records_dump(const std::vector<MigrationResult>& results) {
+  std::string out;
+  for (const auto& record : to_run_records(results)) {
+    out += record.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double rate(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 4;
+  int pr_number = 3;
+  std::string bench_out;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    else if (flag == "--bench-out" && i + 1 < argc) bench_out = argv[++i];
+    else if (flag == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
+    else if (flag == "--pr" && i + 1 < argc) pr_number = std::atoi(argv[++i]);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 1;
+    }
+  }
+  if (jobs < 1) jobs = 1;
+
+  // Leg 1 — legacy: strictly sequential, no memoization. This is the
+  // pre-engine behaviour the speedup is measured against.
+  ExperimentOptions seq_options;
+  seq_options.jobs = 1;
+  seq_options.use_caches = false;
+  Experiment sequential(seq_options);
+  sequential.build_test_set();
+  const auto t0 = std::chrono::steady_clock::now();
+  sequential.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double sequential_ms = elapsed_ms(t0, t1);
+
+  // Leg 2 — the parallel engine: pooled workers under site leases, with
+  // the content-addressed BDC cache, the generation-keyed EDC memo, and
+  // the per-binary source-phase memo.
+  ExperimentOptions par_options;
+  par_options.jobs = jobs;
+  par_options.use_caches = true;
+  Experiment pooled(par_options);
+  pooled.build_test_set();
+  const auto t2 = std::chrono::steady_clock::now();
+  pooled.run();
+  const auto t3 = std::chrono::steady_clock::now();
+  const double parallel_ms = elapsed_ms(t2, t3);
+
+  const bool identical =
+      records_dump(sequential.results()) == records_dump(pooled.results());
+  const double speedup = parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0;
+  const auto* caches = pooled.caches();
+  const double bdc_rate = rate(caches->bdc.hits(), caches->bdc.misses());
+  const double edc_rate = rate(caches->edc.hits(), caches->edc.misses());
+  const double resolver_rate =
+      rate(caches->resolver.hits(), caches->resolver.misses());
+
+  std::printf("Full matrix: %zu migrations\n", pooled.results().size());
+  std::printf("  sequential (jobs=1, no caches): %9.1f ms\n", sequential_ms);
+  std::printf("  pooled     (jobs=%d, caches):   %9.1f ms\n", jobs,
+              parallel_ms);
+  std::printf("  speedup: %.2fx\n", speedup);
+  std::printf("  BDC cache:    %llu hits / %llu misses (%.0f%% hit rate)\n",
+              static_cast<unsigned long long>(caches->bdc.hits()),
+              static_cast<unsigned long long>(caches->bdc.misses()),
+              100.0 * bdc_rate);
+  std::printf("  EDC memo:     %llu hits / %llu misses (%.0f%% hit rate)\n",
+              static_cast<unsigned long long>(caches->edc.hits()),
+              static_cast<unsigned long long>(caches->edc.misses()),
+              100.0 * edc_rate);
+  std::printf("  resolver:     %llu hits / %llu misses (%.0f%% hit rate)\n",
+              static_cast<unsigned long long>(caches->resolver.hits()),
+              static_cast<unsigned long long>(caches->resolver.misses()),
+              100.0 * resolver_rate);
+  std::printf("  source phase: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(pooled.source_phase_hits()),
+              static_cast<unsigned long long>(pooled.source_phase_misses()));
+  std::printf("  results bit-identical to sequential run: %s\n",
+              identical ? "yes" : "NO");
+
+  std::map<std::string, double> metrics;
+  metrics["bench.jobs"] = jobs;
+  metrics["bench.migrations"] = static_cast<double>(pooled.results().size());
+  metrics["bench.sequential_ms"] = sequential_ms;
+  metrics["bench.parallel_ms"] = parallel_ms;
+  metrics["bench.speedup"] = speedup;
+  metrics["bench.identical"] = identical ? 1 : 0;
+  metrics["bench.bdc_hits"] = static_cast<double>(caches->bdc.hits());
+  metrics["bench.bdc_misses"] = static_cast<double>(caches->bdc.misses());
+  metrics["bench.bdc_hit_rate"] = bdc_rate;
+  metrics["bench.edc_hits"] = static_cast<double>(caches->edc.hits());
+  metrics["bench.edc_misses"] = static_cast<double>(caches->edc.misses());
+  metrics["bench.edc_hit_rate"] = edc_rate;
+  metrics["bench.resolver_hits"] =
+      static_cast<double>(caches->resolver.hits());
+  metrics["bench.resolver_misses"] =
+      static_cast<double>(caches->resolver.misses());
+  metrics["bench.resolver_hit_rate"] = resolver_rate;
+  metrics["bench.source_phase_hits"] =
+      static_cast<double>(pooled.source_phase_hits());
+  metrics["bench.source_phase_misses"] =
+      static_cast<double>(pooled.source_phase_misses());
+
+  report::GateResult gate;
+  const report::GateResult* gate_ptr = nullptr;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto baseline = support::Json::parse(buffer.str());
+    if (!in || !baseline) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    auto result = report::run_gate(metrics, *baseline);
+    if (!result.ok()) {
+      std::fprintf(stderr, "gate error: %s\n", result.error().c_str());
+      return 1;
+    }
+    gate = std::move(result).take();
+    gate_ptr = &gate;
+    std::printf("\n%s", gate.render().c_str());
+  }
+
+  if (!bench_out.empty()) {
+    std::ofstream out(bench_out, std::ios::binary);
+    out << report::bench_record(metrics, gate_ptr, pr_number).dump(2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", bench_out.c_str());
+      return 1;
+    }
+  }
+
+  const bool pass = identical && speedup >= 2.0 && bdc_rate > 0.5 &&
+                    (gate_ptr == nullptr || gate.pass);
+  std::printf("Acceptance (identical, >=2x, BDC hit rate > 50%%): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

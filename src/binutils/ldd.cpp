@@ -2,13 +2,17 @@
 
 #include <cstdio>
 
+#include "binutils/resolver_cache.hpp"
 #include "elf/file.hpp"
 #include "support/strings.hpp"
 
 namespace feam::binutils {
 
-support::Result<std::string> ldd(const site::Site& host, std::string_view path,
-                                 bool verbose) {
+namespace {
+
+support::Result<std::string> ldd_impl(const site::Site& host,
+                                      std::string_view path, bool verbose,
+                                      ResolverCache* cache) {
   using R = support::Result<std::string>;
   if (!host.ldd_available) {
     return R::failure("bash: ldd: command not found");
@@ -29,7 +33,7 @@ support::Result<std::string> ldd(const site::Site& host, std::string_view path,
     return R::failure("\tnot a dynamic executable");
   }
 
-  const Resolution res = resolve_libraries(host, path);
+  const Resolution res = resolve_libraries(host, path, {}, cache);
   std::string out;
   std::uint64_t fake_base = 0x2aaaaaaab000ULL;
   for (const auto& lib : res.libs) {
@@ -58,6 +62,18 @@ support::Result<std::string> ldd(const site::Site& host, std::string_view path,
     }
   }
   return out;
+}
+
+}  // namespace
+
+support::Result<std::string> ldd(const site::Site& host, std::string_view path,
+                                 bool verbose, ResolverCache* cache) {
+  if (cache != nullptr) {
+    if (auto memo = cache->ldd_text(host, path, verbose)) return *memo;
+  }
+  support::Result<std::string> result = ldd_impl(host, path, verbose, cache);
+  if (cache != nullptr) cache->store_ldd(host, path, verbose, result);
+  return result;
 }
 
 std::vector<LddEntry> parse_ldd_output(std::string_view text) {

@@ -16,9 +16,12 @@
 
 namespace feam::binutils {
 
-// `ldd <path>` / `ldd -v <path>` rendered as text.
+// `ldd <path>` / `ldd -v <path>` rendered as text. A non-null `cache`
+// memoizes the full rendered output per (site, path) while the site is
+// unmutated, and the per-library searches underneath.
 support::Result<std::string> ldd(const site::Site& host, std::string_view path,
-                                 bool verbose = false);
+                                 bool verbose = false,
+                                 ResolverCache* cache = nullptr);
 
 // Structured output scraped back from ldd text: name -> path or "not found".
 struct LddEntry {

@@ -4,6 +4,8 @@
 #include <deque>
 #include <set>
 
+#include "binutils/resolver_cache.hpp"
+
 namespace feam::binutils {
 
 namespace {
@@ -46,7 +48,8 @@ std::optional<std::string> Resolution::path_of(std::string_view needed_name) con
 std::optional<std::string> search_library(const site::Site& host,
                                           std::string_view soname, int bits,
                                           const std::vector<std::string>& rpath,
-                                          const std::vector<std::string>& extra_dirs) {
+                                          const std::vector<std::string>& extra_dirs,
+                                          ResolverCache* cache) {
   std::vector<std::string> dirs;
   dirs.insert(dirs.end(), extra_dirs.begin(), extra_dirs.end());
   dirs.insert(dirs.end(), rpath.begin(), rpath.end());
@@ -55,32 +58,55 @@ std::optional<std::string> search_library(const site::Site& host,
   const auto defaults = host.default_lib_dirs(bits);
   dirs.insert(dirs.end(), defaults.begin(), defaults.end());
 
+  if (cache != nullptr) {
+    if (const auto memo = cache->search(host, soname, bits, dirs)) {
+      return *memo;
+    }
+  }
+  std::optional<std::string> found;
   for (const auto& dir : dirs) {
     const std::string candidate = site::Vfs::join(dir, soname);
     const support::Bytes* data = host.vfs.read(candidate);
     if (data == nullptr) continue;
     if (!candidate_compatible(host, *data, bits)) continue;  // skip, keep looking
-    return host.vfs.resolve(candidate).value_or(candidate);
+    found = host.vfs.resolve(candidate).value_or(candidate);
+    break;
   }
-  return std::nullopt;
+  if (cache != nullptr) cache->store_search(host, soname, bits, dirs, found);
+  return found;
 }
 
 Resolution resolve_libraries(const site::Site& host, std::string_view binary_path,
-                             const std::vector<std::string>& extra_search_dirs) {
+                             const std::vector<std::string>& extra_search_dirs,
+                             ResolverCache* cache) {
   Resolution out;
   const support::Bytes* root_data = host.vfs.read(binary_path);
   if (root_data == nullptr) {
     out.root_error = "no such file: " + std::string(binary_path);
     return out;
   }
-  auto root = elf::ElfFile::parse(*root_data);
-  if (!root.ok()) {
-    out.root_error = root.error();
+  // Parses `data` (the VFS content of `path`), through the cache's
+  // write-stamp memo when one is supplied. `local` keeps uncached parses
+  // alive for the duration of this resolution.
+  std::deque<elf::ElfFile> local;
+  const auto parse_object = [&](std::string_view path,
+                                const support::Bytes& data)
+      -> const elf::ElfFile* {
+    if (cache != nullptr) return cache->parsed_elf(host, path, data);
+    auto parsed = elf::ElfFile::parse(data);
+    if (!parsed.ok()) return nullptr;
+    local.push_back(std::move(parsed).take());
+    return &local.back();
+  };
+
+  const elf::ElfFile* root = parse_object(binary_path, *root_data);
+  if (root == nullptr) {
+    out.root_error = elf::ElfFile::parse(*root_data).error();
     return out;
   }
   out.root_parsed = true;
-  const int bits = root.value().bits();
-  const std::vector<std::string> rpath = root.value().rpath();
+  const int bits = root->bits();
+  const std::vector<std::string> rpath = root->rpath();
 
   // BFS over NEEDED closure.
   struct Pending {
@@ -89,15 +115,15 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
   };
   std::deque<Pending> queue;
   std::set<std::string> enqueued;
-  for (const auto& n : root.value().needed()) {
+  for (const auto& n : root->needed()) {
     queue.push_back({n, std::string(binary_path)});
     enqueued.insert(n);
   }
 
   // Objects whose version references must be checked: (path, parsed file).
   // The root binary is first.
-  std::vector<std::pair<std::string, elf::ElfFile>> closure;
-  closure.emplace_back(std::string(binary_path), std::move(root).take());
+  std::vector<std::pair<std::string, const elf::ElfFile*>> closure;
+  closure.emplace_back(std::string(binary_path), root);
 
   // name -> resolved path for provider lookups during version checking.
   std::map<std::string, std::string, std::less<>> provider_paths;
@@ -106,19 +132,19 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
     const Pending item = queue.front();
     queue.pop_front();
     ResolvedLib lib{item.name, std::nullopt, item.requested_by};
-    lib.path = search_library(host, item.name, bits, rpath, extra_search_dirs);
+    lib.path = search_library(host, item.name, bits, rpath, extra_search_dirs,
+                              cache);
     if (lib.path) {
       provider_paths.emplace(item.name, *lib.path);
       const support::Bytes* data = host.vfs.read(*lib.path);
       if (data != nullptr) {
-        auto parsed = elf::ElfFile::parse(*data);
-        if (parsed.ok()) {
-          for (const auto& n : parsed.value().needed()) {
+        if (const elf::ElfFile* parsed = parse_object(*lib.path, *data)) {
+          for (const auto& n : parsed->needed()) {
             if (enqueued.insert(n).second) {
               queue.push_back({n, *lib.path});
             }
           }
-          closure.emplace_back(*lib.path, std::move(parsed).take());
+          closure.emplace_back(*lib.path, parsed);
         }
       }
     }
@@ -128,14 +154,14 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
   // Version checks: every (file, version) reference must be defined by the
   // library that actually resolved for that file name.
   for (const auto& [object_path, object] : closure) {
-    for (const auto& need : object.version_references()) {
+    for (const auto& need : object->version_references()) {
       const auto provider_it = provider_paths.find(need.file);
       if (provider_it == provider_paths.end()) continue;  // missing lib: reported above
       const support::Bytes* provider_data = host.vfs.read(provider_it->second);
       if (provider_data == nullptr) continue;
-      const auto provider = elf::ElfFile::parse(*provider_data);
-      if (!provider.ok()) continue;
-      const auto& defs = provider.value().version_definitions();
+      const elf::ElfFile* provider = parse_object(provider_it->second, *provider_data);
+      if (provider == nullptr) continue;
+      const auto& defs = provider->version_definitions();
       for (const auto& version : need.versions) {
         if (std::find(defs.begin(), defs.end(), version) == defs.end()) {
           out.version_errors.push_back({version, object_path, provider_it->second});

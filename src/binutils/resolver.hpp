@@ -51,18 +51,24 @@ struct Resolution {
   std::optional<std::string> path_of(std::string_view needed_name) const;
 };
 
+class ResolverCache;
+
 // Resolves the transitive shared-library closure of the binary at
 // `binary_path` within `host`. `extra_search_dirs` are prepended to the
 // search order (used by FEAM's resolution model to test library-copy
-// directories before committing to them).
+// directories before committing to them). A non-null `cache` memoizes the
+// per-library search steps (see resolver_cache.hpp); nullptr reproduces
+// the uncached walk exactly.
 Resolution resolve_libraries(const site::Site& host, std::string_view binary_path,
-                             const std::vector<std::string>& extra_search_dirs = {});
+                             const std::vector<std::string>& extra_search_dirs = {},
+                             ResolverCache* cache = nullptr);
 
 // The single-library search step, exposed for FEAM's fallback searches:
 // finds `soname` for a binary of `bits` bitness, honoring skip-on-wrong-class.
 std::optional<std::string> search_library(const site::Site& host,
                                           std::string_view soname, int bits,
                                           const std::vector<std::string>& rpath,
-                                          const std::vector<std::string>& extra_dirs);
+                                          const std::vector<std::string>& extra_dirs,
+                                          ResolverCache* cache = nullptr);
 
 }  // namespace feam::binutils

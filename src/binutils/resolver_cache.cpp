@@ -1,0 +1,142 @@
+#include "binutils/resolver_cache.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "site/vfs.hpp"
+
+namespace feam::binutils {
+
+namespace {
+
+std::string search_key(const site::Site& host, std::string_view soname,
+                       int bits, const std::vector<std::string>& dirs) {
+  std::string key = std::to_string(host.lease_id());
+  key += '|';
+  key += std::to_string(bits);
+  key += '|';
+  key += soname;
+  for (const auto& dir : dirs) {
+    key += '\x1f';
+    key += dir;
+  }
+  return key;
+}
+
+std::string ldd_key(const site::Site& host, std::string_view path,
+                    bool verbose) {
+  std::string key = std::to_string(host.lease_id());
+  key += verbose ? "|v|" : "|-|";
+  key += path;
+  return key;
+}
+
+}  // namespace
+
+std::optional<std::optional<std::string>> ResolverCache::search(
+    const site::Site& host, std::string_view soname, int bits,
+    const std::vector<std::string>& dirs) {
+  const std::string key = search_key(host, soname, bits, dirs);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = search_.find(key);
+  if (it != search_.end() && it->second.candidate_versions.size() == dirs.size()) {
+    bool fresh = true;
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      const auto version =
+          host.vfs.file_version(site::Vfs::join(dirs[i], soname));
+      if (version != it->second.candidate_versions[i]) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh) {
+      ++hits_;
+      obs::counter("resolver.search_hits").add();
+      return it->second.result;
+    }
+  }
+  ++misses_;
+  obs::counter("resolver.search_misses").add();
+  return std::nullopt;
+}
+
+void ResolverCache::store_search(const site::Site& host,
+                                 std::string_view soname, int bits,
+                                 const std::vector<std::string>& dirs,
+                                 std::optional<std::string> result) {
+  SearchEntry entry;
+  entry.candidate_versions.reserve(dirs.size());
+  for (const auto& dir : dirs) {
+    entry.candidate_versions.push_back(
+        host.vfs.file_version(site::Vfs::join(dir, soname)));
+  }
+  entry.result = std::move(result);
+  std::lock_guard<std::mutex> lock(mutex_);
+  search_[search_key(host, soname, bits, dirs)] = std::move(entry);
+}
+
+std::optional<support::Result<std::string>> ResolverCache::ldd_text(
+    const site::Site& host, std::string_view path, bool verbose) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ldd_.find(ldd_key(host, path, verbose));
+  if (it != ldd_.end() && it->second.vfs_generation == host.vfs.generation() &&
+      it->second.env_generation == host.env.generation()) {
+    ++hits_;
+    obs::counter("resolver.ldd_hits").add();
+    if (it->second.ok) return support::Result<std::string>(it->second.payload);
+    return support::Result<std::string>::failure(it->second.payload);
+  }
+  ++misses_;
+  obs::counter("resolver.ldd_misses").add();
+  return std::nullopt;
+}
+
+void ResolverCache::store_ldd(const site::Site& host, std::string_view path,
+                              bool verbose,
+                              const support::Result<std::string>& text) {
+  LddEntry entry;
+  entry.vfs_generation = host.vfs.generation();
+  entry.env_generation = host.env.generation();
+  entry.ok = text.ok();
+  entry.payload = text.ok() ? text.value() : text.error();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ldd_[ldd_key(host, path, verbose)] = std::move(entry);
+}
+
+const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
+                                              std::string_view path,
+                                              const support::Bytes& data) {
+  const std::uint64_t version = host.vfs.file_version(path).value_or(0);
+  ParseKey key{host.lease_id(), std::string(path), version};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = parsed_.find(key);
+    if (it != parsed_.end()) {
+      ++hits_;
+      obs::counter("resolver.parse_hits").add();
+      return it->second ? &*it->second : nullptr;
+    }
+  }
+  // Parse outside the lock; a racing miss parses twice and the second
+  // insert is dropped in favour of the first.
+  auto parsed = elf::ElfFile::parse(data);
+  std::optional<elf::ElfFile> value;
+  if (parsed.ok()) value = std::move(parsed).take();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  obs::counter("resolver.parse_misses").add();
+  const auto it = parsed_.emplace(std::move(key), std::move(value)).first;
+  return it->second ? &*it->second : nullptr;
+}
+
+std::uint64_t ResolverCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResolverCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace feam::binutils

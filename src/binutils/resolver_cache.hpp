@@ -1,0 +1,101 @@
+// Memoization for the dynamic-loader search machinery (opt-in).
+//
+// The evaluation matrix replays the same library lookups thousands of
+// times: every execution attempt, usability test, and resolution pass
+// re-walks the candidate directories for libc/libm/libmpi…, and the
+// source phase runs `ldd` on the same binary once per gathered library.
+// System library directories never change during a run, so both lookups
+// memoize — with exact invalidation, not heuristics:
+//
+//   * search memo — keyed (site, soname, bits, directory list). An entry
+//     records the Vfs::file_version of every candidate path the original
+//     walk inspected (including absent ones); it is served only while all
+//     of them are unchanged. Any write, remove, or symlink retarget that
+//     could alter the outcome therefore misses, and a stamp mismatch can
+//     never produce a wrong path — versions are globally unique per write.
+//   * ldd memo — keyed (site, path, verbose) and validated against the
+//     site's whole-state counters (vfs generation + environment
+//     generation); any site mutation at all invalidates it.
+//   * parse memo — keyed (site, path, Vfs::file_version): the parsed ELF
+//     view of an unchanged file. The loader re-parses the same root
+//     binary, resolved libraries, and version providers on every
+//     execution attempt; the write stamp uniquely identifies content, so
+//     the parse is a pure function of the key.
+//
+// Passing nullptr wherever a ResolverCache* is accepted reproduces the
+// uncached behaviour exactly. The cache is internally synchronized;
+// callers holding a site lease may share one instance across threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "elf/file.hpp"
+#include "site/site.hpp"
+#include "support/result.hpp"
+
+namespace feam::binutils {
+
+class ResolverCache {
+ public:
+  // Memoized search_library result, or nullopt when absent/stale.
+  // `dirs` must be the fully assembled search order (extra + rpath +
+  // LD_LIBRARY_PATH + defaults) — it is part of the key.
+  std::optional<std::optional<std::string>> search(
+      const site::Site& host, std::string_view soname, int bits,
+      const std::vector<std::string>& dirs);
+  void store_search(const site::Site& host, std::string_view soname, int bits,
+                    const std::vector<std::string>& dirs,
+                    std::optional<std::string> result);
+
+  // Memoized ldd text, or nullopt when absent/stale.
+  std::optional<support::Result<std::string>> ldd_text(const site::Site& host,
+                                                       std::string_view path,
+                                                       bool verbose);
+  void store_ldd(const site::Site& host, std::string_view path, bool verbose,
+                 const support::Result<std::string>& text);
+
+  // Parsed view of the ELF image at `path` whose bytes are `data` (as
+  // read from `host`'s VFS), memoized on the file's write stamp. Returns
+  // nullptr when the image is not valid ELF. The pointer stays valid for
+  // the cache's lifetime: entries are never evicted — a rewritten file
+  // gets a distinct entry under its new write stamp.
+  const elf::ElfFile* parsed_elf(const site::Site& host, std::string_view path,
+                                 const support::Bytes& data);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct SearchEntry {
+    // file_version of join(dir, soname) per search dir, in order; nullopt
+    // where no regular file existed.
+    std::vector<std::optional<std::uint64_t>> candidate_versions;
+    std::optional<std::string> result;
+  };
+  struct LddEntry {
+    std::uint64_t vfs_generation = 0;
+    std::uint64_t env_generation = 0;
+    bool ok = false;
+    std::string payload;  // text when ok, error message otherwise
+  };
+
+  // (lease_id, path, file_version) -> parsed file; nullopt caches a parse
+  // failure. std::map for node stability: parsed_elf hands out pointers.
+  using ParseKey = std::tuple<std::uint64_t, std::string, std::uint64_t>;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SearchEntry, std::less<>> search_;
+  std::map<std::string, LddEntry, std::less<>> ldd_;
+  std::map<ParseKey, std::optional<elf::ElfFile>> parsed_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace feam::binutils

@@ -456,8 +456,10 @@ int survey(const Options& opts, report::RunContext& ctx) {
     owned.push_back(toolchain::make_site(name));
     sites.push_back(owned.back().get());
   }
-  const auto report = survey_sites(
-      sites, site::Vfs::basename(opts.binary), *binary, source);
+  SurveyOptions survey_opts;
+  survey_opts.jobs = opts.jobs;
+  const auto report = survey_sites(sites, site::Vfs::basename(opts.binary),
+                                   *binary, source, {}, survey_opts);
   std::printf("%s", report.render().c_str());
   std::printf("%zu of %zu sites ready (%s prediction)\n", report.ready_count(),
               report.entries.size(), source != nullptr ? "extended" : "basic");

@@ -25,8 +25,10 @@ usage:
       migrated binary (extended prediction when a bundle is supplied) and
       optionally write the generated configuration script.
 
-  feam survey --binary HOSTPATH [--bundle BUNDLE.feambundle]
+  feam survey --binary HOSTPATH [--bundle BUNDLE.feambundle] [--jobs N]
       Assess the migrated binary at every site and print a ranked report.
+      --jobs N assesses up to N sites concurrently (default 1); the ranked
+      report is identical at any job count.
 
   feam exec --site S --binary HOSTPATH [--bundle BUNDLE.feambundle]
       Predict, apply FEAM's generated configuration script, and execute the
@@ -135,6 +137,18 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
         opts.pr_number = std::stoi(*v);
       } catch (const std::exception&) {
         error = "--pr requires an integer";
+        return std::nullopt;
+      }
+    }
+    else if (flag == "--jobs") {
+      try {
+        opts.jobs = std::stoi(*v);
+      } catch (const std::exception&) {
+        error = "--jobs requires an integer";
+        return std::nullopt;
+      }
+      if (opts.jobs < 1) {
+        error = "--jobs must be at least 1";
         return std::nullopt;
       }
     }

@@ -47,6 +47,8 @@ struct Options {
   bool gate = false;        // apply the baseline as a regression gate
   std::string bench_out;    // feam.bench/1 trajectory record output path
   int pr_number = 0;        // --pr N, recorded in the bench output
+  // `feam survey`: worker threads assessing sites concurrently.
+  int jobs = 1;
 };
 
 // Parses argv (excluding argv[0]); on error returns nullopt and fills

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "feam/bdc.hpp"
 #include "feam/identify.hpp"
+#include "site/lease.hpp"
+#include "support/thread_pool.hpp"
 #include "toolchain/linker.hpp"
 #include "toolchain/testbed.hpp"
 
@@ -43,24 +46,38 @@ bool impl_available(const Site& target, site::MpiImpl impl) {
 
 }  // namespace
 
+struct Experiment::SourceMemoEntry {
+  std::mutex mutex;
+  std::optional<support::Result<feam::SourcePhaseOutput>> value;
+};
+
 Experiment::Experiment(ExperimentOptions options)
     : options_(std::move(options)),
-      sites_(toolchain::make_testbed(options_.fault_seed)) {}
+      sites_(toolchain::make_testbed(options_.fault_seed)) {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    site_index_.emplace(sites_[i]->name, i);
+  }
+  if (options_.use_caches) {
+    caches_ = std::make_unique<feam::MigrationCaches>();
+  }
+}
 
 Experiment::~Experiment() = default;
 
 Site& Experiment::site(std::string_view name) {
-  for (const auto& s : sites_) {
-    if (s->name == name) return *s;
+  const auto it = site_index_.find(name);
+  if (it == site_index_.end()) {
+    throw std::invalid_argument("no such site: " + std::string(name));
   }
-  throw std::invalid_argument("no such site: " + std::string(name));
+  return *sites_[it->second];
 }
 
 void Experiment::build_test_set() {
   test_set_.clear();
+  const auto workloads = workloads::all_workloads();
   for (const auto& s : sites_) {
     for (const auto& stack : s->stacks) {
-      for (const auto& workload : workloads::all_workloads()) {
+      for (const auto& workload : workloads) {
         if (!options_.only_benchmarks.empty() &&
             std::find(options_.only_benchmarks.begin(),
                       options_.only_benchmarks.end(),
@@ -102,7 +119,49 @@ std::size_t Experiment::test_set_size(std::string_view suite) const {
                     [&](const TestBinary& b) { return b.workload.suite == suite; }));
 }
 
-void Experiment::migrate_one(const TestBinary& binary, Site& target) {
+const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
+    const TestBinary& binary, Site& home, const feam::FeamConfig& config,
+    std::optional<support::Result<feam::SourcePhaseOutput>>& local) {
+  // The source phase runs in the guaranteed execution environment — the
+  // shell configured to run the binary, i.e. with its stack's module
+  // loaded — and leaves the home site as it found it, so repeated runs
+  // produce identical output. That is what makes memoizing it sound.
+  const auto run_fresh = [&] {
+    site::SiteLease lease(home);
+    home.unload_all_modules();
+    home.load_module(module_name_of(binary.stack));
+    auto source =
+        feam::run_source_phase(home, binary.path, config, caches_.get());
+    home.unload_all_modules();
+    return source;
+  };
+  if (caches_ == nullptr) {
+    local.emplace(run_fresh());
+    return *local;
+  }
+  SourceMemoEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(source_memo_mutex_);
+    auto& slot = source_memo_[binary.home_site + "|" + binary.path];
+    if (!slot) slot = std::make_unique<SourceMemoEntry>();
+    entry = slot.get();
+  }
+  // Per-entry mutex: two workers migrating the same binary wait on each
+  // other here, while different binaries compute concurrently. The lock
+  // order is entry mutex -> home lease, and no holder of a lease ever
+  // takes an entry mutex, so no cycle.
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->value) {
+    source_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    source_misses_.fetch_add(1, std::memory_order_relaxed);
+    entry->value.emplace(run_fresh());
+  }
+  return *entry->value;
+}
+
+std::optional<MigrationResult> Experiment::migrate_one(
+    const TestBinary& binary, Site& target) {
   Site& home = site(binary.home_site);
 
   MigrationResult result;
@@ -111,113 +170,141 @@ void Experiment::migrate_one(const TestBinary& binary, Site& target) {
   result.home_site = binary.home_site;
   result.target_site = target.name;
 
-  // --- migrate the binary bytes.
-  const support::Bytes* content = home.vfs.read(binary.path);
-  if (content == nullptr) return;
   const std::string migrated_path =
       "/home/user/migrated/" + result.binary_name + "." + binary.home_site;
-  target.vfs.write_file(migrated_path, *content);
-
-  // --- FEAM basic prediction: target phase only.
   feam::FeamConfig config;
   config.hello_world_ranks = options_.ranks;
-  feam::TecOptions basic_opts;
-  basic_opts.apply_resolution = false;
-  basic_opts.run_usability_tests = options_.run_usability_tests;
-  const auto basic =
-      feam::run_target_phase(target, migrated_path, nullptr, config, basic_opts);
-  result.basic_ready = basic.ok() && basic.value().prediction.ready;
 
-  // Cross-check the paper's 100%-accurate MPI-availability claim.
-  if (basic.ok() && basic.value().application.mpi_impl) {
-    const bool feam_says_available =
-        basic.value().prediction.determinant(feam::DeterminantKind::kMpiStack)
-                ->detail.find("no ") != 0 ||
-        basic.value().prediction.determinant(feam::DeterminantKind::kMpiStack)
-            ->compatible;
-    const bool truly_available =
-        impl_available(target, *basic.value().application.mpi_impl);
-    // "Available" per FEAM = at least one matching stack discovered; the
-    // determinant can still fail for usability reasons.
-    if (feam_says_available != truly_available &&
-        basic.value()
-            .prediction.determinant(feam::DeterminantKind::kMpiStack)
-            ->evaluated) {
-      mpi_matching_correct_ = false;
+  // --- migrate the binary bytes: the only step that touches both sites,
+  // so the only step that leases both (in lease_id order, see lease.hpp).
+  {
+    site::SitePairLease lease(home, target);
+    const support::Bytes* content = home.vfs.read(binary.path);
+    if (content == nullptr) return std::nullopt;
+    target.vfs.write_file(migrated_path, *content);
+  }
+
+  {
+    site::SiteLease lease(target);
+
+    // --- FEAM basic prediction: target phase only.
+    feam::TecOptions basic_opts;
+    basic_opts.apply_resolution = false;
+    basic_opts.run_usability_tests = options_.run_usability_tests;
+    const auto basic = feam::run_target_phase(target, migrated_path, nullptr,
+                                              config, basic_opts,
+                                              caches_.get());
+    result.basic_ready = basic.ok() && basic.value().prediction.ready;
+
+    // Cross-check the paper's 100%-accurate MPI-availability claim.
+    if (basic.ok() && basic.value().application.mpi_impl) {
+      const bool feam_says_available =
+          basic.value().prediction.determinant(feam::DeterminantKind::kMpiStack)
+                  ->detail.find("no ") != 0 ||
+          basic.value().prediction.determinant(feam::DeterminantKind::kMpiStack)
+              ->compatible;
+      const bool truly_available =
+          impl_available(target, *basic.value().application.mpi_impl);
+      // "Available" per FEAM = at least one matching stack discovered; the
+      // determinant can still fail for usability reasons.
+      if (feam_says_available != truly_available &&
+          basic.value()
+              .prediction.determinant(feam::DeterminantKind::kMpiStack)
+              ->evaluated) {
+        mpi_matching_correct_ = false;
+      }
     }
   }
 
-  // --- FEAM extended prediction: source phase + target phase. The source
-  // phase runs in the guaranteed execution environment — the shell
-  // configured to run the binary, i.e. with its stack's module loaded.
-  feam::TecOptions ext_opts;
-  ext_opts.resolution_root = "/home/user/feam_resolved";
-  ext_opts.recursive_copy_validation = options_.recursive_copy_validation;
-  ext_opts.apply_resolution = options_.apply_resolution;
-  ext_opts.run_usability_tests = options_.run_usability_tests;
-  home.unload_all_modules();
-  home.load_module(module_name_of(binary.stack));
-  const auto source = feam::run_source_phase(home, binary.path, config);
-  home.unload_all_modules();
-  std::optional<feam::TargetPhaseOutput> extended;
-  if (source.ok()) {
-    auto r = feam::run_target_phase(target, migrated_path, &source.value(),
-                                    config, ext_opts);
-    if (r.ok()) extended = std::move(r).take();
-  }
-  if (extended) {
-    result.extended_ready = extended->prediction.ready;
-    result.extended_prediction = extended->prediction;
-    result.missing_library_count = extended->prediction.missing_libraries.size();
-    result.resolved_library_count =
-        extended->prediction.resolved_libraries.size();
-  }
+  // --- FEAM extended prediction: source phase (under home's lease, via
+  // the per-binary memo) + target phase.
+  std::optional<support::Result<feam::SourcePhaseOutput>> local_source;
+  const support::Result<feam::SourcePhaseOutput>& source =
+      source_phase_for(binary, home, config, local_source);
 
-  // --- actual execution, before resolution (the naive user).
-  target.unload_all_modules();
-  const auto module = choose_matching_module(target, binary.stack.impl,
-                                             binary.stack.compiler);
-  if (module) {
-    target.load_module(*module);
-    const auto run = toolchain::mpiexec_with_retries(
-        target, migrated_path, options_.ranks, {}, options_.retry_attempts);
-    result.success_before_resolution = run.success();
-    result.status_before = run.status;
+  {
+    site::SiteLease lease(target);
+
+    feam::TecOptions ext_opts;
+    ext_opts.resolution_root = "/home/user/feam_resolved";
+    ext_opts.recursive_copy_validation = options_.recursive_copy_validation;
+    ext_opts.apply_resolution = options_.apply_resolution;
+    ext_opts.run_usability_tests = options_.run_usability_tests;
+    std::optional<feam::TargetPhaseOutput> extended;
+    if (source.ok()) {
+      auto r = feam::run_target_phase(target, migrated_path, &source.value(),
+                                      config, ext_opts, caches_.get());
+      if (r.ok()) extended = std::move(r).take();
+    }
+    if (extended) {
+      result.extended_ready = extended->prediction.ready;
+      result.extended_prediction = extended->prediction;
+      result.missing_library_count =
+          extended->prediction.missing_libraries.size();
+      result.resolved_library_count =
+          extended->prediction.resolved_libraries.size();
+    }
+
+    // --- actual execution, before resolution (the naive user).
     target.unload_all_modules();
-  } else {
-    result.status_before = toolchain::RunStatus::kNoMpiStackSelected;
+    const auto module = choose_matching_module(target, binary.stack.impl,
+                                               binary.stack.compiler);
+    if (module) {
+      target.load_module(*module);
+      const auto run = toolchain::mpiexec_with_retries(
+          target, migrated_path, options_.ranks, {}, options_.retry_attempts,
+          caches_ != nullptr ? &caches_->resolver : nullptr);
+      result.success_before_resolution = run.success();
+      result.status_before = run.status;
+      target.unload_all_modules();
+    } else {
+      result.status_before = toolchain::RunStatus::kNoMpiStackSelected;
+    }
+
+    // --- actual execution, after resolution (following FEAM's script).
+    if (extended && extended->prediction.selected_stack_id) {
+      const auto extra =
+          feam::Tec::apply_configuration(target, extended->prediction);
+      const auto run = toolchain::mpiexec_with_retries(
+          target, migrated_path, options_.ranks, extra,
+          options_.retry_attempts,
+          caches_ != nullptr ? &caches_->resolver : nullptr);
+      result.success_after_resolution = run.success();
+      result.status_after = run.status;
+      target.unload_all_modules();
+    } else if (module) {
+      // FEAM produced no configuration; the user's naive run stands.
+      result.success_after_resolution = result.success_before_resolution;
+      result.status_after = result.status_before;
+    } else {
+      result.status_after = toolchain::RunStatus::kNoMpiStackSelected;
+    }
+
+    // --- cleanup: leave the target as we found it.
+    target.vfs.remove(migrated_path);
+    for (const auto& dir : result.extended_prediction.resolution_dirs) {
+      target.vfs.remove(dir);
+    }
+    target.vfs.remove("/home/user/feam_resolved");
   }
 
-  // --- actual execution, after resolution (following FEAM's script).
-  if (extended && extended->prediction.selected_stack_id) {
-    const auto extra =
-        feam::Tec::apply_configuration(target, extended->prediction);
-    const auto run = toolchain::mpiexec_with_retries(
-        target, migrated_path, options_.ranks, extra, options_.retry_attempts);
-    result.success_after_resolution = run.success();
-    result.status_after = run.status;
-    target.unload_all_modules();
-  } else if (module) {
-    // FEAM produced no configuration; the user's naive run stands.
-    result.success_after_resolution = result.success_before_resolution;
-    result.status_after = result.status_before;
-  } else {
-    result.status_after = toolchain::RunStatus::kNoMpiStackSelected;
-  }
-
-  // --- cleanup: leave the target as we found it.
-  target.vfs.remove(migrated_path);
-  for (const auto& dir : result.extended_prediction.resolution_dirs) {
-    target.vfs.remove(dir);
-  }
-  target.vfs.remove("/home/user/feam_resolved");
-
-  results_.push_back(std::move(result));
+  return result;
 }
 
 void Experiment::run() {
   results_.clear();
   skipped_no_impl_ = 0;
+  mpi_matching_correct_ = true;
+
+  // Build the migration list sequentially (so skip accounting is exact),
+  // then fan out. Each migration writes into its pre-assigned slot, so
+  // `results_` is in migration-list order at any job count — completion
+  // order never shows.
+  struct Job {
+    const TestBinary* binary;
+    Site* target;
+  };
+  std::vector<Job> jobs;
   for (const auto& binary : test_set_) {
     for (const auto& target : sites_) {
       if (target->name == binary.home_site) continue;
@@ -229,8 +316,50 @@ void Experiment::run() {
         ++skipped_no_impl_;
         continue;
       }
-      migrate_one(binary, *target);
+      jobs.push_back({&binary, target.get()});
     }
+  }
+
+  std::vector<std::optional<MigrationResult>> slots(jobs.size());
+  if (options_.jobs > 1 && jobs.size() > 1) {
+    // The job list is binary-major, so neighbouring jobs share a source
+    // binary (they would serialize on its source-phase memo entry) and
+    // often a target site lease. Submit round-robin across binaries so
+    // concurrently running workers touch distinct binaries and sites.
+    // Slot indices keep the original order, so the interleave is
+    // invisible in the results.
+    std::vector<std::size_t> order;
+    order.reserve(jobs.size());
+    std::vector<std::pair<std::size_t, std::size_t>> runs;  // [begin, end)
+    for (std::size_t i = 0; i < jobs.size();) {
+      std::size_t j = i;
+      while (j < jobs.size() && jobs[j].binary == jobs[i].binary) ++j;
+      runs.emplace_back(i, j);
+      i = j;
+    }
+    for (bool more = true; more;) {
+      more = false;
+      for (auto& [begin, end] : runs) {
+        if (begin == end) continue;
+        order.push_back(begin++);
+        more = true;
+      }
+    }
+
+    support::ThreadPool pool(options_.jobs);
+    for (const std::size_t i : order) {
+      pool.submit([this, &jobs, &slots, i] {
+        slots[i] = migrate_one(*jobs[i].binary, *jobs[i].target);
+      });
+    }
+    pool.wait();
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      slots[i] = migrate_one(*jobs[i].binary, *jobs[i].target);
+    }
+  }
+  for (auto& slot : slots) {
+    if (slot) results_.push_back(std::move(*slot));
   }
 }
 

@@ -12,12 +12,16 @@
 // configuration, exactly as a FEAM user would.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "feam/caches.hpp"
 #include "feam/phases.hpp"
 #include "site/site.hpp"
 #include "toolchain/launcher.hpp"
@@ -77,6 +81,16 @@ struct ExperimentOptions {
   // Skip the hello-world usability/compatibility tests (trust every
   // advertised stack).
   bool run_usability_tests = true;
+
+  // Worker threads migrating concurrently (1 = inline sequential). Results
+  // are bit-identical at any job count: the fault model is stateless, every
+  // site is restored after use, and results land in pre-assigned slots.
+  int jobs = 1;
+  // Memoize BDC descriptions (content-addressed), EDC scans (generation-
+  // keyed), and the per-binary source phase. Transparent: predictions and
+  // execution outcomes are identical with caches off — `false` is the
+  // legacy path the parallel_matrix bench uses as its baseline.
+  bool use_caches = true;
 };
 
 class Experiment {
@@ -101,6 +115,12 @@ class Experiment {
   // was 100% accurate. Verified during run(); exposed for the benches.
   bool mpi_matching_always_correct() const { return mpi_matching_correct_; }
 
+  // Memoization stats for the benches; caches() is null when
+  // options.use_caches is false.
+  const feam::MigrationCaches* caches() const { return caches_.get(); }
+  std::uint64_t source_phase_hits() const { return source_hits_; }
+  std::uint64_t source_phase_misses() const { return source_misses_; }
+
   // (binary, site) pairs skipped because the site lacks the matching MPI
   // implementation. At those sites FEAM trivially (and correctly) predicts
   // NOT READY; the paper reports accuracy only over matching sites because
@@ -111,14 +131,32 @@ class Experiment {
   site::Site& site(std::string_view name);
 
  private:
-  void migrate_one(const TestBinary& binary, site::Site& target);
+  struct SourceMemoEntry;
+
+  std::optional<MigrationResult> migrate_one(const TestBinary& binary,
+                                             site::Site& target);
+  // The source phase for `binary`, run in its guaranteed environment at
+  // `home` (module loaded, then unloaded again) under home's lease.
+  // Memoized per binary when caches are on — the paper's workflow runs it
+  // once per binary, not once per migration.
+  const support::Result<feam::SourcePhaseOutput>& source_phase_for(
+      const TestBinary& binary, site::Site& home,
+      const feam::FeamConfig& config,
+      std::optional<support::Result<feam::SourcePhaseOutput>>& local);
 
   ExperimentOptions options_;
   std::vector<std::unique_ptr<site::Site>> sites_;
+  std::map<std::string, std::size_t, std::less<>> site_index_;
   std::vector<TestBinary> test_set_;
   std::vector<MigrationResult> results_;
-  bool mpi_matching_correct_ = true;
+  std::atomic<bool> mpi_matching_correct_{true};
   std::size_t skipped_no_impl_ = 0;
+
+  std::unique_ptr<feam::MigrationCaches> caches_;
+  std::mutex source_memo_mutex_;
+  std::map<std::string, std::unique_ptr<SourceMemoEntry>> source_memo_;
+  std::atomic<std::uint64_t> source_hits_{0};
+  std::atomic<std::uint64_t> source_misses_{0};
 };
 
 }  // namespace feam::eval

@@ -112,14 +112,15 @@ support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
 std::vector<std::pair<std::string, std::optional<std::string>>>
 Bdc::locate_libraries(const site::Site& s, std::string_view path,
                       const std::vector<std::string>& needed,
-                      std::string_view hello_world_path) {
+                      std::string_view hello_world_path,
+                      binutils::ResolverCache* cache) {
   obs::ScopedTimer timer(obs::histogram("bdc.locate_ns"));
   obs::counter("bdc.locate_calls").add();
   std::vector<std::pair<std::string, std::optional<std::string>>> out;
   for (const auto& name : needed) out.emplace_back(name, std::nullopt);
 
   const auto fill_from_ldd = [&](std::string_view target) {
-    const auto text = binutils::ldd(s, target);
+    const auto text = binutils::ldd(s, target, false, cache);
     if (!text.ok()) return;
     for (const auto& entry : binutils::parse_ldd_output(text.value())) {
       if (!entry.path) continue;

@@ -20,6 +20,10 @@
 #include "site/site.hpp"
 #include "support/result.hpp"
 
+namespace feam::binutils {
+class ResolverCache;
+}  // namespace feam::binutils
+
 namespace feam {
 
 class Bdc {
@@ -32,11 +36,13 @@ class Bdc {
   // for source-phase copying. Tries ldd first, then `locate`, then `find`
   // over common library locations and LD_LIBRARY_PATH, then the ldd output
   // of a locally available "hello world" program (paper Section V.A).
-  // Returns (name, path-or-nullopt) pairs in the order of `needed`.
+  // Returns (name, path-or-nullopt) pairs in the order of `needed`. A
+  // non-null `cache` memoizes the underlying ldd transcripts.
   static std::vector<std::pair<std::string, std::optional<std::string>>>
   locate_libraries(const site::Site& s, std::string_view path,
                    const std::vector<std::string>& needed,
-                   std::string_view hello_world_path = "");
+                   std::string_view hello_world_path = "",
+                   binutils::ResolverCache* cache = nullptr);
 };
 
 }  // namespace feam

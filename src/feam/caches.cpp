@@ -1,0 +1,159 @@
+#include "feam/caches.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "feam/bdc.hpp"
+#include "obs/metrics.hpp"
+
+namespace feam {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+
+// FNV-1a folding 64-bit words, then the tail byte-wise.
+std::uint64_t fnv_region(std::uint64_t h, const std::uint8_t* p,
+                         std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    h = (h ^ word) * kFnvPrime;
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    h = (h ^ *p++) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t content_hash(const support::Bytes& bytes) {
+  // Constant-work sampled hash: the size plus the head, tail, and a few
+  // evenly spaced interior windows. Multi-megabyte binaries hash in a
+  // bounded ~10 KiB of reads, so a cache lookup costs the same for a
+  // 100 KiB tool and a 50 MiB bundle library. The cache always verifies
+  // candidate hits with a full byte compare, so the hash only has to
+  // distribute well — sampling cannot cause a wrong answer, only a
+  // (vanishingly rare) extra compare.
+  constexpr std::size_t kWindow = 512;
+  constexpr std::size_t kInteriorWindows = 14;
+  constexpr std::size_t kSmall = 8 * 1024;
+
+  std::uint64_t h = (kFnvBasis ^ bytes.size()) * kFnvPrime;
+  const std::uint8_t* data = bytes.data();
+  if (bytes.size() <= kSmall) {
+    return fnv_region(h, data, bytes.size());
+  }
+  h = fnv_region(h, data, 2 * kWindow);                       // head
+  h = fnv_region(h, data + bytes.size() - 2 * kWindow, 2 * kWindow);  // tail
+  const std::size_t span = bytes.size() - kWindow;
+  for (std::size_t i = 0; i < kInteriorWindows; ++i) {
+    const std::size_t offset = (span * (i + 1)) / (kInteriorWindows + 1);
+    h = fnv_region(h, data + offset, kWindow);
+  }
+  return h;
+}
+
+BdcCache::BdcCache() : hash_(content_hash) {}
+
+BdcCache::BdcCache(HashFn hash) : hash_(std::move(hash)) {}
+
+support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
+                                                      std::string_view path) {
+  const support::Bytes* bytes = s.vfs.read(path);
+  if (bytes == nullptr) {
+    // Let the component produce its usual diagnostic for a missing file.
+    return Bdc::describe(s, path);
+  }
+  const std::uint64_t version = s.vfs.file_version(path).value_or(0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Fast path: the file has not been rewritten since we last described
+    // it at this location — no hashing, no byte compare.
+    const auto stamped =
+        by_file_.find(std::make_pair(s.lease_id(), std::string(path)));
+    if (stamped != by_file_.end() && stamped->second.version == version) {
+      ++hits_;
+      obs::counter("bdc.cache_hits").add();
+      return stamped->second.description;
+    }
+  }
+  const std::uint64_t key = hash_(*bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.bytes == *bytes) {
+          ++hits_;
+          obs::counter("bdc.cache_hits").add();
+          BinaryDescription d = entry.description;
+          d.path = std::string(path);
+          by_file_[std::make_pair(s.lease_id(), std::string(path))] =
+              FileStamp{version, d};
+          return d;
+        }
+      }
+    }
+  }
+  // Miss (or collision): parse outside the lock — the caller holds the
+  // site lease, so the bytes cannot change underneath us.
+  support::Result<BinaryDescription> described = Bdc::describe(s, path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  obs::counter("bdc.cache_misses").add();
+  if (described.ok()) {
+    entries_[key].push_back(Entry{*bytes, described.value()});
+    by_file_[std::make_pair(s.lease_id(), std::string(path))] =
+        FileStamp{version, described.value()};
+  }
+  return described;
+}
+
+std::uint64_t BdcCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t BdcCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+EnvironmentDescription EdcMemo::discover(const site::Site& s) {
+  const std::uint64_t generation = s.state_generation();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(s.lease_id());
+    if (it != entries_.end() && it->second.generation == generation) {
+      ++hits_;
+      obs::counter("edc.memo_hits").add();
+      return it->second.description;
+    }
+  }
+  // Scan with the memo unlocked so other sites discover concurrently; the
+  // caller's site lease guarantees no concurrent scan of *this* site.
+  EnvironmentDescription description = Edc::discover(s);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  obs::counter("edc.memo_misses").add();
+  entries_[s.lease_id()] = Entry{generation, description};
+  return description;
+}
+
+std::uint64_t EdcMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t EdcMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace feam

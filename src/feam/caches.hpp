@@ -1,0 +1,128 @@
+// Memoization layer for the parallel migration engine.
+//
+// The evaluation matrix re-describes the same binary bytes and re-scans
+// unchanged site environments on every one of its ~70 migrations. Both
+// operations are pure functions of observable state, so they memoize:
+//
+//   * BdcCache — content-addressed: hash of the binary's bytes ->
+//     BinaryDescription. A binary migrated to N targets is parsed once.
+//     Entries store the full bytes and are compared on lookup, so a hash
+//     collision degrades to a cache miss, never a wrong description. The
+//     hash function is injectable for exactly that test.
+//   * EdcMemo — per-site, keyed by Site::state_generation(). Any VFS
+//     write, environment edit, or module load/unload bumps the generation
+//     and invalidates the memo for that site.
+//
+// Both caches are internally synchronized. Callers must still hold the
+// site's lease while describing/discovering (the underlying components
+// read live site state); the caches' own mutexes nest strictly inside the
+// lease, and are never held across component calls, so no lock cycle
+// involves them.
+//
+// The caches are opt-in: every component keeps its uncached entry point,
+// and the sequential CLI flow is byte-for-byte unchanged (the regression
+// gate pins its exact counter values).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "binutils/resolver_cache.hpp"
+#include "feam/description.hpp"
+#include "feam/edc.hpp"
+#include "site/site.hpp"
+#include "support/byte_io.hpp"
+#include "support/result.hpp"
+
+namespace feam {
+
+// FNV-1a (64-bit) over the byte content — the default content address.
+std::uint64_t content_hash(const support::Bytes& bytes);
+
+class BdcCache {
+ public:
+  using HashFn = std::function<std::uint64_t(const support::Bytes&)>;
+
+  BdcCache();
+  // Injectable hash, for exercising the collision path with crafted inputs.
+  explicit BdcCache(HashFn hash);
+
+  // Describe the binary at `path` on `s`, memoized on its content hash.
+  // On a hit the cached description is returned with `path` rewritten to
+  // the requested location (the only path-dependent field). Failures are
+  // not cached. Unreadable paths fall through to Bdc::describe for its
+  // error message.
+  //
+  // Repeat lookups of an unchanged file short-circuit on the VFS write
+  // stamp — (site, path, Vfs::file_version) uniquely identifies content,
+  // so the fast path answers without touching the bytes at all. Only a
+  // stamp miss (new site, new path, rewritten file) pays the sampled
+  // hash + byte-verify of the content-addressed lookup.
+  support::Result<BinaryDescription> describe(const site::Site& s,
+                                              std::string_view path);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    support::Bytes bytes;  // kept for collision verification
+    BinaryDescription description;
+  };
+
+  struct FileStamp {
+    std::uint64_t version = 0;  // Vfs::file_version at memoization time
+    BinaryDescription description;
+  };
+
+  mutable std::mutex mutex_;
+  HashFn hash_;
+  // Chained per hash value: colliding contents coexist as separate links.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  // Fast path: (lease_id, path) -> last seen write stamp + description.
+  std::map<std::pair<std::uint64_t, std::string>, FileStamp, std::less<>>
+      by_file_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class EdcMemo {
+ public:
+  // Discover `s`'s environment, memoized per site while its
+  // state_generation() is unchanged. The caller must hold `s`'s lease (the
+  // scan runs shell commands against live state); the memo's mutex is
+  // released during the scan, so distinct sites discover concurrently.
+  EnvironmentDescription discover(const site::Site& s);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;
+    EnvironmentDescription description;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Entry> entries_;  // key: Site::lease_id()
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// The bundle a parallel run threads through phases/TEC. Passing nullptr
+// anywhere a MigrationCaches* is accepted reproduces the uncached path.
+struct MigrationCaches {
+  BdcCache bdc;
+  EdcMemo edc;
+  // Memoizes the loader's per-site library searches and ldd transcripts,
+  // validated against VFS write stamps (binutils/resolver_cache.hpp).
+  binutils::ResolverCache resolver;
+};
+
+}  // namespace feam

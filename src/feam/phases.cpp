@@ -3,6 +3,7 @@
 #include <set>
 
 #include "feam/bdc.hpp"
+#include "feam/caches.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/strings.hpp"
@@ -44,7 +45,7 @@ std::vector<std::string> SourcePhaseOutput::render_text() const {
 
 support::Result<SourcePhaseOutput> run_source_phase(
     site::Site& guaranteed, std::string_view binary_path,
-    const FeamConfig& config) {
+    const FeamConfig& config, MigrationCaches* caches) {
   using R = support::Result<SourcePhaseOutput>;
 
   obs::Span phase_span("feam.source_phase",
@@ -54,10 +55,13 @@ support::Result<SourcePhaseOutput> run_source_phase(
   obs::counter("phase.source_runs").add();
 
   SourcePhaseOutput out;
-  auto described = Bdc::describe(guaranteed, binary_path);
+  auto described = caches != nullptr
+                       ? caches->bdc.describe(guaranteed, binary_path)
+                       : Bdc::describe(guaranteed, binary_path);
   if (!described.ok()) return R::failure(described.error());
   out.application = std::move(described).take();
-  out.environment = Edc::discover(guaranteed);
+  out.environment = caches != nullptr ? caches->edc.discover(guaranteed)
+                                      : Edc::discover(guaranteed);
   out.bundle.application = out.application;
   out.bundle.source_environment = out.environment;
 
@@ -133,8 +137,9 @@ support::Result<SourcePhaseOutput> run_source_phase(
       if (!visited.insert(name).second) continue;
       if (never_copy(name)) continue;
 
-      const auto located = Bdc::locate_libraries(guaranteed, current_path,
-                                                 {name}, hello_world_path);
+      const auto located = Bdc::locate_libraries(
+          guaranteed, current_path, {name}, hello_world_path,
+          caches != nullptr ? &caches->resolver : nullptr);
       if (located.empty() || !located.front().second) {
         note(out, obs::Level::kWarn, "source.gather",
              "could not locate " + name + " for copying",
@@ -148,7 +153,9 @@ support::Result<SourcePhaseOutput> run_source_phase(
              "could not read " + lib_path, {{"path", lib_path}});
         continue;
       }
-      auto lib_desc = Bdc::describe(guaranteed, lib_path);
+      auto lib_desc = caches != nullptr
+                          ? caches->bdc.describe(guaranteed, lib_path)
+                          : Bdc::describe(guaranteed, lib_path);
       if (!lib_desc.ok()) {
         note(out, obs::Level::kWarn, "source.gather",
              "could not describe " + lib_path + ": " + lib_desc.error(),
@@ -186,7 +193,7 @@ support::Result<SourcePhaseOutput> run_source_phase(
 support::Result<TargetPhaseOutput> run_target_phase(
     site::Site& target, std::string_view binary_path,
     const SourcePhaseOutput* source, const FeamConfig& config,
-    const TecOptions& tec_options) {
+    const TecOptions& tec_options, MigrationCaches* caches) {
   using R = support::Result<TargetPhaseOutput>;
 
   obs::Span phase_span("feam.target_phase",
@@ -198,7 +205,9 @@ support::Result<TargetPhaseOutput> run_target_phase(
 
   TargetPhaseOutput out;
   if (!binary_path.empty() && target.vfs.is_file(binary_path)) {
-    auto described = Bdc::describe(target, binary_path);
+    auto described = caches != nullptr
+                         ? caches->bdc.describe(target, binary_path)
+                         : Bdc::describe(target, binary_path);
     if (!described.ok()) return R::failure(described.error());
     out.application = std::move(described).take();
   } else if (source != nullptr) {
@@ -209,7 +218,8 @@ support::Result<TargetPhaseOutput> run_target_phase(
         "source-phase bundle");
   }
 
-  out.environment = Edc::discover(target);
+  out.environment = caches != nullptr ? caches->edc.discover(target)
+                                      : Edc::discover(target);
   TecOptions opts = tec_options;
   opts.hello_world_ranks = config.hello_world_ranks;
   if (out.application.mpi_impl) {
@@ -217,7 +227,7 @@ support::Result<TargetPhaseOutput> run_target_phase(
   }
   out.prediction = Tec::evaluate(target, out.application, binary_path,
                                  source != nullptr ? &source->bundle : nullptr,
-                                 opts);
+                                 opts, caches);
   phase_span.add_field("ready", out.prediction.ready ? "true" : "false");
   return out;
 }

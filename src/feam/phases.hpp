@@ -24,6 +24,8 @@
 
 namespace feam {
 
+struct MigrationCaches;  // caches.hpp
+
 // User-provided configuration (paper Section V): the only site knowledge
 // FEAM requires from the user is how to submit jobs, plus the execution
 // command if a stack does not use plain `mpiexec`. See config.hpp for the
@@ -47,9 +49,11 @@ struct SourcePhaseOutput {
 
 // Runs the source phase at a guaranteed execution environment for the
 // binary at `binary_path`. Fails only when the binary cannot be described.
+// `caches` (optional, see caches.hpp) memoizes the application/library
+// descriptions and the environment scan; nullptr is the uncached path.
 support::Result<SourcePhaseOutput> run_source_phase(
     site::Site& guaranteed, std::string_view binary_path,
-    const FeamConfig& config = {});
+    const FeamConfig& config = {}, MigrationCaches* caches = nullptr);
 
 struct TargetPhaseOutput {
   BinaryDescription application;
@@ -63,6 +67,6 @@ struct TargetPhaseOutput {
 support::Result<TargetPhaseOutput> run_target_phase(
     site::Site& target, std::string_view binary_path,
     const SourcePhaseOutput* source = nullptr, const FeamConfig& config = {},
-    const TecOptions& tec_options = {});
+    const TecOptions& tec_options = {}, MigrationCaches* caches = nullptr);
 
 }  // namespace feam

@@ -7,8 +7,14 @@
 // phase at every candidate site and ranks the verdicts: ready sites first
 // (fewest resolved copies first — less to ship), then not-ready sites
 // grouped by the determinant that blocked them.
+//
+// Sites are independent, so with `SurveyOptions::jobs > 1` the assessments
+// fan out across a thread pool — each worker holds its site's lease for
+// the whole assessment, and results land in input-order slots, so the
+// report is identical at any job count.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,14 +39,23 @@ struct SurveyReport {
   std::string render() const;
 };
 
+struct SurveyOptions {
+  // Worker threads assessing sites concurrently; 1 = inline sequential.
+  int jobs = 1;
+  // Optional memoization bundle (caches.hpp); nullptr = uncached.
+  MigrationCaches* caches = nullptr;
+};
+
 // Surveys `sites` for the binary `binary_bytes` (written to each site as
 // /home/user/<binary_name>). `source` enables the extended prediction and
-// resolution. Sites are evaluated independently; their state is restored
-// (migrated binary removed) afterwards.
-SurveyReport survey_sites(std::vector<site::Site*> sites,
+// resolution. Sites are evaluated independently; each is restored exactly
+// as found — migrated binary removed, resolution directories removed, and
+// the module load state reinstated — even when the target phase errors.
+SurveyReport survey_sites(std::span<site::Site* const> sites,
                           std::string_view binary_name,
                           const support::Bytes& binary_bytes,
                           const SourcePhaseOutput* source = nullptr,
-                          const FeamConfig& config = {});
+                          const FeamConfig& config = {},
+                          const SurveyOptions& options = {});
 
 }  // namespace feam

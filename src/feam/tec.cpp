@@ -5,6 +5,7 @@
 
 #include "binutils/resolver.hpp"
 #include "feam/bdc.hpp"
+#include "feam/caches.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/strings.hpp"
@@ -119,7 +120,8 @@ std::vector<std::pair<std::string, std::string>> activate_stack(
 // and runs it. nullopt when native compilation is not possible there.
 std::optional<bool> native_hello_test(site::Site& s,
                                       const DiscoveredStack& stack, int ranks,
-                                      std::string_view nonce) {
+                                      std::string_view nonce,
+                                      binutils::ResolverCache* rc) {
   obs::Span span("tec.usability.native", {{"stack", stack.id}});
   obs::counter("tec.usability_tests").add();
   const site::MpiStackInstall* install = nullptr;
@@ -134,7 +136,7 @@ std::optional<bool> native_hello_test(site::Site& s,
       s, toolchain::mpi_hello_world(toolchain::Language::kC), *install, path);
   if (!compiled.ok()) return std::nullopt;
   const auto run = toolchain::mpiexec_with_retries(s, compiled.value(), ranks,
-                                                   {}, 3);
+                                                   {}, 3, rc);
   s.vfs.remove(path);
   return run.success();
 }
@@ -144,7 +146,8 @@ std::optional<bool> native_hello_test(site::Site& s,
 // application was compiled with and the stack selected at the target.
 bool bundle_hello_test(site::Site& s, const Bundle& bundle, bool app_is_fortran,
                        const std::vector<std::string>& extra_dirs, int ranks,
-                       std::string_view nonce, std::vector<std::string>& log) {
+                       std::string_view nonce, std::vector<std::string>& log,
+                       binutils::ResolverCache* rc) {
   obs::Span span("tec.usability.bundle_hello");
   obs::counter("tec.usability_tests").add();
   bool all_ok = true;
@@ -155,7 +158,8 @@ bool bundle_hello_test(site::Site& s, const Bundle& bundle, bool app_is_fortran,
     const std::string path =
         "/tmp/feam_hw_src_" + hw.name + "." + std::string(nonce);
     s.vfs.write_file(path, hw.content);
-    const auto run = toolchain::mpiexec_with_retries(s, path, ranks, extra_dirs, 3);
+    const auto run =
+        toolchain::mpiexec_with_retries(s, path, ranks, extra_dirs, 3, rc);
     s.vfs.remove(path);
     if (!run.success()) {
       log.push_back("guaranteed-environment hello world '" + hw.name +
@@ -201,10 +205,11 @@ struct ResolutionOutcome {
 std::vector<std::string> compute_missing(site::Site& s,
                                          const BinaryDescription& app,
                                          std::string_view binary_path,
-                                         const Bundle* bundle, int bits) {
+                                         const Bundle* bundle, int bits,
+                                         binutils::ResolverCache* rc) {
   std::vector<std::string> missing;
   if (!binary_path.empty() && s.vfs.is_file(binary_path)) {
-    const auto resolution = binutils::resolve_libraries(s, binary_path);
+    const auto resolution = binutils::resolve_libraries(s, binary_path, {}, rc);
     for (const auto& name : resolution.missing()) missing.push_back(name);
     return missing;
   }
@@ -215,7 +220,7 @@ std::vector<std::string> compute_missing(site::Site& s,
     const std::string name = queue.back();
     queue.pop_back();
     if (!seen.insert(name).second) continue;
-    const auto found = binutils::search_library(s, name, bits, {}, {});
+    const auto found = binutils::search_library(s, name, bits, {}, {}, rc);
     if (found) continue;
     missing.push_back(name);
     if (bundle != nullptr) {
@@ -235,13 +240,14 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
                                  const Bundle* bundle, int bits,
                                  const EnvironmentDescription& env,
                                  const TecOptions& opts,
-                                 std::vector<std::string>& log) {
+                                 std::vector<std::string>& log,
+                                 binutils::ResolverCache* rc) {
   // The shared-library determinant's workhorse: one span per evaluation,
   // under whichever candidate stack is active.
   obs::Span span("tec.determinant.shared_libraries");
   obs::ScopedTimer timer(obs::histogram("tec.resolution_ns"));
   ResolutionOutcome out;
-  out.missing = compute_missing(s, app, binary_path, bundle, bits);
+  out.missing = compute_missing(s, app, binary_path, bundle, bits, rc);
   span.add_field("missing", std::to_string(out.missing.size()));
   obs::counter("resolution.libraries_missing").add(out.missing.size());
   if (out.missing.empty() || bundle == nullptr || !opts.apply_resolution) {
@@ -268,7 +274,7 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
       const std::string name = queue.back();
       queue.pop_back();
       if (!visited.insert(name).second) continue;
-      if (binutils::search_library(s, name, bits, {}, {out.dir})) continue;
+      if (binutils::search_library(s, name, bits, {}, {out.dir}, rc)) continue;
       if (blacklist.count(name) != 0) {
         unresolved.insert(name);
         continue;
@@ -302,7 +308,7 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
     if (opts.recursive_copy_validation) {
       for (const auto& name : installed) {
         const auto report = toolchain::load_binary(
-            s, site::Vfs::join(out.dir, name), {out.dir});
+            s, site::Vfs::join(out.dir, name), {out.dir}, rc);
         if (report.status != toolchain::LoadStatus::kOk) {
           log.push_back("copy of " + name +
                         " failed validation: " + report.detail);
@@ -317,7 +323,7 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
     for (const auto& name : out.missing) {
       if (installed.count(name) != 0) {
         out.resolved.push_back(name);
-      } else if (binutils::search_library(s, name, bits, {}, {out.dir})) {
+      } else if (binutils::search_library(s, name, bits, {}, {out.dir}, rc)) {
         out.resolved.push_back(name);  // satisfied transitively
       } else {
         out.unresolved.push_back(name);
@@ -410,7 +416,7 @@ void record_verdict(const DeterminantResult& d) {
 
 Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
                          std::string_view binary_path, const Bundle* bundle,
-                         const TecOptions& opts) {
+                         const TecOptions& opts, MigrationCaches* caches) {
   obs::Span eval_span("tec.evaluate", {{"site", target.name},
                                        {"binary", app.path},
                                        {"mode", bundle != nullptr
@@ -419,7 +425,10 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
   obs::ScopedTimer eval_timer(obs::histogram("tec.evaluate_ns"));
 
   Prediction p;
-  const EnvironmentDescription env = Edc::discover(target);
+  binutils::ResolverCache* rc =
+      caches != nullptr ? &caches->resolver : nullptr;
+  const EnvironmentDescription env =
+      caches != nullptr ? caches->edc.discover(target) : Edc::discover(target);
 
   // --- Determinant 1: ISA.
   DeterminantResult isa{DeterminantKind::kIsa, true, false, ""};
@@ -501,7 +510,7 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
     }
     EnvGuard guard(target);
     const auto outcome = run_resolution(target, app, binary_path, bundle,
-                                        app.bits, env, opts, p.log);
+                                        app.bits, env, opts, p.log, rc);
     p.missing_libraries = outcome.missing;
     p.resolved_libraries = outcome.resolved;
     p.unresolved_libraries = outcome.unresolved;
@@ -550,7 +559,7 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
         const auto native =
             opts.run_usability_tests
                 ? native_hello_test(target, *candidate, opts.hello_world_ranks,
-                                    nonce)
+                                    nonce, rc)
                 : std::optional<bool>(true);
         if (native.has_value() && !*native) {
           p.log.push_back("stack " + candidate->id +
@@ -565,7 +574,7 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
 
         // Shared libraries + resolution under this stack.
         const auto outcome = run_resolution(target, app, binary_path, bundle,
-                                            app.bits, env, opts, p.log);
+                                            app.bits, env, opts, p.log, rc);
 
         // Extended compatibility: hello worlds from the guaranteed
         // environment, run with the resolution directory in scope.
@@ -574,7 +583,7 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
           std::vector<std::string> extra;
           if (!outcome.dir.empty()) extra.push_back(outcome.dir);
           if (!bundle_hello_test(target, *bundle, app_is_fortran, extra,
-                                 opts.hello_world_ranks, nonce, p.log)) {
+                                 opts.hello_world_ranks, nonce, p.log, rc)) {
             if (best_stage < Stage::kHelloIncompatible) {
               best_stage = Stage::kHelloIncompatible;
               best_detail = "stack " + candidate->id +

@@ -31,6 +31,8 @@
 
 namespace feam {
 
+struct MigrationCaches;  // caches.hpp
+
 enum class DeterminantKind : std::uint8_t {
   kIsa,
   kCLibrary,
@@ -100,12 +102,16 @@ class Tec {
   //  * `binary_path`: location of the migrated binary at the target, or ""
   //    when only the bundle's description travelled (two-phase mode).
   //  * `bundle`: source-phase output; nullptr -> basic prediction.
+  //  * `caches`: optional memoization bundle (see caches.hpp); the
+  //    environment scan is served from the EDC memo when fresh. nullptr
+  //    reproduces the uncached path exactly.
   // Mutates `target` only through user-level actions FEAM really takes:
   // loading modules during tests (undone afterwards) and writing library
   // copies under opts.resolution_root.
   static Prediction evaluate(site::Site& target, const BinaryDescription& app,
                              std::string_view binary_path, const Bundle* bundle,
-                             const TecOptions& opts = {});
+                             const TecOptions& opts = {},
+                             MigrationCaches* caches = nullptr);
 
   // Applies a ready prediction's configuration to the site (loads the
   // selected module) and returns the extra library directories execution

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/clock.hpp"
@@ -15,9 +16,25 @@ thread_local std::vector<std::uint64_t> t_span_stack;
 
 }  // namespace
 
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  // Owner-checked: if several collectors exist (tests), the cached buffer
+  // only serves the collector that registered it.
+  thread_local TraceCollector* t_owner = nullptr;
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  if (t_owner != this || !t_buffer) {
+    t_buffer = std::make_shared<ThreadBuffer>();
+    t_owner = this;
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(t_buffer);
+  }
+  return *t_buffer;
+}
+
 void TraceCollector::record_span(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  spans_.push_back(std::move(record));
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.spans.push_back(std::move(record));
 }
 
 void TraceCollector::record_event(Event event) {
@@ -26,8 +43,21 @@ void TraceCollector::record_event(Event event) {
 }
 
 std::vector<SpanRecord> TraceCollector::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return spans_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
 }
 
 std::vector<Event> TraceCollector::events() const {
@@ -36,9 +66,16 @@ std::vector<Event> TraceCollector::events() const {
 }
 
 void TraceCollector::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  spans_.clear();
-  events_.clear();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+    events_.clear();
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->spans.clear();
+  }
 }
 
 TraceCollector& collector() {

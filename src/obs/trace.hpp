@@ -7,12 +7,19 @@
 // collection is disabled — it only reads the clock — so instrumentation
 // stays in place permanently and elapsed_ns() keeps feeding histograms.
 //
-// The TraceCollector stores finished spans and emitted events behind a
-// mutex; `feam --trace-out` enables it, exports, and writes the file.
+// The TraceCollector is built for multi-threaded producers: each thread
+// records finished spans into its own buffer (registered with the
+// collector on first use, kept alive past thread exit), so recording
+// never contends across workers. Export merges the buffers sorted by a
+// process-wide finish sequence, which reproduces exactly the order the
+// old single-vector collector stored — single-threaded traces are
+// byte-identical. Events are rarer and stay behind one mutex.
+// `feam --trace-out` enables the collector, exports, and writes the file.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -30,6 +37,9 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   int tid = 0;
+  // Process-wide finish order (merge key across thread buffers); not
+  // serialized by the exporters.
+  std::uint64_t seq = 0;
   std::uint64_t duration_ns() const { return end_ns - start_ns; }
 };
 
@@ -44,18 +54,31 @@ class TraceCollector {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Appends to the calling thread's buffer; contention-free across
+  // threads (the buffer's own mutex only synchronizes with export/clear).
   void record_span(SpanRecord record);
   void record_event(Event event);
 
+  // All finished spans, merged across thread buffers in finish order.
   std::vector<SpanRecord> spans() const;
   std::vector<Event> events() const;
   void clear();
 
  private:
-  mutable std::mutex mutex_;
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<SpanRecord> spans;
+  };
+
+  // This thread's buffer, registering it on first use. shared_ptr keeps
+  // a worker's spans alive after the worker exits.
+  ThreadBuffer& local_buffer();
+
+  mutable std::mutex mutex_;  // guards buffers_ registry and events_
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{1};
-  std::vector<SpanRecord> spans_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::vector<Event> events_;
 };
 

@@ -6,11 +6,14 @@ namespace feam::site {
 
 void Environment::set(std::string name, std::string value) {
   vars_.insert_or_assign(std::move(name), std::move(value));
+  ++generation_;
 }
 
 void Environment::unset(std::string_view name) {
   const auto it = vars_.find(name);
-  if (it != vars_.end()) vars_.erase(it);
+  if (it == vars_.end()) return;
+  vars_.erase(it);
+  ++generation_;
 }
 
 std::optional<std::string> Environment::get(std::string_view name) const {

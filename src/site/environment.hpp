@@ -4,6 +4,7 @@
 // visible at runtime (paper Section IV).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -33,8 +34,13 @@ class Environment {
     return vars_;
   }
 
+  // Monotone counter bumped on every mutation (set/unset, list edits).
+  // Cache keys use it to detect staleness.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   std::map<std::string, std::string, std::less<>> vars_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace feam::site

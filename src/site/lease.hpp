@@ -1,0 +1,51 @@
+// Site leases: the mutual-exclusion discipline of the parallel migration
+// engine. A worker must hold a site's lease for the duration of any
+// mutating sequence against that site — module load/unload, VFS writes,
+// shell runs — so that no two workers ever interleave operations on the
+// same Site.
+//
+// Deadlock freedom: a worker holds at most one lease at a time, except
+// through SitePairLease, which always acquires the lower lease_id first.
+// Since every multi-lock follows the same global order, no cycle can form
+// (documented in ARCHITECTURE.md, "Concurrency model").
+#pragma once
+
+#include <mutex>
+
+#include "site/site.hpp"
+
+namespace feam::site {
+
+// RAII lease on a single site.
+class SiteLease {
+ public:
+  explicit SiteLease(Site& site) : lock_(site.lease_mutex()) {}
+
+  SiteLease(const SiteLease&) = delete;
+  SiteLease& operator=(const SiteLease&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+// RAII lease on two distinct sites, acquired in lease_id order (lower id
+// first) regardless of argument order. Used for the one step of a
+// migration that genuinely touches both sites at once: copying the binary
+// from home to target.
+class SitePairLease {
+ public:
+  SitePairLease(Site& a, Site& b)
+      : first_(a.lease_id() < b.lease_id() ? a.lease_mutex()
+                                           : b.lease_mutex()),
+        second_(a.lease_id() < b.lease_id() ? b.lease_mutex()
+                                            : a.lease_mutex()) {}
+
+  SitePairLease(const SitePairLease&) = delete;
+  SitePairLease& operator=(const SitePairLease&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> first_;
+  std::lock_guard<std::mutex> second_;
+};
+
+}  // namespace feam::site

@@ -1,10 +1,22 @@
 #include "site/site.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/strings.hpp"
 
 namespace feam::site {
+
+namespace {
+std::uint64_t next_lease_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Site::Site()
+    : lease_id_(next_lease_id()),
+      lease_mutex_(std::make_unique<std::mutex>()) {}
 
 std::string MpiStackInstall::slug() const {
   return std::string(mpi_impl_slug(impl)) + "-" + version.str() + "-" +
@@ -42,6 +54,7 @@ bool Site::load_module(std::string_view module_name) {
     env.prepend_to_list(var, entry);
   }
   loaded_.push_back(it->name);
+  ++module_generation_;
   return true;
 }
 
@@ -64,6 +77,7 @@ void Site::unload_all_modules() {
     }
   }
   loaded_.clear();
+  ++module_generation_;
 }
 
 const MpiStackInstall* Site::find_stack(MpiImpl impl,

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +70,8 @@ struct ModuleFile {
 
 class Site {
  public:
+  Site();
+
   // --- identity & configured truth (written by provisioning, read by the
   // evaluation harness for ground-truth comparisons; FEAM never reads these)
   std::string name;
@@ -121,8 +125,28 @@ class Site {
   // Path of the C library (resolving the /lib*/libc.so.6 convention).
   std::optional<std::string> clib_path() const;
 
+  // --- concurrency & caching support
+  // Monotone counter covering every observable mutation of the site's
+  // live state: VFS writes, environment edits, and module load/unload.
+  // The EDC scan memo keys on it; any mutation invalidates the memo.
+  std::uint64_t state_generation() const {
+    return vfs.generation() + env.generation() + module_generation_;
+  }
+
+  // Process-wide unique id assigned at construction. The lease layer
+  // orders lock acquisition by it (lower id first) for deadlock freedom.
+  std::uint64_t lease_id() const { return lease_id_; }
+
+  // Mutex a SiteLease holds for the duration of any mutating sequence.
+  // Held behind a unique_ptr so Site stays movable (tests return Sites by
+  // value); the mutex object itself never moves.
+  std::mutex& lease_mutex() const { return *lease_mutex_; }
+
  private:
   std::vector<std::string> loaded_;
+  std::uint64_t module_generation_ = 0;
+  std::uint64_t lease_id_;
+  std::unique_ptr<std::mutex> lease_mutex_;
 };
 
 }  // namespace feam::site

@@ -99,7 +99,9 @@ Vfs::Node* Vfs::ensure_parent(std::string_view path) {
 
 bool Vfs::mkdirs(std::string_view path) {
   Node* parent = ensure_parent(join(path, "x"));
-  return parent != nullptr;
+  if (parent == nullptr) return false;
+  ++generation_;
+  return true;
 }
 
 bool Vfs::write_file(std::string_view path, support::Bytes content) {
@@ -109,6 +111,7 @@ bool Vfs::write_file(std::string_view path, support::Bytes content) {
   child = std::make_unique<Node>();
   child->kind = Node::Kind::kFile;
   child->content = std::move(content);
+  child->version = ++generation_;
   return true;
 }
 
@@ -123,13 +126,16 @@ bool Vfs::symlink(std::string_view path, std::string_view target) {
   child = std::make_unique<Node>();
   child->kind = Node::Kind::kSymlink;
   child->target = std::string(target);
+  ++generation_;
   return true;
 }
 
 bool Vfs::remove(std::string_view path) {
   Node* parent = walk_mut(dirname(path));
   if (parent == nullptr || parent->kind != Node::Kind::kDir) return false;
-  return parent->children.erase(basename(path)) > 0;
+  if (parent->children.erase(basename(path)) == 0) return false;
+  ++generation_;
+  return true;
 }
 
 bool Vfs::exists(std::string_view path) const {
@@ -155,6 +161,12 @@ const support::Bytes* Vfs::read(std::string_view path) const {
   const Node* n = walk(path, true);
   if (n == nullptr || n->kind != Node::Kind::kFile) return nullptr;
   return &n->content;
+}
+
+std::optional<std::uint64_t> Vfs::file_version(std::string_view path) const {
+  const Node* n = walk(path, true);
+  if (n == nullptr || n->kind != Node::Kind::kFile) return std::nullopt;
+  return n->version;
 }
 
 std::optional<std::string> Vfs::resolve(std::string_view path) const {

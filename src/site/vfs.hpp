@@ -67,6 +67,16 @@ class Vfs {
   std::size_t total_file_bytes() const;
   std::size_t file_count() const;
 
+  // Monotone counter bumped on every successful mutation (mkdirs,
+  // write_file, symlink, remove). Cache keys use it to detect staleness.
+  std::uint64_t generation() const { return generation_; }
+
+  // Version stamp of the regular file at `path` (symlinks followed):
+  // the generation value at which its content was last written. Each
+  // write produces a globally unique stamp, so equal (path, version)
+  // implies byte-identical content. nullopt when `path` is not a file.
+  std::optional<std::uint64_t> file_version(std::string_view path) const;
+
   static std::string basename(std::string_view path);
   static std::string dirname(std::string_view path);
   static std::string join(std::string_view dir, std::string_view name);
@@ -76,6 +86,7 @@ class Vfs {
     enum class Kind : std::uint8_t { kDir, kFile, kSymlink };
     Kind kind = Kind::kDir;
     support::Bytes content;                        // kFile
+    std::uint64_t version = 0;                     // kFile: write stamp
     std::string target;                            // kSymlink
     std::map<std::string, std::unique_ptr<Node>> children;  // kDir
   };
@@ -94,6 +105,7 @@ class Vfs {
                  std::vector<std::string>& out) const;
 
   std::unique_ptr<Node> root_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace feam::site

@@ -1,0 +1,61 @@
+// A fixed-size work-queue thread pool for the parallel migration engine.
+//
+// Tasks are plain std::function<void()> closures; submit() enqueues, the
+// workers drain in FIFO order, and wait() blocks until the queue is empty
+// AND every worker is idle — the barrier the evaluation matrix uses
+// between fanning out migrations and reading the result slots. The first
+// exception a task throws is captured and rethrown from wait() (later
+// ones are dropped), so harness bugs surface instead of vanishing on a
+// worker thread.
+//
+// The pool is intentionally minimal: no futures, no work stealing, no
+// priorities. Determinism in the migration engine comes from pre-assigned
+// result slots and the site-lease discipline, not from task ordering.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace feam::support {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  // Drains outstanding work (as wait() does, but swallowing any pending
+  // task exception), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Never blocks (the queue is unbounded).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. Rethrows the first
+  // exception any task threw since the last wait().
+  void wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace feam::support

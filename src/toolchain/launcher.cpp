@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "binutils/resolver_cache.hpp"
 #include "elf/file.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -57,7 +58,9 @@ bool is_fortran_runtime(std::string_view soname) {
 // that carries an ABI note. Returns an FP-exception RunResult when a
 // contract is broken, nullopt when everything is compatible.
 std::optional<RunResult> check_abi(const Site& host, const elf::ElfFile& binary,
-                                   const binutils::Resolution& resolution) {
+                                   const binutils::Resolution& resolution,
+                                   binutils::ResolverCache* cache) {
+  obs::ScopedTimer timer(obs::histogram("launcher.abi_check_ns"));
   const auto& binary_note = binary.abi_note();
   if (!binary_note) return std::nullopt;  // nothing to contract against
   const bool fortran = is_fortran_binary(binary);
@@ -66,9 +69,15 @@ std::optional<RunResult> check_abi(const Site& host, const elf::ElfFile& binary,
     if (!lib.path) continue;
     const support::Bytes* data = host.vfs.read(*lib.path);
     if (data == nullptr) continue;
-    const auto parsed = elf::ElfFile::parse(*data);
-    if (!parsed.ok() || !parsed.value().abi_note()) continue;
-    const elf::AbiNote& note = *parsed.value().abi_note();
+    std::optional<elf::ElfFile> parsed_local;
+    const elf::ElfFile* parsed = nullptr;
+    if (cache != nullptr) {
+      parsed = cache->parsed_elf(host, *lib.path, *data);
+    } else if (auto direct = elf::ElfFile::parse(*data); direct.ok()) {
+      parsed = &parsed_local.emplace(std::move(direct).take());
+    }
+    if (parsed == nullptr || !parsed->abi_note()) continue;
+    const elf::AbiNote& note = *parsed->abi_note();
 
     if (is_mpi_library(lib.name) && !binary_note->mpi_impl.empty() &&
         !note.mpi_impl.empty()) {
@@ -197,6 +206,22 @@ const char* run_status_name(RunStatus status) {
 
 namespace {
 
+// Parsed view of a binary that already passed load_binary (so the parse
+// cannot fail), through the cache's write-stamp memo when available.
+// `local` keeps an uncached parse alive in the caller's scope.
+const elf::ElfFile& parse_loaded(const site::Site& host,
+                                 std::string_view binary_path,
+                                 const support::Bytes& data,
+                                 binutils::ResolverCache* cache,
+                                 std::optional<elf::ElfFile>& local) {
+  if (cache != nullptr) {
+    if (const elf::ElfFile* memo = cache->parsed_elf(host, binary_path, data)) {
+      return *memo;
+    }
+  }
+  return local.emplace(elf::ElfFile::parse(data).take());
+}
+
 // Command-execution event shared by the serial and MPI launch paths.
 void emit_run_event(const char* name, const site::Site& host,
                     std::string_view binary_path, int ranks,
@@ -212,13 +237,15 @@ void emit_run_event(const char* name, const site::Site& host,
 }
 
 RunResult run_serial_impl(const site::Site& host, std::string_view binary_path,
-                          const std::vector<std::string>& extra_lib_dirs) {
-  const LoadReport report = load_binary(host, binary_path, extra_lib_dirs);
+                          const std::vector<std::string>& extra_lib_dirs,
+                          binutils::ResolverCache* cache) {
+  const LoadReport report = load_binary(host, binary_path, extra_lib_dirs, cache);
   if (report.status != LoadStatus::kOk) return from_load_report(report);
 
   const support::Bytes* data = host.vfs.read(binary_path);
-  const auto parsed = elf::ElfFile::parse(*data);
-  const elf::ElfFile& binary = parsed.value();
+  std::optional<elf::ElfFile> local;
+  const elf::ElfFile& binary =
+      parse_loaded(host, binary_path, *data, cache, local);
 
   // Executing the C library prints its banner (glibc behaviour the EDC
   // depends on).
@@ -232,7 +259,7 @@ RunResult run_serial_impl(const site::Site& host, std::string_view binary_path,
     return {RunStatus::kSuccess, "", banner};
   }
 
-  if (auto abi_failure = check_abi(host, binary, report.resolution)) {
+  if (auto abi_failure = check_abi(host, binary, report.resolution, cache)) {
     return *abi_failure;
   }
   return {RunStatus::kSuccess, "", "ok"};
@@ -241,7 +268,7 @@ RunResult run_serial_impl(const site::Site& host, std::string_view binary_path,
 RunResult mpiexec_impl(const site::Site& host, std::string_view binary_path,
                        int ranks,
                        const std::vector<std::string>& extra_lib_dirs,
-                       int attempt) {
+                       int attempt, binutils::ResolverCache* cache) {
   const site::MpiStackInstall* stack = host.selected_stack();
   if (stack == nullptr) {
     return {RunStatus::kNoMpiStackSelected, "mpiexec: command not found", ""};
@@ -253,14 +280,15 @@ RunResult mpiexec_impl(const site::Site& host, std::string_view binary_path,
             ""};
   }
 
-  const LoadReport report = load_binary(host, binary_path, extra_lib_dirs);
+  const LoadReport report = load_binary(host, binary_path, extra_lib_dirs, cache);
   if (report.status != LoadStatus::kOk) return from_load_report(report);
 
   const support::Bytes* data = host.vfs.read(binary_path);
-  const auto parsed = elf::ElfFile::parse(*data);
-  const elf::ElfFile& binary = parsed.value();
+  std::optional<elf::ElfFile> local;
+  const elf::ElfFile& binary =
+      parse_loaded(host, binary_path, *data, cache, local);
 
-  if (auto abi_failure = check_abi(host, binary, report.resolution)) {
+  if (auto abi_failure = check_abi(host, binary, report.resolution, cache)) {
     return *abi_failure;
   }
 
@@ -280,19 +308,21 @@ RunResult mpiexec_impl(const site::Site& host, std::string_view binary_path,
 }  // namespace
 
 RunResult run_serial(const site::Site& host, std::string_view binary_path,
-                     const std::vector<std::string>& extra_lib_dirs) {
+                     const std::vector<std::string>& extra_lib_dirs,
+                     binutils::ResolverCache* cache) {
   obs::counter("launcher.serial_runs").add();
-  RunResult result = run_serial_impl(host, binary_path, extra_lib_dirs);
+  RunResult result = run_serial_impl(host, binary_path, extra_lib_dirs, cache);
   emit_run_event("launcher.run_serial", host, binary_path, 1, result);
   return result;
 }
 
 RunResult mpiexec(const site::Site& host, std::string_view binary_path,
                   int ranks, const std::vector<std::string>& extra_lib_dirs,
-                  int attempt) {
+                  int attempt, binutils::ResolverCache* cache) {
+  obs::ScopedTimer timer(obs::histogram("launcher.mpiexec_ns"));
   obs::counter("launcher.mpiexec_calls").add();
   RunResult result =
-      mpiexec_impl(host, binary_path, ranks, extra_lib_dirs, attempt);
+      mpiexec_impl(host, binary_path, ranks, extra_lib_dirs, attempt, cache);
   emit_run_event("launcher.mpiexec", host, binary_path, ranks, result);
   return result;
 }
@@ -300,11 +330,12 @@ RunResult mpiexec(const site::Site& host, std::string_view binary_path,
 RunResult mpiexec_with_retries(const site::Site& host,
                                std::string_view binary_path, int ranks,
                                const std::vector<std::string>& extra_lib_dirs,
-                               int attempts) {
+                               int attempts,
+                               binutils::ResolverCache* cache) {
   RunResult last;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) obs::counter("launcher.retries").add();
-    last = mpiexec(host, binary_path, ranks, extra_lib_dirs, attempt);
+    last = mpiexec(host, binary_path, ranks, extra_lib_dirs, attempt, cache);
     if (last.success()) return last;
     // Only system errors are worth retrying; deterministic failures
     // (missing libraries, version errors, ABI breaks) never change.

@@ -43,14 +43,17 @@ struct RunResult {
 
 // Runs a binary under the site's currently selected MPI stack (the one
 // whose directories a loaded module put on the shell's search paths).
+// A non-null `cache` memoizes the loader's library searches; the fault
+// model and run outcome are unaffected.
 RunResult mpiexec(const site::Site& host, std::string_view binary_path,
                   int ranks, const std::vector<std::string>& extra_lib_dirs = {},
-                  int attempt = 0);
+                  int attempt = 0, binutils::ResolverCache* cache = nullptr);
 
 // Runs a serial command (no MPI launcher involved). Executing the C
 // library binary itself prints its banner, as glibc does.
 RunResult run_serial(const site::Site& host, std::string_view binary_path,
-                     const std::vector<std::string>& extra_lib_dirs = {});
+                     const std::vector<std::string>& extra_lib_dirs = {},
+                     binutils::ResolverCache* cache = nullptr);
 
 // The paper's policy: a binary is recorded as failing only after five
 // spaced execution attempts (Section VI.C). Transient system errors are
@@ -58,6 +61,7 @@ RunResult run_serial(const site::Site& host, std::string_view binary_path,
 RunResult mpiexec_with_retries(const site::Site& host,
                                std::string_view binary_path, int ranks,
                                const std::vector<std::string>& extra_lib_dirs = {},
-                               int attempts = 5);
+                               int attempts = 5,
+                               binutils::ResolverCache* cache = nullptr);
 
 }  // namespace feam::toolchain

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "elf/builder.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 #include "toolchain/glibc.hpp"
 #include "toolchain/packages.hpp"
@@ -102,6 +103,7 @@ Result<std::string> compile_mpi_program(Site& s, const ProgramSource& program,
                                         const site::MpiStackInstall& stack,
                                         std::string output_path) {
   using R = Result<std::string>;
+  obs::ScopedTimer timer(obs::histogram("toolchain.compile_ns"));
   const auto* compiler_install = find_compiler(s, stack.compiler);
   if (compiler_install == nullptr) {
     return R::failure(std::string(site::compiler_name(stack.compiler)) +

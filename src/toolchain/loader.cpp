@@ -1,12 +1,18 @@
 #include "toolchain/loader.hpp"
 
+#include <optional>
+
+#include "binutils/resolver_cache.hpp"
 #include "elf/file.hpp"
+#include "obs/metrics.hpp"
 #include "support/strings.hpp"
 
 namespace feam::toolchain {
 
 LoadReport load_binary(const site::Site& host, std::string_view path,
-                       const std::vector<std::string>& extra_lib_dirs) {
+                       const std::vector<std::string>& extra_lib_dirs,
+                       binutils::ResolverCache* cache) {
+  obs::ScopedTimer timer(obs::histogram("launcher.load_ns"));
   LoadReport report;
   const support::Bytes* data = host.vfs.read(path);
   if (data == nullptr) {
@@ -14,23 +20,30 @@ LoadReport load_binary(const site::Site& host, std::string_view path,
     report.detail = std::string(path) + ": No such file or directory";
     return report;
   }
-  const auto parsed = elf::ElfFile::parse(*data);
-  if (!parsed.ok()) {
+  std::optional<elf::ElfFile> local;
+  const elf::ElfFile* binary = nullptr;
+  if (cache != nullptr) {
+    binary = cache->parsed_elf(host, path, *data);
+  } else if (auto parsed = elf::ElfFile::parse(*data); parsed.ok()) {
+    binary = &local.emplace(std::move(parsed).take());
+  }
+  if (binary == nullptr) {
     report.status = LoadStatus::kExecFormatError;
     report.detail = std::string(path) + ": cannot execute binary file: " +
-                    parsed.error();
+                    elf::ElfFile::parse(*data).error();
     return report;
   }
-  if (!elf::isa_executable_on(parsed.value().isa(), host.isa)) {
+  if (!elf::isa_executable_on(binary->isa(), host.isa)) {
     report.status = LoadStatus::kExecFormatError;
     report.detail = std::string(path) + ": cannot execute binary file: " +
                     "Exec format error (" +
-                    elf::isa_name(parsed.value().isa()) + " binary on " +
+                    elf::isa_name(binary->isa()) + " binary on " +
                     elf::isa_name(host.isa) + " host)";
     return report;
   }
 
-  report.resolution = binutils::resolve_libraries(host, path, extra_lib_dirs);
+  report.resolution =
+      binutils::resolve_libraries(host, path, extra_lib_dirs, cache);
   if (!report.resolution.complete()) {
     report.status = LoadStatus::kMissingLibrary;
     report.detail = "error while loading shared libraries: " +

@@ -27,8 +27,10 @@ struct LoadReport {
 
 // Simulates exec+ld.so for the binary at `path` on `host`, with optional
 // extra library search directories (FEAM's resolution model injects its
-// copy directories this way, mirroring LD_LIBRARY_PATH edits).
+// copy directories this way, mirroring LD_LIBRARY_PATH edits). A non-null
+// `cache` memoizes the library searches (binutils/resolver_cache.hpp).
 LoadReport load_binary(const site::Site& host, std::string_view path,
-                       const std::vector<std::string>& extra_lib_dirs = {});
+                       const std::vector<std::string>& extra_lib_dirs = {},
+                       binutils::ResolverCache* cache = nullptr);
 
 }  // namespace feam::toolchain

@@ -1,0 +1,274 @@
+// The migration-engine memoization layer: content-addressed BDC cache
+// (including the injected-hash collision path and the write-stamp fast
+// path), the generation-keyed EDC memo, and the resolver cache's exact
+// invalidation on site mutation.
+#include "feam/caches.hpp"
+
+#include <gtest/gtest.h>
+
+#include "binutils/ldd.hpp"
+#include "binutils/resolver.hpp"
+#include "binutils/resolver_cache.hpp"
+#include "feam/bdc.hpp"
+#include "feam/edc.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+std::string compile_app(site::Site& s, const char* name,
+                        std::vector<std::string> libc_features) {
+  const auto* stack = s.find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  EXPECT_NE(stack, nullptr);
+  toolchain::ProgramSource p;
+  p.name = name;
+  p.language = toolchain::Language::kC;
+  p.libc_features = std::move(libc_features);
+  const auto r = toolchain::compile_mpi_program(
+      s, p, *stack, std::string("/home/user/apps/") + name);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.value();
+}
+
+// ------------------------------------------------------------- BdcCache
+
+TEST(BdcCache, RepeatDescribeOfUnchangedFileHits) {
+  auto s = toolchain::make_site("india");
+  const std::string path = compile_app(*s, "probe", {"base", "stdio"});
+
+  BdcCache cache;
+  const auto first = cache.describe(*s, path);
+  ASSERT_TRUE(first.ok()) << first.error();
+  const auto second = cache.describe(*s, path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.value().file_format, second.value().file_format);
+  EXPECT_EQ(first.value().required_libraries, second.value().required_libraries);
+}
+
+TEST(BdcCache, ByteIdenticalCopyAtAnotherPathHitsWithPathRewritten) {
+  auto s = toolchain::make_site("india");
+  const std::string path = compile_app(*s, "probe", {"base", "stdio"});
+  const std::string copy_path = "/tmp/probe.copy";
+  ASSERT_TRUE(s->vfs.write_file(copy_path, *s->vfs.read(path)));
+
+  BdcCache cache;
+  ASSERT_TRUE(cache.describe(*s, path).ok());
+  const auto copied = cache.describe(*s, copy_path);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // The description is served from cache, but `path` names the copy.
+  EXPECT_EQ(copied.value().path, copy_path);
+}
+
+TEST(BdcCache, DifferentBytesMiss) {
+  auto s = toolchain::make_site("india");
+  const std::string a = compile_app(*s, "alpha", {"base", "stdio"});
+  const std::string b = compile_app(*s, "beta", {"base", "stdio", "math"});
+
+  BdcCache cache;
+  ASSERT_TRUE(cache.describe(*s, a).ok());
+  ASSERT_TRUE(cache.describe(*s, b).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(BdcCache, RebuildAtTheSamePathIsDescribedFresh) {
+  auto s = toolchain::make_site("india");
+  const std::string a = compile_app(*s, "alpha", {"base", "stdio"});
+  const std::string b = compile_app(*s, "beta", {"base", "stdio", "math"});
+  const support::Bytes b_bytes = *s->vfs.read(b);
+
+  BdcCache cache;
+  const auto before = cache.describe(*s, a);
+  ASSERT_TRUE(before.ok());
+  // Rebuild: byte-different content lands at the old path. The write stamp
+  // changes, so the fast path must not serve the stale description.
+  ASSERT_TRUE(s->vfs.write_file(a, b_bytes));
+  const auto after = cache.describe(*s, a);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  const auto direct = Bdc::describe(*s, a);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(after.value().required_libraries, direct.value().required_libraries);
+  // And the fresh entry is served on the next lookup.
+  ASSERT_TRUE(cache.describe(*s, a).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BdcCache, InjectedWeakHashCollisionsDegradeToMissesNotWrongAnswers) {
+  auto s = toolchain::make_site("india");
+  const std::string a = compile_app(*s, "alpha", {"base", "stdio"});
+  const std::string b = compile_app(*s, "beta", {"base", "stdio", "math"});
+
+  // Every input hashes to 42: the two binaries collide, and only the
+  // byte-compare chain keeps the answers apart.
+  BdcCache cache([](const support::Bytes&) { return 42ull; });
+  const auto first = cache.describe(*s, a);
+  const auto second = cache.describe(*s, b);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.misses(), 2u);
+
+  const auto direct_a = Bdc::describe(*s, a);
+  const auto direct_b = Bdc::describe(*s, b);
+  EXPECT_EQ(first.value().required_libraries,
+            direct_a.value().required_libraries);
+  EXPECT_EQ(second.value().required_libraries,
+            direct_b.value().required_libraries);
+
+  // Both colliding entries are retrievable as hits afterwards.
+  ASSERT_TRUE(cache.describe(*s, a).ok());
+  ASSERT_TRUE(cache.describe(*s, b).ok());
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+// -------------------------------------------------------------- EdcMemo
+
+TEST(EdcMemo, HitsWhileTheSiteIsUnchanged) {
+  auto s = toolchain::make_site("india");
+  EdcMemo memo;
+  const auto first = memo.discover(*s);
+  const auto second = memo.discover(*s);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(first.site_name, second.site_name);
+  EXPECT_EQ(first.isa, second.isa);
+  EXPECT_EQ(first.stacks.size(), second.stacks.size());
+}
+
+TEST(EdcMemo, EveryMutationKindInvalidates) {
+  auto s = toolchain::make_site("india");
+  EdcMemo memo;
+  (void)memo.discover(*s);  // miss 1: cold
+
+  const auto modules = s->available_modules();
+  ASSERT_FALSE(modules.empty());
+  s->load_module(modules.front());
+  (void)memo.discover(*s);  // miss 2: module loaded
+
+  s->unload_all_modules();
+  (void)memo.discover(*s);  // miss 3: modules unloaded
+
+  s->vfs.write_file("/tmp/scratch.txt", "x");
+  (void)memo.discover(*s);  // miss 4: VFS write
+
+  EXPECT_EQ(memo.misses(), 4u);
+  EXPECT_EQ(memo.hits(), 0u);
+}
+
+TEST(EdcMemo, DistinctSitesDoNotShareEntries) {
+  auto india = toolchain::make_site("india");
+  auto fir = toolchain::make_site("fir");
+  EdcMemo memo;
+  const auto a = memo.discover(*india);
+  const auto b = memo.discover(*fir);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_NE(a.site_name, b.site_name);
+}
+
+// -------------------------------------------------------- ResolverCache
+
+TEST(ResolverCache, SearchMemoServesRepeatsAndSeesAppearingFiles) {
+  auto s = toolchain::make_site("india");
+  binutils::ResolverCache cache;
+  const std::vector<std::string> override_dir = {"/tmp/override"};
+
+  const auto first = binutils::search_library(*s, "libc.so.6", 64, {},
+                                              override_dir, &cache);
+  ASSERT_TRUE(first.has_value());  // resolved from the default directories
+
+  const std::uint64_t hits_before = cache.hits();
+  const auto repeat = binutils::search_library(*s, "libc.so.6", 64, {},
+                                               override_dir, &cache);
+  EXPECT_EQ(repeat, first);
+  EXPECT_GT(cache.hits(), hits_before);
+
+  // A copy appearing in an earlier search directory MUST invalidate the
+  // memo: the candidate path's write stamp changed from absent to present.
+  ASSERT_TRUE(s->vfs.write_file("/tmp/override/libc.so.6", *s->vfs.read(*first)));
+  const auto after = binutils::search_library(*s, "libc.so.6", 64, {},
+                                              override_dir, &cache);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, "/tmp/override/libc.so.6");
+}
+
+TEST(ResolverCache, LddMemoInvalidatedByAnySiteMutation) {
+  auto s = toolchain::make_site("india");
+  const std::string path = compile_app(*s, "probe", {"base", "stdio"});
+  s->load_module("openmpi/1.4-gnu");
+
+  binutils::ResolverCache cache;
+  const auto first = binutils::ldd(*s, path, false, &cache);
+  ASSERT_TRUE(first.ok()) << first.error();
+
+  const std::uint64_t hits_before = cache.hits();
+  const auto repeat = binutils::ldd(*s, path, false, &cache);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat.value(), first.value());
+  EXPECT_GT(cache.hits(), hits_before);
+
+  // An environment edit bumps the env generation: recomputed, same text.
+  const std::uint64_t misses_before = cache.misses();
+  s->env.set("FEAM_PROBE", "1");
+  const auto recomputed = binutils::ldd(*s, path, false, &cache);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_EQ(recomputed.value(), first.value());
+  EXPECT_GT(cache.misses(), misses_before);
+}
+
+TEST(ResolverCache, ParseMemoKeyedOnWriteStamp) {
+  auto s = toolchain::make_site("india");
+  const std::string a = compile_app(*s, "alpha", {"base", "stdio"});
+  const std::string b = compile_app(*s, "beta", {"base", "stdio", "math"});
+  const support::Bytes b_bytes = *s->vfs.read(b);
+
+  binutils::ResolverCache cache;
+  const elf::ElfFile* first = cache.parsed_elf(*s, a, *s->vfs.read(a));
+  ASSERT_NE(first, nullptr);
+  // Unchanged file: the exact same entry is served again.
+  EXPECT_EQ(cache.parsed_elf(*s, a, *s->vfs.read(a)), first);
+
+  // Rewritten file: new write stamp, new parse reflecting the new bytes.
+  ASSERT_TRUE(s->vfs.write_file(a, b_bytes));
+  const elf::ElfFile* rewritten = cache.parsed_elf(*s, a, *s->vfs.read(a));
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_NE(rewritten, first);
+  EXPECT_EQ(rewritten->file_size(), b_bytes.size());
+
+  // Non-ELF content parses to nullptr, memoized the same way.
+  ASSERT_TRUE(s->vfs.write_file("/tmp/script.sh", "#!/bin/sh\n"));
+  EXPECT_EQ(cache.parsed_elf(*s, "/tmp/script.sh",
+                             *s->vfs.read("/tmp/script.sh")),
+            nullptr);
+  EXPECT_EQ(cache.parsed_elf(*s, "/tmp/script.sh",
+                             *s->vfs.read("/tmp/script.sh")),
+            nullptr);
+}
+
+TEST(ResolverCache, CachedResolutionMatchesUncached) {
+  auto s = toolchain::make_site("india");
+  const std::string path = compile_app(*s, "probe", {"base", "stdio"});
+  s->load_module("openmpi/1.4-gnu");
+
+  binutils::ResolverCache cache;
+  const auto uncached = binutils::resolve_libraries(*s, path);
+  const auto cached_cold = binutils::resolve_libraries(*s, path, {}, &cache);
+  const auto cached_warm = binutils::resolve_libraries(*s, path, {}, &cache);
+  ASSERT_EQ(uncached.libs.size(), cached_cold.libs.size());
+  ASSERT_EQ(uncached.libs.size(), cached_warm.libs.size());
+  for (std::size_t i = 0; i < uncached.libs.size(); ++i) {
+    EXPECT_EQ(uncached.libs[i].name, cached_warm.libs[i].name);
+    EXPECT_EQ(uncached.libs[i].path, cached_warm.libs[i].path);
+  }
+  EXPECT_EQ(uncached.version_errors.size(), cached_warm.version_errors.size());
+}
+
+}  // namespace
+}  // namespace feam

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "feam/caches.hpp"
 #include "support/strings.hpp"
 #include "toolchain/linker.hpp"
 #include "toolchain/testbed.hpp"
@@ -105,6 +106,61 @@ TEST(Survey, SitesLeftClean) {
   for (const site::Site* s : f.sites) {
     EXPECT_FALSE(s->vfs.exists("/home/user/probe")) << s->name;
     EXPECT_TRUE(s->loaded_modules().empty()) << s->name;
+  }
+}
+
+TEST(Survey, PooledSurveyMatchesSequentialAndRestoresSites) {
+  auto f = make_fixture(MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                        toolchain::Language::kC);
+  const auto sequential = survey_sites(f.sites, "probe", f.binary, &f.source);
+
+  MigrationCaches caches;
+  SurveyOptions options;
+  options.jobs = 4;
+  options.caches = &caches;
+  const auto pooled =
+      survey_sites(f.sites, "probe", f.binary, &f.source, {}, options);
+
+  ASSERT_EQ(pooled.entries.size(), sequential.entries.size());
+  for (std::size_t i = 0; i < pooled.entries.size(); ++i) {
+    EXPECT_EQ(pooled.entries[i].site_name, sequential.entries[i].site_name);
+    EXPECT_EQ(pooled.entries[i].ready, sequential.entries[i].ready);
+    EXPECT_EQ(pooled.entries[i].blocking_determinant,
+              sequential.entries[i].blocking_determinant);
+    EXPECT_EQ(pooled.entries[i].resolved_copies,
+              sequential.entries[i].resolved_copies);
+  }
+  EXPECT_EQ(pooled.render(), sequential.render());
+
+  // Workers held each site's lease and restored it exactly as found.
+  for (const site::Site* s : f.sites) {
+    EXPECT_FALSE(s->vfs.exists("/home/user/probe")) << s->name;
+    EXPECT_TRUE(s->loaded_modules().empty()) << s->name;
+  }
+}
+
+TEST(Survey, SitesRestoredEvenWhenTheTargetPhaseErrors) {
+  auto f = make_fixture(MpiImpl::kOpenMpi, CompilerFamily::kGnu,
+                        toolchain::Language::kC);
+  // Non-ELF bytes make the target phase error at every site; the sites
+  // must still be restored exactly as found, including a module that was
+  // already loaded before the survey.
+  site::Site* victim = f.sites.front();
+  const auto modules = victim->available_modules();
+  ASSERT_FALSE(modules.empty());
+  victim->load_module(modules.front());
+
+  const support::Bytes garbage = {'n', 'o', 't', ' ', 'e', 'l', 'f'};
+  const auto report = survey_sites(f.sites, "probe", garbage, &f.source);
+
+  for (const auto& entry : report.entries) {
+    EXPECT_FALSE(entry.ready) << entry.site_name;
+    EXPECT_EQ(entry.blocking_determinant, "error") << entry.site_name;
+  }
+  EXPECT_EQ(victim->loaded_modules(),
+            std::vector<std::string>{modules.front()});
+  for (const site::Site* s : f.sites) {
+    EXPECT_FALSE(s->vfs.exists("/home/user/probe")) << s->name;
   }
 }
 

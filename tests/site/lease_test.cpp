@@ -1,0 +1,128 @@
+// Site leases and the state counters the caches key on: mutual exclusion,
+// pair-lease ordering, generation bumps, and VFS write stamps.
+#include "site/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "toolchain/testbed.hpp"
+
+namespace feam::site {
+namespace {
+
+TEST(SiteLease, IdsAreDistinctPerSite) {
+  auto a = toolchain::make_site("india");
+  auto b = toolchain::make_site("fir");
+  EXPECT_NE(a->lease_id(), b->lease_id());
+}
+
+TEST(SiteLease, MutuallyExcludesWorkers) {
+  auto s = toolchain::make_site("india");
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        SiteLease lease(*s);
+        if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+          overlapped.store(true, std::memory_order_relaxed);
+        }
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(SitePairLease, AcquiresInLeaseIdOrderFromEitherArgumentOrder) {
+  // Two threads repeatedly lock the same pair in opposite argument order.
+  // Without the lower-lease_id-first discipline this deadlocks; with it,
+  // the loop terminates.
+  auto a = toolchain::make_site("india");
+  auto b = toolchain::make_site("fir");
+  std::atomic<int> done{0};
+  std::thread t1([&] {
+    for (int i = 0; i < 500; ++i) {
+      SitePairLease lease(*a, *b);
+    }
+    done.fetch_add(1);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 500; ++i) {
+      SitePairLease lease(*b, *a);
+    }
+    done.fetch_add(1);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(SiteState, GenerationBumpsOnEveryMutationKind) {
+  auto s = toolchain::make_site("india");
+
+  std::uint64_t g = s->state_generation();
+  s->vfs.write_file("/tmp/probe.txt", "x");
+  EXPECT_GT(s->state_generation(), g);
+
+  g = s->state_generation();
+  s->env.set("FEAM_TEST", "1");
+  EXPECT_GT(s->state_generation(), g);
+
+  const auto modules = s->available_modules();
+  ASSERT_FALSE(modules.empty());
+  g = s->state_generation();
+  s->load_module(modules.front());
+  EXPECT_GT(s->state_generation(), g);
+
+  g = s->state_generation();
+  s->unload_all_modules();
+  EXPECT_GT(s->state_generation(), g);
+}
+
+TEST(SiteState, FileVersionStampsTrackWrites) {
+  auto s = toolchain::make_site("india");
+  Vfs& vfs = s->vfs;
+
+  EXPECT_FALSE(vfs.file_version("/no/such/file").has_value());
+  EXPECT_FALSE(vfs.file_version("/tmp").has_value());  // directory
+
+  vfs.write_file("/tmp/lib.so", "v1");
+  const auto v1 = vfs.file_version("/tmp/lib.so");
+  ASSERT_TRUE(v1.has_value());
+
+  // Unrelated writes do not move the file's own stamp.
+  vfs.write_file("/tmp/other.so", "x");
+  EXPECT_EQ(vfs.file_version("/tmp/lib.so"), v1);
+
+  // Rewriting the file does, even with identical byte content.
+  vfs.write_file("/tmp/lib.so", "v1");
+  const auto v2 = vfs.file_version("/tmp/lib.so");
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_GT(*v2, *v1);
+}
+
+TEST(SiteState, FileVersionFollowsSymlinks) {
+  auto s = toolchain::make_site("india");
+  Vfs& vfs = s->vfs;
+  vfs.write_file("/tmp/real_a.so", "a");
+  vfs.write_file("/tmp/real_b.so", "b");
+  ASSERT_TRUE(vfs.symlink("/tmp/link.so", "/tmp/real_a.so"));
+
+  EXPECT_EQ(vfs.file_version("/tmp/link.so"), vfs.file_version("/tmp/real_a.so"));
+
+  // Retargeting the symlink changes the observed version without touching
+  // either file — the staleness check the resolver cache depends on.
+  ASSERT_TRUE(vfs.remove("/tmp/link.so"));
+  ASSERT_TRUE(vfs.symlink("/tmp/link.so", "/tmp/real_b.so"));
+  EXPECT_EQ(vfs.file_version("/tmp/link.so"), vfs.file_version("/tmp/real_b.so"));
+  EXPECT_NE(vfs.file_version("/tmp/real_a.so"), vfs.file_version("/tmp/real_b.so"));
+}
+
+}  // namespace
+}  // namespace feam::site
