@@ -5,8 +5,17 @@
 // asserts the run records are bit-identical, and reports wall times,
 // speedup, and cache hit rates as a feam.bench/1 record (BENCH_3.json).
 //
+// A third, sequential leg repeats the matrix with 5% Vfs fault injection
+// (the robustness claim): every pair must finish with a clean or io/parse
+// attribution, and every *unfaulted* pair must serialize record-for-record
+// identically to the fault-free sequential baseline — proof that faulted
+// computations never poison the caches. This leg runs with jobs=1 because
+// fault-count-delta attribution is exact only sequentially (parallel runs
+// can over-attribute shared-site faults, see ARCHITECTURE.md).
+//
 // Flags:
 //   --jobs N        worker threads for the pooled leg (default 4)
+//   --fault-rate R  Vfs fault probability for the faulted leg (default 0.05)
 //   --bench-out F   write the feam.bench/1 record to F
 //   --baseline F    gate the metrics against a feam.report_baseline/1 file
 //   --pr N          PR number stamped into the bench record (default 3)
@@ -54,11 +63,13 @@ double rate(std::uint64_t hits, std::uint64_t misses) {
 int main(int argc, char** argv) {
   int jobs = 4;
   int pr_number = 3;
+  double fault_rate = 0.05;
   std::string bench_out;
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    else if (flag == "--fault-rate" && i + 1 < argc) fault_rate = std::atof(argv[++i]);
     else if (flag == "--bench-out" && i + 1 < argc) bench_out = argv[++i];
     else if (flag == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
     else if (flag == "--pr" && i + 1 < argc) pr_number = std::atoi(argv[++i]);
@@ -94,6 +105,52 @@ int main(int argc, char** argv) {
   const auto t3 = std::chrono::steady_clock::now();
   const double parallel_ms = elapsed_ms(t2, t3);
 
+  // Leg 3 — robustness: the same matrix, sequential, with Vfs fault
+  // injection at every site. Every pair must come back attributed (clean,
+  // io, or parse), and the clean pairs must be bit-identical to the
+  // fault-free baseline — faulted computations never enter the caches.
+  ExperimentOptions fault_options;
+  fault_options.jobs = 1;
+  fault_options.use_caches = true;
+  fault_options.vfs_fault_rate = fault_rate;
+  Experiment faulted(fault_options);
+  faulted.build_test_set();
+  const auto t4 = std::chrono::steady_clock::now();
+  faulted.run();
+  const auto t5 = std::chrono::steady_clock::now();
+  const double faulted_ms = elapsed_ms(t4, t5);
+
+  const auto pair_key = [](const MigrationResult& r) {
+    return r.binary_name + "|" + r.home_site + "|" + r.target_site;
+  };
+  std::map<std::string, std::string> baseline_by_pair;
+  for (const auto& result : sequential.results()) {
+    baseline_by_pair[pair_key(result)] = to_run_record(result).to_json().dump();
+  }
+  std::size_t clean_pairs = 0, io_pairs = 0, parse_pairs = 0;
+  std::size_t unknown_attr = 0, clean_mismatches = 0;
+  for (const auto& result : faulted.results()) {
+    if (result.failure_attribution == "io") {
+      ++io_pairs;
+    } else if (result.failure_attribution == "parse") {
+      ++parse_pairs;
+    } else if (!result.failure_attribution.empty()) {
+      ++unknown_attr;
+    } else {
+      ++clean_pairs;
+      const auto it = baseline_by_pair.find(pair_key(result));
+      if (it == baseline_by_pair.end() ||
+          it->second != to_run_record(result).to_json().dump()) {
+        ++clean_mismatches;
+      }
+    }
+  }
+  // With a positive rate over ~800 migrations some pairs must fault; all
+  // attributions must be io/parse; no clean pair may drift from baseline.
+  const bool fault_ok =
+      clean_mismatches == 0 && unknown_attr == 0 &&
+      (fault_rate <= 0.0 || io_pairs + parse_pairs > 0);
+
   const bool identical =
       records_dump(sequential.results()) == records_dump(pooled.results());
   const double speedup = parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0;
@@ -125,6 +182,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(pooled.source_phase_misses()));
   std::printf("  results bit-identical to sequential run: %s\n",
               identical ? "yes" : "NO");
+  std::printf("Faulted leg (sequential, %.1f%% Vfs faults): %9.1f ms\n",
+              100.0 * fault_rate, faulted_ms);
+  std::printf("  pairs: %zu clean / %zu io / %zu parse (of %zu)\n",
+              clean_pairs, io_pairs, parse_pairs, faulted.results().size());
+  std::printf("  clean pairs identical to baseline: %s (%zu mismatches)\n",
+              clean_mismatches == 0 ? "yes" : "NO", clean_mismatches);
 
   std::map<std::string, double> metrics;
   metrics["bench.jobs"] = jobs;
@@ -148,6 +211,14 @@ int main(int argc, char** argv) {
       static_cast<double>(pooled.source_phase_hits());
   metrics["bench.source_phase_misses"] =
       static_cast<double>(pooled.source_phase_misses());
+  metrics["bench.fault_rate"] = fault_rate;
+  metrics["bench.fault_leg_ms"] = faulted_ms;
+  metrics["bench.fault_clean_pairs"] = static_cast<double>(clean_pairs);
+  metrics["bench.fault_io_pairs"] = static_cast<double>(io_pairs);
+  metrics["bench.fault_parse_pairs"] = static_cast<double>(parse_pairs);
+  metrics["bench.fault_clean_mismatches"] =
+      static_cast<double>(clean_mismatches);
+  metrics["bench.fault_ok"] = fault_ok ? 1 : 0;
 
   report::GateResult gate;
   const report::GateResult* gate_ptr = nullptr;
@@ -180,8 +251,10 @@ int main(int argc, char** argv) {
   }
 
   const bool pass = identical && speedup >= 2.0 && bdc_rate > 0.5 &&
-                    (gate_ptr == nullptr || gate.pass);
-  std::printf("Acceptance (identical, >=2x, BDC hit rate > 50%%): %s\n",
-              pass ? "PASS" : "FAIL");
+                    fault_ok && (gate_ptr == nullptr || gate.pass);
+  std::printf(
+      "Acceptance (identical, >=2x, BDC hit rate > 50%%, faulted leg "
+      "attributed + no cache poisoning): %s\n",
+      pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

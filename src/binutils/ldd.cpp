@@ -71,8 +71,18 @@ support::Result<std::string> ldd(const site::Site& host, std::string_view path,
   if (cache != nullptr) {
     if (auto memo = cache->ldd_text(host, path, verbose)) return *memo;
   }
+  const auto* injector = host.vfs.fault_injector();
+  const std::uint64_t faults_before =
+      injector != nullptr ? injector->fault_count() : 0;
   support::Result<std::string> result = ldd_impl(host, path, verbose, cache);
-  if (cache != nullptr) cache->store_ldd(host, path, verbose, result);
+  // A transcript produced under injected faults reflects a view of the
+  // site that never really existed; memoizing it would poison later runs
+  // (the site generations it is keyed on did not change).
+  const bool faulted =
+      injector != nullptr && injector->fault_count() != faults_before;
+  if (cache != nullptr && !faulted) {
+    cache->store_ldd(host, path, verbose, result);
+  }
   return result;
 }
 

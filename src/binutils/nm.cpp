@@ -9,12 +9,13 @@ support::Result<std::string> nm_dynamic(const site::Vfs& vfs,
   using R = support::Result<std::string>;
   const support::Bytes* data = vfs.read(path);
   if (data == nullptr) {
-    return R::failure("nm: '" + std::string(path) + "': No such file");
+    return R::failure(support::ErrorCode::kFileNotFound,
+                      "nm: '" + std::string(path) + "': No such file");
   }
   const auto parsed = elf::ElfFile::parse(*data);
   if (!parsed.ok()) {
-    return R::failure("nm: " + std::string(path) +
-                      ": file format not recognized");
+    return R::failure(parsed.code(), "nm: " + std::string(path) +
+                                        ": file format not recognized");
   }
   std::string out;
   for (const auto& sym : parsed.value().dynamic_symbols()) {

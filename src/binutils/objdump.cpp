@@ -42,12 +42,13 @@ support::Result<std::string> objdump_p(const site::Vfs& vfs,
   using R = support::Result<std::string>;
   const support::Bytes* data = vfs.read(path);
   if (data == nullptr) {
-    return R::failure("objdump: '" + std::string(path) + "': No such file");
+    return R::failure(support::ErrorCode::kFileNotFound,
+                      "objdump: '" + std::string(path) + "': No such file");
   }
   const auto parsed = elf::ElfFile::parse(*data);
   if (!parsed.ok()) {
-    return R::failure("objdump: " + std::string(path) +
-                      ": file format not recognized");
+    return R::failure(parsed.code(), "objdump: " + std::string(path) +
+                                         ": file format not recognized");
   }
   const elf::ElfFile& f = parsed.value();
 

@@ -12,12 +12,14 @@ support::Result<std::string> readelf_p_comment(const site::Vfs& vfs,
   using R = support::Result<std::string>;
   const support::Bytes* data = vfs.read(path);
   if (data == nullptr) {
-    return R::failure("readelf: Error: '" + std::string(path) +
-                      "': No such file");
+    return R::failure(support::ErrorCode::kFileNotFound,
+                      "readelf: Error: '" + std::string(path) +
+                          "': No such file");
   }
   const auto parsed = elf::ElfFile::parse(*data);
   if (!parsed.ok()) {
-    return R::failure("readelf: Error: Not an ELF file - it has the wrong "
+    return R::failure(parsed.code(),
+                      "readelf: Error: Not an ELF file - it has the wrong "
                       "magic bytes at the start");
   }
   const auto& comments = parsed.value().comments();

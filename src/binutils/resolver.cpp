@@ -63,6 +63,9 @@ std::optional<std::string> search_library(const site::Site& host,
       return *memo;
     }
   }
+  const auto* injector = host.vfs.fault_injector();
+  const std::uint64_t faults_before =
+      injector != nullptr ? injector->fault_count() : 0;
   std::optional<std::string> found;
   for (const auto& dir : dirs) {
     const std::string candidate = site::Vfs::join(dir, soname);
@@ -72,7 +75,13 @@ std::optional<std::string> search_library(const site::Site& host,
     found = host.vfs.resolve(candidate).value_or(candidate);
     break;
   }
-  if (cache != nullptr) cache->store_search(host, soname, bits, dirs, found);
+  // A walk touched by fault injection saw a spurious view of the site;
+  // memoizing it would poison later (unfaulted) lookups.
+  const bool faulted =
+      injector != nullptr && injector->fault_count() != faults_before;
+  if (cache != nullptr && !faulted) {
+    cache->store_search(host, soname, bits, dirs, found);
+  }
   return found;
 }
 
@@ -80,7 +89,22 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
                              const std::vector<std::string>& extra_search_dirs,
                              ResolverCache* cache) {
   Resolution out;
-  const support::Bytes* root_data = host.vfs.read(binary_path);
+  // Reads report whether fault injection touched them; faulted bytes carry
+  // an unchanged write stamp, so they must never reach the stamp-keyed
+  // parse memo.
+  const auto* injector = host.vfs.fault_injector();
+  const auto fault_count = [&]() -> std::uint64_t {
+    return injector != nullptr ? injector->fault_count() : 0;
+  };
+  bool read_faulted = false;
+  const auto read_tracked = [&](std::string_view path) -> const support::Bytes* {
+    const std::uint64_t before = fault_count();
+    const support::Bytes* data = host.vfs.read(path);
+    read_faulted = fault_count() != before;
+    return data;
+  };
+
+  const support::Bytes* root_data = read_tracked(binary_path);
   if (root_data == nullptr) {
     out.root_error = "no such file: " + std::string(binary_path);
     return out;
@@ -90,16 +114,16 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
   // alive for the duration of this resolution.
   std::deque<elf::ElfFile> local;
   const auto parse_object = [&](std::string_view path,
-                                const support::Bytes& data)
-      -> const elf::ElfFile* {
-    if (cache != nullptr) return cache->parsed_elf(host, path, data);
+                                const support::Bytes& data,
+                                bool faulted) -> const elf::ElfFile* {
+    if (cache != nullptr && !faulted) return cache->parsed_elf(host, path, data);
     auto parsed = elf::ElfFile::parse(data);
     if (!parsed.ok()) return nullptr;
     local.push_back(std::move(parsed).take());
     return &local.back();
   };
 
-  const elf::ElfFile* root = parse_object(binary_path, *root_data);
+  const elf::ElfFile* root = parse_object(binary_path, *root_data, read_faulted);
   if (root == nullptr) {
     out.root_error = elf::ElfFile::parse(*root_data).error();
     return out;
@@ -108,17 +132,50 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
   const int bits = root->bits();
   const std::vector<std::string> rpath = root->rpath();
 
-  // BFS over NEEDED closure.
+  // BFS over NEEDED closure, tracking per-name depth and a parent chain so
+  // cycles and runaway depths are *detected* (the dedup set alone would
+  // silently absorb a cycle).
   struct Pending {
     std::string name;
     std::string requested_by;
+    int depth = 1;
   };
   std::deque<Pending> queue;
   std::set<std::string> enqueued;
+  std::map<std::string, std::string> parent;  // NEEDED name -> requesting name
+  std::set<std::string> cycles_seen;
   for (const auto& n : root->needed()) {
-    queue.push_back({n, std::string(binary_path)});
+    queue.push_back({n, std::string(binary_path), 1});
     enqueued.insert(n);
+    parent[n] = "";  // requested by the root binary itself
   }
+
+  // True (and records the rendered chain) when `needed`, requested while
+  // processing `at`, is one of `at`'s own ancestors in the NEEDED graph.
+  const auto detect_cycle = [&](const std::string& at,
+                                const std::string& needed) {
+    std::vector<std::string> chain{at};
+    std::string cur = at;
+    while (cur != needed) {
+      const auto it = parent.find(cur);
+      if (it == parent.end() || it->second.empty()) return;  // diamond, not a cycle
+      cur = it->second;
+      chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());  // now needed -> ... -> at
+    chain.push_back(needed);                   // close the loop
+    std::string rendered;
+    for (const auto& name : chain) {
+      if (!rendered.empty()) rendered += " -> ";
+      rendered += name;
+    }
+    if (!cycles_seen.insert(rendered).second) return;
+    out.dep_cycles.push_back(rendered);
+    if (!out.dep_error) {
+      out.dep_error = support::Error{support::ErrorCode::kDepCycle,
+                                     "cyclic DT_NEEDED chain: " + rendered};
+    }
+  };
 
   // Objects whose version references must be checked: (path, parsed file).
   // The root binary is first.
@@ -136,13 +193,27 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
                               cache);
     if (lib.path) {
       provider_paths.emplace(item.name, *lib.path);
-      const support::Bytes* data = host.vfs.read(*lib.path);
+      const support::Bytes* data = read_tracked(*lib.path);
       if (data != nullptr) {
-        if (const elf::ElfFile* parsed = parse_object(*lib.path, *data)) {
+        if (const elf::ElfFile* parsed =
+                parse_object(*lib.path, *data, read_faulted)) {
           for (const auto& n : parsed->needed()) {
-            if (enqueued.insert(n).second) {
-              queue.push_back({n, *lib.path});
+            if (!enqueued.insert(n).second) {
+              detect_cycle(item.name, n);
+              continue;
             }
+            if (item.depth + 1 > kMaxDepDepth) {
+              enqueued.erase(n);
+              if (!out.dep_error) {
+                out.dep_error = support::Error{
+                    support::ErrorCode::kDepDepthExceeded,
+                    "DT_NEEDED chain exceeds depth " +
+                        std::to_string(kMaxDepDepth) + " at " + n};
+              }
+              continue;
+            }
+            parent[n] = item.name;
+            queue.push_back({n, *lib.path, item.depth + 1});
           }
           closure.emplace_back(*lib.path, parsed);
         }
@@ -157,9 +228,10 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
     for (const auto& need : object->version_references()) {
       const auto provider_it = provider_paths.find(need.file);
       if (provider_it == provider_paths.end()) continue;  // missing lib: reported above
-      const support::Bytes* provider_data = host.vfs.read(provider_it->second);
+      const support::Bytes* provider_data = read_tracked(provider_it->second);
       if (provider_data == nullptr) continue;
-      const elf::ElfFile* provider = parse_object(provider_it->second, *provider_data);
+      const elf::ElfFile* provider =
+          parse_object(provider_it->second, *provider_data, read_faulted);
       if (provider == nullptr) continue;
       const auto& defs = provider->version_definitions();
       for (const auto& version : need.versions) {

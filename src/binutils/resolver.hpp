@@ -38,12 +38,21 @@ struct VersionError {
   std::string provider;     // resolved library that fails to define it
 };
 
+// DT_NEEDED chains deeper than this are cut off with kDepDepthExceeded;
+// no real loader stack goes anywhere near 64 levels.
+inline constexpr int kMaxDepDepth = 64;
+
 struct Resolution {
   // Transitive closure in breadth-first order, deduplicated by name.
   std::vector<ResolvedLib> libs;
   std::vector<VersionError> version_errors;
   bool root_parsed = false;  // false when the root binary is not valid ELF
   std::string root_error;    // parse failure message when !root_parsed
+  // Set when the NEEDED graph itself is malformed: kDepCycle when a
+  // library transitively needs itself, kDepDepthExceeded past kMaxDepDepth.
+  // Resolution of the rest of the closure still completes.
+  std::optional<support::Error> dep_error;
+  std::vector<std::string> dep_cycles;  // rendered "libA -> libB -> libA"
 
   bool complete() const;
   std::vector<std::string> missing() const;

@@ -17,6 +17,11 @@ using support::Bytes;
 using support::Endian;
 using support::Result;
 
+// Sanity cap on DT_VERNEEDNUM/DT_VERDEFNUM: the counts are attacker
+// controlled and, combined with tiny vn_next strides, would otherwise let
+// a small file demand up-to-file-size walk iterations.
+constexpr std::uint64_t kMaxVersionRecords = 4096;
+
 struct Segment {
   std::uint32_t type = 0;
   std::uint64_t offset = 0;
@@ -71,17 +76,20 @@ bool looks_like_elf(const Bytes& data) {
 Result<ElfFile> ElfFile::parse(const Bytes& data) {
   obs::counter("elf.images_parsed").add();
   obs::counter("elf.bytes_read").add(data.size());
-  const auto fail = [](std::string msg) { return Result<ElfFile>::failure(std::move(msg)); };
+  using support::ErrorCode;
+  const auto fail = [](ErrorCode code, std::string msg) {
+    return Result<ElfFile>::failure(code, std::move(msg));
+  };
 
-  if (!looks_like_elf(data)) return fail("not an ELF file (bad magic)");
-  if (data.size() < kEiNident) return fail("truncated e_ident");
+  if (!looks_like_elf(data)) return fail(ErrorCode::kElfNotElf, "not an ELF file (bad magic)");
+  if (data.size() < kEiNident) return fail(ErrorCode::kElfTruncated, "truncated e_ident");
 
   Raw raw;
   const std::uint8_t ei_class = data[kEiClass];
   const std::uint8_t ei_data = data[kEiData];
-  if (ei_class != kClass32 && ei_class != kClass64) return fail("bad EI_CLASS");
-  if (ei_data != kData2Lsb && ei_data != kData2Msb) return fail("bad EI_DATA");
-  if (data[kEiVersion] != kEvCurrent) return fail("bad EI_VERSION");
+  if (ei_class != kClass32 && ei_class != kClass64) return fail(ErrorCode::kElfBadHeader, "bad EI_CLASS");
+  if (ei_data != kData2Lsb && ei_data != kData2Msb) return fail(ErrorCode::kElfBadHeader, "bad EI_DATA");
+  if (data[kEiVersion] != kEvCurrent) return fail(ErrorCode::kElfBadHeader, "bad EI_VERSION");
   raw.is64 = ei_class == kClass64;
   raw.endian = ei_data == kData2Lsb ? Endian::kLittle : Endian::kBig;
 
@@ -110,7 +118,7 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
   const auto e_shstrndx = r.u16(off + 10);
   if (!e_type || !e_machine || !e_entry || !e_phoff || !e_shoff ||
       !e_phentsize || !e_phnum || !e_shentsize || !e_shnum || !e_shstrndx) {
-    return fail("truncated ELF header");
+    return fail(ErrorCode::kElfTruncated, "truncated ELF header");
   }
   raw.type = *e_type;
   raw.machine = *e_machine;
@@ -123,21 +131,21 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
     case kEmPpc: out.isa_ = Isa::kPpc; break;
     case kEmPpc64: out.isa_ = Isa::kPpc64; break;
     case kEmAarch64: out.isa_ = Isa::kAarch64; break;
-    default: return fail("unsupported e_machine " + std::to_string(raw.machine));
+    default: return fail(ErrorCode::kElfUnsupported, "unsupported e_machine " + std::to_string(raw.machine));
   }
   // Cross-check the header class/endianness against the machine.
   if ((isa_bits(out.isa_) == 64) != raw.is64) {
-    return fail("EI_CLASS inconsistent with e_machine");
+    return fail(ErrorCode::kElfBadHeader, "EI_CLASS inconsistent with e_machine");
   }
   if (isa_endian(out.isa_) != raw.endian) {
-    return fail("EI_DATA inconsistent with e_machine");
+    return fail(ErrorCode::kElfBadHeader, "EI_DATA inconsistent with e_machine");
   }
   if (raw.type == kEtExec) {
     out.kind_ = FileKind::kExecutable;
   } else if (raw.type == kEtDyn) {
     out.kind_ = FileKind::kSharedObject;
   } else {
-    return fail("unsupported e_type " + std::to_string(raw.type));
+    return fail(ErrorCode::kElfUnsupported, "unsupported e_type " + std::to_string(raw.type));
   }
 
   // Program headers.
@@ -146,15 +154,15 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
                           static_cast<std::size_t>(i) * *e_phentsize;
     Segment seg;
     const auto p_type = r.u32(p);
-    if (!p_type) return fail("truncated program header");
+    if (!p_type) return fail(ErrorCode::kElfTruncated, "truncated program header");
     seg.type = *p_type;
     if (raw.is64) {
       const auto o = r.u64(p + 8), v = r.u64(p + 16), fs = r.u64(p + 32);
-      if (!o || !v || !fs) return fail("truncated program header");
+      if (!o || !v || !fs) return fail(ErrorCode::kElfTruncated, "truncated program header");
       seg.offset = *o; seg.vaddr = *v; seg.filesz = *fs;
     } else {
       const auto o = r.u32(p + 4), v = r.u32(p + 8), fs = r.u32(p + 16);
-      if (!o || !v || !fs) return fail("truncated program header");
+      if (!o || !v || !fs) return fail(ErrorCode::kElfTruncated, "truncated program header");
       seg.offset = *o; seg.vaddr = *v; seg.filesz = *fs;
     }
     raw.segments.push_back(seg);
@@ -168,7 +176,7 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
     Section sec;
     const auto name = r.u32(s);
     const auto type = r.u32(s + 4);
-    if (!name || !type) return fail("truncated section header");
+    if (!name || !type) return fail(ErrorCode::kElfTruncated, "truncated section header");
     sec.type = *type;
     std::optional<std::uint64_t> so, ss, es;
     std::optional<std::uint32_t> link;
@@ -184,7 +192,7 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
       if (ss32) ss = *ss32;
       if (es32) es = *es32;
     }
-    if (!so || !ss || !link || !es) return fail("truncated section header");
+    if (!so || !ss || !link || !es) return fail(ErrorCode::kElfTruncated, "truncated section header");
     sec.offset = *so;
     sec.size = *ss;
     sec.link = *link;
@@ -219,13 +227,13 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
       if (raw.is64) {
         const auto t = r.u64(static_cast<std::size_t>(p));
         const auto v = r.u64(static_cast<std::size_t>(p + 8));
-        if (!t || !v) return fail("truncated dynamic entry");
+        if (!t || !v) return fail(ErrorCode::kElfTruncated, "truncated dynamic entry");
         tag = static_cast<std::int64_t>(*t);
         value = *v;
       } else {
         const auto t = r.u32(static_cast<std::size_t>(p));
         const auto v = r.u32(static_cast<std::size_t>(p + 4));
-        if (!t || !v) return fail("truncated dynamic entry");
+        if (!t || !v) return fail(ErrorCode::kElfTruncated, "truncated dynamic entry");
         tag = static_cast<std::int32_t>(*t);
         value = *v;
       }
@@ -247,19 +255,19 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
     if (const auto it = raw.dynamic.find(kDtNeeded); it != raw.dynamic.end()) {
       for (const std::uint64_t v : it->second) {
         auto s = dyn_str(v);
-        if (!s) return fail("DT_NEEDED string out of range");
+        if (!s) return fail(ErrorCode::kElfBadOffset, "DT_NEEDED string out of range");
         out.needed_.push_back(std::move(*s));
       }
     }
     if (const auto v = dyn_value(raw, kDtSoname)) {
       auto s = dyn_str(*v);
-      if (!s) return fail("DT_SONAME string out of range");
+      if (!s) return fail(ErrorCode::kElfBadOffset, "DT_SONAME string out of range");
       out.soname_ = std::move(*s);
     }
     for (const std::int64_t tag : {kDtRpath, kDtRunpath}) {
       if (const auto v = dyn_value(raw, tag)) {
         auto s = dyn_str(*v);
-        if (!s) return fail("DT_RPATH string out of range");
+        if (!s) return fail(ErrorCode::kElfBadOffset, "DT_RPATH string out of range");
         for (auto& part : support::split(*s, ':')) {
           if (!part.empty()) out.rpath_.push_back(std::move(part));
         }
@@ -272,8 +280,12 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
   std::map<std::uint16_t, std::pair<std::string, std::string>> version_by_index;
   if (const auto vn_vaddr = dyn_value(raw, kDtVerneed)) {
     const auto vn_num = dyn_value(raw, kDtVerneednum).value_or(0);
+    if (vn_num > kMaxVersionRecords) {
+      return fail(ErrorCode::kElfLimitExceeded,
+                  "DT_VERNEEDNUM exceeds record limit");
+    }
     auto pos = vaddr_to_offset(raw, *vn_vaddr);
-    if (!pos) return fail("DT_VERNEED outside any segment");
+    if (!pos) return fail(ErrorCode::kElfBadOffset, "DT_VERNEED outside any segment");
     std::uint64_t rec = *pos;
     for (std::uint64_t i = 0; i < vn_num; ++i) {
       const auto vn_version = r.u16(static_cast<std::size_t>(rec));
@@ -282,20 +294,20 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
       const auto vn_aux = r.u32(static_cast<std::size_t>(rec + 8));
       const auto vn_next = r.u32(static_cast<std::size_t>(rec + 12));
       if (!vn_version || !vn_cnt || !vn_file || !vn_aux || !vn_next) {
-        return fail("truncated verneed record");
+        return fail(ErrorCode::kElfTruncated, "truncated verneed record");
       }
-      if (*vn_version != kVerNeedCurrent) return fail("bad verneed revision");
+      if (*vn_version != kVerNeedCurrent) return fail(ErrorCode::kElfBadVersionRef, "bad verneed revision");
       auto file = dyn_str(*vn_file);
-      if (!file) return fail("verneed file string out of range");
+      if (!file) return fail(ErrorCode::kElfBadVersionRef, "verneed file string out of range");
       ElfSpec::VersionNeed need{*file, {}};
       std::uint64_t aux = rec + *vn_aux;
       for (std::uint16_t j = 0; j < *vn_cnt; ++j) {
         const auto vna_other = r.u16(static_cast<std::size_t>(aux + 6));
         const auto vna_name = r.u32(static_cast<std::size_t>(aux + 8));
         const auto vna_next = r.u32(static_cast<std::size_t>(aux + 12));
-        if (!vna_other || !vna_name || !vna_next) return fail("truncated vernaux");
+        if (!vna_other || !vna_name || !vna_next) return fail(ErrorCode::kElfTruncated, "truncated vernaux");
         auto vname = dyn_str(*vna_name);
-        if (!vname) return fail("vernaux name string out of range");
+        if (!vname) return fail(ErrorCode::kElfBadVersionRef, "vernaux name string out of range");
         version_by_index[*vna_other] = {*file, *vname};
         need.versions.push_back(std::move(*vname));
         if (*vna_next == 0) break;
@@ -310,8 +322,12 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
   // Verdef.
   if (const auto vd_vaddr = dyn_value(raw, kDtVerdef)) {
     const auto vd_num = dyn_value(raw, kDtVerdefnum).value_or(0);
+    if (vd_num > kMaxVersionRecords) {
+      return fail(ErrorCode::kElfLimitExceeded,
+                  "DT_VERDEFNUM exceeds record limit");
+    }
     auto pos = vaddr_to_offset(raw, *vd_vaddr);
-    if (!pos) return fail("DT_VERDEF outside any segment");
+    if (!pos) return fail(ErrorCode::kElfBadOffset, "DT_VERDEF outside any segment");
     std::uint64_t rec = *pos;
     for (std::uint64_t i = 0; i < vd_num; ++i) {
       const auto vd_version = r.u16(static_cast<std::size_t>(rec));
@@ -320,13 +336,13 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
       const auto vd_aux = r.u32(static_cast<std::size_t>(rec + 12));
       const auto vd_next = r.u32(static_cast<std::size_t>(rec + 16));
       if (!vd_version || !vd_flags || !vd_ndx || !vd_aux || !vd_next) {
-        return fail("truncated verdef record");
+        return fail(ErrorCode::kElfTruncated, "truncated verdef record");
       }
-      if (*vd_version != kVerDefCurrent) return fail("bad verdef revision");
+      if (*vd_version != kVerDefCurrent) return fail(ErrorCode::kElfBadVersionRef, "bad verdef revision");
       const auto vda_name = r.u32(static_cast<std::size_t>(rec + *vd_aux));
-      if (!vda_name) return fail("truncated verdaux");
+      if (!vda_name) return fail(ErrorCode::kElfTruncated, "truncated verdaux");
       auto name = dyn_str(*vda_name);
-      if (!name) return fail("verdaux name string out of range");
+      if (!name) return fail(ErrorCode::kElfBadVersionRef, "verdaux name string out of range");
       if ((*vd_flags & kVerFlgBase) == 0) {
         version_by_index[*vd_ndx] = {out.soname_.value_or(""), *name};
         out.version_defs_.push_back(std::move(*name));
@@ -383,7 +399,7 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
           dynsym_sec->offset + i * dynsym_sec->entsize);
       const auto st_name = r.u32(p);
       const auto st_shndx = raw.is64 ? r.u16(p + 6) : r.u16(p + 14);
-      if (!st_name || !st_shndx) return fail("truncated dynsym entry");
+      if (!st_name || !st_shndx) return fail(ErrorCode::kElfTruncated, "truncated dynsym entry");
       DynSymbol sym;
       if (const auto n = dyn_str(*st_name)) sym.name = *n;
       sym.defined = *st_shndx != kShnUndef;

@@ -7,6 +7,8 @@
 #include "feam/bdc.hpp"
 #include "feam/identify.hpp"
 #include "site/lease.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "toolchain/linker.hpp"
 #include "toolchain/testbed.hpp"
@@ -59,6 +61,16 @@ Experiment::Experiment(ExperimentOptions options)
   }
   if (options_.use_caches) {
     caches_ = std::make_unique<feam::MigrationCaches>();
+  }
+  if (options_.vfs_fault_rate > 0.0) {
+    for (const auto& s : sites_) {
+      site::FaultInjector::Options fault_options;
+      fault_options.seed = options_.vfs_fault_seed ^ support::fnv1a(s->name);
+      fault_options.rate = options_.vfs_fault_rate;
+      auto injector = std::make_shared<site::FaultInjector>(fault_options);
+      s->vfs.set_fault_injector(injector);
+      injectors_.push_back(std::move(injector));
+    }
   }
 }
 
@@ -153,10 +165,21 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->value) {
     source_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    source_misses_.fetch_add(1, std::memory_order_relaxed);
-    entry->value.emplace(run_fresh());
+    return *entry->value;
   }
+  const auto* injector = home.vfs.fault_injector();
+  const std::uint64_t faults_before =
+      injector != nullptr ? injector->fault_count() : 0;
+  auto fresh = run_fresh();
+  if (injector != nullptr && injector->fault_count() != faults_before) {
+    // A faulted source phase describes a home site that never existed;
+    // hand it to this caller (who attributes the pair) but never memoize
+    // it — the next migration of this binary recomputes cleanly.
+    local.emplace(std::move(fresh));
+    return *local;
+  }
+  source_misses_.fetch_add(1, std::memory_order_relaxed);
+  entry->value.emplace(std::move(fresh));
   return *entry->value;
 }
 
@@ -175,14 +198,44 @@ std::optional<MigrationResult> Experiment::migrate_one(
   feam::FeamConfig config;
   config.hello_world_ranks = options_.ranks;
 
+  // Injected faults at either site during this pair taint the whole pair:
+  // predictions and execution outcomes may reflect a site view that never
+  // really existed. The snapshot/delta is exact under sequential runs; a
+  // parallel faulted run can over-attribute (another worker's fault on a
+  // shared site lands in the window), never under-attribute.
+  const auto fault_total = [&]() -> std::uint64_t {
+    const auto* h = home.vfs.fault_injector();
+    const auto* t = target.vfs.fault_injector();
+    return (h != nullptr ? h->fault_count() : 0) +
+           (t != nullptr ? t->fault_count() : 0);
+  };
+  const std::uint64_t faults_at_start = fault_total();
+
   // --- migrate the binary bytes: the only step that touches both sites,
   // so the only step that leases both (in lease_id order, see lease.hpp).
   {
     site::SitePairLease lease(home, target);
     const support::Bytes* content = home.vfs.read(binary.path);
-    if (content == nullptr) return std::nullopt;
-    target.vfs.write_file(migrated_path, *content);
+    if (content == nullptr) {
+      // A test-set binary is always present, so this read can only fail
+      // under injection; the pair is recorded, not dropped.
+      result.failure_attribution = "io";
+      result.failure_detail =
+          "reading " + binary.path + " at " + home.name + " failed";
+      return result;
+    }
+    if (!target.vfs.write_file(migrated_path, *content)) {
+      // Torn or failed bundle copy; the Vfs rolled back whatever landed.
+      result.failure_attribution = "io";
+      result.failure_detail =
+          "copying to " + migrated_path + " at " + target.name + " failed";
+      return result;
+    }
   }
+
+  // First ELF parse failure seen by any phase (attribution "parse" when no
+  // injected fault explains it).
+  std::optional<support::Error> phase_error;
 
   {
     site::SiteLease lease(target);
@@ -195,6 +248,9 @@ std::optional<MigrationResult> Experiment::migrate_one(
                                               config, basic_opts,
                                               caches_.get());
     result.basic_ready = basic.ok() && basic.value().prediction.ready;
+    if (!basic.ok() && support::failure_category(basic.code()) == "parse") {
+      phase_error = basic.full_error();
+    }
 
     // Cross-check the paper's 100%-accurate MPI-availability claim.
     if (basic.ok() && basic.value().application.mpi_impl) {
@@ -221,6 +277,10 @@ std::optional<MigrationResult> Experiment::migrate_one(
   std::optional<support::Result<feam::SourcePhaseOutput>> local_source;
   const support::Result<feam::SourcePhaseOutput>& source =
       source_phase_for(binary, home, config, local_source);
+  if (!source.ok() && !phase_error &&
+      support::failure_category(source.code()) == "parse") {
+    phase_error = source.full_error();
+  }
 
   {
     site::SiteLease lease(target);
@@ -234,7 +294,12 @@ std::optional<MigrationResult> Experiment::migrate_one(
     if (source.ok()) {
       auto r = feam::run_target_phase(target, migrated_path, &source.value(),
                                       config, ext_opts, caches_.get());
-      if (r.ok()) extended = std::move(r).take();
+      if (r.ok()) {
+        extended = std::move(r).take();
+      } else if (!phase_error &&
+                 support::failure_category(r.code()) == "parse") {
+        phase_error = r.full_error();
+      }
     }
     if (extended) {
       result.extended_ready = extended->prediction.ready;
@@ -288,6 +353,14 @@ std::optional<MigrationResult> Experiment::migrate_one(
     target.vfs.remove("/home/user/feam_resolved");
   }
 
+  if (fault_total() != faults_at_start) {
+    result.failure_attribution = "io";
+    result.failure_detail =
+        "injected Vfs fault(s) during migration to " + target.name;
+  } else if (phase_error) {
+    result.failure_attribution = "parse";
+    result.failure_detail = phase_error->message;
+  }
   return result;
 }
 
@@ -295,6 +368,10 @@ void Experiment::run() {
   results_.clear();
   skipped_no_impl_ = 0;
   mpi_matching_correct_ = true;
+
+  // Fault injection is live only inside run(): the test-set build and any
+  // inter-run inspection always see healthy sites.
+  for (const auto& injector : injectors_) injector->set_enabled(true);
 
   // Build the migration list sequentially (so skip accounting is exact),
   // then fan out. Each migration writes into its pre-assigned slot, so
@@ -361,6 +438,7 @@ void Experiment::run() {
   for (auto& slot : slots) {
     if (slot) results_.push_back(std::move(*slot));
   }
+  for (const auto& injector : injectors_) injector->set_enabled(false);
 }
 
 }  // namespace feam::eval

@@ -57,6 +57,15 @@ struct MigrationResult {
   // Per-determinant verdicts from the extended prediction (Figure 1 data).
   feam::Prediction extended_prediction;
 
+  // Per-pair failure attribution ("" = clean pair):
+  //   "io"    — injected Vfs faults touched this migration (its predictions
+  //             and execution outcomes may reflect a degraded site view),
+  //   "parse" — a phase failed on a genuine ELF parse error with no faults.
+  // Surfaced as an extra determinant verdict in the run record, so the
+  // report matrix shows the category as the blocking determinant.
+  std::string failure_attribution;
+  std::string failure_detail;
+
   bool basic_correct() const {
     return basic_ready == success_before_resolution;
   }
@@ -91,6 +100,15 @@ struct ExperimentOptions {
   // execution outcomes are identical with caches off — `false` is the
   // legacy path the parallel_matrix bench uses as its baseline.
   bool use_caches = true;
+
+  // Opt-in Vfs fault injection during run() (0.0 = off). Each site gets an
+  // injector seeded vfs_fault_seed ^ fnv1a(site name), enabled only for
+  // the duration of run() — build_test_set always sees a healthy Vfs.
+  // Faulted pairs come back with failure_attribution set; pairs untouched
+  // by faults are bit-identical to an uninjected run (the caches never
+  // store faulted computations).
+  double vfs_fault_rate = 0.0;
+  std::uint64_t vfs_fault_seed = 20130613;
 };
 
 class Experiment {
@@ -153,6 +171,9 @@ class Experiment {
   std::size_t skipped_no_impl_ = 0;
 
   std::unique_ptr<feam::MigrationCaches> caches_;
+  // Per-site fault injectors (empty when vfs_fault_rate == 0), index-
+  // aligned with sites_.
+  std::vector<std::shared_ptr<site::FaultInjector>> injectors_;
   std::mutex source_memo_mutex_;
   std::map<std::string, std::unique_ptr<SourceMemoEntry>> source_memo_;
   std::atomic<std::uint64_t> source_hits_{0};

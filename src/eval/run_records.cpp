@@ -20,6 +20,22 @@ report::RunRecord to_run_record(const MigrationResult& result) {
     verdict.detail = det.detail;
     record.determinants.push_back(std::move(verdict));
   }
+  if (!result.failure_attribution.empty()) {
+    // Surface the pair-level failure as an extra (failed) verdict so
+    // blocking_determinant() and the report matrix pick the category up
+    // through the ordinary machinery. Prepended: determinant verdicts
+    // computed under faults are themselves unreliable, so the category
+    // must win the "first blocking" scan.
+    report::DeterminantVerdict verdict;
+    verdict.key = result.failure_attribution;  // "io" | "parse"
+    verdict.evaluated = true;
+    verdict.compatible = false;
+    verdict.detail = result.failure_detail;
+    record.determinants.insert(record.determinants.begin(),
+                               std::move(verdict));
+    record.ready = false;
+    record.exit_code = 2;
+  }
   record.missing_libraries =
       static_cast<std::uint64_t>(result.missing_library_count);
   record.resolved_libraries =

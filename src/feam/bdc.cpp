@@ -45,7 +45,7 @@ support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
 
   const auto dump = binutils::objdump_p(s.vfs, path);
   if (!dump.ok()) {
-    return R::failure("BDC: " + dump.error());
+    return R::failure(dump.code(), "BDC: " + dump.error());
   }
   const auto parsed = binutils::parse_objdump_output(dump.value());
   if (!parsed) {

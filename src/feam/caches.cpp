@@ -65,7 +65,17 @@ BdcCache::BdcCache(HashFn hash) : hash_(std::move(hash)) {}
 
 support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
                                                       std::string_view path) {
+  const auto* injector = s.vfs.fault_injector();
+  const std::uint64_t faults_before =
+      injector != nullptr ? injector->fault_count() : 0;
   const support::Bytes* bytes = s.vfs.read(path);
+  if (injector != nullptr && injector->fault_count() != faults_before) {
+    // The read was touched by fault injection: the bytes (or their
+    // absence) don't match the file's write stamp, so neither the fast
+    // path nor the content-addressed store may see them. Fall through to
+    // the uncached component, whose result the caller attributes.
+    return Bdc::describe(s, path);
+  }
   if (bytes == nullptr) {
     // Let the component produce its usual diagnostic for a missing file.
     return Bdc::describe(s, path);
@@ -104,6 +114,12 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
   // Miss (or collision): parse outside the lock — the caller holds the
   // site lease, so the bytes cannot change underneath us.
   support::Result<BinaryDescription> described = Bdc::describe(s, path);
+  // The component re-reads the file itself; if any of those reads were
+  // faulted, the description doesn't correspond to `*bytes` and must not
+  // be memoized under its hash.
+  if (injector != nullptr && injector->fault_count() != faults_before) {
+    return described;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   obs::counter("bdc.cache_misses").add();
@@ -138,7 +154,15 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   }
   // Scan with the memo unlocked so other sites discover concurrently; the
   // caller's site lease guarantees no concurrent scan of *this* site.
+  const auto* injector = s.vfs.fault_injector();
+  const std::uint64_t faults_before =
+      injector != nullptr ? injector->fault_count() : 0;
   EnvironmentDescription description = Edc::discover(s);
+  // A scan that hit injected faults saw a degraded view of an unchanged
+  // site; memoizing it would serve that view to every later migration.
+  if (injector != nullptr && injector->fault_count() != faults_before) {
+    return description;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   obs::counter("edc.memo_misses").add();

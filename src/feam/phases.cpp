@@ -58,7 +58,7 @@ support::Result<SourcePhaseOutput> run_source_phase(
   auto described = caches != nullptr
                        ? caches->bdc.describe(guaranteed, binary_path)
                        : Bdc::describe(guaranteed, binary_path);
-  if (!described.ok()) return R::failure(described.error());
+  if (!described.ok()) return R::failure(described.full_error());
   out.application = std::move(described).take();
   out.environment = caches != nullptr ? caches->edc.discover(guaranteed)
                                       : Edc::discover(guaranteed);
@@ -208,7 +208,7 @@ support::Result<TargetPhaseOutput> run_target_phase(
     auto described = caches != nullptr
                          ? caches->bdc.describe(target, binary_path)
                          : Bdc::describe(target, binary_path);
-    if (!described.ok()) return R::failure(described.error());
+    if (!described.ok()) return R::failure(described.full_error());
     out.application = std::move(described).take();
   } else if (source != nullptr) {
     out.application = source->application;  // description travelled instead

@@ -196,20 +196,23 @@ struct ResolutionOutcome {
   std::vector<std::string> resolved;
   std::vector<std::string> unresolved;
   std::string dir;  // populated resolution directory ("" when unused)
+  // Malformed NEEDED graph (cycle / excessive depth) reported by the
+  // resolver; surfaced in the determinant detail, never fatal.
+  std::optional<support::Error> dep_error;
   bool all_resolved() const { return unresolved.empty(); }
 };
 
 // Names missing for the application under the current environment.
 // With a binary present this is the loader's transitive view; otherwise it
 // walks the bundle's per-library descriptions.
-std::vector<std::string> compute_missing(site::Site& s,
-                                         const BinaryDescription& app,
-                                         std::string_view binary_path,
-                                         const Bundle* bundle, int bits,
-                                         binutils::ResolverCache* rc) {
+std::vector<std::string> compute_missing(
+    site::Site& s, const BinaryDescription& app, std::string_view binary_path,
+    const Bundle* bundle, int bits, binutils::ResolverCache* rc,
+    std::optional<support::Error>* dep_error = nullptr) {
   std::vector<std::string> missing;
   if (!binary_path.empty() && s.vfs.is_file(binary_path)) {
     const auto resolution = binutils::resolve_libraries(s, binary_path, {}, rc);
+    if (dep_error != nullptr) *dep_error = resolution.dep_error;
     for (const auto& name : resolution.missing()) missing.push_back(name);
     return missing;
   }
@@ -247,7 +250,8 @@ ResolutionOutcome run_resolution(site::Site& s, const BinaryDescription& app,
   obs::Span span("tec.determinant.shared_libraries");
   obs::ScopedTimer timer(obs::histogram("tec.resolution_ns"));
   ResolutionOutcome out;
-  out.missing = compute_missing(s, app, binary_path, bundle, bits, rc);
+  out.missing =
+      compute_missing(s, app, binary_path, bundle, bits, rc, &out.dep_error);
   span.add_field("missing", std::to_string(out.missing.size()));
   obs::counter("resolution.libraries_missing").add(out.missing.size());
   if (out.missing.empty() || bundle == nullptr || !opts.apply_resolution) {
@@ -519,6 +523,11 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
     libs.detail = libs.compatible
                       ? "all shared libraries available"
                       : support::join(outcome.unresolved, ", ") + " missing";
+    if (outcome.dep_error) {
+      // The graph anomaly doesn't block execution (ld.so loads each object
+      // once) but it is part of the site's story — surface it.
+      libs.detail += " [" + outcome.dep_error->message + "]";
+    }
     guard.restore();
   } else {
     obs::Span mpi_span("tec.determinant.mpi_stack",

@@ -105,6 +105,38 @@ bool Vfs::mkdirs(std::string_view path) {
 }
 
 bool Vfs::write_file(std::string_view path, support::Bytes content) {
+  if (fault_ != nullptr && fault_->enabled()) {
+    switch (fault_->decide_write(path)) {
+      case FaultKind::kEio:
+        return false;  // nothing written
+      case FaultKind::kTornWrite: {
+        // Write a genuinely partial node, then roll it back: the caller
+        // sees a failed copy, the tree ends unchanged, and the generation
+        // is not bumped — so no cache entry is spuriously invalidated.
+        Node* parent = walk_mut(dirname(path));
+        if (parent == nullptr || parent->kind != Node::Kind::kDir) {
+          return false;  // no parent: the tear never reached the disk
+        }
+        const std::string name = basename(path);
+        auto& slot = parent->children[name];
+        std::unique_ptr<Node> previous = std::move(slot);
+        auto torn = std::make_unique<Node>();
+        torn->kind = Node::Kind::kFile;
+        const std::size_t keep = fault_->short_read_length(content.size());
+        torn->content.assign(content.begin(),
+                             content.begin() + static_cast<std::ptrdiff_t>(keep));
+        slot = std::move(torn);
+        if (previous != nullptr) {
+          slot = std::move(previous);  // restore-on-error
+        } else {
+          parent->children.erase(name);
+        }
+        return false;
+      }
+      default:
+        break;
+    }
+  }
   Node* parent = ensure_parent(path);
   if (parent == nullptr) return false;
   auto& child = parent->children[basename(path)];
@@ -160,6 +192,22 @@ bool Vfs::is_symlink(std::string_view path) const {
 const support::Bytes* Vfs::read(std::string_view path) const {
   const Node* n = walk(path, true);
   if (n == nullptr || n->kind != Node::Kind::kFile) return nullptr;
+  if (fault_ != nullptr && fault_->enabled()) {
+    switch (fault_->decide_read(path)) {
+      case FaultKind::kEnoent:
+      case FaultKind::kEio:
+        return nullptr;
+      case FaultKind::kShortRead: {
+        const std::size_t keep = fault_->short_read_length(n->content.size());
+        short_read_scratch_.emplace_back(
+            n->content.begin(),
+            n->content.begin() + static_cast<std::ptrdiff_t>(keep));
+        return &short_read_scratch_.back();
+      }
+      default:
+        break;
+    }
+  }
   return &n->content;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "site/fault.hpp"
 #include "support/byte_io.hpp"
 
 namespace feam::site {
@@ -77,6 +79,17 @@ class Vfs {
   // implies byte-identical content. nullopt when `path` is not a file.
   std::optional<std::uint64_t> file_version(std::string_view path) const;
 
+  // --- fault injection (opt-in; see site/fault.hpp)
+  // With an enabled injector attached, read() may return nullptr (ENOENT /
+  // EIO) or a truncated copy (short read), and write_file() may fail with
+  // EIO (nothing written) or a torn write (partial node written, then
+  // rolled back — the tree and generation end unchanged). A null or
+  // disabled injector leaves behaviour exactly as before.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
+  FaultInjector* fault_injector() const { return fault_.get(); }
+
   static std::string basename(std::string_view path);
   static std::string dirname(std::string_view path);
   static std::string join(std::string_view dir, std::string_view name);
@@ -106,6 +119,10 @@ class Vfs {
 
   std::unique_ptr<Node> root_;
   std::uint64_t generation_ = 0;
+  std::shared_ptr<FaultInjector> fault_;
+  // Short-read results live here so read() can keep returning a stable
+  // pointer; a deque never relocates existing elements.
+  mutable std::deque<support::Bytes> short_read_scratch_;
 };
 
 }  // namespace feam::site

@@ -70,13 +70,23 @@ void ByteWriter::patch_u64(std::size_t offset, std::uint64_t v) {
   }
 }
 
+namespace {
+
+// Overflow-safe "does [offset, offset+n) fit?": `offset + n > size` wraps
+// for offsets near SIZE_MAX (reachable via crafted vaddr-to-offset maps).
+bool fits(std::size_t offset, std::size_t n, std::size_t size) {
+  return size >= n && offset <= size - n;
+}
+
+}  // namespace
+
 std::optional<std::uint8_t> ByteReader::u8(std::size_t offset) const {
-  if (offset + 1 > data_->size()) return std::nullopt;
+  if (!fits(offset, 1, data_->size())) return std::nullopt;
   return (*data_)[offset];
 }
 
 std::optional<std::uint16_t> ByteReader::u16(std::size_t offset) const {
-  if (offset + 2 > data_->size()) return std::nullopt;
+  if (!fits(offset, 2, data_->size())) return std::nullopt;
   const auto& d = *data_;
   if (endian_ == Endian::kLittle) {
     return static_cast<std::uint16_t>(d[offset] | (d[offset + 1] << 8));
@@ -85,7 +95,7 @@ std::optional<std::uint16_t> ByteReader::u16(std::size_t offset) const {
 }
 
 std::optional<std::uint32_t> ByteReader::u32(std::size_t offset) const {
-  if (offset + 4 > data_->size()) return std::nullopt;
+  if (!fits(offset, 4, data_->size())) return std::nullopt;
   const auto& d = *data_;
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
@@ -96,7 +106,7 @@ std::optional<std::uint32_t> ByteReader::u32(std::size_t offset) const {
 }
 
 std::optional<std::uint64_t> ByteReader::u64(std::size_t offset) const {
-  if (offset + 8 > data_->size()) return std::nullopt;
+  if (!fits(offset, 8, data_->size())) return std::nullopt;
   const auto& d = *data_;
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {

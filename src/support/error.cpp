@@ -1,0 +1,45 @@
+#include "support/error.hpp"
+
+namespace feam::support {
+
+std::string_view error_code_slug(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kElfNotElf: return "elf_not_elf";
+    case ErrorCode::kElfTruncated: return "elf_truncated";
+    case ErrorCode::kElfBadHeader: return "elf_bad_header";
+    case ErrorCode::kElfUnsupported: return "elf_unsupported";
+    case ErrorCode::kElfBadOffset: return "elf_bad_offset";
+    case ErrorCode::kElfBadVersionRef: return "elf_bad_version_ref";
+    case ErrorCode::kElfLimitExceeded: return "elf_limit_exceeded";
+    case ErrorCode::kIoFault: return "io_fault";
+    case ErrorCode::kFileNotFound: return "file_not_found";
+    case ErrorCode::kDepCycle: return "dep_cycle";
+    case ErrorCode::kDepDepthExceeded: return "dep_depth_exceeded";
+  }
+  return "unknown";
+}
+
+std::string_view failure_category(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "";
+    case ErrorCode::kElfNotElf:
+    case ErrorCode::kElfTruncated:
+    case ErrorCode::kElfBadHeader:
+    case ErrorCode::kElfUnsupported:
+    case ErrorCode::kElfBadOffset:
+    case ErrorCode::kElfBadVersionRef:
+    case ErrorCode::kElfLimitExceeded:
+      return "parse";
+    case ErrorCode::kIoFault:
+    case ErrorCode::kFileNotFound:
+      return "io";
+    case ErrorCode::kDepCycle:
+    case ErrorCode::kDepDepthExceeded:
+      return "dep";
+  }
+  return "";
+}
+
+}  // namespace feam::support

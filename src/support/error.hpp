@@ -1,0 +1,46 @@
+// Structured error taxonomy carried by Result<T>.
+//
+// Every data-dependent failure in the ELF reader, the Vfs, and the
+// resolver maps to one ErrorCode so callers — and ultimately the report
+// matrix — can attribute a failed migration to a category ("parse",
+// "io", "dep") instead of a free-form string. The message text stays the
+// user-facing half; the code is the machine-readable half.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace feam::support {
+
+enum class ErrorCode : std::uint8_t {
+  kUnknown = 0,        // legacy string-only failures
+  // ELF parse taxonomy ("parse" category).
+  kElfNotElf,          // bad magic / not an ELF image at all
+  kElfTruncated,       // file ends inside a structure it declares
+  kElfBadHeader,       // header fields are internally inconsistent
+  kElfUnsupported,     // valid ELF but a class/encoding/machine we don't model
+  kElfBadOffset,       // a table/virtual address points outside the image
+  kElfBadVersionRef,   // verneed/verdef entry references a bad string/index
+  kElfLimitExceeded,   // declared counts exceed the parser's sanity caps
+  // I/O taxonomy ("io" category) — mostly from Vfs fault injection.
+  kIoFault,            // injected or simulated EIO / short read / torn write
+  kFileNotFound,       // path absent (possibly injected ENOENT)
+  // Dependency-graph taxonomy ("dep" category) from the resolver.
+  kDepCycle,           // cyclic DT_NEEDED chain
+  kDepDepthExceeded,   // DT_NEEDED chain deeper than the resolver allows
+};
+
+struct Error {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+};
+
+// Stable machine-readable slug ("elf_truncated", "dep_cycle", ...); the
+// golden corpus filenames are prefixed with these.
+std::string_view error_code_slug(ErrorCode code);
+
+// Coarse attribution bucket for run records: "parse", "io", "dep", or ""
+// for kUnknown.
+std::string_view failure_category(ErrorCode code);
+
+}  // namespace feam::support

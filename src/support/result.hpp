@@ -1,15 +1,20 @@
-// Minimal expected-like result type: a value or an error message.
+// Minimal expected-like result type: a value or a typed error.
 //
 // The parsing and simulation layers never throw for data-dependent
 // failures (malformed ELF images, unresolvable libraries); they return
 // Result so callers — FEAM's components — can report *why* something
 // failed, which is itself part of the paper's user-facing output.
+// Failures carry a support::Error: a human-readable message plus an
+// ErrorCode so run records can attribute the failure to a category
+// (parse/io/dep) without string matching.
 #pragma once
 
 #include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "support/error.hpp"
 
 namespace feam::support {
 
@@ -20,7 +25,18 @@ class [[nodiscard]] Result {
 
   static Result failure(std::string message) {
     Result r;
-    r.error_ = std::move(message);
+    r.error_.message = std::move(message);
+    return r;
+  }
+  static Result failure(ErrorCode code, std::string message) {
+    Result r;
+    r.error_.code = code;
+    r.error_.message = std::move(message);
+    return r;
+  }
+  static Result failure(Error error) {
+    Result r;
+    r.error_ = std::move(error);
     return r;
   }
 
@@ -42,13 +58,21 @@ class [[nodiscard]] Result {
 
   const std::string& error() const {
     assert(!ok());
+    return error_.message;
+  }
+  ErrorCode code() const {
+    assert(!ok());
+    return error_.code;
+  }
+  const Error& full_error() const {
+    assert(!ok());
     return error_;
   }
 
  private:
   Result() = default;
   std::optional<T> value_;
-  std::string error_;
+  Error error_;
 };
 
 }  // namespace feam::support

@@ -1,0 +1,163 @@
+// Malformed DT_NEEDED graphs: cycles and absurd depth must come back as
+// typed dep errors on the Resolution — never hang, never recurse forever —
+// while resolution of the rest of the closure still completes (ld.so loads
+// each object once, so a cycle is survivable at run time; FEAM just has to
+// report it faithfully).
+#include "binutils/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "elf/builder.hpp"
+#include "support/error.hpp"
+
+namespace feam::binutils {
+namespace {
+
+elf::ElfSpec shared_lib(const std::string& soname,
+                        std::vector<std::string> needed = {}) {
+  elf::ElfSpec spec;
+  spec.isa = elf::Isa::kX86_64;
+  spec.kind = elf::FileKind::kSharedObject;
+  spec.soname = soname;
+  spec.needed = std::move(needed);
+  spec.text_size = 64;
+  return spec;
+}
+
+void install_lib(site::Site& s, const std::string& soname,
+                 std::vector<std::string> needed = {}) {
+  s.vfs.write_file("/lib64/" + soname,
+                   elf::build_image(shared_lib(soname, std::move(needed))));
+}
+
+site::Site make_host() {
+  site::Site s;
+  s.name = "host";
+  s.isa = elf::Isa::kX86_64;
+  install_lib(s, "libc.so.6");
+  return s;
+}
+
+void install_app(site::Site& s, const std::string& path,
+                 std::vector<std::string> needed) {
+  elf::ElfSpec app;
+  app.isa = elf::Isa::kX86_64;
+  app.needed = std::move(needed);
+  app.text_size = 128;
+  s.vfs.write_file(path, elf::build_image(app));
+}
+
+TEST(DepCycle, TwoLibraryCycleIsReportedAndResolutionCompletes) {
+  site::Site s = make_host();
+  install_lib(s, "liba.so.1", {"libb.so.1"});
+  install_lib(s, "libb.so.1", {"liba.so.1", "libc.so.6"});
+  install_app(s, "/apps/app", {"liba.so.1"});
+
+  const auto r = resolve_libraries(s, "/apps/app");
+  ASSERT_TRUE(r.root_parsed);
+  // Every library still resolves: the cycle truncates the walk, not the
+  // search.
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.path_of("liba.so.1"), "/lib64/liba.so.1");
+  EXPECT_EQ(r.path_of("libb.so.1"), "/lib64/libb.so.1");
+  EXPECT_EQ(r.path_of("libc.so.6"), "/lib64/libc.so.6");
+
+  ASSERT_TRUE(r.dep_error.has_value());
+  EXPECT_EQ(r.dep_error->code, support::ErrorCode::kDepCycle);
+  EXPECT_EQ(support::failure_category(r.dep_error->code), "dep");
+  EXPECT_NE(r.dep_error->message.find("cyclic DT_NEEDED chain"),
+            std::string::npos);
+  ASSERT_EQ(r.dep_cycles.size(), 1u);
+  EXPECT_EQ(r.dep_cycles[0], "liba.so.1 -> libb.so.1 -> liba.so.1");
+}
+
+TEST(DepCycle, SelfCycle) {
+  site::Site s = make_host();
+  install_lib(s, "libself.so.0", {"libself.so.0"});
+  install_app(s, "/apps/app", {"libself.so.0"});
+
+  const auto r = resolve_libraries(s, "/apps/app");
+  ASSERT_TRUE(r.dep_error.has_value());
+  EXPECT_EQ(r.dep_error->code, support::ErrorCode::kDepCycle);
+  ASSERT_EQ(r.dep_cycles.size(), 1u);
+  EXPECT_EQ(r.dep_cycles[0], "libself.so.0 -> libself.so.0");
+}
+
+TEST(DepCycle, DiamondIsNotACycle) {
+  // Two libraries sharing a dependency is the normal case (everything
+  // needs libc); the ancestor-chain check must not flag it.
+  site::Site s = make_host();
+  install_lib(s, "liba.so.1", {"libc.so.6"});
+  install_lib(s, "libb.so.1", {"libc.so.6"});
+  install_app(s, "/apps/app", {"liba.so.1", "libb.so.1"});
+
+  const auto r = resolve_libraries(s, "/apps/app");
+  EXPECT_TRUE(r.complete());
+  EXPECT_FALSE(r.dep_error.has_value());
+  EXPECT_TRUE(r.dep_cycles.empty());
+}
+
+TEST(DepCycle, LongChainBelowTheLimitIsFine) {
+  site::Site s = make_host();
+  const int depth = kMaxDepDepth - 4;
+  for (int i = 0; i < depth; ++i) {
+    const std::string name = "libchain" + std::to_string(i) + ".so";
+    std::vector<std::string> needed;
+    if (i + 1 < depth) {
+      needed.push_back("libchain" + std::to_string(i + 1) + ".so");
+    }
+    install_lib(s, name, std::move(needed));
+  }
+  install_app(s, "/apps/app", {"libchain0.so"});
+
+  const auto r = resolve_libraries(s, "/apps/app");
+  EXPECT_TRUE(r.complete());
+  EXPECT_FALSE(r.dep_error.has_value());
+  EXPECT_EQ(r.libs.size(), static_cast<std::size_t>(depth));
+}
+
+TEST(DepCycle, DepthExceededIsReportedAndCutOff) {
+  site::Site s = make_host();
+  const int chain = kMaxDepDepth + 8;
+  for (int i = 0; i < chain; ++i) {
+    const std::string name = "libchain" + std::to_string(i) + ".so";
+    std::vector<std::string> needed;
+    if (i + 1 < chain) {
+      needed.push_back("libchain" + std::to_string(i + 1) + ".so");
+    }
+    install_lib(s, name, std::move(needed));
+  }
+  install_app(s, "/apps/app", {"libchain0.so"});
+
+  const auto r = resolve_libraries(s, "/apps/app");
+  ASSERT_TRUE(r.root_parsed);
+  ASSERT_TRUE(r.dep_error.has_value());
+  EXPECT_EQ(r.dep_error->code, support::ErrorCode::kDepDepthExceeded);
+  EXPECT_NE(r.dep_error->message.find("exceeds depth"), std::string::npos);
+  // The walk stopped at the limit instead of following the whole chain.
+  EXPECT_LT(r.libs.size(), static_cast<std::size_t>(chain));
+  EXPECT_FALSE(r.path_of("libchain" + std::to_string(chain - 1) + ".so")
+                   .has_value());
+}
+
+TEST(DepCycle, CycleDeepInTheGraph) {
+  // app -> libx -> liby -> libz -> liby : the cycle starts below the root.
+  site::Site s = make_host();
+  install_lib(s, "libx.so", {"liby.so"});
+  install_lib(s, "liby.so", {"libz.so"});
+  install_lib(s, "libz.so", {"liby.so", "libc.so.6"});
+  install_app(s, "/apps/app", {"libx.so"});
+
+  const auto r = resolve_libraries(s, "/apps/app");
+  EXPECT_TRUE(r.complete());
+  ASSERT_TRUE(r.dep_error.has_value());
+  EXPECT_EQ(r.dep_error->code, support::ErrorCode::kDepCycle);
+  ASSERT_EQ(r.dep_cycles.size(), 1u);
+  EXPECT_EQ(r.dep_cycles[0], "liby.so -> libz.so -> liby.so");
+}
+
+}  // namespace
+}  // namespace feam::binutils

@@ -1,0 +1,132 @@
+// Fuzz driver for ElfFile::parse, built only when -DFEAM_FUZZ=ON.
+//
+// Two modes, one invariant: parse() must terminate without crashing or
+// tripping a sanitizer, and every rejection must carry a parse-category
+// taxonomy code (a fuzz input can never produce an io/dep/unknown error —
+// those belong to the Vfs and the resolver).
+//
+//   * With Clang the target compiles against libFuzzer
+//     (FEAM_FUZZ_LIBFUZZER): coverage-guided, run via
+//     `feam_fuzz_reader -runs=...`.
+//   * Elsewhere (GCC) the same invariant runs as a bounded seeded loop —
+//     structure-aware mutations of valid builder images plus raw garbage —
+//     so the ctest entry exercises the parser on every toolchain.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "elf/builder.hpp"
+#include "elf/file.hpp"
+#include "support/error.hpp"
+
+#ifndef FEAM_FUZZ_LIBFUZZER
+#include "mutate.hpp"
+#include "support/rng.hpp"
+#endif
+
+namespace {
+
+// Returns false (after printing) when a rejection carries a non-parse
+// taxonomy code.
+bool check_parse(const feam::support::Bytes& input) {
+  const auto parsed = feam::elf::ElfFile::parse(input);
+  if (parsed.ok()) {
+    return true;
+  }
+  const auto category = feam::support::failure_category(parsed.code());
+  if (category != "parse") {
+    std::fprintf(stderr,
+                 "parse rejection outside the parse taxonomy: code=%s "
+                 "category=%s message=%s\n",
+                 std::string(feam::support::error_code_slug(parsed.code()))
+                     .c_str(),
+                 std::string(category).c_str(), parsed.error().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+#ifdef FEAM_FUZZ_LIBFUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const feam::support::Bytes input(data, data + size);
+  if (!check_parse(input)) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#else
+
+namespace {
+
+feam::elf::ElfSpec seed_spec(std::uint64_t seed) {
+  feam::support::Rng rng(seed);
+  feam::elf::ElfSpec spec;
+  spec.isa = rng.chance(0.5) ? feam::elf::Isa::kX86_64 : feam::elf::Isa::kPpc64;
+  spec.needed = {"libc.so.6", "libmpi.so.0"};
+  spec.undefined_symbols = {{"printf", "GLIBC_2.2.5", "libc.so.6"},
+                            {"MPI_Init", "", ""}};
+  if (rng.chance(0.5)) {
+    spec.kind = feam::elf::FileKind::kSharedObject;
+    spec.soname = "libfuzz.so." + std::to_string(rng.next_below(9));
+    spec.version_definitions = {"FUZZ_1.0", "FUZZ_2.0"};
+    spec.defined_symbols = {{"fuzz_entry", "FUZZ_1.0"}};
+  }
+  spec.comments = {"GCC: (GNU) 4.1.2"};
+  spec.text_size = 64 + rng.next_below(1024);
+  spec.content_seed = rng.next_u64();
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20130613ull;
+  const long rounds = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 4000;
+
+  feam::support::Rng rng(seed);
+  long failures = 0;
+  for (long round = 0; round < rounds; ++round) {
+    feam::support::Bytes input;
+    if (round % 8 == 7) {
+      // Raw garbage, half of it with a valid magic to reach deeper checks.
+      input.resize(rng.next_below(1024));
+      for (auto& byte : input) {
+        byte = static_cast<std::uint8_t>(rng.next_below(256));
+      }
+      if (rng.chance(0.5) && input.size() >= 4) {
+        input[0] = 0x7f;
+        input[1] = 'E';
+        input[2] = 'L';
+        input[3] = 'F';
+      }
+    } else {
+      // Structure-aware: start from a valid image, apply 1-3 mutations.
+      input = feam::elf::build_image(seed_spec(seed ^ (round / 16)));
+      const std::uint64_t steps = 1 + rng.next_below(3);
+      for (std::uint64_t step = 0; step < steps; ++step) {
+        input = feam::elf::mutate::mutate_once(input, rng);
+      }
+    }
+    if (!check_parse(input)) {
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%ld of %ld inputs violated the parse invariant\n",
+                 failures, rounds);
+    return 1;
+  }
+  std::printf("fuzzed %ld inputs (seed %llu): parser total, all rejections "
+              "parse-category\n",
+              rounds, static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+#endif  // FEAM_FUZZ_LIBFUZZER

@@ -1,0 +1,177 @@
+// Generates the golden malformed-ELF corpus under tests/elf/corpus/.
+//
+// Each corpus file is named <error_code_slug>__<description>.bin and must
+// parse to exactly that error code; the generator verifies this before
+// writing anything, so a parser change that shifts which check fires makes
+// regeneration fail loudly instead of silently re-golding.
+//
+// Not a test: run manually (or via the `corpus` convenience target) after
+// deliberate parser changes, then commit the regenerated files together
+// with the change. malformed_corpus_test.cpp asserts the committed files
+// still produce their named codes.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "elf/builder.hpp"
+#include "elf/constants.hpp"
+#include "elf/file.hpp"
+#include "mutate.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using feam::support::Bytes;
+using feam::support::ErrorCode;
+
+feam::elf::ElfSpec base_spec() {
+  feam::elf::ElfSpec spec;
+  spec.isa = feam::elf::Isa::kX86_64;
+  spec.needed = {"libc.so.6", "libmpi.so.0"};
+  spec.undefined_symbols = {{"printf", "GLIBC_2.2.5", "libc.so.6"},
+                            {"memcpy", "GLIBC_2.3.4", "libc.so.6"},
+                            {"MPI_Init", "", ""}};
+  spec.comments = {"GCC: (GNU) 4.1.2"};
+  spec.text_size = 512;
+  spec.content_seed = 20130613;
+  return spec;
+}
+
+struct CorpusEntry {
+  ErrorCode expected;
+  std::string description;
+  Bytes image;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  namespace mut = feam::elf::mutate;
+  using feam::elf::ElfFile;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path out_dir = argv[1];
+
+  const Bytes valid = feam::elf::build_image(base_spec());
+  {
+    const auto check = ElfFile::parse(valid);
+    if (!check.ok()) {
+      std::fprintf(stderr, "base image does not parse: %s\n",
+                   check.error().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<CorpusEntry> entries;
+  const auto add = [&entries](ErrorCode expected, std::string description,
+                              Bytes image) {
+    entries.push_back(
+        CorpusEntry{expected, std::move(description), std::move(image)});
+  };
+
+  // --- kElfNotElf: recognizable non-ELF inputs FEAM meets on real sites.
+  {
+    const std::string script = "#!/bin/sh\nexec ./app.real \"$@\"\n";
+    add(ErrorCode::kElfNotElf, "shell_wrapper",
+        Bytes(script.begin(), script.end()));
+  }
+  add(ErrorCode::kElfNotElf, "png_header",
+      Bytes{0x89, 'P', 'N', 'G', 0x0d, 0x0a, 0x1a, 0x0a, 0, 0, 0, 0});
+  add(ErrorCode::kElfNotElf, "magic_prefix_only", mut::truncated(valid, 3));
+
+  // --- kElfTruncated: cut at structural boundaries.
+  add(ErrorCode::kElfTruncated, "mid_ident", mut::truncated(valid, 8));
+  add(ErrorCode::kElfTruncated, "mid_header", mut::truncated(valid, 40));
+  add(ErrorCode::kElfTruncated, "mid_phdr_table", mut::truncated(valid, 80));
+  add(ErrorCode::kElfTruncated, "half_image",
+      mut::truncated(valid, valid.size() / 2));
+
+  // --- kElfBadHeader: self-inconsistent e_ident.
+  add(ErrorCode::kElfBadHeader, "bad_class",
+      mut::with_byte(valid, feam::elf::kEiClass, 9));
+  add(ErrorCode::kElfBadHeader, "bad_endian_tag",
+      mut::with_byte(valid, feam::elf::kEiData, 0));
+  add(ErrorCode::kElfBadHeader, "bad_ei_version",
+      mut::with_byte(valid, feam::elf::kEiVersion, 3));
+  add(ErrorCode::kElfBadHeader, "class_machine_mismatch",
+      mut::with_byte(valid, feam::elf::kEiClass, feam::elf::kClass32));
+
+  // --- kElfUnsupported: well-formed header for a file we do not model.
+  add(ErrorCode::kElfUnsupported, "unknown_machine",
+      mut::with_u16le(valid, 18, 0x1234));
+  add(ErrorCode::kElfUnsupported, "core_file_type",
+      mut::with_u16le(valid, 16, 4));  // ET_CORE
+
+  // --- kElfBadOffset: dynamic pointers escaping every segment.
+  if (auto img = mut::with_dynamic_value_64le(valid, feam::elf::kDtVerneed,
+                                              0x00dead0000ull)) {
+    add(ErrorCode::kElfBadOffset, "verneed_outside_segments",
+        *std::move(img));
+  }
+  if (auto img = mut::with_dynamic_value_64le(valid, feam::elf::kDtStrtab,
+                                              0x00beef0000ull)) {
+    add(ErrorCode::kElfBadOffset, "strtab_outside_segments",
+        *std::move(img));
+  }
+
+  // --- kElfBadVersionRef: corrupt GNU version records.
+  if (const auto verneed =
+          mut::read_dynamic_value_64le(valid, feam::elf::kDtVerneed)) {
+    // Single LOAD segment at vaddr 0: the DT_VERNEED vaddr is the file
+    // offset; vn_version is the leading u16 of the first record.
+    add(ErrorCode::kElfBadVersionRef, "bad_verneed_revision",
+        mut::with_u16le(valid, static_cast<std::size_t>(*verneed), 9));
+  }
+
+  // --- kElfLimitExceeded: absurd record counts (resource-exhaustion guard).
+  if (auto img = mut::with_dynamic_value_64le(
+          valid, feam::elf::kDtVerneednum, 1ull << 20)) {
+    add(ErrorCode::kElfLimitExceeded, "verneednum_huge", *std::move(img));
+  }
+
+  // Verify every entry parses to exactly its named code, then write.
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  int failures = 0;
+  for (const auto& entry : entries) {
+    const auto parsed = ElfFile::parse(entry.image);
+    const std::string slug{feam::support::error_code_slug(entry.expected)};
+    if (parsed.ok()) {
+      std::fprintf(stderr, "%s__%s: expected %s, but image parses cleanly\n",
+                   slug.c_str(), entry.description.c_str(), slug.c_str());
+      ++failures;
+      continue;
+    }
+    if (parsed.code() != entry.expected) {
+      std::fprintf(
+          stderr, "%s__%s: expected %s, got %s (%s)\n", slug.c_str(),
+          entry.description.c_str(), slug.c_str(),
+          std::string(feam::support::error_code_slug(parsed.code())).c_str(),
+          parsed.error().c_str());
+      ++failures;
+      continue;
+    }
+    const fs::path file = out_dir / (slug + "__" + entry.description + ".bin");
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(entry.image.data()),
+              static_cast<std::streamsize>(entry.image.size()));
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", file.string().c_str());
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d corpus entr%s failed verification\n", failures,
+                 failures == 1 ? "y" : "ies");
+    return 1;
+  }
+  std::printf("wrote %zu corpus files to %s\n", entries.size(),
+              out_dir.string().c_str());
+  return 0;
+}

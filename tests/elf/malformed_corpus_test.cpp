@@ -1,0 +1,109 @@
+// Golden-corpus regression test: every committed file under
+// tests/elf/corpus/ must parse to exactly the taxonomy code named by its
+// filename prefix (<error_code_slug>__<description>.bin). This pins the
+// parser's error *classification*, not just its refusal — a refactor that
+// turns a truncation into a generic failure trips this test even though
+// parse still returns !ok().
+//
+// Regenerate the corpus with the feam_make_corpus tool after deliberate
+// parser changes (see make_corpus.cpp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elf/file.hpp"
+#include "support/error.hpp"
+
+#ifndef FEAM_ELF_CORPUS_DIR
+#error "FEAM_ELF_CORPUS_DIR must point at tests/elf/corpus"
+#endif
+
+namespace feam::elf {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CorpusFile {
+  std::string name;           // "elf_truncated__mid_header.bin"
+  std::string expected_slug;  // "elf_truncated"
+  support::Bytes content;
+};
+
+std::vector<CorpusFile> load_corpus() {
+  std::vector<CorpusFile> files;
+  for (const auto& entry : fs::directory_iterator(FEAM_ELF_CORPUS_DIR)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".bin") {
+      continue;
+    }
+    CorpusFile file;
+    file.name = entry.path().filename().string();
+    const auto sep = file.name.find("__");
+    file.expected_slug =
+        sep == std::string::npos ? file.name : file.name.substr(0, sep);
+    std::ifstream in(entry.path(), std::ios::binary);
+    file.content.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+    files.push_back(std::move(file));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const CorpusFile& a, const CorpusFile& b) {
+              return a.name < b.name;
+            });
+  return files;
+}
+
+TEST(MalformedCorpus, EveryFileProducesItsNamedError) {
+  const auto corpus = load_corpus();
+  ASSERT_GE(corpus.size(), 10u)
+      << "corpus missing or incomplete at " << FEAM_ELF_CORPUS_DIR
+      << " — regenerate with feam_make_corpus";
+  for (const auto& file : corpus) {
+    SCOPED_TRACE(file.name);
+    const auto parsed = ElfFile::parse(file.content);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(support::error_code_slug(parsed.code()), file.expected_slug);
+    EXPECT_FALSE(parsed.error().empty());
+    // Every corpus entry is a parse-category failure by construction; the
+    // io/dep categories are exercised by vfs_fault_test and dep_cycle_test.
+    EXPECT_EQ(support::failure_category(parsed.code()), "parse");
+  }
+}
+
+TEST(MalformedCorpus, CoversTheParseTaxonomy) {
+  // At least one corpus file per parse-category code, so a new code cannot
+  // be added without a golden witness.
+  std::map<std::string, int> by_slug;
+  for (const auto& file : load_corpus()) {
+    ++by_slug[file.expected_slug];
+  }
+  for (const auto code :
+       {support::ErrorCode::kElfNotElf, support::ErrorCode::kElfTruncated,
+        support::ErrorCode::kElfBadHeader,
+        support::ErrorCode::kElfUnsupported,
+        support::ErrorCode::kElfBadOffset,
+        support::ErrorCode::kElfBadVersionRef,
+        support::ErrorCode::kElfLimitExceeded}) {
+    const std::string slug{support::error_code_slug(code)};
+    EXPECT_GE(by_slug[slug], 1) << "no corpus file for " << slug;
+  }
+}
+
+TEST(MalformedCorpus, ErrorsAreDeterministic) {
+  // Same bytes, same code and message — parse has no hidden state.
+  for (const auto& file : load_corpus()) {
+    SCOPED_TRACE(file.name);
+    const auto first = ElfFile::parse(file.content);
+    const auto second = ElfFile::parse(file.content);
+    ASSERT_FALSE(first.ok());
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(first.code(), second.code());
+    EXPECT_EQ(first.error(), second.error());
+  }
+}
+
+}  // namespace
+}  // namespace feam::elf

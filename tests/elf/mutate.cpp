@@ -1,0 +1,196 @@
+#include "mutate.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "elf/constants.hpp"
+
+namespace feam::elf::mutate {
+
+using support::ByteReader;
+using support::Bytes;
+using support::Endian;
+using support::Rng;
+
+support::Bytes truncated(const Bytes& image, std::size_t len) {
+  const std::size_t keep = std::min(len, image.size());
+  return Bytes(image.begin(),
+               image.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+Bytes with_byte(const Bytes& image, std::size_t offset, std::uint8_t value) {
+  Bytes out = image;
+  if (offset < out.size()) {
+    out[offset] = value;
+  }
+  return out;
+}
+
+Bytes with_u16le(const Bytes& image, std::size_t offset, std::uint16_t value) {
+  Bytes out = image;
+  if (offset + 1 < out.size()) {
+    out[offset] = static_cast<std::uint8_t>(value & 0xff);
+    out[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+  return out;
+}
+
+namespace {
+
+bool is_64le(const Bytes& image) {
+  return image.size() > kEiData && image[0] == 0x7f && image[1] == 'E' &&
+         image[2] == 'L' && image[3] == 'F' && image[kEiClass] == kClass64 &&
+         image[kEiData] == kData2Lsb;
+}
+
+void store_u64le(Bytes& image, std::size_t offset, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    image[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+}  // namespace
+
+std::optional<DynamicSegment> find_dynamic_segment_64le(const Bytes& image) {
+  if (!is_64le(image)) {
+    return std::nullopt;
+  }
+  const ByteReader r(image, Endian::kLittle);
+  const auto phoff = r.u64(32);
+  const auto phentsize = r.u16(54);
+  const auto phnum = r.u16(56);
+  if (!phoff || !phentsize || !phnum || *phentsize < 56) {
+    return std::nullopt;
+  }
+  for (std::uint16_t i = 0; i < *phnum; ++i) {
+    const std::size_t base = static_cast<std::size_t>(*phoff) + i * *phentsize;
+    const auto type = r.u32(base);
+    if (!type || *type != kPtDynamic) {
+      continue;
+    }
+    const auto offset = r.u64(base + 8);
+    const auto filesz = r.u64(base + 32);
+    if (!offset || !filesz) {
+      return std::nullopt;
+    }
+    return DynamicSegment{static_cast<std::size_t>(*offset),
+                          static_cast<std::size_t>(*filesz)};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Offset of the value field of the first entry with `tag` (entries are
+// 16-byte tag/value pairs in a 64-bit dynamic section).
+std::optional<std::size_t> dynamic_value_offset_64le(const Bytes& image,
+                                                     std::int64_t tag) {
+  const auto segment = find_dynamic_segment_64le(image);
+  if (!segment) {
+    return std::nullopt;
+  }
+  const ByteReader r(image, Endian::kLittle);
+  for (std::size_t at = segment->offset;
+       at + 16 <= segment->offset + segment->size; at += 16) {
+    const auto entry_tag = r.u64(at);
+    if (!entry_tag) {
+      return std::nullopt;
+    }
+    if (static_cast<std::int64_t>(*entry_tag) == tag) {
+      return at + 8;
+    }
+    if (static_cast<std::int64_t>(*entry_tag) == kDtNull) {
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> read_dynamic_value_64le(const Bytes& image,
+                                                     std::int64_t tag) {
+  const auto at = dynamic_value_offset_64le(image, tag);
+  if (!at) {
+    return std::nullopt;
+  }
+  return ByteReader(image, Endian::kLittle).u64(*at);
+}
+
+std::optional<Bytes> with_dynamic_value_64le(const Bytes& image,
+                                             std::int64_t tag,
+                                             std::uint64_t value) {
+  const auto at = dynamic_value_offset_64le(image, tag);
+  if (!at || *at + 8 > image.size()) {
+    return std::nullopt;
+  }
+  Bytes out = image;
+  store_u64le(out, *at, value);
+  return out;
+}
+
+Bytes mutate_once(const Bytes& image, Rng& rng) {
+  if (image.empty()) {
+    return image;
+  }
+  // Header fields whose corruption exercises distinct parser checks:
+  // e_ident class/data/version, e_type, e_machine, e_phoff, e_shoff,
+  // e_phentsize/e_phnum, e_shentsize/e_shnum/e_shstrndx.
+  static constexpr std::array<std::size_t, 13> kHeaderFields = {
+      kEiClass, kEiData, kEiVersion, 16, 18, 32, 40, 54, 56, 58, 60, 62, 63};
+  static constexpr std::array<std::int64_t, 6> kPatchableTags = {
+      kDtStrtab, kDtStrsz, kDtVerneed, kDtVerneednum, kDtVerdef, kDtVerdefnum};
+
+  switch (rng.next_below(6)) {
+    case 0: {  // flip a handful of bytes anywhere
+      Bytes out = image;
+      const std::size_t flips = 1 + rng.next_below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        out[rng.next_below(out.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+      return out;
+    }
+    case 1:  // truncate at an arbitrary prefix
+      return truncated(image, rng.next_below(image.size()));
+    case 2: {  // corrupt a structural header field
+      const std::size_t offset = kHeaderFields[rng.next_below(
+          kHeaderFields.size())];
+      return with_byte(image, offset,
+                       static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    case 3: {  // redirect a dynamic entry (string table, version sections)
+      const std::int64_t tag =
+          kPatchableTags[rng.next_below(kPatchableTags.size())];
+      auto out = with_dynamic_value_64le(image, tag, rng.next_u64());
+      if (out) {
+        return *std::move(out);
+      }
+      return with_byte(image, rng.next_below(image.size()),
+                       static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    case 4: {  // overwrite a 4-byte window with random data
+      Bytes out = image;
+      const std::size_t at = rng.next_below(out.size());
+      const std::uint64_t word = rng.next_u64();
+      for (std::size_t i = 0; i < 4 && at + i < out.size(); ++i) {
+        out[at + i] = static_cast<std::uint8_t>(word >> (8 * i));
+      }
+      return out;
+    }
+    default: {  // splice one region of the file over another
+      Bytes out = image;
+      const std::size_t len = 1 + rng.next_below(std::min<std::size_t>(
+                                      64, out.size()));
+      const std::size_t src = rng.next_below(out.size() - len + 1);
+      const std::size_t dst = rng.next_below(out.size() - len + 1);
+      std::copy(image.begin() + static_cast<std::ptrdiff_t>(src),
+                image.begin() + static_cast<std::ptrdiff_t>(src + len),
+                out.begin() + static_cast<std::ptrdiff_t>(dst));
+      return out;
+    }
+  }
+}
+
+}  // namespace feam::elf::mutate

@@ -1,0 +1,56 @@
+// Deterministic corruption helpers for ELF images, shared by the golden
+// corpus generator (make_corpus.cpp), the corpus regression test, and the
+// fuzz driver. All helpers are pure: they return a mutated copy and never
+// touch the input.
+//
+// The structure-aware helpers (dynamic-entry patching) understand only the
+// 64-bit little-endian layout our builder emits for x86-64 — enough to
+// steer corruption at specific parser checks instead of relying on blind
+// byte flips to find them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "support/byte_io.hpp"
+#include "support/rng.hpp"
+
+namespace feam::elf::mutate {
+
+// Prefix of the image; len is clamped to the image size.
+support::Bytes truncated(const support::Bytes& image, std::size_t len);
+
+// Copy with image[offset] = value (no-op when offset is out of range).
+support::Bytes with_byte(const support::Bytes& image, std::size_t offset,
+                         std::uint8_t value);
+
+// Copy with a little-endian u16 stored at offset.
+support::Bytes with_u16le(const support::Bytes& image, std::size_t offset,
+                          std::uint16_t value);
+
+// File offset of the PT_DYNAMIC segment's data in a 64-bit LE image;
+// nullopt when the image is not 64-bit LE or has no such segment.
+struct DynamicSegment {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+std::optional<DynamicSegment> find_dynamic_segment_64le(
+    const support::Bytes& image);
+
+// Value (d_val/d_ptr) of the first dynamic entry with `tag`, scanning the
+// PT_DYNAMIC segment of a 64-bit LE image.
+std::optional<std::uint64_t> read_dynamic_value_64le(
+    const support::Bytes& image, std::int64_t tag);
+
+// Copy with that entry's value overwritten; nullopt when the tag (or the
+// dynamic segment) is absent.
+std::optional<support::Bytes> with_dynamic_value_64le(
+    const support::Bytes& image, std::int64_t tag, std::uint64_t value);
+
+// One seeded mutation drawn from a mix of strategies (byte flips, header
+// field corruption, truncation, dynamic-entry patching, region splices).
+// Used by the fuzz driver's fallback loop; never returns the input
+// unchanged unless the image is empty.
+support::Bytes mutate_once(const support::Bytes& image, support::Rng& rng);
+
+}  // namespace feam::elf::mutate

@@ -1,0 +1,234 @@
+// Write -> read -> write property: an ElfSpec serialized by the builder,
+// parsed back by ElfFile, and re-serialized from the parsed metadata must
+// produce a byte-identical image. This is stronger than the field-level
+// round-trip in property_test.cpp: it proves the parser recovers *all* the
+// information the builder encodes (up to the synthetic .text payload,
+// whose size/seed are not metadata and are carried over explicitly).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "elf/builder.hpp"
+#include "elf/file.hpp"
+#include "support/rng.hpp"
+
+namespace feam::elf {
+namespace {
+
+using support::Bytes;
+using support::Rng;
+
+const Isa kIsas[] = {Isa::kX86, Isa::kX86_64, Isa::kPpc, Isa::kPpc64,
+                     Isa::kAarch64};
+
+std::string random_name(Rng& rng, const char* prefix) {
+  std::string out = prefix;
+  const std::size_t len = 3 + rng.next_below(8);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += static_cast<char>('a' + rng.next_below(26));
+  }
+  return out;
+}
+
+// Like property_test's generator, but version names embed the library
+// index ("V2R1") so every version maps to exactly one from_lib — the
+// reconstruction below must be unambiguous for the byte-equality property
+// to be well-defined.
+ElfSpec random_spec(std::uint64_t seed) {
+  Rng rng(seed);
+  ElfSpec spec;
+  spec.isa = kIsas[rng.next_below(std::size(kIsas))];
+  spec.kind =
+      rng.chance(0.5) ? FileKind::kExecutable : FileKind::kSharedObject;
+  spec.static_link = rng.chance(0.1);
+  spec.text_size = 16 + rng.next_below(2048);
+  spec.content_seed = rng.next_u64();
+
+  if (spec.kind == FileKind::kSharedObject) {
+    spec.soname =
+        random_name(rng, "lib") + ".so." + std::to_string(rng.next_below(9));
+  }
+  const std::size_t needed_count = rng.next_below(6);
+  for (std::size_t i = 0; i < needed_count; ++i) {
+    spec.needed.push_back(random_name(rng, "libdep") + std::to_string(i) +
+                          ".so." + std::to_string(rng.next_below(4)));
+  }
+  if (rng.chance(0.4)) {
+    spec.rpath.push_back("/" + random_name(rng, "opt"));
+    if (rng.chance(0.3)) spec.rpath.push_back("/" + random_name(rng, "usr"));
+  }
+  if (spec.kind == FileKind::kSharedObject && rng.chance(0.6)) {
+    const std::size_t defs = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < defs; ++i) {
+      spec.version_definitions.push_back("DEF_" + std::to_string(i) + "." +
+                                         std::to_string(rng.next_below(10)));
+    }
+    const std::size_t syms = rng.next_below(4);
+    for (std::size_t i = 0; i < syms; ++i) {
+      spec.defined_symbols.push_back(
+          {random_name(rng, "sym"),
+           rng.chance(0.7) ? spec.version_definitions[rng.next_below(
+                                 spec.version_definitions.size())]
+                           : ""});
+    }
+  }
+  if (!spec.needed.empty()) {
+    const std::size_t imports = rng.next_below(8);
+    for (std::size_t i = 0; i < imports; ++i) {
+      UndefinedSymbol sym;
+      sym.name = random_name(rng, "u");
+      if (rng.chance(0.6)) {
+        const std::size_t lib = rng.next_below(spec.needed.size());
+        sym.from_lib = spec.needed[lib];
+        sym.version =
+            "V" + std::to_string(lib) + "R" + std::to_string(rng.next_below(4));
+      }
+      spec.undefined_symbols.push_back(std::move(sym));
+    }
+  }
+  if (rng.chance(0.7)) {
+    spec.comments.push_back(random_name(rng, "GCC: "));
+  }
+  if (rng.chance(0.5)) {
+    spec.abi = AbiNote{random_name(rng, "Fam"),
+                       "4." + std::to_string(rng.next_below(9)),
+                       rng.chance(0.5) ? "openmpi" : "",
+                       "1." + std::to_string(rng.next_below(9)),
+                       static_cast<std::uint32_t>(rng.next_u64()),
+                       static_cast<std::uint32_t>(rng.next_below(16))};
+  }
+  if (spec.static_link) {
+    spec.needed.clear();
+    spec.rpath.clear();
+    spec.version_definitions.clear();
+    spec.defined_symbols.clear();
+    spec.undefined_symbols.clear();
+    spec.soname.clear();
+    spec.kind = FileKind::kExecutable;
+  }
+  return spec;
+}
+
+// Rebuilds a spec from parsed metadata alone. text_size/content_seed are
+// payload parameters, not metadata the parser could recover, so they are
+// passed through from the original spec.
+ElfSpec reconstruct(const ElfFile& f, std::uint64_t text_size,
+                    std::uint64_t content_seed) {
+  ElfSpec spec;
+  spec.isa = f.isa();
+  spec.kind = f.kind();
+  spec.static_link = !f.is_dynamic();
+  spec.soname = f.soname().value_or("");
+  spec.needed = f.needed();
+  spec.rpath = f.rpath();
+  spec.version_definitions = f.version_definitions();
+  spec.comments = f.comments();
+  spec.abi = f.abi_note();
+  spec.text_size = text_size;
+  spec.content_seed = content_seed;
+  for (const DynSymbol& sym : f.dynamic_symbols()) {
+    if (sym.defined) {
+      spec.defined_symbols.push_back({sym.name, sym.version});
+      continue;
+    }
+    UndefinedSymbol undef;
+    undef.name = sym.name;
+    undef.version = sym.version;
+    if (!sym.version.empty()) {
+      for (const auto& need : f.version_references()) {
+        if (std::find(need.versions.begin(), need.versions.end(),
+                      sym.version) != need.versions.end()) {
+          undef.from_lib = need.file;
+          break;
+        }
+      }
+    }
+    spec.undefined_symbols.push_back(std::move(undef));
+  }
+  return spec;
+}
+
+class WriteReadWriteTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WriteReadWriteTest, RebuildFromParseIsByteIdentical) {
+  const ElfSpec spec = random_spec(GetParam());
+  const Bytes first = build_image(spec);
+  const auto parsed = ElfFile::parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+
+  const ElfSpec rebuilt_spec =
+      reconstruct(parsed.value(), spec.text_size, spec.content_seed);
+  const Bytes second = build_image(rebuilt_spec);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first, second);
+
+  // And the rebuilt image parses to identical metadata (read -> write ->
+  // read fixed point).
+  const auto reparsed = ElfFile::parse(second);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(reparsed.value().needed(), parsed.value().needed());
+  EXPECT_EQ(reparsed.value().version_definitions(),
+            parsed.value().version_definitions());
+  EXPECT_EQ(reparsed.value().dynamic_symbols().size(),
+            parsed.value().dynamic_symbols().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteReadWriteTest,
+                         ::testing::Range<std::uint64_t>(1, 49));
+
+TEST(WriteReadWrite, TypicalAppIsByteIdentical) {
+  ElfSpec spec;
+  spec.isa = Isa::kX86_64;
+  spec.needed = {"libmpi.so.0", "libgfortran.so.1", "libm.so.6", "libc.so.6"};
+  spec.undefined_symbols = {
+      {"MPI_Init", "", ""},
+      {"memcpy", "GLIBC_2.3.4", "libc.so.6"},
+      {"printf", "GLIBC_2.2.5", "libc.so.6"},
+      {"_gfortran_st_write", "GFORTRAN_1.0", "libgfortran.so.1"},
+  };
+  spec.comments = {"GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-46)"};
+  spec.abi = AbiNote{"GNU", "4.1.2", "openmpi", "1.4.3", 0xabcd1234, 2};
+  spec.text_size = 8 * 1024;
+  spec.content_seed = 777;
+
+  const Bytes first = build_image(spec);
+  const auto parsed = ElfFile::parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(first, build_image(reconstruct(parsed.value(), spec.text_size,
+                                           spec.content_seed)));
+}
+
+TEST(WriteReadWrite, GlibcLikeLibraryIsByteIdentical) {
+  ElfSpec spec;
+  spec.isa = Isa::kPpc64;  // big-endian path
+  spec.kind = FileKind::kSharedObject;
+  spec.soname = "libc.so.6";
+  spec.version_definitions = {"GLIBC_2.0", "GLIBC_2.2.5", "GLIBC_2.3.4"};
+  spec.defined_symbols = {{"memcpy", "GLIBC_2.3.4"},
+                          {"printf", "GLIBC_2.2.5"},
+                          {"malloc", "GLIBC_2.0"}};
+  spec.text_size = 2048;
+
+  const Bytes first = build_image(spec);
+  const auto parsed = ElfFile::parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(first, build_image(reconstruct(parsed.value(), spec.text_size,
+                                           spec.content_seed)));
+}
+
+TEST(WriteReadWrite, StaticExecutableIsByteIdentical) {
+  ElfSpec spec;
+  spec.static_link = true;
+  spec.text_size = 1024;
+  spec.comments = {"GCC: (GNU) 4.4.5"};
+  const Bytes first = build_image(spec);
+  const auto parsed = ElfFile::parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_FALSE(parsed.value().is_dynamic());
+  EXPECT_EQ(first, build_image(reconstruct(parsed.value(), spec.text_size,
+                                           spec.content_seed)));
+}
+
+}  // namespace
+}  // namespace feam::elf

@@ -1,0 +1,278 @@
+// Fault injection on the Vfs: every fault kind, determinism per seed, the
+// enable/disable bracket, and — load-bearing for the PR-3 caches — that a
+// torn write leaves the tree, the generation counter, and file version
+// stamps exactly as they were (no spurious cache invalidation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "site/fault.hpp"
+#include "site/vfs.hpp"
+
+namespace feam::site {
+namespace {
+
+using support::Bytes;
+
+Bytes payload(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  return out;
+}
+
+std::shared_ptr<FaultInjector> make_injector(FaultInjector::Options options) {
+  return std::make_shared<FaultInjector>(options);
+}
+
+// Injector limited to one read-fault kind so each kind is observable in
+// isolation (rate 1.0: every enabled operation faults).
+FaultInjector::Options only(bool enoent, bool eio, bool short_read,
+                            bool torn_write, std::uint64_t seed = 42) {
+  FaultInjector::Options options;
+  options.seed = seed;
+  options.rate = 1.0;
+  options.enoent = enoent;
+  options.eio = eio;
+  options.short_read = short_read;
+  options.torn_write = torn_write;
+  return options;
+}
+
+TEST(VfsFault, NoInjectorIsPassthrough) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.write_file("/data/file", payload(64)));
+  ASSERT_NE(vfs.read("/data/file"), nullptr);
+  EXPECT_EQ(vfs.fault_injector(), nullptr);
+}
+
+TEST(VfsFault, DisabledInjectorIsPassthrough) {
+  Vfs vfs;
+  auto injector = make_injector(only(true, true, true, true));
+  vfs.set_fault_injector(injector);  // never enabled
+  ASSERT_TRUE(vfs.write_file("/data/file", payload(64)));
+  const Bytes* read = vfs.read("/data/file");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(*read, payload(64));
+  EXPECT_EQ(injector->fault_count(), 0u);
+}
+
+TEST(VfsFault, ZeroRateNeverFaults) {
+  Vfs vfs;
+  FaultInjector::Options options;
+  options.seed = 7;
+  options.rate = 0.0;
+  auto injector = make_injector(options);
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+  ASSERT_TRUE(vfs.write_file("/data/file", payload(16)));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(vfs.read("/data/file"), nullptr);
+  }
+  EXPECT_EQ(injector->fault_count(), 0u);
+}
+
+TEST(VfsFault, EnoentHidesTheFileButDoesNotRemoveIt) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.write_file("/data/file", payload(64)));
+  auto injector = make_injector(only(true, false, false, false));
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+
+  EXPECT_EQ(vfs.read("/data/file"), nullptr);
+  ASSERT_EQ(injector->fault_count(), 1u);
+  const auto log = injector->injected();
+  EXPECT_EQ(log[0].kind, FaultKind::kEnoent);
+  EXPECT_EQ(log[0].op, "read");
+  EXPECT_EQ(log[0].path, "/data/file");
+
+  // The node itself is intact: metadata queries don't inject, and a
+  // fault-free read sees the original bytes.
+  EXPECT_TRUE(vfs.exists("/data/file"));
+  EXPECT_TRUE(vfs.is_file("/data/file"));
+  injector->set_enabled(false);
+  const Bytes* read = vfs.read("/data/file");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(*read, payload(64));
+}
+
+TEST(VfsFault, EioOnRead) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.write_file("/data/file", payload(64)));
+  auto injector = make_injector(only(false, true, false, false));
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+  EXPECT_EQ(vfs.read("/data/file"), nullptr);
+  ASSERT_EQ(injector->fault_count(), 1u);
+  EXPECT_EQ(injector->injected()[0].kind, FaultKind::kEio);
+}
+
+TEST(VfsFault, ShortReadReturnsAStrictPrefix) {
+  Vfs vfs;
+  const Bytes full = payload(256);
+  ASSERT_TRUE(vfs.write_file("/data/file", full));
+  auto injector = make_injector(only(false, false, true, false));
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+
+  const Bytes* first = vfs.read("/data/file");
+  ASSERT_NE(first, nullptr);
+  ASSERT_LT(first->size(), full.size());
+  EXPECT_TRUE(std::equal(first->begin(), first->end(), full.begin()));
+  EXPECT_EQ(injector->injected()[0].kind, FaultKind::kShortRead);
+
+  // Earlier short-read buffers stay valid after further reads (pointer
+  // stability), and the stored node is untouched.
+  const Bytes* second = vfs.read("/data/file");
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(std::equal(first->begin(), first->end(), full.begin()));
+  EXPECT_TRUE(std::equal(second->begin(), second->end(), full.begin()));
+  injector->set_enabled(false);
+  const Bytes* clean = vfs.read("/data/file");
+  ASSERT_NE(clean, nullptr);
+  EXPECT_EQ(*clean, full);
+}
+
+TEST(VfsFault, EioOnWriteWritesNothing) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.mkdirs("/data"));
+  const std::uint64_t generation = vfs.generation();
+  auto injector = make_injector(only(false, true, false, false));
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+
+  EXPECT_FALSE(vfs.write_file("/data/new", payload(32)));
+  ASSERT_EQ(injector->fault_count(), 1u);
+  EXPECT_EQ(injector->injected()[0].kind, FaultKind::kEio);
+  EXPECT_EQ(injector->injected()[0].op, "write");
+  EXPECT_FALSE(vfs.exists("/data/new"));
+  EXPECT_EQ(vfs.generation(), generation);
+}
+
+TEST(VfsFault, TornWriteLeavesExistingContentUnchanged) {
+  Vfs vfs;
+  const Bytes original = payload(128);
+  ASSERT_TRUE(vfs.write_file("/data/file", original));
+  const std::uint64_t generation = vfs.generation();
+  const auto version = vfs.file_version("/data/file");
+  ASSERT_TRUE(version.has_value());
+
+  auto injector = make_injector(only(false, false, false, true));
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+  EXPECT_FALSE(vfs.write_file("/data/file", payload(200)));
+  ASSERT_EQ(injector->fault_count(), 1u);
+  EXPECT_EQ(injector->injected()[0].kind, FaultKind::kTornWrite);
+  injector->set_enabled(false);
+
+  // Rolled back completely: bytes, generation, and version stamp are all
+  // as before, so generation-keyed caches must not invalidate.
+  const Bytes* read = vfs.read("/data/file");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(*read, original);
+  EXPECT_EQ(vfs.generation(), generation);
+  EXPECT_EQ(vfs.file_version("/data/file"), version);
+}
+
+TEST(VfsFault, TornWriteOfNewFileLeavesNoNode) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.mkdirs("/data"));
+  const std::uint64_t generation = vfs.generation();
+  auto injector = make_injector(only(false, false, false, true));
+  vfs.set_fault_injector(injector);
+  injector->set_enabled(true);
+  EXPECT_FALSE(vfs.write_file("/data/new", payload(32)));
+  injector->set_enabled(false);
+  EXPECT_FALSE(vfs.exists("/data/new"));
+  EXPECT_EQ(vfs.generation(), generation);
+  EXPECT_TRUE(vfs.list("/data").empty());
+}
+
+TEST(VfsFault, SameSeedSameDecisions) {
+  const auto run = [](std::uint64_t seed) {
+    Vfs vfs;
+    vfs.write_file("/a", payload(64));
+    vfs.write_file("/b", payload(64));
+    FaultInjector::Options options;
+    options.seed = seed;
+    options.rate = 0.5;
+    auto injector = make_injector(options);
+    vfs.set_fault_injector(injector);
+    injector->set_enabled(true);
+    for (int i = 0; i < 40; ++i) {
+      (void)vfs.read(i % 2 == 0 ? "/a" : "/b");
+      (void)vfs.write_file("/c", payload(8));
+    }
+    std::vector<std::pair<FaultKind, std::string>> decisions;
+    for (const auto& record : injector->injected()) {
+      decisions.emplace_back(record.kind, record.op + ":" + record.path);
+    }
+    return decisions;
+  };
+  const auto first = run(1234);
+  EXPECT_EQ(first, run(1234));
+  EXPECT_NE(first, run(99999));  // a different seed faults differently
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(VfsFault, DisabledStretchDoesNotPerturbTheStream) {
+  // The counter only advances while enabled, so a disabled stretch in the
+  // middle leaves later decisions exactly as if it never happened.
+  const auto run = [](bool with_disabled_stretch) {
+    Vfs vfs;
+    vfs.write_file("/a", payload(64));
+    FaultInjector::Options options;
+    options.seed = 7;
+    options.rate = 0.5;
+    auto injector = make_injector(options);
+    vfs.set_fault_injector(injector);
+    injector->set_enabled(true);
+    for (int i = 0; i < 10; ++i) (void)vfs.read("/a");
+    if (with_disabled_stretch) {
+      injector->set_enabled(false);
+      for (int i = 0; i < 25; ++i) (void)vfs.read("/a");
+      injector->set_enabled(true);
+    }
+    for (int i = 0; i < 10; ++i) (void)vfs.read("/a");
+    std::vector<FaultKind> kinds;
+    for (const auto& record : injector->injected()) {
+      kinds.push_back(record.kind);
+    }
+    return kinds;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(VfsFault, FaultCountDeltaIsolatesAnOperation) {
+  // The pattern the caches rely on: snapshot fault_count, do one
+  // operation, compare. rate=1.0 guarantees a delta on the faulted read;
+  // a disabled injector guarantees none.
+  Vfs vfs;
+  vfs.write_file("/a", payload(64));
+  auto injector = make_injector(only(true, true, true, true));
+  vfs.set_fault_injector(injector);
+
+  const std::uint64_t before_clean = injector->fault_count();
+  (void)vfs.read("/a");
+  EXPECT_EQ(injector->fault_count(), before_clean);
+
+  injector->set_enabled(true);
+  const std::uint64_t before_faulted = injector->fault_count();
+  (void)vfs.read("/a");
+  EXPECT_GT(injector->fault_count(), before_faulted);
+}
+
+TEST(VfsFault, KindNamesAreStable) {
+  EXPECT_EQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_EQ(fault_kind_name(FaultKind::kEnoent), "enoent");
+  EXPECT_EQ(fault_kind_name(FaultKind::kEio), "eio");
+  EXPECT_EQ(fault_kind_name(FaultKind::kShortRead), "short_read");
+  EXPECT_EQ(fault_kind_name(FaultKind::kTornWrite), "torn_write");
+}
+
+}  // namespace
+}  // namespace feam::site
