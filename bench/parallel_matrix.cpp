@@ -13,12 +13,32 @@
 // fault-count-delta attribution is exact only sequentially (parallel runs
 // can over-attribute shared-site faults, see ARCHITECTURE.md).
 //
+// A fourth, profiled leg reruns the pooled configuration with the span
+// collector and metric registry live (the contention-aware profiling
+// claim): results must stay bit-identical to the pooled leg, profiling
+// overhead must stay under 2% of an uninstrumented reference run, and the
+// contention metrics the profile exposes — pool idle share, lease waits,
+// cache hit rates — are gated against the baseline.
+//
+// Each leg runs in its own scope and the Experiment is destroyed before
+// the next leg starts: keeping earlier legs' results and Vfs images
+// resident measurably inflates later legs' wall time (3–5x in testing),
+// which would poison any overhead comparison. For the same reason the
+// overhead gate compares the instrumented run against a *fresh*
+// uninstrumented reference pair run back to back (alternating order
+// across two rounds, best-of-two each) rather than against leg 2, which
+// runs in a colder process.
+//
 // Flags:
-//   --jobs N        worker threads for the pooled leg (default 4)
-//   --fault-rate R  Vfs fault probability for the faulted leg (default 0.05)
-//   --bench-out F   write the feam.bench/1 record to F
-//   --baseline F    gate the metrics against a feam.report_baseline/1 file
-//   --pr N          PR number stamped into the bench record (default 3)
+//   --jobs N           worker threads for the pooled leg (default 4)
+//   --fault-rate R     Vfs fault probability for the faulted leg (default 0.05)
+//   --bench-out F      write the feam.bench/1 record to F
+//   --baseline F       gate the metrics against a feam.report_baseline/1 file
+//   --pr N             PR number stamped into the bench record (default 3)
+//   --profile-table F  write the profiled leg's profile table to F
+//   --folded F         write collapsed-stack flamegraph text to F
+//   --svg F            write a self-contained flamegraph SVG to F
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +49,9 @@
 
 #include "eval/experiment.hpp"
 #include "eval/run_records.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "report/gate.hpp"
 #include "support/json.hpp"
 
@@ -58,6 +81,39 @@ double rate(std::uint64_t hits, std::uint64_t misses) {
   return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
 }
 
+// Plain-value copy of an experiment's cache counters, so the Experiment
+// itself can be destroyed between legs.
+struct CacheStats {
+  std::uint64_t bdc_hits = 0, bdc_misses = 0;
+  std::uint64_t edc_hits = 0, edc_misses = 0;
+  std::uint64_t resolver_hits = 0, resolver_misses = 0;
+  std::uint64_t source_hits = 0, source_misses = 0;
+
+  static CacheStats of(const Experiment& e) {
+    CacheStats s;
+    const auto* c = e.caches();
+    s.bdc_hits = c->bdc.hits();
+    s.bdc_misses = c->bdc.misses();
+    s.edc_hits = c->edc.hits();
+    s.edc_misses = c->edc.misses();
+    s.resolver_hits = c->resolver.hits();
+    s.resolver_misses = c->resolver.misses();
+    s.source_hits = e.source_phase_hits();
+    s.source_misses = e.source_phase_misses();
+    return s;
+  }
+};
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +122,9 @@ int main(int argc, char** argv) {
   double fault_rate = 0.05;
   std::string bench_out;
   std::string baseline_path;
+  std::string profile_table_out;
+  std::string folded_out;
+  std::string svg_out;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
@@ -73,6 +132,9 @@ int main(int argc, char** argv) {
     else if (flag == "--bench-out" && i + 1 < argc) bench_out = argv[++i];
     else if (flag == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
     else if (flag == "--pr" && i + 1 < argc) pr_number = std::atoi(argv[++i]);
+    else if (flag == "--profile-table" && i + 1 < argc) profile_table_out = argv[++i];
+    else if (flag == "--folded" && i + 1 < argc) folded_out = argv[++i];
+    else if (flag == "--svg" && i + 1 < argc) svg_out = argv[++i];
     else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 1;
@@ -80,17 +142,33 @@ int main(int argc, char** argv) {
   }
   if (jobs < 1) jobs = 1;
 
+  const auto pair_key = [](const MigrationResult& r) {
+    return r.binary_name + "|" + r.home_site + "|" + r.target_site;
+  };
+
   // Leg 1 — legacy: strictly sequential, no memoization. This is the
   // pre-engine behaviour the speedup is measured against.
-  ExperimentOptions seq_options;
-  seq_options.jobs = 1;
-  seq_options.use_caches = false;
-  Experiment sequential(seq_options);
-  sequential.build_test_set();
-  const auto t0 = std::chrono::steady_clock::now();
-  sequential.run();
-  const auto t1 = std::chrono::steady_clock::now();
-  const double sequential_ms = elapsed_ms(t0, t1);
+  double sequential_ms = 0.0;
+  std::size_t migrations = 0;
+  std::string sequential_dump;
+  std::map<std::string, std::string> baseline_by_pair;
+  {
+    ExperimentOptions seq_options;
+    seq_options.jobs = 1;
+    seq_options.use_caches = false;
+    Experiment sequential(seq_options);
+    sequential.build_test_set();
+    const auto t0 = std::chrono::steady_clock::now();
+    sequential.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    sequential_ms = elapsed_ms(t0, t1);
+    migrations = sequential.results().size();
+    sequential_dump = records_dump(sequential.results());
+    for (const auto& result : sequential.results()) {
+      baseline_by_pair[pair_key(result)] =
+          to_run_record(result).to_json().dump();
+    }
+  }
 
   // Leg 2 — the parallel engine: pooled workers under site leases, with
   // the content-addressed BDC cache, the generation-keyed EDC memo, and
@@ -98,50 +176,54 @@ int main(int argc, char** argv) {
   ExperimentOptions par_options;
   par_options.jobs = jobs;
   par_options.use_caches = true;
-  Experiment pooled(par_options);
-  pooled.build_test_set();
-  const auto t2 = std::chrono::steady_clock::now();
-  pooled.run();
-  const auto t3 = std::chrono::steady_clock::now();
-  const double parallel_ms = elapsed_ms(t2, t3);
+  double parallel_ms = 0.0;
+  std::string pooled_dump;
+  CacheStats pooled_caches;
+  {
+    Experiment pooled(par_options);
+    pooled.build_test_set();
+    const auto t2 = std::chrono::steady_clock::now();
+    pooled.run();
+    const auto t3 = std::chrono::steady_clock::now();
+    parallel_ms = elapsed_ms(t2, t3);
+    pooled_dump = records_dump(pooled.results());
+    pooled_caches = CacheStats::of(pooled);
+  }
 
   // Leg 3 — robustness: the same matrix, sequential, with Vfs fault
   // injection at every site. Every pair must come back attributed (clean,
   // io, or parse), and the clean pairs must be bit-identical to the
   // fault-free baseline — faulted computations never enter the caches.
-  ExperimentOptions fault_options;
-  fault_options.jobs = 1;
-  fault_options.use_caches = true;
-  fault_options.vfs_fault_rate = fault_rate;
-  Experiment faulted(fault_options);
-  faulted.build_test_set();
-  const auto t4 = std::chrono::steady_clock::now();
-  faulted.run();
-  const auto t5 = std::chrono::steady_clock::now();
-  const double faulted_ms = elapsed_ms(t4, t5);
-
-  const auto pair_key = [](const MigrationResult& r) {
-    return r.binary_name + "|" + r.home_site + "|" + r.target_site;
-  };
-  std::map<std::string, std::string> baseline_by_pair;
-  for (const auto& result : sequential.results()) {
-    baseline_by_pair[pair_key(result)] = to_run_record(result).to_json().dump();
-  }
+  double faulted_ms = 0.0;
+  std::size_t faulted_total = 0;
   std::size_t clean_pairs = 0, io_pairs = 0, parse_pairs = 0;
   std::size_t unknown_attr = 0, clean_mismatches = 0;
-  for (const auto& result : faulted.results()) {
-    if (result.failure_attribution == "io") {
-      ++io_pairs;
-    } else if (result.failure_attribution == "parse") {
-      ++parse_pairs;
-    } else if (!result.failure_attribution.empty()) {
-      ++unknown_attr;
-    } else {
-      ++clean_pairs;
-      const auto it = baseline_by_pair.find(pair_key(result));
-      if (it == baseline_by_pair.end() ||
-          it->second != to_run_record(result).to_json().dump()) {
-        ++clean_mismatches;
+  {
+    ExperimentOptions fault_options;
+    fault_options.jobs = 1;
+    fault_options.use_caches = true;
+    fault_options.vfs_fault_rate = fault_rate;
+    Experiment faulted(fault_options);
+    faulted.build_test_set();
+    const auto t4 = std::chrono::steady_clock::now();
+    faulted.run();
+    const auto t5 = std::chrono::steady_clock::now();
+    faulted_ms = elapsed_ms(t4, t5);
+    faulted_total = faulted.results().size();
+    for (const auto& result : faulted.results()) {
+      if (result.failure_attribution == "io") {
+        ++io_pairs;
+      } else if (result.failure_attribution == "parse") {
+        ++parse_pairs;
+      } else if (!result.failure_attribution.empty()) {
+        ++unknown_attr;
+      } else {
+        ++clean_pairs;
+        const auto it = baseline_by_pair.find(pair_key(result));
+        if (it == baseline_by_pair.end() ||
+            it->second != to_run_record(result).to_json().dump()) {
+          ++clean_mismatches;
+        }
       }
     }
   }
@@ -151,66 +233,162 @@ int main(int argc, char** argv) {
       clean_mismatches == 0 && unknown_attr == 0 &&
       (fault_rate <= 0.0 || io_pairs + parse_pairs > 0);
 
-  const bool identical =
-      records_dump(sequential.results()) == records_dump(pooled.results());
-  const double speedup = parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0;
-  const auto* caches = pooled.caches();
-  const double bdc_rate = rate(caches->bdc.hits(), caches->bdc.misses());
-  const double edc_rate = rate(caches->edc.hits(), caches->edc.misses());
-  const double resolver_rate =
-      rate(caches->resolver.hits(), caches->resolver.misses());
+  // Leg 4 — profiled: the pooled configuration with the span collector
+  // and metric registry live, against a fresh uninstrumented reference.
+  // Two rounds, alternating order so warm-up favours neither side;
+  // best-of-two wall times feed the overhead number. Only run() sits in
+  // the timed window (collection enabled right before it), so the
+  // comparison isolates what observability costs.
+  double ref_ms = 0.0;
+  double profiled_ms = 0.0;
+  double profiled_wall_ms = 0.0;  // wall of the run the metrics belong to
+  std::string profiled_dump;
+  std::vector<obs::SpanRecord> profile_spans;
+  std::map<std::string, obs::HistogramSnapshot> profiled_hists;
+  CacheStats profiled_caches;
+  std::size_t profile_events = 0;
+  const auto run_reference = [&]() {
+    Experiment e(par_options);
+    e.build_test_set();
+    const auto a = std::chrono::steady_clock::now();
+    e.run();
+    const auto b = std::chrono::steady_clock::now();
+    const double ms = elapsed_ms(a, b);
+    ref_ms = ref_ms == 0.0 ? ms : std::min(ref_ms, ms);
+  };
+  const auto run_instrumented = [&]() {
+    Experiment e(par_options);
+    e.build_test_set();
+    obs::metrics().reset_values();
+    obs::collector().clear();
+    obs::collector().set_enabled(true);
+    const auto a = std::chrono::steady_clock::now();
+    e.run();
+    const auto b = std::chrono::steady_clock::now();
+    obs::collector().set_enabled(false);
+    const double ms = elapsed_ms(a, b);
+    profiled_ms = profiled_ms == 0.0 ? ms : std::min(profiled_ms, ms);
+    profiled_wall_ms = ms;
+    profile_spans = obs::collector().spans();
+    profile_events = obs::collector().events().size();
+    profiled_hists = obs::metrics().histogram_snapshots();
+    profiled_dump = records_dump(e.results());
+    profiled_caches = CacheStats::of(e);
+  };
+  run_reference();
+  run_instrumented();
+  run_instrumented();
+  run_reference();
 
-  std::printf("Full matrix: %zu migrations\n", pooled.results().size());
+  const obs::Profile profile = obs::build_profile(profile_spans);
+  const auto hist_of = [&](const char* name) {
+    const auto it = profiled_hists.find(name);
+    return it == profiled_hists.end() ? obs::HistogramSnapshot{} : it->second;
+  };
+
+  // Idle share of the pool: 1 − (worker busy time / worker capacity).
+  // The mean submit→start wait is useless here — a submit-all-upfront
+  // FIFO queue makes every task "wait" for most of the run by design —
+  // so the gated number is how much of jobs × wall the workers spent
+  // NOT running tasks.
+  const obs::HistogramSnapshot task_run = hist_of("pool.task_run_ns");
+  const obs::HistogramSnapshot queue_wait = hist_of("pool.queue_wait_ns");
+  const obs::HistogramSnapshot lease_wait = hist_of("lease.wait_ns");
+  const double capacity_ns = profiled_wall_ms * 1e6 * jobs;
+  const double queue_wait_share =
+      capacity_ns > 0.0
+          ? std::max(0.0, (capacity_ns - static_cast<double>(task_run.sum)) /
+                              capacity_ns)
+          : 0.0;
+  const double profile_overhead =
+      ref_ms > 0.0 ? std::max(0.0, (profiled_ms - ref_ms) / ref_ms) : 0.0;
+  const bool profiled_identical = profiled_dump == pooled_dump;
+  const double p_bdc_rate =
+      rate(profiled_caches.bdc_hits, profiled_caches.bdc_misses);
+  const double p_edc_rate =
+      rate(profiled_caches.edc_hits, profiled_caches.edc_misses);
+  const double p_resolver_rate =
+      rate(profiled_caches.resolver_hits, profiled_caches.resolver_misses);
+
+  const bool identical = sequential_dump == pooled_dump;
+  const double speedup = parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0;
+  const double bdc_rate = rate(pooled_caches.bdc_hits, pooled_caches.bdc_misses);
+  const double edc_rate = rate(pooled_caches.edc_hits, pooled_caches.edc_misses);
+  const double resolver_rate =
+      rate(pooled_caches.resolver_hits, pooled_caches.resolver_misses);
+
+  std::printf("Full matrix: %zu migrations\n", migrations);
   std::printf("  sequential (jobs=1, no caches): %9.1f ms\n", sequential_ms);
   std::printf("  pooled     (jobs=%d, caches):   %9.1f ms\n", jobs,
               parallel_ms);
   std::printf("  speedup: %.2fx\n", speedup);
   std::printf("  BDC cache:    %llu hits / %llu misses (%.0f%% hit rate)\n",
-              static_cast<unsigned long long>(caches->bdc.hits()),
-              static_cast<unsigned long long>(caches->bdc.misses()),
+              static_cast<unsigned long long>(pooled_caches.bdc_hits),
+              static_cast<unsigned long long>(pooled_caches.bdc_misses),
               100.0 * bdc_rate);
   std::printf("  EDC memo:     %llu hits / %llu misses (%.0f%% hit rate)\n",
-              static_cast<unsigned long long>(caches->edc.hits()),
-              static_cast<unsigned long long>(caches->edc.misses()),
+              static_cast<unsigned long long>(pooled_caches.edc_hits),
+              static_cast<unsigned long long>(pooled_caches.edc_misses),
               100.0 * edc_rate);
   std::printf("  resolver:     %llu hits / %llu misses (%.0f%% hit rate)\n",
-              static_cast<unsigned long long>(caches->resolver.hits()),
-              static_cast<unsigned long long>(caches->resolver.misses()),
+              static_cast<unsigned long long>(pooled_caches.resolver_hits),
+              static_cast<unsigned long long>(pooled_caches.resolver_misses),
               100.0 * resolver_rate);
   std::printf("  source phase: %llu hits / %llu misses\n",
-              static_cast<unsigned long long>(pooled.source_phase_hits()),
-              static_cast<unsigned long long>(pooled.source_phase_misses()));
+              static_cast<unsigned long long>(pooled_caches.source_hits),
+              static_cast<unsigned long long>(pooled_caches.source_misses));
   std::printf("  results bit-identical to sequential run: %s\n",
               identical ? "yes" : "NO");
   std::printf("Faulted leg (sequential, %.1f%% Vfs faults): %9.1f ms\n",
               100.0 * fault_rate, faulted_ms);
   std::printf("  pairs: %zu clean / %zu io / %zu parse (of %zu)\n",
-              clean_pairs, io_pairs, parse_pairs, faulted.results().size());
+              clean_pairs, io_pairs, parse_pairs, faulted_total);
   std::printf("  clean pairs identical to baseline: %s (%zu mismatches)\n",
               clean_mismatches == 0 ? "yes" : "NO", clean_mismatches);
+  std::printf("Profiled leg (jobs=%d, collector + metrics on): %9.1f ms vs "
+              "%9.1f ms reference (overhead %.1f%%)\n",
+              jobs, profiled_ms, ref_ms, 100.0 * profile_overhead);
+  std::printf("  spans: %zu, events: %zu; critical path: %.1f ms "
+              "(%.0f%% of wall)\n",
+              profile_spans.size(), profile_events,
+              static_cast<double>(profile.critical_path_ns()) / 1e6,
+              profile.wall_ns > 0
+                  ? 100.0 * static_cast<double>(profile.critical_path_ns()) /
+                        static_cast<double>(profile.wall_ns)
+                  : 0.0);
+  std::printf("  pool: %llu tasks, idle share %.2f, queue wait p99 %.1f ms\n",
+              static_cast<unsigned long long>(task_run.count),
+              queue_wait_share,
+              static_cast<double>(queue_wait.percentile(0.99)) / 1e6);
+  std::printf("  lease waits: %llu acquisitions, mean %.1f us, max %.1f ms\n",
+              static_cast<unsigned long long>(lease_wait.count),
+              lease_wait.mean() / 1e3,
+              static_cast<double>(lease_wait.max) / 1e6);
+  std::printf("  results bit-identical to pooled run: %s\n",
+              profiled_identical ? "yes" : "NO");
 
   std::map<std::string, double> metrics;
   metrics["bench.jobs"] = jobs;
-  metrics["bench.migrations"] = static_cast<double>(pooled.results().size());
+  metrics["bench.migrations"] = static_cast<double>(migrations);
   metrics["bench.sequential_ms"] = sequential_ms;
   metrics["bench.parallel_ms"] = parallel_ms;
   metrics["bench.speedup"] = speedup;
   metrics["bench.identical"] = identical ? 1 : 0;
-  metrics["bench.bdc_hits"] = static_cast<double>(caches->bdc.hits());
-  metrics["bench.bdc_misses"] = static_cast<double>(caches->bdc.misses());
+  metrics["bench.bdc_hits"] = static_cast<double>(pooled_caches.bdc_hits);
+  metrics["bench.bdc_misses"] = static_cast<double>(pooled_caches.bdc_misses);
   metrics["bench.bdc_hit_rate"] = bdc_rate;
-  metrics["bench.edc_hits"] = static_cast<double>(caches->edc.hits());
-  metrics["bench.edc_misses"] = static_cast<double>(caches->edc.misses());
+  metrics["bench.edc_hits"] = static_cast<double>(pooled_caches.edc_hits);
+  metrics["bench.edc_misses"] = static_cast<double>(pooled_caches.edc_misses);
   metrics["bench.edc_hit_rate"] = edc_rate;
   metrics["bench.resolver_hits"] =
-      static_cast<double>(caches->resolver.hits());
+      static_cast<double>(pooled_caches.resolver_hits);
   metrics["bench.resolver_misses"] =
-      static_cast<double>(caches->resolver.misses());
+      static_cast<double>(pooled_caches.resolver_misses);
   metrics["bench.resolver_hit_rate"] = resolver_rate;
   metrics["bench.source_phase_hits"] =
-      static_cast<double>(pooled.source_phase_hits());
+      static_cast<double>(pooled_caches.source_hits);
   metrics["bench.source_phase_misses"] =
-      static_cast<double>(pooled.source_phase_misses());
+      static_cast<double>(pooled_caches.source_misses);
   metrics["bench.fault_rate"] = fault_rate;
   metrics["bench.fault_leg_ms"] = faulted_ms;
   metrics["bench.fault_clean_pairs"] = static_cast<double>(clean_pairs);
@@ -219,6 +397,21 @@ int main(int argc, char** argv) {
   metrics["bench.fault_clean_mismatches"] =
       static_cast<double>(clean_mismatches);
   metrics["bench.fault_ok"] = fault_ok ? 1 : 0;
+  metrics["bench.profiled_ms"] = profiled_ms;
+  metrics["bench.profile_ref_ms"] = ref_ms;
+  metrics["bench.profile_overhead"] = profile_overhead;
+  metrics["bench.profile_spans"] = static_cast<double>(profile_spans.size());
+  metrics["bench.profiled_identical"] = profiled_identical ? 1 : 0;
+  metrics["bench.critical_path_ns"] =
+      static_cast<double>(profile.critical_path_ns());
+  metrics["bench.queue_wait_share"] = queue_wait_share;
+  metrics["bench.pool_tasks"] = static_cast<double>(task_run.count);
+  metrics["bench.lease_waits"] = static_cast<double>(lease_wait.count);
+  metrics["bench.lease_wait_mean_ns"] = lease_wait.mean();
+  metrics["bench.lease_wait_max_ns"] = static_cast<double>(lease_wait.max);
+  metrics["bench.profiled_bdc_hit_rate"] = p_bdc_rate;
+  metrics["bench.profiled_edc_hit_rate"] = p_edc_rate;
+  metrics["bench.profiled_resolver_hit_rate"] = p_resolver_rate;
 
   report::GateResult gate;
   const report::GateResult* gate_ptr = nullptr;
@@ -249,12 +442,26 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!profile_table_out.empty() &&
+      !write_file(profile_table_out, profile.render_table())) {
+    return 1;
+  }
+  if (!folded_out.empty() && !write_file(folded_out, profile.folded_stacks())) {
+    return 1;
+  }
+  if (!svg_out.empty() &&
+      !write_file(svg_out, obs::render_flamegraph_svg(
+                               profile.flame, "parallel matrix, profiled leg"))) {
+    return 1;
+  }
 
   const bool pass = identical && speedup >= 2.0 && bdc_rate > 0.5 &&
-                    fault_ok && (gate_ptr == nullptr || gate.pass);
+                    fault_ok && profiled_identical && profile_overhead < 0.02 &&
+                    (gate_ptr == nullptr || gate.pass);
   std::printf(
       "Acceptance (identical, >=2x, BDC hit rate > 50%%, faulted leg "
-      "attributed + no cache poisoning): %s\n",
+      "attributed + no cache poisoning, profiled leg identical with <2%% "
+      "overhead): %s\n",
       pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

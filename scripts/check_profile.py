@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""End-to-end check of the `feam profile` post-processor.
+
+Produces one Chrome trace (via a parallel `feam survey`) and one run
+record (via `feam target`), then validates the profiling contract:
+
+  * `feam profile` accepts both input formats (trace JSON and
+    feam.run_record/1) and exits 0,
+  * determinism: running it twice on the same input yields byte-identical
+    stdout, folded stacks, and flamegraph SVG,
+  * attribution: the profile table's per-span self times sum to the
+    per-thread busy times (every nanosecond lands in exactly one span's
+    self bucket; only per-row integer-microsecond truncation separates
+    the two sums),
+  * the folded output is flamegraph.pl-shaped (`a;b;c <int>` lines) and
+    the SVG is a self-contained <svg> document,
+  * a file that is neither format fails with a diagnostic.
+
+Usage: check_profile.py /path/to/feam
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run(cmd, ok_codes=(0,)):
+    result = subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, timeout=120)
+    if result.returncode not in ok_codes:
+        sys.stdout.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        sys.exit(f"FAIL: {' '.join(str(c) for c in cmd)} -> "
+                 f"{result.returncode} (wanted {ok_codes})")
+    return result
+
+
+def table_column_sum(stdout, table_marker, column):
+    """Sums an integer column of the profile's ASCII table after the
+    given section marker line."""
+    lines = stdout.splitlines()
+    try:
+        start = next(i for i, l in enumerate(lines)
+                     if l.startswith(table_marker))
+    except StopIteration:
+        sys.exit(f"FAIL: no {table_marker!r} section in profile output:\n"
+                 f"{stdout}")
+    header = None
+    total = 0
+    for line in lines[start:]:
+        if not line.startswith("|"):
+            if header is not None and line.startswith("+"):
+                continue
+            if header is not None and not line.strip():
+                break
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if header is None:
+            header = cells
+            if column not in header:
+                sys.exit(f"FAIL: no {column!r} column in {header}")
+            continue
+        total += int(cells[header.index(column)])
+    return total
+
+
+def profile_once(feam, source, tmp, tag):
+    folded = tmp / f"{tag}.folded"
+    svg = tmp / f"{tag}.svg"
+    result = run([feam, "profile", "--in", source,
+                  "--folded", folded, "--svg", svg])
+    return result.stdout, folded.read_bytes(), svg.read_bytes()
+
+
+def check_one_input(feam, source, tmp, tag):
+    out1, folded1, svg1 = profile_once(feam, source, tmp, f"{tag}_1")
+    out2, folded2, svg2 = profile_once(feam, source, tmp, f"{tag}_2")
+    if out1 != out2 or folded1 != folded2 or svg1 != svg2:
+        sys.exit(f"FAIL: `feam profile --in {source.name}` is not "
+                 f"deterministic across two runs")
+
+    if not out1.startswith("profile: "):
+        sys.exit(f"FAIL: profile output missing summary line:\n{out1}")
+    self_sum = table_column_sum(out1, "profile:", "self us")
+    busy_sum = table_column_sum(out1, "threads:", "busy us")
+    rows = out1.count("|") // 2  # generous per-row truncation allowance
+    if abs(self_sum - busy_sum) > rows:
+        sys.exit(f"FAIL: {tag}: span self-time sum {self_sum}us does not "
+                 f"match thread busy sum {busy_sum}us (tolerance {rows}us)")
+
+    folded_text = folded1.decode()
+    if not folded_text:
+        sys.exit(f"FAIL: {tag}: folded output is empty")
+    for line in folded_text.splitlines():
+        if not re.fullmatch(r"[^;]+(;[^;]+)* \d+", line):
+            sys.exit(f"FAIL: {tag}: bad folded line {line!r}")
+    svg_text = svg1.decode()
+    if not svg_text.startswith("<svg") or not svg_text.rstrip().endswith(
+            "</svg>"):
+        sys.exit(f"FAIL: {tag}: --svg did not produce an <svg> document")
+    print(f"{tag}: deterministic, self {self_sum}us == busy {busy_sum}us "
+          f"(±{rows}us), {len(folded_text.splitlines())} folded stacks")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} /path/to/feam")
+    feam = Path(sys.argv[1])
+    if not feam.exists():
+        sys.exit(f"FAIL: no such binary: {feam}")
+
+    with tempfile.TemporaryDirectory(prefix="feam_profile_") as tmp:
+        tmp = Path(tmp)
+        binary = tmp / "cg.B"
+        bundle = tmp / "cg.B.feambundle"
+        trace = tmp / "survey_trace.json"
+        record = tmp / "target_record.json"
+
+        run([feam, "compile", "--site", "india", "--stack", "openmpi/1.4-gnu",
+             "--program", "cg.B", "--language", "fortran", "-o", binary])
+        run([feam, "source", "--site", "india", "--stack", "openmpi/1.4-gnu",
+             "--binary", binary, "-o", bundle])
+        # A pooled survey exercises the multi-thread paths: spans from
+        # every worker plus the pool queue-wait histograms.
+        run([feam, "survey", "--binary", binary, "--bundle", bundle,
+             "--jobs", "4", "--trace-out", trace])
+        run([feam, "target", "--site", "fir", "--binary", binary,
+             "--bundle", bundle, "--run-record-out", record],
+            ok_codes=(0, 2))
+
+        check_one_input(feam, trace, tmp, "trace")
+        check_one_input(feam, record, tmp, "run_record")
+
+        # Neither format -> a diagnostic naming both accepted ones.
+        bogus = tmp / "bogus.json"
+        bogus.write_text('{"schema": "something.else/1"}')
+        res = run([feam, "profile", "--in", bogus], ok_codes=(1,))
+        if "feam.run_record/1" not in res.stderr or \
+                "--trace-out" not in res.stderr:
+            sys.exit(f"FAIL: format diagnostic unhelpful:\n{res.stderr}")
+
+        print("OK: feam profile is byte-deterministic on both input "
+              "formats, self-time telescopes to thread busy time, and "
+              "rejects unknown formats")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@ CLI with --run-record-out, then:
   * runs `feam report` over the record directory with the checked-in
     baseline as a regression gate (must pass) and validates the readiness
     matrix, the bench record, and the HTML dashboard,
-  * perturbs the baseline and confirms the gate then fails non-zero.
+  * perturbs the baseline and confirms the gate then fails non-zero,
+  * confirms `feam report` on an empty or missing records directory
+    exits non-zero with a diagnostic naming the directory.
 
 Usage: check_report.py /path/to/feam [--write-baseline FILE]
                                      [--keep-bench FILE]
@@ -305,8 +307,25 @@ def main():
         if "GATE FAIL" not in failed.stdout:
             sys.exit(f"FAIL: expected GATE FAIL:\n{failed.stdout}")
 
+        # An empty records directory is an error, not a vacuous success:
+        # the diagnostic must name the directory and the --run-record-out
+        # remedy. A missing directory likewise fails up front.
+        empty_dir = tmp / "no_records_here"
+        empty_dir.mkdir()
+        res = run([feam, "report", "--in", empty_dir], ok_codes=(1,))
+        if "no feam.run_record/1 records" not in res.stderr or \
+                str(empty_dir) not in res.stderr or \
+                "--run-record-out" not in res.stderr:
+            sys.exit(f"FAIL: empty-dir diagnostic unhelpful:\n{res.stderr}")
+        missing_dir = tmp / "never_created"
+        res = run([feam, "report", "--in", missing_dir], ok_codes=(1,))
+        if str(missing_dir) not in res.stderr or \
+                "not a readable records directory" not in res.stderr:
+            sys.exit(f"FAIL: missing-dir diagnostic unhelpful:\n{res.stderr}")
+
         print(f"OK: {n_total} records validated, gate passes on the real "
-              f"baseline, fails (exit 2) on the perturbed one")
+              f"baseline, fails (exit 2) on the perturbed one, empty/"
+              f"missing record dirs fail with clear diagnostics")
 
 
 if __name__ == "__main__":

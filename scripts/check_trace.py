@@ -6,6 +6,9 @@ and --metrics-out, then validates:
   * the trace file is valid Chrome trace_event JSON,
   * it contains the target-phase span and all four determinant spans,
   * the determinant spans nest (by time containment) inside the phase span,
+  * span ids are unique across all thread buffers,
+  * every parent_id link points at an existing same-thread span that
+    time-contains the child (the linkage agrees with the nesting),
   * the metrics file is valid JSON with at least 8 distinct metric names.
 
 Usage: check_trace.py /path/to/feam
@@ -82,13 +85,54 @@ def main():
                         f"FAIL: {name} span [{start}, {end}] not contained "
                         f"in feam.target_phase [{phase_start}, {phase_end}]")
 
+        # Span ids must be unique across thread buffers, and every
+        # parent_id must point at an existing span on the same thread
+        # whose [ts, ts+dur] window contains the child's. ts/dur are
+        # ns/1000.0 — division is monotonic, so containment survives the
+        # unit conversion and needs no epsilon.
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        by_id = {}
+        for event in events:
+            span_id = event.get("args", {}).get("span_id")
+            if span_id is None:
+                sys.exit(f"FAIL: span {event['name']!r} has no args.span_id")
+            if span_id in by_id:
+                sys.exit(f"FAIL: span id {span_id} appears twice "
+                         f"({by_id[span_id]['name']!r} and {event['name']!r})")
+            by_id[span_id] = event
+        linked = 0
+        for event in events:
+            parent_id = event.get("args", {}).get("parent_id")
+            if parent_id is None:
+                continue
+            parent = by_id.get(parent_id)
+            if parent is None:
+                sys.exit(f"FAIL: span {event['name']!r} links to parent id "
+                         f"{parent_id}, which is not in the trace")
+            if parent.get("tid") != event.get("tid"):
+                sys.exit(f"FAIL: span {event['name']!r} (tid {event.get('tid')}) "
+                         f"links to parent {parent['name']!r} on tid "
+                         f"{parent.get('tid')} — explicit parents are "
+                         f"same-thread only")
+            if not (parent["ts"] <= event["ts"] and
+                    event["ts"] + event["dur"] <= parent["ts"] + parent["dur"]):
+                sys.exit(f"FAIL: span {event['name']!r} "
+                         f"[{event['ts']}, {event['ts'] + event['dur']}] is "
+                         f"not time-contained in its linked parent "
+                         f"{parent['name']!r} "
+                         f"[{parent['ts']}, {parent['ts'] + parent['dur']}]")
+            linked += 1
+        if linked == 0:
+            sys.exit("FAIL: no span carries a parent_id link")
+
         metrics = json.loads(metrics_file.read_text())
         names = list(metrics["counters"]) + list(metrics["histograms"])
         if len(names) < 8:
             sys.exit(f"FAIL: expected >= 8 metrics, got {len(names)}: {names}")
 
         print(f"OK: {sum(len(s) for s in spans.values())} spans "
-              f"({len(spans)} distinct), {len(DETERMINANT_SPANS)} determinant "
+              f"({len(spans)} distinct, ids unique, {linked} parent links "
+              f"consistent with nesting), {len(DETERMINANT_SPANS)} determinant "
               f"spans nested in feam.target_phase, {len(names)} metrics")
 
 

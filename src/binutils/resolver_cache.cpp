@@ -83,6 +83,7 @@ std::optional<support::Result<std::string>> ResolverCache::ldd_text(
       it->second.env_generation == host.env.generation()) {
     ++hits_;
     obs::counter("resolver.ldd_hits").add();
+    obs::counter("resolver.ldd_bytes_saved").add(it->second.payload.size());
     if (it->second.ok) return support::Result<std::string>(it->second.payload);
     return support::Result<std::string>::failure(it->second.payload);
   }
@@ -114,6 +115,7 @@ const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
     if (it != parsed_.end()) {
       ++hits_;
       obs::counter("resolver.parse_hits").add();
+      obs::counter("resolver.parse_bytes_saved").add(data.size());
       return it->second ? &*it->second : nullptr;
     }
   }

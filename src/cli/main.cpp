@@ -11,6 +11,7 @@
 //        --script /tmp/run_cg.sh
 //   (each command is one line; wrapped here for width)
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "feam/survey.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "report/aggregate.hpp"
 #include "report/gate.hpp"
@@ -472,6 +474,13 @@ int survey(const Options& opts, report::RunContext& ctx) {
 int report_command(const Options& opts) {
   namespace fs = std::filesystem;
   std::error_code ec;
+  if (!fs::is_directory(opts.report_in, ec)) {
+    std::fprintf(stderr,
+                 "feam: %s is not a readable records directory%s%s\n",
+                 opts.report_in.c_str(), ec ? ": " : "",
+                 ec ? ec.message().c_str() : "");
+    return 1;
+  }
   std::vector<fs::path> paths;
   for (const auto& entry : fs::directory_iterator(opts.report_in, ec)) {
     if (entry.is_regular_file()) paths.push_back(entry.path());
@@ -517,8 +526,13 @@ int report_command(const Options& opts) {
     records.push_back(std::move(*record));
   }
   if (records.empty()) {
-    std::fprintf(stderr, "feam: no run records under %s\n",
-                 opts.report_in.c_str());
+    std::fprintf(stderr,
+                 "feam: no %s records under %s (%zu files seen, %zu "
+                 "non-record JSON skipped); write records with "
+                 "--run-record-out FILE.json, then point --in at that "
+                 "directory\n",
+                 std::string(report::kRunRecordSchema).c_str(),
+                 opts.report_in.c_str(), paths.size(), skipped);
     return 1;
   }
 
@@ -581,6 +595,91 @@ int report_command(const Options& opts) {
   return 0;
 }
 
+// `feam profile`: deterministic post-processing of one trace or run-record
+// file into self/total time per span name, per-thread utilization, the
+// critical path, and flamegraph output. Same input -> byte-identical output.
+int profile_command(const Options& opts) {
+  const auto bytes = read_host_file(opts.profile_in);
+  if (!bytes) {
+    std::fprintf(stderr, "feam: cannot read %s\n", opts.profile_in.c_str());
+    return 1;
+  }
+  const auto parsed =
+      support::Json::parse(std::string(bytes->begin(), bytes->end()));
+  if (!parsed) {
+    std::fprintf(stderr, "feam: %s is not valid JSON\n",
+                 opts.profile_in.c_str());
+    return 1;
+  }
+
+  std::vector<obs::ProfileSpan> spans;
+  if (parsed->get_string("schema") == report::kRunRecordSchema) {
+    const auto record = report::RunRecord::from_json(*parsed);
+    if (!record) {
+      std::fprintf(stderr, "feam: %s: malformed run record\n",
+                   opts.profile_in.c_str());
+      return 1;
+    }
+    spans = report::to_profile_spans(*record);
+  } else if ((*parsed)["traceEvents"].is_array()) {
+    // --trace-out Chrome trace: complete spans are ph="X" with microsecond
+    // ts/dur doubles; span ids travel in args (see obs/export.cpp).
+    for (const auto& event : (*parsed)["traceEvents"].as_array()) {
+      if (!event.is_object() || event.get_string("ph") != "X") continue;
+      if (!event["ts"].is_number() || !event["dur"].is_number()) continue;
+      obs::ProfileSpan span;
+      span.name = event.get_string("name");
+      span.start_ns = static_cast<std::uint64_t>(
+          std::llround(event["ts"].as_number() * 1000.0));
+      span.end_ns = span.start_ns + static_cast<std::uint64_t>(
+          std::llround(event["dur"].as_number() * 1000.0));
+      span.tid = static_cast<int>(event.get_int("tid"));
+      const auto& args = event["args"];
+      span.id = static_cast<std::uint64_t>(args.get_int("span_id"));
+      span.parent_id = static_cast<std::uint64_t>(args.get_int("parent_id"));
+      if (span.name.empty() || span.id == 0) continue;
+      spans.push_back(std::move(span));
+    }
+  } else {
+    std::fprintf(stderr,
+                 "feam: %s is neither a %s file nor a Chrome trace "
+                 "(expected --run-record-out or --trace-out output)\n",
+                 opts.profile_in.c_str(),
+                 std::string(report::kRunRecordSchema).c_str());
+    return 1;
+  }
+  if (spans.empty()) {
+    std::fprintf(stderr, "feam: %s contains no spans to profile\n",
+                 opts.profile_in.c_str());
+    return 1;
+  }
+
+  const obs::Profile profile = obs::build_profile(std::move(spans));
+  std::printf("%s", profile.render_table().c_str());
+
+  if (!opts.folded_out.empty()) {
+    if (!write_host_file(opts.folded_out, profile.folded_stacks())) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.folded_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "feam: folded stacks written to %s\n",
+                 opts.folded_out.c_str());
+  }
+  if (!opts.svg_out.empty()) {
+    const std::string title =
+        "feam profile — " +
+        std::filesystem::path(opts.profile_in).filename().string();
+    if (!write_host_file(opts.svg_out,
+                         obs::render_flamegraph_svg(profile.flame, title))) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.svg_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "feam: flamegraph written to %s\n",
+                 opts.svg_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace feam::cli
 
@@ -629,6 +728,10 @@ int main(int argc, char** argv) {
       case Command::kReport:
         ctx.command = "report";
         rc = report_command(*opts);
+        break;
+      case Command::kProfile:
+        ctx.command = "profile";
+        rc = profile_command(*opts);
         break;
     }
   } catch (const std::exception& e) {

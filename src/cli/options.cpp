@@ -44,6 +44,16 @@ usage:
       per-metric tolerances in FILE and the command exits 2 on regression;
       --bench-out records the measured metrics and gate outcome.
 
+  feam profile --in FILE [--folded FILE] [--svg FILE]
+      Post-process one trace (--trace-out Chrome JSON) or run record
+      (--run-record-out JSON) into a deterministic profile: self vs. total
+      time per span name, per-thread utilization, and the critical path
+      through a parallel run (longest chain of time-contained spans across
+      workers). Prints the profile table; --folded writes collapsed-stack
+      flamegraph text (flamegraph.pl compatible), --svg a self-contained
+      flamegraph. The same input file always produces byte-identical
+      output.
+
   Every command taking --site also accepts --site-file SPEC.json: a
   user-defined site description (see toolchain/site_spec.hpp for the
   schema), built and provisioned on the fly.
@@ -86,6 +96,8 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     opts.command = Command::kExec;
   } else if (command == "report") {
     opts.command = Command::kReport;
+  } else if (command == "profile") {
+    opts.command = Command::kProfile;
   } else if (command == "--help" || command == "-h" || command == "help") {
     opts.command = Command::kHelp;
     return opts;
@@ -128,7 +140,13 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     else if (flag == "--metrics-out") opts.metrics_out = *v;
     else if (flag == "--events-out") opts.events_out = *v;
     else if (flag == "--run-record-out") opts.run_record_out = *v;
-    else if (flag == "--in") opts.report_in = *v;
+    else if (flag == "--in") {
+      // Shared by `report` (records directory) and `profile` (one file).
+      opts.report_in = *v;
+      opts.profile_in = *v;
+    }
+    else if (flag == "--folded") opts.folded_out = *v;
+    else if (flag == "--svg") opts.svg_out = *v;
     else if (flag == "--html") opts.html_out = *v;
     else if (flag == "--baseline") opts.baseline = *v;
     else if (flag == "--bench-out") opts.bench_out = *v;
@@ -205,6 +223,9 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       ok = require(!opts.report_in.empty(), "report: --in is required") &&
            require(!opts.gate || !opts.baseline.empty(),
                    "report: --gate requires --baseline");
+      break;
+    case Command::kProfile:
+      ok = require(!opts.profile_in.empty(), "profile: --in is required");
       break;
     case Command::kListSites:
     case Command::kHelp:

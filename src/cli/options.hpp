@@ -18,7 +18,8 @@
 namespace feam::cli {
 
 enum class Command {
-  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kReport, kHelp
+  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kReport, kProfile,
+  kHelp
 };
 
 struct Options {
@@ -49,6 +50,10 @@ struct Options {
   int pr_number = 0;        // --pr N, recorded in the bench output
   // `feam survey`: worker threads assessing sites concurrently.
   int jobs = 1;
+  // `feam profile` (post-processing one trace/run-record file):
+  std::string profile_in;   // --trace-out or --run-record-out file to ingest
+  std::string folded_out;   // collapsed-stack flamegraph text output path
+  std::string svg_out;      // self-contained flamegraph SVG output path
 };
 
 // Parses argv (excluding argv[0]); on error returns nullopt and fills

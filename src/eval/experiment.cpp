@@ -6,6 +6,8 @@
 
 #include "feam/bdc.hpp"
 #include "feam/identify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "site/lease.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -165,6 +167,7 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->value) {
     source_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("source_phase.memo_hits").add();
     return *entry->value;
   }
   const auto* injector = home.vfs.fault_injector();
@@ -179,6 +182,7 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
     return *local;
   }
   source_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::counter("source_phase.memo_misses").add();
   entry->value.emplace(std::move(fresh));
   return *entry->value;
 }
@@ -186,6 +190,10 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
 std::optional<MigrationResult> Experiment::migrate_one(
     const TestBinary& binary, Site& target) {
   Site& home = site(binary.home_site);
+  obs::Span span("eval.migrate",
+                 {{"binary", binary.workload.program.name},
+                  {"home", binary.home_site},
+                  {"target", target.name}});
 
   MigrationResult result;
   result.binary_name = binary.workload.program.name + "." + binary.stack.slug();
@@ -368,6 +376,8 @@ void Experiment::run() {
   results_.clear();
   skipped_no_impl_ = 0;
   mpi_matching_correct_ = true;
+  obs::Span span("eval.run_matrix",
+                 {{"jobs", std::to_string(options_.jobs)}});
 
   // Fault injection is live only inside run(): the test-set build and any
   // inter-run inspection always see healthy sites.
@@ -423,7 +433,7 @@ void Experiment::run() {
       }
     }
 
-    support::ThreadPool pool(options_.jobs);
+    support::ThreadPool pool(options_.jobs, obs::pool_task_recorder());
     for (const std::size_t i : order) {
       pool.submit([this, &jobs, &slots, i] {
         slots[i] = migrate_one(*jobs[i].binary, *jobs[i].target);

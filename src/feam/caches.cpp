@@ -90,6 +90,7 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
     if (stamped != by_file_.end() && stamped->second.version == version) {
       ++hits_;
       obs::counter("bdc.cache_hits").add();
+      obs::counter("bdc.cache_bytes_saved").add(bytes->size());
       return stamped->second.description;
     }
   }
@@ -102,6 +103,7 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
         if (entry.bytes == *bytes) {
           ++hits_;
           obs::counter("bdc.cache_hits").add();
+          obs::counter("bdc.cache_bytes_saved").add(bytes->size());
           BinaryDescription d = entry.description;
           d.path = std::string(path);
           by_file_[std::make_pair(s.lease_id(), std::string(path))] =

@@ -118,7 +118,7 @@ SurveyReport survey_sites(std::span<site::Site* const> sites,
   // order, so every job count produces the same ranking.
   std::vector<SurveyEntry> entries(sites.size());
   if (options.jobs > 1 && sites.size() > 1) {
-    support::ThreadPool pool(options.jobs);
+    support::ThreadPool pool(options.jobs, obs::pool_task_recorder());
     for (std::size_t i = 0; i < sites.size(); ++i) {
       pool.submit([&, i] {
         site::Site& s = *sites[i];

@@ -15,6 +15,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -138,6 +139,13 @@ class Registry {
 Registry& metrics();
 Counter& counter(std::string_view name);
 Histogram& histogram(std::string_view name);
+
+// Ready-made support::ThreadPool::TaskObserver: records each task's
+// submit→start queue wait into "pool.queue_wait_ns" and its run time into
+// "pool.task_run_ns". Injected by pool owners because support (where the
+// pool lives) cannot link obs.
+std::function<void(std::uint64_t queue_wait_ns, std::uint64_t run_ns)>
+pool_task_recorder();
 
 // RAII: records obs::now_ns() elapsed between construction and destruction
 // into a histogram. The standard way to time a scope on the span clock.

@@ -1,0 +1,139 @@
+// Deterministic post-processing of a finished span tree into a profile:
+// where did the time go, per span name, per thread, and along the critical
+// path of a parallel run.
+//
+// No sampling and no new clock — the input is the SpanRecord tree the
+// collector already holds (or a trace/run-record file re-read from disk),
+// so the same trace always produces the byte-identical profile.
+//
+// Three attribution views are computed in one pass:
+//
+//   * self vs. total time per span name — self is a span's duration minus
+//     the durations of its direct (same-thread) children, clamped at 0
+//     when the clock quantum makes children sum past their parent. Per
+//     thread, self times partition the thread's busy time exactly: the sum
+//     of self times on a thread equals the sum of its root-span durations.
+//   * per-thread utilization — busy (root-span durations) over the whole
+//     trace's wall extent, the "were the workers actually working" view.
+//   * the critical path — worker-root spans are first adopted by the
+//     innermost span on another thread that time-contains them (the
+//     parallel engine's tasks run under the matrix span of the submitting
+//     thread), then the path descends from the trace root always into the
+//     effective child that *finished last* — the span the barrier was
+//     waiting on. The leaf names the work the run is bound by.
+//
+// The flame tree aggregates self time by stack-of-names over the same
+// effective (adopted) tree; folded_stacks() emits the standard collapsed-
+// stack text ("a;b;c <self_us>") and render_flamegraph_svg() a
+// self-contained SVG. Widths are aggregate thread-time, not wall time —
+// on a 4-worker run the children of the matrix root sum to ~4x the wall.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace feam::obs {
+
+// One finished span, decoupled from the collector's record so profiles can
+// be rebuilt from serialized traces and run records.
+struct ProfileSpan {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 when the span is a thread root
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  int tid = 0;
+  std::uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+// Aggregated timing for one span name.
+struct ProfileNameStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // sum of durations
+  std::uint64_t self_ns = 0;   // sum of durations minus direct children
+  std::uint64_t min_ns = 0;    // min/max single-span duration
+  std::uint64_t max_ns = 0;
+};
+
+struct ProfileThread {
+  int tid = 0;
+  std::uint64_t spans = 0;
+  // Sum of root-span durations on this thread — the time the thread was
+  // inside any instrumented region.
+  std::uint64_t busy_ns = 0;
+  // Sum of self times on this thread; equals busy_ns by construction
+  // (children partition their parents), kept separate so consumers can
+  // assert the invariant on deserialized data.
+  std::uint64_t self_ns = 0;
+  // Last end minus first start on this thread.
+  std::uint64_t extent_ns = 0;
+};
+
+struct CriticalPathStep {
+  std::string name;
+  int tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+// Self-time aggregated by stack-of-names over the effective span tree.
+// Children are sorted by name; total_ns = self_ns + sum(children totals).
+struct FlameNode {
+  std::string name;
+  std::uint64_t self_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<FlameNode> children;
+};
+
+struct Profile {
+  std::uint64_t wall_ns = 0;    // max end - min start over every span
+  std::uint64_t span_count = 0;
+  std::vector<ProfileNameStat> by_name;  // self_ns desc, then name asc
+  std::vector<ProfileThread> threads;    // tid asc
+  std::vector<CriticalPathStep> critical_path;  // root first
+  FlameNode flame;  // synthetic root named "all"
+
+  bool empty() const { return span_count == 0; }
+  std::uint64_t critical_path_ns() const {
+    return critical_path.empty() ? 0 : critical_path.front().duration_ns;
+  }
+
+  // Accumulates `other`: name stats and flame trees merge, threads merge
+  // by tid, wall extents add (records never share a clock), and the longer
+  // critical path wins. The merged view backs fleet-level aggregation.
+  void merge(const Profile& other);
+
+  // Fixed-width tables: summary line, self/total per name, thread
+  // utilization, and the critical path. Byte-deterministic.
+  std::string render_table() const;
+
+  // Collapsed-stack flamegraph text: "root;child;leaf <self_us>" per
+  // flame node with nonzero self time, sorted lexicographically.
+  std::string folded_stacks() const;
+
+  // {"wall_ns":..,"span_count":..,"by_name":[..],"threads":[..],
+  //  "critical_path":[..]} — the additive run-record section. The flame
+  // tree is not serialized; it is rebuilt from the record's spans.
+  support::Json to_json() const;
+  static std::optional<Profile> from_json(const support::Json& j);
+};
+
+// Builds the profile. Spans may arrive in any order; ordering, adoption,
+// and tie-breaks are deterministic functions of the span data alone.
+Profile build_profile(std::vector<ProfileSpan> spans);
+Profile build_profile(const std::vector<SpanRecord>& spans);
+
+// Self-contained SVG flamegraph of a flame tree (no scripts, no external
+// fetches; hover shows name + time via <title>). Deterministic.
+std::string render_flamegraph_svg(const FlameNode& root,
+                                  std::string_view title);
+
+}  // namespace feam::obs

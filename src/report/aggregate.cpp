@@ -35,6 +35,10 @@ Aggregate aggregate_records(std::vector<RunRecord> records) {
     for (const auto& [name, snapshot] : record.histograms) {
       out.histograms[name].merge(snapshot);
     }
+    if (!record.spans.empty()) {
+      out.profile.merge(obs::build_profile(to_profile_spans(record)));
+      ++out.profiled_records;
+    }
     if (!record.has_prediction) continue;
     ++out.prediction_runs;
     if (record.ready) ++out.ready_runs;
@@ -105,6 +109,11 @@ std::map<std::string, double> flatten_metrics(const Aggregate& aggregate) {
     out[prefix + "p99"] = static_cast<double>(h.percentile(0.99));
     out[prefix + "max"] = static_cast<double>(h.max);
   }
+  out["profile.records"] = static_cast<double>(aggregate.profiled_records);
+  out["profile.spans"] = static_cast<double>(aggregate.profile.span_count);
+  out["profile.wall_ns"] = static_cast<double>(aggregate.profile.wall_ns);
+  out["profile.critical_path_ns"] =
+      static_cast<double>(aggregate.profile.critical_path_ns());
   out["events.total"] = static_cast<double>(aggregate.events.total);
   out["events.malformed"] =
       static_cast<double>(aggregate.events.malformed_lines);
@@ -202,6 +211,12 @@ std::string render_report_text(const Aggregate& aggregate) {
   }
   out += "\n" + render_latency_table(aggregate);
   out += "\n" + render_counter_table(aggregate);
+  if (aggregate.profiled_records > 0) {
+    out += "\nProfile (" + std::to_string(aggregate.profiled_records) +
+           " records with spans; wall is summed across records, the "
+           "critical path is the longest single record's):\n";
+    out += aggregate.profile.render_table();
+  }
   return out;
 }
 

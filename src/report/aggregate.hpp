@@ -49,6 +49,12 @@ struct Aggregate {
   std::map<std::string, std::uint64_t> counters;               // summed
   std::map<std::string, obs::HistogramSnapshot> histograms;    // merged
 
+  // Merged self-time/critical-path profile over every record that carries
+  // spans (rebuilt per record with obs::build_profile so the flame tree is
+  // available, then merged — see obs::Profile::merge for the semantics).
+  obs::Profile profile;
+  std::size_t profiled_records = 0;
+
   EventRollup events;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/profile.hpp"
 #include "support/strings.hpp"
 
 namespace feam::report {
@@ -190,6 +191,58 @@ void append_latency_bars(std::string& out, const Aggregate& aggregate) {
     out += "</div>\n";
   }
   out += "</div></section>\n";
+}
+
+// Flamegraph + self-time panel fed by the merged profile. The SVG comes
+// from obs::render_flamegraph_svg — already self-contained and escaped, so
+// it embeds verbatim (no scripts, hover via <title>).
+void append_profile(std::string& out, const Aggregate& aggregate) {
+  if (aggregate.profiled_records == 0) return;
+  const obs::Profile& profile = aggregate.profile;
+  out += "<section><h2>Profile &amp; contention</h2>\n";
+  out += "<p class=\"note\">Merged over " +
+         std::to_string(aggregate.profiled_records) +
+         " records with spans. Flame widths are aggregate thread-time "
+         "(self time by stack of span names), not wall time; hover a frame "
+         "for totals.</p>\n";
+  out += "<div class=\"flame\">";
+  // Inline SVG in HTML5 needs no namespace; dropping it keeps the
+  // dashboard free of URLs entirely (standalone --svg files keep it so
+  // browsers render them as image/svg+xml).
+  std::string svg = obs::render_flamegraph_svg(profile.flame, "all records");
+  const std::string xmlns = " xmlns=\"http://www.w3.org/2000/svg\"";
+  if (const auto at = svg.find(xmlns); at != std::string::npos) {
+    svg.erase(at, xmlns.size());
+  }
+  out += svg;
+  out += "</div>\n";
+
+  out += "<table class=\"counters\"><thead><tr><th>Span</th>"
+         "<th class=\"num\">Count</th><th class=\"num\">Self</th>"
+         "<th class=\"num\">Total</th></tr></thead><tbody>\n";
+  std::size_t shown = 0;
+  for (const auto& stat : profile.by_name) {
+    if (++shown > 12) break;
+    out += "<tr><td>" + html_escape(stat.name) + "</td><td class=\"num\">" +
+           std::to_string(stat.count) + "</td><td class=\"num\">" +
+           format_ns(static_cast<double>(stat.self_ns)) +
+           "</td><td class=\"num\">" +
+           format_ns(static_cast<double>(stat.total_ns)) + "</td></tr>\n";
+  }
+  out += "</tbody></table>\n";
+
+  if (!profile.critical_path.empty()) {
+    out += "<p class=\"note\">Critical path (longest record): ";
+    bool first = true;
+    for (const auto& step : profile.critical_path) {
+      if (!first) out += " &rarr; ";
+      first = false;
+      out += html_escape(step.name) + " (" +
+             format_ns(static_cast<double>(step.duration_ns)) + ")";
+    }
+    out += "</p>\n";
+  }
+  out += "</section>\n";
 }
 
 void append_counters(std::string& out, const Aggregate& aggregate) {
@@ -395,6 +448,8 @@ select {
   white-space: nowrap;
   font-variant-numeric: tabular-nums;
 }
+.flame { overflow-x: auto; margin: 0 0 12px; }
+.flame svg { display: block; border: 1px solid var(--gridline); border-radius: 6px; }
 footer { color: var(--text-muted); font-size: 12px; margin-top: 20px; }
 )css";
 
@@ -517,6 +572,7 @@ std::string render_html_dashboard(const Aggregate& aggregate) {
 
   append_matrix(out, aggregate);
   append_latency_bars(out, aggregate);
+  append_profile(out, aggregate);
 
   out += "<section><h2>Span waterfall</h2>\n";
   out += "<p class=\"note\">One run's span tree over its own time extent; "

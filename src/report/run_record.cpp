@@ -79,9 +79,12 @@ support::Json RunRecord::to_json() const {
     s.set("name", span.name);
     s.set("start_ns", span.start_ns);
     s.set("dur_ns", span.duration_ns);
+    s.set("tid", span.tid);
     span_array.push_back(std::move(s));
   }
   out.set("spans", Json(std::move(span_array)));
+
+  if (profile) out.set("profile", profile->to_json());
 
   Json counter_obj{Json::Object{}};
   for (const auto& [name, value] : counters) counter_obj.set(name, value);
@@ -135,9 +138,15 @@ std::optional<RunRecord> RunRecord::from_json(const support::Json& j) {
       span.name = s.get_string("name");
       span.start_ns = static_cast<std::uint64_t>(s.get_int("start_ns"));
       span.duration_ns = static_cast<std::uint64_t>(s.get_int("dur_ns"));
+      span.tid = static_cast<int>(s.get_int("tid"));
       if (span.name.empty()) return std::nullopt;
       r.spans.push_back(std::move(span));
     }
+  }
+  if (j["profile"].is_object()) {
+    auto profile = obs::Profile::from_json(j["profile"]);
+    if (!profile) return std::nullopt;
+    r.profile = std::move(*profile);
   }
   if (j["counters"].is_object()) {
     for (const auto& [name, value] : j["counters"].as_object()) {
@@ -193,6 +202,23 @@ std::vector<std::string> RunRecord::validate() const {
       issues.push_back("histogram '" + name + "' has min > max");
     }
   }
+  if (profile) {
+    if (profile->span_count != spans.size()) {
+      issues.push_back("profile covers " +
+                       std::to_string(profile->span_count) +
+                       " spans but the record has " +
+                       std::to_string(spans.size()));
+    }
+    // Self times partition each thread's busy time (see obs/profile.hpp).
+    for (const auto& thread : profile->threads) {
+      if (thread.self_ns != thread.busy_ns) {
+        issues.push_back("profile thread " + std::to_string(thread.tid) +
+                         " self " + std::to_string(thread.self_ns) +
+                         "ns != busy " + std::to_string(thread.busy_ns) +
+                         "ns");
+      }
+    }
+  }
   return issues;
 }
 
@@ -223,15 +249,26 @@ RunRecord assemble_run_record(const RunContext& context,
   r.spans.reserve(spans.size());
   for (const auto& span : spans) {
     r.spans.push_back({span.id, span.parent_id, span.name, span.start_ns,
-                       span.duration_ns()});
+                       span.duration_ns(), span.tid});
   }
   std::sort(r.spans.begin(), r.spans.end(),
             [](const SpanSummary& a, const SpanSummary& b) {
               return a.start_ns < b.start_ns;
             });
+  if (!spans.empty()) r.profile = obs::build_profile(spans);
   r.counters = registry.counter_values();
   r.histograms = registry.histogram_snapshots();
   return r;
+}
+
+std::vector<obs::ProfileSpan> to_profile_spans(const RunRecord& record) {
+  std::vector<obs::ProfileSpan> spans;
+  spans.reserve(record.spans.size());
+  for (const auto& span : record.spans) {
+    spans.push_back({span.id, span.parent_id, span.name, span.start_ns,
+                     span.start_ns + span.duration_ns, span.tid});
+  }
+  return spans;
 }
 
 }  // namespace feam::report

@@ -16,6 +16,7 @@
 
 #include "feam/tec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "support/json.hpp"
 
@@ -42,6 +43,7 @@ struct SpanSummary {
   std::string name;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
+  int tid = 0;  // small per-process thread ordinal (additive in schema /1)
 };
 
 struct RunRecord {
@@ -64,6 +66,11 @@ struct RunRecord {
   std::vector<SpanSummary> spans;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, obs::HistogramSnapshot> histograms;
+
+  // Self-time / critical-path profile of `spans`, added to schema /1
+  // additively (absent in records written by older builds). The flame tree
+  // is not serialized; rebuild it from the spans when needed.
+  std::optional<obs::Profile> profile;
 
   // The blocking determinant's key for a not-ready prediction ("" when
   // ready, "?" when nothing was evaluated incompatible).
@@ -97,5 +104,9 @@ struct RunContext {
 RunRecord assemble_run_record(const RunContext& context,
                               const std::vector<obs::SpanRecord>& spans,
                               const obs::Registry& registry, int exit_code);
+
+// The record's span tree as profiling input (for rebuilding the profile
+// or its flame tree from a deserialized record).
+std::vector<obs::ProfileSpan> to_profile_spans(const RunRecord& record);
 
 }  // namespace feam::report

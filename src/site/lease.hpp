@@ -8,24 +8,53 @@
 // through SitePairLease, which always acquires the lower lease_id first.
 // Since every multi-lock follows the same global order, no cycle can form
 // (documented in ARCHITECTURE.md, "Concurrency model").
+//
+// Contention visibility: every acquisition records its wait into the
+// "lease.wait_ns" histogram plus a per-site "lease.wait_ns.<site>" one
+// (nanoseconds on the obs clock; the obs layer's metric names carry _ns
+// units throughout). An uncontended try_lock records 0 without reading the
+// clock twice, so the lease fast path stays one atomic heavier at most.
 #pragma once
 
 #include <mutex>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "site/site.hpp"
 
 namespace feam::site {
 
+namespace detail {
+
+// Locks `mutex`, timing any blocking wait, and charges the wait to the
+// global and per-site lease histograms.
+inline std::unique_lock<std::mutex> acquire_lease(Site& site,
+                                                  std::mutex& mutex) {
+  std::unique_lock<std::mutex> lock(mutex, std::try_to_lock);
+  std::uint64_t waited_ns = 0;
+  if (!lock.owns_lock()) {
+    const std::uint64_t start = obs::now_ns();
+    lock.lock();
+    waited_ns = obs::now_ns() - start;
+  }
+  obs::histogram("lease.wait_ns").record(waited_ns);
+  obs::histogram(std::string("lease.wait_ns.") + site.name).record(waited_ns);
+  return lock;
+}
+
+}  // namespace detail
+
 // RAII lease on a single site.
 class SiteLease {
  public:
-  explicit SiteLease(Site& site) : lock_(site.lease_mutex()) {}
+  explicit SiteLease(Site& site)
+      : lock_(detail::acquire_lease(site, site.lease_mutex())) {}
 
   SiteLease(const SiteLease&) = delete;
   SiteLease& operator=(const SiteLease&) = delete;
 
  private:
-  std::lock_guard<std::mutex> lock_;
+  std::unique_lock<std::mutex> lock_;
 };
 
 // RAII lease on two distinct sites, acquired in lease_id order (lower id
@@ -35,17 +64,19 @@ class SiteLease {
 class SitePairLease {
  public:
   SitePairLease(Site& a, Site& b)
-      : first_(a.lease_id() < b.lease_id() ? a.lease_mutex()
-                                           : b.lease_mutex()),
-        second_(a.lease_id() < b.lease_id() ? b.lease_mutex()
-                                            : a.lease_mutex()) {}
+      : first_(a.lease_id() < b.lease_id()
+                   ? detail::acquire_lease(a, a.lease_mutex())
+                   : detail::acquire_lease(b, b.lease_mutex())),
+        second_(a.lease_id() < b.lease_id()
+                    ? detail::acquire_lease(b, b.lease_mutex())
+                    : detail::acquire_lease(a, a.lease_mutex())) {}
 
   SitePairLease(const SitePairLease&) = delete;
   SitePairLease& operator=(const SitePairLease&) = delete;
 
  private:
-  std::lock_guard<std::mutex> first_;
-  std::lock_guard<std::mutex> second_;
+  std::unique_lock<std::mutex> first_;
+  std::unique_lock<std::mutex> second_;
 };
 
 }  // namespace feam::site

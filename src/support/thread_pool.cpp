@@ -4,7 +4,20 @@
 
 namespace feam::support {
 
-ThreadPool::ThreadPool(int threads) {
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  if (end <= start) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads, TaskObserver observer)
+    : observer_(std::move(observer)) {
   const int n = threads < 1 ? 1 : threads;
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -25,7 +38,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
   }
   work_available_.notify_one();
 }
@@ -42,7 +55,8 @@ void ThreadPool::wait() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    std::chrono::steady_clock::time_point started;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
@@ -51,9 +65,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      started = std::chrono::steady_clock::now();
     }
     try {
-      task();
+      task.run();
+      if (observer_) {
+        const auto finished = std::chrono::steady_clock::now();
+        observer_(elapsed_ns(task.submitted, started),
+                  elapsed_ns(started, finished));
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();

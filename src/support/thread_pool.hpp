@@ -11,10 +11,18 @@
 // The pool is intentionally minimal: no futures, no work stealing, no
 // priorities. Determinism in the migration engine comes from pre-assigned
 // result slots and the site-lease discipline, not from task ordering.
+//
+// Contention visibility: an optional TaskObserver receives, per finished
+// task, its submit→start queue wait and its run time (both in ns, timed on
+// std::chrono::steady_clock). support cannot depend on the obs layer — obs
+// links support — so the observer is injected by callers; the obs layer
+// provides a ready-made recorder that feeds its histogram registry.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -26,8 +34,14 @@ namespace feam::support {
 
 class ThreadPool {
  public:
+  // Called after each task finishes (from the worker thread, outside the
+  // pool lock) with the task's queue wait and run time in nanoseconds.
+  // Must be thread-safe; exceptions are treated like task exceptions.
+  using TaskObserver = std::function<void(std::uint64_t queue_wait_ns,
+                                          std::uint64_t run_ns)>;
+
   // Spawns `threads` workers (clamped to at least 1).
-  explicit ThreadPool(int threads);
+  explicit ThreadPool(int threads, TaskObserver observer = nullptr);
 
   // Drains outstanding work (as wait() does, but swallowing any pending
   // task exception), then joins the workers.
@@ -48,10 +62,16 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  struct QueuedTask {
+    std::function<void()> run;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  TaskObserver observer_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::size_t active_ = 0;  // tasks currently executing
   bool stopping_ = false;
   std::exception_ptr first_error_;

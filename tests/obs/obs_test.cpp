@@ -122,6 +122,77 @@ TEST(Histogram, PercentileInterpolatesWithinABucket) {
   EXPECT_LT(h.percentile(0.25), h.percentile(0.9));
 }
 
+TEST(HistogramSnapshot, EmptySnapshotReportsZerosEverywhere) {
+  const HistogramSnapshot s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(s.percentile(p), 0u) << p;
+  }
+}
+
+TEST(HistogramSnapshot, SinglePopulatedBucketClampsToObservedRange) {
+  Histogram h;
+  // All three samples land in the [512, 1023] bucket; every percentile
+  // must stay inside the observed [600, 900], never at the bucket bounds.
+  h.record(600);
+  h.record(700);
+  h.record(900);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 2200u);
+  for (double p : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_GE(s.percentile(p), 600u) << p;
+    EXPECT_LE(s.percentile(p), 900u) << p;
+  }
+  EXPECT_EQ(s.percentile(1.0), 900u);
+}
+
+TEST(HistogramSnapshot, MergeOfDisjointBucketRanges) {
+  Histogram small, large;
+  for (int i = 0; i < 4; ++i) small.record(10);       // bucket [8, 15]
+  for (int i = 0; i < 4; ++i) large.record(1 << 20);  // bucket [2^20, ...]
+  HistogramSnapshot merged = small.snapshot();
+  merged.merge(large.snapshot());
+  EXPECT_EQ(merged.count, 8u);
+  EXPECT_EQ(merged.sum, 4u * 10 + 4u * (1 << 20));
+  EXPECT_EQ(merged.min(), 10u);
+  EXPECT_EQ(merged.max, static_cast<std::uint64_t>(1) << 20);
+  // The low half of the distribution reports from the small-value bucket,
+  // the high half from the large-value bucket — nothing in between.
+  EXPECT_GE(merged.percentile(0.25), 10u);
+  EXPECT_LE(merged.percentile(0.25), 15u);  // within the [8, 15] bucket
+  EXPECT_EQ(merged.percentile(0.75), static_cast<std::uint64_t>(1) << 20);
+  // Merging an empty snapshot changes nothing.
+  const HistogramSnapshot before = merged;
+  merged.merge(HistogramSnapshot{});
+  EXPECT_EQ(merged.count, before.count);
+  EXPECT_EQ(merged.min(), before.min());
+  EXPECT_EQ(merged.max, before.max);
+  EXPECT_EQ(merged.percentile(0.5), before.percentile(0.5));
+}
+
+TEST(HistogramSnapshot, PercentileBoundariesAreMinAndMax) {
+  Histogram h;
+  h.record(100);
+  h.record(5000);
+  h.record(70000);
+  const HistogramSnapshot s = h.snapshot();
+  // p1.0 lands exactly on the observed max; p0.0 interpolates within the
+  // lowest populated bucket, clamped to stay at or above the observed min.
+  EXPECT_EQ(s.percentile(1.0), 70000u);
+  EXPECT_GE(s.percentile(0.0), 100u);
+  EXPECT_LT(s.percentile(0.0), 5000u);
+  // Out-of-range fractions clamp to the p0/p1 answers instead of reading
+  // outside the bucket array.
+  EXPECT_EQ(s.percentile(-0.5), s.percentile(0.0));
+  EXPECT_EQ(s.percentile(1.5), 70000u);
+}
+
 TEST(HistogramSnapshot, MergePreservesTailFidelity) {
   Histogram a, b;
   for (int i = 0; i < 90; ++i) a.record(1000);

@@ -1,0 +1,302 @@
+// Unit tests for the deterministic profiler: self-time attribution,
+// adoption across threads, the critical path, flame/folded output, merge
+// semantics, and the JSON round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "support/json.hpp"
+
+namespace feam::obs {
+namespace {
+
+ProfileSpan span(std::uint64_t id, std::uint64_t parent, std::string name,
+                 std::uint64_t start, std::uint64_t end, int tid = 0) {
+  ProfileSpan s;
+  s.id = id;
+  s.parent_id = parent;
+  s.name = std::move(name);
+  s.start_ns = start;
+  s.end_ns = end;
+  s.tid = tid;
+  return s;
+}
+
+const ProfileNameStat* stat_of(const Profile& p, std::string_view name) {
+  for (const auto& s : p.by_name) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Profile, EmptyInput) {
+  const Profile p = build_profile(std::vector<ProfileSpan>{});
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.wall_ns, 0u);
+  EXPECT_EQ(p.critical_path_ns(), 0u);
+  EXPECT_TRUE(p.by_name.empty());
+  EXPECT_TRUE(p.threads.empty());
+  EXPECT_TRUE(p.critical_path.empty());
+  EXPECT_EQ(p.folded_stacks(), "");
+}
+
+TEST(Profile, SelfTimeSubtractsDirectChildrenOnly) {
+  // root [0, 1000] -> mid [100, 700] -> leaf [200, 400].
+  // Self: root 1000-600=400, mid 600-200=400, leaf 200.
+  const Profile p = build_profile({
+      span(1, 0, "root", 0, 1000),
+      span(2, 1, "mid", 100, 700),
+      span(3, 2, "leaf", 200, 400),
+  });
+  EXPECT_EQ(p.span_count, 3u);
+  EXPECT_EQ(p.wall_ns, 1000u);
+  ASSERT_NE(stat_of(p, "root"), nullptr);
+  EXPECT_EQ(stat_of(p, "root")->self_ns, 400u);
+  EXPECT_EQ(stat_of(p, "root")->total_ns, 1000u);
+  EXPECT_EQ(stat_of(p, "mid")->self_ns, 400u);
+  EXPECT_EQ(stat_of(p, "leaf")->self_ns, 200u);
+  // One thread; self times partition its busy time (= the root duration).
+  ASSERT_EQ(p.threads.size(), 1u);
+  EXPECT_EQ(p.threads[0].busy_ns, 1000u);
+  EXPECT_EQ(p.threads[0].self_ns, 1000u);
+  EXPECT_EQ(p.threads[0].extent_ns, 1000u);
+}
+
+TEST(Profile, SelfTimeClampsWhenChildrenOverrunParent) {
+  // Clock-quantum artifact: children sum past the parent. Self clamps at
+  // 0 instead of wrapping.
+  const Profile p = build_profile({
+      span(1, 0, "parent", 0, 100),
+      span(2, 1, "a", 0, 60),
+      span(3, 1, "b", 40, 100),
+  });
+  EXPECT_EQ(stat_of(p, "parent")->self_ns, 0u);
+}
+
+TEST(Profile, PerThreadSelfEqualsBusyAcrossThreads) {
+  const Profile p = build_profile({
+      span(1, 0, "matrix", 0, 1000, 0),
+      span(2, 0, "task", 100, 400, 1),
+      span(3, 2, "inner", 150, 250, 1),
+      span(4, 0, "task", 500, 900, 1),
+  });
+  ASSERT_EQ(p.threads.size(), 2u);
+  for (const auto& t : p.threads) {
+    EXPECT_EQ(t.self_ns, t.busy_ns) << "tid " << t.tid;
+  }
+  EXPECT_EQ(p.threads[0].tid, 0);
+  EXPECT_EQ(p.threads[0].busy_ns, 1000u);
+  EXPECT_EQ(p.threads[1].tid, 1);
+  EXPECT_EQ(p.threads[1].busy_ns, 700u);   // 300 + 400
+  EXPECT_EQ(p.threads[1].extent_ns, 800u);  // 900 - 100
+}
+
+TEST(Profile, CriticalPathDescendsIntoLastFinishingAdoptedChild) {
+  // matrix on tid 0 contains two worker tasks on other threads; the
+  // second task finishes last and owns the critical path, through its
+  // own slow child.
+  const Profile p = build_profile({
+      span(1, 0, "matrix", 0, 1000, 0),
+      span(2, 0, "task_a", 50, 500, 1),
+      span(3, 0, "task_b", 100, 950, 2),
+      span(4, 3, "slow_leaf", 600, 940, 2),
+  });
+  ASSERT_EQ(p.critical_path.size(), 3u);
+  EXPECT_EQ(p.critical_path[0].name, "matrix");
+  EXPECT_EQ(p.critical_path[1].name, "task_b");
+  EXPECT_EQ(p.critical_path[1].tid, 2);
+  EXPECT_EQ(p.critical_path[2].name, "slow_leaf");
+  EXPECT_EQ(p.critical_path_ns(), 1000u);
+  // Adoption feeds the flame tree too: task self-time stacks under the
+  // matrix, not as separate roots.
+  const std::string folded = p.folded_stacks();
+  EXPECT_NE(folded.find("matrix;task_b;slow_leaf 0"), std::string::npos)
+      << folded;
+  EXPECT_NE(folded.find("matrix;task_a "), std::string::npos) << folded;
+  // ...but does NOT feed busy accounting: tid 1/2 busy comes from their
+  // own roots.
+  ASSERT_EQ(p.threads.size(), 3u);
+  EXPECT_EQ(p.threads[0].busy_ns, 1000u);
+}
+
+TEST(Profile, AdoptionPicksInnermostContainingSpan) {
+  // Both outer and inner (tid 0) time-contain the orphan on tid 1; the
+  // innermost (inner) adopts it.
+  const Profile p = build_profile({
+      span(1, 0, "outer", 0, 1'000'000, 0),
+      span(2, 1, "inner", 100'000, 900'000, 0),
+      span(3, 0, "orphan", 200'000, 800'000, 1),
+  });
+  const std::string folded = p.folded_stacks();
+  EXPECT_NE(folded.find("outer;inner;orphan 600"), std::string::npos)
+      << folded;
+}
+
+TEST(Profile, DeterministicAcrossInputOrder) {
+  std::vector<ProfileSpan> spans = {
+      span(1, 0, "matrix", 0, 1000, 0),
+      span(2, 0, "task", 50, 500, 1),
+      span(3, 2, "leaf", 60, 400, 1),
+      span(4, 0, "task", 500, 980, 2),
+      span(5, 4, "leaf", 520, 600, 2),
+  };
+  const Profile a = build_profile(spans);
+  std::reverse(spans.begin(), spans.end());
+  const Profile b = build_profile(spans);
+  EXPECT_EQ(a.render_table(), b.render_table());
+  EXPECT_EQ(a.folded_stacks(), b.folded_stacks());
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(render_flamegraph_svg(a.flame, "t"),
+            render_flamegraph_svg(b.flame, "t"));
+}
+
+TEST(Profile, ByNameSortsBySelfDescThenName) {
+  const Profile p = build_profile({
+      span(1, 0, "b_small", 0, 100, 0),
+      span(2, 0, "a_small", 200, 300, 0),
+      span(3, 0, "big", 400, 1000, 0),
+  });
+  ASSERT_EQ(p.by_name.size(), 3u);
+  EXPECT_EQ(p.by_name[0].name, "big");
+  EXPECT_EQ(p.by_name[1].name, "a_small");  // ties break by name asc
+  EXPECT_EQ(p.by_name[2].name, "b_small");
+}
+
+TEST(Profile, FoldedStacksFormatAndOrder) {
+  const Profile p = build_profile({
+      span(1, 0, "root", 0, 3000, 0),
+      span(2, 1, "child", 1000, 2000, 0),
+  });
+  // Lexicographic order, integer microseconds of self time (truncated).
+  EXPECT_EQ(p.folded_stacks(), "root 2\nroot;child 1\n");
+}
+
+TEST(Profile, MergeAccumulatesAndKeepsLongestCriticalPath) {
+  const Profile a = build_profile({
+      span(1, 0, "work", 0, 1000, 0),
+      span(2, 1, "leaf", 100, 300, 0),
+  });
+  const Profile b = build_profile({
+      span(1, 0, "work", 0, 5000, 0),
+      span(2, 1, "other", 100, 4500, 0),
+  });
+  Profile merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.span_count, 4u);
+  EXPECT_EQ(merged.wall_ns, 6000u);  // extents add across records
+  EXPECT_EQ(stat_of(merged, "work")->count, 2u);
+  EXPECT_EQ(stat_of(merged, "work")->total_ns, 6000u);
+  EXPECT_EQ(stat_of(merged, "work")->min_ns, 1000u);
+  EXPECT_EQ(stat_of(merged, "work")->max_ns, 5000u);
+  // b's critical path is longer, so it wins.
+  EXPECT_EQ(merged.critical_path_ns(), 5000u);
+  ASSERT_EQ(merged.critical_path.size(), 2u);
+  EXPECT_EQ(merged.critical_path[1].name, "other");
+  // Flame trees merge by stack.
+  const std::string folded = merged.folded_stacks();
+  EXPECT_NE(folded.find("work;leaf"), std::string::npos);
+  EXPECT_NE(folded.find("work;other"), std::string::npos);
+  // Merging into an empty profile copies.
+  Profile fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.render_table(), a.render_table());
+}
+
+TEST(Profile, JsonRoundTrip) {
+  const Profile p = build_profile({
+      span(1, 0, "matrix", 0, 1000, 0),
+      span(2, 0, "task", 100, 600, 1),
+      span(3, 2, "leaf", 200, 400, 1),
+  });
+  const auto parsed = support::Json::parse(p.to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  const auto restored = Profile::from_json(*parsed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->wall_ns, p.wall_ns);
+  EXPECT_EQ(restored->span_count, p.span_count);
+  ASSERT_EQ(restored->by_name.size(), p.by_name.size());
+  for (std::size_t i = 0; i < p.by_name.size(); ++i) {
+    EXPECT_EQ(restored->by_name[i].name, p.by_name[i].name);
+    EXPECT_EQ(restored->by_name[i].self_ns, p.by_name[i].self_ns);
+    EXPECT_EQ(restored->by_name[i].total_ns, p.by_name[i].total_ns);
+  }
+  ASSERT_EQ(restored->threads.size(), p.threads.size());
+  EXPECT_EQ(restored->threads[1].busy_ns, p.threads[1].busy_ns);
+  ASSERT_EQ(restored->critical_path.size(), p.critical_path.size());
+  EXPECT_EQ(restored->critical_path[0].name, "matrix");
+  // The flame tree is deliberately not serialized.
+  EXPECT_TRUE(restored->flame.children.empty());
+}
+
+TEST(Profile, FromJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(Profile::from_json(*support::Json::parse("42")).has_value());
+  EXPECT_FALSE(Profile::from_json(*support::Json::parse("{}")).has_value());
+  EXPECT_FALSE(Profile::from_json(
+                   *support::Json::parse(
+                       R"({"wall_ns": "notanumber", "span_count": 1,)"
+                       R"( "by_name": [], "threads": [],)"
+                       R"( "critical_path": []})"))
+                   .has_value());
+}
+
+TEST(Profile, RenderTableIsStableAndComplete) {
+  const Profile p = build_profile({
+      span(1, 0, "alpha", 0, 1000, 0),
+      span(2, 1, "beta", 100, 400, 0),
+  });
+  const std::string table = p.render_table();
+  EXPECT_NE(table.find("profile: 2 spans"), std::string::npos) << table;
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("threads:"), std::string::npos);
+  EXPECT_NE(table.find("critical path"), std::string::npos);
+  EXPECT_EQ(table, p.render_table());
+}
+
+TEST(Flamegraph, SvgIsSelfContainedAndEscaped) {
+  const Profile p = build_profile({
+      span(1, 0, "a<b>&\"c\"", 0, 1000, 0),
+  });
+  const std::string svg = render_flamegraph_svg(p.flame, "title <&>");
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u) << svg.substr(0, 40);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Raw markup from span names must be escaped.
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+  // Self-contained: no scripts, no external fetches. The only URL is the
+  // SVG namespace declaration browsers need for standalone files.
+  EXPECT_EQ(svg.find("<script"), std::string::npos);
+  const auto first_url = svg.find("http://");
+  ASSERT_NE(first_url, std::string::npos);
+  EXPECT_EQ(svg.compare(first_url, 31, "http://www.w3.org/2000/svg\" wid", 31),
+            0);
+  EXPECT_EQ(svg.find("http://", first_url + 1), std::string::npos);
+  EXPECT_EQ(svg.find("https://"), std::string::npos);
+  EXPECT_EQ(svg.find("href"), std::string::npos);
+}
+
+TEST(Profile, BuildFromSpanRecords) {
+  std::vector<SpanRecord> records(2);
+  records[0].id = 1;
+  records[0].name = "outer";
+  records[0].start_ns = 0;
+  records[0].end_ns = 500;
+  records[0].tid = 3;
+  records[1].id = 2;
+  records[1].parent_id = 1;
+  records[1].name = "inner";
+  records[1].start_ns = 100;
+  records[1].end_ns = 200;
+  records[1].tid = 3;
+  const Profile p = build_profile(records);
+  EXPECT_EQ(p.span_count, 2u);
+  ASSERT_EQ(p.threads.size(), 1u);
+  EXPECT_EQ(p.threads[0].tid, 3);
+  EXPECT_EQ(stat_of(p, "outer")->self_ns, 400u);
+}
+
+}  // namespace
+}  // namespace feam::obs

@@ -98,6 +98,43 @@ TEST(AggregateTest, FlattenMetricsExposesTheGateSurface) {
   EXPECT_GT(metrics.at("hist.phase.target_ns.p99"), 0.0);
 }
 
+TEST(AggregateTest, MergesProfilesAcrossRecordsWithSpans) {
+  std::vector<RunRecord> records;
+  records.push_back(make_record("cg.B", "fir", true));
+  records.back().spans = {{1, 0, "feam.target_phase", 0, 4000, 0},
+                          {2, 1, "tec.isa", 0, 1000, 0}};
+  records.push_back(make_record("milc", "fir", true));
+  records.back().spans = {{1, 0, "feam.target_phase", 0, 6000, 0}};
+  records.push_back(make_record("ep.A", "ranger", true));  // no spans
+
+  const Aggregate a = aggregate_records(std::move(records));
+  EXPECT_EQ(a.profiled_records, 2u);
+  EXPECT_EQ(a.profile.span_count, 3u);
+  // Wall extents add across records (they never share a clock), and the
+  // longest single record's critical path wins.
+  EXPECT_EQ(a.profile.wall_ns, 10000u);
+  EXPECT_EQ(a.profile.critical_path_ns(), 6000u);
+
+  const auto metrics = flatten_metrics(a);
+  EXPECT_EQ(metrics.at("profile.records"), 2.0);
+  EXPECT_EQ(metrics.at("profile.spans"), 3.0);
+  EXPECT_EQ(metrics.at("profile.wall_ns"), 10000.0);
+  EXPECT_EQ(metrics.at("profile.critical_path_ns"), 6000.0);
+
+  const std::string text = render_report_text(a);
+  EXPECT_NE(text.find("Profile (2 records with spans"), std::string::npos);
+  EXPECT_NE(text.find("feam.target_phase"), std::string::npos);
+}
+
+TEST(AggregateTest, NoSpansMeansNoProfileSection) {
+  std::vector<RunRecord> records;
+  records.push_back(make_record("cg.B", "fir", true));
+  const Aggregate a = aggregate_records(std::move(records));
+  EXPECT_EQ(a.profiled_records, 0u);
+  EXPECT_TRUE(a.profile.empty());
+  EXPECT_EQ(render_report_text(a).find("Profile ("), std::string::npos);
+}
+
 support::Json baseline_doc(const char* metrics_json) {
   const auto parsed = support::Json::parse(
       std::string("{\"schema\":\"feam.report_baseline/1\",\"metrics\":") +
@@ -193,6 +230,19 @@ TEST(HtmlTest, DashboardIsSelfContainedAndEscaped) {
   // The hostile name is split as <\/ inside the data island.
   EXPECT_EQ(html.find("x</script>"), std::string::npos);
   EXPECT_NE(html.find("x<\\/script>"), std::string::npos);
+
+  // Records carry spans, so the profile panel renders with its embedded
+  // flamegraph — still with zero external references.
+  EXPECT_NE(html.find("Profile &amp; contention"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+TEST(HtmlTest, NoSpansMeansNoProfilePanel) {
+  std::vector<RunRecord> records;
+  records.push_back(make_record("cg.B", "fir", true));
+  const std::string html =
+      render_html_dashboard(aggregate_records(std::move(records)));
+  EXPECT_EQ(html.find("Profile &amp; contention"), std::string::npos);
 }
 
 TEST(EvalBridgeTest, MigrationResultsBecomeRunRecords) {

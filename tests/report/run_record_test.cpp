@@ -149,6 +149,56 @@ TEST(RunRecordTest, ValidateFlagsBrokenSpanTrees) {
   EXPECT_NE(issues[0].find("less than its children"), std::string::npos);
 }
 
+TEST(RunRecordTest, SpanTidAndProfileSurviveJsonRoundTrip) {
+  RunRecord r;
+  r.command = "target";
+  r.spans = {{1, 0, "root", 0, 1000, 0},
+             {2, 1, "child", 100, 300, 0},
+             {3, 0, "worker", 200, 500, 3}};
+  r.profile = obs::build_profile(to_profile_spans(r));
+  ASSERT_TRUE(r.validate().empty());
+
+  const auto parsed = support::Json::parse(r.to_json().dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = RunRecord::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->validate().empty());
+  ASSERT_EQ(back->spans.size(), 3u);
+  EXPECT_EQ(back->spans[2].tid, 3);
+
+  ASSERT_TRUE(back->profile.has_value());
+  EXPECT_EQ(back->profile->span_count, 3u);
+  EXPECT_EQ(back->profile->wall_ns, r.profile->wall_ns);
+  ASSERT_EQ(back->profile->threads.size(), 2u);
+  EXPECT_EQ(back->profile->threads[1].tid, 3);
+  EXPECT_EQ(back->profile->threads[1].busy_ns, 500u);
+  // The flame tree is deliberately not serialized; rebuilding the profile
+  // from the record's own spans restores it along with everything else.
+  const auto rebuilt = obs::build_profile(to_profile_spans(*back));
+  EXPECT_EQ(rebuilt.span_count, back->profile->span_count);
+  EXPECT_FALSE(rebuilt.flame.children.empty());
+}
+
+TEST(RunRecordTest, ValidateCatchesProfileDisagreements) {
+  RunRecord r;
+  r.command = "target";
+  r.spans = {{1, 0, "root", 0, 1000, 0}};
+  r.profile = obs::build_profile(to_profile_spans(r));
+  ASSERT_TRUE(r.validate().empty());
+
+  r.profile->span_count = 7;  // no longer covers the record's span list
+  auto issues = r.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("profile covers 7 spans"), std::string::npos);
+
+  r.profile = obs::build_profile(to_profile_spans(r));
+  ASSERT_FALSE(r.profile->threads.empty());
+  r.profile->threads[0].self_ns += 1;  // breaks the partition invariant
+  issues = r.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("!= busy"), std::string::npos);
+}
+
 TEST(RunRecordTest, FromJsonRejectsUnknownSchemaAndKeys) {
   support::Json j;
   j.set("schema", "feam.run_record/999");

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "toolchain/testbed.hpp"
 
 namespace feam::site {
@@ -61,6 +64,45 @@ TEST(SitePairLease, AcquiresInLeaseIdOrderFromEitherArgumentOrder) {
   t1.join();
   t2.join();
   EXPECT_EQ(done.load(), 2);
+}
+
+TEST(SiteLease, UncontendedAcquireRecordsZeroWait) {
+  auto s = toolchain::make_site("india");
+  const auto global_before = obs::histogram("lease.wait_ns").snapshot();
+  const auto site_before =
+      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+  { SiteLease lease(*s); }
+  const auto global_after = obs::histogram("lease.wait_ns").snapshot();
+  const auto site_after =
+      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+  // One sample lands in both histograms, and the fast path charges 0 wait.
+  EXPECT_EQ(global_after.count, global_before.count + 1);
+  EXPECT_EQ(site_after.count, site_before.count + 1);
+  EXPECT_EQ(global_after.sum, global_before.sum);
+  EXPECT_EQ(site_after.sum, site_before.sum);
+}
+
+TEST(SiteLease, ContendedAcquireRecordsTheBlockingWait) {
+  auto s = toolchain::make_site("india");
+  const auto before =
+      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+  std::atomic<bool> holder_ready{false};
+  std::thread holder([&] {
+    SiteLease lease(*s);
+    holder_ready.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  while (!holder_ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  { SiteLease lease(*s); }  // blocks until the holder releases
+  holder.join();
+  const auto after =
+      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+  EXPECT_EQ(after.count, before.count + 2);
+  // The waiter blocked for most of the holder's 20ms sleep.
+  EXPECT_GE(after.sum - before.sum, 5'000'000u);
+  EXPECT_GE(after.max, 5'000'000u);
 }
 
 TEST(SiteState, GenerationBumpsOnEveryMutationKind) {

@@ -88,5 +88,61 @@ TEST(ThreadPool, TasksSubmittedFromTasksComplete) {
   EXPECT_EQ(done.load(), 5);
 }
 
+TEST(ThreadPool, ObserverSeesEveryTaskWithPlausibleTimings) {
+  std::atomic<int> observed{0};
+  std::atomic<std::uint64_t> run_sum{0};
+  ThreadPool pool(2, [&](std::uint64_t queue_wait_ns, std::uint64_t run_ns) {
+    observed.fetch_add(1, std::memory_order_relaxed);
+    run_sum.fetch_add(run_ns, std::memory_order_relaxed);
+    (void)queue_wait_ns;  // >= 0 by type; just must not crash
+  });
+  std::atomic<int> done{0};
+  for (int i = 0; i < 30; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 30);
+  EXPECT_EQ(observed.load(), 30);
+  // 30 tasks each sleeping ~1ms: the summed run time must reflect it.
+  EXPECT_GE(run_sum.load(), 30u * 500'000u);
+}
+
+TEST(ThreadPool, ObserverSeesQueueWaitWhenWorkersAreBusy) {
+  // One worker, one blocking task: everything behind it must report a
+  // submit->start wait at least as long as the blocker's sleep.
+  std::atomic<std::uint64_t> max_wait{0};
+  ThreadPool pool(1, [&](std::uint64_t queue_wait_ns, std::uint64_t) {
+    std::uint64_t seen = max_wait.load(std::memory_order_relaxed);
+    while (queue_wait_ns > seen &&
+           !max_wait.compare_exchange_weak(seen, queue_wait_ns)) {
+    }
+  });
+  pool.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  pool.submit([] {});
+  pool.wait();
+  EXPECT_GE(max_wait.load(), 10'000'000u);  // >= 10ms of the 20ms sleep
+}
+
+TEST(ThreadPool, ObserverExceptionPropagatesLikeATaskException) {
+  ThreadPool pool(2, [](std::uint64_t, std::uint64_t) {
+    throw std::runtime_error("observer failed");
+  });
+  pool.submit([] {});
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, NullObserverIsFine) {
+  ThreadPool pool(2, nullptr);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 20);
+}
+
 }  // namespace
 }  // namespace feam::support
