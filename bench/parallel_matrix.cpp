@@ -20,6 +20,17 @@
 // contention metrics the profile exposes — pool idle share, lease waits,
 // cache hit rates — are gated against the baseline.
 //
+// A fifth, sampled leg reruns the pooled configuration with the
+// TimeseriesSampler live (the live-telemetry claim): a background thread
+// snapshots the metric registry every --timeseries-interval ms and emits
+// the feam.timeseries/1 delta stream while the workers run. Results must
+// stay bit-identical, the stream must telescope (sum of window deltas ==
+// final totals, checked by the reader), and sampling overhead must stay
+// under 1% of a fresh uninstrumented reference (same alternating
+// best-of-two discipline as leg 4). Steady-state metrics — late-window
+// throughput, cache hit rates, lease p99 — come from the stream itself
+// and land in the bench record (BENCH_6.json).
+//
 // Each leg runs in its own scope and the Experiment is destroyed before
 // the next leg starts: keeping earlier legs' results and Vfs images
 // resident measurably inflates later legs' wall time (3–5x in testing),
@@ -34,15 +45,18 @@
 //   --fault-rate R     Vfs fault probability for the faulted leg (default 0.05)
 //   --bench-out F      write the feam.bench/1 record to F
 //   --baseline F       gate the metrics against a feam.report_baseline/1 file
-//   --pr N             PR number stamped into the bench record (default 3)
+//   --pr N             PR number stamped into the bench record (default 6)
 //   --profile-table F  write the profiled leg's profile table to F
 //   --folded F         write collapsed-stack flamegraph text to F
 //   --svg F            write a self-contained flamegraph SVG to F
+//   --timeseries-out F       write the sampled leg's best-run stream to F
+//   --timeseries-interval MS sampler tick for the sampled leg (default 25)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,8 +65,10 @@
 #include "eval/run_records.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "report/gate.hpp"
+#include "report/timeseries.hpp"
 #include "support/json.hpp"
 
 using namespace feam;
@@ -118,13 +134,15 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   int jobs = 4;
-  int pr_number = 3;
+  int pr_number = 6;
   double fault_rate = 0.05;
+  int timeseries_interval_ms = 25;
   std::string bench_out;
   std::string baseline_path;
   std::string profile_table_out;
   std::string folded_out;
   std::string svg_out;
+  std::string timeseries_out;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
@@ -135,6 +153,9 @@ int main(int argc, char** argv) {
     else if (flag == "--profile-table" && i + 1 < argc) profile_table_out = argv[++i];
     else if (flag == "--folded" && i + 1 < argc) folded_out = argv[++i];
     else if (flag == "--svg" && i + 1 < argc) svg_out = argv[++i];
+    else if (flag == "--timeseries-out" && i + 1 < argc) timeseries_out = argv[++i];
+    else if (flag == "--timeseries-interval" && i + 1 < argc)
+      timeseries_interval_ms = std::max(1, std::atoi(argv[++i]));
     else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 1;
@@ -280,6 +301,93 @@ int main(int argc, char** argv) {
   run_instrumented();
   run_reference();
 
+  // Leg 5 — sampled: the pooled configuration with the timeseries sampler
+  // live. Only run() sits in the timed window; the sampler thread starts
+  // just before it and is stopped (final flush) just after, so the
+  // comparison isolates what live streaming costs while workers are hot.
+  // The retained stream is the faster run's — the one the overhead number
+  // describes.
+  double sampled_ms = 0.0;
+  double sampled_ref_ms = 0.0;
+  bool sampled_identical = true;
+  std::string sampled_stream;
+  const auto run_sampled_reference = [&]() {
+    Experiment e(par_options);
+    e.build_test_set();
+    const auto a = std::chrono::steady_clock::now();
+    e.run();
+    const auto b = std::chrono::steady_clock::now();
+    const double ms = elapsed_ms(a, b);
+    sampled_ref_ms = sampled_ref_ms == 0.0 ? ms : std::min(sampled_ref_ms, ms);
+  };
+  const auto run_sampled = [&]() {
+    Experiment e(par_options);
+    e.build_test_set();
+    obs::metrics().reset_values();
+    std::mutex stream_mutex;
+    std::string stream;
+    obs::TimeseriesSampler::Options sampler_options;
+    sampler_options.interval_ms =
+        static_cast<std::uint64_t>(timeseries_interval_ms);
+    sampler_options.source =
+        "bench/parallel_matrix --jobs " + std::to_string(jobs);
+    std::chrono::steady_clock::time_point a, b;
+    {
+      obs::TimeseriesSampler sampler(
+          obs::metrics(), sampler_options, [&](const std::string& line) {
+            const std::lock_guard<std::mutex> lock(stream_mutex);
+            stream += line;
+          });
+      a = std::chrono::steady_clock::now();
+      e.run();
+      b = std::chrono::steady_clock::now();
+      sampler.stop();
+    }
+    const double ms = elapsed_ms(a, b);
+    if (sampled_ms == 0.0 || ms < sampled_ms) {
+      sampled_ms = ms;
+      sampled_stream = std::move(stream);
+    }
+    if (records_dump(e.results()) != pooled_dump) sampled_identical = false;
+  };
+  run_sampled_reference();
+  run_sampled();
+  run_sampled();
+  run_sampled_reference();
+
+  // Steady-state view of the retained stream: skip the first quarter
+  // (cold caches), exclude the final flush sample, and read the metrics
+  // the way `feam top` / the trend gate would.
+  const report::Timeseries timeseries =
+      report::parse_timeseries(sampled_stream);
+  const bool timeseries_consistent = timeseries.saw_final &&
+                                     timeseries.malformed_lines == 0 &&
+                                     timeseries.consistency_issues().empty();
+  std::size_t steady_end = timeseries.samples.size();
+  if (steady_end > 0 && timeseries.samples[steady_end - 1].final_sample) {
+    --steady_end;
+  }
+  const std::size_t steady_head = steady_end / 4;
+  const double steady_s = timeseries.span_seconds(steady_head, steady_end);
+  const double steady_rate =
+      steady_s > 0.0
+          ? static_cast<double>(timeseries.counter_delta_sum(
+                "phase.target_runs", steady_head, steady_end)) /
+                steady_s
+          : 0.0;
+  const auto steady_caches =
+      report::cache_windows(timeseries, steady_head, steady_end);
+  const auto steady_cache_rate = [&](const char* name) {
+    const auto it = steady_caches.find(name);
+    return it == steady_caches.end() ? 0.0 : it->second.rate();
+  };
+  const auto steady_lease =
+      timeseries.merged_histogram("lease.wait_ns", steady_head, steady_end);
+  const double sampler_overhead =
+      sampled_ref_ms > 0.0
+          ? std::max(0.0, (sampled_ms - sampled_ref_ms) / sampled_ref_ms)
+          : 0.0;
+
   const obs::Profile profile = obs::build_profile(profile_spans);
   const auto hist_of = [&](const char* name) {
     const auto it = profiled_hists.find(name);
@@ -366,6 +474,24 @@ int main(int argc, char** argv) {
               static_cast<double>(lease_wait.max) / 1e6);
   std::printf("  results bit-identical to pooled run: %s\n",
               profiled_identical ? "yes" : "NO");
+  std::printf("Sampled leg (jobs=%d, %dms timeseries sampler): %9.1f ms vs "
+              "%9.1f ms reference (overhead %.2f%%)\n",
+              jobs, timeseries_interval_ms, sampled_ms, sampled_ref_ms,
+              100.0 * sampler_overhead);
+  std::printf("  stream: %zu samples, %s\n", timeseries.samples.size(),
+              timeseries_consistent
+                  ? "deltas telescope to final totals"
+                  : "INCONSISTENT (telescoping broken or no final sample)");
+  std::printf("  steady state (samples %zu..%zu, %.2fs): %.1f target/s, "
+              "BDC %.0f%% / EDC %.0f%% / resolver.ldd %.0f%% hit rate, "
+              "lease wait p99 %.1f us\n",
+              steady_head, steady_end, steady_s, steady_rate,
+              100.0 * steady_cache_rate("bdc"),
+              100.0 * steady_cache_rate("edc"),
+              100.0 * steady_cache_rate("resolver.ldd"),
+              static_cast<double>(steady_lease.percentile(0.99)) / 1e3);
+  std::printf("  results bit-identical to pooled run: %s\n",
+              sampled_identical ? "yes" : "NO");
 
   std::map<std::string, double> metrics;
   metrics["bench.jobs"] = jobs;
@@ -412,6 +538,20 @@ int main(int argc, char** argv) {
   metrics["bench.profiled_bdc_hit_rate"] = p_bdc_rate;
   metrics["bench.profiled_edc_hit_rate"] = p_edc_rate;
   metrics["bench.profiled_resolver_hit_rate"] = p_resolver_rate;
+  metrics["bench.sampled_ms"] = sampled_ms;
+  metrics["bench.sampled_ref_ms"] = sampled_ref_ms;
+  metrics["bench.sampler_overhead"] = sampler_overhead;
+  metrics["bench.sampled_identical"] = sampled_identical ? 1 : 0;
+  metrics["bench.timeseries_samples"] =
+      static_cast<double>(timeseries.samples.size());
+  metrics["bench.timeseries_consistent"] = timeseries_consistent ? 1 : 0;
+  metrics["bench.steady_samples"] =
+      static_cast<double>(steady_end - steady_head);
+  metrics["bench.steady_target_rate"] = steady_rate;
+  metrics["bench.steady_bdc_hit_rate"] = steady_cache_rate("bdc");
+  metrics["bench.steady_edc_hit_rate"] = steady_cache_rate("edc");
+  metrics["bench.steady_lease_p99_ns"] =
+      static_cast<double>(steady_lease.percentile(0.99));
 
   report::GateResult gate;
   const report::GateResult* gate_ptr = nullptr;
@@ -454,14 +594,20 @@ int main(int argc, char** argv) {
                                profile.flame, "parallel matrix, profiled leg"))) {
     return 1;
   }
+  if (!timeseries_out.empty() && !write_file(timeseries_out, sampled_stream)) {
+    return 1;
+  }
 
   const bool pass = identical && speedup >= 2.0 && bdc_rate > 0.5 &&
                     fault_ok && profiled_identical && profile_overhead < 0.02 &&
+                    sampled_identical && sampler_overhead < 0.01 &&
+                    timeseries_consistent &&
                     (gate_ptr == nullptr || gate.pass);
   std::printf(
       "Acceptance (identical, >=2x, BDC hit rate > 50%%, faulted leg "
       "attributed + no cache poisoning, profiled leg identical with <2%% "
-      "overhead): %s\n",
+      "overhead, sampled leg identical + consistent with <1%% overhead): "
+      "%s\n",
       pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

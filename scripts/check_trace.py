@@ -38,6 +38,32 @@ def run(cmd):
     return result
 
 
+def load_trace(trace_file):
+    """Reads and parses the trace, turning the classic failure modes —
+    missing, empty, or truncated mid-write — into one-line diagnoses
+    instead of a JSONDecodeError traceback."""
+    try:
+        text = trace_file.read_text()
+    except FileNotFoundError:
+        sys.exit(f"FAIL: trace file {trace_file} was never written "
+                 f"(did the command run with --trace-out?)")
+    if not text.strip():
+        sys.exit(f"FAIL: trace file {trace_file} is empty — the exporter "
+                 f"wrote no bytes (command likely crashed before finish())")
+    try:
+        trace = json.loads(text)
+    except json.JSONDecodeError as err:
+        tail = text[-80:].replace("\n", "\\n")
+        sys.exit(f"FAIL: trace file {trace_file} is not valid JSON "
+                 f"({err.msg} at line {err.lineno}, col {err.colno}; file ends "
+                 f"with ...{tail!r}) — a truncated file usually means the "
+                 f"writer was killed mid-export")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        sys.exit(f"FAIL: trace file {trace_file} parses as JSON but has no "
+                 f"traceEvents array — not a Chrome trace_event file")
+    return trace
+
+
 def main():
     if len(sys.argv) != 2:
         sys.exit(f"usage: {sys.argv[0]} /path/to/feam")
@@ -60,7 +86,7 @@ def main():
              "--bundle", bundle, "--trace-out", trace_file,
              "--metrics-out", metrics_file])
 
-        trace = json.loads(trace_file.read_text())
+        trace = load_trace(trace_file)
         spans = {}
         for event in trace["traceEvents"]:
             if event.get("ph") == "X":

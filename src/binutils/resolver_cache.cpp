@@ -50,13 +50,17 @@ std::optional<std::optional<std::string>> ResolverCache::search(
       }
     }
     if (fresh) {
-      ++hits_;
+      ++search_hits_;
       obs::counter("resolver.search_hits").add();
+      obs::counter("cache.hits", {.site = host.name, .cache = "resolver.search"})
+          .add();
       return it->second.result;
     }
   }
-  ++misses_;
+  ++search_misses_;
   obs::counter("resolver.search_misses").add();
+  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.search"})
+      .add();
   return std::nullopt;
 }
 
@@ -81,14 +85,18 @@ std::optional<support::Result<std::string>> ResolverCache::ldd_text(
   const auto it = ldd_.find(ldd_key(host, path, verbose));
   if (it != ldd_.end() && it->second.vfs_generation == host.vfs.generation() &&
       it->second.env_generation == host.env.generation()) {
-    ++hits_;
+    ++ldd_hits_;
     obs::counter("resolver.ldd_hits").add();
+    obs::counter("cache.hits", {.site = host.name, .cache = "resolver.ldd"})
+        .add();
     obs::counter("resolver.ldd_bytes_saved").add(it->second.payload.size());
     if (it->second.ok) return support::Result<std::string>(it->second.payload);
     return support::Result<std::string>::failure(it->second.payload);
   }
-  ++misses_;
+  ++ldd_misses_;
   obs::counter("resolver.ldd_misses").add();
+  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.ldd"})
+      .add();
   return std::nullopt;
 }
 
@@ -113,8 +121,10 @@ const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = parsed_.find(key);
     if (it != parsed_.end()) {
-      ++hits_;
+      ++parse_hits_;
       obs::counter("resolver.parse_hits").add();
+      obs::counter("cache.hits", {.site = host.name, .cache = "resolver.parse"})
+          .add();
       obs::counter("resolver.parse_bytes_saved").add(data.size());
       return it->second ? &*it->second : nullptr;
     }
@@ -125,20 +135,52 @@ const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
   std::optional<elf::ElfFile> value;
   if (parsed.ok()) value = std::move(parsed).take();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  ++parse_misses_;
   obs::counter("resolver.parse_misses").add();
+  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.parse"})
+      .add();
   const auto it = parsed_.emplace(std::move(key), std::move(value)).first;
   return it->second ? &*it->second : nullptr;
 }
 
 std::uint64_t ResolverCache::hits() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  return search_hits_ + ldd_hits_ + parse_hits_;
 }
 
 std::uint64_t ResolverCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  return search_misses_ + ldd_misses_ + parse_misses_;
+}
+
+std::uint64_t ResolverCache::search_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return search_hits_;
+}
+
+std::uint64_t ResolverCache::search_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return search_misses_;
+}
+
+std::uint64_t ResolverCache::ldd_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ldd_hits_;
+}
+
+std::uint64_t ResolverCache::ldd_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ldd_misses_;
+}
+
+std::uint64_t ResolverCache::parse_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parse_hits_;
+}
+
+std::uint64_t ResolverCache::parse_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parse_misses_;
 }
 
 }  // namespace feam::binutils

@@ -69,8 +69,20 @@ class ResolverCache {
   const elf::ElfFile* parsed_elf(const site::Site& host, std::string_view path,
                                  const support::Bytes& data);
 
+  // Combined totals across the three memos (legacy view).
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+
+  // Per-memo splits: the search walk, the ldd transcript memo, and the
+  // parsed-ELF memo hit very differently (a cold parse costs ~1000x a
+  // cold search), so folding them into one number hides exactly the
+  // attribution a hit-rate investigation needs.
+  std::uint64_t search_hits() const;
+  std::uint64_t search_misses() const;
+  std::uint64_t ldd_hits() const;
+  std::uint64_t ldd_misses() const;
+  std::uint64_t parse_hits() const;
+  std::uint64_t parse_misses() const;
 
  private:
   struct SearchEntry {
@@ -94,8 +106,12 @@ class ResolverCache {
   std::map<std::string, SearchEntry, std::less<>> search_;
   std::map<std::string, LddEntry, std::less<>> ldd_;
   std::map<ParseKey, std::optional<elf::ElfFile>> parsed_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::uint64_t search_hits_ = 0;
+  std::uint64_t search_misses_ = 0;
+  std::uint64_t ldd_hits_ = 0;
+  std::uint64_t ldd_misses_ = 0;
+  std::uint64_t parse_hits_ = 0;
+  std::uint64_t parse_misses_ = 0;
 };
 
 }  // namespace feam::binutils

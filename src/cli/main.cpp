@@ -15,8 +15,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 
 #include "cli/options.hpp"
+#include "cli/top.hpp"
 #include "feam/bundle_archive.hpp"
 #include "feam/phases.hpp"
 #include "feam/report.hpp"
@@ -24,11 +27,14 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "report/aggregate.hpp"
 #include "report/gate.hpp"
 #include "report/html.hpp"
 #include "report/run_record.hpp"
+#include "report/timeseries.hpp"
+#include "report/trend.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "toolchain/linker.hpp"
@@ -76,6 +82,29 @@ class ObsSession {
         !run_record_out_.empty()) {
       obs::collector().set_enabled(true);
     }
+    if (!opts.timeseries_out.empty()) {
+      timeseries_path_ = opts.timeseries_out;
+      timeseries_file_.open(timeseries_path_,
+                            std::ios::binary | std::ios::trunc);
+      if (!timeseries_file_) {
+        std::fprintf(stderr, "feam: cannot write %s\n",
+                     timeseries_path_.c_str());
+        timeseries_failed_ = true;
+      } else {
+        obs::TimeseriesSampler::Options sampler_opts;
+        sampler_opts.interval_ms =
+            static_cast<std::uint64_t>(opts.timeseries_interval_ms);
+        sampler_opts.source = command_line_source(opts);
+        // One whole line per sink call, flushed under a mutex: a tailing
+        // `feam top` never reads a torn record, only a partial last line.
+        sampler_ = std::make_unique<obs::TimeseriesSampler>(
+            obs::metrics(), sampler_opts, [this](const std::string& line) {
+              std::lock_guard<std::mutex> lock(timeseries_mutex_);
+              timeseries_file_ << line;
+              timeseries_file_.flush();
+            });
+      }
+    }
   }
 
   // What the finished command knew about itself; filled in as the command
@@ -86,6 +115,26 @@ class ObsSession {
   // could not be written.
   int finish(int rc) {
     int obs_rc = 0;
+    if (sampler_ != nullptr) {
+      // The destructor's stop() takes the final (quiescent) sample, so the
+      // stream telescopes exactly to the end-of-run counter totals.
+      const std::uint64_t samples = [this] {
+        sampler_->stop();
+        return sampler_->samples_emitted();
+      }();
+      sampler_.reset();
+      timeseries_file_.close();
+      if (!timeseries_file_) {
+        std::fprintf(stderr, "feam: cannot write %s\n",
+                     timeseries_path_.c_str());
+        obs_rc = 1;
+      } else {
+        std::fprintf(stderr, "feam: timeseries written to %s (%llu samples)\n",
+                     timeseries_path_.c_str(),
+                     static_cast<unsigned long long>(samples));
+      }
+    }
+    if (timeseries_failed_) obs_rc = 1;
     if (!trace_out_.empty()) {
       const std::string trace = obs::render_chrome_trace(
           obs::collector().spans(), obs::collector().events());
@@ -133,10 +182,28 @@ class ObsSession {
   }
 
  private:
+  static std::string command_line_source(const Options& opts) {
+    switch (opts.command) {
+      case Command::kCompile: return "compile " + opts.program;
+      case Command::kSource: return "source " + opts.binary;
+      case Command::kTarget: return "target " + opts.binary;
+      case Command::kSurvey: return "survey " + opts.binary;
+      case Command::kExec: return "exec " + opts.binary;
+      case Command::kReport: return "report " + opts.report_in;
+      case Command::kProfile: return "profile " + opts.profile_in;
+      default: return "feam";
+    }
+  }
+
   std::string trace_out_;
   std::string metrics_out_;
   std::string events_out_;
   std::string run_record_out_;
+  std::string timeseries_path_;
+  std::ofstream timeseries_file_;
+  std::mutex timeseries_mutex_;
+  bool timeseries_failed_ = false;
+  std::unique_ptr<obs::TimeseriesSampler> sampler_;
   report::RunContext context_;
 };
 
@@ -494,6 +561,7 @@ int report_command(const Options& opts) {
 
   std::vector<report::RunRecord> records;
   std::vector<std::string> event_logs;
+  std::vector<report::Timeseries> streams;
   std::size_t skipped = 0;
   for (const auto& path : paths) {
     const auto ext = path.extension().string();
@@ -505,7 +573,17 @@ int report_command(const Options& opts) {
     }
     std::string text(bytes->begin(), bytes->end());
     if (ext == ".jsonl") {
-      event_logs.push_back(std::move(text));
+      // --timeseries-out and --events-out share the extension; the schema
+      // field on the first line tells them apart.
+      if (report::looks_like_timeseries(text)) {
+        streams.push_back(report::parse_timeseries(text));
+        for (const auto& issue : streams.back().consistency_issues()) {
+          std::fprintf(stderr, "feam: %s: %s\n", path.string().c_str(),
+                       issue.c_str());
+        }
+      } else {
+        event_logs.push_back(std::move(text));
+      }
       continue;
     }
     const auto parsed = support::Json::parse(text);
@@ -525,7 +603,7 @@ int report_command(const Options& opts) {
     }
     records.push_back(std::move(*record));
   }
-  if (records.empty()) {
+  if (records.empty() && streams.empty()) {
     std::fprintf(stderr,
                  "feam: no %s records under %s (%zu files seen, %zu "
                  "non-record JSON skipped); write records with "
@@ -541,21 +619,45 @@ int report_command(const Options& opts) {
   for (const auto& text : event_logs) {
     report::ingest_event_jsonl(aggregate, text);
   }
-  std::printf("%s", report::render_report_text(aggregate).c_str());
+  if (!aggregate.records.empty()) {
+    std::printf("%s", report::render_report_text(aggregate).c_str());
+  }
   if (skipped > 0) {
     std::printf("(%zu non-record JSON files skipped)\n", skipped);
   }
 
+  // Charts and the trend gate read one stream; with several in the
+  // directory, the one with the most samples (the longest-observed run)
+  // carries the most signal.
+  const report::Timeseries* timeseries = nullptr;
+  for (const auto& stream : streams) {
+    if (timeseries == nullptr ||
+        stream.samples.size() > timeseries->samples.size()) {
+      timeseries = &stream;
+    }
+  }
+  if (timeseries != nullptr) {
+    std::printf("timeseries: %zu stream%s ingested; charting %s (%zu "
+                "samples over %.1fs%s)\n",
+                streams.size(), streams.size() == 1 ? "" : "s",
+                timeseries->source.empty() ? "(unnamed run)"
+                                           : timeseries->source.c_str(),
+                timeseries->samples.size(),
+                static_cast<double>(timeseries->duration_ns()) / 1e9,
+                timeseries->saw_final ? "" : ", no final sample");
+  }
+
   if (!opts.html_out.empty()) {
-    if (!write_host_file(opts.html_out,
-                         report::render_html_dashboard(aggregate))) {
+    if (!write_host_file(
+            opts.html_out,
+            report::render_html_dashboard(aggregate, timeseries))) {
       std::fprintf(stderr, "feam: cannot write %s\n", opts.html_out.c_str());
       return 1;
     }
     std::printf("dashboard written to %s\n", opts.html_out.c_str());
   }
 
-  const auto metrics = report::flatten_metrics(aggregate);
+  auto metrics = report::flatten_metrics(aggregate);
   const report::GateResult* gate_result = nullptr;
   report::GateResult gate_storage;
   if (!opts.baseline.empty()) {
@@ -581,6 +683,41 @@ int report_command(const Options& opts) {
     std::printf("\n%s", gate_storage.render().c_str());
   }
 
+  bool trend_pass = true;
+  if (!opts.trend_baseline.empty()) {
+    if (timeseries == nullptr) {
+      std::fprintf(stderr,
+                   "feam: --trend-baseline given but no feam.timeseries/1 "
+                   "stream under %s; run the workload with --timeseries-out "
+                   "FILE.jsonl into that directory\n",
+                   opts.report_in.c_str());
+      return 1;
+    }
+    const auto baseline_bytes = read_host_file(opts.trend_baseline);
+    if (!baseline_bytes) {
+      std::fprintf(stderr, "feam: cannot read %s\n",
+                   opts.trend_baseline.c_str());
+      return 1;
+    }
+    const auto baseline = support::Json::parse(
+        std::string(baseline_bytes->begin(), baseline_bytes->end()));
+    if (!baseline) {
+      std::fprintf(stderr, "feam: %s is not valid JSON\n",
+                   opts.trend_baseline.c_str());
+      return 1;
+    }
+    auto trended = report::run_trend_gate(*timeseries, *baseline);
+    if (!trended.ok()) {
+      std::fprintf(stderr, "feam: %s\n", trended.error().c_str());
+      return 1;
+    }
+    trend_pass = trended.value().pass;
+    std::printf("\n%s", trended.value().render().c_str());
+    for (const auto& [name, value] : report::trend_metrics(trended.value())) {
+      metrics[name] = value;
+    }
+  }
+
   if (!opts.bench_out.empty()) {
     const auto bench =
         report::bench_record(metrics, gate_result, opts.pr_number);
@@ -592,6 +729,7 @@ int report_command(const Options& opts) {
   }
 
   if (opts.gate && gate_result != nullptr && !gate_result->pass) return 2;
+  if (opts.gate && !trend_pass) return 2;
   return 0;
 }
 
@@ -732,6 +870,10 @@ int main(int argc, char** argv) {
       case Command::kProfile:
         ctx.command = "profile";
         rc = profile_command(*opts);
+        break;
+      case Command::kTop:
+        ctx.command = "top";
+        rc = top_command(*opts);
         break;
     }
   } catch (const std::exception& e) {

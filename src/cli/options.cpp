@@ -35,14 +35,21 @@ usage:
       migrated binary at site S — the full automated workflow in one step.
 
   feam report --in DIR [--html FILE] [--baseline FILE [--gate]]
-              [--bench-out FILE] [--pr N]
+              [--trend-baseline FILE] [--bench-out FILE] [--pr N]
       Aggregate every *.json run record (written by --run-record-out) and
       *.jsonl event log under DIR: print the readiness matrix with
       per-determinant failure attribution, merged latency percentiles, and
-      counter roll-ups. --html writes a self-contained dashboard. With
+      counter roll-ups. *.jsonl files carrying the feam.timeseries/1 schema
+      (written by --timeseries-out) are ingested too: the text report and
+      the --html dashboard gain over-run-time charts (cache hit rates,
+      phase p99). --html writes a self-contained dashboard. With
       --baseline and --gate, flattened metrics are diffed against the
       per-metric tolerances in FILE and the command exits 2 on regression;
-      --bench-out records the measured metrics and gate outcome.
+      --trend-baseline FILE additionally compares the early and late
+      steady-state windows of the ingested timeseries (feam.trend_baseline/1
+      schema) so slow drift over a run fails the gate even when end-of-run
+      totals look healthy. --bench-out records the measured metrics, trend
+      metrics, and gate outcome.
 
   feam profile --in FILE [--folded FILE] [--svg FILE]
       Post-process one trace (--trace-out Chrome JSON) or run record
@@ -53,6 +60,16 @@ usage:
       flamegraph text (flamegraph.pl compatible), --svg a self-contained
       flamegraph. The same input file always produces byte-identical
       output.
+
+  feam top --in FILE [--once] [--window N] [--refresh MS] [--idle-timeout MS]
+      Live view over a feam.timeseries/1 file (--timeseries-out) while the
+      writing command is still running: tails the file as it grows and
+      redraws throughput, windowed p50/p99 per phase, per-cache hit rates,
+      a lease-wait sparkline, and worker utilization every --refresh ms
+      (default 500) over a sliding window of --window samples (default 20).
+      Exits when the stream's final sample arrives or after --idle-timeout
+      ms (default 10000) without new bytes. --once reads what is there now,
+      prints one machine-readable JSON summary, and exits.
 
   Every command taking --site also accepts --site-file SPEC.json: a
   user-defined site description (see toolchain/site_spec.hpp for the
@@ -71,6 +88,14 @@ usage:
                           command (site pair, per-determinant verdicts,
                           span durations, counters, histogram summaries)
                           for later aggregation by `feam report`.
+    --timeseries-out FILE Sample every counter and histogram periodically
+                          while the command runs and append one JSONL
+                          delta line per interval (feam.timeseries/1).
+                          Watch live with `feam top --in FILE`; ingest
+                          with `feam report`.
+    --timeseries-interval MS
+                          Sampling period for --timeseries-out
+                          (default 100).
 )";
 }
 
@@ -98,6 +123,8 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     opts.command = Command::kReport;
   } else if (command == "profile") {
     opts.command = Command::kProfile;
+  } else if (command == "top") {
+    opts.command = Command::kTop;
   } else if (command == "--help" || command == "-h" || command == "help") {
     opts.command = Command::kHelp;
     return opts;
@@ -120,6 +147,10 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       opts.gate = true;
       continue;
     }
+    if (flag == "--once") {
+      opts.top_once = true;
+      continue;
+    }
     const auto v = value();
     if (!v) {
       error = flag + " requires a value";
@@ -140,6 +171,26 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     else if (flag == "--metrics-out") opts.metrics_out = *v;
     else if (flag == "--events-out") opts.events_out = *v;
     else if (flag == "--run-record-out") opts.run_record_out = *v;
+    else if (flag == "--timeseries-out") opts.timeseries_out = *v;
+    else if (flag == "--timeseries-interval" || flag == "--window" ||
+             flag == "--refresh" || flag == "--idle-timeout") {
+      int parsed = 0;
+      try {
+        parsed = std::stoi(*v);
+      } catch (const std::exception&) {
+        error = flag + " requires an integer";
+        return std::nullopt;
+      }
+      if (parsed < 1) {
+        error = flag + " must be at least 1";
+        return std::nullopt;
+      }
+      if (flag == "--timeseries-interval") opts.timeseries_interval_ms = parsed;
+      else if (flag == "--window") opts.top_window = parsed;
+      else if (flag == "--refresh") opts.top_refresh_ms = parsed;
+      else opts.top_idle_timeout_ms = parsed;
+    }
+    else if (flag == "--trend-baseline") opts.trend_baseline = *v;
     else if (flag == "--in") {
       // Shared by `report` (records directory) and `profile` (one file).
       opts.report_in = *v;
@@ -221,11 +272,15 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       break;
     case Command::kReport:
       ok = require(!opts.report_in.empty(), "report: --in is required") &&
-           require(!opts.gate || !opts.baseline.empty(),
-                   "report: --gate requires --baseline");
+           require(!opts.gate ||
+                       !opts.baseline.empty() || !opts.trend_baseline.empty(),
+                   "report: --gate requires --baseline or --trend-baseline");
       break;
     case Command::kProfile:
       ok = require(!opts.profile_in.empty(), "profile: --in is required");
+      break;
+    case Command::kTop:
+      ok = require(!opts.profile_in.empty(), "top: --in is required");
       break;
     case Command::kListSites:
     case Command::kHelp:

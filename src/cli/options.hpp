@@ -19,7 +19,7 @@ namespace feam::cli {
 
 enum class Command {
   kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kReport, kProfile,
-  kHelp
+  kTop, kHelp
 };
 
 struct Options {
@@ -41,11 +41,14 @@ struct Options {
   std::string metrics_out;  // host path for a metrics JSON file
   std::string events_out;   // host path for a JSONL event-log file
   std::string run_record_out;  // host path for a feam.run_record/1 JSON file
+  std::string timeseries_out;  // host path for a feam.timeseries/1 JSONL file
+  int timeseries_interval_ms = 100;  // sampler period for --timeseries-out
   // `feam report` (aggregation over a directory of run records):
   std::string report_in;    // directory of *.json run records / *.jsonl logs
   std::string html_out;     // self-contained HTML dashboard output path
   std::string baseline;     // feam.report_baseline/1 file for --gate
-  bool gate = false;        // apply the baseline as a regression gate
+  std::string trend_baseline;  // feam.trend_baseline/1 file for --gate
+  bool gate = false;        // apply the baseline(s) as a regression gate
   std::string bench_out;    // feam.bench/1 trajectory record output path
   int pr_number = 0;        // --pr N, recorded in the bench output
   // `feam survey`: worker threads assessing sites concurrently.
@@ -54,6 +57,11 @@ struct Options {
   std::string profile_in;   // --trace-out or --run-record-out file to ingest
   std::string folded_out;   // collapsed-stack flamegraph text output path
   std::string svg_out;      // self-contained flamegraph SVG output path
+  // `feam top` (live view over a growing --timeseries-out file):
+  bool top_once = false;    // one machine-readable JSON summary, then exit
+  int top_window = 20;      // samples per sliding stats window
+  int top_refresh_ms = 500;     // follow-mode poll/redraw period
+  int top_idle_timeout_ms = 10000;  // give up after this long with no bytes
 };
 
 // Parses argv (excluding argv[0]); on error returns nullopt and fills

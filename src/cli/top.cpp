@@ -1,0 +1,351 @@
+#include "cli/top.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/timeseries.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace feam::cli {
+namespace {
+
+// Appended bytes past `offset`, or nullopt while the file does not exist
+// yet (the watched command may not have opened it).
+std::optional<std::string> read_from(const std::string& path,
+                                     std::uint64_t offset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(static_cast<std::streamoff>(offset));
+  if (!in) return std::string{};
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// The sliding stats window: the last `window` non-final samples — the
+// final flush sample is excluded because its dt is however long the tail
+// of the command took, not one sampler interval.
+struct WindowBounds {
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+WindowBounds window_bounds(const report::Timeseries& series,
+                           std::size_t window) {
+  std::size_t end = series.samples.size();
+  if (end > 0 && series.samples[end - 1].final_sample) --end;
+  if (end == 0) end = series.samples.size();  // final-only stream
+  const std::size_t from = end > window ? end - window : 0;
+  return {from, end};
+}
+
+struct PhaseRow {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+// Unlabeled *_ns histograms with samples in the window, merged over it.
+std::vector<PhaseRow> phase_rows(const report::Timeseries& series,
+                                 const WindowBounds& window) {
+  std::set<std::string> names;
+  for (std::size_t i = window.from; i < window.to; ++i) {
+    for (const auto& [name, delta] : series.samples[i].hist_deltas) {
+      if (delta.count == 0) continue;
+      if (name.find('{') != std::string::npos) continue;
+      if (!support::ends_with(name, "_ns")) continue;
+      names.insert(name);
+    }
+  }
+  std::vector<PhaseRow> rows;
+  for (const auto& name : names) {
+    const auto merged = series.merged_histogram(name, window.from, window.to);
+    if (merged.count == 0) continue;
+    rows.push_back({name, merged.count, merged.percentile(0.50),
+                    merged.percentile(0.99)});
+  }
+  return rows;
+}
+
+// Per-sample mean lease wait over the trailing samples, newest last.
+std::vector<double> lease_wait_series(const report::Timeseries& series,
+                                      const WindowBounds& window) {
+  std::vector<double> out;
+  for (std::size_t i = window.from; i < window.to; ++i) {
+    const auto it = series.samples[i].hist_deltas.find("lease.wait_ns");
+    if (it == series.samples[i].hist_deltas.end() || it->second.count == 0) {
+      out.push_back(0.0);
+    } else {
+      out.push_back(it->second.mean());
+    }
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double peak = 0.0;
+  for (double v : values) peak = std::max(peak, v);
+  std::string out;
+  for (double v : values) {
+    const int level =
+        peak <= 0.0 ? 0
+                    : std::min(7, static_cast<int>(v / peak * 7.0 + 0.5));
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+// Mean busy workers over the window: thread-time recorded into the pool's
+// task-run histogram divided by the window's wall time.
+double avg_busy_workers(const report::Timeseries& series,
+                        const WindowBounds& window) {
+  const auto merged =
+      series.merged_histogram("pool.task_run_ns", window.from, window.to);
+  const double seconds = series.span_seconds(window.from, window.to);
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(merged.sum) / 1e9 / seconds;
+}
+
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns < 10'000.0) std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  else if (ns < 10'000'000.0) std::snprintf(buf, sizeof buf, "%.1fus",
+                                            ns / 1'000.0);
+  else if (ns < 10'000'000'000.0) std::snprintf(buf, sizeof buf, "%.1fms",
+                                                ns / 1'000'000.0);
+  else std::snprintf(buf, sizeof buf, "%.2fs", ns / 1'000'000'000.0);
+  return buf;
+}
+
+std::string render_view(const report::Timeseries& series, std::size_t window,
+                        bool follow) {
+  const WindowBounds bounds = window_bounds(series, window);
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof line,
+                "feam top — %s  interval=%llums  samples=%zu  elapsed=%.1fs%s\n",
+                series.source.empty() ? "(unnamed run)" : series.source.c_str(),
+                static_cast<unsigned long long>(series.interval_ms),
+                series.samples.size(),
+                static_cast<double>(series.duration_ns()) / 1e9,
+                series.saw_final ? "  [run finished]"
+                : follow         ? "  [live]"
+                                 : "");
+  out += line;
+
+  const double seconds = series.span_seconds(bounds.from, bounds.to);
+  const double target_rate =
+      seconds <= 0.0 ? 0.0
+                     : static_cast<double>(series.counter_delta_sum(
+                           "phase.target_runs", bounds.from, bounds.to)) /
+                           seconds;
+  const double source_rate =
+      seconds <= 0.0 ? 0.0
+                     : static_cast<double>(series.counter_delta_sum(
+                           "phase.source_runs", bounds.from, bounds.to)) /
+                           seconds;
+  std::snprintf(line, sizeof line,
+                "window: last %zu samples (%.1fs)  throughput: %.1f "
+                "target/s, %.1f source/s  workers busy: %.2f\n",
+                bounds.to - bounds.from, seconds, target_rate, source_rate,
+                avg_busy_workers(series, bounds));
+  out += line;
+
+  const auto leases = lease_wait_series(series, bounds);
+  double lease_peak = 0.0;
+  for (double v : leases) lease_peak = std::max(lease_peak, v);
+  out += "lease wait: " + sparkline(leases) + "  peak " +
+         format_ns(lease_peak) + "\n\n";
+
+  const auto caches = report::cache_windows(series, bounds.from, bounds.to);
+  if (!caches.empty()) {
+    out += "  cache            hit%   hits/misses (window)\n";
+    for (const auto& [name, cache] : caches) {
+      const int filled = static_cast<int>(cache.rate() * 20.0 + 0.5);
+      std::string bar;
+      for (int i = 0; i < 20; ++i) bar += i < filled ? '#' : '.';
+      std::snprintf(line, sizeof line, "  %-16s %5.1f  [%s] %llu/%llu\n",
+                    name.c_str(), cache.rate() * 100.0, bar.c_str(),
+                    static_cast<unsigned long long>(cache.hits),
+                    static_cast<unsigned long long>(cache.misses));
+      out += line;
+    }
+    out += "\n";
+  }
+
+  const auto phases = phase_rows(series, bounds);
+  if (!phases.empty()) {
+    out += "  phase                        n      p50        p99\n";
+    for (const auto& row : phases) {
+      std::snprintf(line, sizeof line, "  %-26s %5llu  %9s  %9s\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.count),
+                    format_ns(static_cast<double>(row.p50)).c_str(),
+                    format_ns(static_cast<double>(row.p99)).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+// --once: everything the view shows, as one JSON object on stdout.
+support::Json once_json(const report::Timeseries& series, std::size_t window) {
+  const WindowBounds bounds = window_bounds(series, window);
+  support::Json out;
+  out.set("schema", "feam.top/1");
+  out.set("source", series.source);
+  out.set("interval_ms", series.interval_ms);
+  out.set("samples", series.samples.size());
+  out.set("final", series.saw_final);
+  out.set("duration_s", static_cast<double>(series.duration_ns()) / 1e9);
+  out.set("malformed_lines", series.malformed_lines);
+
+  support::Json win;
+  win.set("from", bounds.from);
+  win.set("to", bounds.to);
+  win.set("seconds", series.span_seconds(bounds.from, bounds.to));
+  out.set("window", std::move(win));
+
+  const double seconds = series.span_seconds(bounds.from, bounds.to);
+  support::Json throughput;
+  throughput.set("target_runs_per_s",
+                 seconds <= 0.0
+                     ? 0.0
+                     : static_cast<double>(series.counter_delta_sum(
+                           "phase.target_runs", bounds.from, bounds.to)) /
+                           seconds);
+  throughput.set("source_runs_per_s",
+                 seconds <= 0.0
+                     ? 0.0
+                     : static_cast<double>(series.counter_delta_sum(
+                           "phase.source_runs", bounds.from, bounds.to)) /
+                           seconds);
+  out.set("throughput", std::move(throughput));
+  out.set("workers_busy", avg_busy_workers(series, bounds));
+
+  support::Json phases{support::Json::Object{}};
+  for (const auto& row : phase_rows(series, bounds)) {
+    support::Json phase;
+    phase.set("count", row.count);
+    phase.set("p50", row.p50);
+    phase.set("p99", row.p99);
+    phases.set(row.name, std::move(phase));
+  }
+  out.set("phases", std::move(phases));
+
+  support::Json caches{support::Json::Object{}};
+  for (const auto& [name, cache] :
+       report::cache_windows(series, bounds.from, bounds.to)) {
+    support::Json entry;
+    entry.set("hits", cache.hits);
+    entry.set("misses", cache.misses);
+    entry.set("rate", cache.rate());
+    caches.set(name, std::move(entry));
+  }
+  out.set("caches", std::move(caches));
+
+  const auto lease =
+      series.merged_histogram("lease.wait_ns", bounds.from, bounds.to);
+  support::Json lease_json;
+  lease_json.set("count", lease.count);
+  lease_json.set("mean_ns", lease.mean());
+  lease_json.set("p99_ns", lease.percentile(0.99));
+  out.set("lease_wait", std::move(lease_json));
+
+  support::Json totals{support::Json::Object{}};
+  for (const auto& [name, total] : series.final_counter_totals()) {
+    totals.set(name, total);
+  }
+  out.set("counter_totals", std::move(totals));
+
+  support::Json::Array issues;
+  for (const auto& issue : series.consistency_issues()) {
+    issues.push_back(support::Json(issue));
+  }
+  out.set("consistency_issues", support::Json(std::move(issues)));
+  return out;
+}
+
+}  // namespace
+
+int top_command(const Options& opts) {
+  const std::string& path = opts.profile_in;  // --in (shared with profile)
+  const auto window = static_cast<std::size_t>(opts.top_window);
+
+  if (opts.top_once) {
+    const auto text = read_from(path, 0);
+    if (!text) {
+      std::fprintf(stderr, "feam: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    const report::Timeseries series = report::parse_timeseries(*text);
+    if (!series.saw_meta && series.samples.empty()) {
+      std::fprintf(stderr,
+                   "feam: %s carries no feam.timeseries/1 lines; write one "
+                   "with --timeseries-out FILE on any command\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("%s\n", once_json(series, window).dump(2).c_str());
+    return 0;
+  }
+
+  // Follow mode: poll for appended bytes, redraw on change, and exit once
+  // the stream's final sample arrives (clean end) or the idle timeout
+  // passes with nothing new (writer died or the path is wrong).
+  report::TimeseriesTail tail;
+  std::uint64_t offset = 0;
+  int idle_ms = 0;
+  bool drawn = false;
+  while (true) {
+    const auto appended = read_from(path, offset);
+    bool progressed = false;
+    if (appended && !appended->empty()) {
+      offset += appended->size();
+      progressed = tail.feed(*appended) > 0;
+    }
+    if (progressed) {
+      idle_ms = 0;
+      // Full-screen redraw: home + clear-to-end keeps the view stable
+      // without scrollback spam.
+      std::printf("\x1b[H\x1b[2J%s",
+                  render_view(tail.series(), window, /*follow=*/true).c_str());
+      std::fflush(stdout);
+      drawn = true;
+      if (tail.series().saw_final) {
+        std::printf("\nstream finished (%zu samples)\n",
+                    tail.series().samples.size());
+        return 0;
+      }
+    } else {
+      idle_ms += opts.top_refresh_ms;
+      if (idle_ms >= opts.top_idle_timeout_ms) {
+        if (!drawn) {
+          std::fprintf(stderr,
+                       "feam: no timeseries data at %s after %dms; is the "
+                       "watched command running with --timeseries-out?\n",
+                       path.c_str(), opts.top_idle_timeout_ms);
+          return 1;
+        }
+        std::printf("\nno new samples for %dms; exiting\n",
+                    opts.top_idle_timeout_ms);
+        return 1;
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts.top_refresh_ms));
+  }
+}
+
+}  // namespace feam::cli

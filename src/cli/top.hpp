@@ -1,0 +1,18 @@
+// `feam top`: a live terminal view over a feam.timeseries/1 file while
+// the command writing it is still running. Follow mode tails the file as
+// it grows (the sampler appends whole lines atomically, so a reader never
+// sees a torn record — at worst a partial trailing line, which the tail
+// buffers); --once summarizes whatever is there right now as one JSON
+// object for scripts and the smoke checks.
+#pragma once
+
+#include "cli/options.hpp"
+
+namespace feam::cli {
+
+// Exit codes: 0 on a clean view (final sample seen, or --once over a
+// parseable file), 1 when the file never appears / never carries a
+// timeseries / the idle timeout expires before the final sample.
+int top_command(const Options& opts);
+
+}  // namespace feam::cli

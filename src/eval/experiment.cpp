@@ -168,6 +168,8 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
   if (entry->value) {
     source_hits_.fetch_add(1, std::memory_order_relaxed);
     obs::counter("source_phase.memo_hits").add();
+    obs::counter("cache.hits", {.site = binary.home_site, .cache = "source"})
+        .add();
     return *entry->value;
   }
   const auto* injector = home.vfs.fault_injector();
@@ -183,6 +185,8 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
   }
   source_misses_.fetch_add(1, std::memory_order_relaxed);
   obs::counter("source_phase.memo_misses").add();
+  obs::counter("cache.misses", {.site = binary.home_site, .cache = "source"})
+      .add();
   entry->value.emplace(std::move(fresh));
   return *entry->value;
 }

@@ -90,6 +90,7 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
     if (stamped != by_file_.end() && stamped->second.version == version) {
       ++hits_;
       obs::counter("bdc.cache_hits").add();
+      obs::counter("cache.hits", {.site = s.name, .cache = "bdc"}).add();
       obs::counter("bdc.cache_bytes_saved").add(bytes->size());
       return stamped->second.description;
     }
@@ -103,6 +104,7 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
         if (entry.bytes == *bytes) {
           ++hits_;
           obs::counter("bdc.cache_hits").add();
+          obs::counter("cache.hits", {.site = s.name, .cache = "bdc"}).add();
           obs::counter("bdc.cache_bytes_saved").add(bytes->size());
           BinaryDescription d = entry.description;
           d.path = std::string(path);
@@ -125,6 +127,7 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   obs::counter("bdc.cache_misses").add();
+  obs::counter("cache.misses", {.site = s.name, .cache = "bdc"}).add();
   if (described.ok()) {
     entries_[key].push_back(Entry{*bytes, described.value()});
     by_file_[std::make_pair(s.lease_id(), std::string(path))] =
@@ -151,6 +154,7 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
     if (it != entries_.end() && it->second.generation == generation) {
       ++hits_;
       obs::counter("edc.memo_hits").add();
+      obs::counter("cache.hits", {.site = s.name, .cache = "edc"}).add();
       return it->second.description;
     }
   }
@@ -168,6 +172,7 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   obs::counter("edc.memo_misses").add();
+  obs::counter("cache.misses", {.site = s.name, .cache = "edc"}).add();
   entries_[s.lease_id()] = Entry{generation, description};
   return description;
 }

@@ -403,6 +403,9 @@ namespace {
 // check and one structured event per verdict with the detail fields.
 void record_verdict(const DeterminantResult& d) {
   obs::counter("tec.determinant_checks").add();
+  obs::counter("tec.determinant_checks",
+               {.determinant = determinant_name(d.kind)})
+      .add();
   obs::emit(d.evaluated && !d.compatible ? obs::Level::kWarn
                                          : obs::Level::kInfo,
             "tec.verdict",

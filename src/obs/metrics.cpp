@@ -41,6 +41,52 @@ void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
 
 }  // namespace
 
+std::string series_name(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  std::string out(name);
+  out += '{';
+  bool first = true;
+  const auto append = [&](const char* key, std::string_view value) {
+    if (value.empty()) return;
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  };
+  append("cache", labels.cache);
+  append("determinant", labels.determinant);
+  append("site", labels.site);
+  out += '}';
+  return out;
+}
+
+SeriesKey parse_series(std::string_view series) {
+  SeriesKey key;
+  const auto brace = series.find('{');
+  if (brace == std::string_view::npos || series.back() != '}') {
+    key.name = std::string(series);
+    return key;
+  }
+  key.name = std::string(series.substr(0, brace));
+  std::string_view body = series.substr(brace + 1, series.size() - brace - 2);
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view label = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (label == "site") key.site = std::string(value);
+    else if (label == "cache") key.cache = std::string(value);
+    else if (label == "determinant") key.determinant = std::string(value);
+  }
+  return key;
+}
+
 double HistogramSnapshot::mean() const {
   return count == 0 ? 0.0
                     : static_cast<double>(sum) / static_cast<double>(count);
@@ -141,6 +187,31 @@ std::optional<HistogramSnapshot> HistogramSnapshot::from_json(
   return s;
 }
 
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  int first_bucket = -1;
+  int last_bucket = -1;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t now = buckets[static_cast<std::size_t>(i)];
+    const std::uint64_t then = earlier.buckets[static_cast<std::size_t>(i)];
+    const std::uint64_t diff = now >= then ? now - then : 0;
+    d.buckets[static_cast<std::size_t>(i)] = diff;
+    if (diff != 0) {
+      if (first_bucket < 0) first_bucket = i;
+      last_bucket = i;
+    }
+    d.count += diff;
+  }
+  d.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  if (d.count != 0) {
+    d.min_raw = std::max(bucket_lower_bound(first_bucket), min());
+    d.max = std::min(bucket_upper_bound(last_bucket), max);
+    if (d.min_raw > d.max) d.min_raw = d.max;  // single-sample windows
+  }
+  return d;
+}
+
 void Histogram::record(std::uint64_t value) {
   const int index = std::min(bucket_index(value), kBuckets - 1);
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
@@ -219,6 +290,16 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return counter(name);
+  return counter(series_name(name, labels));
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return histogram(name);
+  return histogram(series_name(name, labels));
+}
+
 std::size_t Registry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_.size() + histograms_.size();
@@ -272,6 +353,14 @@ Counter& counter(std::string_view name) { return metrics().counter(name); }
 
 Histogram& histogram(std::string_view name) {
   return metrics().histogram(name);
+}
+
+Counter& counter(std::string_view name, const Labels& labels) {
+  return metrics().counter(name, labels);
+}
+
+Histogram& histogram(std::string_view name, const Labels& labels) {
+  return metrics().histogram(name, labels);
 }
 
 std::function<void(std::uint64_t, std::uint64_t)> pool_task_recorder() {

@@ -42,6 +42,45 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+// The fixed label set of the dimensional metrics layer. Three keys only —
+// `site`, `cache`, `determinant` — each with a bounded value domain (the
+// fleet's site names; the cache families bdc/edc/resolver.*/source; the
+// four determinant kinds), so total series cardinality stays
+// O(sites × caches) and the registry, sampler, and timeseries stream can
+// enumerate every series cheaply. There is deliberately no free-form
+// key/value API: unbounded labels would turn the registry into a leak.
+//
+// A labeled metric is a *separate series* from the unlabeled one: callers
+// that re-key a hot counter per site keep recording the unlabeled total as
+// well, so legacy consumers (gate baselines, run records) see unchanged
+// numbers and `sum over labels == unlabeled total` becomes a checkable
+// invariant of the stream.
+struct Labels {
+  std::string_view site{};
+  std::string_view cache{};
+  std::string_view determinant{};
+
+  bool empty() const {
+    return site.empty() && cache.empty() && determinant.empty();
+  }
+};
+
+// Canonical encoded series name: `name{cache=c,determinant=d,site=s}` with
+// keys in fixed (alphabetical) order and empty labels omitted; a label-less
+// call returns `name` unchanged. This string is the registry key, the
+// timeseries/metrics-JSON field name, and what parse_series inverts.
+std::string series_name(std::string_view name, const Labels& labels);
+
+// A series name split back into its base name and label values. Strings
+// without a `{...}` suffix parse as the bare name with empty labels.
+struct SeriesKey {
+  std::string name;
+  std::string site;
+  std::string cache;
+  std::string determinant;
+};
+SeriesKey parse_series(std::string_view series);
+
 // A plain-value copy of a histogram's state. Snapshots are the mergeable
 // unit of the aggregation layer: serialize the buckets, merge snapshots
 // from N processes, and percentiles on the merged result keep the same
@@ -75,6 +114,15 @@ struct HistogramSnapshot {
   // Accepts to_json() output; summaries without "buckets" (the pre-
   // aggregation format) load with all samples in one synthetic bucket.
   static std::optional<HistogramSnapshot> from_json(const support::Json& j);
+
+  // The window of samples recorded between `earlier` (a previous snapshot
+  // of the same histogram) and this one. Counts, sums, and buckets diff
+  // exactly; `count` is defined as the diffed buckets' total, so a delta
+  // serialized while writers are mid-record is still internally
+  // consistent (to_json/from_json round-trips). The window's min/max are
+  // the tightest provable bounds: the first/last non-empty diffed
+  // bucket's range, clamped to the cumulative min/max.
+  HistogramSnapshot delta_since(const HistogramSnapshot& earlier) const;
 };
 
 class Histogram {
@@ -117,6 +165,14 @@ class Registry {
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  // Labeled lookups: the series registered (and exported) under
+  // series_name(name, labels). The zero-label case is byte-identical to
+  // the unlabeled overloads, so `counter(n, {})` and `counter(n)` are the
+  // same series. Returned references are stable; hot paths should resolve
+  // once and hold them.
+  Counter& counter(std::string_view name, const Labels& labels);
+  Histogram& histogram(std::string_view name, const Labels& labels);
+
   std::size_t size() const;  // distinct registered names
 
   // Plain-value copies of the current state, for serialization/merging.
@@ -139,6 +195,8 @@ class Registry {
 Registry& metrics();
 Counter& counter(std::string_view name);
 Histogram& histogram(std::string_view name);
+Counter& counter(std::string_view name, const Labels& labels);
+Histogram& histogram(std::string_view name, const Labels& labels);
 
 // Ready-made support::ThreadPool::TaskObserver: records each task's
 // submit→start queue wait into "pool.queue_wait_ns" and its run time into

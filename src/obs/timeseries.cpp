@@ -1,0 +1,104 @@
+#include "obs/timeseries.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/clock.hpp"
+#include "support/json.hpp"
+
+namespace feam::obs {
+
+TimeseriesSampler::TimeseriesSampler(Registry& registry, Options options,
+                                     LineSink sink)
+    : registry_(registry), options_(std::move(options)), sink_(std::move(sink)) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1;
+  support::Json meta;
+  meta.set("schema", kTimeseriesSchema);
+  meta.set("type", "meta");
+  meta.set("interval_ms", options_.interval_ms);
+  if (!options_.source.empty()) meta.set("source", options_.source);
+  previous_t_ns_ = now_ns();
+  meta.set("t_ns", previous_t_ns_);
+  sink_(meta.dump() + "\n");
+  thread_ = std::thread([this] { run(); });
+}
+
+TimeseriesSampler::~TimeseriesSampler() { stop(); }
+
+void TimeseriesSampler::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+    if (stopping_) break;
+    // Sample with the lock released: capturing the registry takes its
+    // mutex, and stop() only flips the flag — it never samples while the
+    // thread is alive — so previous_/seq_ stay single-writer.
+    lock.unlock();
+    sample_once(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void TimeseriesSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  sample_once(/*final_line=*/true);
+}
+
+std::uint64_t TimeseriesSampler::samples_emitted() const { return seq_; }
+
+void TimeseriesSampler::sample_once(bool final_line) {
+  const std::uint64_t t_ns = now_ns();
+  Shot current;
+  current.counters = registry_.counter_values();
+  current.histograms = registry_.histogram_snapshots();
+
+  support::Json counters{support::Json::Object{}};
+  for (const auto& [name, total] : current.counters) {
+    const auto it = previous_.counters.find(name);
+    const std::uint64_t before =
+        it == previous_.counters.end() ? 0 : it->second;
+    const std::uint64_t delta = total >= before ? total - before : 0;
+    if (delta == 0 && !final_line) continue;
+    support::Json entry;
+    entry.set("d", delta);
+    entry.set("t", total);
+    counters.set(name, std::move(entry));
+  }
+
+  support::Json histograms{support::Json::Object{}};
+  for (const auto& [name, snapshot] : current.histograms) {
+    const auto it = previous_.histograms.find(name);
+    const HistogramSnapshot delta = it == previous_.histograms.end()
+                                        ? snapshot.delta_since({})
+                                        : snapshot.delta_since(it->second);
+    if (delta.count == 0 && !final_line) continue;
+    support::Json entry;
+    entry.set("d", delta.to_json());
+    entry.set("t", snapshot.count);
+    histograms.set(name, std::move(entry));
+  }
+
+  support::Json line;
+  line.set("schema", kTimeseriesSchema);
+  line.set("type", "sample");
+  line.set("seq", seq_);
+  line.set("t_ns", t_ns);
+  line.set("dt_ns", t_ns >= previous_t_ns_ ? t_ns - previous_t_ns_ : 0);
+  line.set("final", final_line);
+  line.set("counters", std::move(counters));
+  line.set("histograms", std::move(histograms));
+  sink_(line.dump() + "\n");
+
+  previous_ = std::move(current);
+  previous_t_ns_ = t_ns;
+  ++seq_;
+}
+
+}  // namespace feam::obs

@@ -1,0 +1,101 @@
+// The streaming half of the observability layer: a background sampler
+// that turns the process-wide metric registry into a `feam.timeseries/1`
+// JSONL stream while the run is still in flight.
+//
+// Every tick the sampler snapshots the registry, diffs it against the
+// previous snapshot, and emits one self-contained line of *window deltas*
+// — counter increments and histogram bucket diffs (mergeable
+// HistogramSnapshot JSON) since the last tick — plus the running totals,
+// so a consumer can both chart windows and cross-check that the deltas
+// telescope exactly to the totals. Memory is bounded by one retained
+// snapshot regardless of run length; nothing is buffered.
+//
+// Line discipline: each line is assembled in full (terminating '\n'
+// included) before the sink sees it, so a concurrently tailing reader
+// (`feam top`) observes only whole lines or a trailing partial write,
+// never interleaved fragments. stop() — also run by the destructor —
+// emits one final line with "final":true covering every registered
+// series, which is both the clean-shutdown marker tailing consumers exit
+// on and the anchor for sum-of-deltas == final-total verification.
+//
+// Stream schema (feam.timeseries/1), one JSON object per line:
+//   {"schema":"feam.timeseries/1","type":"meta","interval_ms":N,
+//    "source":"...","t_ns":...}                            — first line
+//   {"schema":"feam.timeseries/1","type":"sample","seq":K,"t_ns":...,
+//    "dt_ns":...,"final":false,
+//    "counters":{"name":{"d":delta,"t":total},...},
+//    "histograms":{"name":{"d":{<HistogramSnapshot>},"t":count},...}}
+// Sample lines carry only series that changed in the window; the final
+// line carries every series (delta may be 0). Series names are
+// obs::series_name encodings, so labeled series travel as
+// "cache.hits{cache=bdc,site=india}".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace feam::obs {
+
+inline constexpr std::string_view kTimeseriesSchema = "feam.timeseries/1";
+
+class TimeseriesSampler {
+ public:
+  // Receives one complete line (trailing '\n' included) per emission, on
+  // the sampler thread and — for the final line — on the stop() caller's
+  // thread. Implementations should write-and-flush so tails see lines
+  // promptly.
+  using LineSink = std::function<void(const std::string& line)>;
+
+  struct Options {
+    std::uint64_t interval_ms = 100;
+    std::string source;  // free-form provenance tag for the meta line
+  };
+
+  // Emits the meta line and starts the sampling thread immediately.
+  TimeseriesSampler(Registry& registry, Options options, LineSink sink);
+  TimeseriesSampler(const TimeseriesSampler&) = delete;
+  TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
+
+  // Stops via stop() if the caller has not already.
+  ~TimeseriesSampler();
+
+  // Joins the sampler thread and emits the "final":true line. Idempotent;
+  // after it returns the sink will not be called again.
+  void stop();
+
+  std::uint64_t samples_emitted() const;
+
+ private:
+  struct Shot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+
+  void run();
+  // Diffs the registry against previous_, emits one line, advances
+  // previous_. Called from the sampler thread and, for the final line,
+  // from stop() after the thread has joined.
+  void sample_once(bool final_line);
+
+  Registry& registry_;
+  Options options_;
+  LineSink sink_;
+  Shot previous_;
+  std::uint64_t previous_t_ns_ = 0;
+  std::uint64_t seq_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace feam::obs

@@ -245,6 +245,180 @@ void append_profile(std::string& out, const Aggregate& aggregate) {
   out += "</section>\n";
 }
 
+// ---- Time-series charts (inline SVG, server-side rendered) ----
+//
+// Everything below plots per-sample deltas from one feam.timeseries/1
+// stream against elapsed run time. SVG is generated here rather than in
+// the data-island JS so the charts render with scripts disabled and the
+// output stays byte-deterministic for a given stream.
+
+struct ChartSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  // (seconds, value)
+};
+
+constexpr const char* kSeriesPalette[] = {"#2a78d6", "#0ca30c", "#d03b3b",
+                                          "#b38c00", "#7a4fd0", "#0a9e9e"};
+
+std::string chart_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string render_line_chart(const std::vector<ChartSeries>& series,
+                              bool percent) {
+  constexpr double kW = 720.0, kH = 200.0;
+  constexpr double kLeft = 52.0, kRight = 710.0, kTop = 12.0, kBottom = 168.0;
+  double x_max = 0.0, y_max = 0.0;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      x_max = std::max(x_max, x);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (percent) y_max = 1.0;
+  if (x_max <= 0.0) x_max = 1.0;
+  if (y_max <= 0.0) y_max = 1.0;
+  const auto sx = [&](double x) {
+    return kLeft + (kRight - kLeft) * x / x_max;
+  };
+  const auto sy = [&](double y) {
+    return kBottom - (kBottom - kTop) * y / y_max;
+  };
+  const auto y_label = [&](double y) {
+    if (percent) return chart_number(y * 100.0) + "%";
+    return format_ns(y);
+  };
+
+  std::string svg = "<svg viewBox=\"0 0 " + chart_number(kW) + " " +
+                    chart_number(kH) + "\" class=\"chart\" role=\"img\">";
+  // Axes + horizontal gridlines at 0 / 50 / 100% of the y extent.
+  for (double frac : {0.0, 0.5, 1.0}) {
+    const double y = sy(y_max * frac);
+    svg += "<line x1=\"" + chart_number(kLeft) + "\" y1=\"" +
+           chart_number(y) + "\" x2=\"" + chart_number(kRight) + "\" y2=\"" +
+           chart_number(y) + "\" class=\"chart-grid\"/>";
+    svg += "<text x=\"" + chart_number(kLeft - 6.0) + "\" y=\"" +
+           chart_number(y + 4.0) +
+           "\" text-anchor=\"end\" class=\"chart-label\">" +
+           html_escape(y_label(y_max * frac)) + "</text>";
+  }
+  svg += "<text x=\"" + chart_number(kRight) + "\" y=\"" +
+         chart_number(kBottom + 16.0) +
+         "\" text-anchor=\"end\" class=\"chart-label\">" +
+         chart_number(x_max) + "s</text>";
+
+  std::size_t color = 0;
+  for (const auto& s : series) {
+    const char* stroke =
+        kSeriesPalette[color++ % (sizeof kSeriesPalette /
+                                  sizeof kSeriesPalette[0])];
+    if (s.points.size() < 2) continue;
+    std::string polyline = "<polyline fill=\"none\" stroke=\"";
+    polyline += stroke;
+    polyline += "\" stroke-width=\"1.8\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      polyline += chart_number(sx(x)) + "," + chart_number(sy(y)) + " ";
+    }
+    polyline += "\"><title>";
+    polyline += html_escape(s.label);
+    polyline += "</title></polyline>";
+    svg += polyline;
+  }
+  svg += "</svg>";
+
+  std::string legend = "<div class=\"legend\">";
+  color = 0;
+  for (const auto& s : series) {
+    const char* stroke =
+        kSeriesPalette[color++ % (sizeof kSeriesPalette /
+                                  sizeof kSeriesPalette[0])];
+    legend += "<span><span class=\"swatch\" style=\"background:";
+    legend += stroke;
+    legend += "\"></span>" + html_escape(s.label) + "</span>";
+  }
+  legend += "</div>\n";
+  return legend + svg;
+}
+
+// Trailing-window smoothing: each chart point at sample i aggregates the
+// deltas of samples (i-kSmooth, i] so one quiet interval doesn't drop a
+// hit-rate line to zero.
+constexpr std::size_t kSmooth = 5;
+
+void append_timeseries_charts(std::string& out, const Timeseries& ts) {
+  if (ts.samples.empty()) return;
+  out += "<section><h2>Run timeline</h2>\n";
+  out += "<p class=\"note\">Sampled every " +
+         std::to_string(ts.interval_ms) + "ms over " +
+         chart_number(static_cast<double>(ts.duration_ns()) / 1e9) +
+         "s; each point aggregates the trailing " +
+         std::to_string(kSmooth) + " samples.</p>\n";
+
+  // Elapsed seconds at each sample.
+  std::vector<double> elapsed;
+  double clock = 0.0;
+  for (const auto& sample : ts.samples) {
+    clock += static_cast<double>(sample.dt_ns) / 1e9;
+    elapsed.push_back(clock);
+  }
+
+  // Chart 1: per-cache hit rate over run time.
+  std::map<std::string, ChartSeries> rates;
+  for (std::size_t i = 0; i < ts.samples.size(); ++i) {
+    const std::size_t from = i + 1 > kSmooth ? i + 1 - kSmooth : 0;
+    for (const auto& [name, window] : cache_windows(ts, from, i + 1)) {
+      if (window.hits + window.misses == 0) continue;
+      auto& series = rates[name];
+      series.label = name;
+      series.points.emplace_back(elapsed[i], window.rate());
+    }
+  }
+  if (!rates.empty()) {
+    out += "<h2>Cache hit rate over run time</h2>\n";
+    std::vector<ChartSeries> series;
+    for (auto& [name, s] : rates) series.push_back(std::move(s));
+    out += render_line_chart(series, /*percent=*/true);
+  }
+
+  // Chart 2: windowed p99 of the busiest unlabeled *_ns histograms.
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& sample : ts.samples) {
+    for (const auto& [name, delta] : sample.hist_deltas) {
+      if (name.find('{') != std::string::npos) continue;
+      if (!support::ends_with(name, "_ns")) continue;
+      totals[name] += delta.count;
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> busiest;
+  for (const auto& [name, count] : totals) {
+    if (count > 0) busiest.emplace_back(count, name);
+  }
+  std::sort(busiest.rbegin(), busiest.rend());
+  if (busiest.size() > 4) busiest.resize(4);
+  std::sort(busiest.begin(), busiest.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (!busiest.empty()) {
+    std::vector<ChartSeries> series;
+    for (const auto& [count, name] : busiest) {
+      ChartSeries s;
+      s.label = name + " p99";
+      for (std::size_t i = 0; i < ts.samples.size(); ++i) {
+        const std::size_t from = i + 1 > kSmooth ? i + 1 - kSmooth : 0;
+        const auto merged = ts.merged_histogram(name, from, i + 1);
+        if (merged.count == 0) continue;
+        s.points.emplace_back(
+            elapsed[i], static_cast<double>(merged.percentile(0.99)));
+      }
+      series.push_back(std::move(s));
+    }
+    out += "<h2>Latency p99 over run time</h2>\n";
+    out += render_line_chart(series, /*percent=*/false);
+  }
+  out += "</section>\n";
+}
+
 void append_counters(std::string& out, const Aggregate& aggregate) {
   if (aggregate.counters.empty()) return;
   out += "<section><h2>Counter roll-up</h2>\n";
@@ -448,6 +622,9 @@ select {
   white-space: nowrap;
   font-variant-numeric: tabular-nums;
 }
+.chart { width: 100%; height: auto; display: block; }
+.chart-grid { stroke: var(--gridline); stroke-width: 1; }
+.chart-label { fill: var(--text-muted); font-size: 11px; }
 .flame { overflow-x: auto; margin: 0 0 12px; }
 .flame svg { display: block; border: 1px solid var(--gridline); border-radius: 6px; }
 footer { color: var(--text-muted); font-size: 12px; margin-top: 20px; }
@@ -539,7 +716,8 @@ constexpr const char* kScript = R"js(
 
 }  // namespace
 
-std::string render_html_dashboard(const Aggregate& aggregate) {
+std::string render_html_dashboard(const Aggregate& aggregate,
+                                  const Timeseries* timeseries) {
   std::string out;
   out.reserve(32768);
   out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
@@ -571,6 +749,7 @@ std::string render_html_dashboard(const Aggregate& aggregate) {
   out += "</div>\n";
 
   append_matrix(out, aggregate);
+  if (timeseries != nullptr) append_timeseries_charts(out, *timeseries);
   append_latency_bars(out, aggregate);
   append_profile(out, aggregate);
 

@@ -8,9 +8,14 @@
 #include <string>
 
 #include "report/aggregate.hpp"
+#include "report/timeseries.hpp"
 
 namespace feam::report {
 
-std::string render_html_dashboard(const Aggregate& aggregate);
+// `timeseries` (optional) adds over-run-time charts — per-cache hit rate
+// and per-phase p99 against elapsed time — rendered as inline SVG from the
+// stream's per-sample deltas.
+std::string render_html_dashboard(const Aggregate& aggregate,
+                                  const Timeseries* timeseries = nullptr);
 
 }  // namespace feam::report

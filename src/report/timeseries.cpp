@@ -1,0 +1,220 @@
+#include "report/timeseries.hpp"
+
+#include <algorithm>
+
+#include "support/json.hpp"
+
+namespace feam::report {
+
+namespace {
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+bool is_blank(std::string_view line) {
+  return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+}  // namespace
+
+std::uint64_t Timeseries::duration_ns() const {
+  if (!saw_meta || samples.empty()) return 0;
+  const std::uint64_t last = samples.back().t_ns;
+  return last >= meta_t_ns ? last - meta_t_ns : 0;
+}
+
+void Timeseries::feed_line(std::string_view line) {
+  line = strip_cr(line);
+  if (is_blank(line)) return;
+  const auto parsed = support::Json::parse(line);
+  if (!parsed || !parsed->is_object() ||
+      parsed->get_string("schema") != kTimeseriesSchema) {
+    ++malformed_lines;
+    return;
+  }
+  const std::string type = parsed->get_string("type");
+  if (type == "meta") {
+    saw_meta = true;
+    interval_ms = static_cast<std::uint64_t>(parsed->get_int("interval_ms"));
+    meta_t_ns = static_cast<std::uint64_t>(parsed->get_int("t_ns"));
+    source = parsed->get_string("source");
+    return;
+  }
+  if (type != "sample") {
+    ++malformed_lines;
+    return;
+  }
+  TimeseriesSample sample;
+  sample.seq = static_cast<std::uint64_t>(parsed->get_int("seq"));
+  sample.t_ns = static_cast<std::uint64_t>(parsed->get_int("t_ns"));
+  sample.dt_ns = static_cast<std::uint64_t>(parsed->get_int("dt_ns"));
+  sample.final_sample = parsed->get_bool("final");
+  const auto& counters = (*parsed)["counters"];
+  if (counters.is_object()) {
+    for (const auto& [name, entry] : counters.as_object()) {
+      if (!entry.is_object()) continue;
+      sample.counter_deltas[name] =
+          static_cast<std::uint64_t>(entry.get_int("d"));
+      sample.counter_totals[name] =
+          static_cast<std::uint64_t>(entry.get_int("t"));
+    }
+  }
+  const auto& histograms = (*parsed)["histograms"];
+  if (histograms.is_object()) {
+    for (const auto& [name, entry] : histograms.as_object()) {
+      if (!entry.is_object()) continue;
+      auto snapshot = obs::HistogramSnapshot::from_json(entry["d"]);
+      if (!snapshot) {
+        ++malformed_lines;
+        continue;
+      }
+      sample.hist_deltas[name] = *snapshot;
+      sample.hist_totals[name] =
+          static_cast<std::uint64_t>(entry.get_int("t"));
+    }
+  }
+  samples.push_back(std::move(sample));
+  if (samples.back().final_sample) saw_final = true;
+}
+
+std::uint64_t Timeseries::counter_delta_sum(std::string_view series,
+                                            std::size_t from,
+                                            std::size_t to) const {
+  to = std::min(to, samples.size());
+  std::uint64_t sum = 0;
+  for (std::size_t i = from; i < to; ++i) {
+    const auto it = samples[i].counter_deltas.find(std::string(series));
+    if (it != samples[i].counter_deltas.end()) sum += it->second;
+  }
+  return sum;
+}
+
+obs::HistogramSnapshot Timeseries::merged_histogram(std::string_view series,
+                                                    std::size_t from,
+                                                    std::size_t to) const {
+  to = std::min(to, samples.size());
+  obs::HistogramSnapshot merged;
+  for (std::size_t i = from; i < to; ++i) {
+    const auto it = samples[i].hist_deltas.find(std::string(series));
+    if (it != samples[i].hist_deltas.end()) merged.merge(it->second);
+  }
+  return merged;
+}
+
+double Timeseries::span_seconds(std::size_t from, std::size_t to) const {
+  to = std::min(to, samples.size());
+  std::uint64_t span_ns = 0;
+  for (std::size_t i = from; i < to; ++i) span_ns += samples[i].dt_ns;
+  return static_cast<double>(span_ns) / 1e9;
+}
+
+std::map<std::string, std::uint64_t> Timeseries::final_counter_totals() const {
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& sample : samples) {
+    for (const auto& [name, total] : sample.counter_totals) {
+      totals[name] = total;
+    }
+  }
+  return totals;
+}
+
+std::map<std::string, std::uint64_t> Timeseries::final_histogram_counts()
+    const {
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& sample : samples) {
+    for (const auto& [name, total] : sample.hist_totals) totals[name] = total;
+  }
+  return totals;
+}
+
+std::vector<std::string> Timeseries::consistency_issues() const {
+  std::vector<std::string> issues;
+  std::map<std::string, std::uint64_t> counter_sums;
+  std::map<std::string, std::uint64_t> hist_sums;
+  for (const auto& sample : samples) {
+    for (const auto& [name, delta] : sample.counter_deltas) {
+      counter_sums[name] += delta;
+    }
+    for (const auto& [name, delta] : sample.hist_deltas) {
+      hist_sums[name] += delta.count;
+    }
+  }
+  for (const auto& [name, total] : final_counter_totals()) {
+    const std::uint64_t sum = counter_sums[name];
+    if (sum != total) {
+      issues.push_back("counter " + name + ": sum of deltas " +
+                       std::to_string(sum) + " != final total " +
+                       std::to_string(total));
+    }
+  }
+  for (const auto& [name, total] : final_histogram_counts()) {
+    const std::uint64_t sum = hist_sums[name];
+    if (sum != total) {
+      issues.push_back("histogram " + name + ": sum of delta counts " +
+                       std::to_string(sum) + " != final count " +
+                       std::to_string(total));
+    }
+  }
+  return issues;
+}
+
+std::map<std::string, CacheWindow> cache_windows(const Timeseries& series,
+                                                 std::size_t from,
+                                                 std::size_t to) {
+  to = std::min(to, series.samples.size());
+  std::map<std::string, CacheWindow> out;
+  for (std::size_t i = from; i < to; ++i) {
+    for (const auto& [name, delta] : series.samples[i].counter_deltas) {
+      if (name.compare(0, 11, "cache.hits{") != 0 &&
+          name.compare(0, 13, "cache.misses{") != 0) {
+        continue;
+      }
+      const obs::SeriesKey key = obs::parse_series(name);
+      if (key.cache.empty()) continue;
+      if (key.name == "cache.hits") out[key.cache].hits += delta;
+      else if (key.name == "cache.misses") out[key.cache].misses += delta;
+    }
+  }
+  return out;
+}
+
+bool looks_like_timeseries(std::string_view text) {
+  while (!text.empty()) {
+    const auto eol = text.find('\n');
+    const std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (is_blank(strip_cr(line))) continue;
+    const auto parsed = support::Json::parse(strip_cr(line));
+    return parsed && parsed->is_object() &&
+           parsed->get_string("schema") == kTimeseriesSchema;
+  }
+  return false;
+}
+
+Timeseries parse_timeseries(std::string_view text) {
+  TimeseriesTail tail;
+  tail.feed(text);
+  return tail.series();
+}
+
+std::size_t TimeseriesTail::feed(std::string_view bytes) {
+  pending_.append(bytes.data(), bytes.size());
+  std::size_t consumed = 0;
+  std::size_t start = 0;
+  while (true) {
+    const auto eol = pending_.find('\n', start);
+    if (eol == std::string::npos) break;
+    series_.feed_line(
+        std::string_view(pending_).substr(start, eol - start));
+    start = eol + 1;
+    ++consumed;
+  }
+  pending_.erase(0, start);
+  return consumed;
+}
+
+}  // namespace feam::report

@@ -10,10 +10,10 @@
 // (documented in ARCHITECTURE.md, "Concurrency model").
 //
 // Contention visibility: every acquisition records its wait into the
-// "lease.wait_ns" histogram plus a per-site "lease.wait_ns.<site>" one
-// (nanoseconds on the obs clock; the obs layer's metric names carry _ns
-// units throughout). An uncontended try_lock records 0 without reading the
-// clock twice, so the lease fast path stays one atomic heavier at most.
+// "lease.wait_ns" histogram plus the site-labeled "lease.wait_ns{site=S}"
+// series (nanoseconds on the obs clock; the obs layer's metric names carry
+// _ns units throughout). An uncontended try_lock records 0 without reading
+// the clock twice, so the lease fast path stays one atomic heavier at most.
 #pragma once
 
 #include <mutex>
@@ -38,7 +38,8 @@ inline std::unique_lock<std::mutex> acquire_lease(Site& site,
     waited_ns = obs::now_ns() - start;
   }
   obs::histogram("lease.wait_ns").record(waited_ns);
-  obs::histogram(std::string("lease.wait_ns.") + site.name).record(waited_ns);
+  obs::histogram("lease.wait_ns", obs::Labels{.site = site.name})
+      .record(waited_ns);
   return lock;
 }
 

@@ -1,0 +1,236 @@
+// Reader + trend-gate tests over synthetic feam.timeseries/1 streams:
+// incremental tailing with torn lines, malformed-line accounting, windowed
+// aggregation, and the gate's core promise — an injected steady-state
+// slowdown fails, the clean run passes.
+#include "report/timeseries.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "report/trend.hpp"
+#include "support/json.hpp"
+
+namespace feam::report {
+namespace {
+
+std::string meta_line() {
+  return R"({"interval_ms":100,"schema":"feam.timeseries/1","source":"synthetic","t_ns":0,"type":"meta"})"
+         "\n";
+}
+
+// One sample line with a counter delta and a single-bucket histogram delta
+// whose every sample is `value` (bucket index chosen loosely: one synthetic
+// bucket carrying the full count, min=max=value — from_json accepts it).
+std::string sample_line(std::uint64_t seq, std::uint64_t hits_delta,
+                        std::uint64_t hits_total, std::uint64_t misses_delta,
+                        std::uint64_t misses_total, std::uint64_t lat_count,
+                        std::uint64_t lat_value, std::uint64_t lat_total,
+                        bool final_sample = false) {
+  support::Json hist;
+  hist.set("count", lat_count);
+  hist.set("sum", lat_count * lat_value);
+  hist.set("min", lat_value);
+  hist.set("max", lat_value);
+  support::Json line;
+  line.set("schema", "feam.timeseries/1");
+  line.set("type", "sample");
+  line.set("seq", seq);
+  line.set("t_ns", std::uint64_t{(seq + 1) * 100'000'000ull});
+  line.set("dt_ns", std::uint64_t{100'000'000});
+  line.set("final", final_sample);
+  support::Json counters{support::Json::Object{}};
+  support::Json hits;
+  hits.set("d", hits_delta);
+  hits.set("t", hits_total);
+  counters.set("cache.hits{cache=bdc,site=india}", std::move(hits));
+  support::Json misses;
+  misses.set("d", misses_delta);
+  misses.set("t", misses_total);
+  counters.set("cache.misses{cache=bdc,site=india}", std::move(misses));
+  line.set("counters", std::move(counters));
+  support::Json histograms{support::Json::Object{}};
+  support::Json entry;
+  entry.set("d", std::move(hist));
+  entry.set("t", lat_total);
+  histograms.set("phase.target_ns", std::move(entry));
+  line.set("histograms", std::move(histograms));
+  return line.dump() + "\n";
+}
+
+// 20 samples: hit rate and latency steady by default; `degrade` makes the
+// back half drift (latency x4, hit rate collapsing).
+std::string synthetic_stream(bool degrade) {
+  std::string text = meta_line();
+  std::uint64_t hits = 0, misses = 0, lat_total = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const bool late = i >= 10;
+    const std::uint64_t hit_d = degrade && late ? 2 : 8;
+    const std::uint64_t miss_d = degrade && late ? 8 : 2;
+    const std::uint64_t lat = degrade && late ? 4'000'000 : 1'000'000;
+    hits += hit_d;
+    misses += miss_d;
+    lat_total += 10;
+    text += sample_line(i, hit_d, hits, miss_d, misses, 10, lat, lat_total,
+                        /*final_sample=*/i == 19);
+  }
+  return text;
+}
+
+support::Json trend_baseline() {
+  const auto parsed = support::Json::parse(R"({
+    "schema": "feam.trend_baseline/1",
+    "steady_state": {"skip_head_fraction": 0.1, "min_samples": 6},
+    "metrics": {
+      "hist.phase.target_ns.p99": {"max_drift": 0.5},
+      "hitrate.cache": {"max_drop": 0.2, "min_late": 0.5},
+      "rate.cache.hits{cache=bdc,site=india}": {"max_drop": 0.95}
+    }})");
+  return *parsed;
+}
+
+TEST(TimeseriesParse, ReadsMetaSamplesAndFinal) {
+  const Timeseries series = parse_timeseries(synthetic_stream(false));
+  EXPECT_TRUE(series.saw_meta);
+  EXPECT_TRUE(series.saw_final);
+  EXPECT_EQ(series.interval_ms, 100u);
+  EXPECT_EQ(series.source, "synthetic");
+  EXPECT_EQ(series.samples.size(), 20u);
+  EXPECT_EQ(series.malformed_lines, 0u);
+  EXPECT_TRUE(series.consistency_issues().empty());
+  EXPECT_EQ(
+      series.final_counter_totals().at("cache.hits{cache=bdc,site=india}"),
+      160u);
+  EXPECT_EQ(series.final_histogram_counts().at("phase.target_ns"), 200u);
+}
+
+TEST(TimeseriesParse, CountsMalformedLinesAndForeignSchemas) {
+  std::string text = meta_line();
+  text += "not json at all\n";
+  text += R"({"schema":"somebody.else/9","type":"sample"})" "\n";
+  text += R"({"schema":"feam.timeseries/1","type":"mystery"})" "\n";
+  const Timeseries series = parse_timeseries(text);
+  EXPECT_TRUE(series.saw_meta);
+  EXPECT_EQ(series.malformed_lines, 3u);
+  EXPECT_TRUE(series.samples.empty());
+}
+
+TEST(TimeseriesParse, DetectsBrokenTelescoping) {
+  std::string text = meta_line();
+  text += sample_line(0, 5, 5, 0, 0, 1, 100, 1);
+  text += sample_line(1, 5, 12, 0, 0, 1, 100, 2);  // 5+5 != 12
+  const Timeseries series = parse_timeseries(text);
+  const auto issues = series.consistency_issues();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("cache.hits{cache=bdc,site=india}"),
+            std::string::npos);
+}
+
+TEST(TimeseriesTailTest, BuffersTornLinesAcrossFeeds) {
+  const std::string text = synthetic_stream(false);
+  TimeseriesTail tail;
+  // Drip-feed in 7-byte chunks: every line boundary lands mid-chunk.
+  for (std::size_t at = 0; at < text.size(); at += 7) {
+    tail.feed(std::string_view(text).substr(at, 7));
+  }
+  EXPECT_EQ(tail.series().samples.size(), 20u);
+  EXPECT_TRUE(tail.series().saw_final);
+  EXPECT_EQ(tail.series().malformed_lines, 0u);
+
+  // A trailing partial line stays buffered, not misparsed.
+  TimeseriesTail torn;
+  torn.feed(meta_line() + R"({"schema":"feam.time)");
+  EXPECT_EQ(torn.series().malformed_lines, 0u);
+  EXPECT_TRUE(torn.series().saw_meta);
+}
+
+TEST(TimeseriesWindows, CacheRollupAndMergedHistograms) {
+  const Timeseries series = parse_timeseries(synthetic_stream(false));
+  const auto caches = cache_windows(series, 0, series.samples.size());
+  ASSERT_TRUE(caches.count("bdc"));
+  EXPECT_EQ(caches.at("bdc").hits, 160u);
+  EXPECT_EQ(caches.at("bdc").misses, 40u);
+  EXPECT_DOUBLE_EQ(caches.at("bdc").rate(), 0.8);
+
+  const auto merged = series.merged_histogram("phase.target_ns", 0, 10);
+  EXPECT_EQ(merged.count, 100u);
+  EXPECT_DOUBLE_EQ(series.span_seconds(0, 10), 1.0);
+  EXPECT_EQ(series.counter_delta_sum("cache.hits{cache=bdc,site=india}",
+                                     0, 10),
+            80u);
+}
+
+TEST(LooksLikeTimeseries, DiscriminatesFromEventLogs) {
+  EXPECT_TRUE(looks_like_timeseries(synthetic_stream(false)));
+  EXPECT_FALSE(looks_like_timeseries(
+      R"({"level":"info","name":"phase.start"})" "\n"));
+  EXPECT_FALSE(looks_like_timeseries(""));
+}
+
+TEST(TrendGate, PassesOnACleanSteadyState) {
+  const Timeseries series = parse_timeseries(synthetic_stream(false));
+  const auto result = run_trend_gate(series, trend_baseline());
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().pass) << result.value().render();
+  EXPECT_EQ(result.value().failures(), 0u);
+  // Checks actually evaluated, not vacuously skipped.
+  for (const auto& check : result.value().checks) {
+    EXPECT_FALSE(check.skipped) << check.metric;
+  }
+}
+
+TEST(TrendGate, FailsOnInjectedSteadyStateSlowdown) {
+  const Timeseries series = parse_timeseries(synthetic_stream(true));
+  const auto result = run_trend_gate(series, trend_baseline());
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_FALSE(result.value().pass);
+  bool latency_failed = false, hitrate_failed = false;
+  for (const auto& check : result.value().checks) {
+    if (check.metric == "hist.phase.target_ns.p99" && !check.pass) {
+      latency_failed = true;
+      EXPECT_GT(check.drift, 0.5);
+    }
+    if (check.metric == "hitrate.cache" && !check.pass) hitrate_failed = true;
+  }
+  EXPECT_TRUE(latency_failed) << result.value().render();
+  EXPECT_TRUE(hitrate_failed) << result.value().render();
+}
+
+TEST(TrendGate, SkipsWhenTooFewSteadySamples) {
+  std::string text = meta_line();
+  text += sample_line(0, 1, 1, 0, 0, 1, 100, 1);
+  const Timeseries series = parse_timeseries(text);
+  const auto result = run_trend_gate(series, trend_baseline());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().pass);  // vacuous pass, explicitly marked
+  for (const auto& check : result.value().checks) {
+    EXPECT_TRUE(check.skipped);
+  }
+}
+
+TEST(TrendGate, RejectsMalformedBaselines) {
+  const Timeseries series = parse_timeseries(synthetic_stream(false));
+  EXPECT_FALSE(run_trend_gate(series, *support::Json::parse(
+                                          R"({"schema":"wrong/1"})"))
+                   .ok());
+  EXPECT_FALSE(
+      run_trend_gate(series,
+                     *support::Json::parse(
+                         R"({"schema":"feam.trend_baseline/1","metrics":
+                             {"bogus.selector": {"max_drift": 1}}})"))
+          .ok());
+}
+
+TEST(TrendGate, FlattensMetricsForBenchRecords) {
+  const Timeseries series = parse_timeseries(synthetic_stream(false));
+  const auto result = run_trend_gate(series, trend_baseline());
+  ASSERT_TRUE(result.ok());
+  const auto metrics = trend_metrics(result.value());
+  EXPECT_EQ(metrics.at("trend.pass"), 1.0);
+  EXPECT_GT(metrics.at("trend.steady_samples"), 0.0);
+  EXPECT_TRUE(metrics.count("trend.hitrate.cache.late"));
+  EXPECT_TRUE(metrics.count("trend.hist.phase.target_ns.p99.drift"));
+}
+
+}  // namespace
+}  // namespace feam::report

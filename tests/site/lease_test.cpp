@@ -70,11 +70,11 @@ TEST(SiteLease, UncontendedAcquireRecordsZeroWait) {
   auto s = toolchain::make_site("india");
   const auto global_before = obs::histogram("lease.wait_ns").snapshot();
   const auto site_before =
-      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+      obs::histogram("lease.wait_ns", obs::Labels{.site = s->name}).snapshot();
   { SiteLease lease(*s); }
   const auto global_after = obs::histogram("lease.wait_ns").snapshot();
   const auto site_after =
-      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+      obs::histogram("lease.wait_ns", obs::Labels{.site = s->name}).snapshot();
   // One sample lands in both histograms, and the fast path charges 0 wait.
   EXPECT_EQ(global_after.count, global_before.count + 1);
   EXPECT_EQ(site_after.count, site_before.count + 1);
@@ -85,7 +85,7 @@ TEST(SiteLease, UncontendedAcquireRecordsZeroWait) {
 TEST(SiteLease, ContendedAcquireRecordsTheBlockingWait) {
   auto s = toolchain::make_site("india");
   const auto before =
-      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+      obs::histogram("lease.wait_ns", obs::Labels{.site = s->name}).snapshot();
   std::atomic<bool> holder_ready{false};
   std::thread holder([&] {
     SiteLease lease(*s);
@@ -98,7 +98,7 @@ TEST(SiteLease, ContendedAcquireRecordsTheBlockingWait) {
   { SiteLease lease(*s); }  // blocks until the holder releases
   holder.join();
   const auto after =
-      obs::histogram(std::string("lease.wait_ns.") + s->name).snapshot();
+      obs::histogram("lease.wait_ns", obs::Labels{.site = s->name}).snapshot();
   EXPECT_EQ(after.count, before.count + 2);
   // The waiter blocked for most of the holder's 20ms sleep.
   EXPECT_GE(after.sum - before.sum, 5'000'000u);
