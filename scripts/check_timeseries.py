@@ -10,8 +10,12 @@ feam.timeseries/1 contract:
   * per-series telescoping: previous total + delta == total on every line,
     and the sum of all deltas equals the final sample's totals exactly,
   * the final counter totals agree with --metrics-out's registry snapshot,
+  * gauge samples are well-formed (v/p non-negative ints, peak >= value,
+    peaks never regress), the final sample reports a nonzero
+    process.rss_bytes, and --track-alloc attributes allocation bytes,
   * `feam top --once` emits a feam.top/1 JSON document with windowed phase
-    percentiles and per-cache hit rates, and no consistency issues,
+    percentiles, per-cache hit rates, a memory section (RSS + cache
+    footprints), and no consistency issues,
   * follow mode tails a file while another feam process is still writing
     it and exits 0 on the final sample,
   * a non-timeseries input produces a diagnostic naming --timeseries-out.
@@ -103,6 +107,32 @@ def check_telescoping(samples):
     return {n: t for n, t in running.items() if not n.startswith("hist:")}
 
 
+def check_gauges(samples):
+    """Gauge entries carry non-negative integer v (value) / p (peak) with
+    p >= v, peaks never regress across the stream, and the final sample
+    (which reports every gauge) includes a nonzero process RSS."""
+    peaks = {}
+    seen = set()
+    for sample in samples:
+        for name, entry in sample.get("gauges", {}).items():
+            v, p = entry.get("v"), entry.get("p")
+            if not isinstance(v, int) or not isinstance(p, int) \
+                    or v < 0 or p < v:
+                sys.exit(f"FAIL: gauge {name} seq {sample['seq']} "
+                         f"malformed (want ints with p >= v >= 0): {entry}")
+            if p < peaks.get(name, 0):
+                sys.exit(f"FAIL: gauge {name} seq {sample['seq']}: peak "
+                         f"{p} regressed below {peaks[name]}")
+            peaks[name] = p
+            seen.add(name)
+    final = samples[-1].get("gauges", {})
+    if "process.rss_bytes" not in final:
+        sys.exit("FAIL: final sample reports no process.rss_bytes gauge")
+    if final["process.rss_bytes"]["v"] <= 0:
+        sys.exit("FAIL: process.rss_bytes is zero — /proc probe broken?")
+    return sorted(seen)
+
+
 def check_against_registry(totals, metrics_file):
     """The final sample and the --metrics-out registry snapshot were both
     taken after all workers quiesced, so shared counters match exactly."""
@@ -147,6 +177,16 @@ def check_top_once(feam, stream):
         if not (0.0 <= row["rate"] <= 1.0):
             sys.exit(f"FAIL: cache {name} hit rate {row['rate']} out of "
                      f"[0, 1]")
+    memory = top.get("memory")
+    if not memory:
+        sys.exit(f"FAIL: top --once on a gauge-carrying stream has no "
+                 f"memory section:\n{top}")
+    if memory.get("rss_bytes", 0) <= 0:
+        sys.exit(f"FAIL: top memory section reports no RSS: {memory}")
+    for label, row in memory.get("caches", {}).items():
+        if row["peak"] < row["bytes"]:
+            sys.exit(f"FAIL: cache {label} footprint peak {row['peak']} < "
+                     f"current {row['bytes']}")
     return len(phases), sorted(caches)
 
 
@@ -209,10 +249,15 @@ def main():
         # for the windowed views.
         run([feam, "survey", "--binary", binary, "--bundle", bundle,
              "--jobs", "4", "--timeseries-out", stream,
-             "--timeseries-interval", "5", "--metrics-out", metrics_file])
+             "--timeseries-interval", "5", "--metrics-out", metrics_file,
+             "--track-alloc"])
 
         meta, samples = parse_stream(stream)
         totals = check_telescoping(samples)
+        gauges = check_gauges(samples)
+        if totals.get("mem.alloc_bytes", 0) <= 0:
+            sys.exit("FAIL: --track-alloc run attributed no allocation "
+                     "bytes (mem.alloc_bytes total is zero)")
         compared = check_against_registry(totals, metrics_file)
         phases, caches = check_top_once(feam, stream)
         check_follow_mode(feam, binary, bundle, tmp)
@@ -228,8 +273,10 @@ def main():
         print(f"OK: {len(samples)} samples at {meta['interval_ms']}ms from "
               f"{meta.get('source', '?')!r}; deltas telescope to final "
               f"totals, {compared} counters match the registry snapshot, "
-              f"top --once saw {phases} phases + caches {caches}, and "
-              f"follow mode tailed a live writer to a clean exit")
+              f"{len(gauges)} gauges well-formed (incl. RSS), "
+              f"top --once saw {phases} phases + caches {caches} + a "
+              f"memory panel, and follow mode tailed a live writer to a "
+              f"clean exit")
 
 
 if __name__ == "__main__":

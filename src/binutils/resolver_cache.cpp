@@ -31,7 +31,41 @@ std::string ldd_key(const site::Site& host, std::string_view path,
   return key;
 }
 
+// Estimated retained bytes of one memo entry (payload strings plus the
+// fixed structs); allocator-exact sizes are not the point — trend and
+// ceiling gates need a stable, monotone measure of what the memo holds.
+std::uint64_t elf_bytes(const elf::ElfFile& file) {
+  std::uint64_t total = sizeof(elf::ElfFile);
+  for (const auto& s : file.needed()) total += sizeof(std::string) + s.size();
+  for (const auto& s : file.rpath()) total += sizeof(std::string) + s.size();
+  for (const auto& s : file.version_definitions()) {
+    total += sizeof(std::string) + s.size();
+  }
+  for (const auto& s : file.comments()) total += sizeof(std::string) + s.size();
+  for (const auto& need : file.version_references()) {
+    total += sizeof(need) + need.file.size();
+    for (const auto& v : need.versions) total += sizeof(std::string) + v.size();
+  }
+  for (const auto& symbol : file.dynamic_symbols()) {
+    total += sizeof(symbol) + symbol.name.size() + symbol.version.size();
+  }
+  return total;
+}
+
 }  // namespace
+
+ResolverCache::ResolverCache()
+    : search_bytes_gauge_(
+          obs::gauge("cache.bytes", {.cache = "resolver.search"})),
+      ldd_bytes_gauge_(obs::gauge("cache.bytes", {.cache = "resolver.ldd"})),
+      parse_bytes_gauge_(
+          obs::gauge("cache.bytes", {.cache = "resolver.parse"})) {}
+
+ResolverCache::~ResolverCache() {
+  search_bytes_gauge_.sub(search_footprint_);
+  ldd_bytes_gauge_.sub(ldd_footprint_);
+  parse_bytes_gauge_.sub(parse_footprint_);
+}
 
 std::optional<std::optional<std::string>> ResolverCache::search(
     const site::Site& host, std::string_view soname, int bits,
@@ -51,16 +85,14 @@ std::optional<std::optional<std::string>> ResolverCache::search(
     }
     if (fresh) {
       ++search_hits_;
-      obs::counter("resolver.search_hits").add();
-      obs::counter("cache.hits", {.site = host.name, .cache = "resolver.search"})
-          .add();
+      search_hits_counter_.add();
+      search_labeled_hits_.at(host.name).add();
       return it->second.result;
     }
   }
   ++search_misses_;
-  obs::counter("resolver.search_misses").add();
-  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.search"})
-      .add();
+  search_misses_counter_.add();
+  search_labeled_misses_.at(host.name).add();
   return std::nullopt;
 }
 
@@ -75,8 +107,28 @@ void ResolverCache::store_search(const site::Site& host,
         host.vfs.file_version(site::Vfs::join(dir, soname)));
   }
   entry.result = std::move(result);
+  std::string key = search_key(host, soname, bits, dirs);
+  const std::uint64_t entry_bytes =
+      sizeof(SearchEntry) + key.size() +
+      entry.candidate_versions.size() * sizeof(std::optional<std::uint64_t>) +
+      (entry.result ? entry.result->size() : 0);
   std::lock_guard<std::mutex> lock(mutex_);
-  search_[search_key(host, soname, bits, dirs)] = std::move(entry);
+  const auto it = search_.find(key);
+  if (it != search_.end()) {
+    const std::uint64_t old_bytes =
+        sizeof(SearchEntry) + key.size() +
+        it->second.candidate_versions.size() *
+            sizeof(std::optional<std::uint64_t>) +
+        (it->second.result ? it->second.result->size() : 0);
+    search_footprint_ =
+        search_footprint_ >= old_bytes ? search_footprint_ - old_bytes : 0;
+    search_bytes_gauge_.sub(old_bytes);
+    it->second = std::move(entry);
+  } else {
+    search_.emplace(std::move(key), std::move(entry));
+  }
+  search_footprint_ += entry_bytes;
+  search_bytes_gauge_.add(entry_bytes);
 }
 
 std::optional<support::Result<std::string>> ResolverCache::ldd_text(
@@ -86,17 +138,15 @@ std::optional<support::Result<std::string>> ResolverCache::ldd_text(
   if (it != ldd_.end() && it->second.vfs_generation == host.vfs.generation() &&
       it->second.env_generation == host.env.generation()) {
     ++ldd_hits_;
-    obs::counter("resolver.ldd_hits").add();
-    obs::counter("cache.hits", {.site = host.name, .cache = "resolver.ldd"})
-        .add();
-    obs::counter("resolver.ldd_bytes_saved").add(it->second.payload.size());
+    ldd_hits_counter_.add();
+    ldd_labeled_hits_.at(host.name).add();
+    ldd_bytes_saved_.add(it->second.payload.size());
     if (it->second.ok) return support::Result<std::string>(it->second.payload);
     return support::Result<std::string>::failure(it->second.payload);
   }
   ++ldd_misses_;
-  obs::counter("resolver.ldd_misses").add();
-  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.ldd"})
-      .add();
+  ldd_misses_counter_.add();
+  ldd_labeled_misses_.at(host.name).add();
   return std::nullopt;
 }
 
@@ -108,8 +158,22 @@ void ResolverCache::store_ldd(const site::Site& host, std::string_view path,
   entry.env_generation = host.env.generation();
   entry.ok = text.ok();
   entry.payload = text.ok() ? text.value() : text.error();
+  std::string key = ldd_key(host, path, verbose);
+  const std::uint64_t entry_bytes =
+      sizeof(LddEntry) + key.size() + entry.payload.size();
   std::lock_guard<std::mutex> lock(mutex_);
-  ldd_[ldd_key(host, path, verbose)] = std::move(entry);
+  const auto it = ldd_.find(key);
+  if (it != ldd_.end()) {
+    const std::uint64_t old_bytes =
+        sizeof(LddEntry) + key.size() + it->second.payload.size();
+    ldd_footprint_ = ldd_footprint_ >= old_bytes ? ldd_footprint_ - old_bytes : 0;
+    ldd_bytes_gauge_.sub(old_bytes);
+    it->second = std::move(entry);
+  } else {
+    ldd_.emplace(std::move(key), std::move(entry));
+  }
+  ldd_footprint_ += entry_bytes;
+  ldd_bytes_gauge_.add(entry_bytes);
 }
 
 const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
@@ -122,10 +186,9 @@ const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
     const auto it = parsed_.find(key);
     if (it != parsed_.end()) {
       ++parse_hits_;
-      obs::counter("resolver.parse_hits").add();
-      obs::counter("cache.hits", {.site = host.name, .cache = "resolver.parse"})
-          .add();
-      obs::counter("resolver.parse_bytes_saved").add(data.size());
+      parse_hits_counter_.add();
+      parse_labeled_hits_.at(host.name).add();
+      parse_bytes_saved_.add(data.size());
       return it->second ? &*it->second : nullptr;
     }
   }
@@ -136,10 +199,17 @@ const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
   if (parsed.ok()) value = std::move(parsed).take();
   std::lock_guard<std::mutex> lock(mutex_);
   ++parse_misses_;
-  obs::counter("resolver.parse_misses").add();
-  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.parse"})
-      .add();
-  const auto it = parsed_.emplace(std::move(key), std::move(value)).first;
+  parse_misses_counter_.add();
+  parse_labeled_misses_.at(host.name).add();
+  const auto [it, inserted] = parsed_.emplace(std::move(key), std::move(value));
+  if (inserted) {
+    const std::uint64_t entry_bytes =
+        sizeof(ParseKey) + std::get<1>(it->first).size() +
+        sizeof(std::optional<elf::ElfFile>) +
+        (it->second ? elf_bytes(*it->second) : 0);
+    parse_footprint_ += entry_bytes;
+    parse_bytes_gauge_.add(entry_bytes);
+  }
   return it->second ? &*it->second : nullptr;
 }
 

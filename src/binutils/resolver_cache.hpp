@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "elf/file.hpp"
+#include "obs/metrics.hpp"
 #include "site/site.hpp"
 #include "support/result.hpp"
 
@@ -44,6 +45,11 @@ namespace feam::binutils {
 
 class ResolverCache {
  public:
+  ResolverCache();
+  // Releases this instance's share of the cache.bytes{cache=resolver.*}
+  // footprint gauges (entries are never evicted while the cache lives).
+  ~ResolverCache();
+
   // Memoized search_library result, or nullopt when absent/stale.
   // `dirs` must be the fully assembled search order (extra + rpath +
   // LD_LIBRARY_PATH + defaults) — it is part of the key.
@@ -112,6 +118,32 @@ class ResolverCache {
   std::uint64_t ldd_misses_ = 0;
   std::uint64_t parse_hits_ = 0;
   std::uint64_t parse_misses_ = 0;
+  // Pre-resolved metric series: these paths hit hundreds of thousands of
+  // times per matrix run, so the per-hit cost must stay one relaxed atomic
+  // (plus a per-site handle lookup under the mutex already held).
+  obs::SeriesHandle search_hits_counter_{"resolver.search_hits", {}};
+  obs::SeriesHandle search_misses_counter_{"resolver.search_misses", {}};
+  obs::SeriesHandle ldd_hits_counter_{"resolver.ldd_hits", {}};
+  obs::SeriesHandle ldd_misses_counter_{"resolver.ldd_misses", {}};
+  obs::SeriesHandle ldd_bytes_saved_{"resolver.ldd_bytes_saved", {}};
+  obs::SeriesHandle parse_hits_counter_{"resolver.parse_hits", {}};
+  obs::SeriesHandle parse_misses_counter_{"resolver.parse_misses", {}};
+  obs::SeriesHandle parse_bytes_saved_{"resolver.parse_bytes_saved", {}};
+  obs::SiteSeriesCache search_labeled_hits_{"cache.hits", "resolver.search"};
+  obs::SiteSeriesCache search_labeled_misses_{"cache.misses",
+                                              "resolver.search"};
+  obs::SiteSeriesCache ldd_labeled_hits_{"cache.hits", "resolver.ldd"};
+  obs::SiteSeriesCache ldd_labeled_misses_{"cache.misses", "resolver.ldd"};
+  obs::SiteSeriesCache parse_labeled_hits_{"cache.hits", "resolver.parse"};
+  obs::SiteSeriesCache parse_labeled_misses_{"cache.misses", "resolver.parse"};
+  // Estimated retained bytes per memo, mirrored into the process-wide
+  // cache.bytes{cache=resolver.search|resolver.ldd|resolver.parse} gauges.
+  obs::Gauge& search_bytes_gauge_;
+  obs::Gauge& ldd_bytes_gauge_;
+  obs::Gauge& parse_bytes_gauge_;
+  std::uint64_t search_footprint_ = 0;
+  std::uint64_t ldd_footprint_ = 0;
+  std::uint64_t parse_footprint_ = 0;
 };
 
 }  // namespace feam::binutils

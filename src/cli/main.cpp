@@ -17,6 +17,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <string_view>
 
 #include "cli/options.hpp"
 #include "cli/top.hpp"
@@ -25,6 +26,7 @@
 #include "feam/report.hpp"
 #include "feam/survey.hpp"
 #include "obs/export.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
@@ -76,6 +78,15 @@ class ObsSession {
         run_record_out_(opts.run_record_out) {
     if (const auto level = obs::parse_level(opts.log_level)) {
       obs::set_log_level(*level);
+    }
+    if (opts.track_alloc) {
+      if (obs::alloc_tracking_compiled()) {
+        obs::set_alloc_tracking(true);
+      } else {
+        std::fprintf(stderr,
+                     "feam: --track-alloc ignored: built without "
+                     "FEAM_TRACK_ALLOC\n");
+      }
     }
     // Spans/events are only retained when something will consume them.
     if (!trace_out_.empty() || !events_out_.empty() ||
@@ -645,6 +656,33 @@ int report_command(const Options& opts) {
                 timeseries->samples.size(),
                 static_cast<double>(timeseries->duration_ns()) / 1e9,
                 timeseries->saw_final ? "" : ", no final sample");
+    // Memory roll-up: end-of-run gauge values (carry-forward), present
+    // only when the writer was built with the gauge schema addition.
+    const auto gauges = timeseries->final_gauge_values();
+    const auto rss = gauges.find("process.rss_bytes");
+    const auto rss_peak = gauges.find("process.rss_peak_bytes");
+    if (rss != gauges.end() || rss_peak != gauges.end()) {
+      std::printf("memory: RSS %s at end of run, %s peak\n",
+                  support::human_size(rss != gauges.end() ? rss->second.value
+                                                          : 0)
+                      .c_str(),
+                  support::human_size(rss_peak != gauges.end()
+                                          ? rss_peak->second.value
+                                          : 0)
+                      .c_str());
+    }
+    constexpr std::string_view kCachePrefix = "cache.bytes{cache=";
+    std::string cache_line;
+    for (const auto& [name, value] : gauges) {
+      if (name.rfind(kCachePrefix, 0) != 0 || name.back() != '}') continue;
+      const std::string label = name.substr(
+          kCachePrefix.size(), name.size() - kCachePrefix.size() - 1);
+      if (!cache_line.empty()) cache_line += ", ";
+      cache_line += label + " " + support::human_size(value.peak);
+    }
+    if (!cache_line.empty()) {
+      std::printf("cache footprint (peak): %s\n", cache_line.c_str());
+    }
   }
 
   if (!opts.html_out.empty()) {
@@ -775,6 +813,10 @@ int profile_command(const Options& opts) {
       const auto& args = event["args"];
       span.id = static_cast<std::uint64_t>(args.get_int("span_id"));
       span.parent_id = static_cast<std::uint64_t>(args.get_int("parent_id"));
+      // Additive fields written only by --track-alloc runs; get_int
+      // returns 0 when absent.
+      span.alloc_bytes = static_cast<std::uint64_t>(args.get_int("alloc_bytes"));
+      span.alloc_count = static_cast<std::uint64_t>(args.get_int("alloc_count"));
       if (span.name.empty() || span.id == 0) continue;
       spans.push_back(std::move(span));
     }
@@ -795,8 +837,21 @@ int profile_command(const Options& opts) {
   const obs::Profile profile = obs::build_profile(std::move(spans));
   std::printf("%s", profile.render_table().c_str());
 
+  const obs::FlameWeight weight = opts.profile_memory
+                                      ? obs::FlameWeight::kAllocBytes
+                                      : obs::FlameWeight::kTime;
+  if (opts.profile_memory) {
+    std::uint64_t total_alloc = 0;
+    for (const auto& stat : profile.by_name) total_alloc += stat.alloc_bytes;
+    if (total_alloc == 0) {
+      std::fprintf(stderr,
+                   "feam: --memory: %s carries no allocation data; record "
+                   "the run with --track-alloc\n",
+                   opts.profile_in.c_str());
+    }
+  }
   if (!opts.folded_out.empty()) {
-    if (!write_host_file(opts.folded_out, profile.folded_stacks())) {
+    if (!write_host_file(opts.folded_out, profile.folded_stacks(weight))) {
       std::fprintf(stderr, "feam: cannot write %s\n", opts.folded_out.c_str());
       return 1;
     }
@@ -805,10 +860,12 @@ int profile_command(const Options& opts) {
   }
   if (!opts.svg_out.empty()) {
     const std::string title =
-        "feam profile — " +
+        (opts.profile_memory ? "feam profile (alloc bytes) — "
+                             : "feam profile — ") +
         std::filesystem::path(opts.profile_in).filename().string();
-    if (!write_host_file(opts.svg_out,
-                         obs::render_flamegraph_svg(profile.flame, title))) {
+    if (!write_host_file(
+            opts.svg_out,
+            obs::render_flamegraph_svg(profile.flame, title, weight))) {
       std::fprintf(stderr, "feam: cannot write %s\n", opts.svg_out.c_str());
       return 1;
     }

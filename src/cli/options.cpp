@@ -51,15 +51,17 @@ usage:
       totals look healthy. --bench-out records the measured metrics, trend
       metrics, and gate outcome.
 
-  feam profile --in FILE [--folded FILE] [--svg FILE]
+  feam profile --in FILE [--folded FILE] [--svg FILE] [--memory]
       Post-process one trace (--trace-out Chrome JSON) or run record
       (--run-record-out JSON) into a deterministic profile: self vs. total
       time per span name, per-thread utilization, and the critical path
       through a parallel run (longest chain of time-contained spans across
       workers). Prints the profile table; --folded writes collapsed-stack
       flamegraph text (flamegraph.pl compatible), --svg a self-contained
-      flamegraph. The same input file always produces byte-identical
-      output.
+      flamegraph. With --memory the folded/SVG outputs are weighted by
+      self-allocated bytes instead of self time (requires an input
+      recorded with --track-alloc). The same input file always produces
+      byte-identical output.
 
   feam top --in FILE [--once] [--window N] [--refresh MS] [--idle-timeout MS]
       Live view over a feam.timeseries/1 file (--timeseries-out) while the
@@ -69,7 +71,11 @@ usage:
       (default 500) over a sliding window of --window samples (default 20).
       Exits when the stream's final sample arrives or after --idle-timeout
       ms (default 10000) without new bytes. --once reads what is there now,
-      prints one machine-readable JSON summary, and exits.
+      prints one machine-readable JSON summary, and exits. Streams that
+      carry gauge samples (recorded this side of the gauge schema
+      addition) gain a memory panel: an RSS sparkline, per-cache footprint
+      bars, and — when the writer ran with --track-alloc — the top
+      allocating phases.
 
   Every command taking --site also accepts --site-file SPEC.json: a
   user-defined site description (see toolchain/site_spec.hpp for the
@@ -94,8 +100,14 @@ usage:
                           Watch live with `feam top --in FILE`; ingest
                           with `feam report`.
     --timeseries-interval MS
-                          Sampling period for --timeseries-out
-                          (default 100).
+                          Sampling period for --timeseries-out in
+                          milliseconds; must be >= 1 (default 100).
+    --track-alloc         Attribute heap allocations to the innermost
+                          active span: spans and phases gain
+                          alloc_bytes/alloc_count in traces, run records,
+                          and metrics; `feam profile --memory` turns them
+                          into an allocation flamegraph. No-op when the
+                          build disabled FEAM_TRACK_ALLOC.
 )";
 }
 
@@ -151,6 +163,14 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       opts.top_once = true;
       continue;
     }
+    if (flag == "--memory") {
+      opts.profile_memory = true;
+      continue;
+    }
+    if (flag == "--track-alloc") {
+      opts.track_alloc = true;
+      continue;
+    }
     const auto v = value();
     if (!v) {
       error = flag + " requires a value";
@@ -174,15 +194,20 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     else if (flag == "--timeseries-out") opts.timeseries_out = *v;
     else if (flag == "--timeseries-interval" || flag == "--window" ||
              flag == "--refresh" || flag == "--idle-timeout") {
+      // One rejection shape for every failure mode (non-numeric, trailing
+      // garbage, zero, negative): name the flag, the constraint, and the
+      // value that was passed.
       int parsed = 0;
+      std::size_t consumed = 0;
       try {
-        parsed = std::stoi(*v);
+        parsed = std::stoi(*v, &consumed);
       } catch (const std::exception&) {
-        error = flag + " requires an integer";
-        return std::nullopt;
+        consumed = 0;
       }
-      if (parsed < 1) {
-        error = flag + " must be at least 1";
+      if (consumed != v->size() || v->empty() || parsed < 1) {
+        const char* unit = flag == "--window" ? "samples" : "milliseconds";
+        error = flag + " must be a positive number of " + unit + " (got " +
+                *v + ")";
         return std::nullopt;
       }
       if (flag == "--timeseries-interval") opts.timeseries_interval_ms = parsed;

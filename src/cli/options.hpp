@@ -43,6 +43,7 @@ struct Options {
   std::string run_record_out;  // host path for a feam.run_record/1 JSON file
   std::string timeseries_out;  // host path for a feam.timeseries/1 JSONL file
   int timeseries_interval_ms = 100;  // sampler period for --timeseries-out
+  bool track_alloc = false;  // attribute heap allocations to spans/phases
   // `feam report` (aggregation over a directory of run records):
   std::string report_in;    // directory of *.json run records / *.jsonl logs
   std::string html_out;     // self-contained HTML dashboard output path
@@ -57,6 +58,7 @@ struct Options {
   std::string profile_in;   // --trace-out or --run-record-out file to ingest
   std::string folded_out;   // collapsed-stack flamegraph text output path
   std::string svg_out;      // self-contained flamegraph SVG output path
+  bool profile_memory = false;  // weight flamegraph outputs by allocated bytes
   // `feam top` (live view over a growing --timeseries-out file):
   bool top_once = false;    // one machine-readable JSON summary, then exit
   int top_window = 20;      // samples per sliding stats window

@@ -7,9 +7,12 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "report/timeseries.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
@@ -116,6 +119,68 @@ double avg_busy_workers(const report::Timeseries& series,
   return static_cast<double>(merged.sum) / 1e9 / seconds;
 }
 
+// Per-sample RSS over the window (carry-forward view), newest last; empty
+// when the stream predates gauge samples or RSS was unavailable.
+std::vector<double> rss_series(const report::Timeseries& series,
+                               const WindowBounds& window) {
+  const auto track = series.gauge_track("process.rss_bytes");
+  std::vector<double> out;
+  bool any = false;
+  for (std::size_t i = window.from; i < window.to && i < track.size(); ++i) {
+    out.push_back(static_cast<double>(track[i].value));
+    any = any || track[i].value > 0;
+  }
+  if (!any) out.clear();
+  return out;
+}
+
+// Current/peak footprint per cache.bytes{cache=...} gauge, label order.
+std::vector<std::pair<std::string, obs::GaugeValue>> cache_footprints(
+    const report::Timeseries& series) {
+  constexpr std::string_view kPrefix = "cache.bytes{cache=";
+  std::vector<std::pair<std::string, obs::GaugeValue>> out;
+  for (const auto& [name, value] : series.final_gauge_values()) {
+    if (name.rfind(kPrefix, 0) != 0 || name.back() != '}') continue;
+    out.emplace_back(
+        name.substr(kPrefix.size(), name.size() - kPrefix.size() - 1), value);
+  }
+  return out;
+}
+
+struct AllocPhaseRow {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+};
+
+// Top allocating phases over the window: mem.alloc_bytes{phase=...}
+// counter deltas, descending, present only for --track-alloc writers.
+std::vector<AllocPhaseRow> alloc_phase_rows(const report::Timeseries& series,
+                                            const WindowBounds& window,
+                                            std::size_t limit) {
+  constexpr std::string_view kPrefix = "mem.alloc_bytes{phase=";
+  std::set<std::string> names;
+  for (std::size_t i = window.from; i < window.to; ++i) {
+    for (const auto& [name, delta] : series.samples[i].counter_deltas) {
+      if (delta > 0 && name.rfind(kPrefix, 0) == 0) names.insert(name);
+    }
+  }
+  std::vector<AllocPhaseRow> rows;
+  for (const auto& name : names) {
+    AllocPhaseRow row;
+    row.name = name.substr(kPrefix.size(), name.size() - kPrefix.size() - 1);
+    row.bytes = series.counter_delta_sum(name, window.from, window.to);
+    row.count = series.counter_delta_sum(
+        "mem.alloc_count{phase=" + row.name + "}", window.from, window.to);
+    if (row.bytes > 0) rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.bytes != b.bytes ? a.bytes > b.bytes : a.name < b.name;
+  });
+  if (rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
 std::string format_ns(double ns) {
   char buf[32];
   if (ns < 10'000.0) std::snprintf(buf, sizeof buf, "%.0fns", ns);
@@ -180,6 +245,55 @@ std::string render_view(const report::Timeseries& series, std::size_t window,
                     static_cast<unsigned long long>(cache.hits),
                     static_cast<unsigned long long>(cache.misses));
       out += line;
+    }
+    out += "\n";
+  }
+
+  // Memory panel, rendered only when the stream carries gauge samples.
+  const auto rss = rss_series(series, bounds);
+  const auto footprints = cache_footprints(series);
+  if (!rss.empty() || !footprints.empty()) {
+    if (!rss.empty()) {
+      const auto final_gauges = series.final_gauge_values();
+      const auto now_it = final_gauges.find("process.rss_bytes");
+      const auto peak_it = final_gauges.find("process.rss_peak_bytes");
+      const std::uint64_t now_bytes =
+          now_it != final_gauges.end() ? now_it->second.value : 0;
+      const std::uint64_t peak_bytes =
+          peak_it != final_gauges.end() ? peak_it->second.value : 0;
+      out += "rss: " + sparkline(rss) + "  now " +
+             support::human_size(now_bytes) + "  peak " +
+             support::human_size(peak_bytes) + "\n";
+    }
+    if (!footprints.empty()) {
+      std::uint64_t max_peak = 1;
+      for (const auto& [label, value] : footprints) {
+        max_peak = std::max(max_peak, value.peak);
+      }
+      out += "  cache footprint              bytes     peak\n";
+      for (const auto& [label, value] : footprints) {
+        const int filled = static_cast<int>(
+            static_cast<double>(value.value) /
+                static_cast<double>(max_peak) * 12.0 + 0.5);
+        std::string bar;
+        for (int i = 0; i < 12; ++i) bar += i < filled ? '#' : '.';
+        std::snprintf(line, sizeof line, "  %-16s [%s] %8s %8s\n",
+                      label.c_str(), bar.c_str(),
+                      support::human_size(value.value).c_str(),
+                      support::human_size(value.peak).c_str());
+        out += line;
+      }
+    }
+    const auto allocs = alloc_phase_rows(series, bounds, 5);
+    if (!allocs.empty()) {
+      out += "  alloc phase (window)         bytes   allocs\n";
+      for (const auto& row : allocs) {
+        std::snprintf(line, sizeof line, "  %-26s %8s %8llu\n",
+                      row.name.c_str(),
+                      support::human_size(row.bytes).c_str(),
+                      static_cast<unsigned long long>(row.count));
+        out += line;
+      }
     }
     out += "\n";
   }
@@ -268,6 +382,38 @@ support::Json once_json(const report::Timeseries& series, std::size_t window) {
     totals.set(name, total);
   }
   out.set("counter_totals", std::move(totals));
+
+  // "memory" is additive: present only when the stream carries gauge
+  // samples, so feam.top/1 consumers of pre-gauge streams see no change.
+  const auto final_gauges = series.final_gauge_values();
+  if (!final_gauges.empty()) {
+    support::Json memory;
+    const auto rss = final_gauges.find("process.rss_bytes");
+    const auto rss_peak = final_gauges.find("process.rss_peak_bytes");
+    if (rss != final_gauges.end()) {
+      memory.set("rss_bytes", rss->second.value);
+    }
+    if (rss_peak != final_gauges.end()) {
+      memory.set("rss_peak_bytes", rss_peak->second.value);
+    }
+    support::Json cache_bytes{support::Json::Object{}};
+    for (const auto& [label, value] : cache_footprints(series)) {
+      support::Json entry;
+      entry.set("bytes", value.value);
+      entry.set("peak", value.peak);
+      cache_bytes.set(label, std::move(entry));
+    }
+    memory.set("caches", std::move(cache_bytes));
+    support::Json alloc{support::Json::Object{}};
+    for (const auto& row : alloc_phase_rows(series, bounds, 10)) {
+      support::Json entry;
+      entry.set("bytes", row.bytes);
+      entry.set("count", row.count);
+      alloc.set(row.name, std::move(entry));
+    }
+    memory.set("alloc_phases", std::move(alloc));
+    out.set("memory", std::move(memory));
+  }
 
   support::Json::Array issues;
   for (const auto& issue : series.consistency_issues()) {

@@ -48,6 +48,19 @@ bool impl_available(const Site& target, site::MpiImpl impl) {
                      [&](const auto& stack) { return stack.impl == impl; });
 }
 
+// Estimated retained bytes of one memoized source phase; the bundle
+// payload dominates, the rest is event text.
+std::uint64_t source_output_bytes(const feam::SourcePhaseOutput& output) {
+  std::uint64_t total = sizeof(output) + output.bundle.total_bytes();
+  for (const auto& event : output.events) {
+    total += event.name.size() + event.message.size();
+    for (const auto& [key, value] : event.fields) {
+      total += key.size() + value.size();
+    }
+  }
+  return total;
+}
+
 }  // namespace
 
 struct Experiment::SourceMemoEntry {
@@ -76,7 +89,10 @@ Experiment::Experiment(ExperimentOptions options)
   }
 }
 
-Experiment::~Experiment() = default;
+Experiment::~Experiment() {
+  obs::gauge("cache.bytes", {.cache = "source"})
+      .sub(source_footprint_.load(std::memory_order_relaxed));
+}
 
 Site& Experiment::site(std::string_view name) {
   const auto it = site_index_.find(name);
@@ -188,6 +204,12 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
   obs::counter("cache.misses", {.site = binary.home_site, .cache = "source"})
       .add();
   entry->value.emplace(std::move(fresh));
+  std::uint64_t entry_bytes = sizeof(SourceMemoEntry);
+  if (entry->value->ok()) {
+    entry_bytes += source_output_bytes(entry->value->value());
+  }
+  source_footprint_.fetch_add(entry_bytes, std::memory_order_relaxed);
+  obs::gauge("cache.bytes", {.cache = "source"}).add(entry_bytes);
   return *entry->value;
 }
 

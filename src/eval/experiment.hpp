@@ -178,6 +178,10 @@ class Experiment {
   std::map<std::string, std::unique_ptr<SourceMemoEntry>> source_memo_;
   std::atomic<std::uint64_t> source_hits_{0};
   std::atomic<std::uint64_t> source_misses_{0};
+  // Estimated bytes retained by the source-phase memo, mirrored into the
+  // process-wide cache.bytes{cache=source} gauge and released on
+  // destruction (the memo dies with the Experiment).
+  std::atomic<std::uint64_t> source_footprint_{0};
 };
 
 }  // namespace feam::eval

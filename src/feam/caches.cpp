@@ -30,6 +30,39 @@ std::uint64_t fnv_region(std::uint64_t h, const std::uint8_t* p,
   return h;
 }
 
+// Footprint estimates for the cache.bytes{cache=...} gauges: the payload
+// bytes an entry retains (string/vector contents plus the fixed struct),
+// not allocator-exact sizes — stable across allocators, cheap to compute,
+// and honest about what dominates (the retained binary bytes and the
+// per-stack strings).
+std::uint64_t string_bytes(const std::string& s) {
+  return sizeof(std::string) + s.size();
+}
+
+std::uint64_t description_bytes(const BinaryDescription& d) {
+  std::uint64_t total = sizeof(BinaryDescription);
+  total += d.path.size() + d.file_format.size() + d.architecture.size();
+  if (d.soname) total += d.soname->size();
+  for (const auto& lib : d.required_libraries) total += string_bytes(lib);
+  for (const auto& ref : d.version_references) {
+    total += string_bytes(ref.file) + sizeof(ref.versions);
+    for (const auto& v : ref.versions) total += string_bytes(v);
+  }
+  if (d.build_compiler) total += d.build_compiler->size();
+  if (d.build_os) total += d.build_os->size();
+  return total;
+}
+
+std::uint64_t environment_bytes(const EnvironmentDescription& e) {
+  std::uint64_t total = sizeof(EnvironmentDescription);
+  total += e.site_name.size() + e.isa.size() + e.os_type.size() +
+           e.distro.size() + e.clib_discovery_method.size();
+  for (const auto& stack : e.stacks) {
+    total += sizeof(DiscoveredStack) + stack.id.size() + stack.prefix.size();
+  }
+  return total;
+}
+
 }  // namespace
 
 std::uint64_t content_hash(const support::Bytes& bytes) {
@@ -59,9 +92,15 @@ std::uint64_t content_hash(const support::Bytes& bytes) {
   return h;
 }
 
-BdcCache::BdcCache() : hash_(content_hash) {}
+BdcCache::BdcCache()
+    : hash_(content_hash),
+      footprint_gauge_(obs::gauge("cache.bytes", {.cache = "bdc"})) {}
 
-BdcCache::BdcCache(HashFn hash) : hash_(std::move(hash)) {}
+BdcCache::BdcCache(HashFn hash)
+    : hash_(std::move(hash)),
+      footprint_gauge_(obs::gauge("cache.bytes", {.cache = "bdc"})) {}
+
+BdcCache::~BdcCache() { footprint_gauge_.sub(footprint_); }
 
 support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
                                                       std::string_view path) {
@@ -89,9 +128,9 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
         by_file_.find(std::make_pair(s.lease_id(), std::string(path)));
     if (stamped != by_file_.end() && stamped->second.version == version) {
       ++hits_;
-      obs::counter("bdc.cache_hits").add();
-      obs::counter("cache.hits", {.site = s.name, .cache = "bdc"}).add();
-      obs::counter("bdc.cache_bytes_saved").add(bytes->size());
+      legacy_hits_.add();
+      labeled_hits_.at(s.name).add();
+      bytes_saved_.add(bytes->size());
       return stamped->second.description;
     }
   }
@@ -103,13 +142,12 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
       for (const Entry& entry : it->second) {
         if (entry.bytes == *bytes) {
           ++hits_;
-          obs::counter("bdc.cache_hits").add();
-          obs::counter("cache.hits", {.site = s.name, .cache = "bdc"}).add();
-          obs::counter("bdc.cache_bytes_saved").add(bytes->size());
+          legacy_hits_.add();
+          labeled_hits_.at(s.name).add();
+          bytes_saved_.add(bytes->size());
           BinaryDescription d = entry.description;
           d.path = std::string(path);
-          by_file_[std::make_pair(s.lease_id(), std::string(path))] =
-              FileStamp{version, d};
+          store_stamp_locked(s.lease_id(), path, FileStamp{version, d});
           return d;
         }
       }
@@ -126,14 +164,41 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
-  obs::counter("bdc.cache_misses").add();
-  obs::counter("cache.misses", {.site = s.name, .cache = "bdc"}).add();
+  legacy_misses_.add();
+  labeled_misses_.at(s.name).add();
   if (described.ok()) {
     entries_[key].push_back(Entry{*bytes, described.value()});
-    by_file_[std::make_pair(s.lease_id(), std::string(path))] =
-        FileStamp{version, described.value()};
+    grow_footprint_locked(sizeof(Entry) + bytes->size() +
+                          description_bytes(described.value()));
+    store_stamp_locked(s.lease_id(), path, FileStamp{version, described.value()});
   }
   return described;
+}
+
+void BdcCache::store_stamp_locked(std::uint64_t lease_id,
+                                  std::string_view path, FileStamp stamp) {
+  const std::uint64_t added =
+      sizeof(FileStamp) + path.size() + description_bytes(stamp.description);
+  auto key = std::make_pair(lease_id, std::string(path));
+  const auto it = by_file_.find(key);
+  if (it != by_file_.end()) {
+    shrink_footprint_locked(sizeof(FileStamp) + path.size() +
+                            description_bytes(it->second.description));
+    it->second = std::move(stamp);
+  } else {
+    by_file_.emplace(std::move(key), std::move(stamp));
+  }
+  grow_footprint_locked(added);
+}
+
+void BdcCache::grow_footprint_locked(std::uint64_t bytes) {
+  footprint_ += bytes;
+  footprint_gauge_.add(bytes);
+}
+
+void BdcCache::shrink_footprint_locked(std::uint64_t bytes) {
+  footprint_ = footprint_ >= bytes ? footprint_ - bytes : 0;
+  footprint_gauge_.sub(bytes);
 }
 
 std::uint64_t BdcCache::hits() const {
@@ -146,6 +211,11 @@ std::uint64_t BdcCache::misses() const {
   return misses_;
 }
 
+EdcMemo::EdcMemo()
+    : footprint_gauge_(obs::gauge("cache.bytes", {.cache = "edc"})) {}
+
+EdcMemo::~EdcMemo() { footprint_gauge_.sub(footprint_); }
+
 EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   const std::uint64_t generation = s.state_generation();
   {
@@ -153,8 +223,8 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
     const auto it = entries_.find(s.lease_id());
     if (it != entries_.end() && it->second.generation == generation) {
       ++hits_;
-      obs::counter("edc.memo_hits").add();
-      obs::counter("cache.hits", {.site = s.name, .cache = "edc"}).add();
+      legacy_hits_.add();
+      labeled_hits_.at(s.name).add();
       return it->second.description;
     }
   }
@@ -171,9 +241,19 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
-  obs::counter("edc.memo_misses").add();
-  obs::counter("cache.misses", {.site = s.name, .cache = "edc"}).add();
-  entries_[s.lease_id()] = Entry{generation, description};
+  legacy_misses_.add();
+  labeled_misses_.at(s.name).add();
+  auto [it, fresh] = entries_.emplace(s.lease_id(), Entry{});
+  if (!fresh) {
+    const std::uint64_t old_bytes =
+        sizeof(Entry) + environment_bytes(it->second.description);
+    footprint_ = footprint_ >= old_bytes ? footprint_ - old_bytes : 0;
+    footprint_gauge_.sub(old_bytes);
+  }
+  it->second = Entry{generation, description};
+  const std::uint64_t new_bytes = sizeof(Entry) + environment_bytes(description);
+  footprint_ += new_bytes;
+  footprint_gauge_.add(new_bytes);
   return description;
 }
 

@@ -36,6 +36,7 @@
 #include "binutils/resolver_cache.hpp"
 #include "feam/description.hpp"
 #include "feam/edc.hpp"
+#include "obs/metrics.hpp"
 #include "site/site.hpp"
 #include "support/byte_io.hpp"
 #include "support/result.hpp"
@@ -52,6 +53,9 @@ class BdcCache {
   BdcCache();
   // Injectable hash, for exercising the collision path with crafted inputs.
   explicit BdcCache(HashFn hash);
+  // Releases this cache's share of the cache.bytes{cache=bdc} footprint
+  // gauge (caches are per-Experiment; the gauge is process-wide).
+  ~BdcCache();
 
   // Describe the binary at `path` on `s`, memoized on its content hash.
   // On a hit the cached description is returned with `path` rewritten to
@@ -81,6 +85,14 @@ class BdcCache {
     BinaryDescription description;
   };
 
+  // Footprint bookkeeping (callers hold mutex_): inserts/overwrites keep
+  // footprint_ equal to the estimated retained bytes of every entry, and
+  // mirror every change into the shared cache.bytes{cache=bdc} gauge.
+  void store_stamp_locked(std::uint64_t lease_id, std::string_view path,
+                          FileStamp stamp);
+  void grow_footprint_locked(std::uint64_t bytes);
+  void shrink_footprint_locked(std::uint64_t bytes);
+
   mutable std::mutex mutex_;
   HashFn hash_;
   // Chained per hash value: colliding contents coexist as separate links.
@@ -90,6 +102,15 @@ class BdcCache {
       by_file_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // Pre-resolved metric series (one atomic per hit on the fast path) and
+  // this instance's share of the process-wide footprint gauge.
+  obs::SeriesHandle legacy_hits_{"bdc.cache_hits", {}};
+  obs::SeriesHandle legacy_misses_{"bdc.cache_misses", {}};
+  obs::SeriesHandle bytes_saved_{"bdc.cache_bytes_saved", {}};
+  obs::SiteSeriesCache labeled_hits_{"cache.hits", "bdc"};
+  obs::SiteSeriesCache labeled_misses_{"cache.misses", "bdc"};
+  obs::Gauge& footprint_gauge_;
+  std::uint64_t footprint_ = 0;
 };
 
 class EdcMemo {
@@ -99,6 +120,8 @@ class EdcMemo {
   // scan runs shell commands against live state); the memo's mutex is
   // released during the scan, so distinct sites discover concurrently.
   EnvironmentDescription discover(const site::Site& s);
+  EdcMemo();
+  ~EdcMemo();
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
@@ -113,6 +136,12 @@ class EdcMemo {
   std::map<std::uint64_t, Entry> entries_;  // key: Site::lease_id()
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::SeriesHandle legacy_hits_{"edc.memo_hits", {}};
+  obs::SeriesHandle legacy_misses_{"edc.memo_misses", {}};
+  obs::SiteSeriesCache labeled_hits_{"cache.hits", "edc"};
+  obs::SiteSeriesCache labeled_misses_{"cache.misses", "edc"};
+  obs::Gauge& footprint_gauge_;
+  std::uint64_t footprint_ = 0;
 };
 
 // The bundle a parallel run threads through phases/TEC. Passing nullptr

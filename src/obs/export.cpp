@@ -53,6 +53,12 @@ std::string render_chrome_trace(const std::vector<SpanRecord>& spans,
     Json args = fields_to_json(span.fields);
     args.set("span_id", span.id);
     if (span.parent_id != 0) args.set("parent_id", span.parent_id);
+    // Allocation attribution rides along only when tracking recorded it,
+    // so traces from untracked runs stay byte-identical.
+    if (span.alloc_count != 0) {
+      args.set("alloc_bytes", span.alloc_bytes);
+      args.set("alloc_count", span.alloc_count);
+    }
     entry.set("args", std::move(args));
     trace_events.push_back(std::move(entry));
   }

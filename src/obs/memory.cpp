@@ -1,0 +1,225 @@
+#include "obs/memory.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "obs/metrics.hpp"
+
+namespace feam::obs {
+
+namespace {
+
+std::atomic<bool> g_tracking{false};
+
+// Per-thread attribution frames. Everything here is trivially
+// constructible/destructible (plain .tbss storage): `operator new` may run
+// before any thread-local constructor and after thread-local destructors,
+// so the tracking state must never itself allocate or need init order.
+constexpr int kMaxDepth = 64;
+
+struct MemFrame {
+  std::uint64_t bytes;
+  std::uint64_t count;
+};
+
+thread_local MemFrame t_frames[kMaxDepth];
+thread_local int t_depth = 0;
+
+inline void note_alloc(std::uint64_t bytes) {
+  if (t_depth > 0) {
+    MemFrame& frame = t_frames[t_depth - 1];
+    frame.bytes += bytes;
+    frame.count += 1;
+  }
+}
+
+}  // namespace
+
+bool alloc_tracking_compiled() {
+#if defined(FEAM_TRACK_ALLOC)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool alloc_tracking_enabled() {
+  return g_tracking.load(std::memory_order_relaxed);
+}
+
+void set_alloc_tracking(bool enabled) {
+  g_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+int mem_scope_push() {
+  if (t_depth >= kMaxDepth) return -1;
+  t_frames[t_depth] = MemFrame{0, 0};
+  return t_depth++;
+}
+
+MemScopeTotals mem_scope_pop(int token) {
+  MemScopeTotals totals;
+  if (token < 0) return totals;
+  // Tolerate a mismatched pop (defensive, mirrors Span::finish's stack
+  // repair): unwind to the token's frame, folding any orphaned inner
+  // tallies into it so no allocated byte is dropped.
+  while (t_depth > token + 1) {
+    --t_depth;
+    t_frames[token].bytes += t_frames[t_depth].bytes;
+    t_frames[token].count += t_frames[t_depth].count;
+  }
+  if (t_depth == token + 1) {
+    --t_depth;
+    totals.bytes = t_frames[token].bytes;
+    totals.count = t_frames[token].count;
+  }
+  return totals;
+}
+
+namespace {
+
+// One field of /proc/self/status, "VmRSS:" style, in bytes. Raw
+// stdio-free parsing is unnecessary here (callers are sampler ticks, not
+// allocation paths), but keep it allocation-light anyway.
+std::uint64_t read_status_kb(const char* field) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof line, file) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    kb = std::strtoull(line + field_len, nullptr, 10);
+    break;
+  }
+  std::fclose(file);
+  return kb * 1024;
+}
+
+}  // namespace
+
+std::uint64_t read_rss_bytes() { return read_status_kb("VmRSS:"); }
+
+std::uint64_t read_rss_peak_bytes() { return read_status_kb("VmHWM:"); }
+
+void sample_process_rss(Registry& registry) {
+  const std::uint64_t rss = read_rss_bytes();
+  if (rss == 0) return;  // no /proc: leave the gauges unregistered
+  registry.gauge("process.rss_bytes").set(rss);
+  const std::uint64_t peak = read_rss_peak_bytes();
+  if (peak != 0) registry.gauge("process.rss_peak_bytes").set(peak);
+}
+
+}  // namespace feam::obs
+
+#if defined(FEAM_TRACK_ALLOC)
+
+namespace {
+
+// Attribution uses the requested size, not malloc_usable_size: the probe
+// is a libc call per allocation, and at ~10M allocations per matrix run
+// it alone blows the <2% tracking-overhead budget. Requested bytes are
+// also deterministic across allocators, which the tests rely on.
+inline void track(void* p, std::size_t requested) {
+  if (p == nullptr) return;
+  if (!feam::obs::alloc_tracking_enabled()) return;
+  feam::obs::note_alloc(static_cast<std::uint64_t>(requested));
+}
+
+void* checked_alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = std::malloc(size);
+    if (p != nullptr) {
+      track(p, size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* checked_aligned_alloc(std::size_t size, std::size_t alignment) {
+  if (size == 0) size = 1;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment, size) == 0 && p != nullptr) {
+      track(p, size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return checked_alloc(size); }
+void* operator new[](std::size_t size) { return checked_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  track(p, size);
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  track(p, size);
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return checked_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return checked_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(alignment),
+                                  sizeof(void*)),
+                     size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  track(p, size);
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t& tag) noexcept {
+  return operator new(size, alignment, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&)
+    noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&)
+    noexcept {
+  std::free(p);
+}
+
+#endif  // FEAM_TRACK_ALLOC

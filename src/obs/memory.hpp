@@ -1,0 +1,69 @@
+// Memory observability: a low-overhead tracking allocator plus process
+// footprint probes, the byte-side mirror of the time stack.
+//
+// The tracking allocator interposes the global `operator new`/`delete`
+// (compiled in behind the FEAM_TRACK_ALLOC CMake option, default ON; armed
+// at runtime via set_alloc_tracking) and attributes every allocation to
+// the *innermost active span* on the allocating thread, through a
+// constant-initialized thread-local frame stack that obs::Span pushes and
+// pops. The attribution rule mirrors self-time: a span's tally is the
+// bytes allocated while it was innermost — children's allocations land in
+// the child's frame, so per-span tallies are already "self-allocated
+// bytes" and sum cleanly up the flame tree. Allocations outside any span
+// (static init, CLI plumbing) are deliberately uncounted, so
+// `sum over phases == unlabeled mem.alloc_bytes` stays an exact invariant
+// of the stream. Tallies count *requested* bytes (not usable size — a
+// malloc_usable_size probe per allocation would alone blow the overhead
+// budget), and frees are not tracked: mem.alloc_bytes is gross
+// allocation pressure (what an arena pass would eliminate); *footprint*
+// is what the gauges are for.
+//
+// Cost discipline: with the runtime switch off, an allocation pays one
+// relaxed atomic load. On, it pays that plus a thread-local bump —
+// no locks, no libc probes, no registry access; tallies reach
+// the registry only once per span pop (obs/trace.cpp). The frame stack is
+// trivially constructible (lives in .tbss), so `operator new` is safe to
+// call at any point of thread or process lifetime, including before main.
+#pragma once
+
+#include <cstdint>
+
+namespace feam::obs {
+
+class Registry;
+
+// Whether the interposed operator new/delete were compiled in
+// (-DFEAM_TRACK_ALLOC=ON). When false, the runtime switch is inert and
+// every scope tally reads 0.
+bool alloc_tracking_compiled();
+
+// The runtime arm switch; off by default so untraced runs pay one relaxed
+// load per allocation and nothing else.
+bool alloc_tracking_enabled();
+void set_alloc_tracking(bool enabled);
+
+// Bytes/count allocated while a scope was innermost.
+struct MemScopeTotals {
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+};
+
+// Opens a tracking frame on the calling thread and returns its token, or
+// -1 when the fixed-depth stack (64 frames) is full — allocations then
+// fall back to the nearest tracked ancestor, and pop(-1) returns zeros.
+// Frames must be popped on the pushing thread in LIFO order, which the
+// Span RAII discipline guarantees.
+int mem_scope_push();
+MemScopeTotals mem_scope_pop(int token);
+
+// Process resident-set probes, parsed from /proc/self/status (VmRSS /
+// VmHWM); 0 where the file or field is unavailable (non-Linux).
+std::uint64_t read_rss_bytes();
+std::uint64_t read_rss_peak_bytes();
+
+// Refreshes `process.rss_bytes` / `process.rss_peak_bytes` gauges in
+// `registry` from /proc. The TimeseriesSampler calls this every tick so
+// RSS rides the stream like any other gauge.
+void sample_process_rss(Registry& registry);
+
+}  // namespace feam::obs

@@ -56,6 +56,7 @@ std::string series_name(std::string_view name, const Labels& labels) {
   };
   append("cache", labels.cache);
   append("determinant", labels.determinant);
+  append("phase", labels.phase);
   append("site", labels.site);
   out += '}';
   return out;
@@ -83,6 +84,7 @@ SeriesKey parse_series(std::string_view series) {
     if (label == "site") key.site = std::string(value);
     else if (label == "cache") key.cache = std::string(value);
     else if (label == "determinant") key.determinant = std::string(value);
+    else if (label == "phase") key.phase = std::string(value);
   }
   return key;
 }
@@ -212,6 +214,33 @@ HistogramSnapshot HistogramSnapshot::delta_since(
   return d;
 }
 
+void Gauge::raise_peak(std::uint64_t value) { atomic_max(peak_, value); }
+
+void Gauge::set(std::uint64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+  raise_peak(value);
+}
+
+void Gauge::add(std::uint64_t delta) {
+  const std::uint64_t now =
+      value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  raise_peak(now);
+}
+
+void Gauge::sub(std::uint64_t delta) {
+  std::uint64_t current = value_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = current >= delta ? current - delta : 0;
+  } while (!value_.compare_exchange_weak(current, next,
+                                         std::memory_order_relaxed));
+}
+
+void Gauge::reset() {
+  value_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
 void Histogram::record(std::uint64_t value) {
   const int index = std::min(bucket_index(value), kBuckets - 1);
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
@@ -290,6 +319,15 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Counter& Registry::counter(std::string_view name, const Labels& labels) {
   if (labels.empty()) return counter(name);
   return counter(series_name(name, labels));
@@ -300,9 +338,14 @@ Histogram& Registry::histogram(std::string_view name, const Labels& labels) {
   return histogram(series_name(name, labels));
 }
 
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return gauge(name);
+  return gauge(series_name(name, labels));
+}
+
 std::size_t Registry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_.size() + histograms_.size();
+  return counters_.size() + histograms_.size() + gauges_.size();
 }
 
 std::map<std::string, std::uint64_t> Registry::counter_values() const {
@@ -322,10 +365,20 @@ std::map<std::string, HistogramSnapshot> Registry::histogram_snapshots()
   return out;
 }
 
+std::map<std::string, GaugeValue> Registry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, GaugeValue> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = GaugeValue{gauge->value(), gauge->peak()};
+  }
+  return out;
+}
+
 void Registry::reset_values() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
 }
 
 support::Json Registry::to_json() const {
@@ -341,6 +394,16 @@ support::Json Registry::to_json() const {
   support::Json out;
   out.set("counters", std::move(counters));
   out.set("histograms", std::move(histograms));
+  if (!gauges_.empty()) {
+    support::Json gauges{support::Json::Object{}};
+    for (const auto& [name, gauge] : gauges_) {
+      support::Json entry;
+      entry.set("value", gauge->value());
+      entry.set("peak", gauge->peak());
+      gauges.set(name, std::move(entry));
+    }
+    out.set("gauges", std::move(gauges));
+  }
   return out;
 }
 
@@ -361,6 +424,26 @@ Counter& counter(std::string_view name, const Labels& labels) {
 
 Histogram& histogram(std::string_view name, const Labels& labels) {
   return metrics().histogram(name, labels);
+}
+
+Gauge& gauge(std::string_view name) { return metrics().gauge(name); }
+
+Gauge& gauge(std::string_view name, const Labels& labels) {
+  return metrics().gauge(name, labels);
+}
+
+SeriesHandle::SeriesHandle(std::string_view name, const Labels& labels)
+    : counter_(&metrics().counter(name, labels)) {}
+
+SeriesHandle& SiteSeriesCache::at(std::string_view site) {
+  auto it = handles_.find(site);
+  if (it == handles_.end()) {
+    it = handles_
+             .emplace(std::string(site),
+                      SeriesHandle(name_, {.site = site, .cache = cache_label_}))
+             .first;
+  }
+  return it->second;
 }
 
 std::function<void(std::uint64_t, std::uint64_t)> pool_task_recorder() {

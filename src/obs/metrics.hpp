@@ -42,13 +42,14 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-// The fixed label set of the dimensional metrics layer. Three keys only —
-// `site`, `cache`, `determinant` — each with a bounded value domain (the
-// fleet's site names; the cache families bdc/edc/resolver.*/source; the
-// four determinant kinds), so total series cardinality stays
-// O(sites × caches) and the registry, sampler, and timeseries stream can
-// enumerate every series cheaply. There is deliberately no free-form
-// key/value API: unbounded labels would turn the registry into a leak.
+// The fixed label set of the dimensional metrics layer. Four keys only —
+// `site`, `cache`, `determinant`, `phase` — each with a bounded value
+// domain (the fleet's site names; the cache families
+// bdc/edc/resolver.*/source; the four determinant kinds; the recorded
+// span-name set), so total series cardinality stays O(sites × caches) and
+// the registry, sampler, and timeseries stream can enumerate every series
+// cheaply. There is deliberately no free-form key/value API: unbounded
+// labels would turn the registry into a leak.
 //
 // A labeled metric is a *separate series* from the unlabeled one: callers
 // that re-key a hot counter per site keep recording the unlabeled total as
@@ -59,15 +60,18 @@ struct Labels {
   std::string_view site{};
   std::string_view cache{};
   std::string_view determinant{};
+  std::string_view phase{};
 
   bool empty() const {
-    return site.empty() && cache.empty() && determinant.empty();
+    return site.empty() && cache.empty() && determinant.empty() &&
+           phase.empty();
   }
 };
 
-// Canonical encoded series name: `name{cache=c,determinant=d,site=s}` with
-// keys in fixed (alphabetical) order and empty labels omitted; a label-less
-// call returns `name` unchanged. This string is the registry key, the
+// Canonical encoded series name:
+// `name{cache=c,determinant=d,phase=p,site=s}` with keys in fixed
+// (alphabetical) order and empty labels omitted; a label-less call returns
+// `name` unchanged. This string is the registry key, the
 // timeseries/metrics-JSON field name, and what parse_series inverts.
 std::string series_name(std::string_view name, const Labels& labels);
 
@@ -78,8 +82,41 @@ struct SeriesKey {
   std::string site;
   std::string cache;
   std::string determinant;
+  std::string phase;
 };
 SeriesKey parse_series(std::string_view series);
+
+// A level, not a tally: gauges carry *current* and *peak* values (cache
+// footprints, resident-set size) — state that goes down as well as up,
+// which counters cannot express and histograms would mis-summarize.
+// set()/add()/sub() are lock-free; peak() is the high-water mark of every
+// value the gauge ever held (monotone until reset()).
+class Gauge {
+ public:
+  void set(std::uint64_t value);
+  // Saturating adjustments (sub clamps at 0 rather than wrapping, so a
+  // mis-paired release can never turn a footprint into ~2^64).
+  void add(std::uint64_t delta);
+  void sub(std::uint64_t delta);
+
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  void raise_peak(std::uint64_t value);
+
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+// Plain-value copy of a gauge, the unit the sampler/reader layers move.
+struct GaugeValue {
+  std::uint64_t value = 0;
+  std::uint64_t peak = 0;
+};
 
 // A plain-value copy of a histogram's state. Snapshots are the mergeable
 // unit of the aggregation layer: serialize the buckets, merge snapshots
@@ -164,6 +201,7 @@ class Registry {
  public:
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Gauge& gauge(std::string_view name);
 
   // Labeled lookups: the series registered (and exported) under
   // series_name(name, labels). The zero-label case is byte-identical to
@@ -172,31 +210,71 @@ class Registry {
   // once and hold them.
   Counter& counter(std::string_view name, const Labels& labels);
   Histogram& histogram(std::string_view name, const Labels& labels);
+  Gauge& gauge(std::string_view name, const Labels& labels);
 
   std::size_t size() const;  // distinct registered names
 
   // Plain-value copies of the current state, for serialization/merging.
   std::map<std::string, std::uint64_t> counter_values() const;
   std::map<std::string, HistogramSnapshot> histogram_snapshots() const;
+  std::map<std::string, GaugeValue> gauge_values() const;
 
   // Zeroes every value; registered names survive.
   void reset_values();
 
-  // {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
+  // {"counters": {name: value, ...}, "histograms": {name: {...}, ...},
+  //  "gauges": {name: {"value":..,"peak":..}, ...}} — the gauges object is
+  // omitted while no gauge is registered, so pre-gauge consumers keep
+  // parsing byte-identical documents.
   support::Json to_json() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
 };
 
 // The process-wide registry and shorthands into it.
 Registry& metrics();
 Counter& counter(std::string_view name);
 Histogram& histogram(std::string_view name);
+Gauge& gauge(std::string_view name);
 Counter& counter(std::string_view name, const Labels& labels);
 Histogram& histogram(std::string_view name, const Labels& labels);
+Gauge& gauge(std::string_view name, const Labels& labels);
+
+// A pre-resolved labeled counter: building the canonical
+// `name{k=v,...}` key and taking the registry mutex happen once, in the
+// constructor, so per-hit cost on a memo fast path is a single relaxed
+// atomic. Handles bind to the process-wide registry (whose references are
+// stable for the process lifetime) and are cheap to copy.
+class SeriesHandle {
+ public:
+  SeriesHandle(std::string_view name, const Labels& labels);
+  void add(std::uint64_t delta = 1) { counter_->add(delta); }
+  std::uint64_t value() const { return counter_->value(); }
+
+ private:
+  Counter* counter_;
+};
+
+// SeriesHandles for one `name{cache=...,site=<varies>}` family, cached per
+// site so hot memo paths that label by site pay the key encoding once per
+// distinct site and one relaxed atomic per hit afterwards. NOT internally
+// synchronized — embed it under the owning cache's existing mutex.
+class SiteSeriesCache {
+ public:
+  SiteSeriesCache(std::string name, std::string cache_label)
+      : name_(std::move(name)), cache_label_(std::move(cache_label)) {}
+
+  SeriesHandle& at(std::string_view site);
+
+ private:
+  std::string name_;
+  std::string cache_label_;
+  std::map<std::string, SeriesHandle, std::less<>> handles_;
+};
 
 // Ready-made support::ThreadPool::TaskObserver: records each task's
 // submit→start queue wait into "pool.queue_wait_ns" and its run time into

@@ -7,6 +7,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace feam::obs {
@@ -34,6 +35,7 @@ bool span_before(const ProfileSpan& a, const ProfileSpan& b) {
 // flattened to sorted vectors at the end.
 struct FlameBuilder {
   std::uint64_t self_ns = 0;
+  std::uint64_t self_bytes = 0;
   std::map<std::string, std::unique_ptr<FlameBuilder>, std::less<>> children;
 
   FlameBuilder& child(const std::string& name) {
@@ -50,10 +52,13 @@ FlameNode flatten_flame(const std::string& name, const FlameBuilder& b) {
   node.name = name;
   node.self_ns = b.self_ns;
   node.total_ns = b.self_ns;
+  node.self_bytes = b.self_bytes;
+  node.total_bytes = b.self_bytes;
   node.children.reserve(b.children.size());
   for (const auto& [child_name, child] : b.children) {
     node.children.push_back(flatten_flame(child_name, *child));
     node.total_ns += node.children.back().total_ns;
+    node.total_bytes += node.children.back().total_bytes;
   }
   return node;
 }
@@ -61,6 +66,8 @@ FlameNode flatten_flame(const std::string& name, const FlameBuilder& b) {
 void merge_flame(FlameNode& into, const FlameNode& from) {
   into.self_ns += from.self_ns;
   into.total_ns += from.total_ns;
+  into.self_bytes += from.self_bytes;
+  into.total_bytes += from.total_bytes;
   for (const auto& child : from.children) {
     auto it = std::lower_bound(
         into.children.begin(), into.children.end(), child,
@@ -73,15 +80,22 @@ void merge_flame(FlameNode& into, const FlameNode& from) {
   }
 }
 
-void fold_stacks(const FlameNode& node, std::string& prefix,
-                 std::vector<std::string>& lines) {
+void fold_stacks(const FlameNode& node, FlameWeight weight,
+                 std::string& prefix, std::vector<std::string>& lines) {
   const std::size_t prefix_len = prefix.size();
   if (!prefix.empty()) prefix += ';';
   prefix += node.name;
-  if (node.self_ns > 0) {
-    lines.push_back(prefix + " " + fmt_us(node.self_ns));
+  // Time weight keeps the historical form: emit whenever self time is
+  // nonzero (sub-microsecond frames fold to "0"). Byte weight emits raw
+  // byte counts for frames that allocated at all.
+  if (weight == FlameWeight::kTime) {
+    if (node.self_ns > 0) lines.push_back(prefix + " " + fmt_us(node.self_ns));
+  } else if (node.self_bytes > 0) {
+    lines.push_back(prefix + " " + fmt_u64(node.self_bytes));
   }
-  for (const auto& child : node.children) fold_stacks(child, prefix, lines);
+  for (const auto& child : node.children) {
+    fold_stacks(child, weight, prefix, lines);
+  }
   prefix.resize(prefix_len);
 }
 
@@ -126,10 +140,15 @@ struct SvgLayout {
   double width = 1200.0;
   double row_h = 17.0;
   double top = 28.0;
+  FlameWeight weight = FlameWeight::kTime;
+
+  std::uint64_t total_of(const FlameNode& node) const {
+    return weight == FlameWeight::kTime ? node.total_ns : node.total_bytes;
+  }
 
   void draw(const FlameNode& node, double x, int depth) {
     const double w =
-        width * static_cast<double>(node.total_ns) / static_cast<double>(root_total);
+        width * static_cast<double>(total_of(node)) / static_cast<double>(root_total);
     if (w < 0.1) return;
     const double y = top + depth * row_h;
     const std::uint32_t h = name_hash(node.name);
@@ -145,8 +164,14 @@ struct SvgLayout {
     body += buf;
     body += "<title>";
     xml_escape(body, node.name);
-    std::snprintf(buf, sizeof(buf), " (total %s us, self %s us)</title>",
-                  fmt_us(node.total_ns).c_str(), fmt_us(node.self_ns).c_str());
+    if (weight == FlameWeight::kTime) {
+      std::snprintf(buf, sizeof(buf), " (total %s us, self %s us)</title>",
+                    fmt_us(node.total_ns).c_str(), fmt_us(node.self_ns).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), " (total %s, self %s)</title>",
+                    support::human_size(node.total_bytes).c_str(),
+                    support::human_size(node.self_bytes).c_str());
+    }
     body += buf;
     // ~7 px per glyph of 12px monospace; skip labels on slivers.
     const std::size_t fit = static_cast<std::size_t>(std::max(w - 6.0, 0.0) / 7.0);
@@ -166,7 +191,7 @@ struct SvgLayout {
     double child_x = x;
     for (const auto& child : node.children) {
       draw(child, child_x, depth + 1);
-      child_x += width * static_cast<double>(child.total_ns) /
+      child_x += width * static_cast<double>(total_of(child)) /
                  static_cast<double>(root_total);
     }
   }
@@ -247,6 +272,7 @@ Profile build_profile(std::vector<ProfileSpan> spans) {
     stat.self_ns += self[i];
     stat.min_ns = std::min(stat.min_ns, dur);
     stat.max_ns = std::max(stat.max_ns, dur);
+    stat.alloc_bytes += s.alloc_bytes;
 
     auto& thread = threads[s.tid];
     thread.tid = s.tid;
@@ -286,6 +312,7 @@ Profile build_profile(std::vector<ProfileSpan> spans) {
                                     : *flame_of[effective_parent[i]];
     FlameBuilder& node = parent_node.child(spans[i].name);
     node.self_ns += self[i];
+    node.self_bytes += spans[i].alloc_bytes;
     flame_of[i] = &node;
   }
   profile.flame = flatten_flame("all", flame_root);
@@ -329,7 +356,8 @@ Profile build_profile(const std::vector<SpanRecord>& spans) {
   std::vector<ProfileSpan> input;
   input.reserve(spans.size());
   for (const auto& s : spans) {
-    input.push_back({s.id, s.parent_id, s.name, s.start_ns, s.end_ns, s.tid});
+    input.push_back({s.id, s.parent_id, s.name, s.start_ns, s.end_ns, s.tid,
+                     s.alloc_bytes, s.alloc_count});
   }
   return build_profile(std::move(input));
 }
@@ -349,6 +377,7 @@ void Profile::merge(const Profile& other) {
     mine.self_ns += stat.self_ns;
     mine.min_ns = std::min(mine.min_ns, stat.min_ns);
     mine.max_ns = std::max(mine.max_ns, stat.max_ns);
+    mine.alloc_bytes += stat.alloc_bytes;
   }
   by_name.clear();
   for (auto& [name, stat] : stats) by_name.push_back(std::move(stat));
@@ -393,15 +422,25 @@ std::string Profile::render_table() const {
   out += "\n\n";
 
   std::uint64_t total_self = 0;
-  for (const auto& stat : by_name) total_self += stat.self_ns;
-  support::TextTable names({"span", "count", "self us", "self %", "total us",
-                            "min us", "max us"});
+  std::uint64_t total_alloc = 0;
   for (const auto& stat : by_name) {
-    names.add_row({stat.name, fmt_u64(stat.count), fmt_us(stat.self_ns),
-                   support::percent(static_cast<double>(stat.self_ns),
-                                    static_cast<double>(total_self)),
-                   fmt_us(stat.total_ns), fmt_us(stat.min_ns),
-                   fmt_us(stat.max_ns)});
+    total_self += stat.self_ns;
+    total_alloc += stat.alloc_bytes;
+  }
+  // The alloc column appears only when the trace carried allocation data,
+  // so profiles recorded without tracking render exactly as before.
+  std::vector<std::string> headers{"span",     "count",  "self us", "self %",
+                                   "total us", "min us", "max us"};
+  if (total_alloc > 0) headers.push_back("alloc");
+  support::TextTable names(headers);
+  for (const auto& stat : by_name) {
+    std::vector<std::string> row{
+        stat.name, fmt_u64(stat.count), fmt_us(stat.self_ns),
+        support::percent(static_cast<double>(stat.self_ns),
+                         static_cast<double>(total_self)),
+        fmt_us(stat.total_ns), fmt_us(stat.min_ns), fmt_us(stat.max_ns)};
+    if (total_alloc > 0) row.push_back(support::human_size(stat.alloc_bytes));
+    names.add_row(row);
   }
   out += names.render();
 
@@ -434,11 +473,11 @@ std::string Profile::render_table() const {
   return out;
 }
 
-std::string Profile::folded_stacks() const {
+std::string Profile::folded_stacks(FlameWeight weight) const {
   std::vector<std::string> lines;
   std::string prefix;
   for (const auto& child : flame.children) {
-    fold_stacks(child, prefix, lines);
+    fold_stacks(child, weight, prefix, lines);
   }
   std::sort(lines.begin(), lines.end());
   std::string out;
@@ -462,6 +501,12 @@ support::Json Profile::to_json() const {
     entry.emplace("self_ns", support::Json(static_cast<double>(stat.self_ns)));
     entry.emplace("min_ns", support::Json(static_cast<double>(stat.min_ns)));
     entry.emplace("max_ns", support::Json(static_cast<double>(stat.max_ns)));
+    // Additive: only present when the trace carried allocation data, so
+    // pre-tracking records stay byte-identical.
+    if (stat.alloc_bytes > 0) {
+      entry.emplace("alloc_bytes",
+                    support::Json(static_cast<double>(stat.alloc_bytes)));
+    }
     names.push_back(support::Json(std::move(entry)));
   }
   object.emplace("by_name", support::Json(std::move(names)));
@@ -510,6 +555,7 @@ std::optional<Profile> Profile::from_json(const support::Json& j) {
     stat.self_ns = parse_u64(entry, "self_ns");
     stat.min_ns = parse_u64(entry, "min_ns");
     stat.max_ns = parse_u64(entry, "max_ns");
+    stat.alloc_bytes = parse_u64(entry, "alloc_bytes");
     profile.by_name.push_back(std::move(stat));
   }
   for (const auto& entry : j["threads"].as_array()) {
@@ -536,9 +582,12 @@ std::optional<Profile> Profile::from_json(const support::Json& j) {
 }
 
 std::string render_flamegraph_svg(const FlameNode& root,
-                                  std::string_view title) {
+                                  std::string_view title,
+                                  FlameWeight weight) {
   SvgLayout layout;
-  layout.root_total = std::max<std::uint64_t>(root.total_ns, 1);
+  layout.weight = weight;
+  layout.root_total = std::max<std::uint64_t>(
+      weight == FlameWeight::kTime ? root.total_ns : root.total_bytes, 1);
   const int depth = flame_depth(root);
   const double height = layout.top + depth * layout.row_h + 8.0;
 

@@ -49,6 +49,10 @@ struct ProfileSpan {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   int tid = 0;
+  // Self-allocated bytes/allocations (tracking allocator, obs/memory.hpp);
+  // 0 on traces recorded without tracking.
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
   std::uint64_t duration_ns() const { return end_ns - start_ns; }
 };
 
@@ -60,6 +64,7 @@ struct ProfileNameStat {
   std::uint64_t self_ns = 0;   // sum of durations minus direct children
   std::uint64_t min_ns = 0;    // min/max single-span duration
   std::uint64_t max_ns = 0;
+  std::uint64_t alloc_bytes = 0;  // sum of self-allocated bytes
 };
 
 struct ProfileThread {
@@ -86,12 +91,20 @@ struct CriticalPathStep {
 
 // Self-time aggregated by stack-of-names over the effective span tree.
 // Children are sorted by name; total_ns = self_ns + sum(children totals).
+// Allocation weights ride the same tree: self_bytes is already "self" by
+// construction (the tracking allocator attributes to the innermost open
+// span), so totals sum cleanly up the stack with no child subtraction.
 struct FlameNode {
   std::string name;
   std::uint64_t self_ns = 0;
   std::uint64_t total_ns = 0;
+  std::uint64_t self_bytes = 0;
+  std::uint64_t total_bytes = 0;
   std::vector<FlameNode> children;
 };
+
+// Which weight folded stacks and flamegraph SVGs size frames by.
+enum class FlameWeight { kTime, kAllocBytes };
 
 struct Profile {
   std::uint64_t wall_ns = 0;    // max end - min start over every span
@@ -116,8 +129,10 @@ struct Profile {
   std::string render_table() const;
 
   // Collapsed-stack flamegraph text: "root;child;leaf <self_us>" per
-  // flame node with nonzero self time, sorted lexicographically.
-  std::string folded_stacks() const;
+  // flame node with nonzero self weight, sorted lexicographically. With
+  // FlameWeight::kAllocBytes the value is self-allocated bytes instead of
+  // self microseconds.
+  std::string folded_stacks(FlameWeight weight = FlameWeight::kTime) const;
 
   // {"wall_ns":..,"span_count":..,"by_name":[..],"threads":[..],
   //  "critical_path":[..]} — the additive run-record section. The flame
@@ -132,8 +147,10 @@ Profile build_profile(std::vector<ProfileSpan> spans);
 Profile build_profile(const std::vector<SpanRecord>& spans);
 
 // Self-contained SVG flamegraph of a flame tree (no scripts, no external
-// fetches; hover shows name + time via <title>). Deterministic.
+// fetches; hover shows name + weight via <title>). Deterministic. With
+// FlameWeight::kAllocBytes frames are sized by allocated bytes.
 std::string render_flamegraph_svg(const FlameNode& root,
-                                  std::string_view title);
+                                  std::string_view title,
+                                  FlameWeight weight = FlameWeight::kTime);
 
 }  // namespace feam::obs

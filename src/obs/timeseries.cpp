@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/clock.hpp"
+#include "obs/memory.hpp"
 #include "support/json.hpp"
 
 namespace feam::obs {
@@ -55,9 +56,13 @@ std::uint64_t TimeseriesSampler::samples_emitted() const { return seq_; }
 
 void TimeseriesSampler::sample_once(bool final_line) {
   const std::uint64_t t_ns = now_ns();
+  // Refresh the process RSS gauges before snapshotting so footprint rides
+  // the same tick as everything else.
+  sample_process_rss(registry_);
   Shot current;
   current.counters = registry_.counter_values();
   current.histograms = registry_.histogram_snapshots();
+  current.gauges = registry_.gauge_values();
 
   support::Json counters{support::Json::Object{}};
   for (const auto& [name, total] : current.counters) {
@@ -85,6 +90,21 @@ void TimeseriesSampler::sample_once(bool final_line) {
     histograms.set(name, std::move(entry));
   }
 
+  support::Json gauges{support::Json::Object{}};
+  bool any_gauge = false;
+  for (const auto& [name, value] : current.gauges) {
+    const auto it = previous_.gauges.find(name);
+    const bool changed = it == previous_.gauges.end() ||
+                         it->second.value != value.value ||
+                         it->second.peak != value.peak;
+    if (!changed && !final_line) continue;
+    support::Json entry;
+    entry.set("v", value.value);
+    entry.set("p", value.peak);
+    gauges.set(name, std::move(entry));
+    any_gauge = true;
+  }
+
   support::Json line;
   line.set("schema", kTimeseriesSchema);
   line.set("type", "sample");
@@ -94,6 +114,7 @@ void TimeseriesSampler::sample_once(bool final_line) {
   line.set("final", final_line);
   line.set("counters", std::move(counters));
   line.set("histograms", std::move(histograms));
+  if (any_gauge) line.set("gauges", std::move(gauges));
   sink_(line.dump() + "\n");
 
   previous_ = std::move(current);

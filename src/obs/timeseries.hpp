@@ -24,11 +24,18 @@
 //   {"schema":"feam.timeseries/1","type":"sample","seq":K,"t_ns":...,
 //    "dt_ns":...,"final":false,
 //    "counters":{"name":{"d":delta,"t":total},...},
-//    "histograms":{"name":{"d":{<HistogramSnapshot>},"t":count},...}}
+//    "histograms":{"name":{"d":{<HistogramSnapshot>},"t":count},...},
+//    "gauges":{"name":{"v":value,"p":peak},...}}
 // Sample lines carry only series that changed in the window; the final
 // line carries every series (delta may be 0). Series names are
 // obs::series_name encodings, so labeled series travel as
-// "cache.hits{cache=bdc,site=india}".
+// "cache.hits{cache=bdc,site=india}". The "gauges" object is a schema-
+// additive extension (still feam.timeseries/1): gauges are levels, not
+// tallies, so they carry current value / peak rather than deltas, travel
+// only when either changed (readers carry the last value forward), and
+// the object is omitted entirely when no gauge changed — pre-gauge
+// consumers keep parsing. The sampler also probes /proc each tick so
+// `process.rss_bytes` / `process.rss_peak_bytes` ride the stream.
 #pragma once
 
 #include <condition_variable>
@@ -76,6 +83,7 @@ class TimeseriesSampler {
   struct Shot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, GaugeValue> gauges;
   };
 
   void run();

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "obs/clock.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
 
 namespace feam::obs {
 
@@ -125,6 +127,9 @@ Span::Span(std::string name, Fields fields) {
     record_.tid = thread_ordinal();
     t_span_stack.push_back(record_.id);
   }
+  // Allocation attribution is independent of trace collection: the
+  // mem.alloc_bytes{phase=...} counters flow even on untraced runs.
+  if (alloc_tracking_enabled()) mem_token_ = mem_scope_push();
 }
 
 Span::~Span() { finish(); }
@@ -139,6 +144,21 @@ void Span::finish() {
   if (finished_) return;
   finished_ = true;
   record_.end_ns = now_ns();
+  if (mem_token_ >= 0) {
+    const MemScopeTotals mem = mem_scope_pop(mem_token_);
+    mem_token_ = -1;
+    if (mem.count != 0) {
+      record_.alloc_bytes = mem.bytes;
+      record_.alloc_count = mem.count;
+      // One registry flush per span pop — the labeled lookup's own string
+      // build allocates, which lands in the parent's frame (tracking-
+      // allocator self-overhead attributed to the enclosing phase).
+      counter("mem.alloc_bytes").add(mem.bytes);
+      counter("mem.alloc_count").add(mem.count);
+      counter("mem.alloc_bytes", {.phase = record_.name}).add(mem.bytes);
+      counter("mem.alloc_count", {.phase = record_.name}).add(mem.count);
+    }
+  }
   if (!active_) return;
   // Pop this span (and anything a mismatched caller left above it).
   while (!t_span_stack.empty()) {

@@ -37,6 +37,12 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   int tid = 0;
+  // Bytes/allocations attributed to this span while it was the innermost
+  // open span on its thread (see obs/memory.hpp) — already "self" by
+  // construction, like self time. Zero unless the tracking allocator is
+  // compiled in and armed.
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
   // Process-wide finish order (merge key across thread buffers); not
   // serialized by the exporters.
   std::uint64_t seq = 0;
@@ -121,6 +127,7 @@ class Span {
   SpanRecord record_;
   bool active_ = false;   // collection was enabled at construction
   bool finished_ = false;
+  int mem_token_ = -1;    // memory-scope frame (obs/memory.hpp), -1 = none
 };
 
 }  // namespace feam::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "obs/profile.hpp"
 #include "support/strings.hpp"
@@ -266,8 +268,12 @@ std::string chart_number(double v) {
   return buf;
 }
 
+// Y-axis labeling for a chart: latency (ns), rates (percent of 1.0), or
+// sizes (bytes, "du -h" style).
+enum class ChartUnit { kNs, kPercent, kBytes };
+
 std::string render_line_chart(const std::vector<ChartSeries>& series,
-                              bool percent) {
+                              ChartUnit unit) {
   constexpr double kW = 720.0, kH = 200.0;
   constexpr double kLeft = 52.0, kRight = 710.0, kTop = 12.0, kBottom = 168.0;
   double x_max = 0.0, y_max = 0.0;
@@ -277,7 +283,7 @@ std::string render_line_chart(const std::vector<ChartSeries>& series,
       y_max = std::max(y_max, y);
     }
   }
-  if (percent) y_max = 1.0;
+  if (unit == ChartUnit::kPercent) y_max = 1.0;
   if (x_max <= 0.0) x_max = 1.0;
   if (y_max <= 0.0) y_max = 1.0;
   const auto sx = [&](double x) {
@@ -287,7 +293,10 @@ std::string render_line_chart(const std::vector<ChartSeries>& series,
     return kBottom - (kBottom - kTop) * y / y_max;
   };
   const auto y_label = [&](double y) {
-    if (percent) return chart_number(y * 100.0) + "%";
+    if (unit == ChartUnit::kPercent) return chart_number(y * 100.0) + "%";
+    if (unit == ChartUnit::kBytes) {
+      return support::human_size(static_cast<std::uint64_t>(y));
+    }
     return format_ns(y);
   };
 
@@ -379,7 +388,7 @@ void append_timeseries_charts(std::string& out, const Timeseries& ts) {
     out += "<h2>Cache hit rate over run time</h2>\n";
     std::vector<ChartSeries> series;
     for (auto& [name, s] : rates) series.push_back(std::move(s));
-    out += render_line_chart(series, /*percent=*/true);
+    out += render_line_chart(series, ChartUnit::kPercent);
   }
 
   // Chart 2: windowed p99 of the busiest unlabeled *_ns histograms.
@@ -414,7 +423,42 @@ void append_timeseries_charts(std::string& out, const Timeseries& ts) {
       series.push_back(std::move(s));
     }
     out += "<h2>Latency p99 over run time</h2>\n";
-    out += render_line_chart(series, /*percent=*/false);
+    out += render_line_chart(series, ChartUnit::kNs);
+  }
+
+  // Charts 3+4: memory over run time, from the stream's gauge samples
+  // (carry-forward between changes). RSS and cache footprints differ by
+  // orders of magnitude, so each gets its own y scale.
+  const auto gauge_series = [&](std::string_view name,
+                                std::string label) -> std::optional<ChartSeries> {
+    const auto track = ts.gauge_track(name);
+    ChartSeries s;
+    s.label = std::move(label);
+    bool any = false;
+    for (std::size_t i = 0; i < track.size() && i < elapsed.size(); ++i) {
+      s.points.emplace_back(elapsed[i], static_cast<double>(track[i].value));
+      any = any || track[i].value > 0;
+    }
+    if (!any) return std::nullopt;
+    return s;
+  };
+  if (auto rss = gauge_series("process.rss_bytes", "RSS")) {
+    out += "<h2>Resident set size over run time</h2>\n";
+    out += render_line_chart({std::move(*rss)}, ChartUnit::kBytes);
+  }
+  std::vector<ChartSeries> footprint_series;
+  constexpr std::string_view kCachePrefix = "cache.bytes{cache=";
+  for (const auto& [name, value] : ts.final_gauge_values()) {
+    if (name.rfind(kCachePrefix, 0) != 0 || name.back() != '}') continue;
+    if (auto s = gauge_series(
+            name, name.substr(kCachePrefix.size(),
+                              name.size() - kCachePrefix.size() - 1))) {
+      footprint_series.push_back(std::move(*s));
+    }
+  }
+  if (!footprint_series.empty()) {
+    out += "<h2>Cache footprint over run time</h2>\n";
+    out += render_line_chart(footprint_series, ChartUnit::kBytes);
   }
   out += "</section>\n";
 }

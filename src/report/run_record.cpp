@@ -80,6 +80,11 @@ support::Json RunRecord::to_json() const {
     s.set("start_ns", span.start_ns);
     s.set("dur_ns", span.duration_ns);
     s.set("tid", span.tid);
+    // Additive: absent on untracked runs so old records stay byte-equal.
+    if (span.alloc_count != 0) {
+      s.set("alloc_bytes", span.alloc_bytes);
+      s.set("alloc_count", span.alloc_count);
+    }
     span_array.push_back(std::move(s));
   }
   out.set("spans", Json(std::move(span_array)));
@@ -139,6 +144,8 @@ std::optional<RunRecord> RunRecord::from_json(const support::Json& j) {
       span.start_ns = static_cast<std::uint64_t>(s.get_int("start_ns"));
       span.duration_ns = static_cast<std::uint64_t>(s.get_int("dur_ns"));
       span.tid = static_cast<int>(s.get_int("tid"));
+      span.alloc_bytes = static_cast<std::uint64_t>(s.get_int("alloc_bytes"));
+      span.alloc_count = static_cast<std::uint64_t>(s.get_int("alloc_count"));
       if (span.name.empty()) return std::nullopt;
       r.spans.push_back(std::move(span));
     }
@@ -249,7 +256,8 @@ RunRecord assemble_run_record(const RunContext& context,
   r.spans.reserve(spans.size());
   for (const auto& span : spans) {
     r.spans.push_back({span.id, span.parent_id, span.name, span.start_ns,
-                       span.duration_ns(), span.tid});
+                       span.duration_ns(), span.tid, span.alloc_bytes,
+                       span.alloc_count});
   }
   std::sort(r.spans.begin(), r.spans.end(),
             [](const SpanSummary& a, const SpanSummary& b) {
@@ -266,7 +274,8 @@ std::vector<obs::ProfileSpan> to_profile_spans(const RunRecord& record) {
   spans.reserve(record.spans.size());
   for (const auto& span : record.spans) {
     spans.push_back({span.id, span.parent_id, span.name, span.start_ns,
-                     span.start_ns + span.duration_ns, span.tid});
+                     span.start_ns + span.duration_ns, span.tid,
+                     span.alloc_bytes, span.alloc_count});
   }
   return spans;
 }

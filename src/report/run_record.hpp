@@ -44,6 +44,10 @@ struct SpanSummary {
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
   int tid = 0;  // small per-process thread ordinal (additive in schema /1)
+  // Self-allocated bytes/count from the tracking allocator (additive in
+  // schema /1; 0 and omitted from JSON when the run was untracked).
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
 };
 
 struct RunRecord {

@@ -75,6 +75,16 @@ void Timeseries::feed_line(std::string_view line) {
           static_cast<std::uint64_t>(entry.get_int("t"));
     }
   }
+  const auto& gauges = (*parsed)["gauges"];
+  if (gauges.is_object()) {
+    for (const auto& [name, entry] : gauges.as_object()) {
+      if (!entry.is_object()) continue;
+      obs::GaugeValue value;
+      value.value = static_cast<std::uint64_t>(entry.get_int("v"));
+      value.peak = static_cast<std::uint64_t>(entry.get_int("p"));
+      sample.gauges[name] = value;
+    }
+  }
   samples.push_back(std::move(sample));
   if (samples.back().final_sample) saw_final = true;
 }
@@ -103,6 +113,40 @@ obs::HistogramSnapshot Timeseries::merged_histogram(std::string_view series,
   return merged;
 }
 
+obs::HistogramSnapshot Timeseries::merged_histogram_base(
+    std::string_view base, std::size_t from, std::size_t to,
+    bool include_unlabeled) const {
+  to = std::min(to, samples.size());
+  const std::string labeled_prefix = std::string(base) + "{";
+  obs::HistogramSnapshot merged;
+  for (std::size_t i = from; i < to; ++i) {
+    for (const auto& [name, delta] : samples[i].hist_deltas) {
+      const bool unlabeled = name == base;
+      if (unlabeled && !include_unlabeled) continue;
+      if (!unlabeled && name.compare(0, labeled_prefix.size(),
+                                     labeled_prefix) != 0) {
+        continue;
+      }
+      merged.merge(delta);
+    }
+  }
+  return merged;
+}
+
+std::vector<obs::GaugeValue> Timeseries::gauge_track(
+    std::string_view series) const {
+  std::vector<obs::GaugeValue> track;
+  track.reserve(samples.size());
+  obs::GaugeValue current;
+  const std::string key(series);
+  for (const auto& sample : samples) {
+    const auto it = sample.gauges.find(key);
+    if (it != sample.gauges.end()) current = it->second;
+    track.push_back(current);
+  }
+  return track;
+}
+
 double Timeseries::span_seconds(std::size_t from, std::size_t to) const {
   to = std::min(to, samples.size());
   std::uint64_t span_ns = 0;
@@ -127,6 +171,14 @@ std::map<std::string, std::uint64_t> Timeseries::final_histogram_counts()
     for (const auto& [name, total] : sample.hist_totals) totals[name] = total;
   }
   return totals;
+}
+
+std::map<std::string, obs::GaugeValue> Timeseries::final_gauge_values() const {
+  std::map<std::string, obs::GaugeValue> values;
+  for (const auto& sample : samples) {
+    for (const auto& [name, value] : sample.gauges) values[name] = value;
+  }
+  return values;
 }
 
 std::vector<std::string> Timeseries::consistency_issues() const {
@@ -155,6 +207,27 @@ std::vector<std::string> Timeseries::consistency_issues() const {
       issues.push_back("histogram " + name + ": sum of delta counts " +
                        std::to_string(sum) + " != final count " +
                        std::to_string(total));
+    }
+  }
+  // Gauges are levels, not tallies; their invariants are peak >= value in
+  // every report and peaks never regressing across the stream.
+  std::map<std::string, std::uint64_t> peak_seen;
+  for (const auto& sample : samples) {
+    for (const auto& [name, value] : sample.gauges) {
+      if (value.peak < value.value) {
+        issues.push_back("gauge " + name + ": peak " +
+                         std::to_string(value.peak) + " < value " +
+                         std::to_string(value.value));
+      }
+      auto [it, fresh] = peak_seen.emplace(name, value.peak);
+      if (!fresh) {
+        if (value.peak < it->second) {
+          issues.push_back("gauge " + name + ": peak regressed from " +
+                           std::to_string(it->second) + " to " +
+                           std::to_string(value.peak));
+        }
+        it->second = std::max(it->second, value.peak);
+      }
     }
   }
   return issues;

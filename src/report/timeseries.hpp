@@ -28,6 +28,10 @@ struct TimeseriesSample {
   std::map<std::string, std::uint64_t> counter_totals;
   std::map<std::string, obs::HistogramSnapshot> hist_deltas;
   std::map<std::string, std::uint64_t> hist_totals;  // cumulative counts
+  // Gauge levels as of this sample. The producer only writes a gauge when
+  // it changed (plus the final line), so absence means "carry the previous
+  // value forward" — use Timeseries::gauge_track for the filled-in view.
+  std::map<std::string, obs::GaugeValue> gauges;
 };
 
 struct Timeseries {
@@ -59,9 +63,28 @@ struct Timeseries {
   // Wall time covered by samples [from, to), in seconds.
   double span_seconds(std::size_t from, std::size_t to) const;
 
+  // Merged histogram deltas over [from, to) for every series whose name is
+  // `base` or a labeled variant "base{...}" — the windowed distribution
+  // across all label combinations of one metric. Sums labeled and
+  // unlabeled variants, so pass a base that is recorded one way or the
+  // other, not both (the producer records both; callers that want "all
+  // sites of phase.target_ns" should merge only the labeled variants —
+  // see include_unlabeled).
+  obs::HistogramSnapshot merged_histogram_base(std::string_view base,
+                                               std::size_t from,
+                                               std::size_t to,
+                                               bool include_unlabeled) const;
+
+  // Gauge level per sample with carry-forward applied: element i is the
+  // last value reported at or before sample i ({0,0} before the first
+  // report). Size equals samples.size().
+  std::vector<obs::GaugeValue> gauge_track(std::string_view series) const;
+
   // Running totals as of the last sample mentioning each series.
   std::map<std::string, std::uint64_t> final_counter_totals() const;
   std::map<std::string, std::uint64_t> final_histogram_counts() const;
+  // Last reported level per gauge (carry-forward endpoint).
+  std::map<std::string, obs::GaugeValue> final_gauge_values() const;
 
   // The stream's core invariant: per series, the deltas must telescope
   // exactly to the last reported total (counters and histogram counts

@@ -1,5 +1,6 @@
 #include "report/trend.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <optional>
@@ -46,6 +47,29 @@ std::optional<double> evaluate(const Timeseries& series,
     return static_cast<double>(
                series.counter_delta_sum(name, window.from, window.to)) /
            seconds;
+  }
+  if (selector.rfind("gauge.", 0) == 0) {
+    // gauge.<series>.<mean|max|last> — evaluated over the carry-forward
+    // level track (a gauge is only written when it changes), so a gauge
+    // that went quiet still contributes its held value to every window.
+    const std::string_view rest = selector.substr(6);
+    const auto dot = rest.rfind('.');
+    if (dot == std::string_view::npos) return std::nullopt;
+    const std::string_view name = rest.substr(0, dot);
+    const std::string_view stat = rest.substr(dot + 1);
+    if (stat != "mean" && stat != "max" && stat != "last") return std::nullopt;
+    const std::vector<obs::GaugeValue> track = series.gauge_track(name);
+    const std::size_t to = std::min(window.to, track.size());
+    if (window.from >= to) return 0.0;
+    if (stat == "last") return static_cast<double>(track[to - 1].value);
+    double sum = 0.0;
+    std::uint64_t max_value = 0;
+    for (std::size_t i = window.from; i < to; ++i) {
+      sum += static_cast<double>(track[i].value);
+      max_value = std::max(max_value, track[i].value);
+    }
+    if (stat == "max") return static_cast<double>(max_value);
+    return sum / static_cast<double>(to - window.from);
   }
   if (selector.rfind("hitrate.", 0) == 0) {
     // Both naming styles count: flat legacy counters (`bdc.cache_hits`) and

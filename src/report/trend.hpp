@@ -16,6 +16,9 @@
 // Metric selectors (evaluated over a group of sample windows):
 //   hist.<series>.<p50|p90|p99|mean|count> — merged histogram deltas
 //   rate.<series>                          — counter deltas per second
+//   gauge.<series>.<mean|max|last>         — gauge level over the window's
+//     carry-forward track (e.g. gauge.process.rss_bytes.mean catches
+//     steady-state RSS growth that endpoint totals hide)
 //   hitrate.<prefix>                       — hits/(hits+misses) where a
 //     series' base name is <prefix>_hits|_misses or <prefix>.hits|.misses,
 //     summed across label values (so `hitrate.cache` rolls up the whole

@@ -104,6 +104,42 @@ TEST(CliOptions, SurveyRequiresBinaryOnly) {
   EXPECT_NE(parse_error({"survey"}).find("--binary"), std::string::npos);
 }
 
+TEST(CliOptions, MemoryObservabilityFlags) {
+  const auto survey = parse({"survey", "--binary", "/tmp/b", "--track-alloc",
+                             "--timeseries-out", "/tmp/live.jsonl"});
+  ASSERT_TRUE(survey.has_value());
+  EXPECT_TRUE(survey->track_alloc);
+
+  const auto profile = parse({"profile", "--in", "/tmp/trace.json",
+                              "--memory", "--svg", "/tmp/alloc.svg"});
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_TRUE(profile->profile_memory);
+
+  const auto plain = parse({"profile", "--in", "/tmp/trace.json"});
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->profile_memory);
+  EXPECT_FALSE(plain->track_alloc);
+}
+
+TEST(CliOptions, TimeseriesIntervalValidation) {
+  const auto ok = parse({"survey", "--binary", "/tmp/b", "--timeseries-out",
+                         "/tmp/live.jsonl", "--timeseries-interval", "25"});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->timeseries_interval_ms, 25);
+
+  // The rejection names the flag, the constraint, and the bad value.
+  for (const char* bad : {"0", "-5", "soon", ""}) {
+    const std::string error =
+        parse_error({"survey", "--binary", "/tmp/b", "--timeseries-out",
+                     "/tmp/live.jsonl", "--timeseries-interval", bad});
+    EXPECT_NE(error.find("--timeseries-interval"), std::string::npos) << bad;
+    EXPECT_NE(error.find("positive number of milliseconds"),
+              std::string::npos)
+        << bad;
+    EXPECT_NE(error.find(bad), std::string::npos) << bad;
+  }
+}
+
 TEST(CliOptions, Errors) {
   EXPECT_NE(parse_error({}).find("no command"), std::string::npos);
   EXPECT_NE(parse_error({"frobnicate"}).find("unknown command"),

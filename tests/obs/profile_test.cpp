@@ -174,6 +174,30 @@ TEST(Profile, FoldedStacksFormatAndOrder) {
   EXPECT_EQ(p.folded_stacks(), "root 2\nroot;child 1\n");
 }
 
+TEST(Profile, AllocWeightedFoldedStacksAndByName) {
+  ProfileSpan root = span(1, 0, "root", 0, 3000, 0);
+  root.alloc_bytes = 1000;
+  root.alloc_count = 2;
+  ProfileSpan child = span(2, 1, "child", 1000, 2000, 0);
+  child.alloc_bytes = 4096;
+  child.alloc_count = 1;
+  const ProfileSpan quiet = span(3, 1, "quiet", 2000, 2500, 0);
+  const Profile p = build_profile({root, child, quiet});
+  // Bytes are span-self by construction (the tracking allocator attributes
+  // to the innermost scope), so the byte weight needs no child subtraction
+  // and zero-byte frames fold away entirely.
+  EXPECT_EQ(p.folded_stacks(FlameWeight::kAllocBytes),
+            "root 1000\nroot;child 4096\n");
+  EXPECT_EQ(stat_of(p, "root")->alloc_bytes, 1000u);
+  EXPECT_EQ(stat_of(p, "child")->alloc_bytes, 4096u);
+  EXPECT_EQ(stat_of(p, "quiet")->alloc_bytes, 0u);
+  // Time-weighted output is unchanged by the presence of byte data.
+  EXPECT_EQ(p.folded_stacks(), "root 1\nroot;child 1\nroot;quiet 0\n");
+  const std::string svg =
+      render_flamegraph_svg(p.flame, "allocs", FlameWeight::kAllocBytes);
+  EXPECT_NE(svg.find("child"), std::string::npos);
+}
+
 TEST(Profile, MergeAccumulatesAndKeepsLongestCriticalPath) {
   const Profile a = build_profile({
       span(1, 0, "work", 0, 1000, 0),

@@ -160,6 +160,163 @@ TEST(TimeseriesWindows, CacheRollupAndMergedHistograms) {
             80u);
 }
 
+// One sample line carrying a gauge level and (optionally) a site-labeled
+// histogram delta — the shapes the memory-observability stream adds.
+std::string gauge_sample_line(std::uint64_t seq, std::uint64_t rss,
+                              std::uint64_t rss_peak, bool with_gauge,
+                              std::uint64_t site_a_count,
+                              std::uint64_t site_b_count,
+                              std::uint64_t lat_value,
+                              std::uint64_t& a_total, std::uint64_t& b_total,
+                              bool final_sample) {
+  support::Json line;
+  line.set("schema", "feam.timeseries/1");
+  line.set("type", "sample");
+  line.set("seq", seq);
+  line.set("t_ns", std::uint64_t{(seq + 1) * 100'000'000ull});
+  line.set("dt_ns", std::uint64_t{100'000'000});
+  line.set("final", final_sample);
+  if (with_gauge || final_sample) {
+    support::Json gauges{support::Json::Object{}};
+    support::Json rss_entry;
+    rss_entry.set("v", rss);
+    rss_entry.set("p", rss_peak);
+    gauges.set("process.rss_bytes", std::move(rss_entry));
+    line.set("gauges", std::move(gauges));
+  }
+  support::Json histograms{support::Json::Object{}};
+  const auto hist_entry = [&](std::uint64_t count, std::uint64_t value,
+                              std::uint64_t total) {
+    support::Json h;
+    h.set("count", count);
+    h.set("sum", count * value);
+    h.set("min", value);
+    h.set("max", value);
+    support::Json entry;
+    entry.set("d", std::move(h));
+    entry.set("t", total);
+    return entry;
+  };
+  if (site_a_count > 0) {
+    a_total += site_a_count;
+    histograms.set("phase.target_ns{site=india}",
+                   hist_entry(site_a_count, lat_value, a_total));
+  }
+  if (site_b_count > 0) {
+    b_total += site_b_count;
+    histograms.set("phase.target_ns{site=sierra}",
+                   hist_entry(site_b_count, 4 * lat_value, b_total));
+  }
+  line.set("histograms", std::move(histograms));
+  return line.dump() + "\n";
+}
+
+// 20 samples with an RSS gauge written only when it changes (every 4th
+// sample) and two site-labeled phase.target_ns series. `leak` makes the
+// RSS level climb through the back half.
+std::string gauge_stream(bool leak) {
+  std::string text = meta_line();
+  std::uint64_t a_total = 0, b_total = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const std::uint64_t rss =
+        leak && i >= 10 ? 100'000'000 + (i - 9) * 30'000'000 : 100'000'000;
+    text += gauge_sample_line(i, rss, rss, /*with_gauge=*/i % 4 == 0,
+                              /*site_a_count=*/6, /*site_b_count=*/2,
+                              /*lat_value=*/1'000'000, a_total, b_total,
+                              /*final_sample=*/i == 19);
+  }
+  return text;
+}
+
+TEST(TimeseriesGauges, ParsesAndCarriesLevelsForward) {
+  const Timeseries series = parse_timeseries(gauge_stream(false));
+  ASSERT_EQ(series.samples.size(), 20u);
+  EXPECT_TRUE(series.consistency_issues().empty());
+  const auto track = series.gauge_track("process.rss_bytes");
+  ASSERT_EQ(track.size(), 20u);
+  // Samples between writes carry the last reported level forward.
+  EXPECT_EQ(track[0].value, 100'000'000u);
+  EXPECT_EQ(track[1].value, 100'000'000u);
+  EXPECT_EQ(track[19].value, 100'000'000u);
+  const auto finals = series.final_gauge_values();
+  ASSERT_TRUE(finals.count("process.rss_bytes"));
+  EXPECT_EQ(finals.at("process.rss_bytes").peak, 100'000'000u);
+  // An unknown gauge yields an all-zero track of the same length.
+  const auto missing = series.gauge_track("no.such.gauge");
+  ASSERT_EQ(missing.size(), 20u);
+  EXPECT_EQ(missing[19].value, 0u);
+}
+
+TEST(TimeseriesGauges, FlagsMalformedAndRegressingPeaks) {
+  // peak < value on one line, and a later line whose peak moves backwards.
+  std::string text = meta_line();
+  text += R"({"schema":"feam.timeseries/1","type":"sample","seq":0,)"
+          R"("t_ns":100,"dt_ns":100,"final":false,)"
+          R"("gauges":{"cache.bytes{cache=bdc}":{"v":500,"p":400}}})" "\n";
+  text += R"({"schema":"feam.timeseries/1","type":"sample","seq":1,)"
+          R"("t_ns":200,"dt_ns":100,"final":true,)"
+          R"("gauges":{"cache.bytes{cache=bdc}":{"v":100,"p":200}}})" "\n";
+  const Timeseries series = parse_timeseries(text);
+  const auto issues = series.consistency_issues();
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_NE(issues[0].find("cache.bytes{cache=bdc}"), std::string::npos);
+}
+
+TEST(TimeseriesWindows, MergedHistogramBaseSpansLabeledSeries) {
+  const Timeseries series = parse_timeseries(gauge_stream(false));
+  // Per window: india records 6 samples at 1ms, sierra 2 at 4ms. The
+  // base-merged view over 10 windows carries all 80.
+  const auto merged =
+      series.merged_histogram_base("phase.target_ns", 0, 10,
+                                   /*include_unlabeled=*/false);
+  EXPECT_EQ(merged.count, 80u);
+  EXPECT_EQ(merged.min(), 1'000'000u);
+  EXPECT_EQ(merged.max, 4'000'000u);
+  // p50 falls in the india mass, p99 in sierra's slower tail.
+  EXPECT_LT(merged.percentile(0.5), 2'000'000u);
+  EXPECT_GT(merged.percentile(0.99), 2'000'000u);
+  // A single labeled series still reads exactly through the plain merge.
+  const auto india =
+      series.merged_histogram("phase.target_ns{site=india}", 0, 10);
+  EXPECT_EQ(india.count, 60u);
+  // No unlabeled variant exists, so include_unlabeled changes nothing
+  // here; a full-range merge sees every window.
+  const auto all = series.merged_histogram_base("phase.target_ns", 0, 20,
+                                                /*include_unlabeled=*/true);
+  EXPECT_EQ(all.count, 160u);
+}
+
+TEST(TrendGate, GaugeSelectorCatchesSteadyStateRssGrowth) {
+  const auto baseline = *support::Json::parse(R"({
+    "schema": "feam.trend_baseline/1",
+    "steady_state": {"skip_head_fraction": 0.1, "min_samples": 6},
+    "metrics": {
+      "gauge.process.rss_bytes.mean": {"max_drift": 0.2}
+    }})");
+  const Timeseries steady = parse_timeseries(gauge_stream(false));
+  const auto ok = run_trend_gate(steady, baseline);
+  ASSERT_TRUE(ok.ok()) << ok.error();
+  EXPECT_TRUE(ok.value().pass) << ok.value().render();
+
+  const Timeseries leaking = parse_timeseries(gauge_stream(true));
+  const auto bad = run_trend_gate(leaking, baseline);
+  ASSERT_TRUE(bad.ok()) << bad.error();
+  EXPECT_FALSE(bad.value().pass) << bad.value().render();
+  ASSERT_EQ(bad.value().checks.size(), 1u);
+  EXPECT_GT(bad.value().checks[0].drift, 0.2);
+}
+
+TEST(TrendGate, RejectsUnknownGaugeStats) {
+  const Timeseries series = parse_timeseries(gauge_stream(false));
+  EXPECT_FALSE(
+      run_trend_gate(series,
+                     *support::Json::parse(
+                         R"({"schema":"feam.trend_baseline/1","metrics":
+                             {"gauge.process.rss_bytes.median":
+                              {"max_drift": 1}}})"))
+          .ok());
+}
+
 TEST(LooksLikeTimeseries, DiscriminatesFromEventLogs) {
   EXPECT_TRUE(looks_like_timeseries(synthetic_stream(false)));
   EXPECT_FALSE(looks_like_timeseries(
