@@ -217,11 +217,11 @@ EdcMemo::EdcMemo()
 EdcMemo::~EdcMemo() { footprint_gauge_.sub(footprint_); }
 
 EnvironmentDescription EdcMemo::discover(const site::Site& s) {
-  const std::uint64_t generation = s.state_generation();
+  const auto key = std::make_pair(s.lease_id(), s.discovery_fingerprint());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(s.lease_id());
-    if (it != entries_.end() && it->second.generation == generation) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
       ++hits_;
       legacy_hits_.add();
       labeled_hits_.at(s.name).add();
@@ -243,14 +243,14 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   ++misses_;
   legacy_misses_.add();
   labeled_misses_.at(s.name).add();
-  auto [it, fresh] = entries_.emplace(s.lease_id(), Entry{});
+  auto [it, fresh] = entries_.emplace(key, Entry{});
   if (!fresh) {
     const std::uint64_t old_bytes =
         sizeof(Entry) + environment_bytes(it->second.description);
     footprint_ = footprint_ >= old_bytes ? footprint_ - old_bytes : 0;
     footprint_gauge_.sub(old_bytes);
   }
-  it->second = Entry{generation, description};
+  it->second = Entry{description};
   const std::uint64_t new_bytes = sizeof(Entry) + environment_bytes(description);
   footprint_ += new_bytes;
   footprint_gauge_.add(new_bytes);

@@ -9,9 +9,12 @@
 //     Entries store the full bytes and are compared on lookup, so a hash
 //     collision degrades to a cache miss, never a wrong description. The
 //     hash function is injectable for exactly that test.
-//   * EdcMemo — per-site, keyed by Site::state_generation(). Any VFS
-//     write, environment edit, or module load/unload bumps the generation
-//     and invalidates the memo for that site.
+//   * EdcMemo — per-site, keyed by Site::discovery_fingerprint(): the
+//     system half of the VFS plus the *content* of the environment and
+//     loaded-module list — exactly what the scan reads. Scratch writes
+//     (/home, /tmp) and save/restore environment churn leave the
+//     fingerprint unchanged, so back-to-back migrations keep hitting;
+//     installing software or loading a module still invalidates.
 //
 // Both caches are internally synchronized. Callers must still hold the
 // site's lease while describing/discovering (the underlying components
@@ -115,10 +118,12 @@ class BdcCache {
 
 class EdcMemo {
  public:
-  // Discover `s`'s environment, memoized per site while its
-  // state_generation() is unchanged. The caller must hold `s`'s lease (the
-  // scan runs shell commands against live state); the memo's mutex is
-  // released during the scan, so distinct sites discover concurrently.
+  // Discover `s`'s environment, memoized per (site, discovery
+  // fingerprint). The caller must hold `s`'s lease (the scan runs shell
+  // commands against live state); the memo's mutex is released during the
+  // scan, so distinct sites discover concurrently. Entries for distinct
+  // fingerprints coexist, so a site that alternates between two shell
+  // states (e.g. module loaded / unloaded) hits in both.
   EnvironmentDescription discover(const site::Site& s);
   EdcMemo();
   ~EdcMemo();
@@ -128,12 +133,12 @@ class EdcMemo {
 
  private:
   struct Entry {
-    std::uint64_t generation = 0;
     EnvironmentDescription description;
   };
 
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, Entry> entries_;  // key: Site::lease_id()
+  // key: (Site::lease_id(), Site::discovery_fingerprint())
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::SeriesHandle legacy_hits_{"edc.memo_hits", {}};

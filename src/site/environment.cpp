@@ -4,6 +4,24 @@
 
 namespace feam::site {
 
+std::uint64_t Environment::fingerprint() const {
+  // FNV-1a over "name=value\n" records; vars_ iterates in sorted order, so
+  // the hash is a pure function of the visible content.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::string_view text) {
+    for (const char c : text) {
+      h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+    }
+  };
+  for (const auto& [name, value] : vars_) {
+    mix(name);
+    mix("=");
+    mix(value);
+    mix("\n");
+  }
+  return h;
+}
+
 void Environment::set(std::string name, std::string value) {
   vars_.insert_or_assign(std::move(name), std::move(value));
   ++generation_;

@@ -38,6 +38,13 @@ class Environment {
   // Cache keys use it to detect staleness.
   std::uint64_t generation() const { return generation_; }
 
+  // Content hash of the visible variables. Unlike generation(), a
+  // save/edit/restore cycle lands back on the original value, so memo keys
+  // built from it survive the constant module load/unload churn of the
+  // migration loop. Environments are small (a handful of variables), so
+  // hashing on demand is cheap.
+  std::uint64_t fingerprint() const;
+
  private:
   std::map<std::string, std::string, std::less<>> vars_;
   std::uint64_t generation_ = 0;

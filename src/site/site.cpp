@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace feam::site {
@@ -106,6 +107,20 @@ const MpiStackInstall* Site::selected_stack() const {
     }
   }
   return nullptr;
+}
+
+std::uint64_t Site::discovery_fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (i * 8)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  mix(vfs.system_generation());
+  mix(env.fingerprint());
+  mix(loaded_.size());
+  for (const auto& module_name : loaded_) mix(support::fnv1a(module_name));
+  return h;
 }
 
 std::optional<std::string> Site::clib_path() const {

@@ -128,10 +128,19 @@ class Site {
   // --- concurrency & caching support
   // Monotone counter covering every observable mutation of the site's
   // live state: VFS writes, environment edits, and module load/unload.
-  // The EDC scan memo keys on it; any mutation invalidates the memo.
+  // Coarse by construction — any mutation anywhere bumps it.
   std::uint64_t state_generation() const {
     return vfs.generation() + env.generation() + module_generation_;
   }
+
+  // Narrow invalidation key covering exactly what environment discovery
+  // reads: the system half of the VFS (module databases, /etc releases,
+  // stacks under /opt and /usr — scratch writes under /home and /tmp are
+  // invisible to the scan and excluded here), the login environment's
+  // *content*, and the loaded-module list. Content-based, not counter-
+  // based: a load/unload cycle that restores the shell lands back on the
+  // original fingerprint, so the EDC memo keeps hitting across pairs.
+  std::uint64_t discovery_fingerprint() const;
 
   // Process-wide unique id assigned at construction. The lease layer
   // orders lock acquisition by it (lower id first) for deadlock freedom.

@@ -20,6 +20,17 @@ std::vector<std::string> components(std::string_view path) {
 
 Vfs::Vfs() : root_(std::make_unique<Node>()) {}
 
+bool Vfs::scratch_path(std::string_view path) {
+  return support::starts_with(path, "/home/") || path == "/home" ||
+         support::starts_with(path, "/tmp/") || path == "/tmp";
+}
+
+std::uint64_t Vfs::bump_generations(std::string_view path) {
+  ++generation_;
+  if (!scratch_path(path)) ++system_generation_;
+  return generation_;
+}
+
 std::string Vfs::basename(std::string_view path) {
   const auto pos = path.rfind('/');
   return std::string(pos == std::string_view::npos ? path : path.substr(pos + 1));
@@ -100,7 +111,7 @@ Vfs::Node* Vfs::ensure_parent(std::string_view path) {
 bool Vfs::mkdirs(std::string_view path) {
   Node* parent = ensure_parent(join(path, "x"));
   if (parent == nullptr) return false;
-  ++generation_;
+  bump_generations(path);
   return true;
 }
 
@@ -143,7 +154,7 @@ bool Vfs::write_file(std::string_view path, support::Bytes content) {
   child = std::make_unique<Node>();
   child->kind = Node::Kind::kFile;
   child->content = std::move(content);
-  child->version = ++generation_;
+  child->version = bump_generations(path);
   return true;
 }
 
@@ -158,7 +169,7 @@ bool Vfs::symlink(std::string_view path, std::string_view target) {
   child = std::make_unique<Node>();
   child->kind = Node::Kind::kSymlink;
   child->target = std::string(target);
-  ++generation_;
+  bump_generations(path);
   return true;
 }
 
@@ -166,7 +177,7 @@ bool Vfs::remove(std::string_view path) {
   Node* parent = walk_mut(dirname(path));
   if (parent == nullptr || parent->kind != Node::Kind::kDir) return false;
   if (parent->children.erase(basename(path)) == 0) return false;
-  ++generation_;
+  bump_generations(path);
   return true;
 }
 

@@ -73,6 +73,19 @@ class Vfs {
   // write_file, symlink, remove). Cache keys use it to detect staleness.
   std::uint64_t generation() const { return generation_; }
 
+  // Like generation(), but only counting mutations of the *system* half of
+  // the tree — everything outside the scratch prefixes (/home, /tmp).
+  // Discovery-style scans (module databases, /etc releases, installed
+  // stacks under /opt and /usr) read only system paths, so their memo keys
+  // can ignore the constant churn of per-migration scratch files.
+  std::uint64_t system_generation() const { return system_generation_; }
+
+  // True for paths under the scratch prefixes: user homes and /tmp. These
+  // hold migrated binaries, resolution copies, and hello-world probes —
+  // transient per-migration state, never part of a site's installed
+  // software surface.
+  static bool scratch_path(std::string_view path);
+
   // Version stamp of the regular file at `path` (symlinks followed):
   // the generation value at which its content was last written. Each
   // write produces a globally unique stamp, so equal (path, version)
@@ -112,6 +125,11 @@ class Vfs {
   // Parent directory node, creating directories as needed.
   Node* ensure_parent(std::string_view path);
 
+  // Advances the mutation counters for a successful write at `path` (the
+  // system counter only when the path is outside the scratch prefixes) and
+  // returns the new generation, which doubles as the write stamp.
+  std::uint64_t bump_generations(std::string_view path);
+
   void find_impl(const Node& dir, const std::string& prefix,
                  const std::function<bool(std::string_view)>& pred,
                  bool substring, std::string_view needle,
@@ -119,6 +137,7 @@ class Vfs {
 
   std::unique_ptr<Node> root_;
   std::uint64_t generation_ = 0;
+  std::uint64_t system_generation_ = 0;
   std::shared_ptr<FaultInjector> fault_;
   // Short-read results live here so read() can keep returning a stable
   // pointer; a deque never relocates existing elements.
