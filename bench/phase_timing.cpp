@@ -198,8 +198,9 @@ void report_site_bundle_sizes() {
                        site::compiler_slug(stack.compiler));
         const auto parsed = elf::ElfFile::parse(*s->vfs.read(path));
         if (!parsed.ok()) continue;
-        const auto located =
-            Bdc::locate_libraries(*s, path, parsed.value().needed());
+        const std::vector<std::string> needed(parsed.value().needed().begin(),
+                                              parsed.value().needed().end());
+        const auto located = Bdc::locate_libraries(*s, path, needed);
         for (const auto& [lib_name, location] : located) {
           if (!location || support::starts_with(lib_name, "libc.so")) continue;
           if (copied_paths.insert(*location).second) {

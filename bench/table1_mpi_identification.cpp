@@ -41,7 +41,7 @@ int main() {
         for (const auto& needed : parsed.value().needed()) {
           if (support::starts_with(needed, "libmpi") ||
               support::starts_with(needed, "libib")) {
-            observed_identifiers[stack.impl].insert(needed);
+            observed_identifiers[stack.impl].insert(std::string(needed));
           }
         }
         ++total;

@@ -25,7 +25,10 @@ std::string file_type(const site::Vfs& vfs, std::string_view path) {
                                                   : " shared object";
     out += std::string(", ") + elf::isa_name(f.isa());
     out += f.is_dynamic() ? ", dynamically linked" : ", statically linked";
-    if (f.soname()) out += ", SONAME " + *f.soname();
+    if (f.soname()) {
+      out += ", SONAME ";
+      out += *f.soname();
+    }
     return out;
   }
 

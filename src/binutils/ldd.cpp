@@ -56,8 +56,13 @@ support::Result<std::string> ldd_impl(const site::Site& host,
     for (const auto& need : parsed.value().version_references()) {
       const auto provider = res.path_of(need.file);
       for (const auto& version : need.versions) {
-        out += "\t\t" + need.file + " (" + version + ") => " +
-               provider.value_or("not found") + "\n";
+        out += "\t\t";
+        out += need.file;
+        out += " (";
+        out += version;
+        out += ") => ";
+        out += provider.value_or("not found");
+        out += "\n";
       }
     }
   }

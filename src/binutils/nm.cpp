@@ -21,7 +21,10 @@ support::Result<std::string> nm_dynamic(const site::Vfs& vfs,
   for (const auto& sym : parsed.value().dynamic_symbols()) {
     out += sym.defined ? "0000000000001000 T " : "                 U ";
     out += sym.name;
-    if (!sym.version.empty()) out += "@" + sym.version;
+    if (!sym.version.empty()) {
+      out += '@';
+      out += sym.version;
+    }
     out += "\n";
   }
   return out;

@@ -62,10 +62,14 @@ support::Result<std::string> objdump_p(const site::Vfs& vfs,
   if (f.is_dynamic()) {
     out += "\nDynamic Section:\n";
     for (const auto& needed : f.needed()) {
-      out += "  NEEDED               " + needed + "\n";
+      out += "  NEEDED               ";
+      out += needed;
+      out += "\n";
     }
     if (f.soname()) {
-      out += "  SONAME               " + *f.soname() + "\n";
+      out += "  SONAME               ";
+      out += *f.soname();
+      out += "\n";
     }
     if (!f.rpath().empty()) {
       out += "  RPATH                " + support::join(f.rpath(), ":") + "\n";
@@ -76,14 +80,16 @@ support::Result<std::string> objdump_p(const site::Vfs& vfs,
     out += "\nVersion definitions:\n";
     // Entry 1 is the base definition (the file itself).
     char buf[96];
-    const std::string base = f.soname().value_or(site::Vfs::basename(path));
+    const std::string base = f.soname() ? std::string(*f.soname())
+                                        : site::Vfs::basename(path);
     std::snprintf(buf, sizeof buf, "1 0x01 0x%08x %s\n", elf::elf_hash(base),
                   base.c_str());
     out += buf;
     int index = 2;
     for (const auto& def : f.version_definitions()) {
-      std::snprintf(buf, sizeof buf, "%d 0x00 0x%08x %s\n", index++,
-                    elf::elf_hash(def), def.c_str());
+      std::snprintf(buf, sizeof buf, "%d 0x00 0x%08x %.*s\n", index++,
+                    elf::elf_hash(def), static_cast<int>(def.size()),
+                    def.data());
       out += buf;
     }
   }
@@ -91,11 +97,14 @@ support::Result<std::string> objdump_p(const site::Vfs& vfs,
   if (!f.version_references().empty()) {
     out += "\nVersion References:\n";
     for (const auto& need : f.version_references()) {
-      out += "  required from " + need.file + ":\n";
+      out += "  required from ";
+      out += need.file;
+      out += ":\n";
       for (const auto& version : need.versions) {
         char buf[96];
-        std::snprintf(buf, sizeof buf, "    0x%08x 0x00 02 %s\n",
-                      elf::elf_hash(version), version.c_str());
+        std::snprintf(buf, sizeof buf, "    0x%08x 0x00 02 %.*s\n",
+                      elf::elf_hash(version), static_cast<int>(version.size()),
+                      version.data());
         out += buf;
       }
     }

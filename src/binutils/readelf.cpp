@@ -33,7 +33,8 @@ support::Result<std::string> readelf_p_comment(const site::Vfs& vfs,
     char buf[32];
     std::snprintf(buf, sizeof buf, "  [%6zx]  ", offset);
     out += buf;
-    out += comment + "\n";
+    out += comment;
+    out += '\n';
     offset += comment.size() + 1;
   }
   return out;

@@ -130,7 +130,9 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
   }
   out.root_parsed = true;
   const int bits = root->bits();
-  const std::vector<std::string> rpath = root->rpath();
+  std::vector<std::string> rpath;
+  rpath.reserve(root->rpath().size());
+  for (const auto& dir : root->rpath()) rpath.emplace_back(dir);
 
   // BFS over NEEDED closure, tracking per-name depth and a parent chain so
   // cycles and runaway depths are *detected* (the dedup set alone would
@@ -145,9 +147,10 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
   std::map<std::string, std::string> parent;  // NEEDED name -> requesting name
   std::set<std::string> cycles_seen;
   for (const auto& n : root->needed()) {
-    queue.push_back({n, std::string(binary_path), 1});
-    enqueued.insert(n);
-    parent[n] = "";  // requested by the root binary itself
+    std::string name(n);
+    queue.push_back({name, std::string(binary_path), 1});
+    enqueued.insert(name);
+    parent[name] = "";  // requested by the root binary itself
   }
 
   // True (and records the rendered chain) when `needed`, requested while
@@ -198,22 +201,23 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
         if (const elf::ElfFile* parsed =
                 parse_object(*lib.path, *data, read_faulted)) {
           for (const auto& n : parsed->needed()) {
-            if (!enqueued.insert(n).second) {
-              detect_cycle(item.name, n);
+            std::string name(n);
+            if (!enqueued.insert(name).second) {
+              detect_cycle(item.name, name);
               continue;
             }
             if (item.depth + 1 > kMaxDepDepth) {
-              enqueued.erase(n);
+              enqueued.erase(name);
               if (!out.dep_error) {
                 out.dep_error = support::Error{
                     support::ErrorCode::kDepDepthExceeded,
                     "DT_NEEDED chain exceeds depth " +
-                        std::to_string(kMaxDepDepth) + " at " + n};
+                        std::to_string(kMaxDepDepth) + " at " + name};
               }
               continue;
             }
-            parent[n] = item.name;
-            queue.push_back({n, *lib.path, item.depth + 1});
+            parent[name] = item.name;
+            queue.push_back({std::move(name), *lib.path, item.depth + 1});
           }
           closure.emplace_back(*lib.path, parsed);
         }
@@ -236,7 +240,8 @@ Resolution resolve_libraries(const site::Site& host, std::string_view binary_pat
       const auto& defs = provider->version_definitions();
       for (const auto& version : need.versions) {
         if (std::find(defs.begin(), defs.end(), version) == defs.end()) {
-          out.version_errors.push_back({version, object_path, provider_it->second});
+          out.version_errors.push_back(
+              {std::string(version), object_path, provider_it->second});
         }
       }
     }

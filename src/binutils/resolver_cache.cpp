@@ -4,51 +4,77 @@
 
 #include "obs/metrics.hpp"
 #include "site/vfs.hpp"
+#include "support/rng.hpp"
 
 namespace feam::binutils {
 
 namespace {
 
-std::string search_key(const site::Site& host, std::string_view soname,
-                       int bits, const std::vector<std::string>& dirs) {
-  std::string key = std::to_string(host.lease_id());
-  key += '|';
-  key += std::to_string(bits);
-  key += '|';
-  key += soname;
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+
+std::uint64_t search_fingerprint(const site::Site& host,
+                                 std::string_view soname, int bits,
+                                 const std::vector<std::string>& dirs) {
+  std::uint64_t h = support::fnv1a_mix(kFnvBasis, host.lease_id());
+  h = support::fnv1a_mix(h, static_cast<std::uint64_t>(bits));
+  h = support::fnv1a_mix(h, soname);
   for (const auto& dir : dirs) {
-    key += '\x1f';
-    key += dir;
+    h = support::fnv1a_mix(h, '\x1f');
+    h = support::fnv1a_mix(h, dir);
   }
-  return key;
+  return h;
 }
 
-std::string ldd_key(const site::Site& host, std::string_view path,
-                    bool verbose) {
-  std::string key = std::to_string(host.lease_id());
-  key += verbose ? "|v|" : "|-|";
-  key += path;
-  return key;
+std::uint64_t ldd_fingerprint(const site::Site& host, std::string_view path,
+                              bool verbose, std::uint64_t env_fingerprint) {
+  std::uint64_t h = support::fnv1a_mix(kFnvBasis, host.lease_id());
+  h = support::fnv1a_mix(h, verbose ? 'v' : '-');
+  h = support::fnv1a_mix(h, path);
+  return support::fnv1a_mix(h, env_fingerprint);
+}
+
+std::uint64_t parse_fingerprint(const site::Site& host, std::string_view path,
+                                std::uint64_t version) {
+  std::uint64_t h = support::fnv1a_mix(kFnvBasis, host.lease_id());
+  h = support::fnv1a_mix(h, path);
+  return support::fnv1a_mix(h, version);
+}
+
+// Whether the shell's library path reaches into scratch directories —
+// the case where the system-generation stamp can't see invalidating
+// writes and ldd validation must fall back to the whole-VFS generation.
+bool ld_library_path_touches_scratch(const site::Site& host) {
+  for (const auto& dir : host.env.ld_library_path()) {
+    if (site::Vfs::scratch_path(dir)) return true;
+  }
+  return false;
 }
 
 // Estimated retained bytes of one memo entry (payload strings plus the
 // fixed structs); allocator-exact sizes are not the point — trend and
 // ceiling gates need a stable, monotone measure of what the memo holds.
 std::uint64_t elf_bytes(const elf::ElfFile& file) {
+  // A parsed file is views-into-arena, so the string *content* is counted
+  // once via the arena's size by the caller; here only the view tables.
   std::uint64_t total = sizeof(elf::ElfFile);
-  for (const auto& s : file.needed()) total += sizeof(std::string) + s.size();
-  for (const auto& s : file.rpath()) total += sizeof(std::string) + s.size();
-  for (const auto& s : file.version_definitions()) {
-    total += sizeof(std::string) + s.size();
-  }
-  for (const auto& s : file.comments()) total += sizeof(std::string) + s.size();
+  total += (file.needed().size() + file.rpath().size() +
+            file.version_definitions().size() + file.comments().size()) *
+           sizeof(std::string_view);
   for (const auto& need : file.version_references()) {
-    total += sizeof(need) + need.file.size();
-    for (const auto& v : need.versions) total += sizeof(std::string) + v.size();
+    total += sizeof(need) + need.versions.size() * sizeof(std::string_view);
   }
-  for (const auto& symbol : file.dynamic_symbols()) {
-    total += sizeof(symbol) + symbol.name.size() + symbol.version.size();
-  }
+  total += file.dynamic_symbols().size() * sizeof(elf::DynSymbol);
+  return total;
+}
+
+std::uint64_t search_entry_bytes(const std::string& soname,
+                                 const std::vector<std::string>& dirs,
+                                 std::size_t candidates,
+                                 const std::optional<std::string>& result) {
+  std::uint64_t total = soname.size();
+  for (const auto& dir : dirs) total += sizeof(std::string) + dir.size();
+  total += candidates * sizeof(std::optional<std::uint64_t>);
+  total += result ? result->size() : 0;
   return total;
 }
 
@@ -62,37 +88,55 @@ ResolverCache::ResolverCache()
           obs::gauge("cache.bytes", {.cache = "resolver.parse"})) {}
 
 ResolverCache::~ResolverCache() {
-  search_bytes_gauge_.sub(search_footprint_);
-  ldd_bytes_gauge_.sub(ldd_footprint_);
-  parse_bytes_gauge_.sub(parse_footprint_);
+  search_bytes_gauge_.sub(search_footprint_.load(std::memory_order_relaxed));
+  ldd_bytes_gauge_.sub(ldd_footprint_.load(std::memory_order_relaxed));
+  parse_bytes_gauge_.sub(parse_footprint_.load(std::memory_order_relaxed));
 }
 
 std::optional<std::optional<std::string>> ResolverCache::search(
     const site::Site& host, std::string_view soname, int bits,
     const std::vector<std::string>& dirs) {
-  const std::string key = search_key(host, soname, bits, dirs);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = search_.find(key);
-  if (it != search_.end() && it->second.candidate_versions.size() == dirs.size()) {
-    bool fresh = true;
-    for (std::size_t i = 0; i < dirs.size(); ++i) {
-      const auto version =
-          host.vfs.file_version(site::Vfs::join(dirs[i], soname));
-      if (version != it->second.candidate_versions[i]) {
-        fresh = false;
-        break;
+  const std::uint64_t key = search_fingerprint(host, soname, bits, dirs);
+  const std::uint64_t lease_id = host.lease_id();
+  const SearchEntry* entry = search_.find_if(key, [&](const SearchEntry& e) {
+    return e.lease_id == lease_id && e.bits == bits && e.soname == soname &&
+           e.dirs == dirs;
+  });
+  if (entry != nullptr && entry->candidate_versions.size() == dirs.size()) {
+    // Read the system generation *before* walking stamps: if the stamps
+    // validate afterwards, they were provably valid at this generation,
+    // so recording it as "checked" can never mask a later mutation.
+    const std::uint64_t system_generation = host.vfs.system_generation();
+    bool fresh =
+        !entry->scratch_candidates &&
+        entry->checked_system_generation.load(std::memory_order_acquire) ==
+            system_generation;
+    if (!fresh) {
+      fresh = true;
+      for (std::size_t i = 0; i < dirs.size(); ++i) {
+        const auto version =
+            host.vfs.file_version(site::Vfs::join(dirs[i], soname));
+        if (version != entry->candidate_versions[i]) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh && !entry->scratch_candidates) {
+        entry->checked_system_generation.store(system_generation,
+                                               std::memory_order_release);
       }
     }
     if (fresh) {
-      ++search_hits_;
+      search_hits_.fetch_add(1, std::memory_order_relaxed);
       search_hits_counter_.add();
-      search_labeled_hits_.at(host.name).add();
-      return it->second.result;
+      entry->site_hits.add();
+      return entry->result;
     }
   }
-  ++search_misses_;
+  search_misses_.fetch_add(1, std::memory_order_relaxed);
   search_misses_counter_.add();
-  search_labeled_misses_.at(host.name).add();
+  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.search"})
+      .add();
   return std::nullopt;
 }
 
@@ -100,79 +144,81 @@ void ResolverCache::store_search(const site::Site& host,
                                  std::string_view soname, int bits,
                                  const std::vector<std::string>& dirs,
                                  std::optional<std::string> result) {
-  SearchEntry entry;
+  const std::uint64_t system_generation = host.vfs.system_generation();
+  SearchEntry entry(
+      host.lease_id(), bits, std::string(soname), dirs,
+      obs::SeriesHandle("cache.hits",
+                        {.site = host.name, .cache = "resolver.search"}));
   entry.candidate_versions.reserve(dirs.size());
   for (const auto& dir : dirs) {
-    entry.candidate_versions.push_back(
-        host.vfs.file_version(site::Vfs::join(dir, soname)));
+    const std::string candidate = site::Vfs::join(dir, soname);
+    entry.candidate_versions.push_back(host.vfs.file_version(candidate));
+    if (site::Vfs::scratch_path(candidate)) entry.scratch_candidates = true;
   }
   entry.result = std::move(result);
-  std::string key = search_key(host, soname, bits, dirs);
+  entry.checked_system_generation.store(system_generation,
+                                        std::memory_order_relaxed);
   const std::uint64_t entry_bytes =
-      sizeof(SearchEntry) + key.size() +
-      entry.candidate_versions.size() * sizeof(std::optional<std::uint64_t>) +
-      (entry.result ? entry.result->size() : 0);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = search_.find(key);
-  if (it != search_.end()) {
-    const std::uint64_t old_bytes =
-        sizeof(SearchEntry) + key.size() +
-        it->second.candidate_versions.size() *
-            sizeof(std::optional<std::uint64_t>) +
-        (it->second.result ? it->second.result->size() : 0);
-    search_footprint_ =
-        search_footprint_ >= old_bytes ? search_footprint_ - old_bytes : 0;
-    search_bytes_gauge_.sub(old_bytes);
-    it->second = std::move(entry);
-  } else {
-    search_.emplace(std::move(key), std::move(entry));
-  }
-  search_footprint_ += entry_bytes;
+      sizeof(SearchEntry) +
+      search_entry_bytes(entry.soname, entry.dirs,
+                         entry.candidate_versions.size(), entry.result);
+  // insert() shadows any stale entry for this key; the shadowed node
+  // stays retained, so the footprint only grows (honest retained bytes).
+  search_.insert(search_fingerprint(host, soname, bits, dirs),
+                 std::move(entry));
+  search_footprint_.fetch_add(entry_bytes, std::memory_order_relaxed);
   search_bytes_gauge_.add(entry_bytes);
 }
 
 std::optional<support::Result<std::string>> ResolverCache::ldd_text(
     const site::Site& host, std::string_view path, bool verbose) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = ldd_.find(ldd_key(host, path, verbose));
-  if (it != ldd_.end() && it->second.vfs_generation == host.vfs.generation() &&
-      it->second.env_generation == host.env.generation()) {
-    ++ldd_hits_;
+  const std::uint64_t env_fingerprint = host.env.fingerprint();
+  const std::uint64_t key = ldd_fingerprint(host, path, verbose,
+                                            env_fingerprint);
+  const std::uint64_t lease_id = host.lease_id();
+  const LddEntry* entry = ldd_.find_if(key, [&](const LddEntry& e) {
+    return e.lease_id == lease_id && e.verbose == verbose &&
+           e.env_fingerprint == env_fingerprint && e.path == path;
+  });
+  if (entry != nullptr && entry->file_version == host.vfs.file_version(path) &&
+      (entry->strict
+           ? entry->vfs_generation == host.vfs.generation()
+           : entry->system_generation == host.vfs.system_generation())) {
+    ldd_hits_.fetch_add(1, std::memory_order_relaxed);
     ldd_hits_counter_.add();
-    ldd_labeled_hits_.at(host.name).add();
-    ldd_bytes_saved_.add(it->second.payload.size());
-    if (it->second.ok) return support::Result<std::string>(it->second.payload);
-    return support::Result<std::string>::failure(it->second.payload);
+    entry->site_hits.add();
+    ldd_bytes_saved_.add(entry->payload.size());
+    if (entry->ok) return support::Result<std::string>(entry->payload);
+    return support::Result<std::string>::failure(entry->payload);
   }
-  ++ldd_misses_;
+  ldd_misses_.fetch_add(1, std::memory_order_relaxed);
   ldd_misses_counter_.add();
-  ldd_labeled_misses_.at(host.name).add();
+  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.ldd"})
+      .add();
   return std::nullopt;
 }
 
 void ResolverCache::store_ldd(const site::Site& host, std::string_view path,
                               bool verbose,
                               const support::Result<std::string>& text) {
-  LddEntry entry;
-  entry.vfs_generation = host.vfs.generation();
-  entry.env_generation = host.env.generation();
-  entry.ok = text.ok();
-  entry.payload = text.ok() ? text.value() : text.error();
-  std::string key = ldd_key(host, path, verbose);
+  LddEntry entry{
+      host.lease_id(),
+      verbose,
+      std::string(path),
+      host.env.fingerprint(),
+      host.vfs.file_version(path),
+      host.vfs.system_generation(),
+      host.vfs.generation(),
+      ld_library_path_touches_scratch(host),
+      text.ok(),
+      text.ok() ? text.value() : text.error(),
+      obs::SeriesHandle("cache.hits",
+                        {.site = host.name, .cache = "resolver.ldd"})};
   const std::uint64_t entry_bytes =
-      sizeof(LddEntry) + key.size() + entry.payload.size();
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = ldd_.find(key);
-  if (it != ldd_.end()) {
-    const std::uint64_t old_bytes =
-        sizeof(LddEntry) + key.size() + it->second.payload.size();
-    ldd_footprint_ = ldd_footprint_ >= old_bytes ? ldd_footprint_ - old_bytes : 0;
-    ldd_bytes_gauge_.sub(old_bytes);
-    it->second = std::move(entry);
-  } else {
-    ldd_.emplace(std::move(key), std::move(entry));
-  }
-  ldd_footprint_ += entry_bytes;
+      sizeof(LddEntry) + entry.path.size() + entry.payload.size();
+  ldd_.insert(ldd_fingerprint(host, path, verbose, entry.env_fingerprint),
+              std::move(entry));
+  ldd_footprint_.fetch_add(entry_bytes, std::memory_order_relaxed);
   ldd_bytes_gauge_.add(entry_bytes);
 }
 
@@ -180,77 +226,57 @@ const elf::ElfFile* ResolverCache::parsed_elf(const site::Site& host,
                                               std::string_view path,
                                               const support::Bytes& data) {
   const std::uint64_t version = host.vfs.file_version(path).value_or(0);
-  ParseKey key{host.lease_id(), std::string(path), version};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = parsed_.find(key);
-    if (it != parsed_.end()) {
-      ++parse_hits_;
-      parse_hits_counter_.add();
-      parse_labeled_hits_.at(host.name).add();
-      parse_bytes_saved_.add(data.size());
-      return it->second ? &*it->second : nullptr;
-    }
+  const std::uint64_t key = parse_fingerprint(host, path, version);
+  const std::uint64_t lease_id = host.lease_id();
+  const auto matches = [&](const ParseEntry& e) {
+    return e.lease_id == lease_id && e.version == version && e.path == path;
+  };
+  if (const ParseEntry* entry = parsed_.find_if(key, matches)) {
+    parse_hits_.fetch_add(1, std::memory_order_relaxed);
+    parse_hits_counter_.add();
+    entry->site_hits.add();
+    parse_bytes_saved_.add(data.size());
+    return entry->parsed ? &*entry->parsed : nullptr;
   }
-  // Parse outside the lock; a racing miss parses twice and the second
-  // insert is dropped in favour of the first.
-  auto parsed = elf::ElfFile::parse(data);
+  // Parse with no lock held; a racing miss parses twice and the loser's
+  // insert is dropped in favour of the winner's entry. The parse runs
+  // against the entry's own arena copy — never against `data`, whose
+  // buffer dies with the VFS node on the next rewrite of this path.
+  support::Bytes arena = data;
+  auto parsed = elf::ElfFile::parse(arena);
   std::optional<elf::ElfFile> value;
-  if (parsed.ok()) value = std::move(parsed).take();
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++parse_misses_;
+  if (parsed.ok()) {
+    value = std::move(parsed).take();
+  } else {
+    support::Bytes().swap(arena);  // failed parse retains no bytes
+  }
+  parse_misses_.fetch_add(1, std::memory_order_relaxed);
   parse_misses_counter_.add();
-  parse_labeled_misses_.at(host.name).add();
-  const auto [it, inserted] = parsed_.emplace(std::move(key), std::move(value));
+  obs::counter("cache.misses", {.site = host.name, .cache = "resolver.parse"})
+      .add();
+  const auto [entry, inserted] = parsed_.get_or_insert_if(key, matches, [&] {
+    return ParseEntry{
+        lease_id, std::string(path), version, std::move(arena),
+        std::move(value),
+        obs::SeriesHandle("cache.hits",
+                          {.site = host.name, .cache = "resolver.parse"})};
+  });
   if (inserted) {
     const std::uint64_t entry_bytes =
-        sizeof(ParseKey) + std::get<1>(it->first).size() +
-        sizeof(std::optional<elf::ElfFile>) +
-        (it->second ? elf_bytes(*it->second) : 0);
-    parse_footprint_ += entry_bytes;
+        sizeof(ParseEntry) + entry->path.size() + entry->arena.capacity() +
+        (entry->parsed ? elf_bytes(*entry->parsed) : 0);
+    parse_footprint_.fetch_add(entry_bytes, std::memory_order_relaxed);
     parse_bytes_gauge_.add(entry_bytes);
   }
-  return it->second ? &*it->second : nullptr;
+  return entry->parsed ? &*entry->parsed : nullptr;
 }
 
 std::uint64_t ResolverCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return search_hits_ + ldd_hits_ + parse_hits_;
+  return search_hits() + ldd_hits() + parse_hits();
 }
 
 std::uint64_t ResolverCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return search_misses_ + ldd_misses_ + parse_misses_;
-}
-
-std::uint64_t ResolverCache::search_hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return search_hits_;
-}
-
-std::uint64_t ResolverCache::search_misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return search_misses_;
-}
-
-std::uint64_t ResolverCache::ldd_hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return ldd_hits_;
-}
-
-std::uint64_t ResolverCache::ldd_misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return ldd_misses_;
-}
-
-std::uint64_t ResolverCache::parse_hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return parse_hits_;
-}
-
-std::uint64_t ResolverCache::parse_misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return parse_misses_;
+  return search_misses() + ldd_misses() + parse_misses();
 }
 
 }  // namespace feam::binutils

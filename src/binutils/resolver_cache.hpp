@@ -10,36 +10,50 @@
 //   * search memo — keyed (site, soname, bits, directory list). An entry
 //     records the Vfs::file_version of every candidate path the original
 //     walk inspected (including absent ones); it is served only while all
-//     of them are unchanged. Any write, remove, or symlink retarget that
-//     could alter the outcome therefore misses, and a stamp mismatch can
+//     of them are unchanged. Entries whose candidates all sit outside the
+//     scratch subtrees (/home, /tmp) carry a revalidation stamp — the
+//     Vfs::system_generation at the last full stamp walk — so the common
+//     hit (nothing installed since) costs one atomic compare instead of a
+//     per-directory walk. Any write, remove, or symlink retarget that
+//     could alter the outcome still misses, and a stamp mismatch can
 //     never produce a wrong path — versions are globally unique per write.
-//   * ldd memo — keyed (site, path, verbose) and validated against the
-//     site's whole-state counters (vfs generation + environment
-//     generation); any site mutation at all invalidates it.
+//   * ldd memo — keyed (site, path, verbose, environment fingerprint):
+//     transcripts for distinct shell states coexist. Validated against
+//     the binary's write stamp plus the system half of the VFS; when the
+//     shell's LD_LIBRARY_PATH reached into scratch directories at record
+//     time, validation falls back to the whole-VFS generation (exact,
+//     strictly conservative).
 //   * parse memo — keyed (site, path, Vfs::file_version): the parsed ELF
 //     view of an unchanged file. The loader re-parses the same root
 //     binary, resolved libraries, and version providers on every
 //     execution attempt; the write stamp uniquely identifies content, so
 //     the parse is a pure function of the key.
 //
+// All three memos sit on support::StripedMap: hits are lock-free (a
+// chain walk plus relaxed counter bumps), writers stripe across shards,
+// and published entries never move — parsed_elf's returned pointers stay
+// valid for the cache's lifetime. Each 64-bit map key is a fingerprint
+// of the logical key; every lookup re-verifies the entry's stored
+// identity, so fingerprint collisions degrade to misses, never wrong
+// answers.
+//
 // Passing nullptr wherever a ResolverCache* is accepted reproduces the
-// uncached behaviour exactly. The cache is internally synchronized;
-// callers holding a site lease may share one instance across threads.
+// uncached behaviour exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "elf/file.hpp"
 #include "obs/metrics.hpp"
 #include "site/site.hpp"
 #include "support/result.hpp"
+#include "support/striped_map.hpp"
 
 namespace feam::binutils {
 
@@ -71,7 +85,10 @@ class ResolverCache {
   // read from `host`'s VFS), memoized on the file's write stamp. Returns
   // nullptr when the image is not valid ELF. The pointer stays valid for
   // the cache's lifetime: entries are never evicted — a rewritten file
-  // gets a distinct entry under its new write stamp.
+  // gets a distinct entry under its new write stamp. The returned
+  // ElfFile's string views do NOT borrow `data`: the entry owns an arena
+  // copy of the bytes and the cached parse borrows that arena, so the
+  // view survives the VFS node being rewritten or removed.
   const elf::ElfFile* parsed_elf(const site::Site& host, std::string_view path,
                                  const support::Bytes& data);
 
@@ -83,44 +100,112 @@ class ResolverCache {
   // parsed-ELF memo hit very differently (a cold parse costs ~1000x a
   // cold search), so folding them into one number hides exactly the
   // attribution a hit-rate investigation needs.
-  std::uint64_t search_hits() const;
-  std::uint64_t search_misses() const;
-  std::uint64_t ldd_hits() const;
-  std::uint64_t ldd_misses() const;
-  std::uint64_t parse_hits() const;
-  std::uint64_t parse_misses() const;
+  std::uint64_t search_hits() const {
+    return search_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t search_misses() const {
+    return search_misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ldd_hits() const {
+    return ldd_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ldd_misses() const {
+    return ldd_misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parse_hits() const {
+    return parse_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parse_misses() const {
+    return parse_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct SearchEntry {
+    // Identity, re-verified on lookup (the map key is a fingerprint).
+    std::uint64_t lease_id = 0;
+    int bits = 0;
+    std::string soname;
+    std::vector<std::string> dirs;
     // file_version of join(dir, soname) per search dir, in order; nullopt
     // where no regular file existed.
     std::vector<std::optional<std::uint64_t>> candidate_versions;
     std::optional<std::string> result;
+    // True when any candidate path sits under a scratch subtree — those
+    // entries never take the system-generation fast path (scratch writes
+    // don't bump it) and always pay the full stamp walk.
+    bool scratch_candidates = false;
+    // Vfs::system_generation as of the last full stamp validation; while
+    // it still matches, no non-scratch path has changed, so the stamps
+    // are provably still valid and the walk can be skipped. Mutable
+    // atomic: revalidation updates it in place through the const entry.
+    mutable std::atomic<std::uint64_t> checked_system_generation{0};
+    obs::SeriesHandle site_hits;  // cache.hits{cache=resolver.search,...}
+
+    // Atomics aren't movable; moves happen only pre-publication.
+    SearchEntry(SearchEntry&& other) noexcept
+        : lease_id(other.lease_id),
+          bits(other.bits),
+          soname(std::move(other.soname)),
+          dirs(std::move(other.dirs)),
+          candidate_versions(std::move(other.candidate_versions)),
+          result(std::move(other.result)),
+          scratch_candidates(other.scratch_candidates),
+          checked_system_generation(other.checked_system_generation.load(
+              std::memory_order_relaxed)),
+          site_hits(other.site_hits) {}
+    SearchEntry(std::uint64_t lease, int b, std::string so,
+                std::vector<std::string> ds, obs::SeriesHandle hits)
+        : lease_id(lease),
+          bits(b),
+          soname(std::move(so)),
+          dirs(std::move(ds)),
+          site_hits(hits) {}
   };
+
   struct LddEntry {
+    std::uint64_t lease_id = 0;
+    bool verbose = false;
+    std::string path;
+    std::uint64_t env_fingerprint = 0;  // part of the identity: shell state
+    // Validation stamps: the binary's own write stamp plus the system
+    // half of the VFS; `strict` entries (recorded while LD_LIBRARY_PATH
+    // reached into scratch) validate on the whole-VFS generation instead.
+    std::optional<std::uint64_t> file_version;
+    std::uint64_t system_generation = 0;
     std::uint64_t vfs_generation = 0;
-    std::uint64_t env_generation = 0;
+    bool strict = false;
     bool ok = false;
     std::string payload;  // text when ok, error message otherwise
+    obs::SeriesHandle site_hits;  // cache.hits{cache=resolver.ldd,...}
   };
 
-  // (lease_id, path, file_version) -> parsed file; nullopt caches a parse
-  // failure. std::map for node stability: parsed_elf hands out pointers.
-  using ParseKey = std::tuple<std::uint64_t, std::string, std::uint64_t>;
+  struct ParseEntry {
+    std::uint64_t lease_id = 0;
+    std::string path;
+    std::uint64_t version = 0;  // Vfs::file_version — uniquely keys content
+    // `parsed` is zero-copy: its string views borrow `arena`, the entry's
+    // own copy of the file bytes (never the transient VFS buffer the
+    // caller handed in). Moving the entry moves the vector — the heap
+    // buffer, and therefore every view into it, stays put. Empty when
+    // the parse failed (nothing borrows, no reason to retain bytes).
+    support::Bytes arena;
+    std::optional<elf::ElfFile> parsed;  // nullopt caches a parse failure
+    obs::SeriesHandle site_hits;  // cache.hits{cache=resolver.parse,...}
+  };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, SearchEntry, std::less<>> search_;
-  std::map<std::string, LddEntry, std::less<>> ldd_;
-  std::map<ParseKey, std::optional<elf::ElfFile>> parsed_;
-  std::uint64_t search_hits_ = 0;
-  std::uint64_t search_misses_ = 0;
-  std::uint64_t ldd_hits_ = 0;
-  std::uint64_t ldd_misses_ = 0;
-  std::uint64_t parse_hits_ = 0;
-  std::uint64_t parse_misses_ = 0;
+  support::StripedMap<std::uint64_t, SearchEntry> search_;
+  support::StripedMap<std::uint64_t, LddEntry> ldd_;
+  support::StripedMap<std::uint64_t, ParseEntry> parsed_;
+  std::atomic<std::uint64_t> search_hits_{0};
+  std::atomic<std::uint64_t> search_misses_{0};
+  std::atomic<std::uint64_t> ldd_hits_{0};
+  std::atomic<std::uint64_t> ldd_misses_{0};
+  std::atomic<std::uint64_t> parse_hits_{0};
+  std::atomic<std::uint64_t> parse_misses_{0};
   // Pre-resolved metric series: these paths hit hundreds of thousands of
-  // times per matrix run, so the per-hit cost must stay one relaxed atomic
-  // (plus a per-site handle lookup under the mutex already held).
+  // times per matrix run, so the per-hit cost must stay one relaxed
+  // atomic (site-labeled hit series are pre-resolved per entry; the rare
+  // miss paths take the registry lookup).
   obs::SeriesHandle search_hits_counter_{"resolver.search_hits", {}};
   obs::SeriesHandle search_misses_counter_{"resolver.search_misses", {}};
   obs::SeriesHandle ldd_hits_counter_{"resolver.ldd_hits", {}};
@@ -129,21 +214,16 @@ class ResolverCache {
   obs::SeriesHandle parse_hits_counter_{"resolver.parse_hits", {}};
   obs::SeriesHandle parse_misses_counter_{"resolver.parse_misses", {}};
   obs::SeriesHandle parse_bytes_saved_{"resolver.parse_bytes_saved", {}};
-  obs::SiteSeriesCache search_labeled_hits_{"cache.hits", "resolver.search"};
-  obs::SiteSeriesCache search_labeled_misses_{"cache.misses",
-                                              "resolver.search"};
-  obs::SiteSeriesCache ldd_labeled_hits_{"cache.hits", "resolver.ldd"};
-  obs::SiteSeriesCache ldd_labeled_misses_{"cache.misses", "resolver.ldd"};
-  obs::SiteSeriesCache parse_labeled_hits_{"cache.hits", "resolver.parse"};
-  obs::SiteSeriesCache parse_labeled_misses_{"cache.misses", "resolver.parse"};
   // Estimated retained bytes per memo, mirrored into the process-wide
-  // cache.bytes{cache=resolver.search|resolver.ldd|resolver.parse} gauges.
+  // cache.bytes{cache=resolver.search|resolver.ldd|resolver.parse}
+  // gauges. Shadowed (stale) entries stay retained, so footprints only
+  // grow while the cache lives.
   obs::Gauge& search_bytes_gauge_;
   obs::Gauge& ldd_bytes_gauge_;
   obs::Gauge& parse_bytes_gauge_;
-  std::uint64_t search_footprint_ = 0;
-  std::uint64_t ldd_footprint_ = 0;
-  std::uint64_t parse_footprint_ = 0;
+  std::atomic<std::uint64_t> search_footprint_{0};
+  std::atomic<std::uint64_t> ldd_footprint_{0};
+  std::atomic<std::uint64_t> parse_footprint_{0};
 };
 
 }  // namespace feam::binutils

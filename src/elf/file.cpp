@@ -246,30 +246,37 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
   const auto strtab_vaddr = dyn_value(raw, kDtStrtab);
   std::optional<std::uint64_t> strtab_off;
   if (strtab_vaddr) strtab_off = vaddr_to_offset(raw, *strtab_vaddr);
-  const auto dyn_str = [&](std::uint64_t stroff) -> std::optional<std::string> {
+  // Zero-copy: views into `data`'s dynamic string table.
+  const auto dyn_str = [&](std::uint64_t stroff) -> std::optional<std::string_view> {
     if (!strtab_off) return std::nullopt;
-    return r.cstr(static_cast<std::size_t>(*strtab_off + stroff));
+    return r.cstr_view(static_cast<std::size_t>(*strtab_off + stroff));
   };
 
   if (out.has_dynamic_) {
     if (const auto it = raw.dynamic.find(kDtNeeded); it != raw.dynamic.end()) {
       for (const std::uint64_t v : it->second) {
-        auto s = dyn_str(v);
+        const auto s = dyn_str(v);
         if (!s) return fail(ErrorCode::kElfBadOffset, "DT_NEEDED string out of range");
-        out.needed_.push_back(std::move(*s));
+        out.needed_.push_back(*s);
       }
     }
     if (const auto v = dyn_value(raw, kDtSoname)) {
-      auto s = dyn_str(*v);
+      const auto s = dyn_str(*v);
       if (!s) return fail(ErrorCode::kElfBadOffset, "DT_SONAME string out of range");
-      out.soname_ = std::move(*s);
+      out.soname_ = *s;
     }
     for (const std::int64_t tag : {kDtRpath, kDtRunpath}) {
       if (const auto v = dyn_value(raw, tag)) {
-        auto s = dyn_str(*v);
+        const auto s = dyn_str(*v);
         if (!s) return fail(ErrorCode::kElfBadOffset, "DT_RPATH string out of range");
-        for (auto& part : support::split(*s, ':')) {
-          if (!part.empty()) out.rpath_.push_back(std::move(part));
+        // Split the view in place — every entry borrows the string table.
+        std::string_view rest = *s;
+        while (!rest.empty()) {
+          const std::size_t colon = rest.find(':');
+          const std::string_view part = rest.substr(0, colon);
+          if (!part.empty()) out.rpath_.push_back(part);
+          if (colon == std::string_view::npos) break;
+          rest.remove_prefix(colon + 1);
         }
       }
     }
@@ -277,7 +284,8 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
 
   // Verneed: walk records, translating through the loader view.
   // vernaux index -> "file:version" for symbol annotation below.
-  std::map<std::uint16_t, std::pair<std::string, std::string>> version_by_index;
+  std::map<std::uint16_t, std::pair<std::string_view, std::string_view>>
+      version_by_index;
   if (const auto vn_vaddr = dyn_value(raw, kDtVerneed)) {
     const auto vn_num = dyn_value(raw, kDtVerneednum).value_or(0);
     if (vn_num > kMaxVersionRecords) {
@@ -297,19 +305,19 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
         return fail(ErrorCode::kElfTruncated, "truncated verneed record");
       }
       if (*vn_version != kVerNeedCurrent) return fail(ErrorCode::kElfBadVersionRef, "bad verneed revision");
-      auto file = dyn_str(*vn_file);
+      const auto file = dyn_str(*vn_file);
       if (!file) return fail(ErrorCode::kElfBadVersionRef, "verneed file string out of range");
-      ElfSpec::VersionNeed need{*file, {}};
+      VersionNeedView need{*file, {}};
       std::uint64_t aux = rec + *vn_aux;
       for (std::uint16_t j = 0; j < *vn_cnt; ++j) {
         const auto vna_other = r.u16(static_cast<std::size_t>(aux + 6));
         const auto vna_name = r.u32(static_cast<std::size_t>(aux + 8));
         const auto vna_next = r.u32(static_cast<std::size_t>(aux + 12));
         if (!vna_other || !vna_name || !vna_next) return fail(ErrorCode::kElfTruncated, "truncated vernaux");
-        auto vname = dyn_str(*vna_name);
+        const auto vname = dyn_str(*vna_name);
         if (!vname) return fail(ErrorCode::kElfBadVersionRef, "vernaux name string out of range");
         version_by_index[*vna_other] = {*file, *vname};
-        need.versions.push_back(std::move(*vname));
+        need.versions.push_back(*vname);
         if (*vna_next == 0) break;
         aux += *vna_next;
       }
@@ -341,11 +349,12 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
       if (*vd_version != kVerDefCurrent) return fail(ErrorCode::kElfBadVersionRef, "bad verdef revision");
       const auto vda_name = r.u32(static_cast<std::size_t>(rec + *vd_aux));
       if (!vda_name) return fail(ErrorCode::kElfTruncated, "truncated verdaux");
-      auto name = dyn_str(*vda_name);
+      const auto name = dyn_str(*vda_name);
       if (!name) return fail(ErrorCode::kElfBadVersionRef, "verdaux name string out of range");
       if ((*vd_flags & kVerFlgBase) == 0) {
-        version_by_index[*vd_ndx] = {out.soname_.value_or(""), *name};
-        out.version_defs_.push_back(std::move(*name));
+        version_by_index[*vd_ndx] = {out.soname_.value_or(std::string_view()),
+                                     *name};
+        out.version_defs_.push_back(*name);
       }
       if (*vd_next == 0) break;
       rec += *vd_next;
@@ -360,7 +369,7 @@ Result<ElfFile> ElfFile::parse(const Bytes& data) {
       std::uint64_t p = sec.offset;
       const std::uint64_t end = sec.offset + sec.size;
       while (p < end) {
-        const auto s = r.cstr(static_cast<std::size_t>(p));
+        const auto s = r.cstr_view(static_cast<std::size_t>(p));
         if (!s) break;
         if (!s->empty()) out.comments_.push_back(*s);
         p += s->size() + 1;

@@ -103,7 +103,8 @@ support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
   // For shared libraries, the library's own soname participates in the
   // identification (an MPI implementation library identifies itself even
   // though it does not link against another copy of itself).
-  std::vector<std::string> identity = d.required_libraries;
+  std::vector<std::string_view> identity(d.required_libraries.begin(),
+                                         d.required_libraries.end());
   if (d.soname) identity.push_back(*d.soname);
   d.mpi_impl = identify_mpi(identity);
   return d;

@@ -6,6 +6,7 @@
 
 #include "feam/bdc.hpp"
 #include "obs/metrics.hpp"
+#include "support/rng.hpp"
 
 namespace feam {
 
@@ -100,7 +101,18 @@ BdcCache::BdcCache(HashFn hash)
     : hash_(std::move(hash)),
       footprint_gauge_(obs::gauge("cache.bytes", {.cache = "bdc"})) {}
 
-BdcCache::~BdcCache() { footprint_gauge_.sub(footprint_); }
+BdcCache::~BdcCache() {
+  footprint_gauge_.sub(footprint_.load(std::memory_order_relaxed));
+}
+
+void BdcCache::count_hit(const site::Site&,
+                         const obs::SeriesHandle& site_hits,
+                         std::uint64_t bytes_size) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  legacy_hits_.add();
+  site_hits.add();
+  bytes_saved_.add(bytes_size);
+}
 
 support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
                                                       std::string_view path) {
@@ -120,40 +132,32 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
     return Bdc::describe(s, path);
   }
   const std::uint64_t version = s.vfs.file_version(path).value_or(0);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Fast path: the file has not been rewritten since we last described
-    // it at this location — no hashing, no byte compare.
-    const auto stamped =
-        by_file_.find(std::make_pair(s.lease_id(), std::string(path)));
-    if (stamped != by_file_.end() && stamped->second.version == version) {
-      ++hits_;
-      legacy_hits_.add();
-      labeled_hits_.at(s.name).add();
-      bytes_saved_.add(bytes->size());
-      return stamped->second.description;
-    }
+  const std::uint64_t lease_id = s.lease_id();
+  const std::uint64_t stamp_key =
+      support::fnv1a_mix(support::fnv1a(path), lease_id);
+  // Fast path, lock-free: the file has not been rewritten since we last
+  // described it at this location — no hashing, no byte compare.
+  if (const StampEntry* stamped = by_file_.find_if(
+          stamp_key, [&](const StampEntry& e) {
+            return e.lease_id == lease_id && e.version == version &&
+                   e.path == path;
+          })) {
+    count_hit(s, stamped->site_hits, bytes->size());
+    return stamped->description;
   }
   const std::uint64_t key = hash_(*bytes);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      for (const Entry& entry : it->second) {
-        if (entry.bytes == *bytes) {
-          ++hits_;
-          legacy_hits_.add();
-          labeled_hits_.at(s.name).add();
-          bytes_saved_.add(bytes->size());
-          BinaryDescription d = entry.description;
-          d.path = std::string(path);
-          store_stamp_locked(s.lease_id(), path, FileStamp{version, d});
-          return d;
-        }
-      }
-    }
+  if (const ContentEntry* entry = entries_.find_if(
+          key, [&](const ContentEntry& e) { return e.bytes == *bytes; })) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    legacy_hits_.add();
+    obs::counter("cache.hits", {.site = s.name, .cache = "bdc"}).add();
+    bytes_saved_.add(bytes->size());
+    BinaryDescription d = entry->description;
+    d.path = std::string(path);
+    store_stamp(s, path, version, d);
+    return d;
   }
-  // Miss (or collision): parse outside the lock — the caller holds the
+  // Miss (or collision): parse with no lock held — the caller holds the
   // site lease, so the bytes cannot change underneath us.
   support::Result<BinaryDescription> described = Bdc::describe(s, path);
   // The component re-reads the file itself; if any of those reads were
@@ -162,73 +166,64 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
   if (injector != nullptr && injector->fault_count() != faults_before) {
     return described;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   legacy_misses_.add();
-  labeled_misses_.at(s.name).add();
+  obs::counter("cache.misses", {.site = s.name, .cache = "bdc"}).add();
   if (described.ok()) {
-    entries_[key].push_back(Entry{*bytes, described.value()});
-    grow_footprint_locked(sizeof(Entry) + bytes->size() +
-                          description_bytes(described.value()));
-    store_stamp_locked(s.lease_id(), path, FileStamp{version, described.value()});
+    const auto [entry, inserted] = entries_.get_or_insert_if(
+        key, [&](const ContentEntry& e) { return e.bytes == *bytes; },
+        [&] { return ContentEntry{*bytes, described.value()}; });
+    if (inserted) {
+      const std::uint64_t added = sizeof(ContentEntry) + bytes->size() +
+                                  description_bytes(described.value());
+      footprint_.fetch_add(added, std::memory_order_relaxed);
+      footprint_gauge_.add(added);
+    }
+    store_stamp(s, path, version, described.value());
   }
   return described;
 }
 
-void BdcCache::store_stamp_locked(std::uint64_t lease_id,
-                                  std::string_view path, FileStamp stamp) {
+void BdcCache::store_stamp(const site::Site& s, std::string_view path,
+                           std::uint64_t version, const BinaryDescription& d) {
+  const std::uint64_t lease_id = s.lease_id();
+  const std::uint64_t key =
+      support::fnv1a_mix(support::fnv1a(path), lease_id);
+  // insert() shadows any stale stamp for this (site, path); the shadowed
+  // node stays allocated (readers may hold pointers into it), so the
+  // footprint only ever grows — it reports retained bytes, honestly.
+  by_file_.insert(
+      key, StampEntry{lease_id, std::string(path), version, d,
+                      obs::SeriesHandle("cache.hits",
+                                        {.site = s.name, .cache = "bdc"})});
   const std::uint64_t added =
-      sizeof(FileStamp) + path.size() + description_bytes(stamp.description);
-  auto key = std::make_pair(lease_id, std::string(path));
-  const auto it = by_file_.find(key);
-  if (it != by_file_.end()) {
-    shrink_footprint_locked(sizeof(FileStamp) + path.size() +
-                            description_bytes(it->second.description));
-    it->second = std::move(stamp);
-  } else {
-    by_file_.emplace(std::move(key), std::move(stamp));
-  }
-  grow_footprint_locked(added);
-}
-
-void BdcCache::grow_footprint_locked(std::uint64_t bytes) {
-  footprint_ += bytes;
-  footprint_gauge_.add(bytes);
-}
-
-void BdcCache::shrink_footprint_locked(std::uint64_t bytes) {
-  footprint_ = footprint_ >= bytes ? footprint_ - bytes : 0;
-  footprint_gauge_.sub(bytes);
-}
-
-std::uint64_t BdcCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-std::uint64_t BdcCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+      sizeof(StampEntry) + path.size() + description_bytes(d);
+  footprint_.fetch_add(added, std::memory_order_relaxed);
+  footprint_gauge_.add(added);
 }
 
 EdcMemo::EdcMemo()
     : footprint_gauge_(obs::gauge("cache.bytes", {.cache = "edc"})) {}
 
-EdcMemo::~EdcMemo() { footprint_gauge_.sub(footprint_); }
+EdcMemo::~EdcMemo() {
+  footprint_gauge_.sub(footprint_.load(std::memory_order_relaxed));
+}
 
 EnvironmentDescription EdcMemo::discover(const site::Site& s) {
-  const auto key = std::make_pair(s.lease_id(), s.discovery_fingerprint());
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
-      legacy_hits_.add();
-      labeled_hits_.at(s.name).add();
-      return it->second.description;
-    }
+  const std::uint64_t lease_id = s.lease_id();
+  const std::uint64_t fingerprint = s.discovery_fingerprint();
+  const std::uint64_t key =
+      support::fnv1a_mix(support::fnv1a_mix(kFnvBasis, lease_id), fingerprint);
+  const auto matches = [&](const Entry& e) {
+    return e.lease_id == lease_id && e.fingerprint == fingerprint;
+  };
+  if (const Entry* entry = entries_.find_if(key, matches)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    legacy_hits_.add();
+    entry->site_hits.add();
+    return entry->description;
   }
-  // Scan with the memo unlocked so other sites discover concurrently; the
+  // Scan with no map lock held so other sites discover concurrently; the
   // caller's site lease guarantees no concurrent scan of *this* site.
   const auto* injector = s.vfs.fault_injector();
   const std::uint64_t faults_before =
@@ -239,32 +234,21 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   if (injector != nullptr && injector->fault_count() != faults_before) {
     return description;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   legacy_misses_.add();
-  labeled_misses_.at(s.name).add();
-  auto [it, fresh] = entries_.emplace(key, Entry{});
-  if (!fresh) {
-    const std::uint64_t old_bytes =
-        sizeof(Entry) + environment_bytes(it->second.description);
-    footprint_ = footprint_ >= old_bytes ? footprint_ - old_bytes : 0;
-    footprint_gauge_.sub(old_bytes);
+  obs::counter("cache.misses", {.site = s.name, .cache = "edc"}).add();
+  const auto [entry, inserted] = entries_.get_or_insert_if(key, matches, [&] {
+    return Entry{lease_id, fingerprint, description,
+                 obs::SeriesHandle("cache.hits",
+                                   {.site = s.name, .cache = "edc"})};
+  });
+  if (inserted) {
+    const std::uint64_t added =
+        sizeof(Entry) + environment_bytes(entry->description);
+    footprint_.fetch_add(added, std::memory_order_relaxed);
+    footprint_gauge_.add(added);
   }
-  it->second = Entry{description};
-  const std::uint64_t new_bytes = sizeof(Entry) + environment_bytes(description);
-  footprint_ += new_bytes;
-  footprint_gauge_.add(new_bytes);
   return description;
-}
-
-std::uint64_t EdcMemo::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-std::uint64_t EdcMemo::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
 }
 
 }  // namespace feam

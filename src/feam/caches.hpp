@@ -16,25 +16,28 @@
 //     fingerprint unchanged, so back-to-back migrations keep hitting;
 //     installing software or loading a module still invalidates.
 //
-// Both caches are internally synchronized. Callers must still hold the
-// site's lease while describing/discovering (the underlying components
-// read live site state); the caches' own mutexes nest strictly inside the
-// lease, and are never held across component calls, so no lock cycle
-// involves them.
+// Both caches sit on support::StripedMap: a hit costs one lock-free
+// chain walk plus relaxed counter bumps — no mutex, so eight workers
+// hitting the same cache never serialize. Writers stripe across shards.
+// Every 64-bit map key is a fingerprint, and every lookup re-verifies
+// the entry's stored identity (full bytes, path, sub-generation values),
+// so a fingerprint collision degrades to a miss, never a wrong answer.
+//
+// Callers must still hold the site's lease while describing/discovering
+// (the underlying components read live site state); the caches' shard
+// mutexes nest strictly inside the lease and are never held across
+// component calls, so no lock cycle involves them.
 //
 // The caches are opt-in: every component keeps its uncached entry point,
 // and the sequential CLI flow is byte-for-byte unchanged (the regression
 // gate pins its exact counter values).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <vector>
 
 #include "binutils/resolver_cache.hpp"
 #include "feam/description.hpp"
@@ -43,6 +46,7 @@
 #include "site/site.hpp"
 #include "support/byte_io.hpp"
 #include "support/result.hpp"
+#include "support/striped_map.hpp"
 
 namespace feam {
 
@@ -68,85 +72,88 @@ class BdcCache {
   //
   // Repeat lookups of an unchanged file short-circuit on the VFS write
   // stamp — (site, path, Vfs::file_version) uniquely identifies content,
-  // so the fast path answers without touching the bytes at all. Only a
-  // stamp miss (new site, new path, rewritten file) pays the sampled
-  // hash + byte-verify of the content-addressed lookup.
+  // so the fast path answers lock-free without touching the bytes at
+  // all. Only a stamp miss (new site, new path, rewritten file) pays the
+  // sampled hash + byte-verify of the content-addressed lookup.
   support::Result<BinaryDescription> describe(const site::Site& s,
                                               std::string_view path);
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Entry {
+  struct ContentEntry {
     support::Bytes bytes;  // kept for collision verification
     BinaryDescription description;
   };
 
-  struct FileStamp {
+  struct StampEntry {
+    std::uint64_t lease_id = 0;  // identity re-verified on lookup
+    std::string path;
     std::uint64_t version = 0;  // Vfs::file_version at memoization time
     BinaryDescription description;
+    obs::SeriesHandle site_hits;  // cache.hits{cache=bdc,site=...}
   };
 
-  // Footprint bookkeeping (callers hold mutex_): inserts/overwrites keep
-  // footprint_ equal to the estimated retained bytes of every entry, and
-  // mirror every change into the shared cache.bytes{cache=bdc} gauge.
-  void store_stamp_locked(std::uint64_t lease_id, std::string_view path,
-                          FileStamp stamp);
-  void grow_footprint_locked(std::uint64_t bytes);
-  void shrink_footprint_locked(std::uint64_t bytes);
+  void count_hit(const site::Site& s, const obs::SeriesHandle& site_hits,
+                 std::uint64_t bytes_size);
+  void store_stamp(const site::Site& s, std::string_view path,
+                   std::uint64_t version, const BinaryDescription& d);
 
-  mutable std::mutex mutex_;
   HashFn hash_;
-  // Chained per hash value: colliding contents coexist as separate links.
-  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
-  // Fast path: (lease_id, path) -> last seen write stamp + description.
-  std::map<std::pair<std::uint64_t, std::string>, FileStamp, std::less<>>
-      by_file_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  // Content-addressed store, keyed by hash_(bytes); colliding contents
+  // coexist as chain links, disambiguated by full byte compare.
+  support::StripedMap<std::uint64_t, ContentEntry> entries_;
+  // Fast path: fingerprint of (lease_id, path) -> newest write stamp +
+  // description. A rewritten file shadows its old stamp.
+  support::StripedMap<std::uint64_t, StampEntry> by_file_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
   // Pre-resolved metric series (one atomic per hit on the fast path) and
   // this instance's share of the process-wide footprint gauge.
   obs::SeriesHandle legacy_hits_{"bdc.cache_hits", {}};
   obs::SeriesHandle legacy_misses_{"bdc.cache_misses", {}};
   obs::SeriesHandle bytes_saved_{"bdc.cache_bytes_saved", {}};
-  obs::SiteSeriesCache labeled_hits_{"cache.hits", "bdc"};
-  obs::SiteSeriesCache labeled_misses_{"cache.misses", "bdc"};
   obs::Gauge& footprint_gauge_;
-  std::uint64_t footprint_ = 0;
+  std::atomic<std::uint64_t> footprint_{0};
 };
 
 class EdcMemo {
  public:
   // Discover `s`'s environment, memoized per (site, discovery
   // fingerprint). The caller must hold `s`'s lease (the scan runs shell
-  // commands against live state); the memo's mutex is released during the
-  // scan, so distinct sites discover concurrently. Entries for distinct
-  // fingerprints coexist, so a site that alternates between two shell
-  // states (e.g. module loaded / unloaded) hits in both.
+  // commands against live state); hits are lock-free, and a cold scan
+  // runs outside any map lock, so distinct sites discover concurrently.
+  // Entries for distinct fingerprints coexist, so a site that alternates
+  // between two shell states (e.g. module loaded / unloaded) hits in
+  // both.
   EnvironmentDescription discover(const site::Site& s);
   EdcMemo();
   ~EdcMemo();
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
+    std::uint64_t lease_id = 0;  // identity re-verified on lookup
+    std::uint64_t fingerprint = 0;
     EnvironmentDescription description;
+    obs::SeriesHandle site_hits;  // cache.hits{cache=edc,site=...}
   };
 
-  mutable std::mutex mutex_;
-  // key: (Site::lease_id(), Site::discovery_fingerprint())
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  // key: fingerprint of (Site::lease_id(), Site::discovery_fingerprint())
+  support::StripedMap<std::uint64_t, Entry> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
   obs::SeriesHandle legacy_hits_{"edc.memo_hits", {}};
   obs::SeriesHandle legacy_misses_{"edc.memo_misses", {}};
-  obs::SiteSeriesCache labeled_hits_{"cache.hits", "edc"};
-  obs::SiteSeriesCache labeled_misses_{"cache.misses", "edc"};
   obs::Gauge& footprint_gauge_;
-  std::uint64_t footprint_ = 0;
+  std::atomic<std::uint64_t> footprint_{0};
 };
 
 // The bundle a parallel run threads through phases/TEC. Passing nullptr

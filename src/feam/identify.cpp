@@ -5,7 +5,7 @@
 namespace feam {
 
 std::optional<site::MpiImpl> identify_mpi(
-    const std::vector<std::string>& needed_libraries) {
+    const std::vector<std::string_view>& needed_libraries) {
   bool mpich = false;       // libmpich / libmpichf90
   bool openmpi = false;     // libmpi.so / libmpi_f77 / libmpi_cxx
   bool infiniband = false;  // libibverbs / libibumad

@@ -8,7 +8,7 @@
 #pragma once
 
 #include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "site/ids.hpp"
@@ -17,8 +17,9 @@ namespace feam {
 
 // Identifies the implementation an application or library was compiled
 // with from its DT_NEEDED list; nullopt when no MPI identifier is present
-// (a serial binary).
+// (a serial binary). Takes views so a freshly parsed ElfFile's needed()
+// list can be classified without materializing strings.
 std::optional<site::MpiImpl> identify_mpi(
-    const std::vector<std::string>& needed_libraries);
+    const std::vector<std::string_view>& needed_libraries);
 
 }  // namespace feam

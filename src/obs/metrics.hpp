@@ -252,7 +252,9 @@ Gauge& gauge(std::string_view name, const Labels& labels);
 class SeriesHandle {
  public:
   SeriesHandle(std::string_view name, const Labels& labels);
-  void add(std::uint64_t delta = 1) { counter_->add(delta); }
+  // Logically const: the handle is an immutable binding to a registry
+  // counter, so cache entries published behind const pointers can bump it.
+  void add(std::uint64_t delta = 1) const { counter_->add(delta); }
   std::uint64_t value() const { return counter_->value(); }
 
  private:

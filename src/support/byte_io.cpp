@@ -117,12 +117,19 @@ std::optional<std::uint64_t> ByteReader::u64(std::size_t offset) const {
 }
 
 std::optional<std::string> ByteReader::cstr(std::size_t offset) const {
+  const auto view = cstr_view(offset);
+  if (!view) return std::nullopt;
+  return std::string(*view);
+}
+
+std::optional<std::string_view> ByteReader::cstr_view(
+    std::size_t offset) const {
   if (offset >= data_->size()) return std::nullopt;
-  std::string out;
   for (std::size_t i = offset; i < data_->size(); ++i) {
-    const char c = static_cast<char>((*data_)[i]);
-    if (c == '\0') return out;
-    out += c;
+    if ((*data_)[i] == 0) {
+      return std::string_view(
+          reinterpret_cast<const char*>(data_->data()) + offset, i - offset);
+    }
   }
   return std::nullopt;  // ran off the end without a terminator
 }

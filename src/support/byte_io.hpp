@@ -58,6 +58,9 @@ class ByteReader {
   std::optional<std::uint64_t> u64(std::size_t offset) const;
   // NUL-terminated string starting at offset; nullopt if unterminated.
   std::optional<std::string> cstr(std::size_t offset) const;
+  // Zero-copy variant: a view into the underlying buffer, valid exactly
+  // as long as the Bytes the reader wraps stays alive and unmodified.
+  std::optional<std::string_view> cstr_view(std::size_t offset) const;
 
   std::size_t size() const { return data_->size(); }
   void set_endian(Endian endian) { endian_ = endian; }

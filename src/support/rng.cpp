@@ -44,4 +44,20 @@ std::uint64_t fnv1a(std::string_view text) {
   return h;
 }
 
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 }  // namespace feam::support

@@ -38,4 +38,10 @@ class Rng {
 // synthesizing deterministic per-binary content).
 std::uint64_t fnv1a(std::string_view text);
 
+// Continue an FNV-1a stream: fold a 64-bit value (byte-wise, little-endian
+// order) or a string's bytes into an existing hash. Composable cache keys —
+// fnv1a_mix(fnv1a(path), version) — without intermediate strings.
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value);
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::string_view text);
+
 }  // namespace feam::support

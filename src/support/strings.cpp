@@ -50,6 +50,16 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
 }

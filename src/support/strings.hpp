@@ -17,6 +17,8 @@ std::vector<std::string> split_ws(std::string_view text);
 std::string_view trim(std::string_view text);
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
 
 bool starts_with(std::string_view text, std::string_view prefix);
 bool ends_with(std::string_view text, std::string_view suffix);

@@ -283,8 +283,9 @@ RunResult run_serial_impl(const site::Site& host, std::string_view binary_path,
       return {RunStatus::kSystemError, "Segmentation fault", ""};
     }
     // The banner is stored in the library's .comment by install_clibrary.
-    const std::string banner =
-        binary.comments().empty() ? "" : binary.comments().front();
+    const std::string banner = binary.comments().empty()
+                                   ? ""
+                                   : std::string(binary.comments().front());
     return {RunStatus::kSuccess, "", banner};
   }
 

@@ -104,6 +104,11 @@ ElfSpec random_spec(std::uint64_t seed) {
   return spec;
 }
 
+// Materialize borrowed views for comparison against owned spec fields.
+std::vector<std::string> owned(const std::vector<std::string_view>& views) {
+  return {views.begin(), views.end()};
+}
+
 class ElfRoundTripPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ElfRoundTripPropertyTest, RandomSpecRoundTrips) {
@@ -116,15 +121,15 @@ TEST_P(ElfRoundTripPropertyTest, RandomSpecRoundTrips) {
   EXPECT_EQ(f.isa(), spec.isa);
   EXPECT_EQ(f.kind(), spec.kind);
   EXPECT_EQ(f.is_dynamic(), !spec.static_link);
-  EXPECT_EQ(f.needed(), spec.needed);
-  EXPECT_EQ(f.rpath(), spec.rpath);
+  EXPECT_EQ(owned(f.needed()), spec.needed);
+  EXPECT_EQ(owned(f.rpath()), spec.rpath);
   if (spec.soname.empty()) {
     EXPECT_FALSE(f.soname().has_value());
   } else {
     EXPECT_EQ(f.soname().value_or(""), spec.soname);
   }
-  EXPECT_EQ(f.version_definitions(), spec.version_definitions);
-  EXPECT_EQ(f.comments(), spec.comments);
+  EXPECT_EQ(owned(f.version_definitions()), spec.version_definitions);
+  EXPECT_EQ(owned(f.comments()), spec.comments);
   EXPECT_EQ(f.abi_note().has_value(), spec.abi.has_value());
   if (spec.abi && f.abi_note()) {
     EXPECT_EQ(f.abi_note()->abi_fingerprint, spec.abi->abi_fingerprint);
@@ -137,7 +142,7 @@ TEST_P(ElfRoundTripPropertyTest, RandomSpecRoundTrips) {
   ASSERT_EQ(f.version_references().size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(f.version_references()[i].file, expected[i].file);
-    EXPECT_EQ(f.version_references()[i].versions, expected[i].versions);
+    EXPECT_EQ(owned(f.version_references()[i].versions), expected[i].versions);
   }
 
   // Symbols survive in order.

@@ -120,26 +120,28 @@ ElfSpec reconstruct(const ElfFile& f, std::uint64_t text_size,
   spec.kind = f.kind();
   spec.static_link = !f.is_dynamic();
   spec.soname = f.soname().value_or("");
-  spec.needed = f.needed();
-  spec.rpath = f.rpath();
-  spec.version_definitions = f.version_definitions();
-  spec.comments = f.comments();
+  spec.needed.assign(f.needed().begin(), f.needed().end());
+  spec.rpath.assign(f.rpath().begin(), f.rpath().end());
+  spec.version_definitions.assign(f.version_definitions().begin(),
+                                  f.version_definitions().end());
+  spec.comments.assign(f.comments().begin(), f.comments().end());
   spec.abi = f.abi_note();
   spec.text_size = text_size;
   spec.content_seed = content_seed;
   for (const DynSymbol& sym : f.dynamic_symbols()) {
     if (sym.defined) {
-      spec.defined_symbols.push_back({sym.name, sym.version});
+      spec.defined_symbols.push_back(
+          {std::string(sym.name), std::string(sym.version)});
       continue;
     }
     UndefinedSymbol undef;
-    undef.name = sym.name;
-    undef.version = sym.version;
+    undef.name = std::string(sym.name);
+    undef.version = std::string(sym.version);
     if (!sym.version.empty()) {
       for (const auto& need : f.version_references()) {
         if (std::find(need.versions.begin(), need.versions.end(),
                       sym.version) != need.versions.end()) {
-          undef.from_lib = need.file;
+          undef.from_lib = std::string(need.file);
           break;
         }
       }

@@ -10,6 +10,12 @@ namespace {
 
 using support::Bytes;
 
+// Parsed accessors return borrowed views; materialize them for comparison
+// against the owned-string spec fields.
+std::vector<std::string> owned(const std::vector<std::string_view>& views) {
+  return {views.begin(), views.end()};
+}
+
 // A spec resembling an NPB binary compiled with Open MPI + gfortran on a
 // glibc 2.5 site.
 ElfSpec typical_app_spec(Isa isa) {
@@ -64,18 +70,18 @@ TEST_P(RoundTripIsaTest, ExecutableMetadataSurvives) {
   EXPECT_EQ(f.bits(), isa_bits(spec.isa));
   EXPECT_EQ(f.kind(), FileKind::kExecutable);
   EXPECT_TRUE(f.is_dynamic());
-  EXPECT_EQ(f.needed(), spec.needed);
+  EXPECT_EQ(owned(f.needed()), spec.needed);
   EXPECT_FALSE(f.soname().has_value());
-  EXPECT_EQ(f.comments(), spec.comments);
+  EXPECT_EQ(owned(f.comments()), spec.comments);
 
   // Version references grouped by file, order preserved.
   ASSERT_EQ(f.version_references().size(), 3u);
   EXPECT_EQ(f.version_references()[0].file, "libc.so.6");
-  EXPECT_EQ(f.version_references()[0].versions,
+  EXPECT_EQ(owned(f.version_references()[0].versions),
             (std::vector<std::string>{"GLIBC_2.3.4", "GLIBC_2.2.5"}));
   EXPECT_EQ(f.version_references()[1].file, "libm.so.6");
   EXPECT_EQ(f.version_references()[2].file, "libgfortran.so.1");
-  EXPECT_EQ(f.version_references()[2].versions,
+  EXPECT_EQ(owned(f.version_references()[2].versions),
             (std::vector<std::string>{"GFORTRAN_1.0"}));
 
   // ABI note survives.
@@ -104,7 +110,7 @@ TEST_P(RoundTripIsaTest, SharedObjectMetadataSurvives) {
   EXPECT_EQ(f.kind(), FileKind::kSharedObject);
   ASSERT_TRUE(f.soname().has_value());
   EXPECT_EQ(*f.soname(), "libc.so.6");
-  EXPECT_EQ(f.version_definitions(), spec.version_definitions);
+  EXPECT_EQ(owned(f.version_definitions()), spec.version_definitions);
   EXPECT_TRUE(f.version_references().empty());
 
   ASSERT_EQ(f.dynamic_symbols().size(), 3u);
@@ -128,7 +134,7 @@ TEST(RoundTrip, RpathSurvivesColonJoining) {
   spec.rpath = {"/opt/openmpi-1.4.3-intel/lib", "/usr/local/lib"};
   const auto parsed = ElfFile::parse(build_image(spec));
   ASSERT_TRUE(parsed.ok()) << parsed.error();
-  EXPECT_EQ(parsed.value().rpath(), spec.rpath);
+  EXPECT_EQ(owned(parsed.value().rpath()), spec.rpath);
 }
 
 TEST(RoundTrip, EmptySpecStillValid) {

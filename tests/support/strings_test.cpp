@@ -30,9 +30,9 @@ TEST(Trim, BothEnds) {
 }
 
 TEST(Join, Basic) {
-  EXPECT_EQ(join({"a", "b", "c"}, ":"), "a:b:c");
-  EXPECT_EQ(join({}, ":"), "");
-  EXPECT_EQ(join({"only"}, ", "), "only");
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ":"), "a:b:c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ":"), "");
+  EXPECT_EQ(join(std::vector<std::string_view>{"only"}, ", "), "only");
 }
 
 TEST(Predicates, StartsEndsContains) {

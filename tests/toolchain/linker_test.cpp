@@ -182,8 +182,9 @@ TEST(Linker, RpathEmbeddingWrappers) {
   ASSERT_TRUE(compiled.ok());
   const auto parsed = elf::ElfFile::parse(*s->vfs.read(compiled.value()));
   ASSERT_TRUE(parsed.ok());
+  const std::string expected_rpath = stack->prefix + "/lib";
   EXPECT_EQ(parsed.value().rpath(),
-            (std::vector<std::string>{stack->prefix + "/lib"}));
+            (std::vector<std::string_view>{expected_rpath}));
   // Loads without any module (RPATH precedes everything).
   const auto report = load_binary(*s, compiled.value());
   EXPECT_EQ(report.status, LoadStatus::kOk) << report.detail;
