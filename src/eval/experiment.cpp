@@ -154,16 +154,19 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
     std::optional<support::Result<feam::SourcePhaseOutput>>& local) {
   // The source phase runs in the guaranteed execution environment — the
   // shell configured to run the binary, i.e. with its stack's module
-  // loaded — and leaves the home site as it found it, so repeated runs
-  // produce identical output. That is what makes memoizing it sound.
+  // loaded. A private shell session supplies that shell without touching
+  // the base site state, so repeated runs produce identical output. That
+  // is what makes memoizing it sound. The binary-path lease serializes
+  // same-binary source phases (their hello-world scratch is keyed by the
+  // binary's basename) while different binaries run concurrently; it is
+  // the innermost lock a worker ever takes, so it cannot cycle with the
+  // per-job artifact leases held across migrate_one.
   const auto run_fresh = [&] {
-    site::SiteLease lease(home);
+    site::SubtreeLeases lease({{&home, binary.path}});
+    site::ShellSession shell(home);
     home.unload_all_modules();
     home.load_module(module_name_of(binary.stack));
-    auto source =
-        feam::run_source_phase(home, binary.path, config, caches_.get());
-    home.unload_all_modules();
-    return source;
+    return feam::run_source_phase(home, binary.path, config, caches_.get());
   };
   if (caches_ == nullptr) {
     local.emplace(run_fresh());
@@ -178,8 +181,9 @@ const support::Result<feam::SourcePhaseOutput>& Experiment::source_phase_for(
   }
   // Per-entry mutex: two workers migrating the same binary wait on each
   // other here, while different binaries compute concurrently. The lock
-  // order is entry mutex -> home lease, and no holder of a lease ever
-  // takes an entry mutex, so no cycle.
+  // order is job-artifact leases -> entry mutex -> home binary lease; no
+  // holder of an entry mutex or binary lease ever waits on a job-artifact
+  // lease (those are unique to their job), so no cycle.
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->value) {
     source_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -227,8 +231,14 @@ std::optional<MigrationResult> Experiment::migrate_one(
   result.home_site = binary.home_site;
   result.target_site = target.name;
 
+  // Per-job artifact roots: both carry the binary name and home site, so
+  // no two jobs on the same target ever name the same subtree — the
+  // leases below never contend and concurrent migrations to one site
+  // proceed in parallel.
   const std::string migrated_path =
       "/home/user/migrated/" + result.binary_name + "." + binary.home_site;
+  const std::string resolution_root =
+      "/home/user/feam_resolved/" + result.binary_name + "." + binary.home_site;
   feam::FeamConfig config;
   config.hello_world_ranks = options_.ranks;
 
@@ -245,10 +255,19 @@ std::optional<MigrationResult> Experiment::migrate_one(
   };
   const std::uint64_t faults_at_start = fault_total();
 
-  // --- migrate the binary bytes: the only step that touches both sites,
-  // so the only step that leases both (in lease_id order, see lease.hpp).
+  // One lease vector for the whole job, over exactly the subtrees this
+  // migration mutates at the target. Held up front and for the duration
+  // (see lease.hpp for the ordering discipline); a private shell session
+  // gives this worker its own environment and module list, so nothing
+  // below serializes against other migrations to the same site.
+  site::SubtreeLeases lease(
+      {{&target, migrated_path}, {&target, resolution_root}});
+  site::ShellSession shell(target);
+
+  // --- migrate the binary bytes: the only step that touches both sites.
+  // The home-side read needs no lease: test-set binaries are immutable
+  // while the matrix runs.
   {
-    site::SitePairLease lease(home, target);
     const support::Bytes* content = home.vfs.read(binary.path);
     if (content == nullptr) {
       // A test-set binary is always present, so this read can only fail
@@ -272,8 +291,6 @@ std::optional<MigrationResult> Experiment::migrate_one(
   std::optional<support::Error> phase_error;
 
   {
-    site::SiteLease lease(target);
-
     // --- FEAM basic prediction: target phase only.
     feam::TecOptions basic_opts;
     basic_opts.apply_resolution = false;
@@ -317,10 +334,8 @@ std::optional<MigrationResult> Experiment::migrate_one(
   }
 
   {
-    site::SiteLease lease(target);
-
     feam::TecOptions ext_opts;
-    ext_opts.resolution_root = "/home/user/feam_resolved";
+    ext_opts.resolution_root = resolution_root;
     ext_opts.recursive_copy_validation = options_.recursive_copy_validation;
     ext_opts.apply_resolution = options_.apply_resolution;
     ext_opts.run_usability_tests = options_.run_usability_tests;
@@ -379,12 +394,14 @@ std::optional<MigrationResult> Experiment::migrate_one(
       result.status_after = toolchain::RunStatus::kNoMpiStackSelected;
     }
 
-    // --- cleanup: leave the target as we found it.
+    // --- cleanup: leave the target as we found it. Only this job's
+    // artifact roots are removed; other jobs' resolution trees under
+    // /home/user/feam_resolved are theirs to clean.
     target.vfs.remove(migrated_path);
     for (const auto& dir : result.extended_prediction.resolution_dirs) {
       target.vfs.remove(dir);
     }
-    target.vfs.remove("/home/user/feam_resolved");
+    target.vfs.remove(resolution_root);
   }
 
   if (fault_total() != faults_at_start) {
@@ -475,6 +492,11 @@ void Experiment::run() {
     if (slot) results_.push_back(std::move(*slot));
   }
   for (const auto& injector : injectors_) injector->set_enabled(false);
+
+  // Each job removed its own resolution subtree; what remains of the
+  // shared parent is an empty directory. Sweep it here, where no worker
+  // is live, so the matrix leaves every target exactly as it found it.
+  for (const auto& s : sites_) s->vfs.remove("/home/user/feam_resolved");
 }
 
 }  // namespace feam::eval

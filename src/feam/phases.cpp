@@ -100,13 +100,18 @@ support::Result<SourcePhaseOutput> run_source_phase(
       if (stack.prefix == selected->prefix) selected_install = &stack;
     }
   }
+  // Scratch paths carry the source binary's basename so concurrent source
+  // phases for different binaries at one site never share (or remove) each
+  // other's probes; same-binary phases are serialized by the binary lease.
+  const std::string scratch_nonce = site::Vfs::basename(binary_path);
   std::string hello_world_path;
   if (selected_install != nullptr) {
     obs::Span hw_span("source.compile_hello_worlds");
     for (const auto lang :
          {toolchain::Language::kC, toolchain::Language::kFortran}) {
       const auto program = toolchain::mpi_hello_world(lang);
-      const std::string path = "/tmp/feam_src_" + program.name;
+      const std::string path =
+          "/tmp/feam_src_" + program.name + "." + scratch_nonce;
       const auto compiled = toolchain::compile_mpi_program(
           guaranteed, program, *selected_install, path);
       if (!compiled.ok()) {
@@ -178,7 +183,8 @@ support::Result<SourcePhaseOutput> run_source_phase(
   for (const auto lang :
        {toolchain::Language::kC, toolchain::Language::kFortran}) {
     guaranteed.vfs.remove("/tmp/feam_src_" +
-                          toolchain::mpi_hello_world(lang).name);
+                          toolchain::mpi_hello_world(lang).name + "." +
+                          scratch_nonce);
   }
 
   note(out, obs::Level::kInfo, "source.bundle",

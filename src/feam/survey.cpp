@@ -36,7 +36,9 @@ std::string SurveyReport::render() const {
 
 namespace {
 
-// Assesses one site. The caller must hold the site's lease. The site is
+// Assesses one site. When other workers may touch the site concurrently,
+// the caller must lease the probe subtrees (binary path and the default
+// resolution root) and wrap the call in a shell session. The site is
 // restored exactly as found: migrated binary and resolution directories
 // removed (including the default resolution root, which may exist even
 // when the phase errored after partial resolution), loaded modules
@@ -122,7 +124,13 @@ SurveyReport survey_sites(std::span<site::Site* const> sites,
     for (std::size_t i = 0; i < sites.size(); ++i) {
       pool.submit([&, i] {
         site::Site& s = *sites[i];
-        site::SiteLease lease(s);
+        // Survey fans out across *distinct* sites, so these leases are
+        // uncontended within one survey; they exist to coordinate with any
+        // concurrent migration writing the same probe subtree, and the
+        // shell session keeps module churn private to this worker.
+        site::SubtreeLeases lease(
+            {{&s, path}, {&s, TecOptions{}.resolution_root}});
+        site::ShellSession shell(s);
         entries[i] = assess_site(s, path, binary_bytes, source, config,
                                  options.caches);
       });

@@ -2,6 +2,15 @@
 // PATH / LD_LIBRARY_PATH to discover accessible MPI stacks, and the
 // resolution model *writes* LD_LIBRARY_PATH entries to make library copies
 // visible at runtime (paper Section IV).
+//
+// Sessions: a worker thread that begins a session (see site::ShellSession
+// in site/lease.hpp) gets a thread-private copy of the variables — its
+// module loads and LD_LIBRARY_PATH edits are invisible to every other
+// thread, exactly as two login shells at a real site don't share exports.
+// This is what lets concurrent migrations target the same site without a
+// site-wide lease: the shell, previously the main shared mutable state,
+// becomes per-worker. Sessions nest per thread (LIFO); without one, all
+// accessors read and mutate the base environment as before.
 #pragma once
 
 #include <cstdint>
@@ -30,13 +39,13 @@ class Environment {
     return get_list("LD_LIBRARY_PATH");
   }
 
-  const std::map<std::string, std::string, std::less<>>& all() const {
-    return vars_;
-  }
+  const std::map<std::string, std::string, std::less<>>& all() const;
 
   // Monotone counter bumped on every mutation (set/unset, list edits).
-  // Cache keys use it to detect staleness.
-  std::uint64_t generation() const { return generation_; }
+  // Cache keys use it to detect staleness. Inside a session the counter
+  // continues from the base value it was copied at, so it stays monotone
+  // from the session's point of view.
+  std::uint64_t generation() const;
 
   // Content hash of the visible variables. Unlike generation(), a
   // save/edit/restore cycle lands back on the original value, so memo keys
@@ -45,7 +54,30 @@ class Environment {
   // hashing on demand is cheap.
   std::uint64_t fingerprint() const;
 
+  // --- thread-private sessions (use site::ShellSession, not these raw)
+  // begin_session copies the current visible variables into a shadow that
+  // only the calling thread sees; end_session discards the innermost
+  // shadow, restoring the previous view. The base map is never touched by
+  // a session, so other threads' reads stay race-free. Do not move an
+  // Environment while any thread has a session open on it.
+  void begin_session() const;
+  void end_session() const;
+  bool in_session() const;
+
+  // Shadow of one session: a full variable copy plus its own generation
+  // counter. Public only so the thread-local registry in the .cpp can name
+  // it — not part of the API surface.
+  struct Shadow {
+    std::map<std::string, std::string, std::less<>> vars;
+    std::uint64_t generation = 0;
+  };
+
  private:
+  // The calling thread's innermost shadow for this instance, or nullptr.
+  Shadow* shadow() const;
+  // Visible variable map for the calling thread (shadow or base).
+  const std::map<std::string, std::string, std::less<>>& visible() const;
+
   std::map<std::string, std::string, std::less<>> vars_;
   std::uint64_t generation_ = 0;
 };

@@ -13,11 +13,78 @@ std::uint64_t next_lease_id() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+// Per-thread stack of open shell sessions' module shadows, mirroring the
+// variable shadows in environment.cpp (one registry per state kind keeps
+// both files self-contained).
+struct ModuleSessionEntry {
+  const Site* site;
+  std::unique_ptr<Site::ModuleShadow> shadow;
+};
+thread_local std::vector<ModuleSessionEntry> t_module_sessions;
+
 }  // namespace
+
+// Mutexes keyed by subtree prefix. std::map nodes are stable, so handing
+// out `std::mutex&` is safe for the Site's lifetime; the table itself is
+// guarded by its own mutex (creation is rare — a few prefixes per job).
+struct Site::SubtreeTable {
+  std::mutex table_mutex;
+  std::map<std::string, std::mutex, std::less<>> mutexes;
+};
 
 Site::Site()
     : lease_id_(next_lease_id()),
-      lease_mutex_(std::make_unique<std::mutex>()) {}
+      lease_mutex_(std::make_unique<std::mutex>()),
+      subtree_table_(std::make_unique<SubtreeTable>()) {}
+
+Site::~Site() = default;
+Site::Site(Site&&) noexcept = default;
+Site& Site::operator=(Site&&) noexcept = default;
+
+Site::ModuleShadow* Site::module_shadow() const {
+  for (auto it = t_module_sessions.rbegin(); it != t_module_sessions.rend();
+       ++it) {
+    if (it->site == this) return it->shadow.get();
+  }
+  return nullptr;
+}
+
+void Site::begin_shell_session() {
+  env.begin_session();
+  auto fresh = std::make_unique<ModuleShadow>();
+  fresh->loaded = loaded_modules();  // copy-on-begin: nested sessions stack
+  fresh->generation = module_generation();
+  t_module_sessions.push_back({this, std::move(fresh)});
+}
+
+void Site::end_shell_session() {
+  for (auto it = t_module_sessions.rbegin(); it != t_module_sessions.rend();
+       ++it) {
+    if (it->site == this) {
+      t_module_sessions.erase(std::next(it).base());
+      env.end_session();
+      return;
+    }
+  }
+}
+
+std::uint64_t Site::module_generation() const {
+  const ModuleShadow* s = module_shadow();
+  return s != nullptr ? s->generation : module_generation_;
+}
+
+const std::vector<std::string>& Site::loaded_modules() const {
+  const ModuleShadow* s = module_shadow();
+  return s != nullptr ? s->loaded : loaded_;
+}
+
+std::mutex& Site::subtree_mutex(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(subtree_table_->table_mutex);
+  const auto it = subtree_table_->mutexes.find(prefix);
+  if (it != subtree_table_->mutexes.end()) return it->second;
+  return subtree_table_->mutexes[std::string(prefix)];
+}
 
 std::string MpiStackInstall::slug() const {
   return std::string(mpi_impl_slug(impl)) + "-" + version.str() + "-" +
@@ -54,8 +121,13 @@ bool Site::load_module(std::string_view module_name) {
   for (const auto& [var, entry] : it->prepends) {
     env.prepend_to_list(var, entry);
   }
-  loaded_.push_back(it->name);
-  ++module_generation_;
+  if (ModuleShadow* s = module_shadow()) {
+    s->loaded.push_back(it->name);
+    ++s->generation;
+  } else {
+    loaded_.push_back(it->name);
+    ++module_generation_;
+  }
   return true;
 }
 
@@ -77,8 +149,13 @@ void Site::unload_all_modules() {
       env.set(var, support::join(entries, ":"));
     }
   }
-  loaded_.clear();
-  ++module_generation_;
+  if (ModuleShadow* s = module_shadow()) {
+    s->loaded.clear();
+    ++s->generation;
+  } else {
+    loaded_.clear();
+    ++module_generation_;
+  }
 }
 
 const MpiStackInstall* Site::find_stack(MpiImpl impl,
@@ -118,8 +195,9 @@ std::uint64_t Site::discovery_fingerprint() const {
   };
   mix(vfs.system_generation());
   mix(env.fingerprint());
-  mix(loaded_.size());
-  for (const auto& module_name : loaded_) mix(support::fnv1a(module_name));
+  const auto& loaded = loaded_modules();
+  mix(loaded.size());
+  for (const auto& module_name : loaded) mix(support::fnv1a(module_name));
   return h;
 }
 

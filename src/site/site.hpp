@@ -71,6 +71,9 @@ struct ModuleFile {
 class Site {
  public:
   Site();
+  ~Site();
+  Site(Site&&) noexcept;
+  Site& operator=(Site&&) noexcept;
 
   // --- identity & configured truth (written by provisioning, read by the
   // evaluation harness for ground-truth comparisons; FEAM never reads these)
@@ -109,8 +112,9 @@ class Site {
 
   // User-environment tool surface: what `module avail` / `softenv` print.
   std::vector<std::string> available_modules() const;
-  // What `module list` prints (currently loaded).
-  const std::vector<std::string>& loaded_modules() const { return loaded_; }
+  // What `module list` prints (currently loaded). Session-aware: inside a
+  // shell session the calling thread sees (and mutates) its private list.
+  const std::vector<std::string>& loaded_modules() const;
   // Applies the module's environment prepends; false if no such module.
   bool load_module(std::string_view name);
   void unload_all_modules();
@@ -128,10 +132,16 @@ class Site {
   // --- concurrency & caching support
   // Monotone counter covering every observable mutation of the site's
   // live state: VFS writes, environment edits, and module load/unload.
-  // Coarse by construction — any mutation anywhere bumps it.
+  // Coarse by construction — any mutation anywhere bumps it. Session-
+  // aware: inside a shell session the module/env halves come from the
+  // calling thread's shadows.
   std::uint64_t state_generation() const {
-    return vfs.generation() + env.generation() + module_generation_;
+    return vfs.generation() + env.generation() + module_generation();
   }
+
+  // The module half of state_generation(), from the calling thread's
+  // shell-session shadow when one is active.
+  std::uint64_t module_generation() const;
 
   // Narrow invalidation key covering exactly what environment discovery
   // reads: the system half of the VFS (module databases, /etc releases,
@@ -142,6 +152,16 @@ class Site {
   // original fingerprint, so the EDC memo keeps hitting across pairs.
   std::uint64_t discovery_fingerprint() const;
 
+  // --- thread-private shell sessions (use site::ShellSession, not raw)
+  // Brackets a session over the login shell: environment variables AND the
+  // loaded-module list both become a private copy for the calling thread.
+  // Module loads, LD_LIBRARY_PATH edits, and unload_all_modules inside the
+  // session never touch the base state other threads read — two workers
+  // can run mpiexec against the same site under different modules
+  // concurrently, like two real login sessions.
+  void begin_shell_session();
+  void end_shell_session();
+
   // Process-wide unique id assigned at construction. The lease layer
   // orders lock acquisition by it (lower id first) for deadlock freedom.
   std::uint64_t lease_id() const { return lease_id_; }
@@ -151,11 +171,31 @@ class Site {
   // value); the mutex object itself never moves.
   std::mutex& lease_mutex() const { return *lease_mutex_; }
 
+  // Lease mutex for one subtree of this site, created on first use and
+  // stable for the Site's lifetime. `prefix` is a path prefix (usually a
+  // per-job artifact root); two workers lease the same mutex iff they name
+  // the same prefix. site::SubtreeLeases acquires these in global
+  // (lease_id, prefix) order — see site/lease.hpp.
+  std::mutex& subtree_mutex(std::string_view prefix) const;
+
+  // Shadow of one shell session's module state (see Environment::Shadow
+  // for the variable half). Public only for the registry in the .cpp.
+  struct ModuleShadow {
+    std::vector<std::string> loaded;
+    std::uint64_t generation = 0;
+  };
+
  private:
+  ModuleShadow* module_shadow() const;
+
   std::vector<std::string> loaded_;
   std::uint64_t module_generation_ = 0;
   std::uint64_t lease_id_;
   std::unique_ptr<std::mutex> lease_mutex_;
+  // Subtree lease table: mutexes live in a node-stable map behind a
+  // unique_ptr (Site stays movable; the mutex objects never move).
+  struct SubtreeTable;
+  std::unique_ptr<SubtreeTable> subtree_table_;
 };
 
 }  // namespace feam::site

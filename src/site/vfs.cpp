@@ -18,7 +18,36 @@ std::vector<std::string> components(std::string_view path) {
 }
 }  // namespace
 
-Vfs::Vfs() : root_(std::make_unique<Node>()) {}
+Vfs::Vfs()
+    : root_(std::make_unique<Node>()),
+      tree_mutex_(std::make_unique<std::shared_mutex>()),
+      scratch_mutex_(std::make_unique<std::mutex>()) {}
+
+// Moves happen only during site construction, before any concurrency, so
+// plain relaxed loads of the counters are enough.
+Vfs::Vfs(Vfs&& other) noexcept
+    : root_(std::move(other.root_)),
+      tree_mutex_(std::move(other.tree_mutex_)),
+      generation_(other.generation_.load(std::memory_order_relaxed)),
+      system_generation_(
+          other.system_generation_.load(std::memory_order_relaxed)),
+      fault_(std::move(other.fault_)),
+      scratch_mutex_(std::move(other.scratch_mutex_)),
+      short_read_scratch_(std::move(other.short_read_scratch_)) {}
+
+Vfs& Vfs::operator=(Vfs&& other) noexcept {
+  root_ = std::move(other.root_);
+  tree_mutex_ = std::move(other.tree_mutex_);
+  generation_.store(other.generation_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  system_generation_.store(
+      other.system_generation_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  fault_ = std::move(other.fault_);
+  scratch_mutex_ = std::move(other.scratch_mutex_);
+  short_read_scratch_ = std::move(other.short_read_scratch_);
+  return *this;
+}
 
 bool Vfs::scratch_path(std::string_view path) {
   return support::starts_with(path, "/home/") || path == "/home" ||
@@ -26,9 +55,18 @@ bool Vfs::scratch_path(std::string_view path) {
 }
 
 std::uint64_t Vfs::bump_generations(std::string_view path) {
-  ++generation_;
-  if (!scratch_path(path)) ++system_generation_;
-  return generation_;
+  // Called with the exclusive tree lock held; release stores pair with the
+  // acquire loads in generation()/system_generation() so a stamp observed
+  // by a lock-free cache validation implies the write that produced it.
+  const std::uint64_t next =
+      generation_.load(std::memory_order_relaxed) + 1;
+  generation_.store(next, std::memory_order_release);
+  if (!scratch_path(path)) {
+    system_generation_.store(
+        system_generation_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_release);
+  }
+  return next;
 }
 
 std::string Vfs::basename(std::string_view path) {
@@ -109,6 +147,7 @@ Vfs::Node* Vfs::ensure_parent(std::string_view path) {
 }
 
 bool Vfs::mkdirs(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
   Node* parent = ensure_parent(join(path, "x"));
   if (parent == nullptr) return false;
   bump_generations(path);
@@ -116,6 +155,7 @@ bool Vfs::mkdirs(std::string_view path) {
 }
 
 bool Vfs::write_file(std::string_view path, support::Bytes content) {
+  std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
   if (fault_ != nullptr && fault_->enabled()) {
     switch (fault_->decide_write(path)) {
       case FaultKind::kEio:
@@ -163,6 +203,7 @@ bool Vfs::write_file(std::string_view path, std::string_view text) {
 }
 
 bool Vfs::symlink(std::string_view path, std::string_view target) {
+  std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
   Node* parent = ensure_parent(path);
   if (parent == nullptr) return false;
   auto& child = parent->children[basename(path)];
@@ -174,6 +215,7 @@ bool Vfs::symlink(std::string_view path, std::string_view target) {
 }
 
 bool Vfs::remove(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
   Node* parent = walk_mut(dirname(path));
   if (parent == nullptr || parent->kind != Node::Kind::kDir) return false;
   if (parent->children.erase(basename(path)) == 0) return false;
@@ -182,25 +224,30 @@ bool Vfs::remove(std::string_view path) {
 }
 
 bool Vfs::exists(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   return walk(path, /*follow_terminal=*/true) != nullptr;
 }
 
 bool Vfs::is_dir(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   const Node* n = walk(path, true);
   return n != nullptr && n->kind == Node::Kind::kDir;
 }
 
 bool Vfs::is_file(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   const Node* n = walk(path, true);
   return n != nullptr && n->kind == Node::Kind::kFile;
 }
 
 bool Vfs::is_symlink(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   const Node* n = walk(path, /*follow_terminal=*/false);
   return n != nullptr && n->kind == Node::Kind::kSymlink;
 }
 
 const support::Bytes* Vfs::read(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   const Node* n = walk(path, true);
   if (n == nullptr || n->kind != Node::Kind::kFile) return nullptr;
   if (fault_ != nullptr && fault_->enabled()) {
@@ -210,6 +257,9 @@ const support::Bytes* Vfs::read(std::string_view path) const {
         return nullptr;
       case FaultKind::kShortRead: {
         const std::size_t keep = fault_->short_read_length(n->content.size());
+        // Several readers may fault concurrently under the shared tree
+        // lock; the scratch deque gets its own guard.
+        std::lock_guard<std::mutex> scratch_lock(*scratch_mutex_);
         short_read_scratch_.emplace_back(
             n->content.begin(),
             n->content.begin() + static_cast<std::ptrdiff_t>(keep));
@@ -223,12 +273,14 @@ const support::Bytes* Vfs::read(std::string_view path) const {
 }
 
 std::optional<std::uint64_t> Vfs::file_version(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   const Node* n = walk(path, true);
   if (n == nullptr || n->kind != Node::Kind::kFile) return std::nullopt;
   return n->version;
 }
 
 std::optional<std::string> Vfs::resolve(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   const Node* target = walk(path, true);
   if (target == nullptr) return std::nullopt;
   // Re-derive the canonical path by chasing the terminal link chain
@@ -248,6 +300,7 @@ std::optional<std::string> Vfs::resolve(std::string_view path) const {
 }
 
 std::vector<std::string> Vfs::list(std::string_view dir) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   std::vector<std::string> out;
   const Node* n = walk(dir, true);
   if (n == nullptr || n->kind != Node::Kind::kDir) return out;
@@ -273,6 +326,7 @@ void Vfs::find_impl(const Node& dir, const std::string& prefix,
 std::vector<std::string> Vfs::find(
     std::string_view root,
     const std::function<bool(std::string_view)>& name_predicate) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   std::vector<std::string> out;
   const Node* n = walk(root, true);
   if (n == nullptr || n->kind != Node::Kind::kDir) return out;
@@ -283,6 +337,7 @@ std::vector<std::string> Vfs::find(
 }
 
 std::vector<std::string> Vfs::locate(std::string_view needle) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
   std::vector<std::string> out;
   find_impl(*root_, "/", {}, true, needle, out);
   std::sort(out.begin(), out.end());

@@ -8,12 +8,15 @@
 // (never produced by the toolchain).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +29,10 @@ namespace feam::site {
 class Vfs {
  public:
   Vfs();
+  // Movable so Sites can be returned by value during construction; moves
+  // must not race with any other access (they only happen pre-concurrency).
+  Vfs(Vfs&& other) noexcept;
+  Vfs& operator=(Vfs&& other) noexcept;
 
   // --- mutation
   // Creates all intermediate directories; returns false if a path component
@@ -42,6 +49,13 @@ class Vfs {
   bool remove(std::string_view path);
 
   // --- query (all follow symlinks unless noted)
+  //
+  // Thread safety: the tree is internally synchronized (readers share,
+  // mutators are exclusive), so any mix of concurrent calls is race-free.
+  // The pointer read() returns stays valid until the *same path* is
+  // rewritten or removed — callers coordinate that through subtree leases
+  // (each job mutates only its own scratch subtree; system paths are
+  // read-only while migrations run), not through the Vfs itself.
   bool exists(std::string_view path) const;
   bool is_dir(std::string_view path) const;
   bool is_file(std::string_view path) const;
@@ -71,14 +85,18 @@ class Vfs {
 
   // Monotone counter bumped on every successful mutation (mkdirs,
   // write_file, symlink, remove). Cache keys use it to detect staleness.
-  std::uint64_t generation() const { return generation_; }
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   // Like generation(), but only counting mutations of the *system* half of
   // the tree — everything outside the scratch prefixes (/home, /tmp).
   // Discovery-style scans (module databases, /etc releases, installed
   // stacks under /opt and /usr) read only system paths, so their memo keys
   // can ignore the constant churn of per-migration scratch files.
-  std::uint64_t system_generation() const { return system_generation_; }
+  std::uint64_t system_generation() const {
+    return system_generation_.load(std::memory_order_acquire);
+  }
 
   // True for paths under the scratch prefixes: user homes and /tmp. These
   // hold migrated binaries, resolution copies, and hello-world probes —
@@ -136,11 +154,18 @@ class Vfs {
                  std::vector<std::string>& out) const;
 
   std::unique_ptr<Node> root_;
-  std::uint64_t generation_ = 0;
-  std::uint64_t system_generation_ = 0;
+  // Internal synchronization: queries take the shared side, mutators the
+  // exclusive side. Behind a unique_ptr so the Vfs stays movable; the
+  // mutex object itself never moves. Generation counters are atomics so
+  // the hot cache-validation reads need no lock at all.
+  std::unique_ptr<std::shared_mutex> tree_mutex_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> system_generation_{0};
   std::shared_ptr<FaultInjector> fault_;
   // Short-read results live here so read() can keep returning a stable
-  // pointer; a deque never relocates existing elements.
+  // pointer; a deque never relocates existing elements. Guarded by its
+  // own mutex: read() holds only the shared tree lock when faulting.
+  std::unique_ptr<std::mutex> scratch_mutex_;
   mutable std::deque<support::Bytes> short_read_scratch_;
 };
 

@@ -166,5 +166,176 @@ TEST(SiteState, FileVersionFollowsSymlinks) {
   EXPECT_NE(vfs.file_version("/tmp/real_a.so"), vfs.file_version("/tmp/real_b.so"));
 }
 
+TEST(SubtreeLeases, SamePrefixMutuallyExcludes) {
+  auto s = toolchain::make_site("india");
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        SubtreeLeases lease({{s.get(), "/home/user/job"}});
+        if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+          overlapped.store(true, std::memory_order_relaxed);
+        }
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(SubtreeLeases, DisjointPrefixesOnOneSiteDoNotExclude) {
+  // The point of subtree granularity: a worker holding one prefix never
+  // blocks a worker on a different prefix of the same site.
+  auto s = toolchain::make_site("india");
+  std::atomic<bool> holder_ready{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    SubtreeLeases lease({{s.get(), "/home/user/job_a"}});
+    holder_ready.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!holder_ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  {
+    // Must acquire immediately even though job_a is held; if subtree
+    // leases shared one mutex this would deadlock (holder never releases
+    // until we set the flag below).
+    SubtreeLeases lease({{s.get(), "/home/user/job_b"}});
+  }
+  release.store(true, std::memory_order_release);
+  holder.join();
+}
+
+TEST(SubtreeLeases, OppositeArgumentOrdersDoNotDeadlock) {
+  // Two threads repeatedly lock the same two subtrees (across two sites)
+  // in opposite argument order; the global (lease_id, prefix) sort makes
+  // the acquisition order identical in both.
+  auto a = toolchain::make_site("india");
+  auto b = toolchain::make_site("fir");
+  std::atomic<int> done{0};
+  std::thread t1([&] {
+    for (int i = 0; i < 500; ++i) {
+      SubtreeLeases lease(
+          {{a.get(), "/home/user/x"}, {b.get(), "/home/user/y"}});
+    }
+    done.fetch_add(1);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 500; ++i) {
+      SubtreeLeases lease(
+          {{b.get(), "/home/user/y"}, {a.get(), "/home/user/x"}});
+    }
+    done.fetch_add(1);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(SubtreeLeases, DuplicateSubtreesCollapseToOneAcquisition) {
+  // A duplicated entry must not self-deadlock on the second acquisition
+  // of the same (non-recursive) mutex.
+  auto s = toolchain::make_site("india");
+  SubtreeLeases lease({{s.get(), "/home/user/job"},
+                       {s.get(), "/home/user/job"},
+                       {s.get(), "/home/user/job"}});
+}
+
+TEST(ShellSession, EnvironmentEditsStayPrivateToTheSessionThread) {
+  auto s = toolchain::make_site("india");
+  std::atomic<bool> session_ready{false};
+  std::atomic<bool> base_checked{false};
+  std::thread worker([&] {
+    ShellSession shell(*s);
+    s->env.set("FEAM_SESSION_VAR", "private");
+    EXPECT_EQ(s->env.get("FEAM_SESSION_VAR"), "private");
+    session_ready.store(true, std::memory_order_release);
+    while (!base_checked.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!session_ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // This thread has no session on the site, so it reads base state — the
+  // worker's edit must be invisible while its session is open...
+  EXPECT_FALSE(s->env.has("FEAM_SESSION_VAR"));
+  base_checked.store(true, std::memory_order_release);
+  worker.join();
+  // ...and gone for good once the session ends.
+  EXPECT_FALSE(s->env.has("FEAM_SESSION_VAR"));
+}
+
+TEST(ShellSession, ModuleLoadsStayPrivateAndFingerprintIsRestored) {
+  auto s = toolchain::make_site("india");
+  const auto modules = s->available_modules();
+  ASSERT_FALSE(modules.empty());
+  const std::uint64_t base_fingerprint = s->discovery_fingerprint();
+  std::uint64_t inside_fingerprint = 0;
+  {
+    ShellSession shell(*s);
+    ASSERT_TRUE(s->load_module(modules.front()));
+    EXPECT_EQ(s->loaded_modules().size(), 1u);
+    inside_fingerprint = s->discovery_fingerprint();
+  }
+  // The load changed what discovery would see inside the session, but the
+  // base site (and hence the EDC memo key) is untouched by the session.
+  EXPECT_NE(inside_fingerprint, base_fingerprint);
+  EXPECT_TRUE(s->loaded_modules().empty());
+  EXPECT_EQ(s->discovery_fingerprint(), base_fingerprint);
+}
+
+TEST(ShellSession, ConcurrentSessionsOnOneSiteSeeTheirOwnModules) {
+  auto s = toolchain::make_site("india");
+  const auto modules = s->available_modules();
+  ASSERT_GE(modules.size(), 2u);
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string mine = modules[static_cast<std::size_t>(t)];
+      for (int i = 0; i < 200; ++i) {
+        ShellSession shell(*s);
+        if (!s->load_module(mine)) {
+          mismatch.store(true);
+          continue;
+        }
+        const auto& loaded = s->loaded_modules();
+        if (loaded.size() != 1 || loaded.front() != mine) {
+          mismatch.store(true);
+        }
+        s->unload_all_modules();
+        if (!s->loaded_modules().empty()) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_TRUE(s->loaded_modules().empty());
+}
+
+TEST(ShellSession, NestedSessionsStackLikeSubshells) {
+  auto s = toolchain::make_site("india");
+  s->env.set("FEAM_OUTER", "base");
+  {
+    ShellSession outer(*s);
+    s->env.set("FEAM_OUTER", "outer");
+    {
+      ShellSession inner(*s);
+      EXPECT_EQ(s->env.get("FEAM_OUTER"), "outer");  // copy-on-begin
+      s->env.set("FEAM_OUTER", "inner");
+      EXPECT_EQ(s->env.get("FEAM_OUTER"), "inner");
+    }
+    EXPECT_EQ(s->env.get("FEAM_OUTER"), "outer");  // inner edits discarded
+  }
+  EXPECT_EQ(s->env.get("FEAM_OUTER"), "base");
+}
+
 }  // namespace
 }  // namespace feam::site
