@@ -11,7 +11,13 @@ CLI with --run-record-out, then:
     matrix, the bench record, and the HTML dashboard,
   * perturbs the baseline and confirms the gate then fails non-zero,
   * confirms `feam report` on an empty or missing records directory
-    exits non-zero with a diagnostic naming the directory.
+    exits non-zero with a diagnostic naming the directory,
+  * drives `feam fleet` at full scale (500 sites x 100 workloads, drift
+    on) and checks the rendered matrix dimensions cell-for-cell against
+    the feam.fleet_manifest/1 document, then time-bounds the `feam
+    report` aggregation over the 50000-record stream so a quadratic
+    regression in ingestion or rendering fails loudly instead of
+    hanging CI.
 
 Usage: check_report.py /path/to/feam [--write-baseline FILE]
                                      [--keep-bench FILE]
@@ -59,9 +65,10 @@ WORKLOADS = [
 DETERMINANT_KEYS = ["isa", "c_library", "mpi_stack", "shared_libraries"]
 
 
-def run(cmd, ok_codes=(0,)):
+def run(cmd, ok_codes=(0,), timeout=120):
     result = subprocess.run(
-        [str(c) for c in cmd], capture_output=True, text=True, timeout=120)
+        [str(c) for c in cmd], capture_output=True, text=True,
+        timeout=timeout)
     if result.returncode not in ok_codes:
         sys.stdout.write(result.stdout)
         sys.stderr.write(result.stderr)
@@ -157,6 +164,80 @@ def write_baseline(metrics, out_path):
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     print(f"baseline written to {out_path} ({len(spec)} metrics)")
+
+
+FLEET_SITES = 500
+FLEET_WORKLOADS = 100
+# Wall-clock ceiling for aggregating the 50000-record fleet stream.
+# Measured ~1s on a single-core container; a quadratic regression in
+# ingestion or matrix rendering blows well past this.
+FLEET_REPORT_BUDGET_S = 60
+
+
+def check_fleet(feam, tmp):
+    """Full-scale fleet: matrix dims must match the manifest exactly."""
+    import time
+
+    fleet_dir = tmp / "fleet_records"
+    fleet_dir.mkdir()
+    manifest_path = tmp / "fleet_manifest.json"
+    matrix_path = tmp / "fleet_matrix.txt"
+    run([feam, "fleet", "--sites", FLEET_SITES,
+         "--workloads", FLEET_WORKLOADS, "--drift", "0.25", "--seed", "42",
+         "--jobs", "4", "--manifest-out", manifest_path,
+         "--matrix-out", matrix_path,
+         "--records-out", fleet_dir / "records.jsonl"], timeout=420)
+
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("schema") != "feam.fleet_manifest/1":
+        sys.exit(f"FAIL: fleet manifest schema {manifest.get('schema')!r}")
+    if manifest.get("site_count") != FLEET_SITES or \
+            len(manifest.get("sites", [])) != FLEET_SITES:
+        sys.exit(f"FAIL: manifest sites {manifest.get('site_count')} / "
+                 f"{len(manifest.get('sites', []))} != {FLEET_SITES}")
+    if manifest.get("workload_count") != FLEET_WORKLOADS or \
+            len(manifest.get("workloads", [])) != FLEET_WORKLOADS:
+        sys.exit("FAIL: manifest workload count mismatch")
+
+    # The rendered matrix must have exactly one column per manifest site
+    # and one row per manifest workload — no dropped, duplicated, or
+    # phantom axes at scale.
+    cells = parse_matrix(matrix_path.read_text())
+    matrix_sites = {site for _, site in cells}
+    matrix_rows = {binary for binary, _ in cells}
+    manifest_sites = {s["name"] for s in manifest["sites"]}
+    manifest_rows = {w["name"] for w in manifest["workloads"]}
+    if matrix_sites != manifest_sites:
+        sys.exit(f"FAIL: matrix has {len(matrix_sites)} site columns, "
+                 f"manifest has {len(manifest_sites)}; symmetric diff "
+                 f"{sorted(matrix_sites ^ manifest_sites)[:5]}")
+    if matrix_rows != manifest_rows:
+        sys.exit(f"FAIL: matrix has {len(matrix_rows)} workload rows, "
+                 f"manifest has {len(manifest_rows)}; symmetric diff "
+                 f"{sorted(matrix_rows ^ manifest_rows)[:5]}")
+    if len(cells) != FLEET_SITES * FLEET_WORKLOADS:
+        sys.exit(f"FAIL: matrix has {len(cells)} cells, expected "
+                 f"{FLEET_SITES * FLEET_WORKLOADS}")
+
+    # Aggregating the record stream must stay linear: bound both the
+    # subprocess (hard kill) and the measured wall time (soft budget).
+    started = time.monotonic()
+    report = run([feam, "report", "--in", fleet_dir],
+                 timeout=2 * FLEET_REPORT_BUDGET_S)
+    elapsed = time.monotonic() - started
+    expect = (f"{FLEET_SITES * FLEET_WORKLOADS} records, "
+              f"{FLEET_SITES * FLEET_WORKLOADS} predictions")
+    if expect not in report.stdout:
+        sys.exit(f"FAIL: fleet report summary missing {expect!r}")
+    if elapsed > FLEET_REPORT_BUDGET_S:
+        sys.exit(f"FAIL: fleet report took {elapsed:.1f}s "
+                 f"(budget {FLEET_REPORT_BUDGET_S}s)")
+    report_cells = parse_matrix(report.stdout)
+    if len(report_cells) != len(cells):
+        sys.exit(f"FAIL: report re-renders {len(report_cells)} cells, "
+                 f"fleet wrote {len(cells)}")
+    print(f"fleet checked: {FLEET_SITES}x{FLEET_WORKLOADS} matrix matches "
+          f"its manifest, report aggregated 50000 records in {elapsed:.1f}s")
 
 
 def main():
@@ -323,9 +404,12 @@ def main():
                 "not a readable records directory" not in res.stderr:
             sys.exit(f"FAIL: missing-dir diagnostic unhelpful:\n{res.stderr}")
 
+        check_fleet(feam, tmp)
+
         print(f"OK: {n_total} records validated, gate passes on the real "
               f"baseline, fails (exit 2) on the perturbed one, empty/"
-              f"missing record dirs fail with clear diagnostics")
+              f"missing record dirs fail with clear diagnostics, and the "
+              f"full-scale fleet matrix agrees with its manifest")
 
 
 if __name__ == "__main__":

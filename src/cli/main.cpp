@@ -17,11 +17,16 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string_view>
 
 #include "cli/options.hpp"
 #include "cli/top.hpp"
+#include "eval/fleet.hpp"
 #include "feam/bundle_archive.hpp"
+#include "fleet/generate.hpp"
+#include "fleet/manifest.hpp"
+#include "fleet/spec.hpp"
 #include "feam/phases.hpp"
 #include "feam/report.hpp"
 #include "feam/survey.hpp"
@@ -200,6 +205,7 @@ class ObsSession {
       case Command::kTarget: return "target " + opts.binary;
       case Command::kSurvey: return "survey " + opts.binary;
       case Command::kExec: return "exec " + opts.binary;
+      case Command::kFleet: return "fleet";
       case Command::kReport: return "report " + opts.report_in;
       case Command::kProfile: return "profile " + opts.profile_in;
       default: return "feam";
@@ -546,6 +552,94 @@ int survey(const Options& opts, report::RunContext& ctx) {
   return report.ready_count() > 0 ? 0 : 2;
 }
 
+// True when a .jsonl file is a run-record stream (one feam.run_record/1
+// document per line) rather than an event log: the schema field on the
+// first non-empty line decides.
+bool looks_like_record_jsonl(const std::string& text) {
+  const auto eol = text.find('\n');
+  const std::string first =
+      eol == std::string::npos ? text : text.substr(0, eol);
+  if (first.empty()) return false;
+  const auto doc = support::Json::parse(first);
+  return doc && doc->get_string("schema") == report::kRunRecordSchema;
+}
+
+// `feam fleet`: generate a procedural fleet from a spec + seed, run the
+// full readiness survey over it, and export the manifest / records /
+// matrix artifacts. Everything printed and written is a pure function of
+// (spec, seed, overrides) — reruns reproduce it byte for byte.
+int fleet_command(const Options& opts, report::RunContext& ctx) {
+  fleet::FleetSpec spec;
+  if (!opts.fleet_spec.empty()) {
+    const auto bytes = read_host_file(opts.fleet_spec);
+    if (!bytes) {
+      std::fprintf(stderr, "feam: cannot read %s\n", opts.fleet_spec.c_str());
+      return 1;
+    }
+    auto parsed =
+        fleet::parse_fleet_spec(std::string(bytes->begin(), bytes->end()));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "feam: %s: %s\n", opts.fleet_spec.c_str(),
+                   parsed.error().c_str());
+      return 1;
+    }
+    spec = std::move(parsed).take();
+  }
+  if (opts.fleet_sites > 0) spec.sites = opts.fleet_sites;
+  if (opts.fleet_workloads > 0) spec.workloads = opts.fleet_workloads;
+  if (opts.fleet_drift >= 0.0) spec.drift_rate = opts.fleet_drift;
+  ctx.binary = spec.name;
+
+  fleet::Fleet fleet = fleet::generate_fleet(spec, opts.fleet_seed);
+  ctx.source_site = fleet.anchor().name;
+  std::printf("fleet %s: %zu sites, %zu workloads (seed %llu)\n",
+              spec.name.c_str(), fleet.sites.size(), fleet.workloads.size(),
+              static_cast<unsigned long long>(opts.fleet_seed));
+
+  if (!opts.manifest_out.empty()) {
+    const auto manifest = fleet::fleet_manifest(fleet);
+    if (!write_host_file(opts.manifest_out, manifest.dump(2) + "\n")) {
+      std::fprintf(stderr, "feam: cannot write %s\n",
+                   opts.manifest_out.c_str());
+      return 1;
+    }
+    std::printf("fleet manifest written to %s\n", opts.manifest_out.c_str());
+  }
+
+  eval::FleetRunOptions run_opts;
+  run_opts.jobs = opts.jobs;
+  const eval::FleetRunResult result = eval::run_fleet(fleet, run_opts);
+
+  const std::string matrix = result.readiness_matrix();
+  std::printf("%s", matrix.c_str());
+  std::printf(
+      "fleet: %zu of %zu pairs ready, %zu compile failure%s, %zu drift op%s\n",
+      result.ready_pairs, result.pairs(), result.compile_failures,
+      result.compile_failures == 1 ? "" : "s", result.drift_log.size(),
+      result.drift_log.size() == 1 ? "" : "s");
+  std::printf("caches: EDC %.1f%% hit, BDC %.1f%% hit, resolver %.1f%% hit\n",
+              result.caches.edc_hit_rate() * 100.0,
+              result.caches.bdc_hit_rate() * 100.0,
+              result.caches.resolver_hit_rate() * 100.0);
+
+  if (!opts.records_out.empty()) {
+    if (!write_host_file(opts.records_out, result.records_jsonl())) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.records_out.c_str());
+      return 1;
+    }
+    std::printf("%zu run records written to %s\n", result.pairs(),
+                opts.records_out.c_str());
+  }
+  if (!opts.matrix_out.empty()) {
+    if (!write_host_file(opts.matrix_out, matrix)) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.matrix_out.c_str());
+      return 1;
+    }
+    std::printf("readiness matrix written to %s\n", opts.matrix_out.c_str());
+  }
+  return result.compile_failures == 0 ? 0 : 1;
+}
+
 // `feam report`: ingest a directory of run records and event logs, print
 // the aggregate, and optionally write the HTML dashboard, apply the
 // regression gate (exit 2 on regression), and record the bench output.
@@ -584,14 +678,35 @@ int report_command(const Options& opts) {
     }
     std::string text(bytes->begin(), bytes->end());
     if (ext == ".jsonl") {
-      // --timeseries-out and --events-out share the extension; the schema
-      // field on the first line tells them apart.
+      // --timeseries-out, --events-out, and `feam fleet --records-out`
+      // share the extension; the schema field on the first line tells
+      // them apart.
       if (report::looks_like_timeseries(text)) {
         streams.push_back(report::parse_timeseries(text));
         for (const auto& issue : streams.back().consistency_issues()) {
           std::fprintf(stderr, "feam: %s: %s\n", path.string().c_str(),
                        issue.c_str());
         }
+      } else if (looks_like_record_jsonl(text)) {
+        // A fleet's 50k-pair record stream ships as one JSONL file, not
+        // 50k *.json files; ingest it line by line.
+        std::size_t line_no = 0;
+        bool bad = false;
+        for (const auto& line : support::split(text, '\n')) {
+          ++line_no;
+          if (line.empty()) continue;
+          const auto doc = support::Json::parse(line);
+          auto record = doc ? report::RunRecord::from_json(*doc)
+                            : std::nullopt;
+          if (!record) {
+            std::fprintf(stderr, "feam: %s:%zu: malformed run record\n",
+                         path.string().c_str(), line_no);
+            bad = true;
+            break;
+          }
+          records.push_back(std::move(*record));
+        }
+        if (bad) return 1;
       } else {
         event_logs.push_back(std::move(text));
       }
@@ -919,6 +1034,10 @@ int main(int argc, char** argv) {
       case Command::kExec:
         ctx.command = "exec";
         rc = exec_command(*opts, ctx);
+        break;
+      case Command::kFleet:
+        ctx.command = "fleet";
+        rc = fleet_command(*opts, ctx);
         break;
       case Command::kReport:
         ctx.command = "report";

@@ -34,6 +34,20 @@ usage:
       Predict, apply FEAM's generated configuration script, and execute the
       migrated binary at site S — the full automated workflow in one step.
 
+  feam fleet [--fleet-spec SPEC.json] [--seed N] [--sites N] [--workloads N]
+             [--drift R] [--jobs N] [--manifest-out FILE] [--matrix-out FILE]
+             [--records-out FILE]
+      Generate a procedural fleet of sites and synthetic workloads from a
+      feam.fleet_spec/1 document (defaults apply without --fleet-spec) and
+      run the full N-site x M-workload readiness survey over it. --sites,
+      --workloads, and --drift override the spec; everything downstream is
+      a pure function of (spec, seed): the same inputs reproduce the
+      manifest, the records, and the matrix byte for byte at any --jobs.
+      --manifest-out writes the feam.fleet_manifest/1 description of the
+      generated fleet, --records-out one feam.run_record/1 JSON line per
+      (workload, site) pair (ingestible by `feam report`), --matrix-out
+      the rendered readiness matrix.
+
   feam report --in DIR [--html FILE] [--baseline FILE [--gate]]
               [--trend-baseline FILE] [--bench-out FILE] [--pr N]
       Aggregate every *.json run record (written by --run-record-out) and
@@ -131,6 +145,8 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     opts.command = Command::kSurvey;
   } else if (command == "exec") {
     opts.command = Command::kExec;
+  } else if (command == "fleet") {
+    opts.command = Command::kFleet;
   } else if (command == "report") {
     opts.command = Command::kReport;
   } else if (command == "profile") {
@@ -215,6 +231,53 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       else if (flag == "--refresh") opts.top_refresh_ms = parsed;
       else opts.top_idle_timeout_ms = parsed;
     }
+    else if (flag == "--fleet-spec") opts.fleet_spec = *v;
+    else if (flag == "--manifest-out") opts.manifest_out = *v;
+    else if (flag == "--matrix-out") opts.matrix_out = *v;
+    else if (flag == "--records-out") opts.records_out = *v;
+    else if (flag == "--seed") {
+      // The master seed is a full 64-bit value; accept anything stoull
+      // takes but reject trailing garbage and negatives.
+      std::size_t consumed = 0;
+      try {
+        opts.fleet_seed = std::stoull(*v, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != v->size() || v->empty() || (*v)[0] == '-') {
+        error = "--seed must be an unsigned 64-bit integer (got " + *v + ")";
+        return std::nullopt;
+      }
+    }
+    else if (flag == "--sites" || flag == "--workloads") {
+      int parsed = 0;
+      std::size_t consumed = 0;
+      try {
+        parsed = std::stoi(*v, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != v->size() || v->empty() || parsed < 1) {
+        error = flag + " must be a positive integer (got " + *v + ")";
+        return std::nullopt;
+      }
+      if (flag == "--sites") opts.fleet_sites = parsed;
+      else opts.fleet_workloads = parsed;
+    }
+    else if (flag == "--drift") {
+      double parsed = 0.0;
+      std::size_t consumed = 0;
+      try {
+        parsed = std::stod(*v, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != v->size() || v->empty() || parsed < 0.0) {
+        error = "--drift must be a non-negative rate (got " + *v + ")";
+        return std::nullopt;
+      }
+      opts.fleet_drift = parsed;
+    }
     else if (flag == "--trend-baseline") opts.trend_baseline = *v;
     else if (flag == "--in") {
       // Shared by `report` (records directory) and `profile` (one file).
@@ -294,6 +357,10 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
       ok = require(!opts.site.empty() || !opts.site_file.empty(),
                    "exec: --site or --site-file is required") &&
            require(!opts.binary.empty(), "exec: --binary is required");
+      break;
+    case Command::kFleet:
+      // Everything is optional: the default spec and seed already name a
+      // valid (and deterministic) fleet.
       break;
     case Command::kReport:
       ok = require(!opts.report_in.empty(), "report: --in is required") &&

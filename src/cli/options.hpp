@@ -11,6 +11,7 @@
 //                [--script HOSTPATH] [--report HOSTPATH]
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,8 +19,8 @@
 namespace feam::cli {
 
 enum class Command {
-  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kReport, kProfile,
-  kTop, kHelp
+  kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kFleet, kReport,
+  kProfile, kTop, kHelp
 };
 
 struct Options {
@@ -52,8 +53,18 @@ struct Options {
   bool gate = false;        // apply the baseline(s) as a regression gate
   std::string bench_out;    // feam.bench/1 trajectory record output path
   int pr_number = 0;        // --pr N, recorded in the bench output
-  // `feam survey`: worker threads assessing sites concurrently.
+  // `feam survey` / `feam fleet`: worker threads assessing sites
+  // concurrently.
   int jobs = 1;
+  // `feam fleet` (procedural site/workload fleet generator):
+  std::string fleet_spec;   // feam.fleet_spec/1 JSON file (defaults apply)
+  std::uint64_t fleet_seed = 42;  // --seed N, the fleet's master seed
+  int fleet_sites = 0;      // --sites N override (0 = use spec)
+  int fleet_workloads = 0;  // --workloads N override (0 = use spec)
+  double fleet_drift = -1.0;  // --drift R override (< 0 = use spec)
+  std::string manifest_out;  // feam.fleet_manifest/1 JSON output path
+  std::string matrix_out;    // rendered readiness-matrix text output path
+  std::string records_out;   // feam.run_record/1 JSONL output path
   // `feam profile` (post-processing one trace/run-record file):
   std::string profile_in;   // --trace-out or --run-record-out file to ingest
   std::string folded_out;   // collapsed-stack flamegraph text output path

@@ -1,0 +1,161 @@
+#include "eval/fleet.hpp"
+
+#include <iterator>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "feam/caches.hpp"
+#include "feam/survey.hpp"
+#include "report/aggregate.hpp"
+#include "site/lease.hpp"
+#include "toolchain/linker.hpp"
+
+namespace feam::eval {
+
+namespace {
+
+std::string module_name_of(const site::MpiStackInstall& stack) {
+  return std::string(site::mpi_impl_slug(stack.impl)) + "/" +
+         stack.version.str() + "-" + site::compiler_slug(stack.compiler);
+}
+
+report::RunRecord pair_record(const std::string& source_site,
+                              const std::string& binary,
+                              const std::string& target_site) {
+  report::RunRecord record;
+  record.command = "fleet";
+  record.binary = binary;
+  record.source_site = source_site;
+  record.target_site = target_site;
+  record.mode = "extended";
+  return record;
+}
+
+void fill_from_entry(report::RunRecord& record, const SurveyEntry& entry) {
+  record.has_prediction = entry.blocking_determinant != "error";
+  record.exit_code = record.has_prediction ? 0 : 1;
+  record.ready = entry.ready;
+  const Prediction& p = entry.prediction;
+  for (const auto& det : p.determinants) {
+    record.determinants.push_back({report::determinant_key(det.kind),
+                                   det.evaluated, det.compatible, det.detail});
+  }
+  record.missing_libraries = p.missing_libraries.size();
+  record.resolved_libraries = p.resolved_libraries.size();
+  record.unresolved_libraries = p.unresolved_libraries.size();
+}
+
+}  // namespace
+
+std::string FleetRunResult::records_jsonl() const {
+  std::string out;
+  for (const auto& record : records) {
+    out += record.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FleetRunResult::readiness_matrix() const {
+  std::vector<report::RunRecord> copy = records;
+  const report::Aggregate aggregate =
+      report::aggregate_records(std::move(copy));
+  return report::render_readiness_matrix(aggregate);
+}
+
+FleetRunResult run_fleet(fleet::Fleet& fleet, const FleetRunOptions& options) {
+  FleetRunResult result;
+  std::optional<MigrationCaches> caches;
+  if (options.use_caches) caches.emplace();
+  MigrationCaches* cache_ptr = caches ? &*caches : nullptr;
+
+  std::vector<site::Site*> sites;
+  sites.reserve(fleet.sites.size());
+  for (const auto& s : fleet.sites) sites.push_back(s.get());
+
+  site::Site& anchor = fleet.anchor();
+  const FeamConfig config{};
+  result.records.reserve(fleet.workloads.size() * fleet.sites.size());
+
+  for (std::size_t w = 0; w < fleet.workloads.size(); ++w) {
+    const auto& workload = fleet.workloads[w];
+    const auto& stack =
+        anchor.stacks[static_cast<std::size_t>(fleet.build_stack[w])];
+    const std::string path = "/home/user/apps/" + workload.program.name;
+    const auto compiled =
+        toolchain::compile_mpi_program(anchor, workload.program, stack, path);
+    if (!compiled.ok()) {
+      // Keep the matrix rectangular: a build failure shows up as a full
+      // row of failed records, never as a silently shorter matrix.
+      ++result.compile_failures;
+      for (const site::Site* s : sites) {
+        report::RunRecord record =
+            pair_record(anchor.name, workload.program.name, s->name);
+        record.exit_code = 1;
+        result.records.push_back(std::move(record));
+      }
+      continue;
+    }
+
+    // Source phase in the guaranteed environment: the anchor shell with
+    // the build stack's module loaded, kept private to this sweep.
+    std::optional<SourcePhaseOutput> source;
+    {
+      site::ShellSession shell(anchor);
+      anchor.unload_all_modules();
+      anchor.load_module(module_name_of(stack));
+      auto phase = run_source_phase(anchor, path, config, cache_ptr);
+      if (phase.ok()) source.emplace(std::move(phase).take());
+    }
+
+    const support::Bytes* data = anchor.vfs.read(path);
+    const support::Bytes binary_bytes =
+        data != nullptr ? *data : support::Bytes{};
+    SurveyOptions survey_options;
+    survey_options.jobs = options.jobs;
+    survey_options.caches = cache_ptr;
+    const SurveyReport survey =
+        survey_sites(sites, workload.program.name, binary_bytes,
+                     source ? &*source : nullptr, config, survey_options);
+    anchor.vfs.remove(path);
+
+    // The survey ranks entries for human output; records go back to fleet
+    // input order so the matrix is position-stable.
+    std::map<std::string_view, const SurveyEntry*> by_site;
+    for (const auto& entry : survey.entries) by_site[entry.site_name] = &entry;
+    for (const site::Site* s : sites) {
+      report::RunRecord record =
+          pair_record(anchor.name, workload.program.name, s->name);
+      if (const auto it = by_site.find(s->name); it != by_site.end()) {
+        fill_from_entry(record, *it->second);
+      } else {
+        record.exit_code = 1;
+      }
+      if (record.ready) ++result.ready_pairs;
+      result.records.push_back(std::move(record));
+    }
+
+    // Rolling upgrades land between sweeps — a sequential barrier point,
+    // so the drift schedule is independent of the survey's job count.
+    if (options.drift && fleet.spec.drift_rate > 0 &&
+        w + 1 < fleet.workloads.size()) {
+      auto ops = fleet::apply_drift_round(fleet, static_cast<int>(w));
+      result.drift_log.insert(result.drift_log.end(),
+                              std::make_move_iterator(ops.begin()),
+                              std::make_move_iterator(ops.end()));
+    }
+  }
+
+  if (caches) {
+    result.caches.edc_hits = caches->edc.hits();
+    result.caches.edc_misses = caches->edc.misses();
+    result.caches.bdc_hits = caches->bdc.hits();
+    result.caches.bdc_misses = caches->bdc.misses();
+    result.caches.resolver_hits = caches->resolver.hits();
+    result.caches.resolver_misses = caches->resolver.misses();
+  }
+  return result;
+}
+
+}  // namespace feam::eval

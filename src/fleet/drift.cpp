@@ -1,0 +1,115 @@
+#include "fleet/drift.hpp"
+
+#include "support/rng.hpp"
+#include "toolchain/packages.hpp"
+#include "toolchain/provision.hpp"
+
+namespace feam::fleet {
+
+namespace {
+
+using site::Site;
+using support::Rng;
+
+// Rewrites the OS identity the way a kernel errata update would: same
+// release, new build stamp. A system write, so discovery re-verifies.
+DriftOp os_bump(Site& s, int round) {
+  s.vfs.write_file("/proc/version",
+                   "Linux version " + s.kernel_version +
+                       " (gcc version unknown) #" + std::to_string(round + 2) +
+                       " SMP\n");
+  return {.kind = "os-bump", .detail = "kernel build #" +
+                                           std::to_string(round + 2)};
+}
+
+DriftOp apply_one(Site& s, Rng& rng, int round) {
+  switch (rng.next_below(6)) {
+    // An admin touching a module file (edited comment, re-saved): the
+    // database *content* changes while the advertised surface does not —
+    // the EDC must re-scan and land on the same result.
+    case 0:
+    case 1: {
+      if (s.module_files.empty()) return os_bump(s, round);
+      const auto& module =
+          s.module_files[rng.next_below(s.module_files.size())];
+      const std::string path =
+          toolchain::module_database_path(s, module.name);
+      if (path.empty()) return os_bump(s, round);
+      const support::Bytes* existing = s.vfs.read(path);
+      std::string body = existing != nullptr
+                             ? std::string(existing->begin(), existing->end())
+                             : std::string("#%Module1.0\n");
+      body += "# drift round " + std::to_string(round) + "\n";
+      s.vfs.write_file(path, body);
+      return {.kind = "touch-module", .detail = module.name};
+    }
+    // The database entry vanishes (half-finished upgrade): the stack
+    // disappears from `module avail` until a repair round.
+    case 2: {
+      if (s.module_files.empty()) return os_bump(s, round);
+      const auto& module =
+          s.module_files[rng.next_below(s.module_files.size())];
+      const std::string path =
+          toolchain::module_database_path(s, module.name);
+      if (path.empty()) return os_bump(s, round);
+      s.vfs.remove(path);
+      return {.kind = "break-module", .detail = module.name};
+    }
+    // The admin finishes the upgrade: every advertised module is
+    // rewritten, undoing earlier breakage.
+    case 3: {
+      toolchain::write_module_database(s);
+      return {.kind = "repair-modules",
+              .detail = std::to_string(s.module_files.size()) + " modules"};
+    }
+    // Package re-install at the same prefix: byte-identical libraries
+    // (content is seeded by site+soname) under *new* write stamps — the
+    // BDC's stamp fast path misses and falls back to content hashing.
+    case 4: {
+      if (s.stacks.empty()) return os_bump(s, round);
+      const auto& stack = s.stacks[rng.next_below(s.stacks.size())];
+      toolchain::install_mpi_stack(s, stack);
+      return {.kind = "reinstall-stack", .detail = stack.slug()};
+    }
+    default:
+      return os_bump(s, round);
+  }
+}
+
+}  // namespace
+
+std::vector<DriftOp> apply_drift_round(Fleet& fleet, int round) {
+  std::vector<DriftOp> ops;
+  const double rate = fleet.spec.drift_rate;
+  if (rate <= 0) return ops;
+  const Rng base(support::fnv1a_mix(
+      fleet.seed,
+      support::fnv1a_mix(0x4452494654ull, static_cast<std::uint64_t>(round))));
+  for (std::size_t i = 1; i < fleet.sites.size(); ++i) {
+    Site& s = *fleet.sites[i];
+    Rng rng = base.fork("site-" + std::to_string(i));
+    int count = static_cast<int>(rate);
+    if (rng.chance(rate - static_cast<double>(count))) ++count;
+    if (count == 0) continue;
+    const bool container = fleet.traits[i].container;
+    if (container) {
+      // Image rebuild: lift the read-only layer, mutate, squash again.
+      s.vfs.unseal("/opt");
+      s.vfs.unseal("/usr");
+    }
+    for (int k = 0; k < count; ++k) {
+      DriftOp op = apply_one(s, rng, round);
+      op.site_index = static_cast<int>(i);
+      op.site = s.name;
+      if (container) op.detail += " (image rebuild)";
+      ops.push_back(std::move(op));
+    }
+    if (container) {
+      s.vfs.seal("/opt");
+      s.vfs.seal("/usr");
+    }
+  }
+  return ops;
+}
+
+}  // namespace feam::fleet

@@ -1,0 +1,42 @@
+// Rolling-upgrade drift: seeded mutations of live site state between
+// queries, exercising discovery_fingerprint()/state_generation()
+// invalidation at fleet scale.
+//
+// A drift round walks every generated site (the anchor is exempt — the
+// build environment stays stable) and applies a sampled number of
+// administrator actions: touching a module file, breaking or repairing
+// the module database, re-installing an MPI stack's packages, or bumping
+// the OS identity files. Each action is a *system-path* write, so it
+// moves the site's discovery fingerprint and forces the EDC memo to
+// re-verify — never to serve a stale scan. Container sites are unsealed,
+// mutated, and resealed, modeling an image rebuild.
+//
+// Drift is schedule-deterministic: every draw comes from an Rng stream
+// derived from (fleet seed, round, site index), so the mutation sequence
+// is a pure function of the fleet — independent of thread count or
+// timing. The fleet driver applies rounds at sequential barrier points
+// (between per-workload surveys), which keeps the whole readiness matrix
+// byte-identical at any job count even with drift enabled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/generate.hpp"
+
+namespace feam::fleet {
+
+struct DriftOp {
+  int site_index = 0;
+  std::string site;
+  std::string kind;    // "touch-module" | "break-module" | "repair-modules"
+                       // | "reinstall-stack" | "os-bump"
+  std::string detail;  // human-readable object of the action
+};
+
+// Applies drift round `round` to every non-anchor site at the spec's
+// drift_rate (expected mutations per site per round). Returns the ops
+// actually applied, in site order. No-op when drift_rate is 0.
+std::vector<DriftOp> apply_drift_round(Fleet& fleet, int round);
+
+}  // namespace feam::fleet

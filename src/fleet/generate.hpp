@@ -1,0 +1,58 @@
+// The procedural fleet generator: (spec, seed) -> N provisioned sites and
+// M synthetic workloads.
+//
+// Site 0 is always the *anchor*: a healthy, fully-equipped build site
+// where every workload compiles and the source phase runs. Sites 1..N-1
+// are sampled — OS/glibc/compiler/MPI spreads drawn from weighted
+// distributions modeled on the paper's Table II era, plus the archetypes
+// the evaluation needs at scale: partially-broken module systems,
+// symlink-farm software trees, container-image sites whose /opt and /usr
+// are sealed read-only layers, and non-x86 machines.
+//
+// Determinism discipline: every sampled decision comes from an Rng stream
+// forked off the fleet seed with a stable label ("site-17", "workloads"),
+// so generation order never leaks into the result and the same (spec,
+// seed) reproduces the fleet byte-for-byte — the property the manifest
+// (manifest.hpp) and the determinism suite pin down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/spec.hpp"
+#include "site/site.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace feam::fleet {
+
+// Which archetypes a generated site drew (recorded in the manifest; the
+// drift model also keys off them).
+struct SiteTraits {
+  bool symlink_farm = false;
+  bool container = false;
+  bool broken_modules = false;
+  // "missing-modulefile:<name>" | "dangling-prepend:<name>" |
+  // "nonfunctional:<slug>" | "" when the module system is intact.
+  std::string broken_detail;
+};
+
+struct Fleet {
+  FleetSpec spec;
+  std::uint64_t seed = 0;
+  // sites[0] is the anchor; unique_ptr so Site addresses stay stable for
+  // leases and cache keys while the vector grows.
+  std::vector<std::unique_ptr<site::Site>> sites;
+  std::vector<SiteTraits> traits;  // parallel to sites
+  std::vector<workloads::Workload> workloads;
+  // For each workload, the index into sites[0]->stacks it builds with.
+  std::vector<int> build_stack;
+
+  site::Site& anchor() { return *sites.front(); }
+  const site::Site& anchor() const { return *sites.front(); }
+};
+
+Fleet generate_fleet(const FleetSpec& spec, std::uint64_t seed);
+
+}  // namespace feam::fleet

@@ -1,0 +1,97 @@
+#include "fleet/manifest.hpp"
+
+#include "toolchain/compiler.hpp"
+
+namespace feam::fleet {
+
+namespace {
+
+using support::Json;
+
+Json site_entry(const site::Site& s, const SiteTraits& traits) {
+  Json::Object out;
+  out.emplace("name", Json(s.name));
+  out.emplace("isa", Json(elf::isa_name(s.isa)));
+  out.emplace("os_distro", Json(s.os_distro));
+  out.emplace("os_version", Json(s.os_version.str()));
+  out.emplace("kernel", Json(s.kernel_version));
+  out.emplace("clib_version", Json(s.clib_version.str()));
+  out.emplace("user_env_tool", Json(site::user_env_tool_name(s.user_env_tool)));
+  out.emplace("cpu_count", Json(s.cpu_count));
+  out.emplace("locate_available", Json(s.locate_available));
+  out.emplace("ldd_available", Json(s.ldd_available));
+  out.emplace("libc_executable", Json(s.libc_executable));
+
+  Json::Object archetypes;
+  archetypes.emplace("container", Json(traits.container));
+  archetypes.emplace("symlink_farm", Json(traits.symlink_farm));
+  archetypes.emplace("broken_modules", Json(traits.broken_modules));
+  archetypes.emplace("broken_detail", Json(traits.broken_detail));
+  out.emplace("archetypes", Json(std::move(archetypes)));
+
+  Json::Array sealed;
+  for (const auto& prefix : s.vfs.sealed_prefixes()) {
+    sealed.emplace_back(prefix);
+  }
+  out.emplace("sealed", Json(std::move(sealed)));
+
+  Json::Array stacks;
+  for (const auto& stack : s.stacks) {
+    Json::Object entry;
+    entry.emplace("slug", Json(stack.slug()));
+    entry.emplace("advertised", Json(stack.advertised));
+    entry.emplace("functional", Json(stack.functional));
+    entry.emplace("interconnect",
+                  Json(site::interconnect_name(stack.interconnect)));
+    stacks.emplace_back(std::move(entry));
+  }
+  out.emplace("stacks", Json(std::move(stacks)));
+  return Json(std::move(out));
+}
+
+Json workload_entry(const workloads::Workload& workload,
+                    const site::Site& anchor, int build_stack) {
+  Json::Object out;
+  out.emplace("name", Json(workload.program.name));
+  out.emplace("suite", Json(workload.suite));
+  out.emplace("language",
+              Json(toolchain::language_name(workload.program.language)));
+  out.emplace("text_size", Json(workload.program.text_size));
+  Json::Array features;
+  for (const auto& key : workload.program.libc_features) {
+    features.emplace_back(key);
+  }
+  out.emplace("libc_features", Json(std::move(features)));
+  const auto index = static_cast<std::size_t>(build_stack);
+  out.emplace("build_stack", index < anchor.stacks.size()
+                                 ? Json(anchor.stacks[index].slug())
+                                 : Json());
+  return Json(std::move(out));
+}
+
+}  // namespace
+
+support::Json fleet_manifest(const Fleet& fleet) {
+  Json::Object out;
+  out.emplace("schema", Json(kFleetManifestSchema));
+  out.emplace("seed", Json(std::to_string(fleet.seed)));
+  out.emplace("spec", fleet_spec_to_json(fleet.spec));
+  out.emplace("site_count", Json(fleet.sites.size()));
+  out.emplace("workload_count", Json(fleet.workloads.size()));
+
+  Json::Array sites;
+  for (std::size_t i = 0; i < fleet.sites.size(); ++i) {
+    sites.push_back(site_entry(*fleet.sites[i], fleet.traits[i]));
+  }
+  out.emplace("sites", Json(std::move(sites)));
+
+  Json::Array workloads;
+  for (std::size_t w = 0; w < fleet.workloads.size(); ++w) {
+    workloads.push_back(workload_entry(fleet.workloads[w], fleet.anchor(),
+                                       fleet.build_stack[w]));
+  }
+  out.emplace("workloads", Json(std::move(workloads)));
+  return Json(std::move(out));
+}
+
+}  // namespace feam::fleet

@@ -1,0 +1,22 @@
+// The fleet manifest (schema feam.fleet_manifest/1): a byte-stable JSON
+// description of everything the generator produced — the spec it ran
+// with, the seed, and per-site/per-workload summaries. Because the
+// generator is deterministic in (spec, seed), the manifest doubles as a
+// reproducibility receipt: regenerate with the same inputs and the dump
+// is byte-identical (Json objects are sorted maps; the seed is carried as
+// a decimal string so no 64-bit value is squeezed through a double).
+#pragma once
+
+#include <string_view>
+
+#include "fleet/generate.hpp"
+#include "support/json.hpp"
+
+namespace feam::fleet {
+
+inline constexpr std::string_view kFleetManifestSchema =
+    "feam.fleet_manifest/1";
+
+support::Json fleet_manifest(const Fleet& fleet);
+
+}  // namespace feam::fleet

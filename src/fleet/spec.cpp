@@ -1,0 +1,124 @@
+#include "fleet/spec.hpp"
+
+#include <cmath>
+
+namespace feam::fleet {
+
+namespace {
+
+using R = support::Result<FleetSpec>;
+using support::ErrorCode;
+using support::Json;
+
+R fail(const std::string& detail) {
+  return R::failure(ErrorCode::kSpecParse, "fleet spec: " + detail);
+}
+
+// Bounds generous enough for any sane experiment; tight enough that a
+// fuzzer cannot request a terabyte fleet.
+constexpr int kMaxSites = 100000;
+constexpr int kMaxWorkloads = 100000;
+constexpr int kMaxStacks = 16;
+
+bool finite_number(const Json& v) {
+  return v.is_number() && std::isfinite(v.as_number());
+}
+
+}  // namespace
+
+support::Result<FleetSpec> parse_fleet_spec(std::string_view text) {
+  const auto parsed = Json::parse(text);
+  if (!parsed) return fail("not valid JSON");
+  const Json& doc = *parsed;
+  if (!doc.is_object()) return fail("top level must be an object");
+
+  FleetSpec spec;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "schema") {
+      if (!value.is_string() || value.as_string() != kFleetSpecSchema) {
+        return fail("schema must be \"" + std::string(kFleetSpecSchema) +
+                    "\"");
+      }
+    } else if (key == "name") {
+      if (!value.is_string() || value.as_string().empty()) {
+        return fail("name must be a non-empty string");
+      }
+      for (const char c : value.as_string()) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '-' || c == '_';
+        if (!ok) return fail("name must be a lowercase slug");
+      }
+      spec.name = value.as_string();
+    } else if (key == "sites" || key == "workloads" ||
+               key == "max_stacks_per_site") {
+      if (!finite_number(value) ||
+          value.as_number() != std::floor(value.as_number())) {
+        return fail(key + " must be an integer");
+      }
+      const double n = value.as_number();
+      const int limit = key == "sites"       ? kMaxSites
+                        : key == "workloads" ? kMaxWorkloads
+                                             : kMaxStacks;
+      if (n < 1 || n > limit) {
+        return fail(key + " must be in [1, " + std::to_string(limit) + "]");
+      }
+      const int v = static_cast<int>(n);
+      if (key == "sites") {
+        spec.sites = v;
+      } else if (key == "workloads") {
+        spec.workloads = v;
+      } else {
+        spec.max_stacks_per_site = v;
+      }
+    } else if (key == "drift_rate") {
+      if (!finite_number(value) || value.as_number() < 0 ||
+          value.as_number() > 16) {
+        return fail("drift_rate must be in [0, 16]");
+      }
+      spec.drift_rate = value.as_number();
+    } else if (key == "broken_module_rate" || key == "symlink_farm_rate" ||
+               key == "container_rate" || key == "ppc_rate") {
+      if (!finite_number(value) || value.as_number() < 0 ||
+          value.as_number() > 1) {
+        return fail(key + " must be in [0, 1]");
+      }
+      const double v = value.as_number();
+      if (key == "broken_module_rate") {
+        spec.broken_module_rate = v;
+      } else if (key == "symlink_farm_rate") {
+        spec.symlink_farm_rate = v;
+      } else if (key == "container_rate") {
+        spec.container_rate = v;
+      } else {
+        spec.ppc_rate = v;
+      }
+    } else if (key == "library_scale") {
+      if (!finite_number(value) || value.as_number() <= 0 ||
+          value.as_number() > 1) {
+        return fail("library_scale must be in (0, 1]");
+      }
+      spec.library_scale = value.as_number();
+    } else {
+      return fail("unknown key \"" + key + "\"");
+    }
+  }
+  return spec;
+}
+
+support::Json fleet_spec_to_json(const FleetSpec& spec) {
+  Json::Object out;
+  out.emplace("schema", Json(kFleetSpecSchema));
+  out.emplace("name", Json(spec.name));
+  out.emplace("sites", Json(spec.sites));
+  out.emplace("workloads", Json(spec.workloads));
+  out.emplace("drift_rate", Json(spec.drift_rate));
+  out.emplace("broken_module_rate", Json(spec.broken_module_rate));
+  out.emplace("symlink_farm_rate", Json(spec.symlink_farm_rate));
+  out.emplace("container_rate", Json(spec.container_rate));
+  out.emplace("ppc_rate", Json(spec.ppc_rate));
+  out.emplace("library_scale", Json(spec.library_scale));
+  out.emplace("max_stacks_per_site", Json(spec.max_stacks_per_site));
+  return Json(std::move(out));
+}
+
+}  // namespace feam::fleet

@@ -108,11 +108,12 @@ support::Result<GateResult> run_gate(
 }
 
 support::Json bench_record(const std::map<std::string, double>& measured,
-                           const GateResult* gate, int pr_number) {
+                           const GateResult* gate, int pr_number,
+                           const std::string& suite) {
   support::Json out;
   out.set("schema", std::string(kBenchSchema));
   out.set("pr", pr_number);
-  out.set("suite", "feam report matrix");
+  out.set("suite", suite);
   support::Json metrics{support::Json::Object{}};
   for (const auto& [name, value] : measured) metrics.set(name, value);
   out.set("metrics", std::move(metrics));

@@ -54,6 +54,7 @@ support::Result<GateResult> run_gate(
 // The repo's bench-trajectory record (schema feam.bench/1): every flat
 // metric plus the gate outcome, written as BENCH_<pr>.json.
 support::Json bench_record(const std::map<std::string, double>& measured,
-                           const GateResult* gate, int pr_number);
+                           const GateResult* gate, int pr_number,
+                           const std::string& suite = "feam report matrix");
 
 }  // namespace feam::report

@@ -182,6 +182,13 @@ const MpiStackInstall* Site::selected_stack() const {
     for (const auto& stack : stacks) {
       if (dir == stack.prefix + "/lib") return &stack;
     }
+    // Symlink-farm layouts advertise linked directories; the dynamic
+    // loader follows the link, so stack selection must too.
+    if (const auto real = vfs.resolve(dir)) {
+      for (const auto& stack : stacks) {
+        if (*real == stack.prefix + "/lib") return &stack;
+      }
+    }
   }
   return nullptr;
 }

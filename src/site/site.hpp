@@ -99,6 +99,13 @@ class Site {
   std::uint64_t fault_seed = 0;
   double system_error_rate = 0.0;  // chance a single run dies of system error
 
+  // Multiplier on the opaque text padding of every provisioned library
+  // (floored at 4 KiB). Fleet generation materializes hundreds of sites;
+  // shrinking the padding keeps resident memory bounded without changing
+  // any structure discovery reads — dynamic tables, symbols, and version
+  // refs are size-independent. 1.0 reproduces real-world image sizes.
+  double library_scale = 1.0;
+
   // --- live state
   Vfs vfs;
   Environment env;

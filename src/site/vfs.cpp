@@ -16,6 +16,20 @@ std::vector<std::string> components(std::string_view path) {
   }
   return out;
 }
+
+// Strips any trailing '/' so "/opt/" and "/opt" seal the same subtree.
+std::string normalize_prefix(std::string_view prefix) {
+  std::string out(prefix);
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+// True when `path` equals `prefix` or lies inside it as a subtree.
+bool path_under(std::string_view path, std::string_view prefix) {
+  if (prefix.empty() || prefix == "/") return true;
+  if (!support::starts_with(path, prefix)) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
 }  // namespace
 
 Vfs::Vfs()
@@ -33,7 +47,8 @@ Vfs::Vfs(Vfs&& other) noexcept
           other.system_generation_.load(std::memory_order_relaxed)),
       fault_(std::move(other.fault_)),
       scratch_mutex_(std::move(other.scratch_mutex_)),
-      short_read_scratch_(std::move(other.short_read_scratch_)) {}
+      short_read_scratch_(std::move(other.short_read_scratch_)),
+      sealed_(std::move(other.sealed_)) {}
 
 Vfs& Vfs::operator=(Vfs&& other) noexcept {
   root_ = std::move(other.root_);
@@ -46,7 +61,47 @@ Vfs& Vfs::operator=(Vfs&& other) noexcept {
   fault_ = std::move(other.fault_);
   scratch_mutex_ = std::move(other.scratch_mutex_);
   short_read_scratch_ = std::move(other.short_read_scratch_);
+  sealed_ = std::move(other.sealed_);
   return *this;
+}
+
+bool Vfs::seal_blocks(std::string_view path) const {
+  for (const auto& prefix : sealed_) {
+    if (path_under(path, prefix) || path_under(prefix, path)) return true;
+  }
+  return false;
+}
+
+bool Vfs::seal(std::string_view prefix) {
+  std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
+  const std::string p = normalize_prefix(prefix);
+  if (std::find(sealed_.begin(), sealed_.end(), p) != sealed_.end()) {
+    return false;
+  }
+  sealed_.insert(std::upper_bound(sealed_.begin(), sealed_.end(), p), p);
+  return true;
+}
+
+bool Vfs::unseal(std::string_view prefix) {
+  std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
+  const std::string p = normalize_prefix(prefix);
+  const auto it = std::find(sealed_.begin(), sealed_.end(), p);
+  if (it == sealed_.end()) return false;
+  sealed_.erase(it);
+  return true;
+}
+
+bool Vfs::sealed(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
+  for (const auto& prefix : sealed_) {
+    if (path_under(path, prefix)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Vfs::sealed_prefixes() const {
+  std::shared_lock<std::shared_mutex> lock(*tree_mutex_);
+  return sealed_;
 }
 
 bool Vfs::scratch_path(std::string_view path) {
@@ -148,6 +203,7 @@ Vfs::Node* Vfs::ensure_parent(std::string_view path) {
 
 bool Vfs::mkdirs(std::string_view path) {
   std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
+  if (seal_blocks(path)) return false;
   Node* parent = ensure_parent(join(path, "x"));
   if (parent == nullptr) return false;
   bump_generations(path);
@@ -156,6 +212,8 @@ bool Vfs::mkdirs(std::string_view path) {
 
 bool Vfs::write_file(std::string_view path, support::Bytes content) {
   std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
+  // A read-only layer rejects before the media can fault.
+  if (seal_blocks(path)) return false;
   if (fault_ != nullptr && fault_->enabled()) {
     switch (fault_->decide_write(path)) {
       case FaultKind::kEio:
@@ -204,6 +262,7 @@ bool Vfs::write_file(std::string_view path, std::string_view text) {
 
 bool Vfs::symlink(std::string_view path, std::string_view target) {
   std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
+  if (seal_blocks(path)) return false;
   Node* parent = ensure_parent(path);
   if (parent == nullptr) return false;
   auto& child = parent->children[basename(path)];
@@ -216,6 +275,7 @@ bool Vfs::symlink(std::string_view path, std::string_view target) {
 
 bool Vfs::remove(std::string_view path) {
   std::unique_lock<std::shared_mutex> lock(*tree_mutex_);
+  if (seal_blocks(path)) return false;
   Node* parent = walk_mut(dirname(path));
   if (parent == nullptr || parent->kind != Node::Kind::kDir) return false;
   if (parent->children.erase(basename(path)) == 0) return false;

@@ -104,6 +104,21 @@ class Vfs {
   // software surface.
   static bool scratch_path(std::string_view path);
 
+  // --- read-only overlay (container-image semantics)
+  // Seals a subtree: every mutation at or under `prefix` — and any remove
+  // of one of its ancestors — fails and leaves the tree and generation
+  // counters untouched, exactly like writing into a squashed read-only
+  // image layer. Reads are unaffected. Scratch prefixes (/home, /tmp)
+  // stay writable as the overlay's upper dir as long as they are not
+  // sealed themselves. Returns false when the prefix is already sealed.
+  bool seal(std::string_view prefix);
+  // Lifts a seal placed by seal(); false when `prefix` is not sealed.
+  bool unseal(std::string_view prefix);
+  // True when `path` is covered by any sealed prefix.
+  bool sealed(std::string_view path) const;
+  // The active sealed prefixes, sorted (for manifests and tests).
+  std::vector<std::string> sealed_prefixes() const;
+
   // Version stamp of the regular file at `path` (symlinks followed):
   // the generation value at which its content was last written. Each
   // write produces a globally unique stamp, so equal (path, version)
@@ -153,6 +168,11 @@ class Vfs {
                  bool substring, std::string_view needle,
                  std::vector<std::string>& out) const;
 
+  // True when a seal forbids mutating `path`: the path sits inside a
+  // sealed subtree, or removing it would take a sealed subtree with it.
+  // Caller holds the tree lock.
+  bool seal_blocks(std::string_view path) const;
+
   std::unique_ptr<Node> root_;
   // Internal synchronization: queries take the shared side, mutators the
   // exclusive side. Behind a unique_ptr so the Vfs stays movable; the
@@ -167,6 +187,9 @@ class Vfs {
   // own mutex: read() holds only the shared tree lock when faulting.
   std::unique_ptr<std::mutex> scratch_mutex_;
   mutable std::deque<support::Bytes> short_read_scratch_;
+  // Sealed subtree prefixes, sorted; guarded by the tree mutex (mutators
+  // already hold the exclusive side when they consult it).
+  std::vector<std::string> sealed_;
 };
 
 }  // namespace feam::site

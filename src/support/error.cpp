@@ -12,6 +12,7 @@ std::string_view error_code_slug(ErrorCode code) {
     case ErrorCode::kElfBadOffset: return "elf_bad_offset";
     case ErrorCode::kElfBadVersionRef: return "elf_bad_version_ref";
     case ErrorCode::kElfLimitExceeded: return "elf_limit_exceeded";
+    case ErrorCode::kSpecParse: return "spec_parse";
     case ErrorCode::kIoFault: return "io_fault";
     case ErrorCode::kFileNotFound: return "file_not_found";
     case ErrorCode::kDepCycle: return "dep_cycle";
@@ -31,6 +32,7 @@ std::string_view failure_category(ErrorCode code) {
     case ErrorCode::kElfBadOffset:
     case ErrorCode::kElfBadVersionRef:
     case ErrorCode::kElfLimitExceeded:
+    case ErrorCode::kSpecParse:
       return "parse";
     case ErrorCode::kIoFault:
     case ErrorCode::kFileNotFound:

@@ -22,6 +22,7 @@ enum class ErrorCode : std::uint8_t {
   kElfBadOffset,       // a table/virtual address points outside the image
   kElfBadVersionRef,   // verneed/verdef entry references a bad string/index
   kElfLimitExceeded,   // declared counts exceed the parser's sanity caps
+  kSpecParse,          // malformed configuration document (site/fleet spec)
   // I/O taxonomy ("io" category) — mostly from Vfs fault injection.
   kIoFault,            // injected or simulated EIO / short read / torn write
   kFileNotFound,       // path absent (possibly injected ENOENT)

@@ -42,6 +42,15 @@ void write_library(Site& s, const std::string& dir, const elf::ElfSpec& spec,
   }
 }
 
+// Applies the site's library-scale knob (site.hpp) to a nominal text
+// size, floored so every image still holds its headers comfortably.
+std::size_t scaled_size(const Site& s, std::size_t nominal) {
+  if (s.library_scale >= 1.0) return nominal;
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(nominal) * s.library_scale);
+  return std::max<std::size_t>(scaled, 4 * KiB);
+}
+
 // Common skeleton for a shared library built *at* this site: correct ISA,
 // deterministic content seeded by site+soname, GLIBC refs bound to the
 // site's C library.
@@ -52,7 +61,7 @@ elf::ElfSpec library_skeleton(const Site& s, std::string soname,
   spec.isa = s.isa;
   spec.kind = elf::FileKind::kSharedObject;
   spec.soname = std::move(soname);
-  spec.text_size = text_size;
+  spec.text_size = scaled_size(s, text_size);
   spec.content_seed = support::fnv1a(s.name + "|" + spec.soname);
   spec.needed.push_back("libc.so.6");
   bind_libc_features(spec, features, s.clib_version);
@@ -86,7 +95,7 @@ void install_clibrary(Site& s) {
     libc.kind = elf::FileKind::kSharedObject;
     libc.soname = "libc.so.6";
     libc.version_definitions = nodes;
-    libc.text_size = 1700 * KiB;
+    libc.text_size = scaled_size(s, 1700 * KiB);
     libc.content_seed = support::fnv1a(s.name + "|libc");
     libc.comments = {glibc_banner(s.clib_version)};
     for (const auto& feature : libc_feature_catalog()) {
@@ -111,7 +120,7 @@ void install_clibrary(Site& s) {
     lib.soname = soname;
     lib.version_definitions = nodes;
     lib.defined_symbols = std::move(symbols);
-    lib.text_size = size;
+    lib.text_size = scaled_size(s, size);
     lib.content_seed = support::fnv1a(s.name + "|" + soname);
     lib.needed.push_back("libc.so.6");
     const std::string stem = soname.substr(0, soname.find(".so"));

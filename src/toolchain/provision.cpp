@@ -32,6 +32,20 @@ void write_os_identity(Site& s) {
   }
 }
 
+}  // namespace
+
+std::string module_database_path(const Site& s, std::string_view name) {
+  if (s.user_env_tool == UserEnvTool::kModules) {
+    return "/usr/share/Modules/modulefiles/" + std::string(name);
+  }
+  if (s.user_env_tool == UserEnvTool::kSoftEnv) {
+    std::string key(name);
+    std::replace(key.begin(), key.end(), '/', '-');
+    return "/etc/softenv/+" + key;
+  }
+  return "";
+}
+
 void write_module_database(Site& s) {
   // Module files under /usr/share/Modules/modulefiles (Environment
   // Modules) or a SoftEnv database under /etc/softenv; their *presence* is
@@ -41,13 +55,8 @@ void write_module_database(Site& s) {
     for (const auto& [var, entry] : m.prepends) {
       body += "prepend-path " + var + " " + entry + "\n";
     }
-    if (s.user_env_tool == UserEnvTool::kModules) {
-      s.vfs.write_file("/usr/share/Modules/modulefiles/" + m.name, body);
-    } else if (s.user_env_tool == UserEnvTool::kSoftEnv) {
-      std::string key = m.name;
-      std::replace(key.begin(), key.end(), '/', '-');
-      s.vfs.write_file("/etc/softenv/+" + key, body);
-    }
+    const std::string path = module_database_path(s, m.name);
+    if (!path.empty()) s.vfs.write_file(path, body);
   }
   if (s.user_env_tool == UserEnvTool::kModules) {
     s.vfs.write_file("/usr/bin/modulecmd", "#!/bin/sh\n# modulecmd stub\n");
@@ -55,8 +64,6 @@ void write_module_database(Site& s) {
     s.vfs.write_file("/usr/bin/soft", "#!/bin/sh\n# softenv stub\n");
   }
 }
-
-}  // namespace
 
 void provision_site(Site& s) {
   // Base shell environment of a fresh login.

@@ -11,4 +11,15 @@ namespace feam::toolchain {
 
 void provision_site(site::Site& s);
 
+// Rewrites the on-disk module database (Environment Modules files or the
+// SoftEnv keys) from `s.module_files`. `provision_site` calls this once;
+// it is exported so fleet generation and rolling-upgrade drift can damage
+// or repair the database after edits to the advertised module list.
+void write_module_database(site::Site& s);
+
+// Path of the database entry advertising module `name` under this site's
+// user-environment tool ("" when the site runs none) — the file drift
+// deletes for an "advertised but missing" breakage.
+std::string module_database_path(const site::Site& s, std::string_view name);
+
 }  // namespace feam::toolchain

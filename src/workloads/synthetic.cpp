@@ -1,0 +1,77 @@
+#include "workloads/synthetic.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "toolchain/glibc.hpp"
+
+namespace feam::workloads {
+
+namespace {
+
+constexpr std::size_t KiB = 1024;
+
+// Application-domain slugs, purely cosmetic: they make fleet reports read
+// like a real workload mix instead of numbered blobs.
+constexpr const char* kDomains[] = {
+    "cfd",  "md",      "qcd",     "fem",   "climate",
+    "astro", "seismic", "lattice", "plasma", "genomics",
+};
+
+// Inclusion probability for a libc feature, decaying with how new its
+// version node is: base-node features are near-universal, the newest node
+// shows up in a small minority of programs (those are the binaries that
+// pin a new C library and fail on old sites).
+double feature_probability(const support::Version& node) {
+  const auto& nodes = toolchain::glibc_version_nodes();
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == node) {
+      index = i;
+      break;
+    }
+  }
+  const double newness =
+      nodes.size() > 1
+          ? static_cast<double>(index) / static_cast<double>(nodes.size() - 1)
+          : 0.0;
+  return 0.6 * (1.0 - newness) + 0.08;
+}
+
+}  // namespace
+
+std::vector<Workload> synthetic_suite(int count, std::uint64_t seed) {
+  std::vector<Workload> out;
+  if (count <= 0) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  const support::Rng base(support::fnv1a_mix(seed, 0x53594e5448ull));
+  const auto& catalog = toolchain::libc_feature_catalog();
+  for (int i = 0; i < count; ++i) {
+    support::Rng rng = base.fork("workload-" + std::to_string(i));
+    toolchain::ProgramSource program;
+    const char* domain =
+        kDomains[rng.next_below(std::size(kDomains))];
+    program.name = "synth-" + std::string(domain) + "-" + std::to_string(i);
+    // Paper's mix: C-heavy with a Fortran tail and a little C++.
+    const double lang = rng.next_double();
+    program.language = lang < 0.50   ? toolchain::Language::kC
+                       : lang < 0.90 ? toolchain::Language::kFortran
+                                     : toolchain::Language::kCxx;
+    program.uses_mpi = true;
+    // Log-uniform from NAS-kernel scale to SPEC-application scale.
+    const double exponent = rng.next_double() * 5.7;  // 48 KiB .. ~2.5 MiB
+    program.text_size =
+        static_cast<std::uint64_t>(48.0 * KiB * std::exp2(exponent));
+    program.libc_features = {"base", "stdio"};
+    for (const auto& feature : catalog) {
+      if (feature.key == "base" || feature.key == "stdio") continue;
+      if (rng.chance(feature_probability(feature.node))) {
+        program.libc_features.push_back(feature.key);
+      }
+    }
+    out.push_back({std::move(program), "SYNTH"});
+  }
+  return out;
+}
+
+}  // namespace feam::workloads

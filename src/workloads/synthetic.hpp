@@ -1,0 +1,27 @@
+// Parameterized synthesis of fleet-scale workloads.
+//
+// The paper's two suites (benchmarks.hpp) are 14 hand-modeled programs;
+// fleet evaluation needs hundreds. Each synthetic workload is an ordinary
+// ProgramSource the simulated toolchain compiles through the real ELF
+// writer, so its binary carries genuine dynamic tables, .comment stamps,
+// and GLIBC version references — only the name, language, libc feature
+// set, and text size are sampled. Deterministic in (count, seed): the
+// same arguments always produce the same suite, in the same order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/benchmarks.hpp"
+
+namespace feam::workloads {
+
+// `count` workloads drawn from seeded distributions: language split
+// roughly matching the paper's suites (C-heavy with a Fortran tail),
+// log-uniform text sizes spanning NAS-kernel to SPEC-application scale,
+// and libc feature sets where newer-node features are rarer — so some
+// binaries travel everywhere and some pin new C libraries, spreading the
+// readiness matrix. Suite tag is "SYNTH".
+std::vector<Workload> synthetic_suite(int count, std::uint64_t seed);
+
+}  // namespace feam::workloads

@@ -1,0 +1,157 @@
+// Fuzz driver for parse_fleet_spec, built only when -DFEAM_FUZZ=ON.
+//
+// Two modes, one invariant (the pattern of tests/elf/fuzz_reader.cpp):
+// parse_fleet_spec must terminate without crashing or tripping a
+// sanitizer, and every rejection must carry ErrorCode::kSpecParse —
+// category "parse". Arbitrary bytes can never produce an io/dep/unknown
+// error: those codes belong to the Vfs and the resolver, and a spec
+// document touches neither.
+//
+//   * With Clang the target compiles against libFuzzer
+//     (FEAM_FUZZ_LIBFUZZER): coverage-guided, run via
+//     `feam_fuzz_fleet_spec -runs=...`.
+//   * Elsewhere (GCC) the same invariant runs as a bounded seeded loop —
+//     mutations of valid spec documents plus raw garbage.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "fleet/spec.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+// Returns false (after printing) when a rejection carries a non-spec-parse
+// taxonomy code.
+bool check_parse(std::string_view input) {
+  const auto parsed = feam::fleet::parse_fleet_spec(input);
+  if (parsed.ok()) {
+    return true;
+  }
+  if (parsed.code() != feam::support::ErrorCode::kSpecParse ||
+      feam::support::failure_category(parsed.code()) != "parse") {
+    std::fprintf(stderr,
+                 "spec rejection outside the parse taxonomy: code=%s "
+                 "category=%s message=%s\n",
+                 std::string(feam::support::error_code_slug(parsed.code()))
+                     .c_str(),
+                 std::string(feam::support::failure_category(parsed.code()))
+                     .c_str(),
+                 parsed.error().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+#ifdef FEAM_FUZZ_LIBFUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  if (!check_parse(input)) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#else
+
+#include "support/rng.hpp"
+
+namespace {
+
+// A valid document to mutate from, with every key present.
+std::string seed_document(feam::support::Rng& rng) {
+  feam::fleet::FleetSpec spec;
+  spec.sites = 1 + static_cast<int>(rng.next_below(500));
+  spec.workloads = 1 + static_cast<int>(rng.next_below(100));
+  spec.drift_rate = static_cast<double>(rng.next_below(1600)) / 100.0;
+  return feam::fleet::fleet_spec_to_json(spec).dump(2);
+}
+
+std::string mutate_once(std::string text, feam::support::Rng& rng) {
+  if (text.empty()) return text;
+  switch (rng.next_below(5)) {
+    case 0:  // flip a byte
+      text[rng.next_below(text.size())] =
+          static_cast<char>(rng.next_below(256));
+      break;
+    case 1:  // truncate
+      text.resize(rng.next_below(text.size()));
+      break;
+    case 2:  // duplicate a slice (repeated keys, nested garbage)
+      {
+        const auto at = rng.next_below(text.size());
+        const auto len = rng.next_below(text.size() - at) + 1;
+        text.insert(at, text.substr(at, len));
+      }
+      break;
+    case 3:  // delete a slice
+      {
+        const auto at = rng.next_below(text.size());
+        text.erase(at, rng.next_below(text.size() - at) + 1);
+      }
+      break;
+    default:  // splice in a hostile token
+      {
+        static constexpr std::string_view kTokens[] = {
+            "1e309", "-1", "NaN", "\"sites\":", "null", "1e-309",
+            "99999999999999999999", "{}", "\\u0000", "\"schema\":"};
+        const auto& token = kTokens[rng.next_below(10)];
+        text.insert(rng.next_below(text.size()),
+                    std::string(token.begin(), token.end()));
+      }
+      break;
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20130613ull;
+  const long rounds = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 4000;
+
+  feam::support::Rng rng(seed);
+  long failures = 0;
+  for (long round = 0; round < rounds; ++round) {
+    std::string input;
+    if (round % 8 == 7) {
+      // Raw garbage, half of it opening like an object to reach the
+      // key-validation paths.
+      input.resize(rng.next_below(512));
+      for (auto& c : input) {
+        c = static_cast<char>(rng.next_below(256));
+      }
+      if (rng.chance(0.5) && !input.empty()) {
+        input[0] = '{';
+      }
+    } else {
+      // Structure-aware: start from a valid document, apply 1-3 mutations.
+      input = seed_document(rng);
+      const std::uint64_t steps = 1 + rng.next_below(3);
+      for (std::uint64_t step = 0; step < steps; ++step) {
+        input = mutate_once(std::move(input), rng);
+      }
+    }
+    if (!check_parse(input)) {
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%ld of %ld inputs violated the parse invariant\n",
+                 failures, rounds);
+    return 1;
+  }
+  std::printf("fuzzed %ld inputs (seed %llu): parser total, all rejections "
+              "spec-parse\n",
+              rounds, static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+#endif  // FEAM_FUZZ_LIBFUZZER

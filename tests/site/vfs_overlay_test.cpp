@@ -1,0 +1,107 @@
+// The read-only overlay (container-image semantics): sealed subtrees
+// reject every mutation without moving the generation counters, reads
+// pass through untouched, and unseal restores full writability.
+#include <gtest/gtest.h>
+
+#include "site/vfs.hpp"
+
+namespace feam::site {
+namespace {
+
+Vfs image_tree() {
+  Vfs vfs;
+  vfs.mkdirs("/opt/openmpi-1.4.3/lib");
+  vfs.write_file("/opt/openmpi-1.4.3/lib/libmpi.so.0", "mpi");
+  vfs.write_file("/usr/lib64/libc.so.6", "libc");
+  vfs.mkdirs("/home/user");
+  return vfs;
+}
+
+TEST(VfsOverlay, SealedWritesFailWithoutBumpingGenerations) {
+  Vfs vfs = image_tree();
+  ASSERT_TRUE(vfs.seal("/opt"));
+  const auto gen = vfs.generation();
+  const auto system_gen = vfs.system_generation();
+
+  EXPECT_FALSE(vfs.write_file("/opt/new.txt", "x"));
+  EXPECT_FALSE(vfs.write_file("/opt/openmpi-1.4.3/lib/libmpi.so.0", "evil"));
+  EXPECT_FALSE(vfs.mkdirs("/opt/other/lib"));
+  EXPECT_FALSE(vfs.symlink("/opt/link", "/usr/lib64"));
+  EXPECT_FALSE(vfs.remove("/opt/openmpi-1.4.3"));
+
+  EXPECT_EQ(vfs.generation(), gen);
+  EXPECT_EQ(vfs.system_generation(), system_gen);
+  // The overwrite attempt left the original content in place.
+  const auto* bytes = vfs.read("/opt/openmpi-1.4.3/lib/libmpi.so.0");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), "mpi");
+}
+
+TEST(VfsOverlay, ReadsAndOutsideWritesAreUnaffected) {
+  Vfs vfs = image_tree();
+  ASSERT_TRUE(vfs.seal("/opt"));
+
+  EXPECT_TRUE(vfs.is_dir("/opt/openmpi-1.4.3/lib"));
+  EXPECT_NE(vfs.read("/opt/openmpi-1.4.3/lib/libmpi.so.0"), nullptr);
+  EXPECT_FALSE(vfs.list("/opt").empty());
+  EXPECT_FALSE(vfs.locate("libmpi").empty());
+
+  // The writable upper layer: everything not under a seal.
+  EXPECT_TRUE(vfs.write_file("/home/user/job.sh", "#!/bin/sh"));
+  EXPECT_TRUE(vfs.write_file("/etc/motd", "hi"));
+  EXPECT_TRUE(vfs.remove("/etc/motd"));
+}
+
+TEST(VfsOverlay, RemovingAnAncestorOfASealIsBlocked) {
+  Vfs vfs = image_tree();
+  ASSERT_TRUE(vfs.seal("/opt/openmpi-1.4.3/lib"));
+  // Removing /opt or the stack directory would take the sealed subtree
+  // with it; both must fail. A sibling under /opt stays writable.
+  EXPECT_FALSE(vfs.remove("/opt"));
+  EXPECT_FALSE(vfs.remove("/opt/openmpi-1.4.3"));
+  EXPECT_TRUE(vfs.is_dir("/opt/openmpi-1.4.3/lib"));
+  EXPECT_TRUE(vfs.write_file("/opt/openmpi-1.4.3/README", "ok"));
+}
+
+TEST(VfsOverlay, UnsealRestoresWritability) {
+  Vfs vfs = image_tree();
+  ASSERT_TRUE(vfs.seal("/usr"));
+  EXPECT_FALSE(vfs.write_file("/usr/lib64/new.so", "x"));
+  ASSERT_TRUE(vfs.unseal("/usr"));
+  EXPECT_TRUE(vfs.write_file("/usr/lib64/new.so", "x"));
+  EXPECT_TRUE(vfs.remove("/usr/lib64/libc.so.6"));
+}
+
+TEST(VfsOverlay, SealBookkeeping) {
+  Vfs vfs = image_tree();
+  EXPECT_FALSE(vfs.sealed("/opt"));
+  EXPECT_TRUE(vfs.seal("/usr"));
+  EXPECT_TRUE(vfs.seal("/opt/"));  // trailing slash normalizes away
+  EXPECT_FALSE(vfs.seal("/opt")) << "double-seal must report failure";
+
+  EXPECT_TRUE(vfs.sealed("/opt"));
+  EXPECT_TRUE(vfs.sealed("/opt/openmpi-1.4.3/lib/libmpi.so.0"));
+  EXPECT_FALSE(vfs.sealed("/optimized"))
+      << "prefix match must stop at path component boundaries";
+  EXPECT_FALSE(vfs.sealed("/home/user"));
+
+  const auto prefixes = vfs.sealed_prefixes();
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], "/opt");
+  EXPECT_EQ(prefixes[1], "/usr");
+
+  EXPECT_FALSE(vfs.unseal("/tmp")) << "unseal of an unsealed prefix fails";
+  EXPECT_TRUE(vfs.unseal("/opt"));
+  EXPECT_FALSE(vfs.sealed("/opt/openmpi-1.4.3"));
+}
+
+TEST(VfsOverlay, SealsSurviveMoves) {
+  Vfs vfs = image_tree();
+  ASSERT_TRUE(vfs.seal("/opt"));
+  Vfs moved = std::move(vfs);
+  EXPECT_TRUE(moved.sealed("/opt"));
+  EXPECT_FALSE(moved.write_file("/opt/x", "x"));
+}
+
+}  // namespace
+}  // namespace feam::site
