@@ -24,6 +24,11 @@
 //      EDC memo entry for it re-verified. EDC/BDC hit rates are recorded
 //      per rate and floored at drift 0 (hot) and 1.0 (still warm — only
 //      drifted sites re-scan).
+//   6. Provenance — diff the drift-0.25 medium run against its frozen
+//      (drift-0) twin with the drift log attached: every verdict flip
+//      must be attributable to a drift op (unattributed == 0), and the
+//      serialized provenance sections must stay within a bounded
+//      record-size overhead versus the provenance-stripped stream.
 //
 // Flags:
 //   --sites N / --workloads N   big-leg fleet shape (default 500x100)
@@ -32,7 +37,7 @@
 //   --jobs N          survey worker threads for the big leg (default 8)
 //   --bench-out F     write the feam.bench/1 record to F
 //   --baseline F      gate against a feam.report_baseline/1 file
-//   --pr N            PR number stamped into the bench record (default 9)
+//   --pr N            PR number stamped into the bench record (default 10)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -44,10 +49,12 @@
 #include <vector>
 
 #include "eval/fleet.hpp"
+#include "fleet/drift.hpp"
 #include "fleet/generate.hpp"
 #include "fleet/manifest.hpp"
 #include "fleet/spec.hpp"
 #include "report/aggregate.hpp"
+#include "report/diff.hpp"
 #include "report/gate.hpp"
 #include "support/json.hpp"
 
@@ -77,7 +84,7 @@ int main(int argc, char** argv) {
   int medium_sites = 50;
   int medium_workloads = 20;
   int jobs = 8;
-  int pr_number = 9;
+  int pr_number = 10;
   std::uint64_t seed = 42;
   std::string bench_out;
   std::string baseline_path;
@@ -191,6 +198,11 @@ int main(int argc, char** argv) {
     bool identical = false;
   };
   std::vector<DriftLeg> sweep;
+  // Leg 6 inputs, captured from the sweep so the provenance diff reuses
+  // the drift-0 and drift-0.25 runs instead of surveying twice more.
+  std::vector<report::RunRecord> prov_frozen_records;
+  std::vector<report::RunRecord> prov_drift_records;
+  std::vector<fleet::DriftOp> prov_drift_log;
   for (const double rate : {0.0, 0.25, 1.0}) {
     fleet::FleetSpec medium;
     medium.name = "midfleet";
@@ -216,6 +228,12 @@ int main(int argc, char** argv) {
     leg.drift_ops = cached.drift_log.size();
     leg.ready_pairs = cached.ready_pairs;
     leg.identical = cached.records_jsonl() == uncached.records_jsonl();
+    if (rate == 0.0) {
+      prov_frozen_records = cached.records;
+    } else if (rate == 0.25) {
+      prov_drift_records = cached.records;
+      prov_drift_log = cached.drift_log;
+    }
     sweep.push_back(leg);
     std::printf("Drift %.2f (%dx%d): EDC %.1f%% / BDC %.1f%% hit, %zu ops, "
                 "%zu ready, cached==uncached: %s\n",
@@ -224,6 +242,40 @@ int main(int argc, char** argv) {
                 leg.drift_ops, leg.ready_pairs,
                 leg.identical ? "yes" : "NO (STALE SCAN SERVED)");
   }
+
+  // Leg 6 — provenance: diff the drifted medium run against its frozen
+  // twin, joining through the serialized drift log (the same JSONL the
+  // CLI writes), and measure the record-size cost of carrying evidence.
+  const auto drift_entries =
+      report::parse_drift_log(fleet::drift_log_jsonl(prov_drift_log));
+  const report::DiffResult prov_diff = report::diff_records(
+      prov_frozen_records, prov_drift_records, drift_entries);
+  std::size_t prov_covered = 0;
+  double prov_with_bytes = 0.0;
+  double prov_without_bytes = 0.0;
+  for (const auto& record : prov_drift_records) {
+    if (!record.provenance.empty()) ++prov_covered;
+    prov_with_bytes += static_cast<double>(record.to_json().dump().size());
+    report::RunRecord stripped = record;
+    stripped.provenance.clear();
+    prov_without_bytes +=
+        static_cast<double>(stripped.to_json().dump().size());
+  }
+  const double prov_overhead =
+      prov_without_bytes > 0.0
+          ? (prov_with_bytes - prov_without_bytes) / prov_without_bytes
+          : 0.0;
+  const double prov_coverage =
+      prov_drift_records.empty()
+          ? 0.0
+          : static_cast<double>(prov_covered) /
+                static_cast<double>(prov_drift_records.size());
+  std::printf("Provenance diff (drift 0.25 vs frozen twin): %zu pairs, "
+              "%zu flips, %zu unattributed; evidence overhead %.0f%% "
+              "(%.0f -> %.0f bytes), coverage %.0f%%\n",
+              prov_diff.pairs_compared, prov_diff.flips.size(),
+              prov_diff.unattributed_flips(), 100.0 * prov_overhead,
+              prov_without_bytes, prov_with_bytes, 100.0 * prov_coverage);
 
   std::map<std::string, double> metrics;
   metrics["bench.fleet_sites"] = sites;
@@ -255,6 +307,14 @@ int main(int argc, char** argv) {
     metrics["bench.fleet_" + tag + "_ready_pairs"] =
         static_cast<double>(leg.ready_pairs);
   }
+  metrics["bench.fleet_prov_pairs"] =
+      static_cast<double>(prov_diff.pairs_compared);
+  metrics["bench.fleet_prov_flips"] =
+      static_cast<double>(prov_diff.flips.size());
+  metrics["bench.fleet_prov_unattributed"] =
+      static_cast<double>(prov_diff.unattributed_flips());
+  metrics["bench.fleet_prov_coverage"] = prov_coverage;
+  metrics["bench.fleet_prov_overhead"] = prov_overhead;
 
   report::GateResult gate;
   const report::GateResult* gate_ptr = nullptr;
@@ -290,13 +350,15 @@ int main(int argc, char** argv) {
 
   bool sweep_ok = true;
   for (const auto& leg : sweep) sweep_ok = sweep_ok && leg.identical;
+  const bool prov_ok =
+      prov_diff.unattributed_flips() == 0 && prov_coverage == 1.0;
   const bool pass = manifest_identical && records_identical && sweep_ok &&
-                    big.compile_failures == 0 &&
+                    prov_ok && big.compile_failures == 0 &&
                     (gate_ptr == nullptr || gate.pass);
   std::printf(
       "Acceptance (manifest and record stream reproducible from (spec, "
-      "seed), no compile failures, cached==uncached at every drift rate): "
-      "%s\n",
+      "seed), no compile failures, cached==uncached at every drift rate, "
+      "every drift flip attributed): %s\n",
       pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

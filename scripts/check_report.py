@@ -17,7 +17,11 @@ CLI with --run-record-out, then:
     the feam.fleet_manifest/1 document, then time-bounds the `feam
     report` aggregation over the 50000-record stream so a quadratic
     regression in ingestion or rendering fails loudly instead of
-    hanging CI.
+    hanging CI,
+  * schema-validates the feam.provenance/1 section of every record (the
+    matrix records and all 50000 fleet records): cardinality and detail
+    bounds, stamp format, sorted deduplicated evidence — and bounds each
+    serialized fleet record's size so evidence bloat fails loudly.
 
 Usage: check_report.py /path/to/feam [--write-baseline FILE]
                                      [--keep-bench FILE]
@@ -63,6 +67,47 @@ WORKLOADS = [
 ]
 
 DETERMINANT_KEYS = ["isa", "c_library", "mpi_stack", "shared_libraries"]
+
+# Provenance bounds mirrored from obs::EvidenceSet (provenance.hpp).
+PROV_MAX_ITEMS = 128
+PROV_MAX_DETAIL = 160
+# Serialized ceiling for one fleet record, evidence included. Records
+# measure ~5 KiB with ~17 evidence items; 128 items at ~200 bytes each
+# stays far below this, so a breach means runaway evidence, not noise.
+MAX_RECORD_BYTES = 64 * 1024
+
+
+def validate_provenance(path, record):
+    """Schema-validates one record's feam.provenance/1 section."""
+    def need(cond, why):
+        if not cond:
+            sys.exit(f"FAIL: {path}: provenance: {why}")
+
+    prov = record.get("provenance")
+    need(isinstance(prov, dict), "section missing or not an object")
+    need(prov.get("schema") == "feam.provenance/1",
+         f"bad schema {prov.get('schema')!r}")
+    need(prov.get("dropped", -1) >= 0, "dropped missing or negative")
+    evidence = prov.get("evidence")
+    need(isinstance(evidence, list) and evidence, "no evidence items")
+    need(len(evidence) <= PROV_MAX_ITEMS,
+         f"{len(evidence)} items exceed the {PROV_MAX_ITEMS} bound")
+    keys = []
+    for item in evidence:
+        need(item.get("stage"), "item with empty stage")
+        need(item.get("kind"), "item with empty kind")
+        stamp = item.get("stamp", "")
+        need(len(stamp) == 16 and all(c in "0123456789abcdef"
+                                      for c in stamp),
+             f"stamp {stamp!r} is not 16 lowercase hex digits")
+        need(len(item.get("detail", "").encode()) <= PROV_MAX_DETAIL,
+             f"detail for {item.get('subject')!r} exceeds "
+             f"{PROV_MAX_DETAIL} bytes")
+        keys.append((item.get("stage"), item.get("kind"),
+                     item.get("site", ""), item.get("subject", ""),
+                     item.get("detail", ""), stamp))
+    need(keys == sorted(keys), "evidence is not in sorted order")
+    need(len(set(keys)) == len(keys), "duplicate evidence items")
 
 
 def run(cmd, ok_codes=(0,), timeout=120):
@@ -131,6 +176,7 @@ def validate_record(path, record, binary, site):
          "no counters")
     need(isinstance(record.get("histograms"), dict) and record["histograms"],
          "no histograms")
+    validate_provenance(path, record)
     return ready
 
 
@@ -218,6 +264,23 @@ def check_fleet(feam, tmp):
     if len(cells) != FLEET_SITES * FLEET_WORKLOADS:
         sys.exit(f"FAIL: matrix has {len(cells)} cells, expected "
                  f"{FLEET_SITES * FLEET_WORKLOADS}")
+
+    # Every fleet record carries schema-valid, bounded provenance.
+    checked = 0
+    with open(fleet_dir / "records.jsonl") as stream:
+        for n, line in enumerate(stream, 1):
+            if not line.strip():
+                continue
+            if len(line) > MAX_RECORD_BYTES:
+                sys.exit(f"FAIL: fleet record on line {n} is {len(line)} "
+                         f"bytes (bound {MAX_RECORD_BYTES})")
+            validate_provenance(f"records.jsonl:{n}", json.loads(line))
+            checked += 1
+    if checked != FLEET_SITES * FLEET_WORKLOADS:
+        sys.exit(f"FAIL: provenance-checked {checked} fleet records, "
+                 f"expected {FLEET_SITES * FLEET_WORKLOADS}")
+    print(f"fleet provenance: {checked} records schema-valid, each under "
+          f"{MAX_RECORD_BYTES} bytes")
 
     # Aggregating the record stream must stay linear: bound both the
     # subprocess (hard kill) and the measured wall time (soft budget).

@@ -4,6 +4,8 @@
 
 #include "binutils/resolver_cache.hpp"
 #include "elf/file.hpp"
+#include "obs/provenance.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace feam::binutils {
@@ -73,8 +75,23 @@ support::Result<std::string> ldd_impl(const site::Site& host,
 
 support::Result<std::string> ldd(const site::Site& host, std::string_view path,
                                  bool verbose, ResolverCache* cache) {
+  // Provenance over the transcript itself: content-stamped, so a memoized
+  // transcript and a fresh one for identical state record identically.
+  const auto record_ldd = [&](const support::Result<std::string>& r) {
+    if (!obs::provenance_active()) return;
+    const std::string_view text = r.ok() ? r.value() : r.error();
+    obs::record_evidence({"resolver", "ldd", host.name, std::string(path),
+                          r.ok() ? std::to_string(parse_ldd_output(r.value())
+                                                      .size()) +
+                                       " entries"
+                                 : "failed: " + r.error(),
+                          support::fnv1a(text)});
+  };
   if (cache != nullptr) {
-    if (auto memo = cache->ldd_text(host, path, verbose)) return *memo;
+    if (auto memo = cache->ldd_text(host, path, verbose)) {
+      record_ldd(*memo);
+      return *memo;
+    }
   }
   const auto* injector = host.vfs.fault_injector();
   const std::uint64_t faults_before =
@@ -88,6 +105,7 @@ support::Result<std::string> ldd(const site::Site& host, std::string_view path,
   if (cache != nullptr && !faulted) {
     cache->store_ldd(host, path, verbose, result);
   }
+  record_ldd(result);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "binutils/resolver_cache.hpp"
+#include "obs/provenance.hpp"
+#include "support/rng.hpp"
 
 namespace feam::binutils {
 
@@ -58,8 +60,25 @@ std::optional<std::string> search_library(const site::Site& host,
   const auto defaults = host.default_lib_dirs(bits);
   dirs.insert(dirs.end(), defaults.begin(), defaults.end());
 
+  // Provenance: the walk's evidence is a pure function of (soname, dirs,
+  // result), all of which a memo hit has in hand — recording at every exit
+  // keeps cached and uncached provenance byte-identical without storing
+  // evidence in the cache entry.
+  const auto record_search = [&](const std::optional<std::string>& found) {
+    if (!obs::provenance_active()) return;
+    std::uint64_t h = support::fnv1a(soname);
+    for (const auto& dir : dirs) h = support::fnv1a_mix(h, dir);
+    h = support::fnv1a_mix(h, found ? std::string_view(*found) : "\x01");
+    obs::record_evidence(
+        {"resolver", "search", host.name, std::string(soname),
+         found ? "found " + *found
+               : "absent in " + std::to_string(dirs.size()) + " dirs",
+         h});
+  };
+
   if (cache != nullptr) {
     if (const auto memo = cache->search(host, soname, bits, dirs)) {
+      record_search(*memo);
       return *memo;
     }
   }
@@ -82,6 +101,7 @@ std::optional<std::string> search_library(const site::Site& host,
   if (cache != nullptr && !faulted) {
     cache->store_search(host, soname, bits, dirs, found);
   }
+  record_search(found);
   return found;
 }
 

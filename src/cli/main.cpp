@@ -36,7 +36,9 @@
 #include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "fleet/drift.hpp"
 #include "report/aggregate.hpp"
+#include "report/diff.hpp"
 #include "report/gate.hpp"
 #include "report/html.hpp"
 #include "report/run_record.hpp"
@@ -207,6 +209,8 @@ class ObsSession {
       case Command::kExec: return "exec " + opts.binary;
       case Command::kFleet: return "fleet";
       case Command::kReport: return "report " + opts.report_in;
+      case Command::kExplain: return "explain " + opts.binary;
+      case Command::kDiff: return "diff " + opts.diff_a;
       case Command::kProfile: return "profile " + opts.profile_in;
       default: return "feam";
     }
@@ -637,7 +641,163 @@ int fleet_command(const Options& opts, report::RunContext& ctx) {
     }
     std::printf("readiness matrix written to %s\n", opts.matrix_out.c_str());
   }
+  if (!opts.drift_log_out.empty()) {
+    if (!write_host_file(opts.drift_log_out,
+                         fleet::drift_log_jsonl(result.drift_log))) {
+      std::fprintf(stderr, "feam: cannot write %s\n",
+                   opts.drift_log_out.c_str());
+      return 1;
+    }
+    std::printf("%zu drift ops written to %s\n", result.drift_log.size(),
+                opts.drift_log_out.c_str());
+  }
   return result.compile_failures == 0 ? 0 : 1;
+}
+
+// Loads a feam.run_record/1 stream: a JSONL file (one record per line), a
+// single *.json record, or a directory of either (non-record files are
+// skipped, the way `feam report` skips them).
+bool load_record_stream(const std::string& path,
+                        std::vector<report::RunRecord>& records) {
+  namespace fs = std::filesystem;
+  const auto ingest_text = [&](const std::string& label,
+                               const std::string& text, bool strict) {
+    if (looks_like_record_jsonl(text)) {
+      std::size_t line_no = 0;
+      for (const auto& line : support::split(text, '\n')) {
+        ++line_no;
+        if (line.empty()) continue;
+        const auto doc = support::Json::parse(line);
+        auto record = doc ? report::RunRecord::from_json(*doc) : std::nullopt;
+        if (!record) {
+          std::fprintf(stderr, "feam: %s:%zu: malformed run record\n",
+                       label.c_str(), line_no);
+          return false;
+        }
+        records.push_back(std::move(*record));
+      }
+      return true;
+    }
+    const auto parsed = support::Json::parse(text);
+    auto record =
+        parsed && parsed->get_string("schema") == report::kRunRecordSchema
+            ? report::RunRecord::from_json(*parsed)
+            : std::nullopt;
+    if (record) {
+      records.push_back(std::move(*record));
+      return true;
+    }
+    if (strict) {
+      std::fprintf(stderr, "feam: %s carries no %s documents\n",
+                   label.c_str(),
+                   std::string(report::kRunRecordSchema).c_str());
+    }
+    return !strict;
+  };
+
+  std::error_code ec;
+  std::vector<std::string> files;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension().string();
+      if (ext == ".json" || ext == ".jsonl") paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) files.push_back(p.string());
+  } else {
+    files.push_back(path);
+  }
+  for (const auto& file : files) {
+    const auto bytes = read_host_file(file);
+    if (!bytes) {
+      std::fprintf(stderr, "feam: cannot read %s\n", file.c_str());
+      return false;
+    }
+    // A named single file must carry records; directory members may be
+    // other artifacts (event logs, metrics exports) and are skipped.
+    if (!ingest_text(file, std::string(bytes->begin(), bytes->end()),
+                     files.size() == 1 && file == path)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// `feam explain`: the causal chain behind one (binary, site) verdict.
+int explain_command(const Options& opts) {
+  std::vector<report::RunRecord> records;
+  if (!load_record_stream(opts.report_in, records)) return 1;
+  const report::RunRecord* match = nullptr;
+  for (const auto& record : records) {
+    if (record.binary == opts.binary && record.target_site == opts.site) {
+      match = &record;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    std::fprintf(stderr,
+                 "feam: no record for binary '%s' at site '%s' in %s "
+                 "(%zu records searched)\n",
+                 opts.binary.c_str(), opts.site.c_str(),
+                 opts.report_in.c_str(), records.size());
+    return 1;
+  }
+  const std::string text = report::render_explain(*match);
+  if (!opts.output.empty()) {
+    if (!write_host_file(opts.output, text)) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
+      return 1;
+    }
+    std::printf("explanation written to %s\n", opts.output.c_str());
+  } else {
+    std::printf("%s", text.c_str());
+  }
+  return 0;
+}
+
+// `feam diff`: join two record streams, attribute every verdict flip.
+// Exits 2 when a drift log was supplied and any flip stayed unattributed —
+// the CI shape of "every flip must be explainable by recorded drift".
+int diff_command(const Options& opts) {
+  std::vector<report::RunRecord> a, b;
+  if (!load_record_stream(opts.diff_a, a)) return 1;
+  if (!load_record_stream(opts.diff_b, b)) return 1;
+  std::vector<report::DriftLogEntry> drift_log;
+  if (!opts.drift_log_in.empty()) {
+    const auto bytes = read_host_file(opts.drift_log_in);
+    if (!bytes) {
+      std::fprintf(stderr, "feam: cannot read %s\n",
+                   opts.drift_log_in.c_str());
+      return 1;
+    }
+    drift_log =
+        report::parse_drift_log(std::string(bytes->begin(), bytes->end()));
+  }
+  const report::DiffResult result = report::diff_records(a, b, drift_log);
+  const std::string text = result.render_text();
+  std::printf("%s", text.c_str());
+  if (!opts.output.empty()) {
+    if (!write_host_file(opts.output, text)) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.output.c_str());
+      return 1;
+    }
+  }
+  if (!opts.json_out.empty()) {
+    if (!write_host_file(opts.json_out, result.to_json().dump(2) + "\n")) {
+      std::fprintf(stderr, "feam: cannot write %s\n", opts.json_out.c_str());
+      return 1;
+    }
+    std::printf("diff record written to %s\n", opts.json_out.c_str());
+  }
+  if (!opts.drift_log_in.empty() && result.unattributed_flips() != 0) {
+    std::fprintf(stderr, "feam: %zu verdict flip(s) not attributable to the "
+                         "drift log\n",
+                 result.unattributed_flips());
+    return 2;
+  }
+  return 0;
 }
 
 // `feam report`: ingest a directory of run records and event logs, print
@@ -667,6 +827,7 @@ int report_command(const Options& opts) {
   std::vector<report::RunRecord> records;
   std::vector<std::string> event_logs;
   std::vector<report::Timeseries> streams;
+  std::vector<report::DiffResult> diffs;
   std::size_t skipped = 0;
   for (const auto& path : paths) {
     const auto ext = path.extension().string();
@@ -714,6 +875,14 @@ int report_command(const Options& opts) {
     }
     const auto parsed = support::Json::parse(text);
     if (!parsed || parsed->get_string("schema") != report::kRunRecordSchema) {
+      // feam.diff/1 artifacts (written by `feam diff --json-out`) feed the
+      // verdict-churn panel; other JSON (metrics, traces) is skipped.
+      if (parsed) {
+        if (auto diff = report::DiffResult::from_json(*parsed)) {
+          diffs.push_back(std::move(*diff));
+          continue;
+        }
+      }
       ++skipped;  // other JSON (metrics exports, traces) lives here too
       continue;
     }
@@ -747,6 +916,9 @@ int report_command(const Options& opts) {
   }
   if (!aggregate.records.empty()) {
     std::printf("%s", report::render_report_text(aggregate).c_str());
+  }
+  if (!diffs.empty()) {
+    std::printf("\n%s", report::render_churn_panel(diffs).c_str());
   }
   if (skipped > 0) {
     std::printf("(%zu non-record JSON files skipped)\n", skipped);
@@ -803,7 +975,8 @@ int report_command(const Options& opts) {
   if (!opts.html_out.empty()) {
     if (!write_host_file(
             opts.html_out,
-            report::render_html_dashboard(aggregate, timeseries))) {
+            report::render_html_dashboard(aggregate, timeseries,
+                                          diffs.empty() ? nullptr : &diffs))) {
       std::fprintf(stderr, "feam: cannot write %s\n", opts.html_out.c_str());
       return 1;
     }
@@ -1042,6 +1215,14 @@ int main(int argc, char** argv) {
       case Command::kReport:
         ctx.command = "report";
         rc = report_command(*opts);
+        break;
+      case Command::kExplain:
+        ctx.command = "explain";
+        rc = explain_command(*opts);
+        break;
+      case Command::kDiff:
+        ctx.command = "diff";
+        rc = diff_command(*opts);
         break;
       case Command::kProfile:
         ctx.command = "profile";

@@ -36,7 +36,7 @@ usage:
 
   feam fleet [--fleet-spec SPEC.json] [--seed N] [--sites N] [--workloads N]
              [--drift R] [--jobs N] [--manifest-out FILE] [--matrix-out FILE]
-             [--records-out FILE]
+             [--records-out FILE] [--drift-log-out FILE]
       Generate a procedural fleet of sites and synthetic workloads from a
       feam.fleet_spec/1 document (defaults apply without --fleet-spec) and
       run the full N-site x M-workload readiness survey over it. --sites,
@@ -45,8 +45,32 @@ usage:
       manifest, the records, and the matrix byte for byte at any --jobs.
       --manifest-out writes the feam.fleet_manifest/1 description of the
       generated fleet, --records-out one feam.run_record/1 JSON line per
-      (workload, site) pair (ingestible by `feam report`), --matrix-out
-      the rendered readiness matrix.
+      (workload, site) pair (ingestible by `feam report` and joinable with
+      `feam diff`), --matrix-out the rendered readiness matrix,
+      --drift-log-out one feam.drift_log/1 JSON line per applied drift op
+      (the attribution input for `feam diff`).
+
+  feam explain --in RECORDS --binary NAME --site NAME [-o FILE]
+      Print the causal chain behind one readiness verdict: the
+      per-determinant verdicts, then the provenance evidence each rests on
+      (TEC verdicts -> resolver walks -> environment probes -> binary
+      description), each item with its content stamp. RECORDS is a
+      feam.run_record/1 JSONL file (e.g. from `feam fleet --records-out`)
+      or a directory of *.json run records; the pair is selected by
+      --binary and --site. -o writes the chain to a file instead of
+      stdout.
+
+  feam diff --a RECORDS --b RECORDS [--drift-log FILE] [-o FILE]
+            [--json-out FILE]
+      Join two feam.run_record/1 streams by (binary, target site) and
+      report every verdict flip — a readiness or blocking-determinant
+      change — with the provenance-evidence delta behind it. With
+      --drift-log (a feam.drift_log/1 file from `feam fleet
+      --drift-log-out`), each flip is attributed to the drift ops that can
+      have caused it (same site, applied before that workload's sweep);
+      flips with no candidate op are counted as unattributed. --json-out
+      writes the feam.diff/1 document (ingested by `feam report` for the
+      churn panel); -o writes the text rendering to a file.
 
   feam report --in DIR [--html FILE] [--baseline FILE [--gate]]
               [--trend-baseline FILE] [--bench-out FILE] [--pr N]
@@ -149,6 +173,10 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     opts.command = Command::kFleet;
   } else if (command == "report") {
     opts.command = Command::kReport;
+  } else if (command == "explain") {
+    opts.command = Command::kExplain;
+  } else if (command == "diff") {
+    opts.command = Command::kDiff;
   } else if (command == "profile") {
     opts.command = Command::kProfile;
   } else if (command == "top") {
@@ -235,6 +263,11 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
     else if (flag == "--manifest-out") opts.manifest_out = *v;
     else if (flag == "--matrix-out") opts.matrix_out = *v;
     else if (flag == "--records-out") opts.records_out = *v;
+    else if (flag == "--drift-log-out") opts.drift_log_out = *v;
+    else if (flag == "--a") opts.diff_a = *v;
+    else if (flag == "--b") opts.diff_b = *v;
+    else if (flag == "--drift-log") opts.drift_log_in = *v;
+    else if (flag == "--json-out") opts.json_out = *v;
     else if (flag == "--seed") {
       // The master seed is a full 64-bit value; accept anything stoull
       // takes but reject trailing garbage and negatives.
@@ -367,6 +400,15 @@ std::optional<Options> parse_options(const std::vector<std::string>& args,
            require(!opts.gate ||
                        !opts.baseline.empty() || !opts.trend_baseline.empty(),
                    "report: --gate requires --baseline or --trend-baseline");
+      break;
+    case Command::kExplain:
+      ok = require(!opts.report_in.empty(), "explain: --in is required") &&
+           require(!opts.binary.empty(), "explain: --binary is required") &&
+           require(!opts.site.empty(), "explain: --site is required");
+      break;
+    case Command::kDiff:
+      ok = require(!opts.diff_a.empty(), "diff: --a is required") &&
+           require(!opts.diff_b.empty(), "diff: --b is required");
       break;
     case Command::kProfile:
       ok = require(!opts.profile_in.empty(), "profile: --in is required");

@@ -20,7 +20,7 @@ namespace feam::cli {
 
 enum class Command {
   kListSites, kCompile, kSource, kTarget, kSurvey, kExec, kFleet, kReport,
-  kProfile, kTop, kHelp
+  kExplain, kDiff, kProfile, kTop, kHelp
 };
 
 struct Options {
@@ -65,6 +65,14 @@ struct Options {
   std::string manifest_out;  // feam.fleet_manifest/1 JSON output path
   std::string matrix_out;    // rendered readiness-matrix text output path
   std::string records_out;   // feam.run_record/1 JSONL output path
+  std::string drift_log_out;  // feam.drift_log/1 JSONL output path
+  // `feam explain` shares --in (report_in), --binary (binary), --site
+  // (site: a record's target site, not a buildable site spec) and -o.
+  // `feam diff` (two record streams + optional drift log):
+  std::string diff_a;        // --a: feam.run_record/1 JSONL stream A
+  std::string diff_b;        // --b: feam.run_record/1 JSONL stream B
+  std::string drift_log_in;  // --drift-log: feam.drift_log/1 JSONL to join
+  std::string json_out;      // --json-out: feam.diff/1 JSON output path
   // `feam profile` (post-processing one trace/run-record file):
   std::string profile_in;   // --trace-out or --run-record-out file to ingest
   std::string folded_out;   // collapsed-stack flamegraph text output path

@@ -44,6 +44,7 @@ void fill_from_entry(report::RunRecord& record, const SurveyEntry& entry) {
   record.missing_libraries = p.missing_libraries.size();
   record.resolved_libraries = p.resolved_libraries.size();
   record.unresolved_libraries = p.unresolved_libraries.size();
+  record.provenance = p.provenance;
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 #include "binutils/readelf.hpp"
 #include "feam/identify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "toolchain/glibc.hpp"
 
@@ -34,6 +36,42 @@ void parse_compiler_comment(const std::string& comment,
 }
 
 }  // namespace
+
+std::uint64_t description_stamp(const BinaryDescription& d) {
+  using support::fnv1a_mix;
+  // Every field except `path` participates; absent optionals fold a fixed
+  // marker so "no soname" and soname "-" cannot collide with each other's
+  // neighbours.
+  std::uint64_t h = support::fnv1a(d.file_format);
+  h = fnv1a_mix(h, d.architecture);
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(d.bits));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(d.is_shared_library ? 1 : 0));
+  h = fnv1a_mix(h, d.soname ? std::string_view(*d.soname) : "\x01");
+  h = fnv1a_mix(h, d.library_version ? d.library_version->str() : "\x01");
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(d.required_libraries.size()));
+  for (const auto& lib : d.required_libraries) h = fnv1a_mix(h, lib);
+  for (const auto& ref : d.version_references) {
+    h = fnv1a_mix(h, ref.file);
+    for (const auto& v : ref.versions) h = fnv1a_mix(h, v);
+  }
+  h = fnv1a_mix(h, d.required_clib_version ? d.required_clib_version->str()
+                                           : "\x01");
+  h = fnv1a_mix(h, d.build_compiler ? std::string_view(*d.build_compiler)
+                                    : "\x01");
+  h = fnv1a_mix(h, d.build_os ? std::string_view(*d.build_os) : "\x01");
+  h = fnv1a_mix(h, d.build_clib_version ? d.build_clib_version->str() : "\x01");
+  h = fnv1a_mix(h, d.mpi_impl ? site::mpi_impl_slug(*d.mpi_impl) : "\x01");
+  return h;
+}
+
+obs::Evidence description_evidence(std::string_view site_name,
+                                   std::string_view path,
+                                   const BinaryDescription& d) {
+  return {"bdc", "binary", std::string(site_name), std::string(path),
+          d.file_format + ", " +
+              std::to_string(d.required_libraries.size()) + " needed",
+          description_stamp(d)};
+}
 
 support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
                                                  std::string_view path) {
@@ -107,6 +145,10 @@ support::Result<BinaryDescription> Bdc::describe(const site::Site& s,
                                          d.required_libraries.end());
   if (d.soname) identity.push_back(*d.soname);
   d.mpi_impl = identify_mpi(identity);
+
+  if (obs::provenance_active()) {
+    obs::record_evidence(description_evidence(s.name, path, d));
+  }
   return d;
 }
 

@@ -11,12 +11,14 @@
 //                     missing or does not recognize the binary.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "feam/description.hpp"
+#include "obs/provenance.hpp"
 #include "site/site.hpp"
 #include "support/result.hpp"
 
@@ -25,6 +27,20 @@ class ResolverCache;
 }  // namespace feam::binutils
 
 namespace feam {
+
+// Content-derived FNV-1a stamp over every description field except `path`
+// (the one request-dependent field). The BDC's provenance evidence carries
+// this stamp: it is computable from a cached description alone, so cache
+// hits replay byte-identical evidence without touching the file bytes.
+std::uint64_t description_stamp(const BinaryDescription& d);
+
+// The canonical BDC evidence item for `d` described at (site, path). The
+// component records it on a fresh parse; BdcCache re-synthesizes the exact
+// same item on hits (it is a pure function of the cached description), so
+// cached and uncached provenance are byte-identical.
+obs::Evidence description_evidence(std::string_view site_name,
+                                   std::string_view path,
+                                   const BinaryDescription& d);
 
 class Bdc {
  public:

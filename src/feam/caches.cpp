@@ -6,6 +6,7 @@
 
 #include "feam/bdc.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "support/rng.hpp"
 
 namespace feam {
@@ -143,6 +144,10 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
                    e.path == path;
           })) {
     count_hit(s, stamped->site_hits, bytes->size());
+    if (obs::provenance_active()) {
+      obs::record_evidence(
+          description_evidence(s.name, path, stamped->description));
+    }
     return stamped->description;
   }
   const std::uint64_t key = hash_(*bytes);
@@ -154,6 +159,9 @@ support::Result<BinaryDescription> BdcCache::describe(const site::Site& s,
     bytes_saved_.add(bytes->size());
     BinaryDescription d = entry->description;
     d.path = std::string(path);
+    if (obs::provenance_active()) {
+      obs::record_evidence(description_evidence(s.name, path, d));
+    }
     store_stamp(s, path, version, d);
     return d;
   }
@@ -221,16 +229,22 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     legacy_hits_.add();
     entry->site_hits.add();
+    obs::replay_evidence(entry->evidence);
     return entry->description;
   }
   // Scan with no map lock held so other sites discover concurrently; the
   // caller's site lease guarantees no concurrent scan of *this* site.
+  // The capture frame tees the scan's evidence for the entry while still
+  // forwarding it to the enclosing evaluation's provenance scope.
   const auto* injector = s.vfs.fault_injector();
   const std::uint64_t faults_before =
       injector != nullptr ? injector->fault_count() : 0;
+  obs::EvidenceCapture capture;
   EnvironmentDescription description = Edc::discover(s);
+  std::vector<obs::Evidence> evidence = capture.take();
   // A scan that hit injected faults saw a degraded view of an unchanged
-  // site; memoizing it would serve that view to every later migration.
+  // site; memoizing it (description *or* evidence) would serve that view
+  // to every later migration.
   if (injector != nullptr && injector->fault_count() != faults_before) {
     return description;
   }
@@ -238,13 +252,14 @@ EnvironmentDescription EdcMemo::discover(const site::Site& s) {
   legacy_misses_.add();
   obs::counter("cache.misses", {.site = s.name, .cache = "edc"}).add();
   const auto [entry, inserted] = entries_.get_or_insert_if(key, matches, [&] {
-    return Entry{lease_id, fingerprint, description,
+    return Entry{lease_id, fingerprint, description, std::move(evidence),
                  obs::SeriesHandle("cache.hits",
                                    {.site = s.name, .cache = "edc"})};
   });
   if (inserted) {
-    const std::uint64_t added =
-        sizeof(Entry) + environment_bytes(entry->description);
+    const std::uint64_t added = sizeof(Entry) +
+                                environment_bytes(entry->description) +
+                                obs::evidence_bytes(entry->evidence);
     footprint_.fetch_add(added, std::memory_order_relaxed);
     footprint_gauge_.add(added);
   }

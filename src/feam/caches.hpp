@@ -43,6 +43,7 @@
 #include "feam/description.hpp"
 #include "feam/edc.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "site/site.hpp"
 #include "support/byte_io.hpp"
 #include "support/result.hpp"
@@ -143,6 +144,11 @@ class EdcMemo {
     std::uint64_t lease_id = 0;  // identity re-verified on lookup
     std::uint64_t fingerprint = 0;
     EnvironmentDescription description;
+    // Evidence the scan recorded at fill time, replayed verbatim on every
+    // hit (a hit requires an identical discovery fingerprint, so a fresh
+    // scan would record exactly these items). Entries filled under fault
+    // injection are never stored, so this never carries torn-read views.
+    std::vector<obs::Evidence> evidence;
     obs::SeriesHandle site_hits;  // cache.hits{cache=edc,site=...}
   };
 

@@ -5,7 +5,9 @@
 #include "binutils/objdump.hpp"
 #include "binutils/uname.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "toolchain/glibc.hpp"
 #include "toolchain/launcher.hpp"
@@ -92,6 +94,15 @@ std::string prefix_from_module_body(std::string_view body) {
     }
   }
   return "";
+}
+
+// Shared constructor for the EDC's evidence items. Every stamp is derived
+// from the observed content (never a Vfs version counter), so a memoized
+// replay and a fresh scan of identical state record identical items.
+void note_evidence(const site::Site& s, std::string kind, std::string subject,
+                   std::string detail, std::uint64_t stamp) {
+  obs::record_evidence({"edc", std::move(kind), s.name, std::move(subject),
+                        std::move(detail), stamp});
 }
 
 void discover_clib(const site::Site& s, EnvironmentDescription& env) {
@@ -194,6 +205,9 @@ EnvironmentDescription Edc::discover(const site::Site& s) {
   env.site_name = s.name;
   env.isa = binutils::uname_p(s);
   env.bits = support::ends_with(env.isa, "64") ? 64 : 32;
+  if (obs::provenance_active()) {
+    note_evidence(s, "probe", "uname -p", env.isa, support::fnv1a(env.isa));
+  }
 
   if (const auto* proc = s.vfs.read("/proc/version")) {
     const std::string text(proc->begin(), proc->end());
@@ -201,6 +215,12 @@ EnvironmentDescription Edc::discover(const site::Site& s) {
     if (fields.size() >= 3 && fields[0] == "Linux") {
       env.os_type = "Linux " + fields[2];
     }
+    if (obs::provenance_active()) {
+      note_evidence(s, "file", "/proc/version", env.os_type,
+                    support::fnv1a(text));
+    }
+  } else if (obs::provenance_active()) {
+    note_evidence(s, "file", "/proc/version", "absent", 0);
   }
   for (const char* release_file :
        {"/etc/redhat-release", "/etc/SuSE-release", "/etc/system-release"}) {
@@ -208,11 +228,25 @@ EnvironmentDescription Edc::discover(const site::Site& s) {
       env.distro = std::string(support::trim(
           std::string_view(reinterpret_cast<const char*>(data->data()),
                            data->size())));
+      if (obs::provenance_active()) {
+        note_evidence(s, "file", release_file, env.distro,
+                      support::fnv1a(env.distro));
+      }
       break;
+    }
+    if (obs::provenance_active()) {
+      note_evidence(s, "file", release_file, "absent", 0);
     }
   }
 
   discover_clib(s, env);
+  if (obs::provenance_active()) {
+    const std::string seen =
+        env.clib_version
+            ? env.clib_discovery_method + " -> " + env.clib_version->str()
+            : "not found";
+    note_evidence(s, "probe", "libc", seen, support::fnv1a(seen));
+  }
 
   // User-environment management tool detection by configuration presence.
   if (s.vfs.exists("/usr/bin/modulecmd") &&
@@ -261,6 +295,25 @@ EnvironmentDescription Edc::discover(const site::Site& s) {
     if (stack.currently_loaded || stack.prefix.empty()) continue;
     for (const auto& dir : s.env.ld_library_path()) {
       if (dir == stack.prefix + "/lib") stack.currently_loaded = true;
+    }
+  }
+
+  if (obs::provenance_active()) {
+    const char* tool = env.user_env_tool == site::UserEnvTool::kModules
+                           ? "modules"
+                           : env.user_env_tool == site::UserEnvTool::kSoftEnv
+                                 ? "softenv"
+                                 : "none";
+    note_evidence(s, "probe", "user_env_tool", tool, support::fnv1a(tool));
+    const std::string ld_path = support::join(s.env.ld_library_path(), ":");
+    note_evidence(s, "env", "LD_LIBRARY_PATH", ld_path,
+                  support::fnv1a(ld_path));
+    // One item per discovered stack, stamped on everything a verdict can
+    // depend on: identity, install prefix, and whether it is selected.
+    for (const auto& stack : env.stacks) {
+      const std::string detail = stack.display() + " prefix=" + stack.prefix +
+                                 (stack.currently_loaded ? " [loaded]" : "");
+      note_evidence(s, "stack", stack.id, detail, support::fnv1a(detail));
     }
   }
   span.add_field("stacks", std::to_string(env.stacks.size()));

@@ -5,6 +5,7 @@
 #include "feam/bdc.hpp"
 #include "feam/caches.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "toolchain/linker.hpp"
@@ -210,30 +211,39 @@ support::Result<TargetPhaseOutput> run_target_phase(
   obs::counter("phase.target_runs").add();
 
   TargetPhaseOutput out;
-  if (!binary_path.empty() && target.vfs.is_file(binary_path)) {
-    auto described = caches != nullptr
-                         ? caches->bdc.describe(target, binary_path)
-                         : Bdc::describe(target, binary_path);
-    if (!described.ok()) return R::failure(described.full_error());
-    out.application = std::move(described).take();
-  } else if (source != nullptr) {
-    out.application = source->application;  // description travelled instead
-  } else {
-    return R::failure(
-        "target phase requires either the binary at the target site or a "
-        "source-phase bundle");
-  }
+  // Phase-level evidence scope: the BDC describe and EDC discovery below run
+  // before Tec::evaluate installs the prediction's own scope, so their
+  // evidence lands here and is merged into the prediction afterwards (the
+  // EvidenceSet's sort+dedup makes the double coverage harmless).
+  obs::EvidenceSet phase_evidence;
+  {
+    obs::ProvenanceScope provenance_scope(phase_evidence);
+    if (!binary_path.empty() && target.vfs.is_file(binary_path)) {
+      auto described = caches != nullptr
+                           ? caches->bdc.describe(target, binary_path)
+                           : Bdc::describe(target, binary_path);
+      if (!described.ok()) return R::failure(described.full_error());
+      out.application = std::move(described).take();
+    } else if (source != nullptr) {
+      out.application = source->application;  // description travelled instead
+    } else {
+      return R::failure(
+          "target phase requires either the binary at the target site or a "
+          "source-phase bundle");
+    }
 
-  out.environment = caches != nullptr ? caches->edc.discover(target)
-                                      : Edc::discover(target);
-  TecOptions opts = tec_options;
-  opts.hello_world_ranks = config.hello_world_ranks;
-  if (out.application.mpi_impl) {
-    opts.mpiexec_command = config.mpiexec_for(*out.application.mpi_impl);
+    out.environment = caches != nullptr ? caches->edc.discover(target)
+                                        : Edc::discover(target);
+    TecOptions opts = tec_options;
+    opts.hello_world_ranks = config.hello_world_ranks;
+    if (out.application.mpi_impl) {
+      opts.mpiexec_command = config.mpiexec_for(*out.application.mpi_impl);
+    }
+    out.prediction = Tec::evaluate(target, out.application, binary_path,
+                                   source != nullptr ? &source->bundle : nullptr,
+                                   opts, caches);
   }
-  out.prediction = Tec::evaluate(target, out.application, binary_path,
-                                 source != nullptr ? &source->bundle : nullptr,
-                                 opts, caches);
+  out.prediction.provenance.merge(phase_evidence);
   phase_span.add_field("ready", out.prediction.ready ? "true" : "false");
   return out;
 }

@@ -7,7 +7,9 @@
 #include "feam/bdc.hpp"
 #include "feam/caches.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "toolchain/launcher.hpp"
 #include "toolchain/linker.hpp"
@@ -390,6 +392,16 @@ const char* determinant_name(DeterminantKind kind) {
   return "?";
 }
 
+const char* determinant_slug(DeterminantKind kind) {
+  switch (kind) {
+    case DeterminantKind::kIsa: return "isa";
+    case DeterminantKind::kCLibrary: return "c_library";
+    case DeterminantKind::kMpiStack: return "mpi_stack";
+    case DeterminantKind::kSharedLibraries: return "shared_libraries";
+  }
+  return "?";
+}
+
 const DeterminantResult* Prediction::determinant(DeterminantKind kind) const {
   for (const auto& d : determinants) {
     if (d.kind == kind) return &d;
@@ -400,23 +412,31 @@ const DeterminantResult* Prediction::determinant(DeterminantKind kind) const {
 namespace {
 
 // Verdict bookkeeping shared by every determinant: one counter tick per
-// check and one structured event per verdict with the detail fields.
-void record_verdict(const DeterminantResult& d) {
+// check, one structured event per verdict with the detail fields, and one
+// provenance evidence item stamping what was decided and why.
+void record_verdict(const DeterminantResult& d, std::string_view site_name) {
   obs::counter("tec.determinant_checks").add();
   obs::counter("tec.determinant_checks",
                {.determinant = determinant_name(d.kind)})
       .add();
+  const char* state = !d.evaluated ? "skipped"
+                      : d.compatible ? "compatible"
+                                     : "incompatible";
   obs::emit(d.evaluated && !d.compatible ? obs::Level::kWarn
                                          : obs::Level::kInfo,
             "tec.verdict",
-            std::string(determinant_name(d.kind)) + ": " +
-                (!d.evaluated ? "skipped"
-                 : d.compatible ? "compatible"
-                                : "incompatible"),
+            std::string(determinant_name(d.kind)) + ": " + state,
             {{"determinant", determinant_name(d.kind)},
              {"evaluated", d.evaluated ? "true" : "false"},
              {"compatible", d.compatible ? "true" : "false"},
              {"detail", d.detail}});
+  if (obs::provenance_active()) {
+    obs::record_evidence(
+        {std::string("tec.") + determinant_slug(d.kind), "verdict",
+         std::string(site_name), determinant_slug(d.kind),
+         std::string(state) + ": " + d.detail,
+         support::fnv1a_mix(support::fnv1a(state), d.detail)});
+  }
 }
 
 }  // namespace
@@ -432,10 +452,35 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
   obs::ScopedTimer eval_timer(obs::histogram("tec.evaluate_ns"));
 
   Prediction p;
+  // Everything consulted from here on records into the prediction's own
+  // evidence set; an enclosing scope (run_target_phase installs one over
+  // the whole phase, including the BDC describe) still sees every item —
+  // record_evidence feeds all active frames.
+  obs::ProvenanceScope provenance_scope(p.provenance);
   binutils::ResolverCache* rc =
       caches != nullptr ? &caches->resolver : nullptr;
   const EnvironmentDescription env =
       caches != nullptr ? caches->edc.discover(target) : Edc::discover(target);
+
+  if (bundle != nullptr) {
+    // The travelled bundle is evidence too: its identity is the content of
+    // its library copies and hello worlds, not where it was assembled.
+    std::uint64_t h = support::fnv1a("bundle");
+    for (const auto& lib : bundle->libraries) {
+      h = support::fnv1a_mix(h, lib.name);
+      h = support::fnv1a_mix(h, static_cast<std::uint64_t>(lib.content.size()));
+      h = support::fnv1a_mix(h, description_stamp(lib.description));
+    }
+    for (const auto& hw : bundle->hello_worlds) {
+      h = support::fnv1a_mix(h, hw.name);
+      h = support::fnv1a_mix(h, static_cast<std::uint64_t>(hw.content.size()));
+    }
+    obs::record_evidence(
+        {"tec", "bundle", target.name, site::Vfs::basename(app.path),
+         std::to_string(bundle->libraries.size()) + " copies, " +
+             std::to_string(bundle->hello_worlds.size()) + " hello worlds",
+         h});
+  }
 
   // --- Determinant 1: ISA.
   DeterminantResult isa{DeterminantKind::kIsa, true, false, ""};
@@ -451,7 +496,7 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
       isa.detail = "binary is " + app.file_format + ", site is " + env.isa;
     }
   }
-  record_verdict(isa);
+  record_verdict(isa, target.name);
   p.determinants.push_back(isa);
 
   // --- Determinant 2: C library.
@@ -472,7 +517,7 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
                     (env.clib_version ? env.clib_version->str() : "unknown");
     }
   }
-  record_verdict(clib);
+  record_verdict(clib, target.name);
   p.determinants.push_back(clib);
 
   // Paper V.C: only proceed to the expensive determinants when ISA and C
@@ -482,8 +527,8 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
                               "not evaluated (earlier determinant failed)"});
     p.determinants.push_back({DeterminantKind::kSharedLibraries, false, false,
                               "not evaluated (earlier determinant failed)"});
-    record_verdict(p.determinants[2]);
-    record_verdict(p.determinants[3]);
+    record_verdict(p.determinants[2], target.name);
+    record_verdict(p.determinants[3], target.name);
     p.ready = false;
     p.log.push_back("prediction: NOT READY (" +
                     std::string(!isa.compatible ? "ISA" : "C library") +
@@ -658,8 +703,8 @@ Prediction Tec::evaluate(site::Site& target, const BinaryDescription& app,
     }
   }
 
-  record_verdict(mpi);
-  record_verdict(libs);
+  record_verdict(mpi, target.name);
+  record_verdict(libs, target.name);
   p.determinants.push_back(mpi);
   p.determinants.push_back(libs);
   p.ready = std::all_of(p.determinants.begin(), p.determinants.end(),

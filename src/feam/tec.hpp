@@ -27,6 +27,7 @@
 #include "feam/bundle.hpp"
 #include "feam/description.hpp"
 #include "feam/edc.hpp"
+#include "obs/provenance.hpp"
 #include "site/site.hpp"
 
 namespace feam {
@@ -41,6 +42,10 @@ enum class DeterminantKind : std::uint8_t {
 };
 
 const char* determinant_name(DeterminantKind kind);
+
+// Short stable slug ("isa", "c_library", "mpi_stack", "shared_libraries");
+// run records and provenance evidence key determinants by it.
+const char* determinant_slug(DeterminantKind kind);
 
 struct DeterminantResult {
   DeterminantKind kind = DeterminantKind::kIsa;
@@ -75,6 +80,13 @@ struct Prediction {
   // Human-readable evaluation trace (the paper's output file "details the
   // reasons to the user").
   std::vector<std::string> log;
+
+  // The evidence consulted to reach this verdict (obs/provenance.hpp):
+  // BDC description stamps, EDC probe/stack observations, resolver search
+  // and ldd chains, and the per-determinant verdicts themselves. Populated
+  // when the evaluation ran under a ProvenanceScope (run_target_phase
+  // installs one); serialized as the run record's `provenance` section.
+  obs::EvidenceSet provenance;
 
   const DeterminantResult* determinant(DeterminantKind kind) const;
 };

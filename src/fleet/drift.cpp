@@ -1,5 +1,6 @@
 #include "fleet/drift.hpp"
 
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "toolchain/packages.hpp"
 #include "toolchain/provision.hpp"
@@ -101,6 +102,7 @@ std::vector<DriftOp> apply_drift_round(Fleet& fleet, int round) {
       DriftOp op = apply_one(s, rng, round);
       op.site_index = static_cast<int>(i);
       op.site = s.name;
+      op.round = round;
       if (container) op.detail += " (image rebuild)";
       ops.push_back(std::move(op));
     }
@@ -110,6 +112,22 @@ std::vector<DriftOp> apply_drift_round(Fleet& fleet, int round) {
     }
   }
   return ops;
+}
+
+std::string drift_log_jsonl(const std::vector<DriftOp>& ops) {
+  std::string out;
+  for (const DriftOp& op : ops) {
+    support::Json line;
+    line.set("schema", std::string(kDriftLogSchema));
+    line.set("round", op.round);
+    line.set("site_index", op.site_index);
+    line.set("site", op.site);
+    line.set("kind", op.kind);
+    line.set("detail", op.detail);
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace feam::fleet

@@ -20,11 +20,14 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fleet/generate.hpp"
 
 namespace feam::fleet {
+
+inline constexpr std::string_view kDriftLogSchema = "feam.drift_log/1";
 
 struct DriftOp {
   int site_index = 0;
@@ -32,11 +35,19 @@ struct DriftOp {
   std::string kind;    // "touch-module" | "break-module" | "repair-modules"
                        // | "reinstall-stack" | "os-bump"
   std::string detail;  // human-readable object of the action
+  // Barrier round the op was applied at (== the workload index whose survey
+  // preceded it). `feam diff` uses it to attribute verdict flips: a flip of
+  // workload w can only be caused by ops with round < w on the same site.
+  int round = 0;
 };
 
 // Applies drift round `round` to every non-anchor site at the spec's
 // drift_rate (expected mutations per site per round). Returns the ops
 // actually applied, in site order. No-op when drift_rate is 0.
 std::vector<DriftOp> apply_drift_round(Fleet& fleet, int round);
+
+// One feam.drift_log/1 JSON line per op — the artifact `feam diff` joins
+// against run-record streams to attribute verdict flips to drift.
+std::string drift_log_jsonl(const std::vector<DriftOp>& ops);
 
 }  // namespace feam::fleet

@@ -39,6 +39,14 @@ Aggregate aggregate_records(std::vector<RunRecord> records) {
       out.profile.merge(obs::build_profile(to_profile_spans(record)));
       ++out.profiled_records;
     }
+    if (!record.provenance.empty()) {
+      ++out.provenance_records;
+      out.evidence_dropped += record.provenance.dropped();
+      for (const auto& e : record.provenance.items()) {
+        ++out.evidence_items;
+        ++out.evidence_by_stage[e.stage];
+      }
+    }
     if (!record.has_prediction) continue;
     ++out.prediction_runs;
     if (record.ready) ++out.ready_runs;
@@ -117,6 +125,13 @@ std::map<std::string, double> flatten_metrics(const Aggregate& aggregate) {
   out["events.total"] = static_cast<double>(aggregate.events.total);
   out["events.malformed"] =
       static_cast<double>(aggregate.events.malformed_lines);
+  out["provenance.records"] =
+      static_cast<double>(aggregate.provenance_records);
+  out["provenance.items"] = static_cast<double>(aggregate.evidence_items);
+  out["provenance.dropped"] = static_cast<double>(aggregate.evidence_dropped);
+  for (const auto& [stage, count] : aggregate.evidence_by_stage) {
+    out["provenance.stage." + stage] = static_cast<double>(count);
+  }
   return out;
 }
 
@@ -194,6 +209,20 @@ std::string render_report_text(const Aggregate& aggregate) {
     out += "Failure attribution:";
     for (const auto& [key, count] : aggregate.determinant_failures) {
       out += " " + key + "=" + std::to_string(count);
+    }
+    out += "\n";
+  }
+  if (aggregate.provenance_records > 0) {
+    std::snprintf(line, sizeof line,
+                  "Verdict provenance: %zu of %zu records carry evidence "
+                  "(%llu items, %llu dropped)",
+                  aggregate.provenance_records, aggregate.records.size(),
+                  static_cast<unsigned long long>(aggregate.evidence_items),
+                  static_cast<unsigned long long>(
+                      aggregate.evidence_dropped));
+    out += line;
+    for (const auto& [stage, count] : aggregate.evidence_by_stage) {
+      out += " " + stage + "=" + std::to_string(count);
     }
     out += "\n";
   }

@@ -46,6 +46,12 @@ struct Aggregate {
   std::size_t ready_runs = 0;
   std::map<std::string, std::uint64_t> determinant_failures;  // key → count
 
+  // Provenance roll-up (records carrying a feam.provenance/1 section).
+  std::size_t provenance_records = 0;
+  std::uint64_t evidence_items = 0;    // serialized items across records
+  std::uint64_t evidence_dropped = 0;  // items beyond the per-record bound
+  std::map<std::string, std::uint64_t> evidence_by_stage;  // stage → items
+
   std::map<std::string, std::uint64_t> counters;               // summed
   std::map<std::string, obs::HistogramSnapshot> histograms;    // merged
 

@@ -1,0 +1,103 @@
+// Drift-flip attribution (`feam diff`) and per-pair causal chains
+// (`feam explain`) over feam.run_record/1 streams.
+//
+// diff_records() joins two record streams — typically a frozen-fleet run
+// (A) and the same fleet with rolling-upgrade drift (B), or two
+// consecutive sweeps of a live fleet — by (binary, target site). A
+// *verdict flip* is a pair whose readiness or blocking determinant
+// changed between the streams. Each flip is attributed to its causes:
+// the provenance-evidence delta (items present on one side only) and the
+// drift-log ops that can have produced it — same site, applied at a
+// barrier round before the pair's workload sweep. A flip with no
+// candidate drift op is *unattributed*; on a drift-only comparison the
+// bench gates `unattributed_flips == 0` (every flip must be explainable).
+//
+// render_explain() walks one record's verdicts and provenance in causal
+// order — determinant verdicts, then the evidence behind them staged
+// tec.* → resolver → edc → bdc — the human answer to "why is this pair
+// (not) ready?".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/provenance.hpp"
+#include "report/run_record.hpp"
+#include "support/json.hpp"
+
+namespace feam::report {
+
+inline constexpr std::string_view kDiffSchema = "feam.diff/1";
+
+// One feam.drift_log/1 line, re-parsed for joining. (A structural mirror
+// of fleet::DriftOp — report must stay ignorant of the fleet generator.)
+struct DriftLogEntry {
+  int round = 0;
+  int site_index = 0;
+  std::string site;
+  std::string kind;
+  std::string detail;
+};
+
+// Parses a feam.drift_log/1 JSONL document. Blank lines are skipped;
+// lines with another schema or malformed JSON are dropped, not fatal.
+std::vector<DriftLogEntry> parse_drift_log(std::string_view jsonl);
+
+struct VerdictFlip {
+  std::string binary;
+  std::string target_site;
+  // First-appearance ordinal of `binary` in stream A (stream B when A
+  // lacks it) — the fleet's workload index, since fleet records are
+  // workload-major. Drift op with round r lands *after* workload r's
+  // sweep, so only ops with round < workload_index can have caused this
+  // flip.
+  int workload_index = 0;
+
+  bool ready_a = false;
+  bool ready_b = false;
+  std::string blocking_a;  // blocking_determinant() on each side
+  std::string blocking_b;
+
+  // Provenance delta: evidence present in exactly one stream's record.
+  std::vector<obs::Evidence> evidence_gained;  // in B, not in A
+  std::vector<obs::Evidence> evidence_lost;    // in A, not in B
+
+  // Drift ops that can have caused the flip (same site, earlier round).
+  std::vector<DriftLogEntry> causes;
+
+  bool attributed() const { return !causes.empty(); }
+};
+
+struct DiffResult {
+  std::size_t pairs_compared = 0;
+  std::size_t only_in_a = 0;
+  std::size_t only_in_b = 0;
+  std::vector<VerdictFlip> flips;
+
+  std::size_t unattributed_flips() const;
+
+  support::Json to_json() const;  // one feam.diff/1 document
+  static std::optional<DiffResult> from_json(const support::Json& j);
+  std::string render_text() const;
+};
+
+// The report pipeline's churn/attribution panel over ingested feam.diff/1
+// artifacts: flips per diff, ready/blocked transition counts, and the
+// drift-op kinds the flips were attributed to.
+std::string render_churn_panel(const std::vector<DiffResult>& diffs);
+
+// Joins `a` and `b` by (binary, target site) — first occurrence wins when
+// a stream repeats a pair — and attributes every verdict flip against
+// `drift_log` (pass an empty log when comparing unrelated streams; every
+// flip is then unattributed by construction).
+DiffResult diff_records(const std::vector<RunRecord>& a,
+                        const std::vector<RunRecord>& b,
+                        const std::vector<DriftLogEntry>& drift_log);
+
+// The causal chain behind one record's verdict (see file comment).
+std::string render_explain(const RunRecord& record);
+
+}  // namespace feam::report

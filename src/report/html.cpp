@@ -760,8 +760,95 @@ constexpr const char* kScript = R"js(
 
 }  // namespace
 
+// Verdict-churn panel: one row per flip across the ingested feam.diff/1
+// artifacts, capped for page weight (the JSON artifact keeps the rest).
+void append_churn(std::string& out, const std::vector<DiffResult>& diffs) {
+  constexpr std::size_t kMaxRows = 50;
+  std::size_t flips = 0, unattributed = 0, pairs = 0;
+  for (const auto& diff : diffs) {
+    flips += diff.flips.size();
+    unattributed += diff.unattributed_flips();
+    pairs += diff.pairs_compared;
+  }
+  out += "<section><h2>Verdict churn</h2>\n";
+  out += "<p class=\"note\">" + std::to_string(flips) + " verdict flip" +
+         (flips == 1 ? "" : "s") + " across " + std::to_string(pairs) +
+         " compared pairs (" + std::to_string(diffs.size()) +
+         " diff artifact" + (diffs.size() == 1 ? "" : "s") + "); " +
+         std::to_string(unattributed) +
+         " unattributed to drift.</p>\n";
+  if (flips == 0) {
+    out += "</section>\n";
+    return;
+  }
+  out += "<table class=\"counters\"><thead><tr><th>binary</th><th>site</th>"
+         "<th>verdict</th><th>attribution</th><th>evidence Δ</th></tr>"
+         "</thead><tbody>\n";
+  std::vector<const VerdictFlip*> all;
+  all.reserve(flips);
+  for (const auto& diff : diffs) {
+    for (const auto& flip : diff.flips) all.push_back(&flip);
+  }
+  std::size_t rows = 0;
+  for (const auto* flip_ptr : all) {
+    const VerdictFlip& flip = *flip_ptr;
+    if (rows++ >= kMaxRows) break;
+    {
+      out += "<tr><td>" + html_escape(flip.binary) + "</td><td>" +
+             html_escape(flip.target_site) + "</td><td>";
+      const auto verdict = [](bool ready, const std::string& blocking) {
+        return ready ? std::string("READY")
+                     : "blocked: " + (blocking.empty() ? "?" : blocking);
+      };
+      out += html_escape(verdict(flip.ready_a, flip.blocking_a)) + " → " +
+             html_escape(verdict(flip.ready_b, flip.blocking_b));
+      out += "</td><td>";
+      if (flip.causes.empty()) {
+        out += "<strong>unattributed</strong>";
+      } else {
+        std::string causes;
+        for (const auto& cause : flip.causes) {
+          if (!causes.empty()) causes += ", ";
+          causes += "r" + std::to_string(cause.round) + " " + cause.kind;
+        }
+        out += html_escape(causes);
+      }
+      out += "</td><td>+" + std::to_string(flip.evidence_gained.size()) +
+             " / −" + std::to_string(flip.evidence_lost.size()) +
+             "</td></tr>\n";
+    }
+  }
+  out += "</tbody></table>";
+  if (flips > kMaxRows) {
+    out += "<p class=\"note\">" + std::to_string(flips - kMaxRows) +
+           " more flips in the feam.diff/1 artifact.</p>";
+  }
+  out += "</section>\n";
+}
+
+// Provenance roll-up: how much evidence the ingested records carry and
+// which stages contributed it.
+void append_provenance(std::string& out, const Aggregate& aggregate) {
+  if (aggregate.provenance_records == 0) return;
+  out += "<section><h2>Verdict provenance</h2>\n";
+  out += "<p class=\"note\">" + std::to_string(aggregate.provenance_records) +
+         " of " + std::to_string(aggregate.records.size()) +
+         " records carry evidence (" +
+         std::to_string(aggregate.evidence_items) + " items, " +
+         std::to_string(aggregate.evidence_dropped) +
+         " dropped by the per-record bound).</p>\n";
+  out += "<table class=\"counters\"><thead><tr><th>stage</th>"
+         "<th>evidence items</th></tr></thead><tbody>\n";
+  for (const auto& [stage, count] : aggregate.evidence_by_stage) {
+    out += "<tr><td>" + html_escape(stage) + "</td><td>" +
+           std::to_string(count) + "</td></tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+}
+
 std::string render_html_dashboard(const Aggregate& aggregate,
-                                  const Timeseries* timeseries) {
+                                  const Timeseries* timeseries,
+                                  const std::vector<DiffResult>* diffs) {
   std::string out;
   out.reserve(32768);
   out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
@@ -793,6 +880,8 @@ std::string render_html_dashboard(const Aggregate& aggregate,
   out += "</div>\n";
 
   append_matrix(out, aggregate);
+  if (diffs != nullptr && !diffs->empty()) append_churn(out, *diffs);
+  append_provenance(out, aggregate);
   if (timeseries != nullptr) append_timeseries_charts(out, *timeseries);
   append_latency_bars(out, aggregate);
   append_profile(out, aggregate);

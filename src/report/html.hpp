@@ -6,16 +6,20 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "report/aggregate.hpp"
+#include "report/diff.hpp"
 #include "report/timeseries.hpp"
 
 namespace feam::report {
 
 // `timeseries` (optional) adds over-run-time charts — per-cache hit rate
 // and per-phase p99 against elapsed time — rendered as inline SVG from the
-// stream's per-sample deltas.
-std::string render_html_dashboard(const Aggregate& aggregate,
-                                  const Timeseries* timeseries = nullptr);
+// stream's per-sample deltas. `diffs` (optional) adds the verdict-churn /
+// drift-attribution panel over ingested feam.diff/1 artifacts.
+std::string render_html_dashboard(
+    const Aggregate& aggregate, const Timeseries* timeseries = nullptr,
+    const std::vector<DiffResult>* diffs = nullptr);
 
 }  // namespace feam::report

@@ -20,13 +20,7 @@ std::optional<DeterminantKind> kind_for_key(std::string_view key) {
 }  // namespace
 
 const char* determinant_key(DeterminantKind kind) {
-  switch (kind) {
-    case DeterminantKind::kIsa: return "isa";
-    case DeterminantKind::kCLibrary: return "c_library";
-    case DeterminantKind::kMpiStack: return "mpi_stack";
-    case DeterminantKind::kSharedLibraries: return "shared_libraries";
-  }
-  return "?";
+  return determinant_slug(kind);  // one vocabulary: records match provenance
 }
 
 std::string RunRecord::blocking_determinant() const {
@@ -90,6 +84,9 @@ support::Json RunRecord::to_json() const {
   out.set("spans", Json(std::move(span_array)));
 
   if (profile) out.set("profile", profile->to_json());
+  // Additive: absent when no evidence was recorded (older builds, or runs
+  // without a prediction), keeping pre-provenance records byte-equal.
+  if (!provenance.empty()) out.set("provenance", provenance.to_json());
 
   Json counter_obj{Json::Object{}};
   for (const auto& [name, value] : counters) counter_obj.set(name, value);
@@ -155,6 +152,11 @@ std::optional<RunRecord> RunRecord::from_json(const support::Json& j) {
     if (!profile) return std::nullopt;
     r.profile = std::move(*profile);
   }
+  if (j["provenance"].is_object()) {
+    auto provenance = obs::EvidenceSet::from_json(j["provenance"]);
+    if (!provenance) return std::nullopt;
+    r.provenance = std::move(*provenance);
+  }
   if (j["counters"].is_object()) {
     for (const auto& [name, value] : j["counters"].as_object()) {
       if (!value.is_number()) return std::nullopt;
@@ -209,6 +211,9 @@ std::vector<std::string> RunRecord::validate() const {
       issues.push_back("histogram '" + name + "' has min > max");
     }
   }
+  for (auto& issue : provenance.validate()) {
+    issues.push_back("provenance: " + issue);
+  }
   if (profile) {
     if (profile->span_count != spans.size()) {
       issues.push_back("profile covers " +
@@ -251,6 +256,7 @@ RunRecord assemble_run_record(const RunContext& context,
     r.missing_libraries = context.prediction->missing_libraries.size();
     r.resolved_libraries = context.prediction->resolved_libraries.size();
     r.unresolved_libraries = context.prediction->unresolved_libraries.size();
+    r.provenance = context.prediction->provenance;
   }
 
   r.spans.reserve(spans.size());

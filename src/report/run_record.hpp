@@ -71,6 +71,11 @@ struct RunRecord {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, obs::HistogramSnapshot> histograms;
 
+  // Evidence consulted to reach the verdict (obs/provenance.hpp), copied
+  // from the prediction. Additive in schema /1: serialized only when
+  // non-empty, so records from builds without provenance stay byte-equal.
+  obs::EvidenceSet provenance;
+
   // Self-time / critical-path profile of `spans`, added to schema /1
   // additively (absent in records written by older builds). The flame tree
   // is not serialized; rebuild it from the spans when needed.

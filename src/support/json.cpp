@@ -71,7 +71,25 @@ void append_escaped(std::string& out, std::string_view s) {
       out += c;
       ++i;
     } else if (const std::size_t len = utf8_sequence_length(s, i); len > 0) {
-      out += s.substr(i, len);
+      if (len == 4) {
+        // Non-BMP codepoint: escape as a UTF-16 surrogate pair. Passing
+        // the 4-byte sequence raw is valid JSON, but consumers with
+        // BMP-only \u decoders (including older versions of our own
+        // parser) mangle it on a re-escape round trip.
+        const auto cont = [&](std::size_t k) {
+          return static_cast<unsigned>(s[i + k]) & 0x3fu;
+        };
+        const unsigned code =
+            ((static_cast<unsigned>(byte) & 0x07u) << 18) |
+            (cont(1) << 12) | (cont(2) << 6) | cont(3);
+        const unsigned v = code - 0x10000;
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "\\u%04x\\u%04x",
+                      0xd800 + (v >> 10), 0xdc00 + (v & 0x3ff));
+        out += buf;
+      } else {
+        out += s.substr(i, len);
+      }
       i += len;
     } else {
       // Invalid byte: escape as its Latin-1 codepoint so the document
@@ -159,24 +177,50 @@ class Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return std::nullopt;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return std::nullopt;
+            const auto hex4 = [&]() -> std::optional<unsigned> {
+              if (pos_ + 4 > text_.size()) return std::nullopt;
+              unsigned code = 0;
+              for (int i = 0; i < 4; ++i) {
+                const char h = text_[pos_++];
+                code <<= 4;
+                if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                else return std::nullopt;
+              }
+              return code;
+            };
+            const auto high = hex4();
+            if (!high) return std::nullopt;
+            unsigned code = *high;
+            if (code >= 0xd800 && code <= 0xdbff) {
+              // High surrogate: must pair with an immediately following
+              // \uDC00..\uDFFF escape; together they name one non-BMP
+              // codepoint.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return std::nullopt;
+              }
+              pos_ += 2;
+              const auto low = hex4();
+              if (!low || *low < 0xdc00 || *low > 0xdfff) return std::nullopt;
+              code = 0x10000 + ((code - 0xd800) << 10) + (*low - 0xdc00);
+            } else if (code >= 0xdc00 && code <= 0xdfff) {
+              return std::nullopt;  // lone low surrogate
             }
-            // Encode as UTF-8 (BMP only; no surrogate pairs needed here).
+            // Encode the codepoint as UTF-8.
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xc0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3f));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xf0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
               out += static_cast<char>(0x80 | (code & 0x3f));
             }

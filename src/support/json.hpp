@@ -3,8 +3,9 @@
 // FEAM's source phase bundles binary/library descriptions that must be
 // copied between sites; the paper's implementation serialized them as flat
 // files. We use JSON manifests so bundles are self-describing and the
-// round-trip is testable. Supports the full JSON grammar except for
-// \uXXXX escapes outside the BMP (sufficient for our ASCII manifests).
+// round-trip is testable. Supports the full JSON grammar: non-BMP code
+// points write as \uXXXX surrogate pairs and parse back to UTF-8, so
+// 4-byte sequences survive consumers whose \u decoders are BMP-only.
 #pragma once
 
 #include <cstdint>

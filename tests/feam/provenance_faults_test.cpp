@@ -1,0 +1,134 @@
+// Provenance under Vfs fault injection: a scan that hit injected faults
+// saw a degraded view of an unchanged site, so no cache may memoize the
+// evidence it recorded — a later hit must replay only clean-scan
+// evidence, byte-identical to an uncached clean evaluation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "feam/bdc.hpp"
+#include "feam/caches.hpp"
+#include "feam/edc.hpp"
+#include "obs/provenance.hpp"
+#include "site/fault.hpp"
+#include "site/vfs.hpp"
+#include "toolchain/linker.hpp"
+#include "toolchain/testbed.hpp"
+
+namespace feam {
+namespace {
+
+using site::CompilerFamily;
+using site::MpiImpl;
+
+std::shared_ptr<site::FaultInjector> make_injector(double rate,
+                                                   std::uint64_t seed) {
+  site::FaultInjector::Options options;
+  options.seed = seed;
+  options.rate = rate;
+  return std::make_shared<site::FaultInjector>(options);
+}
+
+std::string compile_app(site::Site& s, const char* name) {
+  const auto* stack = s.find_stack(MpiImpl::kOpenMpi, CompilerFamily::kGnu);
+  EXPECT_NE(stack, nullptr);
+  toolchain::ProgramSource p;
+  p.name = name;
+  p.language = toolchain::Language::kC;
+  p.libc_features = {"base", "stdio"};
+  const auto r = toolchain::compile_mpi_program(
+      s, p, *stack, std::string("/home/user/apps/") + name);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.value();
+}
+
+TEST(ProvenanceFaults, EdcMemoNeverServesFaultedScanEvidence) {
+  auto s = toolchain::make_site("india");
+
+  // Reference: the clean uncached scan's evidence.
+  obs::EvidenceSet clean;
+  {
+    obs::ProvenanceScope scope(clean);
+    (void)Edc::discover(*s);
+  }
+  ASSERT_FALSE(clean.empty());
+
+  auto injector = make_injector(0.4, 20130613);
+  s->vfs.set_fault_injector(injector);
+
+  EdcMemo memo;
+  // Several discovery attempts while faults fire. Whatever evidence these
+  // scans recorded reflects torn/short/absent reads of an unchanged site
+  // and must not end up in a memo entry.
+  injector->set_enabled(true);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    obs::EvidenceSet scratch;
+    obs::ProvenanceScope scope(scratch);
+    (void)memo.discover(*s);
+  }
+  ASSERT_GT(injector->fault_count(), 0u)
+      << "injection must actually fire for this test to mean anything";
+  injector->set_enabled(false);
+
+  // First clean discovery re-scans (nothing clean was memoized) and fills
+  // the entry; the second is served from the memo and replays the stored
+  // evidence. Both must match the clean uncached reference exactly.
+  for (int round = 0; round < 2; ++round) {
+    obs::EvidenceSet via_memo;
+    {
+      obs::ProvenanceScope scope(via_memo);
+      (void)memo.discover(*s);
+    }
+    EXPECT_TRUE(via_memo == clean) << "round " << round;
+    EXPECT_EQ(via_memo.to_json().dump(), clean.to_json().dump())
+        << "round " << round;
+  }
+  EXPECT_GT(memo.hits(), 0u) << "the second clean discovery must be a hit";
+}
+
+TEST(ProvenanceFaults, BdcCacheEvidenceMatchesDirectDescribeAfterFaults) {
+  auto s = toolchain::make_site("india");
+  const std::string path = compile_app(*s, "probe");
+
+  obs::EvidenceSet clean;
+  {
+    obs::ProvenanceScope scope(clean);
+    const auto direct = Bdc::describe(*s, path);
+    ASSERT_TRUE(direct.ok()) << direct.error();
+  }
+  ASSERT_FALSE(clean.empty());
+
+  auto injector = make_injector(1.0, 7);
+  s->vfs.set_fault_injector(injector);
+
+  BdcCache cache;
+  // Every read faults: describe fails (or sees degraded bytes) and the
+  // cache must not retain a poisoned entry for the path.
+  injector->set_enabled(true);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    obs::EvidenceSet scratch;
+    obs::ProvenanceScope scope(scratch);
+    (void)cache.describe(*s, path);
+  }
+  ASSERT_GT(injector->fault_count(), 0u);
+  injector->set_enabled(false);
+
+  // Clean lookups — cold fill, then a hit — both yield the clean
+  // evidence, never anything recorded while faults were firing.
+  for (int round = 0; round < 2; ++round) {
+    obs::EvidenceSet via_cache;
+    {
+      obs::ProvenanceScope scope(via_cache);
+      const auto described = cache.describe(*s, path);
+      ASSERT_TRUE(described.ok()) << described.error();
+    }
+    EXPECT_TRUE(via_cache == clean) << "round " << round;
+    EXPECT_EQ(via_cache.to_json().dump(), clean.to_json().dump())
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace feam

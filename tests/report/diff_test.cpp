@@ -1,0 +1,184 @@
+// Drift-flip attribution end to end: a drifted fleet diffed against its
+// frozen twin through the serialized feam.drift_log/1 must attribute
+// every verdict flip to a drift op at the flipped site applied before the
+// pair's workload sweep — plus the feam.diff/1 round trip, the explain
+// rendering, and the report churn panel over diff artifacts.
+#include "report/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/fleet.hpp"
+#include "fleet/drift.hpp"
+#include "fleet/generate.hpp"
+#include "fleet/spec.hpp"
+
+namespace feam::report {
+namespace {
+
+struct TwinRuns {
+  std::vector<RunRecord> frozen;
+  std::vector<RunRecord> drifted;
+  std::string drift_log_jsonl;
+};
+
+// One drifted fleet and its frozen (drift-0) twin from the same seed.
+const TwinRuns& twin_runs() {
+  static const TwinRuns runs = [] {
+    fleet::FleetSpec spec;
+    spec.name = "difftest";
+    spec.sites = 12;
+    spec.workloads = 6;
+    spec.container_rate = 0.4;
+    spec.broken_module_rate = 0.3;
+    spec.symlink_farm_rate = 0.4;
+
+    TwinRuns out;
+    eval::FleetRunOptions options;
+    options.jobs = 4;
+
+    spec.drift_rate = 0.0;
+    fleet::Fleet frozen = fleet::generate_fleet(spec, 42);
+    out.frozen = eval::run_fleet(frozen, options).records;
+
+    spec.drift_rate = 0.8;
+    fleet::Fleet drifted = fleet::generate_fleet(spec, 42);
+    auto result = eval::run_fleet(drifted, options);
+    out.drifted = std::move(result.records);
+    out.drift_log_jsonl = fleet::drift_log_jsonl(result.drift_log);
+    return out;
+  }();
+  return runs;
+}
+
+TEST(ProvenanceDiff, ParseDriftLogSkipsMalformedLines) {
+  const std::string jsonl =
+      R"({"schema":"feam.drift_log/1","round":2,"site_index":3,"site":"s","kind":"os-bump","detail":"d"})"
+      "\n"
+      "not json\n"
+      "\n"
+      R"({"schema":"feam.other/1","round":0,"site_index":0,"site":"x","kind":"k","detail":""})"
+      "\n";
+  const auto entries = parse_drift_log(jsonl);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].round, 2);
+  EXPECT_EQ(entries[0].site, "s");
+  EXPECT_EQ(entries[0].kind, "os-bump");
+}
+
+TEST(ProvenanceDiff, DriftLogRoundTripsThroughTheFleetSerializer) {
+  const auto& runs = twin_runs();
+  ASSERT_FALSE(runs.drift_log_jsonl.empty());
+  const auto entries = parse_drift_log(runs.drift_log_jsonl);
+  // Every serialized line parses: the two sides of the format agree.
+  std::size_t lines = 0;
+  for (const char c : runs.drift_log_jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(entries.size(), lines);
+  for (const auto& entry : entries) {
+    EXPECT_FALSE(entry.site.empty());
+    EXPECT_FALSE(entry.kind.empty());
+    EXPECT_GE(entry.round, 0);
+  }
+}
+
+TEST(ProvenanceDiff, EveryDriftFlipIsAttributed) {
+  const auto& runs = twin_runs();
+  const auto entries = parse_drift_log(runs.drift_log_jsonl);
+  const DiffResult diff = diff_records(runs.frozen, runs.drifted, entries);
+
+  EXPECT_EQ(diff.pairs_compared, runs.frozen.size());
+  EXPECT_EQ(diff.only_in_a, 0u);
+  EXPECT_EQ(diff.only_in_b, 0u);
+  ASSERT_GT(diff.flips.size(), 0u)
+      << "drift 0.8 over 6 workloads must flip at least one verdict";
+  EXPECT_EQ(diff.unattributed_flips(), 0u);
+
+  for (const auto& flip : diff.flips) {
+    ASSERT_TRUE(flip.attributed()) << flip.binary << " @ " << flip.target_site;
+    for (const auto& cause : flip.causes) {
+      // Causality: same site, applied at a barrier before this workload.
+      EXPECT_EQ(cause.site, flip.target_site);
+      EXPECT_LT(cause.round, flip.workload_index);
+    }
+    // A flipped verdict must be explained by an evidence delta too.
+    EXPECT_FALSE(flip.evidence_gained.empty() && flip.evidence_lost.empty())
+        << flip.binary << " @ " << flip.target_site;
+  }
+}
+
+TEST(ProvenanceDiff, EmptyDriftLogLeavesFlipsUnattributed) {
+  const auto& runs = twin_runs();
+  const DiffResult diff = diff_records(runs.frozen, runs.drifted, {});
+  EXPECT_EQ(diff.unattributed_flips(), diff.flips.size());
+}
+
+TEST(ProvenanceDiff, IdenticalStreamsProduceNoFlips) {
+  const auto& runs = twin_runs();
+  const DiffResult diff = diff_records(runs.frozen, runs.frozen, {});
+  EXPECT_EQ(diff.pairs_compared, runs.frozen.size());
+  EXPECT_TRUE(diff.flips.empty());
+}
+
+TEST(ProvenanceDiff, JsonRoundTripIsByteStable) {
+  const auto& runs = twin_runs();
+  const auto entries = parse_drift_log(runs.drift_log_jsonl);
+  const DiffResult diff = diff_records(runs.frozen, runs.drifted, entries);
+
+  const std::string dumped = diff.to_json().dump(2);
+  EXPECT_NE(dumped.find(kDiffSchema), std::string::npos);
+  const auto parsed = support::Json::parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  const auto reloaded = DiffResult::from_json(*parsed);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->pairs_compared, diff.pairs_compared);
+  EXPECT_EQ(reloaded->flips.size(), diff.flips.size());
+  EXPECT_EQ(reloaded->unattributed_flips(), diff.unattributed_flips());
+  EXPECT_EQ(reloaded->to_json().dump(2), dumped);
+}
+
+TEST(ProvenanceDiff, RenderTextNamesEveryFlip) {
+  const auto& runs = twin_runs();
+  const auto entries = parse_drift_log(runs.drift_log_jsonl);
+  const DiffResult diff = diff_records(runs.frozen, runs.drifted, entries);
+  const std::string text = diff.render_text();
+  for (const auto& flip : diff.flips) {
+    EXPECT_NE(text.find(flip.binary), std::string::npos);
+    EXPECT_NE(text.find(flip.target_site), std::string::npos);
+  }
+  EXPECT_NE(text.find("unattributed: 0"), std::string::npos);
+}
+
+TEST(ProvenanceDiff, ChurnPanelSummarizesDiffArtifacts) {
+  const auto& runs = twin_runs();
+  const auto entries = parse_drift_log(runs.drift_log_jsonl);
+  const DiffResult diff = diff_records(runs.frozen, runs.drifted, entries);
+  const std::string panel = render_churn_panel({diff});
+  EXPECT_NE(panel.find("flips"), std::string::npos);
+  EXPECT_NE(panel.find("unattributed"), std::string::npos);
+}
+
+TEST(ProvenanceExplain, RendersVerdictChainAndStampedEvidence) {
+  const auto& runs = twin_runs();
+  const RunRecord* with_evidence = nullptr;
+  for (const auto& record : runs.drifted) {
+    if (!record.provenance.empty()) {
+      with_evidence = &record;
+      break;
+    }
+  }
+  ASSERT_NE(with_evidence, nullptr)
+      << "fleet records must carry provenance";
+
+  const std::string text = render_explain(*with_evidence);
+  EXPECT_NE(text.find(with_evidence->binary), std::string::npos);
+  EXPECT_NE(text.find(with_evidence->target_site), std::string::npos);
+  // Every serialized evidence item appears with its content stamp.
+  for (const auto& e : with_evidence->provenance.items()) {
+    EXPECT_NE(text.find(e.stamp_hex()), std::string::npos) << e.subject;
+  }
+}
+
+}  // namespace
+}  // namespace feam::report

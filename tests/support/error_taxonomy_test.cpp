@@ -1,0 +1,86 @@
+// Exhaustive coverage of the ErrorCode taxonomy: every enum value maps to
+// a distinct, stable slug and to a valid attribution category. Guards the
+// easy-to-miss half of adding a code — the slug/category switch — since a
+// missed case silently falls back and corrupts failure attribution.
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace feam::support {
+namespace {
+
+// Every ErrorCode value. A new enum member must be added here (the
+// AllCodesListed test fails otherwise), which forces the slug and
+// category expectations below to cover it.
+const std::vector<ErrorCode>& all_codes() {
+  static const std::vector<ErrorCode> codes = {
+      ErrorCode::kUnknown,        ErrorCode::kElfNotElf,
+      ErrorCode::kElfTruncated,   ErrorCode::kElfBadHeader,
+      ErrorCode::kElfUnsupported, ErrorCode::kElfBadOffset,
+      ErrorCode::kElfBadVersionRef, ErrorCode::kElfLimitExceeded,
+      ErrorCode::kSpecParse,      ErrorCode::kIoFault,
+      ErrorCode::kFileNotFound,   ErrorCode::kDepCycle,
+      ErrorCode::kDepDepthExceeded,
+  };
+  return codes;
+}
+
+TEST(ErrorTaxonomy, AllCodesListed) {
+  // The enum is dense starting at 0, so the last member's value pins the
+  // count: if someone appends a code, this mismatch points them at
+  // all_codes() above.
+  EXPECT_EQ(all_codes().size(),
+            static_cast<std::size_t>(ErrorCode::kDepDepthExceeded) + 1);
+  std::set<std::uint8_t> values;
+  for (const ErrorCode code : all_codes()) {
+    values.insert(static_cast<std::uint8_t>(code));
+  }
+  EXPECT_EQ(values.size(), all_codes().size()) << "duplicate enum listed";
+}
+
+TEST(ErrorTaxonomy, EverySlugIsDistinctAndWellFormed) {
+  std::set<std::string> slugs;
+  for (const ErrorCode code : all_codes()) {
+    const std::string slug(error_code_slug(code));
+    EXPECT_FALSE(slug.empty())
+        << "code " << static_cast<int>(code) << " has no slug";
+    // Slugs name golden-corpus files: lowercase snake_case only.
+    for (const char c : slug) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_')
+          << slug << " contains '" << c << "'";
+    }
+    EXPECT_TRUE(slugs.insert(slug).second) << "duplicate slug " << slug;
+  }
+}
+
+TEST(ErrorTaxonomy, EveryCategoryIsValid) {
+  const std::set<std::string> valid = {"parse", "io", "dep"};
+  for (const ErrorCode code : all_codes()) {
+    const std::string category(failure_category(code));
+    if (code == ErrorCode::kUnknown) {
+      // Legacy string-only failures attribute to no category.
+      EXPECT_TRUE(category.empty());
+      continue;
+    }
+    EXPECT_TRUE(valid.count(category) == 1)
+        << error_code_slug(code) << " maps to invalid category '"
+        << category << "'";
+  }
+}
+
+TEST(ErrorTaxonomy, CategoriesMatchTheDocumentedBuckets) {
+  EXPECT_EQ(failure_category(ErrorCode::kElfNotElf), "parse");
+  EXPECT_EQ(failure_category(ErrorCode::kElfLimitExceeded), "parse");
+  EXPECT_EQ(failure_category(ErrorCode::kSpecParse), "parse");
+  EXPECT_EQ(failure_category(ErrorCode::kIoFault), "io");
+  EXPECT_EQ(failure_category(ErrorCode::kFileNotFound), "io");
+  EXPECT_EQ(failure_category(ErrorCode::kDepCycle), "dep");
+  EXPECT_EQ(failure_category(ErrorCode::kDepDepthExceeded), "dep");
+}
+
+}  // namespace
+}  // namespace feam::support

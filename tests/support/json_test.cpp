@@ -91,14 +91,43 @@ TEST(JsonDump, QuotesAndBackslashesRoundTrip) {
   EXPECT_EQ(reparsed->as_string(), nasty);
 }
 
-TEST(JsonDump, ValidUtf8PassesThroughUnchanged) {
-  // 2-, 3-, and 4-byte UTF-8 sequences (é, €, 𝄞).
+TEST(JsonDump, ValidUtf8RoundTrips) {
+  // 2-, 3-, and 4-byte UTF-8 sequences (é, €, 𝄞). BMP sequences pass
+  // through raw; the non-BMP one writes as a surrogate pair but decodes
+  // back to the identical bytes.
   const std::string text = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9d\x84\x9e";
   const std::string dumped = Json(text).dump();
   EXPECT_NE(dumped.find("caf\xc3\xa9"), std::string::npos);
   const auto reparsed = Json::parse(dumped);
   ASSERT_TRUE(reparsed.has_value());
   EXPECT_EQ(reparsed->as_string(), text);
+}
+
+TEST(JsonDump, NonBmpWritesAsSurrogatePairAndRoundTrips) {
+  // U+1D11E MUSICAL SYMBOL G CLEF and U+10FFFF, the last codepoint.
+  const std::string clef = "\xf0\x9d\x84\x9e";
+  const std::string last = "\xf4\x8f\xbf\xbf";
+  const std::string dumped = Json(clef + last).dump();
+  EXPECT_EQ(dumped, "\"\\ud834\\udd1e\\udbff\\udfff\"");
+  const auto reparsed = Json::parse(dumped);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), clef + last);
+  // And the re-dump is byte-stable.
+  EXPECT_EQ(reparsed->dump(), dumped);
+}
+
+TEST(JsonParse, SurrogatePairEscapesDecodeToUtf8) {
+  const auto parsed = Json::parse("\"\\uD834\\uDD1E\"");  // uppercase hex too
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParse, RejectsLoneAndMismatchedSurrogates) {
+  EXPECT_FALSE(Json::parse("\"\\ud834\"").has_value());        // lone high
+  EXPECT_FALSE(Json::parse("\"\\udd1e\"").has_value());        // lone low
+  EXPECT_FALSE(Json::parse("\"\\ud834\\u0041\"").has_value()); // high + BMP
+  EXPECT_FALSE(Json::parse("\"\\ud834x\"").has_value());       // high + raw
+  EXPECT_FALSE(Json::parse("\"\\ud834\\ud835\"").has_value()); // high + high
 }
 
 TEST(JsonDump, InvalidUtf8BytesAreEscapedToValidJson) {
